@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Anyseq Anyseq_baselines Anyseq_core Anyseq_fpgasim Array Bechamel Benchmark Float Hashtbl List Printf Test Time Toolkit Workloads

@@ -1,0 +1,1 @@
+bench/experiments.ml: Anyseq Anyseq_baselines Anyseq_core Anyseq_fpgasim Anyseq_util Anyseq_wavefront Array Filename Float In_channel List Measure Option Paper Perf_model Printf Sys Workloads

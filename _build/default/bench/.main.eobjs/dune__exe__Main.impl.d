@@ -1,0 +1,1 @@
+bench/main.ml: Arg Bechamel_suite Cmd Cmdliner Experiments List Printexc Printf String Term Workloads

@@ -1,0 +1,1 @@
+bench/measure.ml: Anyseq Anyseq_baselines Anyseq_core Anyseq_simd Anyseq_util Array Workloads

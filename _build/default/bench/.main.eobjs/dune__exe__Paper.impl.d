@@ -1,0 +1,1 @@
+bench/paper.ml: Printf

@@ -1,0 +1,1 @@
+bench/perf_model.ml: Anyseq Anyseq_baselines Anyseq_fpgasim Anyseq_gpusim Anyseq_wavefront Array Float Hashtbl Measure Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Anyseq Array Hashtbl List

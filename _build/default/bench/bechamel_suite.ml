@@ -1,0 +1,79 @@
+(* Bechamel micro-benchmarks: one Test.make group per table/figure, timing
+   the kernel that dominates that artifact.  Used for statistically robust
+   per-cell costs (OLS over run counts); the table harness itself uses
+   simple wall-clock timing over full problems. *)
+
+module Sequence = Anyseq.Sequence
+module Scheme = Anyseq.Scheme
+module T = Anyseq.Types
+
+let make_pair cfg len =
+  let pair = Workloads.medium_pair cfg in
+  let q = pair.Anyseq.Genome_gen.query and s = pair.Anyseq.Genome_gen.subject in
+  ( Sequence.sub q ~pos:0 ~len:(min len (Sequence.length q)),
+    Sequence.sub s ~pos:0 ~len:(min len (Sequence.length s)) )
+
+let suite cfg =
+  let q, s = make_pair cfg 2000 in
+  let qv = Sequence.view q and sv = Sequence.view s in
+  let lin = Scheme.paper_linear and aff = Scheme.paper_affine in
+  let reads = Array.sub (Workloads.read_pairs cfg) 0 (min 64 cfg.Workloads.read_count) in
+  let stage f = Bechamel.Staged.stage f in
+  let open Bechamel in
+  Test.make_grouped ~name:"anyseq"
+    [
+      (* Fig. 5a CPU rows *)
+      Test.make ~name:"fig5a/scalar-linear"
+        (stage (fun () -> Anyseq_core.Dp_linear.score_only lin T.Global ~query:qv ~subject:sv));
+      Test.make ~name:"fig5a/scalar-affine"
+        (stage (fun () -> Anyseq_core.Dp_linear.score_only aff T.Global ~query:qv ~subject:sv));
+      Test.make ~name:"fig5a/tiled-affine"
+        (stage (fun () -> Anyseq.Tiling.score_only aff T.Global ~tile:512 ~query:qv ~subject:sv));
+      Test.make ~name:"fig5a/seqan-diagonal"
+        (stage (fun () ->
+             Anyseq_baselines.Seqan_like.score_sequential ~tile:256 aff T.Global ~query:q
+               ~subject:s));
+      Test.make ~name:"fig5a/traceback-hirschberg"
+        (stage (fun () -> Anyseq.Hirschberg.align aff T.Global ~query:q ~subject:s));
+      (* Fig. 5b read batches *)
+      Test.make ~name:"fig5b/interseq-16lanes"
+        (stage (fun () -> Anyseq.Inter_seq.batch_score ~lanes:16 lin T.Global reads));
+      Test.make ~name:"fig5b/scalar-batch"
+        (stage (fun () ->
+             Array.map
+               (fun (rq, rs) ->
+                 Anyseq_core.Dp_linear.score_only lin T.Global ~query:(Sequence.view rq)
+                   ~subject:(Sequence.view rs))
+               reads));
+      (* Fig. 6: one tile relaxation (the DES cost unit) *)
+      Test.make ~name:"fig6/tile-512"
+        (stage
+           (let tq, ts = make_pair cfg 512 in
+            fun () ->
+              Anyseq.Tiling.score_only aff T.Global ~tile:512 ~query:(Sequence.view tq)
+                ~subject:(Sequence.view ts)));
+      (* Table II: FPGA systolic step *)
+      Test.make ~name:"table2/systolic-kpe128"
+        (stage
+           (let tq, ts = make_pair cfg 768 in
+            fun () -> Anyseq_fpgasim.Systolic.score ~kpe:128 lin ~query:tq ~subject:ts));
+    ]
+
+let run cfg =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Bechamel.Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg_b = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg_b [ instance ] (suite cfg) in
+  let results = Analyze.all ols instance raw in
+  print_endline "Bechamel micro-suite (monotonic clock, OLS ns/run):";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan
+      in
+      Printf.printf "  %-32s %12.0f ns/run\n" name est)
+    (List.sort compare rows)

@@ -1,0 +1,123 @@
+(* Measured single-core kernel rates — the empirical inputs of the machine
+   model.  Everything here is a real wall-clock measurement on this
+   machine; Perf_model combines these with documented device parameters. *)
+
+module Sequence = Anyseq.Sequence
+module Scheme = Anyseq.Scheme
+module T = Anyseq.Types
+module Timer = Anyseq_util.Timer
+
+type rates = {
+  scalar_linear : float;  (** cells/s, dp_linear, +2/-1 linear *)
+  scalar_affine : float;
+  tiled_affine : float;  (** tiled kernel, affine *)
+  seqan_diag : float;  (** anti-diagonal tile kernel (SeqAn strategy) *)
+  parasail_linear_request : float;
+      (** what Parasail does when asked for linear gaps: the affine kernel *)
+  traceback_linear : float;  (** Hirschberg end-to-end, cells = n·m *)
+  traceback_affine : float;
+  batch_scalar : float;  (** read pairs through the scalar engine *)
+  vector_ops_blocked : float;  (** emulated vector ops per cell, blocked kernel *)
+  vector_ops_striped : float;  (** …, Farrar striped kernel (SeqAn/SSW strategy) *)
+}
+
+let rate ~cells f = float_of_int cells /. Timer.best_of ~repeats:2 f
+
+let measure (cfg : Workloads.config) =
+  let pair = Workloads.medium_pair cfg in
+  let q = pair.Anyseq.Genome_gen.query and s = pair.Anyseq.Genome_gen.subject in
+  (* Cap the measurement pair so a large --scale does not make calibration
+     itself slow; rates are length-stable. *)
+  let cap = 24_000 in
+  let q = if Sequence.length q > cap then Sequence.sub q ~pos:0 ~len:cap else q in
+  let s = if Sequence.length s > cap then Sequence.sub s ~pos:0 ~len:cap else s in
+  let cells = Sequence.length q * Sequence.length s in
+  let qv = Sequence.view q and sv = Sequence.view s in
+  let lin = Scheme.paper_linear and aff = Scheme.paper_affine in
+  let scalar_linear =
+    rate ~cells (fun () -> ignore (Anyseq_core.Dp_linear.score_only lin T.Global ~query:qv ~subject:sv))
+  in
+  let scalar_affine =
+    rate ~cells (fun () -> ignore (Anyseq_core.Dp_linear.score_only aff T.Global ~query:qv ~subject:sv))
+  in
+  let tiled_affine =
+    rate ~cells (fun () ->
+        ignore (Anyseq.Tiling.score_only aff T.Global ~tile:512 ~query:qv ~subject:sv))
+  in
+  let seqan_diag =
+    rate ~cells (fun () ->
+        ignore (Anyseq_baselines.Seqan_like.score_sequential ~tile:256 aff T.Global ~query:q ~subject:s))
+  in
+  let parasail_linear_request =
+    rate ~cells (fun () ->
+        ignore (Anyseq_baselines.Parasail_like.score_sequential ~tile:512 lin T.Global ~query:q ~subject:s))
+  in
+  (* Traceback on a smaller window (it costs ~2x the cells). *)
+  let tq = Sequence.sub q ~pos:0 ~len:(min 6000 (Sequence.length q)) in
+  let ts = Sequence.sub s ~pos:0 ~len:(min 6000 (Sequence.length s)) in
+  let tcells = Sequence.length tq * Sequence.length ts in
+  let traceback_linear =
+    rate ~cells:tcells (fun () ->
+        ignore (Anyseq.Hirschberg.align lin T.Global ~query:tq ~subject:ts))
+  in
+  let traceback_affine =
+    rate ~cells:tcells (fun () ->
+        ignore (Anyseq.Hirschberg.align aff T.Global ~query:tq ~subject:ts))
+  in
+  let reads = Array.sub (Workloads.read_pairs cfg) 0 (min 300 cfg.Workloads.read_count) in
+  let rcells = Workloads.total_cells reads in
+  let batch_scalar =
+    rate ~cells:rcells (fun () ->
+        Array.iter
+          (fun (rq, rs) ->
+            ignore
+              (Anyseq_core.Dp_linear.score_only lin T.Global ~query:(Sequence.view rq)
+                 ~subject:(Sequence.view rs)))
+          reads)
+  in
+  (* Emulated vector-op counts per cell for the two vectorization
+     strategies — used as a sanity check on the relative per-lane
+     throughput assumptions of the SIMD model (fewer 16-lane vector
+     instructions per DP cell = faster kernel on real silicon).  Both
+     metrics are Lanes-ops / cells-covered. *)
+  let vq = Sequence.sub q ~pos:0 ~len:1024 and vs = Sequence.sub s ~pos:0 ~len:1024 in
+  Anyseq_simd.Lanes.reset_op_count ();
+  (* Inter-sequence blocking: 16 identical-shape pairs advance in lockstep,
+     so each vector op covers 16 cells. *)
+  let vpairs =
+    Array.init 16 (fun _ ->
+        (Sequence.sub vq ~pos:0 ~len:512, Sequence.sub vs ~pos:0 ~len:512))
+  in
+  ignore (Anyseq.Inter_seq.batch_score ~lanes:16 lin T.Global vpairs);
+  let blocked_ops = Anyseq_simd.Lanes.op_count () in
+  let vector_ops_blocked = float_of_int blocked_ops /. float_of_int (16 * 512 * 512) in
+  Anyseq_simd.Lanes.reset_op_count ();
+  (* Farrar striped: one pair, each vector op covers 16 cells of its own
+     matrix. *)
+  ignore (Anyseq_baselines.Ssw_like.score ~lanes:16 aff ~query:vq ~subject:vs);
+  let striped_ops = Anyseq_simd.Lanes.op_count () in
+  let vector_ops_striped =
+    float_of_int striped_ops /. float_of_int (Sequence.length vq * Sequence.length vs)
+  in
+  {
+    scalar_linear;
+    scalar_affine;
+    tiled_affine;
+    seqan_diag;
+    parasail_linear_request;
+    traceback_linear;
+    traceback_affine;
+    batch_scalar;
+    vector_ops_blocked;
+    vector_ops_striped;
+  }
+
+let cached = ref None
+
+let get cfg =
+  match !cached with
+  | Some r -> r
+  | None ->
+      let r = measure cfg in
+      cached := Some r;
+      r

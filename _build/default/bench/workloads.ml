@@ -1,0 +1,54 @@
+(* Benchmark workloads (Table I and the Fig. 5b read set), built lazily and
+   deterministically.  [scale] multiplies the default scaled-down sizes —
+   the paper's genome pairs are 4.4-50 Mbp; the defaults here are 64-256 kbp
+   so the full suite completes in minutes on one core (see DESIGN.md). *)
+
+module Genome_gen = Anyseq.Genome_gen
+module Read_sim = Anyseq.Read_sim
+module Sequence = Anyseq.Sequence
+
+type config = {
+  scale : float;  (** genome-length multiplier *)
+  read_count : int;  (** Fig. 5b pairs (paper: 12.5 M) *)
+  seed : int;
+}
+
+let default = { scale = 0.15; read_count = 3000; seed = 42 }
+
+let genome_pairs =
+  let cache : (float * int, Genome_gen.pair list) Hashtbl.t = Hashtbl.create 4 in
+  fun cfg ->
+    match Hashtbl.find_opt cache (cfg.scale, cfg.seed) with
+    | Some pairs -> pairs
+    | None ->
+        let pairs = Genome_gen.benchmark_pairs ~seed:cfg.seed ~scale:cfg.scale in
+        Hashtbl.add cache (cfg.scale, cfg.seed) pairs;
+        pairs
+
+(* The pair used for single-pair kernel measurements: the middle entry. *)
+let medium_pair cfg = List.nth (genome_pairs cfg) 1
+
+let read_pairs =
+  let cache : (int * int, (Sequence.t * Sequence.t) array) Hashtbl.t = Hashtbl.create 4 in
+  fun cfg ->
+    match Hashtbl.find_opt cache (cfg.read_count, cfg.seed) with
+    | Some pairs -> pairs
+    | None ->
+        let pairs =
+          Read_sim.read_pairs ~seed:cfg.seed ~reference_len:200_000 ~read_len:150
+            ~count:cfg.read_count
+        in
+        Hashtbl.add cache (cfg.read_count, cfg.seed) pairs;
+        pairs
+
+let pair_cells (q, s) = Sequence.length q * Sequence.length s
+
+let total_cells pairs = Array.fold_left (fun acc p -> acc + pair_cells p) 0 pairs
+
+let gc_percent seq =
+  let gc = ref 0 in
+  for i = 0 to Sequence.length seq - 1 do
+    let c = Sequence.get seq i in
+    if c = 1 || c = 2 then incr gc
+  done;
+  100.0 *. float_of_int !gc /. float_of_int (max 1 (Sequence.length seq))

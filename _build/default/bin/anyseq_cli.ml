@@ -1,0 +1,218 @@
+(* anyseq — command-line front end.
+
+   Subcommands:
+     align           align two FASTA files (first record of each)
+     generate        synthesize a benchmark genome pair as FASTA
+     simulate-reads  simulate an Illumina-like read set as FASTQ
+     batch           score read pairs (FASTQ vs reference FASTA windows)
+*)
+
+open Cmdliner
+
+let scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet =
+  let subst =
+    match alphabet with
+    | `Dna4 -> Anyseq.Substitution.simple Anyseq.Alphabet.dna4 ~match_ ~mismatch
+    | `Dna5 -> Anyseq.Substitution.dna_wildcard ~match_ ~mismatch
+  in
+  let gap =
+    if gap_open = 0 then Anyseq.Gaps.linear gap_extend
+    else Anyseq.Gaps.affine ~open_:gap_open ~extend:gap_extend
+  in
+  Anyseq.Scheme.make subst gap
+
+let mode_conv =
+  Arg.enum
+    [ ("global", Anyseq.Types.Global); ("local", Anyseq.Types.Local);
+      ("semiglobal", Anyseq.Types.Semiglobal) ]
+
+(* Shared scoring flags. *)
+let match_t = Arg.(value & opt int 2 & info [ "match" ] ~doc:"Match score.")
+let mismatch_t = Arg.(value & opt int (-1) & info [ "mismatch" ] ~doc:"Mismatch score.")
+
+let gap_open_t =
+  Arg.(value & opt int 0 & info [ "gap-open" ] ~doc:"Gap open penalty (0 = linear gaps).")
+
+let gap_extend_t =
+  Arg.(value & opt int 1 & info [ "gap-extend" ] ~doc:"Gap extension penalty.")
+
+let read_first_record path =
+  match Anyseq.Fasta.read_file Anyseq.Alphabet.dna5 path with
+  | Error msg ->
+      Printf.eprintf "error reading %s: %s\n" path msg;
+      exit 1
+  | Ok [] ->
+      Printf.eprintf "error: %s contains no records\n" path;
+      exit 1
+  | Ok (r :: _) -> r
+
+let align_cmd =
+  let query_t = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.fa") in
+  let subject_t = Arg.(required & pos 1 (some file) None & info [] ~docv:"SUBJECT.fa") in
+  let mode_t = Arg.(value & opt mode_conv Anyseq.Types.Global & info [ "mode" ] ~doc:"global|local|semiglobal") in
+  let score_only_t =
+    Arg.(value & flag & info [ "score-only" ] ~doc:"Print only the optimal score.")
+  in
+  let pretty_t = Arg.(value & flag & info [ "pretty" ] ~doc:"BLAST-style rendering.") in
+  let run query subject mode score_only pretty match_ mismatch gap_open gap_extend =
+    let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
+    let q = read_first_record query and s = read_first_record subject in
+    let qseq = q.Anyseq.Fasta.sequence and sseq = s.Anyseq.Fasta.sequence in
+    if score_only then begin
+      let ends = Anyseq.Engine.score scheme mode ~query:qseq ~subject:sseq in
+      Printf.printf "%d\n" ends.Anyseq.Types.score
+    end
+    else begin
+      let alignment = Anyseq.Engine.align scheme mode ~query:qseq ~subject:sseq in
+      if pretty then
+        print_string (Anyseq.Alignment.pretty ~query:qseq ~subject:sseq alignment)
+      else begin
+        Printf.printf "score\t%d\n" alignment.Anyseq.Alignment.score;
+        Printf.printf "query\t%s\t%d\t%d\n" q.Anyseq.Fasta.id
+          alignment.Anyseq.Alignment.query_start alignment.Anyseq.Alignment.query_end;
+        Printf.printf "subject\t%s\t%d\t%d\n" s.Anyseq.Fasta.id
+          alignment.Anyseq.Alignment.subject_start alignment.Anyseq.Alignment.subject_end;
+        Printf.printf "cigar\t%s\n" (Anyseq.Cigar.to_string alignment.Anyseq.Alignment.cigar)
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "align" ~doc:"Align the first records of two FASTA files.")
+    Term.(
+      const run $ query_t $ subject_t $ mode_t $ score_only_t $ pretty_t $ match_t
+      $ mismatch_t $ gap_open_t $ gap_extend_t)
+
+let generate_cmd =
+  let length_t = Arg.(value & opt int 65536 & info [ "length" ] ~doc:"Genome length (bp).") in
+  let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let out_t = Arg.(value & opt string "pair" & info [ "out" ] ~doc:"Output prefix.") in
+  let divergence_t =
+    Arg.(value & opt float 0.04 & info [ "divergence" ] ~doc:"SNP rate of the mutated copy.")
+  in
+  let run length seed out divergence =
+    let rng = Anyseq_util.Rng.create ~seed in
+    let genome = Anyseq.Genome_gen.generate rng ~len:length () in
+    let divergence =
+      { Anyseq.Genome_gen.default_divergence with snp_rate = divergence }
+    in
+    let mutated = Anyseq.Genome_gen.mutate rng ~divergence genome in
+    Anyseq.Fasta.write_file (out ^ "_a.fa")
+      [ { Anyseq.Fasta.id = "synthetic_a"; description = "generated"; sequence = genome } ];
+    Anyseq.Fasta.write_file (out ^ "_b.fa")
+      [ { Anyseq.Fasta.id = "synthetic_b"; description = "mutated copy"; sequence = mutated } ];
+    Printf.printf "wrote %s_a.fa (%d bp) and %s_b.fa (%d bp)\n" out length out
+      (Anyseq.Sequence.length mutated)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize a benchmark genome pair.")
+    Term.(const run $ length_t $ seed_t $ out_t $ divergence_t)
+
+let simulate_reads_cmd =
+  let count_t = Arg.(value & opt int 10000 & info [ "count" ] ~doc:"Number of reads.") in
+  let read_len_t = Arg.(value & opt int 150 & info [ "read-length" ] ~doc:"Read length.") in
+  let ref_len_t =
+    Arg.(value & opt int 1_000_000 & info [ "reference-length" ] ~doc:"Reference length.")
+  in
+  let seed_t = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let out_t = Arg.(value & opt string "reads.fq" & info [ "out" ] ~doc:"Output FASTQ.") in
+  let run count read_len ref_len seed out =
+    let rng = Anyseq_util.Rng.create ~seed in
+    let reference = Anyseq.Genome_gen.generate rng ~len:ref_len () in
+    let reads = Anyseq.Read_sim.simulate rng ~reference ~read_len ~count () in
+    Anyseq.Fastq.write_file out (Anyseq.Read_sim.to_fastq reads);
+    Printf.printf "wrote %d reads of %d bp to %s\n" count read_len out
+  in
+  Cmd.v
+    (Cmd.info "simulate-reads" ~doc:"Simulate an Illumina-like read set.")
+    Term.(const run $ count_t $ read_len_t $ ref_len_t $ seed_t $ out_t)
+
+let batch_cmd =
+  let count_t = Arg.(value & opt int 5000 & info [ "count" ] ~doc:"Number of pairs.") in
+  let seed_t = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"RNG seed.") in
+  let lanes_t = Arg.(value & opt int 16 & info [ "lanes" ] ~doc:"SIMD lanes to emulate.") in
+  let run count seed lanes match_ mismatch gap_open gap_extend =
+    let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna4 in
+    let pairs =
+      Anyseq.Read_sim.read_pairs ~seed ~reference_len:200_000 ~read_len:150 ~count
+    in
+    let (results, dt) =
+      Anyseq_util.Timer.time (fun () ->
+          Anyseq.Inter_seq.batch_score ~lanes scheme Anyseq.Types.Global pairs)
+    in
+    let cells =
+      Array.fold_left
+        (fun acc (q, s) -> acc + (Anyseq.Sequence.length q * Anyseq.Sequence.length s))
+        0 pairs
+    in
+    let mean =
+      Array.fold_left (fun acc e -> acc +. float_of_int e.Anyseq.Types.score) 0.0 results
+      /. float_of_int (max 1 (Array.length results))
+    in
+    Printf.printf "%d pairs, %.3f s, %.3f GCUPS (emulated lanes), mean score %.1f\n" count dt
+      (Anyseq_util.Timer.gcups ~cells ~seconds:dt)
+      mean
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Batch-score simulated read pairs (inter-sequence kernel).")
+    Term.(const run $ count_t $ seed_t $ lanes_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
+
+let search_cmd =
+  let pattern_t =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATTERN" ~doc:"Pattern string (ACGT).")
+  in
+  let text_t = Arg.(required & pos 1 (some file) None & info [] ~docv:"TEXT.fa") in
+  let k_t =
+    Arg.(value & opt int 2 & info [ "k" ] ~doc:"Report all matches with at most k errors.")
+  in
+  let run pattern text k =
+    let r = read_first_record text in
+    let pat =
+      match Anyseq.Sequence.of_string Anyseq.Alphabet.dna5 pattern with
+      | p -> p
+      | exception Invalid_argument msg ->
+          Printf.eprintf "bad pattern: %s\n" msg;
+          exit 1
+    in
+    (* Bit-parallel approximate matching (Myers): pattern vs every text
+       substring. *)
+    let best_d, best_pos = Anyseq.Myers.search ~pattern:pat ~text:r.Anyseq.Fasta.sequence in
+    Printf.printf "best: %d errors, ending at %d\n" best_d best_pos;
+    let hits = Anyseq.Myers.occurrences ~pattern:pat ~text:r.Anyseq.Fasta.sequence ~k in
+    Printf.printf "%d end positions with <= %d errors\n" (List.length hits) k;
+    List.iteri
+      (fun i (pos, d) -> if i < 25 then Printf.printf "  end=%d errors=%d\n" pos d)
+      hits;
+    if List.length hits > 25 then Printf.printf "  ... (%d more)\n" (List.length hits - 25)
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Approximate pattern matching (Myers bit-parallel).")
+    Term.(const run $ pattern_t $ text_t $ k_t)
+
+let overlap_cmd =
+  let a_t = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.fa") in
+  let b_t = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.fa") in
+  let run a b match_ mismatch gap_open gap_extend =
+    let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
+    let ra = read_first_record a and rb = read_first_record b in
+    let qa = ra.Anyseq.Fasta.sequence and sb = rb.Anyseq.Fasta.sequence in
+    (* Dovetail: suffix of A against prefix of B. *)
+    let al =
+      Anyseq.Ends_free.align scheme Anyseq.Ends_free.dovetail_query_first ~query:qa
+        ~subject:sb
+    in
+    Printf.printf "dovetail %s->%s: score %d, A[%d,%d) overlaps B[%d,%d), cigar %s\n"
+      ra.Anyseq.Fasta.id rb.Anyseq.Fasta.id al.Anyseq.Alignment.score
+      al.Anyseq.Alignment.query_start al.Anyseq.Alignment.query_end
+      al.Anyseq.Alignment.subject_start al.Anyseq.Alignment.subject_end
+      (Anyseq.Cigar.to_string al.Anyseq.Alignment.cigar)
+  in
+  Cmd.v
+    (Cmd.info "overlap" ~doc:"Dovetail overlap between two sequences (assembly-style).")
+    Term.(const run $ a_t $ b_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
+
+let () =
+  let info = Cmd.info "anyseq" ~version:Anyseq.version ~doc:"AnySeq sequence alignment." in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; search_cmd; overlap_cmd ]))

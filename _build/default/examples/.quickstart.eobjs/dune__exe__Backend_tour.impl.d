@@ -1,0 +1,1 @@
+examples/backend_tour.ml: Anyseq Anyseq_fpgasim Anyseq_gpusim Anyseq_util Format Printf

@@ -1,0 +1,1 @@
+examples/long_genome.ml: Anyseq Anyseq_util Array List Printf Sys

@@ -1,0 +1,1 @@
+examples/long_genome.mli:

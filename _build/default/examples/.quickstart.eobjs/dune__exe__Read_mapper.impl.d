@@ -1,0 +1,1 @@
+examples/read_mapper.ml: Anyseq Anyseq_util Array Hashtbl List Option Printf Sys

@@ -1,0 +1,1 @@
+examples/read_mapping.ml: Anyseq Anyseq_util Array Format List Printf Sys

@@ -1,0 +1,1 @@
+examples/read_mapping.mli:

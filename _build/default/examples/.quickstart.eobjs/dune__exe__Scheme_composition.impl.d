@@ -1,0 +1,1 @@
+examples/scheme_composition.ml: Anyseq Anyseq_staged List Printf

@@ -1,0 +1,1 @@
+examples/scheme_composition.mli:

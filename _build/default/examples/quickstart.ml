@@ -1,0 +1,46 @@
+(* Quickstart: the string-level API.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* Global alignment with the default scheme (+2 match, -1 mismatch,
+     linear gap -1). *)
+  let result =
+    Anyseq.construct_global_alignment ~query:"ACGTACGTTGCA" ~subject:"ACGTCGTTGCAA" ()
+  in
+  Printf.printf "global score: %d\n" result.Anyseq.score;
+  Printf.printf "  Q: %s\n  S: %s\n\n" result.Anyseq.query_aligned
+    result.Anyseq.subject_aligned;
+
+  (* Local alignment finds the best-matching island. *)
+  let local =
+    Anyseq.construct_local_alignment ~query:"TTTTTTACGTACGTTTTTT"
+      ~subject:"GGGGACGTACGTGGGG" ()
+  in
+  Printf.printf "local score: %d (q[%d,%d) vs s[%d,%d))\n" local.Anyseq.score
+    local.Anyseq.alignment.Anyseq.Alignment.query_start
+    local.Anyseq.alignment.Anyseq.Alignment.query_end
+    local.Anyseq.alignment.Anyseq.Alignment.subject_start
+    local.Anyseq.alignment.Anyseq.Alignment.subject_end;
+  Printf.printf "  Q: %s\n  S: %s\n\n" local.Anyseq.query_aligned
+    local.Anyseq.subject_aligned;
+
+  (* Changing the scoring scheme is function composition: build a scheme
+     value and pass it in. *)
+  let affine =
+    Anyseq.Scheme.make
+      (Anyseq.Substitution.dna_wildcard ~match_:2 ~mismatch:(-1))
+      (Anyseq.Gaps.affine ~open_:2 ~extend:1)
+  in
+  let a =
+    Anyseq.construct_global_alignment ~scheme:affine ~query:"ACGTTTTACGT"
+      ~subject:"ACGTACGT" ()
+  in
+  Printf.printf "affine-gap global score: %d (cigar %s)\n" a.Anyseq.score
+    (Anyseq.Cigar.to_string a.Anyseq.alignment.Anyseq.Alignment.cigar);
+
+  (* Score-only is linear-space and fast. *)
+  let s =
+    Anyseq.semiglobal_alignment_score ~query:"ACGTACGT" ~subject:"TTTTACGTACGTTTTT" ()
+  in
+  Printf.printf "semiglobal (read-in-reference) score: %d\n" s

@@ -1,0 +1,72 @@
+module Alphabet = Anyseq_bio.Alphabet
+module Sequence = Anyseq_bio.Sequence
+module Substitution = Anyseq_bio.Substitution
+module Gaps = Anyseq_bio.Gaps
+module Cigar = Anyseq_bio.Cigar
+module Alignment = Anyseq_bio.Alignment
+module Scheme = Anyseq_scoring.Scheme
+module Bounds = Anyseq_scoring.Bounds
+module Types = Anyseq_core.Types
+module Engine = Anyseq_core.Engine
+module Reference = Anyseq_core.Reference
+module Hirschberg = Anyseq_core.Hirschberg
+module Banded = Anyseq_core.Banded
+module Tiling = Anyseq_core.Tiling
+module Staged_kernel = Anyseq_core.Staged_kernel
+module Ends_free = Anyseq_core.Ends_free
+module Myers = Anyseq_core.Myers
+module Scheduler = Anyseq_wavefront.Scheduler
+module Inter_seq = Anyseq_simd.Inter_seq
+module Blocked = Anyseq_simd.Blocked
+module Db_search = Anyseq_simd.Db_search
+module Fasta = Anyseq_seqio.Fasta
+module Fastq = Anyseq_seqio.Fastq
+module Genome_gen = Anyseq_seqio.Genome_gen
+module Read_sim = Anyseq_seqio.Read_sim
+module Sam = Anyseq_seqio.Sam
+
+type aligned = {
+  score : int;
+  query_aligned : string;
+  subject_aligned : string;
+  alignment : Alignment.t;
+}
+
+let default_scheme =
+  Scheme.make ~name:"dna5(+2/-1)/linear(1)"
+    (Substitution.dna_wildcard ~match_:2 ~mismatch:(-1))
+    (Gaps.linear 1)
+
+let parse scheme text = Sequence.of_string (Scheme.alphabet scheme) text
+
+let construct scheme mode ~query ~subject =
+  let q = parse scheme query and s = parse scheme subject in
+  let alignment = Engine.align scheme mode ~query:q ~subject:s in
+  let query_aligned, subject_aligned =
+    Alignment.aligned_strings ~query:q ~subject:s alignment
+  in
+  { score = alignment.Alignment.score; query_aligned; subject_aligned; alignment }
+
+let construct_global_alignment ?(scheme = default_scheme) ~query ~subject () =
+  construct scheme Types.Global ~query ~subject
+
+let construct_local_alignment ?(scheme = default_scheme) ~query ~subject () =
+  construct scheme Types.Local ~query ~subject
+
+let construct_semiglobal_alignment ?(scheme = default_scheme) ~query ~subject () =
+  construct scheme Types.Semiglobal ~query ~subject
+
+let score_of scheme mode ~query ~subject =
+  let q = parse scheme query and s = parse scheme subject in
+  (Engine.score scheme mode ~query:q ~subject:s).Types.score
+
+let global_alignment_score ?(scheme = default_scheme) ~query ~subject () =
+  score_of scheme Types.Global ~query ~subject
+
+let local_alignment_score ?(scheme = default_scheme) ~query ~subject () =
+  score_of scheme Types.Local ~query ~subject
+
+let semiglobal_alignment_score ?(scheme = default_scheme) ~query ~subject () =
+  score_of scheme Types.Semiglobal ~query ~subject
+
+let version = "1.0.0"

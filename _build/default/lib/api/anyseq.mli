@@ -1,0 +1,72 @@
+(** AnySeq — pairwise sequence alignment with interchangeable scoring,
+    modes and execution mappings.
+
+    This facade is the library's public API: it re-exports the component
+    libraries under one namespace and provides the convenience entry points
+    of the paper's §III-C (the [construct_*_alignment] C-wrapper analogues)
+    for callers that just want strings in, alignment out.
+
+    {1 Component namespaces} *)
+
+module Alphabet = Anyseq_bio.Alphabet
+module Sequence = Anyseq_bio.Sequence
+module Substitution = Anyseq_bio.Substitution
+module Gaps = Anyseq_bio.Gaps
+module Cigar = Anyseq_bio.Cigar
+module Alignment = Anyseq_bio.Alignment
+module Scheme = Anyseq_scoring.Scheme
+module Bounds = Anyseq_scoring.Bounds
+module Types = Anyseq_core.Types
+module Engine = Anyseq_core.Engine
+module Reference = Anyseq_core.Reference
+module Hirschberg = Anyseq_core.Hirschberg
+module Banded = Anyseq_core.Banded
+module Tiling = Anyseq_core.Tiling
+module Staged_kernel = Anyseq_core.Staged_kernel
+module Ends_free = Anyseq_core.Ends_free
+module Myers = Anyseq_core.Myers
+module Scheduler = Anyseq_wavefront.Scheduler
+module Inter_seq = Anyseq_simd.Inter_seq
+module Blocked = Anyseq_simd.Blocked
+module Db_search = Anyseq_simd.Db_search
+module Fasta = Anyseq_seqio.Fasta
+module Fastq = Anyseq_seqio.Fastq
+module Genome_gen = Anyseq_seqio.Genome_gen
+module Read_sim = Anyseq_seqio.Read_sim
+module Sam = Anyseq_seqio.Sam
+
+(** {1 String-level convenience API}
+
+    DNA sequences as plain strings (ACGT, case-insensitive; N allowed and
+    scored as mismatch). Default scoring is the paper's +2/−1 with linear
+    gap −1; pass [~scheme] to change it. *)
+
+type aligned = {
+  score : int;
+  query_aligned : string;  (** gapped rendering, ['-'] in gaps *)
+  subject_aligned : string;
+  alignment : Alignment.t;
+}
+
+val construct_global_alignment :
+  ?scheme:Scheme.t -> query:string -> subject:string -> unit -> aligned
+(** The paper's [construct_global_alignment] entry point. *)
+
+val construct_local_alignment :
+  ?scheme:Scheme.t -> query:string -> subject:string -> unit -> aligned
+
+val construct_semiglobal_alignment :
+  ?scheme:Scheme.t -> query:string -> subject:string -> unit -> aligned
+
+val global_alignment_score : ?scheme:Scheme.t -> query:string -> subject:string -> unit -> int
+(** Score-only (linear space). *)
+
+val local_alignment_score : ?scheme:Scheme.t -> query:string -> subject:string -> unit -> int
+
+val semiglobal_alignment_score :
+  ?scheme:Scheme.t -> query:string -> subject:string -> unit -> int
+
+val default_scheme : Scheme.t
+(** [Scheme.paper_linear] over dna5 wildcard scoring. *)
+
+val version : string

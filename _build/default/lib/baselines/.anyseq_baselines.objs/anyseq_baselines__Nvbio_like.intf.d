@@ -1,0 +1,1 @@
+lib/baselines/nvbio_like.mli: Anyseq_bio Anyseq_core Anyseq_gpusim Anyseq_scoring

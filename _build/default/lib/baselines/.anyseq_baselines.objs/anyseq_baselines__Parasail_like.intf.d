@@ -1,0 +1,1 @@
+lib/baselines/parasail_like.mli: Anyseq_bio Anyseq_core Anyseq_scoring

@@ -1,0 +1,1 @@
+lib/baselines/seqan_like.ml: Anyseq_bio Anyseq_core Anyseq_scoring Anyseq_simd Anyseq_staged Anyseq_wavefront Array

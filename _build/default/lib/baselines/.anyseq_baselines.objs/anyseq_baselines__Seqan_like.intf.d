@@ -1,0 +1,1 @@
+lib/baselines/seqan_like.mli: Anyseq_bio Anyseq_core Anyseq_scoring Anyseq_wavefront

@@ -1,0 +1,1 @@
+lib/baselines/ssw_like.ml: Anyseq_bio Anyseq_scoring Anyseq_simd Array

@@ -1,0 +1,1 @@
+lib/baselines/ssw_like.mli: Anyseq_bio Anyseq_scoring

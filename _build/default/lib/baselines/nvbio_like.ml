@@ -1,0 +1,82 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+module Gpu = Anyseq_gpusim
+open Anyseq_core.Types
+
+let score_long ?device scheme ~query ~subject =
+  Gpu.Align_kernel.score ?device ~params:Gpu.Align_kernel.nvbio_like_params scheme ~query
+    ~subject
+
+let batch_score ?(device = Gpu.Device.titan_v) ?(block = 64) (scheme : Scheme.t) pairs =
+  let npairs = Array.length pairs in
+  let out = Array.make npairs { score = 0; query_end = 0; subject_end = 0 } in
+  if npairs = 0 then
+    (out, Gpu.Counters.create (), Gpu.Cost.estimate device (Gpu.Counters.create ()))
+  else begin
+    let sigma = Scheme.subst_score scheme in
+    let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
+    let max_m =
+      Array.fold_left (fun acc (_, s) -> max acc (Sequence.length s)) 0 pairs
+    in
+    (* Per-thread DP rows live in CUDA "local" memory, which the hardware
+       interleaves word-by-thread: address = column * npairs + pair — so
+       lockstep warps coalesce, but every H/E row element is global-memory
+       traffic (nothing lives in shared memory), which is the structural
+       cost of the one-alignment-per-thread mapping. *)
+    let hbuf = Gpu.Kernel.alloc_global (npairs * (max_m + 1)) in
+    let ebuf = Gpu.Kernel.alloc_global (npairs * (max_m + 1)) in
+    let qcodes =
+      Array.map (fun (q, _) -> Array.init (Sequence.length q) (Sequence.get q)) pairs
+    in
+    let scodes =
+      Array.map (fun (_, s) -> Array.init (Sequence.length s) (Sequence.get s)) pairs
+    in
+    let results = Array.make npairs 0 in
+    let grid = (npairs + block - 1) / block in
+    let body ctx ~shared =
+      ignore shared;
+      let pair = (Gpu.Kernel.block_idx ctx * block) + Gpu.Kernel.thread_idx ctx in
+      if pair < npairs then begin
+        let q = qcodes.(pair) and s = scodes.(pair) in
+        let n = Array.length q and m = Array.length s in
+        let rd b j = Gpu.Kernel.read ctx b ((j * npairs) + pair) in
+        let wr b j v = Gpu.Kernel.write ctx b ((j * npairs) + pair) v in
+        for j = 0 to m do
+          wr hbuf j (if j = 0 then 0 else -(go + (j * ge)));
+          wr ebuf j neg_inf
+        done;
+        for i = 1 to n do
+          let hdiag = ref (rd hbuf 0) in
+          wr hbuf 0 (-(go + (i * ge)));
+          let f = ref neg_inf in
+          let hleft = ref (rd hbuf 0) in
+          for j = 1 to m do
+            let e = max (rd ebuf j - ge) (rd hbuf j - go - ge) in
+            let fv = max (!f - ge) (!hleft - go - ge) in
+            let dg = !hdiag + sigma q.(i - 1) s.(j - 1) in
+            let h = max dg (max e fv) in
+            hdiag := rd hbuf j;
+            wr hbuf j h;
+            wr ebuf j e;
+            hleft := h;
+            f := fv;
+            Gpu.Kernel.work ctx ~cells:1 ~ops:30
+          done
+        done;
+        results.(pair) <- rd hbuf m
+      end
+      else Gpu.Kernel.divergent ctx
+    in
+    let res = Gpu.Kernel.launch ~device ~grid ~block ~shared_words:1 body in
+    Array.iteri
+      (fun i (q, s) ->
+        out.(i) <-
+          {
+            score = results.(i);
+            query_end = Sequence.length q;
+            subject_end = Sequence.length s;
+          })
+      pairs;
+    (out, res.Gpu.Kernel.counters, Gpu.Cost.estimate device res.Gpu.Kernel.counters)
+  end

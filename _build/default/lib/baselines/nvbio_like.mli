@@ -1,0 +1,28 @@
+(** NVBio-like GPU baseline.
+
+    Two NVBio behaviours are modelled on the SIMT simulator:
+
+    - long pairs run the striped tile kernel with NVBio-flavoured
+      parameters (smaller tiles, uncoalesced border layout — see
+      {!Anyseq_gpusim.Align_kernel.nvbio_like_params});
+    - read batches use NVBio's one-alignment-per-thread mapping: each
+      thread walks its own full DP matrix with its rows in (interleaved)
+      local memory, so every H/E element is DRAM traffic instead of the
+      shared-memory reuse of AnySeq's block-per-pair kernel, and
+      length-divergent warps lose lockstep — the structural reasons
+      AnySeq beats it by ~1.1× in Fig. 5b. *)
+
+val score_long :
+  ?device:Anyseq_gpusim.Device.t ->
+  Anyseq_scoring.Scheme.t ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_gpusim.Align_kernel.result
+
+val batch_score :
+  ?device:Anyseq_gpusim.Device.t ->
+  ?block:int ->
+  Anyseq_scoring.Scheme.t ->
+  (Anyseq_bio.Sequence.t * Anyseq_bio.Sequence.t) array ->
+  Anyseq_core.Types.ends array * Anyseq_gpusim.Counters.t * Anyseq_gpusim.Cost.estimate
+(** Global-mode scores for every pair, one pair per simulated thread. *)

@@ -1,0 +1,22 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+
+let effective_scheme (scheme : Scheme.t) =
+  match scheme.Scheme.gap with
+  | Gaps.Affine _ -> scheme
+  | Gaps.Linear _ ->
+      Scheme.make
+        ~name:(scheme.Scheme.name ^ "+parasail-affine0")
+        scheme.Scheme.subst
+        (Gaps.equivalent_affine scheme.Scheme.gap)
+
+let score_threaded ?(tile = 512) ~domains scheme mode ~query ~subject =
+  Anyseq_wavefront.Scheduler.score_parallel_static ~tile ~domains
+    (effective_scheme scheme) mode ~query ~subject
+
+let score_sequential ?(tile = 512) scheme mode ~query ~subject =
+  Anyseq_core.Tiling.score_only (effective_scheme scheme) mode ~tile
+    ~query:(Anyseq_bio.Sequence.view query) ~subject:(Anyseq_bio.Sequence.view subject)
+
+let batch_score ?lanes scheme mode pairs =
+  Anyseq_simd.Inter_seq.batch_score ?lanes (effective_scheme scheme) mode pairs

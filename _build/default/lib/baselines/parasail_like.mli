@@ -1,0 +1,47 @@
+(** Parasail-like baseline.
+
+    Models the two properties of Parasail that drive its behaviour in the
+    paper's evaluation:
+
+    - {b static wavefront}: long-genome alignments synchronize on tile
+      anti-diagonals (the strategy Fig. 6's red line measures — "Parasail
+      rel\[ies\] on the latter \[static\] strategy. This also explains the low
+      Parasail performance in Figure 5 part a)");
+    - {b always-affine}: "Parasail does not explicitly specialize the case
+      of linear gap penalties which means that it effectively always
+      computes affine gaps, even if Go = 0" — so linear-gap requests run
+      the affine code path here too (identical scores, more work).
+
+    Inter-sequence SIMD batches (the short-read use case, where Parasail is
+    competitive) reuse the lane substrate with the always-affine scheme. *)
+
+val effective_scheme : Anyseq_scoring.Scheme.t -> Anyseq_scoring.Scheme.t
+(** The scheme Parasail actually runs: linear gaps become affine Go = 0. *)
+
+val score_threaded :
+  ?tile:int ->
+  domains:int ->
+  Anyseq_scoring.Scheme.t ->
+  Anyseq_core.Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_core.Types.ends
+(** Static-wavefront multithreaded score. *)
+
+val score_sequential :
+  ?tile:int ->
+  Anyseq_scoring.Scheme.t ->
+  Anyseq_core.Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_core.Types.ends
+(** Single-threaded variant for measured per-cell cost (the affine-always
+    penalty is visible here). *)
+
+val batch_score :
+  ?lanes:int ->
+  Anyseq_scoring.Scheme.t ->
+  Anyseq_core.Types.mode ->
+  (Anyseq_bio.Sequence.t * Anyseq_bio.Sequence.t) array ->
+  Anyseq_core.Types.ends array
+(** Inter-sequence SIMD batch under the always-affine scheme. *)

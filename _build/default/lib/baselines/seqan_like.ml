@@ -1,0 +1,162 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+module Tiling = Anyseq_core.Tiling
+open Anyseq_core.Types
+
+let compute_tile_diag plan ~ti ~tj =
+  let raw = Tiling.raw plan in
+  if raw.Tiling.r_variant.best <> Corner || raw.Tiling.r_variant.clamp_zero then
+    (* Non-global modes keep the row-major scalar kernel. *)
+    Tiling.compute_tile plan ~ti ~tj
+  else begin
+    let scheme = raw.Tiling.r_scheme in
+    let sigma = Scheme.subst_score scheme in
+    let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
+    let i0, i1, j0, j1 = Tiling.tile_span plan ~ti ~tj in
+    let h = i1 - i0 and w = j1 - j0 in
+    let top_h = raw.Tiling.r_h_rows.(ti) and top_e = raw.Tiling.r_e_rows.(ti) in
+    let left_h = raw.Tiling.r_h_cols.(tj) and left_f = raw.Tiling.r_f_cols.(tj) in
+    (* Diagonal carry buffers indexed by local row r (0..h): entry r of the
+       diag-d buffer holds the H/E/F value of cell (r, d - r). *)
+    let size = h + 1 in
+    let h2 = ref (Array.make size neg_inf) in
+    let h1 = ref (Array.make size neg_inf) in
+    let hc = ref (Array.make size neg_inf) in
+    let e1 = ref (Array.make size neg_inf) in
+    let ec = ref (Array.make size neg_inf) in
+    let f1 = ref (Array.make size neg_inf) in
+    let fc = ref (Array.make size neg_inf) in
+    let bottom_h = Array.make (w + 1) neg_inf in
+    let bottom_e = Array.make (w + 1) neg_inf in
+    (* Seed diagonals 0 and 1 from the borders. *)
+    !h2.(0) <- top_h.(j0);
+    if w >= 1 then begin
+      !h1.(0) <- top_h.(j0 + 1);
+      !e1.(0) <- top_e.(j0 + 1)
+    end;
+    if h >= 1 then begin
+      !h1.(1) <- left_h.(i0 + 1);
+      !f1.(1) <- left_f.(i0 + 1)
+    end;
+    if h = 0 then begin
+      Array.blit top_h j0 bottom_h 0 (w + 1);
+      Array.blit top_e j0 bottom_e 0 (w + 1)
+    end;
+    if w = 0 then
+      for i = i0 + 1 to i1 do
+        raw.Tiling.r_h_cols.(tj + 1).(i) <- left_h.(i);
+        raw.Tiling.r_f_cols.(tj + 1).(i) <- left_f.(i)
+      done;
+    (* Tile-local copies of the sequence codes: the subject is read along
+       the anti-diagonal — the reversed-stride gather the paper's related
+       work calls out — so materialize both segments once. *)
+    let qcodes = Array.init h (fun r -> raw.Tiling.r_query.Sequence.at (i0 + r)) in
+    let scodes = Array.init w (fun c -> raw.Tiling.r_subject.Sequence.at (j0 + c)) in
+    let simple = Anyseq_bio.Substitution.as_simple scheme.Scheme.subst in
+    let right_h = raw.Tiling.r_h_cols.(tj + 1) and right_f = raw.Tiling.r_f_cols.(tj + 1) in
+    let goe = go + ge in
+    for d = 2 to h + w do
+      let rlo = max 1 (d - w) and rhi = min h (d - 1) in
+      let h2a = !h2 and h1a = !h1 and hca = !hc in
+      let e1a = !e1 and eca = !ec and f1a = !f1 and fca = !fc in
+      (match simple with
+      | Some (match_, mismatch) ->
+          for r = rlo to rhi do
+            let c = d - r in
+            let q = Array.unsafe_get qcodes (r - 1) in
+            let s = Array.unsafe_get scodes (c - 1) in
+            let e_ext = Array.unsafe_get e1a (r - 1) - ge in
+            let e_opn = Array.unsafe_get h1a (r - 1) - goe in
+            let e = if e_ext >= e_opn then e_ext else e_opn in
+            let f_ext = Array.unsafe_get f1a r - ge in
+            let f_opn = Array.unsafe_get h1a r - goe in
+            let fv = if f_ext >= f_opn then f_ext else f_opn in
+            let dg = Array.unsafe_get h2a (r - 1) + if q = s then match_ else mismatch in
+            let best = if dg >= e then dg else e in
+            let best = if best >= fv then best else fv in
+            Array.unsafe_set hca r best;
+            Array.unsafe_set eca r e;
+            Array.unsafe_set fca r fv;
+            if c = w then begin
+              right_h.(i0 + r) <- best;
+              right_f.(i0 + r) <- fv
+            end;
+            if r = h then begin
+              bottom_h.(c) <- best;
+              bottom_e.(c) <- e
+            end
+          done
+      | None ->
+          for r = rlo to rhi do
+            let c = d - r in
+            let q = Array.unsafe_get qcodes (r - 1) in
+            let s = Array.unsafe_get scodes (c - 1) in
+            let e = max (e1a.(r - 1) - ge) (h1a.(r - 1) - go - ge) in
+            let fv = max (f1a.(r) - ge) (h1a.(r) - go - ge) in
+            let dg = h2a.(r - 1) + sigma q s in
+            let best = max dg (max e fv) in
+            hca.(r) <- best;
+            eca.(r) <- e;
+            fca.(r) <- fv;
+            if c = w then begin
+              right_h.(i0 + r) <- best;
+              right_f.(i0 + r) <- fv
+            end;
+            if r = h then begin
+              bottom_h.(c) <- best;
+              bottom_e.(c) <- e
+            end
+          done);
+      (* Border entries of the new diagonal for the next iterations. *)
+      if d <= w then begin
+        hca.(0) <- top_h.(j0 + d);
+        eca.(0) <- top_e.(j0 + d)
+      end;
+      if d <= h then begin
+        hca.(d) <- left_h.(i0 + d);
+        fca.(d) <- left_f.(i0 + d)
+      end;
+      (* Rotate buffer pointers: d-1 becomes d-2, current becomes d-1.  The
+         recycled arrays still hold two-diagonals-old values at indices the
+         new diagonal does not write, but every read of diagonal k touches
+         only entries written at diagonal k (or its seeds), so stale slots
+         are never observed. *)
+      let spare_h = !h2 in
+      h2 := !h1;
+      h1 := !hc;
+      hc := spare_h;
+      let spare_e = !e1 in
+      e1 := !ec;
+      ec := spare_e;
+      let spare_f = !f1 in
+      f1 := !fc;
+      fc := spare_f
+    done;
+    bottom_h.(0) <- left_h.(i1);
+    let src = if tj = 0 then 0 else 1 in
+    Array.blit bottom_h src raw.Tiling.r_h_rows.(ti + 1) (j0 + src) (w + 1 - src);
+    Array.blit bottom_e 1 raw.Tiling.r_e_rows.(ti + 1) (j0 + 1) w;
+    Tiling.set_best plan ~ti ~tj { score = neg_inf; query_end = 0; subject_end = 0 }
+  end
+
+let make_plan tile scheme mode ~query ~subject =
+  Tiling.create scheme mode ~tile ~query:(Sequence.view query)
+    ~subject:(Sequence.view subject)
+
+let score_threaded ?impl ?(tile = 256) ~domains scheme mode ~query ~subject =
+  let plan = make_plan tile scheme mode ~query ~subject in
+  Anyseq_wavefront.Scheduler.run_dynamic ?impl ~domains ~rows:(Tiling.tile_rows plan)
+    ~cols:(Tiling.tile_cols plan)
+    ~compute:(fun ~ti ~tj -> compute_tile_diag plan ~ti ~tj)
+    ();
+  Tiling.finish plan
+
+let score_sequential ?(tile = 256) scheme mode ~query ~subject =
+  let plan = make_plan tile scheme mode ~query ~subject in
+  Anyseq_staged.Gen.diagonal2 0 (Tiling.tile_rows plan) 0 (Tiling.tile_cols plan)
+    (fun ti tj -> compute_tile_diag plan ~ti ~tj);
+  Tiling.finish plan
+
+let batch_score ?lanes scheme mode pairs =
+  Anyseq_simd.Inter_seq.batch_score ?lanes scheme mode pairs

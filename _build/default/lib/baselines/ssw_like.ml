@@ -1,0 +1,106 @@
+module Scheme = Anyseq_scoring.Scheme
+module Bounds = Anyseq_scoring.Bounds
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+module Alphabet = Anyseq_bio.Alphabet
+module Lanes = Anyseq_simd.Lanes
+
+let lazy_f_passes = ref 0
+let last_lazy_f_passes () = !lazy_f_passes
+
+let score ?(lanes = 8) (scheme : Scheme.t) ~query ~subject =
+  if lanes <= 0 then invalid_arg "Ssw_like.score: lanes must be positive";
+  let n = Sequence.length query and m = Sequence.length subject in
+  if n = 0 || m = 0 then 0
+  else begin
+    if not (Bounds.fits scheme ~rows:n ~cols:m ~bits:15) then
+      invalid_arg "Ssw_like.score: scores may overflow 16-bit lanes";
+    if Gaps.extend_cost scheme.Scheme.gap < 1 then
+      invalid_arg "Ssw_like.score: requires gap extension >= 1 (lazy-F termination)";
+    let sigma = Scheme.subst_score scheme in
+    (* Our gap convention (Go + k·Ge) maps to Farrar's open-includes-first-
+       extension form with gapO = Go + Ge. *)
+    let gap_oe = Gaps.open_cost scheme.Scheme.gap + Gaps.extend_cost scheme.Scheme.gap in
+    let gap_e = Gaps.extend_cost scheme.Scheme.gap in
+    let seg_len = (n + lanes - 1) / lanes in
+    let asize = Alphabet.size (Scheme.alphabet scheme) in
+    (* Striped query profile: profile.(c).(t) lane l = sigma(q[t + l·segLen], c),
+       0 for padding lanes (padding cells stay at score 0 under local
+       clamping and never beat the true maximum: their row behaves like an
+       all-zero extension). *)
+    let profile =
+      Array.init asize (fun c ->
+          Array.init seg_len (fun t ->
+              Lanes.of_array
+                (Array.init lanes (fun l ->
+                     let i = t + (l * seg_len) in
+                     if i < n then sigma (Sequence.get query i) c else 0))))
+    in
+    let mk x = Lanes.create ~width:lanes x in
+    let h_store = Array.init seg_len (fun _ -> mk 0) in
+    let h_load = Array.init seg_len (fun _ -> mk 0) in
+    let e = Array.init seg_len (fun _ -> mk 0) in
+    let v_max = mk 0 in
+    let v_f = mk 0 in
+    let v_h = mk 0 in
+    let tmp = mk 0 in
+    let mask = mk 0 in
+    let zero = mk 0 in
+    lazy_f_passes := 0;
+    let h_cur = ref h_store and h_prev = ref h_load in
+    for j = 0 to m - 1 do
+      let prof = profile.(Sequence.get subject j) in
+      let cur = !h_cur and prev = !h_prev in
+      Lanes.fill v_f 0;
+      (* vH = previous column's last segment shifted one lane (diagonal). *)
+      Lanes.shift_up ~dst:v_h prev.(seg_len - 1) ~fill:0;
+      for t = 0 to seg_len - 1 do
+        Lanes.adds ~dst:v_h v_h prof.(t);
+        Lanes.max_ ~dst:v_h v_h zero;
+        Lanes.max_ ~dst:v_h v_h e.(t);
+        Lanes.max_ ~dst:v_h v_h v_f;
+        Lanes.max_ ~dst:v_max v_max v_h;
+        Lanes.copy ~dst:cur.(t) v_h;
+        (* E and F for the next cells, opening from the just-stored H. *)
+        Lanes.subs_scalar ~dst:tmp v_h gap_oe;
+        Lanes.subs_scalar ~dst:e.(t) e.(t) gap_e;
+        Lanes.max_ ~dst:e.(t) e.(t) tmp;
+        Lanes.subs_scalar ~dst:v_f v_f gap_e;
+        Lanes.max_ ~dst:v_f v_f tmp;
+        Lanes.copy ~dst:v_h prev.(t)
+      done;
+      (* Lazy F: propagate F across the stripe boundary until no lane can
+         still improve (SSW's correction loop). *)
+      let t = ref 0 in
+      let shifted = mk 0 in
+      Lanes.shift_up ~dst:shifted v_f ~fill:0;
+      Lanes.copy ~dst:v_f shifted;
+      let continue_ = ref true in
+      while !continue_ do
+        (* Continue only where F exceeds both H - gapOE and zero: under the
+           local zero clamp a non-positive F can never improve a cell, and
+           the threshold at 0 is what the original's unsigned saturation
+           provides implicitly (without it the 0 shifted into lane 0 loops
+           forever against H = 0 cells). *)
+        Lanes.subs_scalar ~dst:tmp cur.(!t) gap_oe;
+        Lanes.max_ ~dst:tmp tmp zero;
+        Lanes.cmpgt ~dst:mask v_f tmp;
+        if Lanes.horizontal_min mask = 0 then continue_ := false
+        else begin
+          incr lazy_f_passes;
+          Lanes.max_ ~dst:cur.(!t) cur.(!t) v_f;
+          Lanes.max_ ~dst:v_max v_max cur.(!t);
+          Lanes.subs_scalar ~dst:v_f v_f gap_e;
+          incr t;
+          if !t = seg_len then begin
+            t := 0;
+            Lanes.shift_up ~dst:shifted v_f ~fill:0;
+            Lanes.copy ~dst:v_f shifted
+          end
+        end
+      done;
+      h_cur := prev;
+      h_prev := cur
+    done;
+    Lanes.horizontal_max v_max
+  end

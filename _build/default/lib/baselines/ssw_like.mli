@@ -1,0 +1,25 @@
+(** SSW-like baseline: Farrar's striped Smith-Waterman (the intra-sequence
+    SIMD strategy of \[15\]/\[28\], which the paper's related-work section
+    contrasts with AnySeq's blocked inter-sequence approach).
+
+    A full re-implementation of the striped kernel on the {!Anyseq_simd.Lanes}
+    substrate: striped query profile, per-column E array, lazy-F correction
+    loop. Local alignments with affine gaps (linear gaps run as affine with
+    Go = 0, like the original). 16-bit lanes; inputs whose scores could
+    overflow are rejected.
+
+    The paper notes Farrar's approach "relies on efficient branch
+    prediction" — visible here as the data-dependent lazy-F loop, whose
+    iteration count {!last_lazy_f_passes} exposes for the benches. *)
+
+val score :
+  ?lanes:int ->
+  Anyseq_scoring.Scheme.t ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  int
+(** Best local score. Default 8 lanes (SSE2 16-bit). Raises
+    [Invalid_argument] when 16-bit scores could overflow. *)
+
+val last_lazy_f_passes : unit -> int
+(** Lazy-F correction iterations of the most recent [score] call. *)

@@ -1,0 +1,1 @@
+lib/bio/alignment.ml: Buffer Cigar Format Gaps List Printf Result Sequence String Substitution

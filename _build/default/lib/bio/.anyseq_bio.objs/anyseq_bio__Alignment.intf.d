@@ -1,0 +1,1 @@
+lib/bio/alignment.mli: Cigar Format Gaps Sequence Substitution

@@ -1,0 +1,1 @@
+lib/bio/alphabet.ml: Array Char Printf String

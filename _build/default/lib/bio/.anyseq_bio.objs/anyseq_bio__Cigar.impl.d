@@ -1,0 +1,1 @@
+lib/bio/cigar.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/bio/gaps.ml: Printf

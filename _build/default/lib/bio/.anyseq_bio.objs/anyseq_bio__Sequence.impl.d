@@ -1,0 +1,1 @@
+lib/bio/sequence.ml: Alphabet Anyseq_util Array Bytes Char Printf String

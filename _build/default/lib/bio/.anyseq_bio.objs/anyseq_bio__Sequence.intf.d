@@ -1,0 +1,1 @@
+lib/bio/sequence.mli: Alphabet Anyseq_util

@@ -1,0 +1,1 @@
+lib/bio/substitution.ml: Alphabet Array

@@ -1,0 +1,187 @@
+type mode = Global | Semiglobal | Local
+
+let mode_to_string = function
+  | Global -> "global"
+  | Semiglobal -> "semiglobal"
+  | Local -> "local"
+
+type t = {
+  score : int;
+  mode : mode;
+  query_start : int;
+  query_end : int;
+  subject_start : int;
+  subject_end : int;
+  cigar : Cigar.t;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "%s score=%d q[%d,%d) s[%d,%d) %s" (mode_to_string t.mode)
+    t.score t.query_start t.query_end t.subject_start t.subject_end
+    (Cigar.to_string t.cigar)
+
+let rescore ~subst ~gap ~query ~subject t =
+  let ( let* ) r f = Result.bind r f in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let n = Sequence.length query and m = Sequence.length subject in
+  let* () =
+    if
+      t.query_start < 0 || t.query_end > n || t.query_start > t.query_end
+      || t.subject_start < 0
+      || t.subject_end > m
+      || t.subject_start > t.subject_end
+    then fail "coordinates out of range (q[%d,%d) of %d, s[%d,%d) of %d)"
+        t.query_start t.query_end n t.subject_start t.subject_end m
+    else Ok ()
+  in
+  let* () =
+    if Cigar.query_consumed t.cigar <> t.query_end - t.query_start then
+      fail "cigar consumes %d query chars but range spans %d"
+        (Cigar.query_consumed t.cigar) (t.query_end - t.query_start)
+    else if Cigar.subject_consumed t.cigar <> t.subject_end - t.subject_start then
+      fail "cigar consumes %d subject chars but range spans %d"
+        (Cigar.subject_consumed t.cigar)
+        (t.subject_end - t.subject_start)
+    else Ok ()
+  in
+  let* () =
+    match t.mode with
+    | Global ->
+        if t.query_start = 0 && t.subject_start = 0 && t.query_end = n && t.subject_end = m
+        then Ok ()
+        else fail "global alignment must cover both sequences entirely"
+    | Semiglobal ->
+        if
+          (t.query_start = 0 || t.subject_start = 0)
+          && (t.query_end = n || t.subject_end = m)
+        then Ok ()
+        else fail "semiglobal alignment must start on a first row/column and end on a last one"
+    | Local -> Ok ()
+  in
+  let* () =
+    match (t.mode, Cigar.runs t.cigar) with
+    | Local, (_, (Cigar.Ins | Cigar.Del)) :: _ ->
+        fail "local alignment starts with a gap"
+    | Local, runs when runs <> [] -> (
+        match List.nth runs (List.length runs - 1) with
+        | _, (Cigar.Ins | Cigar.Del) -> fail "local alignment ends with a gap"
+        | _ -> Ok ())
+    | _ -> Ok ()
+  in
+  let sigma = Substitution.score subst in
+  let ge = Gaps.extend_cost gap and go = Gaps.open_cost gap in
+  let rec walk qi sj score last_gap ops =
+    match ops with
+    | [] -> Ok score
+    | (k, op) :: rest -> (
+        match op with
+        | Cigar.Match | Cigar.Mismatch ->
+            let rec cols qi sj score j =
+              if j = k then Ok (qi, sj, score)
+              else
+                let q = Sequence.get query qi and s = Sequence.get subject sj in
+                let matches = q = s in
+                if (op = Cigar.Match) <> matches then
+                  fail "op %s disagrees with characters at q=%d s=%d"
+                    (if op = Cigar.Match then "=" else "X")
+                    qi sj
+                else cols (qi + 1) (sj + 1) (score + sigma q s) (j + 1)
+            in
+            let* qi, sj, score = cols qi sj score 0 in
+            walk qi sj score `None rest
+        | Cigar.Ins ->
+            (* [last_gap] distinguishes a freshly opened gap from an
+               extension when two runs of the same gap op were not merged;
+               of_runs merges them, so each Ins run opens a gap. *)
+            let opening = if last_gap = `Ins then 0 else go in
+            walk (qi + k) sj (score - opening - (k * ge)) `Ins rest
+        | Cigar.Del ->
+            let opening = if last_gap = `Del then 0 else go in
+            walk qi (sj + k) (score - opening - (k * ge)) `Del rest)
+  in
+  let* total = walk t.query_start t.subject_start 0 `None (Cigar.runs t.cigar) in
+  if total <> t.score then fail "recomputed score %d differs from claimed %d" total t.score
+  else Ok total
+
+let trim_boundary_gaps t =
+  let qs = ref t.query_start
+  and ss = ref t.subject_start
+  and qe = ref t.query_end
+  and se = ref t.subject_end in
+  let rec drop_leading = function
+    | (k, Cigar.Ins) :: rest ->
+        qs := !qs + k;
+        drop_leading rest
+    | (k, Cigar.Del) :: rest ->
+        ss := !ss + k;
+        drop_leading rest
+    | runs -> runs
+  in
+  let rec drop_trailing_rev = function
+    | (k, Cigar.Ins) :: rest ->
+        qe := !qe - k;
+        drop_trailing_rev rest
+    | (k, Cigar.Del) :: rest ->
+        se := !se - k;
+        drop_trailing_rev rest
+    | runs -> runs
+  in
+  let runs = drop_leading (Cigar.runs t.cigar) in
+  let runs = List.rev (drop_trailing_rev (List.rev runs)) in
+  {
+    t with
+    query_start = !qs;
+    subject_start = !ss;
+    query_end = !qe;
+    subject_end = !se;
+    cigar = Cigar.of_runs runs;
+  }
+
+let aligned_strings ~query ~subject t =
+  let qb = Buffer.create 64 and sb = Buffer.create 64 in
+  let qi = ref t.query_start and sj = ref t.subject_start in
+  List.iter
+    (fun op ->
+      match op with
+      | Cigar.Match | Cigar.Mismatch ->
+          Buffer.add_char qb (Sequence.get_char query !qi);
+          Buffer.add_char sb (Sequence.get_char subject !sj);
+          incr qi;
+          incr sj
+      | Cigar.Ins ->
+          Buffer.add_char qb (Sequence.get_char query !qi);
+          Buffer.add_char sb '-';
+          incr qi
+      | Cigar.Del ->
+          Buffer.add_char qb '-';
+          Buffer.add_char sb (Sequence.get_char subject !sj);
+          incr sj)
+    (Cigar.to_ops t.cigar);
+  (Buffer.contents qb, Buffer.contents sb)
+
+let pretty ~query ~subject ?(width = 60) t =
+  let qs, ss = aligned_strings ~query ~subject t in
+  let mid =
+    String.init (String.length qs) (fun i ->
+        if qs.[i] = '-' || ss.[i] = '-' then ' '
+        else if qs.[i] = ss.[i] then '|'
+        else '.')
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s alignment, score %d, q[%d,%d) vs s[%d,%d)\n"
+       (mode_to_string t.mode) t.score t.query_start t.query_end t.subject_start
+       t.subject_end);
+  let len = String.length qs in
+  let rec chunks pos =
+    if pos < len then begin
+      let k = min width (len - pos) in
+      Buffer.add_string buf (Printf.sprintf "Q: %s\n" (String.sub qs pos k));
+      Buffer.add_string buf (Printf.sprintf "   %s\n" (String.sub mid pos k));
+      Buffer.add_string buf (Printf.sprintf "S: %s\n" (String.sub ss pos k));
+      if pos + k < len then Buffer.add_char buf '\n';
+      chunks (pos + k)
+    end
+  in
+  chunks 0;
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Alignment results and their validation.
+
+    Every engine in the library reports results through this one type, and
+    [rescore] is the universal oracle used by the test suite: walking the
+    CIGAR over the two sequences and re-deriving the score must reproduce
+    exactly the score the engine claimed. *)
+
+type mode = Global | Semiglobal | Local
+
+val mode_to_string : mode -> string
+
+type t = {
+  score : int;
+  mode : mode;
+  query_start : int;  (** 0-based inclusive *)
+  query_end : int;  (** exclusive: the path covers query\[qs..qe) *)
+  subject_start : int;
+  subject_end : int;
+  cigar : Cigar.t;
+}
+
+val pp : Format.formatter -> t -> unit
+
+val rescore :
+  subst:Substitution.t ->
+  gap:Gaps.t ->
+  query:Sequence.t ->
+  subject:Sequence.t ->
+  t ->
+  (int, string) result
+(** Recompute the score of the transcript. Checks that (1) the CIGAR
+    consumption matches the coordinate ranges, (2) every [=]/[X] op agrees
+    with the actual characters, (3) coordinates respect the mode (global
+    covers both sequences fully; semi-global starts on the first row or
+    column and ends on the last row or column; local is unconstrained), and
+    (4) a local alignment neither starts nor ends with a gap. Returns the
+    recomputed score or a description of the first violation. *)
+
+val trim_boundary_gaps : t -> t
+(** Remove gap runs at the very beginning/end of the transcript, adjusting
+    the coordinate ranges. The score field is kept unchanged — callers use
+    this for local alignments where such runs can only arise from zero-cost
+    gap ties, so the score is unaffected. *)
+
+val aligned_strings : query:Sequence.t -> subject:Sequence.t -> t -> string * string
+(** The gapped textual rendering (the paper's [qAlign]/[sAlign] output
+    buffers): two equal-length strings with ['-'] in gap positions, covering
+    only the aligned region. *)
+
+val pretty : query:Sequence.t -> subject:Sequence.t -> ?width:int -> t -> string
+(** Multi-line rendering with a match/mismatch midline, wrapped at [width]
+    (default 60) columns — the classic BLAST-style display. *)

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  letters : string; (* char_of_code is letters.[code] *)
+  codes : int array; (* 256 entries, -1 = invalid *)
+  wildcard : int option;
+}
+
+let build ~name ~letters ~wildcard =
+  let codes = Array.make 256 (-1) in
+  String.iteri
+    (fun code c ->
+      codes.(Char.code c) <- code;
+      codes.(Char.code (Char.lowercase_ascii c)) <- code)
+    letters;
+  { name; letters; codes; wildcard }
+
+let dna4 = build ~name:"dna4" ~letters:"ACGT" ~wildcard:None
+let dna5 = build ~name:"dna5" ~letters:"ACGTN" ~wildcard:(Some 4)
+let protein = build ~name:"protein" ~letters:"ARNDCQEGHILKMFPSTWYVX" ~wildcard:(Some 20)
+
+let size t = String.length t.letters
+let name t = t.name
+
+let code_of_char t c =
+  let code = t.codes.(Char.code c) in
+  if code >= 0 then code
+  else
+    match t.wildcard with
+    | Some w -> w
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Alphabet.code_of_char: %C not in alphabet %s" c t.name)
+
+let char_of_code t code =
+  if code < 0 || code >= String.length t.letters then
+    invalid_arg
+      (Printf.sprintf "Alphabet.char_of_code: code %d out of range for %s" code t.name)
+  else t.letters.[code]
+
+let mem t c = t.codes.(Char.code c) >= 0
+let wildcard t = t.wildcard
+let equal a b = a.name = b.name
+
+let complement t =
+  (* dna4/dna5 letters are ACGT[N]: A(0)<->T(3), C(1)<->G(2), N(4)->N. *)
+  match t.name with
+  | "dna4" -> Some (fun c -> 3 - c)
+  | "dna5" -> Some (fun c -> if c = 4 then 4 else 3 - c)
+  | _ -> None

@@ -1,0 +1,42 @@
+(** Character alphabets over which alignments are computed.
+
+    A sequence stores small integer {e codes}; an alphabet defines the
+    bijection between codes and printable characters. AnySeq targets DNA, so
+    [dna4] (ACGT) and [dna5] (ACGT + N) are the workhorses; [protein] is
+    provided for matrix-scoring tests and examples. *)
+
+type t
+
+val dna4 : t
+(** A, C, G, T — codes 0..3. Lower-case input accepted. *)
+
+val dna5 : t
+(** A, C, G, T, N — codes 0..4. Any unknown letter decodes to N. *)
+
+val protein : t
+(** The 20 standard amino acids plus X — codes 0..20. *)
+
+val size : t -> int
+(** Number of distinct codes. *)
+
+val name : t -> string
+
+val code_of_char : t -> char -> int
+(** Raises [Invalid_argument] for characters outside the alphabet, except
+    for alphabets with a wildcard (dna5, protein) where unknown characters
+    map to the wildcard code. *)
+
+val char_of_code : t -> int -> char
+(** Raises [Invalid_argument] for out-of-range codes. *)
+
+val mem : t -> char -> bool
+(** [mem t c] is true when [c] encodes without relying on a wildcard. *)
+
+val wildcard : t -> int option
+(** Code of the wildcard character (N/X) if the alphabet has one. *)
+
+val complement : t -> (int -> int) option
+(** Base-pairing complement on codes (A↔T, C↔G, N↔N) for the DNA
+    alphabets; [None] for alphabets without a complement (protein). *)
+
+val equal : t -> t -> bool

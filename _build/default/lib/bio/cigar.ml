@@ -1,0 +1,82 @@
+type op = Match | Mismatch | Ins | Del
+
+(* Stored in reverse run order so [append] is cheap. *)
+type t = { rev_runs : (int * op) list }
+
+let empty = { rev_runs = [] }
+let is_empty t = t.rev_runs = []
+
+let of_runs runs =
+  let push acc (n, op) =
+    if n < 0 then invalid_arg "Cigar.of_runs: negative run length";
+    if n = 0 then acc
+    else
+      match acc with
+      | (n', op') :: rest when op' = op -> (n' + n, op') :: rest
+      | _ -> (n, op) :: acc
+  in
+  { rev_runs = List.fold_left push [] runs }
+
+let runs t = List.rev t.rev_runs
+
+let of_ops ops = of_runs (List.map (fun op -> (1, op)) ops)
+
+let to_ops t =
+  List.concat_map (fun (n, op) -> List.init n (fun _ -> op)) (runs t)
+
+let append t op =
+  match t.rev_runs with
+  | (n, op') :: rest when op' = op -> { rev_runs = (n + 1, op) :: rest }
+  | rest -> { rev_runs = (1, op) :: rest }
+
+let concat a b = of_runs (runs a @ runs b)
+
+let rev t = of_runs t.rev_runs
+
+let sum_when pred t =
+  List.fold_left (fun acc (n, op) -> if pred op then acc + n else acc) 0 t.rev_runs
+
+let query_consumed t = sum_when (function Match | Mismatch | Ins -> true | Del -> false) t
+let subject_consumed t = sum_when (function Match | Mismatch | Del -> true | Ins -> false) t
+let length t = sum_when (fun _ -> true) t
+let count t op = sum_when (fun o -> o = op) t
+
+let char_of_op = function Match -> '=' | Mismatch -> 'X' | Ins -> 'I' | Del -> 'D'
+
+let op_of_char = function
+  | '=' -> Match
+  | 'X' -> Mismatch
+  | 'I' -> Ins
+  | 'D' -> Del
+  | 'M' -> invalid_arg "Cigar.of_string: ambiguous op 'M'; use '=' or 'X'"
+  | c -> invalid_arg (Printf.sprintf "Cigar.of_string: unknown op %C" c)
+
+let to_string t =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun (n, op) ->
+      Buffer.add_string buf (string_of_int n);
+      Buffer.add_char buf (char_of_op op))
+    (runs t);
+  Buffer.contents buf
+
+let of_string s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then of_runs (List.rev acc)
+    else
+      let j = ref i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      if !j = i || !j >= n then invalid_arg "Cigar.of_string: malformed run";
+      let count = int_of_string (String.sub s i (!j - i)) in
+      go (!j + 1) ((count, op_of_char s.[!j]) :: acc)
+  in
+  go 0 []
+
+let equal a b = runs a = runs b
+
+let identity t =
+  let len = length t in
+  if len = 0 then 0.0 else float_of_int (count t Match) /. float_of_int len

@@ -1,0 +1,60 @@
+(** Edit transcripts in (extended) CIGAR form.
+
+    A traceback produces a path through the DP matrix; this module holds the
+    run-length-encoded description of that path. We use the extended opcode
+    set: [=] match, [X] mismatch, [I] gap in the subject (consumes query),
+    [D] gap in the query (consumes subject). *)
+
+type op = Match | Mismatch | Ins | Del
+
+type t
+(** A run-length-encoded sequence of operations. *)
+
+val empty : t
+val is_empty : t -> bool
+
+val of_ops : op list -> t
+(** Compress a per-column operation list (in alignment order). *)
+
+val to_ops : t -> op list
+(** Expand back to one operation per alignment column. *)
+
+val runs : t -> (int * op) list
+(** The run-length representation, lengths all positive. *)
+
+val of_runs : (int * op) list -> t
+(** Normalizes: merges adjacent equal ops, drops zero runs; raises
+    [Invalid_argument] on negative lengths. *)
+
+val append : t -> op -> t
+(** Add one op at the end (O(1) amortized through run merging). *)
+
+val concat : t -> t -> t
+
+val rev : t -> t
+(** Alignment read right-to-left — used when stitching tracebacks that were
+    computed on reversed sequences. *)
+
+val query_consumed : t -> int
+(** Number of query characters covered (= + X + I). *)
+
+val subject_consumed : t -> int
+(** Number of subject characters covered (= + X + D). *)
+
+val length : t -> int
+(** Number of alignment columns. *)
+
+val count : t -> op -> int
+
+val to_string : t -> string
+(** e.g. ["12=1X3I9="]. *)
+
+val of_string : string -> t
+(** Parses the extended form, plus [M] (treated as [=] for consumption
+    purposes is wrong — [M] is rejected to avoid silent ambiguity). Raises
+    [Invalid_argument] on malformed input. *)
+
+val equal : t -> t -> bool
+
+val identity : t -> float
+(** Fraction of alignment columns that are matches, 0 for empty. *)

@@ -1,0 +1,31 @@
+type t =
+  | Linear of { extend : int }
+  | Affine of { open_ : int; extend : int }
+
+let linear extend =
+  if extend < 0 then invalid_arg "Gaps.linear: negative penalty magnitude";
+  Linear { extend }
+
+let affine ~open_ ~extend =
+  if open_ < 0 || extend < 0 then invalid_arg "Gaps.affine: negative penalty magnitude";
+  Affine { open_; extend }
+
+let is_affine = function Linear _ -> false | Affine _ -> true
+let extend_cost = function Linear { extend } | Affine { extend; _ } -> extend
+let open_cost = function Linear _ -> 0 | Affine { open_; _ } -> open_
+
+let gap_cost t k =
+  if k < 0 then invalid_arg "Gaps.gap_cost: negative length";
+  if k = 0 then 0
+  else
+    match t with
+    | Linear { extend } -> k * extend
+    | Affine { open_; extend } -> open_ + (k * extend)
+
+let to_string = function
+  | Linear { extend } -> Printf.sprintf "linear(ge=%d)" extend
+  | Affine { open_; extend } -> Printf.sprintf "affine(go=%d,ge=%d)" open_ extend
+
+let equivalent_affine = function
+  | Linear { extend } -> Affine { open_ = 0; extend }
+  | Affine _ as t -> t

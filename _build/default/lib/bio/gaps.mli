@@ -1,0 +1,35 @@
+(** Gap penalty models (§III-A).
+
+    Penalties are stored as non-negative magnitudes and {e subtracted} by the
+    engines: a linear gap of length k costs [k·extend]; an affine gap costs
+    [open_ + k·extend] (the paper's Go + k·Ge convention — opening a
+    length-1 gap costs [Go + Ge]). *)
+
+type t =
+  | Linear of { extend : int }
+  | Affine of { open_ : int; extend : int }
+
+val linear : int -> t
+(** [linear ge] — requires [ge >= 0]. *)
+
+val affine : open_:int -> extend:int -> t
+(** Requires both magnitudes [>= 0]. *)
+
+val is_affine : t -> bool
+
+val extend_cost : t -> int
+(** Ge. *)
+
+val open_cost : t -> int
+(** Go — 0 for linear gaps. *)
+
+val gap_cost : t -> int -> int
+(** [gap_cost t k] is the total (non-negative) penalty of a gap of length
+    [k >= 1]; 0 for [k = 0]. *)
+
+val to_string : t -> string
+
+val equivalent_affine : t -> t
+(** A linear model expressed as [Affine {open_ = 0; _}] — what Parasail
+    effectively computes when asked for linear gaps (§V). Affine models are
+    returned unchanged. *)

@@ -1,0 +1,103 @@
+type t = { alphabet : Alphabet.t; codes : Bytes.t }
+
+let of_string alphabet s =
+  let n = String.length s in
+  let codes = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set codes i (Char.chr (Alphabet.code_of_char alphabet s.[i]))
+  done;
+  { alphabet; codes }
+
+let to_string t =
+  String.init (Bytes.length t.codes) (fun i ->
+      Alphabet.char_of_code t.alphabet (Char.code (Bytes.unsafe_get t.codes i)))
+
+let of_codes alphabet arr =
+  let size = Alphabet.size alphabet in
+  let n = Array.length arr in
+  let codes = Bytes.create n in
+  for i = 0 to n - 1 do
+    let c = arr.(i) in
+    if c < 0 || c >= size then invalid_arg "Sequence.of_codes: code out of range";
+    Bytes.unsafe_set codes i (Char.chr c)
+  done;
+  { alphabet; codes }
+
+let length t = Bytes.length t.codes
+let alphabet t = t.alphabet
+
+let get t i =
+  if i < 0 || i >= length t then invalid_arg "Sequence.get: index out of bounds";
+  Char.code (Bytes.unsafe_get t.codes i)
+
+let get_char t i = Alphabet.char_of_code t.alphabet (get t i)
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > length t then
+    invalid_arg "Sequence.sub: range out of bounds";
+  { alphabet = t.alphabet; codes = Bytes.sub t.codes pos len }
+
+let rev t =
+  let n = length t in
+  let codes = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set codes i (Bytes.unsafe_get t.codes (n - 1 - i))
+  done;
+  { alphabet = t.alphabet; codes }
+
+let reverse_complement t =
+  match Alphabet.complement t.alphabet with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sequence.reverse_complement: alphabet %s has no complement"
+           (Alphabet.name t.alphabet))
+  | Some comp ->
+      let n = length t in
+      let codes = Bytes.create n in
+      for i = 0 to n - 1 do
+        Bytes.unsafe_set codes i
+          (Char.chr (comp (Char.code (Bytes.unsafe_get t.codes (n - 1 - i)))))
+      done;
+      { alphabet = t.alphabet; codes }
+
+let concat a b =
+  if not (Alphabet.equal a.alphabet b.alphabet) then
+    invalid_arg "Sequence.concat: alphabet mismatch";
+  { alphabet = a.alphabet; codes = Bytes.cat a.codes b.codes }
+
+let equal a b = Alphabet.equal a.alphabet b.alphabet && Bytes.equal a.codes b.codes
+
+let compare a b =
+  let c = compare (Alphabet.name a.alphabet) (Alphabet.name b.alphabet) in
+  if c <> 0 then c else Bytes.compare a.codes b.codes
+
+type view = { len : int; at : int -> int }
+
+let view t =
+  let codes = t.codes in
+  { len = Bytes.length codes; at = (fun i -> Char.code (Bytes.unsafe_get codes i)) }
+
+let subview v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > v.len then
+    invalid_arg "Sequence.subview: range out of bounds";
+  let at = v.at in
+  { len; at = (fun i -> at (pos + i)) }
+
+let rev_view v =
+  let at = v.at and last = v.len - 1 in
+  { len = v.len; at = (fun i -> at (last - i)) }
+
+let view_to_string alphabet v =
+  String.init v.len (fun i -> Alphabet.char_of_code alphabet (v.at i))
+
+let random rng alphabet ~len =
+  let letters =
+    match Alphabet.wildcard alphabet with
+    | Some w when w = Alphabet.size alphabet - 1 -> Alphabet.size alphabet - 1
+    | _ -> Alphabet.size alphabet
+  in
+  let codes = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set codes i (Char.chr (Anyseq_util.Rng.int rng letters))
+  done;
+  { alphabet; codes }

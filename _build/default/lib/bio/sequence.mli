@@ -1,0 +1,81 @@
+(** Packed biological sequences and the accessor views of AnySeq §III-B.
+
+    A sequence is an immutable array of alphabet codes. The DP engines never
+    touch a sequence directly: they receive a {!view} — a record of functions
+    mirroring the paper's
+
+    {v
+    struct Sequence {
+      len: fn() -> Index,
+      at: fn(Index) -> Char,
+      ...
+    }
+    v}
+
+    so that sub-ranges and reversed ranges (needed by the divide-and-conquer
+    traceback) are obtained by wrapping the indexing function rather than by
+    copying data. *)
+
+type t
+(** An immutable encoded sequence. *)
+
+val of_string : Alphabet.t -> string -> t
+(** Encode; raises [Invalid_argument] on characters the alphabet rejects. *)
+
+val to_string : t -> string
+
+val of_codes : Alphabet.t -> int array -> t
+(** Raises [Invalid_argument] on out-of-range codes. *)
+
+val length : t -> int
+val alphabet : t -> Alphabet.t
+
+val get : t -> int -> int
+(** Code at an index; bounds-checked. *)
+
+val get_char : t -> int -> char
+
+val sub : t -> pos:int -> len:int -> t
+(** Copying sub-sequence; bounds-checked. *)
+
+val rev : t -> t
+(** Copying reversal. *)
+
+val reverse_complement : t -> t
+(** Reverse strand of a DNA sequence. Raises [Invalid_argument] for
+    alphabets without a complement (protein). *)
+
+val concat : t -> t -> t
+(** Raises [Invalid_argument] when alphabets differ. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Accessor views} *)
+
+type view = {
+  len : int;  (** number of accessible characters *)
+  at : int -> int;  (** code at view-relative index, 0-based, unchecked *)
+}
+(** A read-only window onto some sequence. [at] is deliberately a bare
+    function so engines can be handed reversed, shifted, or synthetic views
+    without knowing; the partial application happens once per alignment, so
+    the indirection sits outside the hot loop exactly as partial evaluation
+    guarantees in Impala. *)
+
+val view : t -> view
+(** Whole-sequence view. *)
+
+val subview : view -> pos:int -> len:int -> view
+(** Window of an existing view; bounds-checked against the parent length. *)
+
+val rev_view : view -> view
+(** Same characters, reversed indexing — no copy. This is the paper's
+    "reverse the indexing in the sequence accessor function" used by the
+    Hirschberg traceback. *)
+
+val view_to_string : Alphabet.t -> view -> string
+(** Materialize a view for debugging/output. *)
+
+val random : Anyseq_util.Rng.t -> Alphabet.t -> len:int -> t
+(** Uniform random sequence over the non-wildcard letters. *)

@@ -1,0 +1,143 @@
+type t = {
+  alphabet : Alphabet.t;
+  score : int -> int -> int;
+  max_score : int;
+  min_score : int;
+  matrix : int array array; (* materialized for min/max/symmetry queries *)
+}
+
+let score t = t.score
+let alphabet t = t.alphabet
+
+let of_matrix alphabet m =
+  let n = Alphabet.size alphabet in
+  if Array.length m <> n || Array.exists (fun row -> Array.length row <> n) m then
+    invalid_arg "Substitution.of_matrix: matrix dimension mismatch";
+  let matrix = Array.map Array.copy m in
+  let mx = ref matrix.(0).(0) and mn = ref matrix.(0).(0) in
+  Array.iter
+    (Array.iter (fun v ->
+         if v > !mx then mx := v;
+         if v < !mn then mn := v))
+    matrix;
+  {
+    alphabet;
+    score = (fun q s -> matrix.(q).(s));
+    max_score = !mx;
+    min_score = !mn;
+    matrix;
+  }
+
+let simple alphabet ~match_ ~mismatch =
+  if match_ <= mismatch then
+    invalid_arg "Substitution.simple: match score must exceed mismatch score";
+  let n = Alphabet.size alphabet in
+  let matrix =
+    Array.init n (fun q -> Array.init n (fun s -> if q = s then match_ else mismatch))
+  in
+  {
+    alphabet;
+    (* The closure avoids the table: equality test is the specialized form. *)
+    score = (fun q s -> if q = s then match_ else mismatch);
+    max_score = match_;
+    min_score = mismatch;
+    matrix;
+  }
+
+let dna_wildcard ~match_ ~mismatch =
+  if match_ <= mismatch then
+    invalid_arg "Substitution.dna_wildcard: match score must exceed mismatch score";
+  let alphabet = Alphabet.dna5 in
+  let n = Alphabet.size alphabet in
+  let wild = n - 1 in
+  let matrix =
+    Array.init n (fun q ->
+        Array.init n (fun s ->
+            if q = wild || s = wild then mismatch
+            else if q = s then match_
+            else mismatch))
+  in
+  of_matrix alphabet matrix
+
+(* BLOSUM62 in the ARNDCQEGHILKMFPSTWYVX order of [Alphabet.protein]. *)
+let blosum62_rows =
+  [|
+    [| 4; -1; -2; -2; 0; -1; -1; 0; -2; -1; -1; -1; -1; -2; -1; 1; 0; -3; -2; 0; -1 |];
+    [| -1; 5; 0; -2; -3; 1; 0; -2; 0; -3; -2; 2; -1; -3; -2; -1; -1; -3; -2; -3; -1 |];
+    [| -2; 0; 6; 1; -3; 0; 0; 0; 1; -3; -3; 0; -2; -3; -2; 1; 0; -4; -2; -3; -1 |];
+    [| -2; -2; 1; 6; -3; 0; 2; -1; -1; -3; -4; -1; -3; -3; -1; 0; -1; -4; -3; -3; -1 |];
+    [| 0; -3; -3; -3; 9; -3; -4; -3; -3; -1; -1; -3; -1; -2; -3; -1; -1; -2; -2; -1; -1 |];
+    [| -1; 1; 0; 0; -3; 5; 2; -2; 0; -3; -2; 1; 0; -3; -1; 0; -1; -2; -1; -2; -1 |];
+    [| -1; 0; 0; 2; -4; 2; 5; -2; 0; -3; -3; 1; -2; -3; -1; 0; -1; -3; -2; -2; -1 |];
+    [| 0; -2; 0; -1; -3; -2; -2; 6; -2; -4; -4; -2; -3; -3; -2; 0; -2; -2; -3; -3; -1 |];
+    [| -2; 0; 1; -1; -3; 0; 0; -2; 8; -3; -3; -1; -2; -1; -2; -1; -2; -2; 2; -3; -1 |];
+    [| -1; -3; -3; -3; -1; -3; -3; -4; -3; 4; 2; -3; 1; 0; -3; -2; -1; -3; -1; 3; -1 |];
+    [| -1; -2; -3; -4; -1; -2; -3; -4; -3; 2; 4; -2; 2; 0; -3; -2; -1; -2; -1; 1; -1 |];
+    [| -1; 2; 0; -1; -3; 1; 1; -2; -1; -3; -2; 5; -1; -3; -1; 0; -1; -3; -2; -2; -1 |];
+    [| -1; -1; -2; -3; -1; 0; -2; -3; -2; 1; 2; -1; 5; 0; -2; -1; -1; -1; -1; 1; -1 |];
+    [| -2; -3; -3; -3; -2; -3; -3; -3; -1; 0; 0; -3; 0; 6; -4; -2; -2; 1; 3; -1; -1 |];
+    [| -1; -2; -2; -1; -3; -1; -1; -2; -2; -3; -3; -1; -2; -4; 7; -1; -1; -4; -3; -2; -1 |];
+    [| 1; -1; 1; 0; -1; 0; 0; 0; -1; -2; -2; 0; -1; -2; -1; 4; 1; -3; -2; -2; -1 |];
+    [| 0; -1; 0; -1; -1; -1; -1; -2; -2; -1; -1; -1; -1; -2; -1; 1; 5; -2; -2; 0; -1 |];
+    [| -3; -3; -4; -4; -2; -2; -3; -2; -2; -3; -2; -3; -1; 1; -4; -3; -2; 11; 2; -3; -1 |];
+    [| -2; -2; -2; -3; -2; -1; -2; -3; 2; -1; -1; -2; -1; 3; -3; -2; -2; 2; 7; -1; -1 |];
+    [| 0; -3; -3; -3; -1; -2; -2; -3; -3; 3; 1; -2; 1; -1; -2; -2; 0; -3; -1; 4; -1 |];
+    [| -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1; -1 |];
+  |]
+
+let blosum62 = of_matrix Alphabet.protein blosum62_rows
+
+(* PAM250 (Dayhoff et al. 1978) in ARNDCQEGHILKMFPSTWYVX order; X = 0. *)
+let pam250_rows =
+  [|
+    [| 2; -2; 0; 0; -2; 0; 0; 1; -1; -1; -2; -1; -1; -3; 1; 1; 1; -6; -3; 0; 0 |];
+    [| -2; 6; 0; -1; -4; 1; -1; -3; 2; -2; -3; 3; 0; -4; 0; 0; -1; 2; -4; -2; 0 |];
+    [| 0; 0; 2; 2; -4; 1; 1; 0; 2; -2; -3; 1; -2; -3; 0; 1; 0; -4; -2; -2; 0 |];
+    [| 0; -1; 2; 4; -5; 2; 3; 1; 1; -2; -4; 0; -3; -6; -1; 0; 0; -7; -4; -2; 0 |];
+    [| -2; -4; -4; -5; 12; -5; -5; -3; -3; -2; -6; -5; -5; -4; -3; 0; -2; -8; 0; -2; 0 |];
+    [| 0; 1; 1; 2; -5; 4; 2; -1; 3; -2; -2; 1; -1; -5; 0; -1; -1; -5; -4; -2; 0 |];
+    [| 0; -1; 1; 3; -5; 2; 4; 0; 1; -2; -3; 0; -2; -5; -1; 0; 0; -7; -4; -2; 0 |];
+    [| 1; -3; 0; 1; -3; -1; 0; 5; -2; -3; -4; -2; -3; -5; 0; 1; 0; -7; -5; -1; 0 |];
+    [| -1; 2; 2; 1; -3; 3; 1; -2; 6; -2; -2; 0; -2; -2; 0; -1; -1; -3; 0; -2; 0 |];
+    [| -1; -2; -2; -2; -2; -2; -2; -3; -2; 5; 2; -2; 2; 1; -2; -1; 0; -5; -1; 4; 0 |];
+    [| -2; -3; -3; -4; -6; -2; -3; -4; -2; 2; 6; -3; 4; 2; -3; -3; -2; -2; -1; 2; 0 |];
+    [| -1; 3; 1; 0; -5; 1; 0; -2; 0; -2; -3; 5; 0; -5; -1; 0; 0; -3; -4; -2; 0 |];
+    [| -1; 0; -2; -3; -5; -1; -2; -3; -2; 2; 4; 0; 6; 0; -2; -2; -1; -4; -2; 2; 0 |];
+    [| -3; -4; -3; -6; -4; -5; -5; -5; -2; 1; 2; -5; 0; 9; -5; -3; -3; 0; 7; -1; 0 |];
+    [| 1; 0; 0; -1; -3; 0; -1; 0; 0; -2; -3; -1; -2; -5; 6; 1; 0; -6; -5; -1; 0 |];
+    [| 1; 0; 1; 0; 0; -1; 0; 1; -1; -1; -3; 0; -2; -3; 1; 2; 1; -2; -3; -1; 0 |];
+    [| 1; -1; 0; 0; -2; -1; 0; 0; -1; 0; -2; 0; -1; -3; 0; 1; 3; -5; -3; 0; 0 |];
+    [| -6; 2; -4; -7; -8; -5; -7; -7; -3; -5; -2; -3; -4; 0; -6; -2; -5; 17; 0; -6; 0 |];
+    [| -3; -4; -2; -4; 0; -4; -4; -5; 0; -1; -1; -4; -2; 7; -5; -3; -3; 0; 10; -2; 0 |];
+    [| 0; -2; -2; -2; -2; -2; -2; -1; -2; 4; 2; -2; 2; -1; -1; -1; 0; -6; -2; 4; 0 |];
+    [| 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0 |];
+  |]
+
+let pam250 = of_matrix Alphabet.protein pam250_rows
+
+let max_score t = t.max_score
+let min_score t = t.min_score
+
+let as_simple t =
+  let n = Alphabet.size t.alphabet in
+  if n < 2 then None
+  else begin
+    let d = t.matrix.(0).(0) and o = t.matrix.(0).(1) in
+    let ok = ref (d > o) in
+    for q = 0 to n - 1 do
+      for s = 0 to n - 1 do
+        if t.matrix.(q).(s) <> (if q = s then d else o) then ok := false
+      done
+    done;
+    if !ok then Some (d, o) else None
+  end
+
+let is_symmetric t =
+  let n = Alphabet.size t.alphabet in
+  let ok = ref true in
+  for q = 0 to n - 1 do
+    for s = q + 1 to n - 1 do
+      if t.matrix.(q).(s) <> t.matrix.(s).(q) then ok := false
+    done
+  done;
+  !ok

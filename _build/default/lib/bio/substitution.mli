@@ -1,0 +1,50 @@
+(** Substitution scoring functions σ(q, s).
+
+    In the paper a substitution scheme is just a function composed into the
+    relaxation kernel ([simple_subst_scoring], matrix lookup, …). This module
+    provides the same constructors; the core engine consumes only the
+    [score] closure, so exchanging schemes is function composition. *)
+
+type t
+
+val score : t -> int -> int -> int
+(** [score t q s] for alphabet codes [q] and [s]. Unchecked indices for
+    matrix-backed schemes; codes must come from the declared alphabet. *)
+
+val alphabet : t -> Alphabet.t
+
+val simple : Alphabet.t -> match_:int -> mismatch:int -> t
+(** The paper's [simple_subst_scoring(same, mismatch)]: [match_] when codes
+    are equal, [mismatch] otherwise. Requires [match_ > mismatch]. *)
+
+val of_matrix : Alphabet.t -> int array array -> t
+(** Full lookup-table scheme. The matrix must be square with dimension
+    [Alphabet.size]; it is copied. *)
+
+val dna_wildcard : match_:int -> mismatch:int -> t
+(** dna5 scheme where any comparison involving N scores [mismatch] (an N
+    never counts as a match), matching common aligner behaviour. *)
+
+val blosum62 : t
+(** The standard BLOSUM62 matrix over {!Alphabet.protein} (X column/row uses
+    the conventional -1/-4 values). Used by the protein example and matrix
+    tests. *)
+
+val pam250 : t
+(** The classic PAM250 (Dayhoff) matrix over {!Alphabet.protein}, X
+    row/column scored 0 — an alternative lookup-table scheme. *)
+
+val as_simple : t -> (int * int) option
+(** [Some (match_, mismatch)] when the scheme is exactly a two-valued
+    equal/unequal pattern — the engines use this to select specialized
+    kernels that compare codes inline instead of calling the scoring
+    closure per cell (the run-time counterpart of the paper's compile-time
+    specialization). *)
+
+val max_score : t -> int
+(** Largest entry — needed for the 16-bit feasibility analysis of §IV-A. *)
+
+val min_score : t -> int
+(** Smallest entry. *)
+
+val is_symmetric : t -> bool

@@ -1,0 +1,1 @@
+lib/core/accessors.ml: Array Types

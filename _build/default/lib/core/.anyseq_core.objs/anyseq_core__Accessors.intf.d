@@ -1,0 +1,1 @@
+lib/core/accessors.mli: Types

@@ -1,0 +1,1 @@
+lib/core/banded.ml: Anyseq_bio Anyseq_scoring Array Printf Types

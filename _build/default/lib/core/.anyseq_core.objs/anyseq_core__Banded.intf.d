@@ -1,0 +1,1 @@
+lib/core/banded.mli: Anyseq_bio Anyseq_scoring Types

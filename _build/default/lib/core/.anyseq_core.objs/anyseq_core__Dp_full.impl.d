@@ -1,0 +1,1 @@
+lib/core/dp_full.ml: Accessors Anyseq_bio Anyseq_scoring Array Bytes Char Types

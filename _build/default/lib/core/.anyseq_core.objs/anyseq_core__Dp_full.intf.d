@@ -1,0 +1,1 @@
+lib/core/dp_full.mli: Anyseq_bio Anyseq_scoring Types

@@ -1,0 +1,1 @@
+lib/core/dp_linear.ml: Accessors Anyseq_bio Anyseq_scoring Array Types

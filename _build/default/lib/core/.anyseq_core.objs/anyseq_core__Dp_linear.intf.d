@@ -1,0 +1,1 @@
+lib/core/dp_linear.mli: Anyseq_bio Anyseq_scoring Types

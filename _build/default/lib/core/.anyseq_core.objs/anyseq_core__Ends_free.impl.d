@@ -1,0 +1,1 @@
+lib/core/ends_free.ml: Accessors Anyseq_bio Anyseq_scoring Array Bytes Char Dp_full Printf Types

@@ -1,0 +1,1 @@
+lib/core/ends_free.mli: Anyseq_bio Anyseq_scoring Types

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Anyseq_bio Banded Dp_full Dp_linear Hirschberg Tiling Types

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Anyseq_bio Anyseq_scoring Types

@@ -1,0 +1,1 @@
+lib/core/hirschberg.ml: Anyseq_bio Anyseq_scoring Array Dp_linear List Types

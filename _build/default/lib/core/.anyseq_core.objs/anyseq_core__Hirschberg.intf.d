@@ -1,0 +1,1 @@
+lib/core/hirschberg.mli: Anyseq_bio Anyseq_scoring Types

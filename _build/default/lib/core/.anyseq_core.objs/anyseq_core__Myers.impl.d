@@ -1,0 +1,1 @@
+lib/core/myers.ml: Anyseq_bio Anyseq_scoring Array Int64 List

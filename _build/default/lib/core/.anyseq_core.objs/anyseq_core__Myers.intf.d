@@ -1,0 +1,1 @@
+lib/core/myers.mli: Anyseq_bio Anyseq_scoring

@@ -1,0 +1,1 @@
+lib/core/reference.ml: Anyseq_bio Anyseq_scoring Array Types

@@ -1,0 +1,1 @@
+lib/core/reference.mli: Anyseq_bio Anyseq_scoring Types

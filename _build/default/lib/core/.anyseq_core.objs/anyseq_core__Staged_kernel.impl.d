@@ -1,0 +1,1 @@
+lib/core/staged_kernel.ml: Accessors Anyseq_bio Anyseq_scoring Anyseq_staged Array List Types

@@ -1,0 +1,1 @@
+lib/core/staged_kernel.mli: Anyseq_bio Anyseq_scoring Anyseq_staged Types

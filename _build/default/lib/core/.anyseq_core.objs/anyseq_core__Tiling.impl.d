@@ -1,0 +1,1 @@
+lib/core/tiling.ml: Accessors Anyseq_bio Anyseq_scoring Anyseq_staged Array Types

@@ -1,0 +1,1 @@
+lib/core/tiling.mli: Anyseq_bio Anyseq_scoring Types

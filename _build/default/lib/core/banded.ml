@@ -1,0 +1,152 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+module Alignment = Anyseq_bio.Alignment
+module Cigar = Anyseq_bio.Cigar
+open Types
+
+let min_band ~query_len ~subject_len = abs (query_len - subject_len)
+
+let check_band ~band ~n ~m =
+  if band < min_band ~query_len:n ~subject_len:m then
+    invalid_arg
+      (Printf.sprintf "Banded: band %d cannot connect corners of a %dx%d problem" band n m)
+
+let cells ~band ~query_len ~subject_len =
+  let n = query_len and m = subject_len in
+  let total = ref 0 in
+  for i = 1 to n do
+    let lo = max 1 (i - band) and hi = min m (i + band) in
+    if hi >= lo then total := !total + (hi - lo + 1)
+  done;
+  !total
+
+(* Band storage: row i keeps columns [i-band .. i+band] clipped to [0..m],
+   addressed as column offset (j - (i - band)). *)
+let score_only (scheme : Scheme.t) ~band ~(query : Sequence.view)
+    ~(subject : Sequence.view) =
+  let n = query.Sequence.len and m = subject.Sequence.len in
+  check_band ~band ~n ~m;
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let width = (2 * band) + 1 in
+  (* hrow.(k) = H(i, (i - band) + k); shifting one row down moves the same
+     physical index one column right, which is why the diagonal neighbour
+     of slot k is the previous row's slot k. *)
+  let hrow = Array.make width neg_inf in
+  let erow = Array.make width neg_inf in
+  let prev_h = Array.make width neg_inf in
+  let prev_e = Array.make width neg_inf in
+  (* Row 0: slots for j in [0 .. band]. *)
+  for k = 0 to width - 1 do
+    let j = k - band in
+    if j >= 0 && j <= m then hrow.(k) <- (if j = 0 then 0 else -(go + (j * ge)))
+  done;
+  for i = 1 to n do
+    Array.blit hrow 0 prev_h 0 width;
+    Array.blit erow 0 prev_e 0 width;
+    Array.fill hrow 0 width neg_inf;
+    Array.fill erow 0 width neg_inf;
+    let q = query.Sequence.at (i - 1) in
+    let lo = max 0 (i - band) and hi = min m (i + band) in
+    let f = ref neg_inf in
+    for j = lo to hi do
+      let k = j - (i - band) in
+      if j = 0 then begin
+        hrow.(k) <- -(go + (i * ge));
+        erow.(k) <- -(go + (i * ge));
+        f := neg_inf
+      end
+      else begin
+        let s = subject.Sequence.at (j - 1) in
+        (* Row above, same column: physical slot k+1 of the previous row. *)
+        let h_up = if k + 1 < width then prev_h.(k + 1) else neg_inf in
+        let e_up = if k + 1 < width then prev_e.(k + 1) else neg_inf in
+        let h_diag = prev_h.(k) in
+        let h_left = if k > 0 then hrow.(k - 1) else neg_inf in
+        let e = max (e_up - ge) (h_up - go - ge) in
+        let fv = max (!f - ge) (h_left - go - ge) in
+        let diag = h_diag + sigma q s in
+        let best = max diag (max e fv) in
+        erow.(k) <- e;
+        hrow.(k) <- best;
+        f := fv
+      end
+    done
+  done;
+  let k = m - (n - band) in
+  { score = hrow.(k); query_end = n; subject_end = m }
+
+let align (scheme : Scheme.t) ~band ~query ~subject =
+  let n = Sequence.length query and m = Sequence.length subject in
+  check_band ~band ~n ~m;
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let width = (2 * band) + 1 in
+  let h = Array.make_matrix (n + 1) width neg_inf in
+  let e = Array.make_matrix (n + 1) width neg_inf in
+  let f = Array.make_matrix (n + 1) width neg_inf in
+  let slot i j = j - (i - band) in
+  let in_band i j = j >= max 0 (i - band) && j <= min m (i + band) in
+  let get mat i j = if in_band i j then mat.(i).(slot i j) else neg_inf in
+  for j = 0 to min m band do
+    h.(0).(slot 0 j) <- (if j = 0 then 0 else -(go + (j * ge)));
+    if j > 0 then f.(0).(slot 0 j) <- -(go + (j * ge))
+  done;
+  for i = 1 to n do
+    let q = Sequence.get query (i - 1) in
+    let lo = max 0 (i - band) and hi = min m (i + band) in
+    for j = lo to hi do
+      let k = slot i j in
+      if j = 0 then begin
+        h.(i).(k) <- -(go + (i * ge));
+        e.(i).(k) <- -(go + (i * ge))
+      end
+      else begin
+        let s = Sequence.get subject (j - 1) in
+        let ev = max (get e (i - 1) j - ge) (get h (i - 1) j - go - ge) in
+        let fv = max (get f i (j - 1) - ge) (get h i (j - 1) - go - ge) in
+        let diag = get h (i - 1) (j - 1) + sigma q s in
+        e.(i).(k) <- ev;
+        f.(i).(k) <- fv;
+        h.(i).(k) <- max diag (max ev fv)
+      end
+    done
+  done;
+  let ops = ref [] in
+  let rec walk i j state =
+    match state with
+    | `M ->
+        if i = 0 && j = 0 then ()
+        else if
+          i > 0 && j > 0
+          && get h i j
+             = get h (i - 1) (j - 1)
+               + sigma (Sequence.get query (i - 1)) (Sequence.get subject (j - 1))
+        then begin
+          let qc = Sequence.get query (i - 1) and sc = Sequence.get subject (j - 1) in
+          ops := (if qc = sc then Cigar.Match else Cigar.Mismatch) :: !ops;
+          walk (i - 1) (j - 1) `M
+        end
+        else if i > 0 && get h i j = get e i j then walk i j `E
+        else if j > 0 && get h i j = get f i j then walk i j `F
+        else assert false
+    | `E ->
+        ops := Cigar.Ins :: !ops;
+        if i = 1 || get e i j = get h (i - 1) j - go - ge then walk (i - 1) j `M
+        else walk (i - 1) j `E
+    | `F ->
+        ops := Cigar.Del :: !ops;
+        if j = 1 || get f i j = get h i (j - 1) - go - ge then walk i (j - 1) `M
+        else walk i (j - 1) `F
+  in
+  walk n m `M;
+  {
+    Alignment.score = get h n m;
+    mode = Global;
+    query_start = 0;
+    query_end = n;
+    subject_start = 0;
+    subject_end = m;
+    cigar = Cigar.of_ops !ops;
+  }

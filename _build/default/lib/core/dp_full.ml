@@ -1,0 +1,160 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+module Alignment = Anyseq_bio.Alignment
+module Cigar = Anyseq_bio.Cigar
+open Types
+
+let max_cells = 256 * 1024 * 1024
+
+(* Predecessor byte layout:
+   bits 0-1: H source — 0 diagonal, 1 E (query gap), 2 F (subject gap),
+             3 path start (border / local zero-clamp);
+   bit 2:    E opened here (came from H above, not from E above);
+   bit 3:    F opened here (came from H left, not from F left). *)
+let h_diag = 0
+let h_e = 1
+let h_f = 2
+let h_start = 3
+let e_open_bit = 4
+let f_open_bit = 8
+
+(* Fills H/E rows in linear space but records predecessor bytes densely.
+   Returns (ends, preds, n, m). *)
+let fill (scheme : Scheme.t) mode ~(query : Sequence.view) ~(subject : Sequence.view) =
+  let n = query.Sequence.len and m = subject.Sequence.len in
+  if (n + 1) * (m + 1) > max_cells then
+    invalid_arg "Dp_full: problem too large; use the Hirschberg engine";
+  let v = variant_of_mode mode in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let width = m + 1 in
+  let preds = Bytes.make ((n + 1) * width) '\000' in
+  let setp i j b = Bytes.unsafe_set preds ((i * width) + j) (Char.unsafe_chr b) in
+  let hrow = Array.make width 0 in
+  let erow = Array.make width neg_inf in
+  let tracker = Accessors.max_tracker () in
+  let q_at = query.Sequence.at and s_at = subject.Sequence.at in
+  setp 0 0 h_start;
+  if v.best = All_cells || (v.best = Last_row_col && m = 0) then
+    tracker.Accessors.note 0 0 0;
+  for j = 1 to m do
+    if v.free_start then begin
+      hrow.(j) <- 0;
+      setp 0 j h_start
+    end
+    else begin
+      hrow.(j) <- -(go + (j * ge));
+      setp 0 j (h_f lor (if j = 1 then f_open_bit else 0))
+    end;
+    if v.best = All_cells || (v.best = Last_row_col && j = m) then
+      tracker.Accessors.note hrow.(j) 0 j
+  done;
+  for i = 1 to n do
+    let q = q_at (i - 1) in
+    let hdiag = ref hrow.(0) in
+    if v.free_start then begin
+      hrow.(0) <- 0;
+      setp i 0 h_start
+    end
+    else begin
+      hrow.(0) <- -(go + (i * ge));
+      setp i 0 (h_e lor (if i = 1 then e_open_bit else 0))
+    end;
+    if v.best = All_cells || (v.best = Last_row_col && m = 0) then
+      tracker.Accessors.note hrow.(0) i 0;
+    let f = ref neg_inf in
+    for j = 1 to m do
+      let s = s_at (j - 1) in
+      let e_ext = erow.(j) - ge and e_opn = hrow.(j) - go - ge in
+      let e = max e_ext e_opn in
+      let f_ext = !f - ge and f_opn = hrow.(j - 1) - go - ge in
+      let fv = max f_ext f_opn in
+      let diag = !hdiag + sigma q s in
+      let best = max diag (max e fv) in
+      let clamped = v.clamp_zero && best < 0 in
+      let best = if clamped then 0 else best in
+      let src =
+        if clamped then h_start
+        else if best = diag then h_diag
+        else if best = e then h_e
+        else h_f
+      in
+      let b = src in
+      let b = if e_opn >= e_ext then b lor e_open_bit else b in
+      let b = if f_opn >= f_ext then b lor f_open_bit else b in
+      setp i j b;
+      hdiag := hrow.(j);
+      hrow.(j) <- best;
+      erow.(j) <- e;
+      f := fv;
+      if v.best = All_cells || (v.best = Last_row_col && j = m) then
+        tracker.Accessors.note best i j
+    done
+  done;
+  let ends =
+    match v.best with
+    | Corner -> { score = hrow.(m); query_end = n; subject_end = m }
+    | All_cells -> tracker.Accessors.current ()
+    | Last_row_col ->
+        for j = 0 to m do
+          tracker.Accessors.note hrow.(j) n j
+        done;
+        tracker.Accessors.current ()
+  in
+  (ends, preds, n, m)
+
+let score_only scheme mode ~query ~subject =
+  let ends, _, _, _ = fill scheme mode ~query ~subject in
+  ends
+
+let align (scheme : Scheme.t) mode ~query ~subject =
+  let qv = Sequence.view query and sv = Sequence.view subject in
+  let ends, preds, _n, m = fill scheme mode ~query:qv ~subject:sv in
+  let width = m + 1 in
+  let getp i j = Char.code (Bytes.unsafe_get preds ((i * width) + j)) in
+  let ops = ref [] in
+  let rec walk i j state =
+    let b = getp i j in
+    match state with
+    | `M -> (
+        match b land 3 with
+        | x when x = h_start -> (i, j)
+        | x when x = h_diag ->
+            let q = Sequence.get query (i - 1) and s = Sequence.get subject (j - 1) in
+            ops := (if q = s then Cigar.Match else Cigar.Mismatch) :: !ops;
+            walk (i - 1) (j - 1) `M
+        | x when x = h_e -> walk i j `E
+        | _ -> walk i j `F)
+    | `E ->
+        ops := Cigar.Ins :: !ops;
+        if b land e_open_bit <> 0 then walk (i - 1) j `M else walk (i - 1) j `E
+    | `F ->
+        ops := Cigar.Del :: !ops;
+        if b land f_open_bit <> 0 then walk i (j - 1) `M else walk i (j - 1) `F
+  in
+  if mode = Local && ends.score = 0 then
+    {
+      Alignment.score = 0;
+      mode;
+      query_start = 0;
+      query_end = 0;
+      subject_start = 0;
+      subject_end = 0;
+      cigar = Cigar.empty;
+    }
+  else begin
+    let qs, ss = walk ends.query_end ends.subject_end `M in
+    let result =
+      {
+        Alignment.score = ends.score;
+        mode;
+        query_start = qs;
+        query_end = ends.query_end;
+        subject_start = ss;
+        subject_end = ends.subject_end;
+        cigar = Cigar.of_ops !ops;
+      }
+    in
+    if mode = Local then Alignment.trim_boundary_gaps result else result
+  end

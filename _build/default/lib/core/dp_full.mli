@@ -1,0 +1,23 @@
+(** Full-matrix DP with packed predecessor storage.
+
+    The fast path for short-pair workloads (Fig. 5b: 150 bp reads): one byte
+    of predecessor information per cell makes the traceback a pointer walk
+    instead of a recompute, at O(nm) bytes — fine for reads, prohibitive for
+    genomes (which use {!Hirschberg}). *)
+
+val max_cells : int
+(** Allocation guard (256 M cells ≈ 256 MB of predecessor bytes). *)
+
+val score_only :
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  Types.ends
+
+val align :
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_bio.Alignment.t

@@ -1,0 +1,152 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Substitution = Anyseq_bio.Substitution
+module Sequence = Anyseq_bio.Sequence
+open Types
+
+let cells ~(query : Sequence.view) ~(subject : Sequence.view) = query.len * subject.len
+
+let materialize_codes (v : Sequence.view) = Array.init v.Sequence.len v.Sequence.at
+
+(* Specialized hot loop: corner-rule (no best tracking), no zero-clamping,
+   simple match/mismatch substitution — the configuration of the paper's
+   headline long-genome benchmarks.  This is the hand-written equivalent of
+   what AnyDSL's partial evaluator emits for that configuration; the
+   generic [sweep] below stays the single source of truth for every other
+   combination, and the test suite keeps them in agreement. *)
+let sweep_fast ~match_ ~mismatch ~free_start ~tb ~go ~ge ~(query : Sequence.view)
+    ~(subject : Sequence.view) =
+  let n = query.Sequence.len and m = subject.Sequence.len in
+  let scodes = materialize_codes subject in
+  let hrow = Array.make (m + 1) 0 in
+  let erow = Array.make (m + 1) neg_inf in
+  if not free_start then
+    for j = 1 to m do
+      hrow.(j) <- -(go + (j * ge))
+    done;
+  let goe = go + ge in
+  let q_at = query.Sequence.at in
+  (* The rolling cell state (diagonal, F, left-H) travels as arguments of a
+     tail-recursive loop so it stays in registers — int refs would be boxed
+     heap cells and dominate the per-cell cost on a non-flambda compiler. *)
+  for i = 1 to n do
+    let q = q_at (i - 1) in
+    let border = if free_start then 0 else -(tb + (i * ge)) in
+    let hdiag0 = Array.unsafe_get hrow 0 in
+    Array.unsafe_set hrow 0 border;
+    let rec go j hdiag f hleft =
+      if j <= m then begin
+        let s = Array.unsafe_get scodes (j - 1) in
+        let hj = Array.unsafe_get hrow j in
+        let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
+        let e = if e_ext >= e_opn then e_ext else e_opn in
+        let f_ext = f - ge and f_opn = hleft - goe in
+        let fv = if f_ext >= f_opn then f_ext else f_opn in
+        let diag = hdiag + if q = s then match_ else mismatch in
+        let best = if diag >= e then diag else e in
+        let best = if best >= fv then best else fv in
+        Array.unsafe_set hrow j best;
+        Array.unsafe_set erow j e;
+        go (j + 1) hj fv best
+      end
+    in
+    go 1 hdiag0 neg_inf border
+  done;
+  (hrow, erow)
+
+(* One pass over the matrix keeping a single H row, a single E row and a
+   scalar F.  [tb] overrides the vertical gap-open cost on column 0 (Go
+   otherwise); used by last_rows for Myers-Miller.  Calls [note] on every
+   cell including the borders. *)
+let sweep (scheme : Scheme.t) ~free_start ~clamp_zero ~tb ~(query : Sequence.view)
+    ~(subject : Sequence.view) ~(note : int -> int -> int -> unit) =
+  let n = query.Sequence.len and m = subject.Sequence.len in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let scodes = materialize_codes subject in
+  let hrow = Array.make (m + 1) 0 in
+  let erow = Array.make (m + 1) neg_inf in
+  let q_at = query.Sequence.at in
+  (* Row 0. *)
+  hrow.(0) <- 0;
+  note 0 0 0;
+  for j = 1 to m do
+    hrow.(j) <- (if free_start then 0 else -(go + (j * ge)));
+    note hrow.(j) 0 j
+  done;
+  for i = 1 to n do
+    let q = q_at (i - 1) in
+    let hdiag = ref hrow.(0) in
+    let border = if free_start then 0 else -(tb + (i * ge)) in
+    hrow.(0) <- border;
+    note border i 0;
+    let f = ref neg_inf in
+    for j = 1 to m do
+      let s = Array.unsafe_get scodes (j - 1) in
+      let e = max (erow.(j) - ge) (hrow.(j) - go - ge) in
+      let fv = max (!f - ge) (hrow.(j - 1) - go - ge) in
+      let diag = !hdiag + sigma q s in
+      let best = max diag (max e fv) in
+      let best = if clamp_zero then max best 0 else best in
+      hdiag := hrow.(j);
+      hrow.(j) <- best;
+      erow.(j) <- e;
+      f := fv;
+      note best i j
+    done
+  done;
+  (hrow, erow)
+
+let corner_rows (scheme : Scheme.t) ~free_start ~tb ~query ~subject =
+  match Substitution.as_simple scheme.Scheme.subst with
+  | Some (match_, mismatch) ->
+      sweep_fast ~match_ ~mismatch ~free_start ~tb
+        ~go:(Gaps.open_cost scheme.Scheme.gap)
+        ~ge:(Gaps.extend_cost scheme.Scheme.gap)
+        ~query ~subject
+  | None ->
+      sweep scheme ~free_start ~clamp_zero:false ~tb ~query ~subject
+        ~note:(fun _ _ _ -> ())
+
+let score_variant scheme (v : variant) ~query ~subject =
+  let n = query.Sequence.len and m = subject.Sequence.len in
+  match v.best with
+  | Corner ->
+      let hrow, _ =
+        corner_rows scheme ~free_start:v.free_start
+          ~tb:(Gaps.open_cost scheme.Scheme.gap) ~query ~subject
+      in
+      { score = hrow.(m); query_end = n; subject_end = m }
+  | All_cells ->
+      let tracker = Accessors.max_tracker () in
+      let _ =
+        sweep scheme ~free_start:v.free_start ~clamp_zero:v.clamp_zero
+          ~tb:(Gaps.open_cost scheme.Scheme.gap) ~query ~subject
+          ~note:tracker.Accessors.note
+      in
+      tracker.Accessors.current ()
+  | Last_row_col ->
+      let tracker = Accessors.max_tracker () in
+      let note score i j = if j = m then tracker.Accessors.note score i j in
+      let hrow, _ =
+        sweep scheme ~free_start:v.free_start ~clamp_zero:v.clamp_zero
+          ~tb:(Gaps.open_cost scheme.Scheme.gap) ~query ~subject ~note
+      in
+      (* Last row.  The reference scans column m (i ascending) then row n
+         (j ascending) with strictly-greater updates; replicate that order
+         so tie positions agree. *)
+      for j = 0 to m do
+        tracker.Accessors.note hrow.(j) n j
+      done;
+      tracker.Accessors.current ()
+
+let score_only scheme mode ~query ~subject =
+  score_variant scheme (variant_of_mode mode) ~query ~subject
+
+let last_rows scheme ~tb ~query ~subject =
+  let hrow, erow = corner_rows scheme ~free_start:false ~tb ~query ~subject in
+  (* E(n, 0): the all-vertical-gap column, open charged at tb. *)
+  let n = query.Sequence.len in
+  let ge = Gaps.extend_cost scheme.Scheme.gap in
+  erow.(0) <- (if n = 0 then neg_inf else -(tb + (n * ge)));
+  (hrow, erow)

@@ -1,0 +1,39 @@
+(** Linear-space score-only DP (Fig. 1 right: only one row of H and E plus a
+    scalar F are live).
+
+    This is the workhorse scalar kernel: O(m) memory, O(nm) time, all modes,
+    linear and affine gaps (linear is Gotoh with Go = 0 — identical
+    recurrences, one code path, exactly the kind of unification partial
+    evaluation makes free). *)
+
+val score_only :
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  Types.ends
+(** Optimum score and its end cell. *)
+
+val score_variant :
+  Anyseq_scoring.Scheme.t ->
+  Types.variant ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  Types.ends
+(** Same, for the internal {!Types.variant} combinations (reverse passes of
+    the linear-space tracebacks). *)
+
+val last_rows :
+  Anyseq_scoring.Scheme.t ->
+  tb:int ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  int array * int array
+(** [(h, e)] where [h.(j) = H(n, j)] and [e.(j) = E(n, j)] of the anchored
+    (global) DP — the forward half of Myers–Miller. [tb] is the opening
+    cost of a {e vertical} gap running along column 0 (the boundary-merged
+    gap cost of the divide-and-conquer recursion); horizontal gaps always
+    open at the scheme's Go. Arrays have length [m + 1]. *)
+
+val cells : query:Anyseq_bio.Sequence.view -> subject:Anyseq_bio.Sequence.view -> int
+(** n·m — the cell count GCUPS figures are based on. *)

@@ -1,0 +1,189 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+module Alignment = Anyseq_bio.Alignment
+module Cigar = Anyseq_bio.Cigar
+open Types
+
+type spec = {
+  skip_query_prefix : bool;
+  skip_query_suffix : bool;
+  skip_subject_prefix : bool;
+  skip_subject_suffix : bool;
+}
+
+let global =
+  {
+    skip_query_prefix = false;
+    skip_query_suffix = false;
+    skip_subject_prefix = false;
+    skip_subject_suffix = false;
+  }
+
+let ends_free =
+  {
+    skip_query_prefix = true;
+    skip_query_suffix = true;
+    skip_subject_prefix = true;
+    skip_subject_suffix = true;
+  }
+
+let query_contained = { global with skip_subject_prefix = true; skip_subject_suffix = true }
+let subject_contained = { global with skip_query_prefix = true; skip_query_suffix = true }
+
+let dovetail_query_first =
+  { global with skip_query_prefix = true; skip_subject_suffix = true }
+
+let dovetail_subject_first =
+  { global with skip_subject_prefix = true; skip_query_suffix = true }
+
+let to_string s =
+  let mark b = if b then "free" else "anchored" in
+  Printf.sprintf "q[%s..%s] s[%s..%s]"
+    (mark s.skip_query_prefix) (mark s.skip_query_suffix)
+    (mark s.skip_subject_prefix) (mark s.skip_subject_suffix)
+
+(* A cell (i, j) may end the alignment when every remainder is skippable
+   and the cell lies on the DP border (ending strictly inside would skip
+   suffixes of both sequences simultaneously, which no single gapped path
+   expresses — the classic ends-free rule ends on the last row or column). *)
+let is_final spec ~n ~m i j =
+  (i = n || spec.skip_query_suffix)
+  && (j = m || spec.skip_subject_suffix)
+  && (i = n || j = m)
+
+let score_only (scheme : Scheme.t) spec ~(query : Sequence.view)
+    ~(subject : Sequence.view) =
+  let n = query.Sequence.len and m = subject.Sequence.len in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
+  let hrow = Array.make (m + 1) 0 in
+  let erow = Array.make (m + 1) neg_inf in
+  let tracker = Accessors.max_tracker () in
+  let note score i j = if is_final spec ~n ~m i j then tracker.Accessors.note score i j in
+  note 0 0 0;
+  for j = 1 to m do
+    hrow.(j) <- (if spec.skip_subject_prefix then 0 else -(go + (j * ge)));
+    note hrow.(j) 0 j
+  done;
+  for i = 1 to n do
+    let q = query.Sequence.at (i - 1) in
+    let hdiag = ref hrow.(0) in
+    hrow.(0) <- (if spec.skip_query_prefix then 0 else -(go + (i * ge)));
+    note hrow.(0) i 0;
+    let f = ref neg_inf in
+    for j = 1 to m do
+      let s = subject.Sequence.at (j - 1) in
+      let e = max (erow.(j) - ge) (hrow.(j) - go - ge) in
+      let fv = max (!f - ge) (hrow.(j - 1) - go - ge) in
+      let diag = !hdiag + sigma q s in
+      let best = max diag (max e fv) in
+      hdiag := hrow.(j);
+      hrow.(j) <- best;
+      erow.(j) <- e;
+      f := fv;
+      note best i j
+    done
+  done;
+  tracker.Accessors.current ()
+
+(* Dense fill with the same predecessor packing as Dp_full. *)
+let h_diag = 0
+let h_e = 1
+let h_f = 2
+let h_start = 3
+let e_open_bit = 4
+let f_open_bit = 8
+
+let align (scheme : Scheme.t) spec ~query ~subject =
+  let n = Sequence.length query and m = Sequence.length subject in
+  if (n + 1) * (m + 1) > Dp_full.max_cells then
+    invalid_arg "Ends_free.align: problem too large for the dense engine";
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
+  let width = m + 1 in
+  let preds = Bytes.make ((n + 1) * width) '\000' in
+  let setp i j b = Bytes.unsafe_set preds ((i * width) + j) (Char.unsafe_chr b) in
+  let getp i j = Char.code (Bytes.unsafe_get preds ((i * width) + j)) in
+  let hrow = Array.make width 0 in
+  let erow = Array.make width neg_inf in
+  let tracker = Accessors.max_tracker () in
+  let note score i j = if is_final spec ~n ~m i j then tracker.Accessors.note score i j in
+  setp 0 0 h_start;
+  note 0 0 0;
+  for j = 1 to m do
+    if spec.skip_subject_prefix then begin
+      hrow.(j) <- 0;
+      setp 0 j h_start
+    end
+    else begin
+      hrow.(j) <- -(go + (j * ge));
+      setp 0 j (h_f lor (if j = 1 then f_open_bit else 0))
+    end;
+    note hrow.(j) 0 j
+  done;
+  for i = 1 to n do
+    let q = Sequence.get query (i - 1) in
+    let hdiag = ref hrow.(0) in
+    if spec.skip_query_prefix then begin
+      hrow.(0) <- 0;
+      setp i 0 h_start
+    end
+    else begin
+      hrow.(0) <- -(go + (i * ge));
+      setp i 0 (h_e lor (if i = 1 then e_open_bit else 0))
+    end;
+    note hrow.(0) i 0;
+    let f = ref neg_inf in
+    for j = 1 to m do
+      let s = Sequence.get subject (j - 1) in
+      let e_ext = erow.(j) - ge and e_opn = hrow.(j) - go - ge in
+      let e = max e_ext e_opn in
+      let f_ext = !f - ge and f_opn = hrow.(j - 1) - go - ge in
+      let fv = max f_ext f_opn in
+      let diag = !hdiag + sigma q s in
+      let best = max diag (max e fv) in
+      let src = if best = diag then h_diag else if best = e then h_e else h_f in
+      let b = src in
+      let b = if e_opn >= e_ext then b lor e_open_bit else b in
+      let b = if f_opn >= f_ext then b lor f_open_bit else b in
+      setp i j b;
+      hdiag := hrow.(j);
+      hrow.(j) <- best;
+      erow.(j) <- e;
+      f := fv;
+      note best i j
+    done
+  done;
+  let ends = tracker.Accessors.current () in
+  let ops = ref [] in
+  let rec walk i j state =
+    let b = getp i j in
+    match state with
+    | `M -> (
+        match b land 3 with
+        | x when x = h_start -> (i, j)
+        | x when x = h_diag ->
+            let q = Sequence.get query (i - 1) and s = Sequence.get subject (j - 1) in
+            ops := (if q = s then Cigar.Match else Cigar.Mismatch) :: !ops;
+            walk (i - 1) (j - 1) `M
+        | x when x = h_e -> walk i j `E
+        | _ -> walk i j `F)
+    | `E ->
+        ops := Cigar.Ins :: !ops;
+        if b land e_open_bit <> 0 then walk (i - 1) j `M else walk (i - 1) j `E
+    | `F ->
+        ops := Cigar.Del :: !ops;
+        if b land f_open_bit <> 0 then walk i (j - 1) `M else walk i (j - 1) `F
+  in
+  let qs, ss = walk ends.query_end ends.subject_end `M in
+  let mode = if spec = global then Alignment.Global else Alignment.Semiglobal in
+  {
+    Alignment.score = ends.score;
+    mode;
+    query_start = qs;
+    query_end = ends.query_end;
+    subject_start = ss;
+    subject_end = ends.subject_end;
+    cigar = Cigar.of_ops !ops;
+  }

@@ -1,0 +1,64 @@
+(** Generalized ends-free alignment.
+
+    The three classic modes (global / semi-global / local) are points in a
+    larger space: each of the four sequence ends can independently be
+    {e free} (unaligned characters there cost nothing). This module exposes
+    that full space — the remaining "algorithmic variants by function
+    composition" of §III that the three-mode API cannot express:
+
+    - read containment (query fully aligned, subject flanks free),
+    - reference containment (the transpose),
+    - dovetail overlaps (suffix of one sequence against the prefix of the
+      other) as used by assembly overlappers.
+
+    Scores are computed in linear space; alignments use a dense
+    predecessor-packed matrix (these policies are for short/medium inputs —
+    reads, contig ends). *)
+
+type spec = {
+  skip_query_prefix : bool;  (** query may start unaligned for free *)
+  skip_query_suffix : bool;  (** query may end unaligned for free *)
+  skip_subject_prefix : bool;
+  skip_subject_suffix : bool;
+}
+
+val global : spec
+(** All ends anchored — identical to {!Types.Global}. *)
+
+val ends_free : spec
+(** All four ends free — identical to {!Types.Semiglobal}. *)
+
+val query_contained : spec
+(** Query fully aligned, subject flanks free: the read-verification mode
+    (a 150 bp read inside its reference window). *)
+
+val subject_contained : spec
+(** The transpose of {!query_contained}. *)
+
+val dovetail_query_first : spec
+(** Suffix of the query overlaps the prefix of the subject (query's start
+    and subject's end are free) — assembly overlap, query upstream. *)
+
+val dovetail_subject_first : spec
+(** The transpose: subject upstream of query. *)
+
+val to_string : spec -> string
+
+val score_only :
+  Anyseq_scoring.Scheme.t ->
+  spec ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  Types.ends
+(** Optimal score under the policy, linear space. *)
+
+val align :
+  Anyseq_scoring.Scheme.t ->
+  spec ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_bio.Alignment.t
+(** Full alignment, dense matrix (guarded by {!Dp_full.max_cells}). The
+    result's [mode] field is [Global] when all ends are anchored and
+    [Semiglobal] otherwise (every ends-free policy satisfies the
+    semi-global validity envelope). *)

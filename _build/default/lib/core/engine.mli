@@ -1,0 +1,40 @@
+(** Top-level dispatch over the alignment engines (§III-C).
+
+    One entry point per question (score vs. full alignment), with the
+    execution strategy selected by an explicit backend value or
+    automatically from problem shape — the run-time counterpart of the
+    compile-time composition AnySeq performs. *)
+
+type score_backend =
+  | Scalar  (** linear-space single pass ({!Dp_linear}) *)
+  | Tiled of { tile : int }  (** submatrix decomposition ({!Tiling}) *)
+  | Full  (** dense with predecessors ({!Dp_full}) *)
+  | Banded of { band : int }  (** diagonal band, global mode only ({!Banded}) *)
+
+type align_backend =
+  | Auto  (** {!Dp_full} when the matrix is small, {!Hirschberg} otherwise *)
+  | Full_matrix
+  | Linear_space of { cutoff_cells : int }
+  | Banded_align of { band : int }
+
+val auto_full_matrix_limit : int
+(** Cell threshold below which [Auto] picks the dense engine (1 M cells). *)
+
+val score :
+  ?backend:score_backend ->
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Types.ends
+(** Optimal score (default backend: [Scalar]). [Banded] requires
+    [Global] mode and raises [Invalid_argument] otherwise. *)
+
+val align :
+  ?backend:align_backend ->
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_bio.Alignment.t
+(** Optimal alignment with traceback (default [Auto]). *)

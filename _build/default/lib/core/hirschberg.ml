@@ -1,0 +1,247 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+module Alignment = Anyseq_bio.Alignment
+module Cigar = Anyseq_bio.Cigar
+open Types
+
+let default_cutoff_cells = 4096
+
+let cigar_score (scheme : Scheme.t) ~(query : Sequence.view) ~(subject : Sequence.view)
+    cigar =
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let qi = ref 0 and sj = ref 0 and total = ref 0 in
+  List.iter
+    (fun (k, op) ->
+      match op with
+      | Cigar.Match | Cigar.Mismatch ->
+          for _ = 1 to k do
+            total := !total + sigma (query.Sequence.at !qi) (subject.Sequence.at !sj);
+            incr qi;
+            incr sj
+          done
+      | Cigar.Ins ->
+          total := !total - go - (k * ge);
+          qi := !qi + k
+      | Cigar.Del ->
+          total := !total - go - (k * ge);
+          sj := !sj + k)
+    (Cigar.runs cigar);
+  !total
+
+let repeat_op op k = Cigar.of_runs [ (k, op) ]
+
+(* Dense Gotoh on a small window with boundary-adjusted vertical gap opens:
+   a leading vertical gap (hugging column 0) opens at [tb]; a trailing
+   vertical gap (ending at the last cell) opens at [te].  Returns the
+   transcript only — scores are re-derived by the caller. *)
+let small_cigar (scheme : Scheme.t) ~tb ~te ~(query : Sequence.view)
+    ~(subject : Sequence.view) =
+  let n = query.Sequence.len and m = subject.Sequence.len in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let h = Array.make_matrix (n + 1) (m + 1) 0 in
+  let e = Array.make_matrix (n + 1) (m + 1) neg_inf in
+  let f = Array.make_matrix (n + 1) (m + 1) neg_inf in
+  for i = 1 to n do
+    h.(i).(0) <- -(tb + (i * ge));
+    e.(i).(0) <- -(tb + (i * ge))
+  done;
+  for j = 1 to m do
+    h.(0).(j) <- -(go + (j * ge));
+    f.(0).(j) <- -(go + (j * ge))
+  done;
+  for i = 1 to n do
+    let q = query.Sequence.at (i - 1) in
+    for j = 1 to m do
+      let s = subject.Sequence.at (j - 1) in
+      let ev = max (e.(i - 1).(j) - ge) (h.(i - 1).(j) - go - ge) in
+      let fv = max (f.(i).(j - 1) - ge) (h.(i).(j - 1) - go - ge) in
+      let diag = h.(i - 1).(j - 1) + sigma q s in
+      e.(i).(j) <- ev;
+      f.(i).(j) <- fv;
+      h.(i).(j) <- max diag (max ev fv)
+    done
+  done;
+  let ops = ref [] in
+  let rec walk i j state =
+    match state with
+    | `M ->
+        if i = 0 && j = 0 then ()
+        else if
+          i > 0 && j > 0
+          && h.(i).(j)
+             = h.(i - 1).(j - 1)
+               + sigma (query.Sequence.at (i - 1)) (subject.Sequence.at (j - 1))
+        then begin
+          let q = query.Sequence.at (i - 1) and s = subject.Sequence.at (j - 1) in
+          ops := (if q = s then Cigar.Match else Cigar.Mismatch) :: !ops;
+          walk (i - 1) (j - 1) `M
+        end
+        else if i > 0 && h.(i).(j) = e.(i).(j) then walk i j `E
+        else if j > 0 && h.(i).(j) = f.(i).(j) then walk i j `F
+        else assert false
+    | `E ->
+        ops := Cigar.Ins :: !ops;
+        if i = 1 || e.(i).(j) = h.(i - 1).(j) - go - ge then walk (i - 1) j `M
+        else walk (i - 1) j `E
+    | `F ->
+        ops := Cigar.Del :: !ops;
+        if j = 1 || f.(i).(j) = h.(i).(j - 1) - go - ge then walk i (j - 1) `M
+        else walk i (j - 1) `F
+  in
+  (* A trailing vertical gap is effectively charged [te] instead of [go]:
+     when that makes the E-channel win, start the walk in state E. *)
+  if n > 0 && m >= 0 && e.(n).(m) + go - te > h.(n).(m) then walk n m `E else walk n m `M;
+  Cigar.of_ops !ops
+
+(* Closed-form single-row case (Myers-Miller's base): either the lone query
+   character is gap-aligned (the gap merges with the cheaper boundary), or
+   it pairs with some subject character k. *)
+let one_row_cigar (scheme : Scheme.t) ~tb ~te ~(query : Sequence.view)
+    ~(subject : Sequence.view) =
+  let m = subject.Sequence.len in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let gap_h l = if l = 0 then 0 else -(go + (l * ge)) in
+  let q = query.Sequence.at 0 in
+  let gapped_score = -(min tb te + ge) + gap_h m in
+  let best_k = ref (-1) and best_score = ref gapped_score in
+  for k = 0 to m - 1 do
+    let cand = gap_h k + sigma q (subject.Sequence.at k) + gap_h (m - 1 - k) in
+    if cand > !best_score then begin
+      best_score := cand;
+      best_k := k
+    end
+  done;
+  if !best_k < 0 then
+    (* Query char deleted; put its gap adjacent to the cheaper boundary so
+       run-merging with the caller's gap happens on the intended side. *)
+    if tb <= te then Cigar.concat (repeat_op Cigar.Ins 1) (repeat_op Cigar.Del m)
+    else Cigar.concat (repeat_op Cigar.Del m) (repeat_op Cigar.Ins 1)
+  else
+    let k = !best_k in
+    let s = subject.Sequence.at k in
+    let mid = if q = s then Cigar.Match else Cigar.Mismatch in
+    Cigar.of_runs [ (k, Cigar.Del); (1, mid); (m - 1 - k, Cigar.Del) ]
+
+type last_rows_fn =
+  Anyseq_scoring.Scheme.t ->
+  tb:int ->
+  query:Sequence.view ->
+  subject:Sequence.view ->
+  int array * int array
+
+let rec mm (scheme : Scheme.t) ~cutoff ~(last_rows : last_rows_fn) ~tb ~te
+    (query : Sequence.view) (subject : Sequence.view) =
+  let n = query.Sequence.len and m = subject.Sequence.len in
+  let go = Gaps.open_cost scheme.Scheme.gap in
+  if n = 0 then repeat_op Cigar.Del m
+  else if m = 0 then repeat_op Cigar.Ins n
+  else if n = 1 then one_row_cigar scheme ~tb ~te ~query ~subject
+  else if (n + 1) * (m + 1) <= cutoff then small_cigar scheme ~tb ~te ~query ~subject
+  else begin
+    let mid = n / 2 in
+    let q_top = Sequence.subview query ~pos:0 ~len:mid in
+    let q_bot = Sequence.subview query ~pos:mid ~len:(n - mid) in
+    let cc, dd = last_rows scheme ~tb ~query:q_top ~subject in
+    let rr, ss =
+      last_rows scheme ~tb:te ~query:(Sequence.rev_view q_bot)
+        ~subject:(Sequence.rev_view subject)
+    in
+    (* Join: split the subject at column j; the path crosses row [mid]
+       either in the H channel (type a) or inside a vertical gap (type b,
+       one gap-open refunded). *)
+    let best_j = ref 0 and best_type = ref `A and best_score = ref neg_inf in
+    for j = 0 to m do
+      let a = cc.(j) + rr.(m - j) in
+      let b = dd.(j) + ss.(m - j) + go in
+      if a > !best_score then begin
+        best_score := a;
+        best_j := j;
+        best_type := `A
+      end;
+      if b > !best_score then begin
+        best_score := b;
+        best_j := j;
+        best_type := `B
+      end
+    done;
+    let j = !best_j in
+    let s_left = Sequence.subview subject ~pos:0 ~len:j in
+    let s_right = Sequence.subview subject ~pos:j ~len:(m - j) in
+    match !best_type with
+    | `A ->
+        let left = mm scheme ~cutoff ~last_rows ~tb ~te:go q_top s_left in
+        let right = mm scheme ~cutoff ~last_rows ~tb:go ~te q_bot s_right in
+        Cigar.concat left right
+    | `B ->
+        (* The crossing gap consumes query chars mid-1 and mid; the halves
+           around it get a free open on the shared boundary. *)
+        let q_above = Sequence.subview query ~pos:0 ~len:(mid - 1) in
+        let q_below = Sequence.subview query ~pos:(mid + 1) ~len:(n - mid - 1) in
+        let left = mm scheme ~cutoff ~last_rows ~tb ~te:0 q_above s_left in
+        let right = mm scheme ~cutoff ~last_rows ~tb:0 ~te q_below s_right in
+        Cigar.concat (Cigar.concat left (repeat_op Cigar.Ins 2)) right
+  end
+
+let global_cigar ?(cutoff_cells = default_cutoff_cells)
+    ?(last_rows = Dp_linear.last_rows) scheme ~query ~subject =
+  let go = Gaps.open_cost scheme.Scheme.gap in
+  mm scheme ~cutoff:(max 1 cutoff_cells) ~last_rows ~tb:go ~te:go query subject
+
+let align ?(cutoff_cells = default_cutoff_cells) ?last_rows (scheme : Scheme.t) mode
+    ~query ~subject =
+  let qv = Sequence.view query and sv = Sequence.view subject in
+  let make ~qs ~ss ~qe ~se cigar =
+    let qwin = Sequence.subview qv ~pos:qs ~len:(qe - qs) in
+    let swin = Sequence.subview sv ~pos:ss ~len:(se - ss) in
+    let score = cigar_score scheme ~query:qwin ~subject:swin cigar in
+    {
+      Alignment.score;
+      mode;
+      query_start = qs;
+      query_end = qe;
+      subject_start = ss;
+      subject_end = se;
+      cigar;
+    }
+  in
+  match mode with
+  | Global ->
+      let cigar = global_cigar ~cutoff_cells ?last_rows scheme ~query:qv ~subject:sv in
+      make ~qs:0 ~ss:0 ~qe:(Sequence.length query) ~se:(Sequence.length subject) cigar
+  | Local ->
+      let fwd = Dp_linear.score_only scheme Local ~query:qv ~subject:sv in
+      if fwd.score = 0 then
+        make ~qs:0 ~ss:0 ~qe:0 ~se:0 Cigar.empty
+      else begin
+        let qpre = Sequence.subview qv ~pos:0 ~len:fwd.query_end in
+        let spre = Sequence.subview sv ~pos:0 ~len:fwd.subject_end in
+        let rev =
+          Dp_linear.score_variant scheme local_reverse ~query:(Sequence.rev_view qpre)
+            ~subject:(Sequence.rev_view spre)
+        in
+        let qs = fwd.query_end - rev.query_end
+        and ss = fwd.subject_end - rev.subject_end in
+        let qwin = Sequence.subview qv ~pos:qs ~len:(fwd.query_end - qs) in
+        let swin = Sequence.subview sv ~pos:ss ~len:(fwd.subject_end - ss) in
+        let cigar = global_cigar ~cutoff_cells ?last_rows scheme ~query:qwin ~subject:swin in
+        Alignment.trim_boundary_gaps
+          (make ~qs ~ss ~qe:fwd.query_end ~se:fwd.subject_end cigar)
+      end
+  | Semiglobal ->
+      let fwd = Dp_linear.score_only scheme Semiglobal ~query:qv ~subject:sv in
+      let qpre = Sequence.subview qv ~pos:0 ~len:fwd.query_end in
+      let spre = Sequence.subview sv ~pos:0 ~len:fwd.subject_end in
+      let rev =
+        Dp_linear.score_variant scheme semiglobal_reverse
+          ~query:(Sequence.rev_view qpre) ~subject:(Sequence.rev_view spre)
+      in
+      let qs = fwd.query_end - rev.query_end
+      and ss = fwd.subject_end - rev.subject_end in
+      let qwin = Sequence.subview qv ~pos:qs ~len:(fwd.query_end - qs) in
+      let swin = Sequence.subview sv ~pos:ss ~len:(fwd.subject_end - ss) in
+      let cigar = global_cigar ~cutoff_cells ?last_rows scheme ~query:qwin ~subject:swin in
+      make ~qs ~ss ~qe:fwd.query_end ~se:fwd.subject_end cigar

@@ -1,0 +1,57 @@
+(** Linear-space traceback by divide and conquer (Hirschberg / Myers–Miller,
+    the paper's §III-A reference [24]).
+
+    Global alignments are constructed in O(n + m) space by recursively
+    locating optimal midpoints; affine gaps are handled with the
+    Myers–Miller boundary-open correction (a gap crossing the split line is
+    charged its opening cost exactly once). Local and semi-global
+    alignments reduce to a global alignment of the optimal infix found by a
+    forward and a backward score-only pass. The recursion switches to a
+    small dense DP below [cutoff_cells] (§V: "recursion cutoff points" —
+    see ablation A3). *)
+
+val default_cutoff_cells : int
+
+type last_rows_fn =
+  Anyseq_scoring.Scheme.t ->
+  tb:int ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  int array * int array
+(** A provider of the forward half-pass (H and E of the final row, as in
+    {!Dp_linear.last_rows}). The divide-and-conquer only needs this one
+    primitive, so any backend that can produce final rows — the scalar
+    engine, the tiled engine, or the GPU simulator — can drive the whole
+    traceback. *)
+
+val align :
+  ?cutoff_cells:int ->
+  ?last_rows:last_rows_fn ->
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_bio.Alignment.t
+(** [last_rows] defaults to {!Dp_linear.last_rows}; passing a different
+    provider changes the execution mapping of the O(nm) passes without
+    touching the recursion (sub-problems below [cutoff_cells] always use
+    the dense CPU base case). *)
+
+val global_cigar :
+  ?cutoff_cells:int ->
+  ?last_rows:last_rows_fn ->
+  Anyseq_scoring.Scheme.t ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  Anyseq_bio.Cigar.t
+(** The raw divide-and-conquer engine on views (global mode, standard gap
+    opens at both boundaries). *)
+
+val cigar_score :
+  Anyseq_scoring.Scheme.t ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  Anyseq_bio.Cigar.t ->
+  int
+(** Score of a transcript over the given views (gap opens charged once per
+    run) — used to stamp the exact score onto assembled alignments. *)

@@ -1,0 +1,136 @@
+module Sequence = Anyseq_bio.Sequence
+module Alphabet = Anyseq_bio.Alphabet
+
+let unit_scheme =
+  Anyseq_scoring.Scheme.make ~name:"unit-cost"
+    (Anyseq_bio.Substitution.simple Alphabet.dna4 ~match_:0 ~mismatch:(-1))
+    (Anyseq_bio.Gaps.linear 1)
+
+let word_bits = 64
+
+(* Per-pattern state: Peq bitmasks per alphabet code per vertical block. *)
+type pattern = {
+  n : int;
+  nblocks : int;
+  peq : int64 array array; (* peq.(code).(block) *)
+  last_mask : int64; (* bit of pattern row n-1 inside the last block *)
+}
+
+let build_pattern q =
+  let n = Sequence.length q in
+  let nblocks = max 1 ((n + word_bits - 1) / word_bits) in
+  let asize = Alphabet.size (Sequence.alphabet q) in
+  let peq = Array.make_matrix asize nblocks 0L in
+  for i = 0 to n - 1 do
+    let c = Sequence.get q i in
+    let b = i / word_bits and off = i mod word_bits in
+    peq.(c).(b) <- Int64.logor peq.(c).(b) (Int64.shift_left 1L off)
+  done;
+  let last_mask = Int64.shift_left 1L ((n - 1) mod word_bits) in
+  { n; nblocks; peq; last_mask }
+
+(* One column step for one block (Myers' Advance_Block, as in edlib).
+   [hin] is the horizontal delta entering the block's top row (-1/0/+1);
+   returns the delta leaving its bottom row. *)
+let advance_block pv mv ~b ~eq ~hin =
+  let ( &^ ) = Int64.logand
+  and ( |^ ) = Int64.logor
+  and ( ^^ ) = Int64.logxor
+  and lnot64 = Int64.lognot in
+  let pvb = pv.(b) and mvb = mv.(b) in
+  let eq = if hin < 0 then eq |^ 1L else eq in
+  let xv = eq |^ mvb in
+  let xh = Int64.add (eq &^ pvb) pvb ^^ pvb |^ eq in
+  let ph = mvb |^ lnot64 (xh |^ pvb) in
+  let mh = pvb &^ xh in
+  let high = Int64.shift_left 1L (word_bits - 1) in
+  let hout =
+    if ph &^ high <> 0L then 1 else if mh &^ high <> 0L then -1 else 0
+  in
+  let ph = Int64.shift_left ph 1 in
+  let mh = Int64.shift_left mh 1 in
+  let ph = if hin > 0 then ph |^ 1L else ph in
+  let mh = if hin < 0 then mh |^ 1L else mh in
+  pv.(b) <- (mh |^ lnot64 (xv |^ ph));
+  mv.(b) <- ph &^ xv;
+  hout
+
+(* Last-block step: identical to [advance_block] except the score delta is
+   sampled at the pattern's bottom-row bit [last_mask] instead of the
+   block's top bit. *)
+let advance_last pv mv ~b ~eq ~hin ~last_mask =
+  let ( &^ ) = Int64.logand
+  and ( |^ ) = Int64.logor
+  and ( ^^ ) = Int64.logxor
+  and lnot64 = Int64.lognot in
+  let pvb = pv.(b) and mvb = mv.(b) in
+  let eq = if hin < 0 then eq |^ 1L else eq in
+  let xv = eq |^ mvb in
+  let xh = Int64.add (eq &^ pvb) pvb ^^ pvb |^ eq in
+  let ph = mvb |^ lnot64 (xh |^ pvb) in
+  let mh = pvb &^ xh in
+  let delta =
+    if ph &^ last_mask <> 0L then 1 else if mh &^ last_mask <> 0L then -1 else 0
+  in
+  let ph = Int64.shift_left ph 1 in
+  let mh = Int64.shift_left mh 1 in
+  let ph = if hin > 0 then ph |^ 1L else ph in
+  let mh = if hin < 0 then mh |^ 1L else mh in
+  pv.(b) <- (mh |^ lnot64 (xv |^ ph));
+  mv.(b) <- ph &^ xv;
+  delta
+
+let run_columns pattern text ~hin0 ~on_score =
+  let { n; nblocks; peq; last_mask } = pattern in
+  let pv = Array.make nblocks Int64.minus_one in
+  let mv = Array.make nblocks 0L in
+  let score = ref n in
+  let m = Sequence.length text in
+  for j = 0 to m - 1 do
+    let c = Sequence.get text j in
+    let hin = ref hin0 in
+    for b = 0 to nblocks - 2 do
+      hin := advance_block pv mv ~b ~eq:peq.(c).(b) ~hin:!hin
+    done;
+    let delta =
+      advance_last pv mv ~b:(nblocks - 1) ~eq:peq.(c).(nblocks - 1) ~hin:!hin ~last_mask
+    in
+    score := !score + delta;
+    on_score j !score
+  done;
+  !score
+
+let distance q s =
+  let n = Sequence.length q and m = Sequence.length s in
+  if n = 0 then m
+  else if m = 0 then n
+  else
+    let pattern = build_pattern q in
+    run_columns pattern s ~hin0:1 ~on_score:(fun _ _ -> ())
+
+let search ~pattern ~text =
+  let n = Sequence.length pattern in
+  if n = 0 then (0, 0)
+  else begin
+    let p = build_pattern pattern in
+    let best = ref n and best_pos = ref 0 in
+    ignore
+      (run_columns p text ~hin0:0 ~on_score:(fun j score ->
+           if score < !best then begin
+             best := score;
+             best_pos := j + 1
+           end));
+    (!best, !best_pos)
+  end
+
+let occurrences ~pattern ~text ~k =
+  let n = Sequence.length pattern in
+  if n = 0 then List.init (Sequence.length text + 1) (fun j -> (j, 0))
+  else begin
+    let p = build_pattern pattern in
+    let hits = ref [] in
+    ignore
+      (run_columns p text ~hin0:0 ~on_score:(fun j score ->
+           if score <= k then hits := (j + 1, score) :: !hits));
+    List.rev !hits
+  end

@@ -1,0 +1,32 @@
+(** Myers' bit-parallel edit-distance kernel (Myers 1999, multi-word form).
+
+    For the unit-cost configuration (match 0, mismatch/indel 1) the DP
+    column fits in bit vectors: 64 cells advance per word operation. This
+    is the ultimate form of the specialization story the paper tells —
+    when the partial evaluator knows the scoring scheme is unit-cost, a
+    completely different, far faster kernel becomes admissible. The engines
+    here are verified against the general DP under the equivalent scheme
+    ([unit_scheme]): [distance q s = - global_score], and
+    [search] matches the subject-contained ends-free policy.
+
+    Patterns of any length are supported (vertical blocks with carry
+    propagation). *)
+
+val unit_scheme : Anyseq_scoring.Scheme.t
+(** match 0, mismatch −1, linear gap 1 over dna4 — the general-DP scheme
+    whose global score is the negated edit distance. *)
+
+val distance : Anyseq_bio.Sequence.t -> Anyseq_bio.Sequence.t -> int
+(** Global (Levenshtein) edit distance. *)
+
+val search :
+  pattern:Anyseq_bio.Sequence.t -> text:Anyseq_bio.Sequence.t -> int * int
+(** [(best_distance, end_position)]: the minimum edit distance between the
+    pattern and any substring of the text, and the (exclusive, smallest)
+    text end position achieving it — approximate string matching with free
+    text ends. An empty pattern yields [(0, 0)]. *)
+
+val occurrences :
+  pattern:Anyseq_bio.Sequence.t -> text:Anyseq_bio.Sequence.t -> k:int -> (int * int) list
+(** All text end positions with distance ≤ [k], as [(end_pos, distance)]
+    in increasing position order — the classic k-errors matching problem. *)

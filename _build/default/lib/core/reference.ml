@@ -1,0 +1,148 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+module Alignment = Anyseq_bio.Alignment
+module Cigar = Anyseq_bio.Cigar
+open Types
+
+let max_cells = 64 * 1024 * 1024
+
+type matrices = {
+  n : int;
+  m : int;
+  h : int array array;
+  e : int array array; (* best score ending in a gap consuming query chars *)
+  f : int array array; (* best score ending in a gap consuming subject chars *)
+}
+
+let fill (scheme : Scheme.t) mode ~query ~subject =
+  let n = Sequence.length query and m = Sequence.length subject in
+  if (n + 1) * (m + 1) > max_cells then
+    invalid_arg "Reference: problem too large for the dense oracle";
+  let fe = variant_of_mode mode in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let h = Array.make_matrix (n + 1) (m + 1) 0 in
+  let e = Array.make_matrix (n + 1) (m + 1) neg_inf in
+  let f = Array.make_matrix (n + 1) (m + 1) neg_inf in
+  (* Borders (§III-A).  When starts are free (local, semiglobal) the H
+     borders are 0; otherwise they carry the full gap cost.  E/F borders:
+     the state matrices mirror H on the border that their gap direction can
+     extend along and are −∞ on the other. *)
+  for i = 1 to n do
+    h.(i).(0) <- (if fe.free_start then 0 else -(go + (i * ge)));
+    e.(i).(0) <- (if fe.free_start then neg_inf else -(go + (i * ge)))
+  done;
+  for j = 1 to m do
+    h.(0).(j) <- (if fe.free_start then 0 else -(go + (j * ge)));
+    f.(0).(j) <- (if fe.free_start then neg_inf else -(go + (j * ge)))
+  done;
+  for i = 1 to n do
+    let q = Sequence.get query (i - 1) in
+    for j = 1 to m do
+      let s = Sequence.get subject (j - 1) in
+      let ev = max (e.(i - 1).(j) - ge) (h.(i - 1).(j) - go - ge) in
+      let fv = max (f.(i).(j - 1) - ge) (h.(i).(j - 1) - go - ge) in
+      let diag = h.(i - 1).(j - 1) + sigma q s in
+      let best = max diag (max ev fv) in
+      let best = if fe.clamp_zero then max best 0 else best in
+      e.(i).(j) <- ev;
+      f.(i).(j) <- fv;
+      h.(i).(j) <- best
+    done
+  done;
+  { n; m; h; e; f }
+
+let find_best mode { n; m; h; _ } =
+  match mode with
+  | Global -> { score = h.(n).(m); query_end = n; subject_end = m }
+  | Local ->
+      let best = ref { score = 0; query_end = 0; subject_end = 0 } in
+      for i = 0 to n do
+        for j = 0 to m do
+          if h.(i).(j) > !best.score then
+            best := { score = h.(i).(j); query_end = i; subject_end = j }
+        done
+      done;
+      !best
+  | Semiglobal ->
+      let best = ref { score = neg_inf; query_end = n; subject_end = m } in
+      let consider i j =
+        if h.(i).(j) > !best.score then
+          best := { score = h.(i).(j); query_end = i; subject_end = j }
+      in
+      for i = 0 to n do
+        consider i m
+      done;
+      for j = 0 to m do
+        consider n j
+      done;
+      !best
+
+let score_only scheme mode ~query ~subject =
+  find_best mode (fill scheme mode ~query ~subject)
+
+let align (scheme : Scheme.t) mode ~query ~subject =
+  let mats = fill scheme mode ~query ~subject in
+  let ends = find_best mode mats in
+  let fe = variant_of_mode mode in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let { h; e; f; _ } = mats in
+  (* Recompute-based traceback: at each step decide which incoming move
+     produced the stored value.  Deterministic tie order: diagonal, then E
+     (query gap), then F (subject gap). *)
+  let ops = ref [] in
+  let rec walk i j state =
+    match state with
+    | `M ->
+        if fe.clamp_zero && h.(i).(j) = 0 then (i, j)
+        else if i = 0 && j = 0 then (i, j)
+        else if (not fe.clamp_zero) && fe.free_start && (i = 0 || j = 0) then (i, j)
+        else if
+          i > 0 && j > 0
+          && h.(i).(j)
+             = h.(i - 1).(j - 1) + sigma (Sequence.get query (i - 1)) (Sequence.get subject (j - 1))
+        then begin
+          let q = Sequence.get query (i - 1) and s = Sequence.get subject (j - 1) in
+          ops := (if q = s then Cigar.Match else Cigar.Mismatch) :: !ops;
+          walk (i - 1) (j - 1) `M
+        end
+        else if i > 0 && h.(i).(j) = e.(i).(j) then walk i j `E
+        else if j > 0 && h.(i).(j) = f.(i).(j) then walk i j `F
+        else assert false
+    | `E ->
+        ops := Cigar.Ins :: !ops;
+        if i = 1 || e.(i).(j) = h.(i - 1).(j) - go - ge then walk (i - 1) j `M
+        else walk (i - 1) j `E
+    | `F ->
+        ops := Cigar.Del :: !ops;
+        if j = 1 || f.(i).(j) = h.(i).(j - 1) - go - ge then walk i (j - 1) `M
+        else walk i (j - 1) `F
+  in
+  if mode = Local && ends.score = 0 then
+    {
+      Alignment.score = 0;
+      mode;
+      query_start = 0;
+      query_end = 0;
+      subject_start = 0;
+      subject_end = 0;
+      cigar = Cigar.empty;
+    }
+  else begin
+    let qs, ss = walk ends.query_end ends.subject_end `M in
+    let result =
+      {
+        Alignment.score = ends.score;
+        mode;
+        query_start = qs;
+        query_end = ends.query_end;
+        subject_start = ss;
+        subject_end = ends.subject_end;
+        cigar = Cigar.of_ops !ops;
+      }
+    in
+    (* Zero-cost gap ties can leave boundary gaps on local paths. *)
+    if mode = Local then Alignment.trim_boundary_gaps result else result
+  end

@@ -1,0 +1,32 @@
+(** Naive full-matrix reference implementation — the differential-testing
+    oracle.
+
+    Deliberately simple: three dense (n+1)×(m+1) int matrices (Gotoh's H, E,
+    F), no tiling, no blocking, no narrow integers, recompute-based
+    traceback. Every other engine in the library — linear-space, Hirschberg,
+    banded, tiled, SIMD-batched, GPU-simulated, systolic, and all baselines
+    — is required by the test suite to agree with this module.
+
+    Linear gap penalties are handled as affine with Go = 0, which is
+    mathematically identical and keeps the oracle single-path. *)
+
+val max_cells : int
+(** Guard against accidental huge allocations: [score_only] and [align]
+    raise [Invalid_argument] when (n+1)·(m+1) exceeds this (64 M cells). *)
+
+val score_only :
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Types.ends
+
+val align :
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_bio.Alignment.t
+(** Optimal alignment with traceback. Ties are broken deterministically:
+    diagonal over query-gap over subject-gap. A local alignment whose best
+    score is 0 is reported as the empty alignment at (0, 0). *)

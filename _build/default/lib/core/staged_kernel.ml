@@ -1,0 +1,272 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Substitution = Anyseq_bio.Substitution
+module Alphabet = Anyseq_bio.Alphabet
+module Sequence = Anyseq_bio.Sequence
+module E = Anyseq_staged.Expr
+module Pe = Anyseq_staged.Pe
+module Compile = Anyseq_staged.Compile
+open Types
+
+(* The generic program.  Configuration parameters are ordinary arguments;
+   partial evaluation with static values removes every branch on them. *)
+let generic_program : E.program =
+  let open E in
+  let v = var in
+  let sub a b = Binop (Sub, a, b) in
+  let eq a b = Binop (Eq, a, b) in
+  (* subst(q, s): matrix lookup or simple match/mismatch. *)
+  let subst_body =
+    if_ (v "use_matrix")
+      (Read ("subst_matrix", Binop (Add, Binop (Mul, v "q", v "asize"), v "s")))
+      (if_ (eq (v "q") (v "s")) (v "match_s") (v "mismatch_s"))
+  in
+  (* relax_e(h_up, e_up, go, ge, is_affine):
+       affine: max(e_up - ge, h_up - go - ge); linear: h_up - ge. *)
+  let relax_e_body =
+    if_ (v "is_affine")
+      (max_ (sub (v "e_up") (v "ge")) (sub (sub (v "h_up") (v "go")) (v "ge")))
+      (sub (v "h_up") (v "ge"))
+  in
+  let relax_f_body =
+    if_ (v "is_affine")
+      (max_ (sub (v "f_left") (v "ge")) (sub (sub (v "h_left") (v "go")) (v "ge")))
+      (sub (v "h_left") (v "ge"))
+  in
+  let config = [ "go"; "ge"; "is_affine" ] in
+  let relax_h_body =
+    let_ "sig"
+      (Call ("subst", [ v "q"; v "s"; v "use_matrix"; v "match_s"; v "mismatch_s"; v "asize" ]))
+      (let_ "diag"
+         (Binop (Add, v "h_diag", v "sig"))
+         (let_ "e"
+            (Call ("relax_e", [ v "h_up"; v "e_up"; v "go"; v "ge"; v "is_affine" ]))
+            (let_ "f"
+               (Call ("relax_f", [ v "f_left"; v "h_left"; v "go"; v "ge"; v "is_affine" ]))
+               (let_ "best"
+                  (max_ (v "diag") (max_ (v "e") (v "f")))
+                  (if_ (v "is_local") (max_ (v "best") (int 0)) (v "best"))))))
+  in
+  [
+    {
+      name = "subst";
+      params = [ "q"; "s"; "use_matrix"; "match_s"; "mismatch_s"; "asize" ];
+      filter = When_static [ "use_matrix" ];
+      body = subst_body;
+    };
+    { name = "relax_e"; params = [ "h_up"; "e_up" ] @ config; filter = When_static [ "is_affine" ]; body = relax_e_body };
+    {
+      name = "relax_f";
+      params = [ "f_left"; "h_left" ] @ config;
+      filter = When_static [ "is_affine" ];
+      body = relax_f_body;
+    };
+    {
+      name = "relax_h";
+      params =
+        [
+          "h_diag"; "h_up"; "h_left"; "e_up"; "f_left"; "q"; "s"; "use_matrix"; "match_s";
+          "mismatch_s"; "asize"; "go"; "ge"; "is_affine"; "is_local";
+        ];
+      filter = E.Always;
+      body = relax_h_body;
+    };
+  ]
+
+type kernel = {
+  relax_h : hdiag:int -> hup:int -> hleft:int -> eup:int -> fleft:int -> q:int -> s:int -> int;
+  relax_e : hup:int -> eup:int -> int;
+  relax_f : hleft:int -> fleft:int -> int;
+}
+
+let flatten_matrix subst alphabet =
+  let n = Alphabet.size alphabet in
+  let flat = Array.make (n * n) 0 in
+  for q = 0 to n - 1 do
+    for s = 0 to n - 1 do
+      flat.((q * n) + s) <- Substitution.score subst q s
+    done
+  done;
+  flat
+
+(* A scheme uses the matrix path unless it is a plain simple scheme; we
+   always use the matrix representation here except when the substitution
+   matrix is exactly a two-valued match/mismatch pattern, in which case the
+   simple path demonstrates folding. *)
+let simple_of_subst subst alphabet =
+  let n = Alphabet.size alphabet in
+  let d = Substitution.score subst 0 0 in
+  let o = if n > 1 then Substitution.score subst 0 1 else d - 1 in
+  let ok = ref (n > 1) in
+  for q = 0 to n - 1 do
+    for s = 0 to n - 1 do
+      let expect = if q = s then d else o in
+      if Substitution.score subst q s <> expect then ok := false
+    done
+  done;
+  if !ok then Some (d, o) else None
+
+let static_config (scheme : Scheme.t) mode =
+  let alphabet = Scheme.alphabet scheme in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let is_affine = Gaps.is_affine scheme.gap in
+  let is_local = (variant_of_mode mode).clamp_zero in
+  let simple = simple_of_subst scheme.subst alphabet in
+  let use_matrix = simple = None in
+  let match_s, mismatch_s = match simple with Some (d, o) -> (d, o) | None -> (0, 0) in
+  let statics =
+    [
+      ("use_matrix", Pe.VBool use_matrix);
+      ("match_s", Pe.VInt match_s);
+      ("mismatch_s", Pe.VInt mismatch_s);
+      ("asize", Pe.VInt (Alphabet.size alphabet));
+      ("go", Pe.VInt go);
+      ("ge", Pe.VInt ge);
+      ("is_affine", Pe.VBool is_affine);
+      ("is_local", Pe.VBool is_local);
+    ]
+  in
+  let arrays =
+    if use_matrix then [ ("subst_matrix", flatten_matrix scheme.subst alphabet) ] else []
+  in
+  (statics, arrays)
+
+let residual_of name scheme mode =
+  let statics, _arrays = static_config scheme mode in
+  match
+    Pe.specialize_fn ~program:generic_program ~name ~static_args:statics ()
+  with
+  | Ok r -> r
+  | Error e -> failwith ("Staged_kernel: PE failed: " ^ Pe.error_to_string e)
+
+let dyn_env ~arrays ints = { Compile.ints; bools = []; arrays }
+
+let specialize scheme mode how =
+  let _, arrays = static_config scheme mode in
+  let rh = residual_of "relax_h" scheme mode in
+  let re = residual_of "relax_e" scheme mode in
+  let rf = residual_of "relax_f" scheme mode in
+  let runner residual =
+    match how with
+    | `Interpreted -> fun ints ->
+        (match Compile.interpret residual (dyn_env ~arrays ints) with
+        | Ok v -> v
+        | Error e -> failwith (Compile.error_to_string e))
+    | `Compiled ->
+        let compiled =
+          match Compile.compile residual with
+          | Ok c -> c
+          | Error e -> failwith (Compile.error_to_string e)
+        in
+        fun ints ->
+          (match Compile.run_compiled compiled (dyn_env ~arrays ints) with
+          | Ok v -> v
+          | Error e -> failwith (Compile.error_to_string e))
+  in
+  let run_h = runner rh and run_e = runner re and run_f = runner rf in
+  {
+    relax_h =
+      (fun ~hdiag ~hup ~hleft ~eup ~fleft ~q ~s ->
+        run_h
+          [
+            ("h_diag", hdiag); ("h_up", hup); ("h_left", hleft); ("e_up", eup);
+            ("f_left", fleft); ("q", q); ("s", s);
+          ]);
+    relax_e = (fun ~hup ~eup -> run_e [ ("h_up", hup); ("e_up", eup) ]);
+    relax_f = (fun ~hleft ~fleft -> run_f [ ("f_left", fleft); ("h_left", hleft) ]);
+  }
+
+let generic_kernel scheme mode =
+  let statics, arrays = static_config scheme mode in
+  let as_int = function Pe.VInt n -> [ n ] | Pe.VBool _ -> [] in
+  let as_bool = function Pe.VBool b -> [ b ] | Pe.VInt _ -> [] in
+  let ints = List.concat_map (fun (k, v) -> List.map (fun n -> (k, n)) (as_int v)) statics in
+  let bools = List.concat_map (fun (k, v) -> List.map (fun b -> (k, b)) (as_bool v)) statics in
+  let fn name =
+    match Anyseq_staged.Expr.lookup_fn generic_program name with
+    | Some f -> f
+    | None -> assert false
+  in
+  let call name dyn =
+    let f = fn name in
+    let args = List.map (fun p -> E.Var p) f.E.params in
+    let residual = { Pe.entry = E.Call (name, args); fns = [] } in
+    (* Interpreting a bare call with the source program as "residual": make
+       the callee available by rebuilding a residual program holding the
+       original functions. *)
+    let residual = { residual with Pe.fns = generic_program } in
+    match
+      Compile.interpret residual { Compile.ints = dyn @ ints; bools; arrays }
+    with
+    | Ok v -> v
+    | Error e -> failwith (Compile.error_to_string e)
+  in
+  {
+    relax_h =
+      (fun ~hdiag ~hup ~hleft ~eup ~fleft ~q ~s ->
+        call "relax_h"
+          [
+            ("h_diag", hdiag); ("h_up", hup); ("h_left", hleft); ("e_up", eup);
+            ("f_left", fleft); ("q", q); ("s", s);
+          ]);
+    relax_e = (fun ~hup ~eup -> call "relax_e" [ ("h_up", hup); ("e_up", eup) ]);
+    relax_f = (fun ~hleft ~fleft -> call "relax_f" [ ("f_left", fleft); ("h_left", hleft) ]);
+  }
+
+let op_counts scheme mode =
+  let generic =
+    List.fold_left (fun acc (f : E.fn) -> acc + E.size f.E.body) 0 generic_program
+  in
+  let rh = residual_of "relax_h" scheme mode in
+  let re = residual_of "relax_e" scheme mode in
+  let rf = residual_of "relax_f" scheme mode in
+  (generic, Compile.op_count rh + Compile.op_count re + Compile.op_count rf)
+
+let score_only kernel (scheme : Scheme.t) mode ~(query : Sequence.view)
+    ~(subject : Sequence.view) =
+  let n = query.Sequence.len and m = subject.Sequence.len in
+  let v = variant_of_mode mode in
+  let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
+  let hrow = Array.make (m + 1) 0 in
+  let erow = Array.make (m + 1) neg_inf in
+  let tracker = Accessors.max_tracker () in
+  let note score i j =
+    match v.best with
+    | All_cells -> tracker.Accessors.note score i j
+    | Last_row_col -> if j = m then tracker.Accessors.note score i j
+    | Corner -> ()
+  in
+  note 0 0 0;
+  for j = 1 to m do
+    hrow.(j) <- (if v.free_start then 0 else -(go + (j * ge)));
+    note hrow.(j) 0 j
+  done;
+  for i = 1 to n do
+    let q = query.Sequence.at (i - 1) in
+    let hdiag = ref hrow.(0) in
+    hrow.(0) <- (if v.free_start then 0 else -(go + (i * ge)));
+    note hrow.(0) i 0;
+    let f = ref neg_inf in
+    for j = 1 to m do
+      let s = subject.Sequence.at (j - 1) in
+      let e = kernel.relax_e ~hup:hrow.(j) ~eup:erow.(j) in
+      let fv = kernel.relax_f ~hleft:hrow.(j - 1) ~fleft:!f in
+      let h =
+        kernel.relax_h ~hdiag:!hdiag ~hup:hrow.(j) ~hleft:hrow.(j - 1) ~eup:erow.(j)
+          ~fleft:!f ~q ~s
+      in
+      hdiag := hrow.(j);
+      hrow.(j) <- h;
+      erow.(j) <- e;
+      f := fv;
+      note h i j
+    done
+  done;
+  match v.best with
+  | Corner -> { score = hrow.(m); query_end = n; subject_end = m }
+  | All_cells -> tracker.Accessors.current ()
+  | Last_row_col ->
+      for j = 0 to m do
+        tracker.Accessors.note hrow.(j) n j
+      done;
+      tracker.Accessors.current ()

@@ -1,0 +1,48 @@
+(** The relaxation kernel expressed in the {!Anyseq_staged} IR and
+    specialized by partial evaluation — the reproduction of the paper's
+    central claim that one generic kernel plus a partial evaluator replaces
+    hand-written variants.
+
+    The generic kernel branches on every configuration axis (affine vs
+    linear, local clamping, matrix vs simple substitution). Specializing it
+    to a concrete {!Anyseq_scoring.Scheme.t} and {!Types.mode} folds all
+    configuration dispatch away; the residual is a straight-line max-tree,
+    which {!op_counts} quantifies and the A4 ablation times. *)
+
+val generic_program : Anyseq_staged.Expr.program
+(** Functions [relax_h], [relax_e], [relax_f] over dynamic inputs
+    [h_diag h_up h_left e_up f_left q s] and static configuration
+    [match_s mismatch_s go ge is_local is_affine use_matrix asize]. *)
+
+type kernel = {
+  relax_h : hdiag:int -> hup:int -> hleft:int -> eup:int -> fleft:int -> q:int -> s:int -> int;
+  relax_e : hup:int -> eup:int -> int;
+  relax_f : hleft:int -> fleft:int -> int;
+}
+
+val specialize :
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  [ `Interpreted | `Compiled ] ->
+  kernel
+(** Build a kernel for a configuration. [`Interpreted] re-walks the
+    residual IR on every call (the "no code generation" baseline);
+    [`Compiled] uses the closure compiler (the "generated code"). *)
+
+val generic_kernel : Anyseq_scoring.Scheme.t -> Types.mode -> kernel
+(** Runs the {e unspecialized} program through the interpreter with the
+    configuration passed as runtime values — the fully dynamic baseline the
+    specialization ablation compares against. *)
+
+val op_counts : Anyseq_scoring.Scheme.t -> Types.mode -> int * int
+(** (generic IR size, residual IR size after specialization). *)
+
+val score_only :
+  kernel ->
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  Types.ends
+(** Full DP sweep driving the given kernel — must agree with
+    {!Dp_linear.score_only}; the test suite checks all three kernel forms. *)

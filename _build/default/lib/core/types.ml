@@ -1,0 +1,20 @@
+type mode = Anyseq_bio.Alignment.mode = Global | Semiglobal | Local
+
+let neg_inf = min_int / 4
+
+type ends = { score : int; query_end : int; subject_end : int }
+
+let pp_ends ppf e =
+  Format.fprintf ppf "score=%d end=(%d,%d)" e.score e.query_end e.subject_end
+
+type best_rule = Corner | Last_row_col | All_cells
+
+type variant = { free_start : bool; clamp_zero : bool; best : best_rule }
+
+let variant_of_mode = function
+  | Global -> { free_start = false; clamp_zero = false; best = Corner }
+  | Semiglobal -> { free_start = true; clamp_zero = false; best = Last_row_col }
+  | Local -> { free_start = true; clamp_zero = true; best = All_cells }
+
+let local_reverse = { free_start = false; clamp_zero = false; best = All_cells }
+let semiglobal_reverse = { free_start = false; clamp_zero = false; best = Last_row_col }

@@ -1,0 +1,42 @@
+(** Shared types of the alignment engines. *)
+
+type mode = Anyseq_bio.Alignment.mode = Global | Semiglobal | Local
+
+val neg_inf : int
+(** The engines' −∞: small enough that any number of additive penalties
+    cannot underflow to a plausible score, large enough that adding scores
+    to it cannot wrap. *)
+
+type ends = { score : int; query_end : int; subject_end : int }
+(** Result of a score-only pass. [query_end]/[subject_end] are the DP
+    coordinates of the optimum cell — [(n, m)] for global alignments, the
+    argmax cell for local and semi-global ones. *)
+
+val pp_ends : Format.formatter -> ends -> unit
+
+(** Where a DP pass looks for its optimum (§III-A: "in what cell(s) to look
+    for the optimal score"). *)
+type best_rule =
+  | Corner  (** H(n, m) — global *)
+  | Last_row_col  (** max over last row and last column — semi-global *)
+  | All_cells  (** max over every cell — local *)
+
+type variant = {
+  free_start : bool;  (** first row/column initialized to 0 *)
+  clamp_zero : bool;  (** ν = 0: cells never drop below zero *)
+  best : best_rule;
+}
+(** Internal generalization of {!mode}. The public modes map onto three of
+    the combinations; the reverse passes of the linear-space tracebacks use
+    anchored-start variants ([free_start = false]) with non-corner best
+    rules. *)
+
+val variant_of_mode : mode -> variant
+
+val local_reverse : variant
+(** Anchored start, best anywhere, no clamping — the backward pass that
+    locates a local alignment's start cell. *)
+
+val semiglobal_reverse : variant
+(** Anchored start, best on last row/column — the backward pass that
+    locates a semi-global alignment's start cell. *)

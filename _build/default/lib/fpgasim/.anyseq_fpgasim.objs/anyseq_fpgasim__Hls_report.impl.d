@@ -1,0 +1,1 @@
+lib/fpgasim/hls_report.ml: Float Systolic

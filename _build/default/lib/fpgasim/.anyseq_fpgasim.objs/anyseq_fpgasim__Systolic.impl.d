@@ -1,0 +1,1 @@
+lib/fpgasim/systolic.ml: Anyseq_bio Anyseq_core Anyseq_scoring Array

@@ -1,0 +1,64 @@
+type board = {
+  name : string;
+  freq_mhz : float;
+  power_watts : float;
+  luts : int;
+  dsp : int;
+  ddr_bandwidth_gbs : float;
+}
+
+let zcu104 =
+  {
+    name = "ZCU104 (Zynq UltraScale+ XCZU7EV)";
+    freq_mhz = 187.5;
+    power_watts = 6.181;
+    luts = 230_400;
+    dsp = 1728;
+    ddr_bandwidth_gbs = 19.2;
+  }
+
+type report = {
+  board : board;
+  kpe : int;
+  luts_used : int;
+  fits : bool;
+  peak_gcups : float;
+  effective_gcups : float;
+  io_limited_gcups : float;
+  seconds : float;
+  gcups_per_watt : float;
+  joules : float;
+}
+
+let luts_per_pe = 420
+
+let analyze ?(board = zcu104) ~kpe (stats : Systolic.stats) =
+  let freq = board.freq_mhz *. 1e6 in
+  let peak_gcups = float_of_int kpe *. freq /. 1e9 in
+  let effective_gcups = peak_gcups *. stats.Systolic.utilization in
+  let seconds = float_of_int stats.Systolic.clocks /. freq in
+  (* I/O ceiling: every cell of the streamed sequence plus the DDR border
+     traffic must cross the 64-bit DDR port. *)
+  let bytes = float_of_int (stats.Systolic.ddr_words * 4) in
+  let io_seconds = bytes /. (board.ddr_bandwidth_gbs *. 1e9) in
+  let io_limited_gcups =
+    if io_seconds <= 0.0 then infinity
+    else float_of_int stats.Systolic.cells /. io_seconds /. 1e9
+  in
+  let gcups_per_watt =
+    Float.min effective_gcups io_limited_gcups /. board.power_watts
+  in
+  {
+    board;
+    kpe;
+    luts_used = kpe * luts_per_pe;
+    fits = kpe * luts_per_pe <= board.luts;
+    peak_gcups;
+    effective_gcups;
+    io_limited_gcups;
+    seconds;
+    gcups_per_watt;
+    joules = board.power_watts *. seconds;
+  }
+
+let max_kpe ?(board = zcu104) () = board.luts / luts_per_pe

@@ -1,0 +1,40 @@
+(** Synthesis / deployment model for the systolic core on a ZCU104-class
+    board — the source of the FPGA rows of Fig. 5 and Table II.
+
+    The paper reports 187.5 MHz, ~20 GCUPS and 6.181 W (from the hardware
+    synthesis report) on the Xilinx Zynq UltraScale+ ZCU104, and notes the
+    design is I/O-limited: a no-operation module moves data exactly as fast
+    as the alignment core. This module turns {!Systolic.stats} into
+    wall-clock and energy numbers under those parameters. *)
+
+type board = {
+  name : string;
+  freq_mhz : float;
+  power_watts : float;
+  luts : int;  (** logic budget, for the resource feasibility estimate *)
+  dsp : int;
+  ddr_bandwidth_gbs : float;
+}
+
+val zcu104 : board
+
+type report = {
+  board : board;
+  kpe : int;
+  luts_used : int;
+  fits : bool;
+  peak_gcups : float;  (** kpe × freq: every PE busy every clock *)
+  effective_gcups : float;  (** peak × measured pipeline utilization *)
+  io_limited_gcups : float;  (** DDR-transfer ceiling for this run *)
+  seconds : float;  (** simulated wall-clock of the run *)
+  gcups_per_watt : float;
+  joules : float;
+}
+
+val luts_per_pe : int
+(** ≈ 420 LUTs per affine-gap PE (order-of-magnitude HLS estimate). *)
+
+val analyze : ?board:board -> kpe:int -> Systolic.stats -> report
+
+val max_kpe : ?board:board -> unit -> int
+(** Largest PE count the logic budget admits. *)

@@ -1,0 +1,111 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+open Anyseq_core.Types
+
+type stats = {
+  clocks : int;
+  cells : int;
+  utilization : float;
+  ddr_words : int;
+  stripes : int;
+}
+
+type pe = {
+  mutable s_code : int; (* subject character of the PE's column *)
+  mutable hprev : int; (* H(i-1, col) *)
+  mutable eprev : int; (* E(i-1, col) *)
+  (* Output registers latched for the right neighbour (next clock). *)
+  mutable out_h : int;
+  mutable out_f : int;
+  mutable out_diag : int;
+  mutable out_q : int;
+  mutable out_row : int; (* row index the outputs belong to; 0 = invalid *)
+}
+
+let score ?(kpe = 128) (scheme : Scheme.t) ~query ~subject =
+  if kpe <= 0 then invalid_arg "Systolic.score: kpe must be positive";
+  let n = Sequence.length query and m = Sequence.length subject in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
+  (* Left-border feed for the current stripe: H/F of the column left of the
+     stripe, one entry per row (i = 0..n).  Stripe 0 uses the DP column-0
+     init; later stripes use what the previous stripe streamed to DDR. *)
+  let border_h = Array.init (n + 1) (fun i -> if i = 0 then 0 else -(go + (i * ge))) in
+  let border_f = Array.make (n + 1) neg_inf in
+  let next_border_h = Array.make (n + 1) 0 in
+  let next_border_f = Array.make (n + 1) neg_inf in
+  let clocks = ref 0 and ddr_words = ref 0 and nstripes = ref 0 in
+  let score = ref (if n = 0 || m = 0 then -(go + ((n + m) * ge)) else 0) in
+  if n = 0 && m = 0 then score := 0;
+  if n > 0 && m > 0 then begin
+    let pes = Array.init kpe (fun _ ->
+        { s_code = 0; hprev = 0; eprev = neg_inf; out_h = 0; out_f = 0; out_diag = 0;
+          out_q = 0; out_row = 0 }) in
+    let j0 = ref 0 in
+    while !j0 < m do
+      incr nstripes;
+      let w = min kpe (m - !j0) in
+      (* Load the stripe: PE p takes subject column j0+p+1; its row-0 state
+         is the DP top border of that column. *)
+      for p = 0 to w - 1 do
+        let j = !j0 + p + 1 in
+        let pe = pes.(p) in
+        pe.s_code <- Sequence.get subject (j - 1);
+        pe.hprev <- -(go + (j * ge));
+        pe.eprev <- neg_inf;
+        pe.out_row <- 0
+      done;
+      (* Stream: clock t feeds row t+1 into PE 0; PE p handles row t-p+1. *)
+      let total_clocks = n + w - 1 in
+      for t = 0 to total_clocks - 1 do
+        incr clocks;
+        (* Descending p: each PE reads its left neighbour's registers as
+           latched at the previous clock (we update p after p+1 read it). *)
+        for p = min (w - 1) t downto 0 do
+          let i = t - p + 1 in
+          if i >= 1 && i <= n then begin
+            let pe = pes.(p) in
+            let in_h, in_f, in_diag, in_q =
+              if p = 0 then (border_h.(i), border_f.(i), border_h.(i - 1), Sequence.get query (i - 1))
+              else
+                let left = pes.(p - 1) in
+                (* The left PE processed row i at the previous clock. *)
+                (left.out_h, left.out_f, left.out_diag, left.out_q)
+            in
+            let e = max (pe.eprev - ge) (pe.hprev - go - ge) in
+            let f = max (in_f - ge) (in_h - go - ge) in
+            let h = max (in_diag + sigma in_q pe.s_code) (max e f) in
+            pe.out_h <- h;
+            pe.out_f <- f;
+            pe.out_diag <- pe.hprev;
+            pe.out_q <- in_q;
+            pe.out_row <- i;
+            pe.hprev <- h;
+            pe.eprev <- e;
+            (* Rightmost PE of the stripe emits to DDR (or the host when
+               this is the final column). *)
+            if p = w - 1 then begin
+              next_border_h.(i) <- h;
+              next_border_f.(i) <- f;
+              ddr_words := !ddr_words + 2;
+              if !j0 + w = m && i = n then score := h
+            end
+          end
+        done
+      done;
+      (* Prepare next stripe's left border; row 0 comes from the top init. *)
+      next_border_h.(0) <- -(go + ((!j0 + w) * ge));
+      next_border_f.(0) <- neg_inf;
+      Array.blit next_border_h 0 border_h 0 (n + 1);
+      Array.blit next_border_f 0 border_f 0 (n + 1);
+      ddr_words := !ddr_words + n (* replaying the column feeds reads too *);
+      j0 := !j0 + w
+    done
+  end;
+  let cells = n * m in
+  let utilization =
+    if !clocks = 0 then 0.0 else float_of_int cells /. (float_of_int !clocks *. float_of_int kpe)
+  in
+  ( { score = !score; query_end = n; subject_end = m },
+    { clocks = !clocks; cells; utilization; ddr_words = !ddr_words; stripes = !nstripes } )

@@ -1,0 +1,31 @@
+(** Clock-stepped linear systolic array — the FPGA mapping of §IV-C.
+
+    [kpe] processing elements each relax one DP cell per clock. The subject
+    is cut into stripes of width ≤ [kpe]; each PE owns one column of the
+    stripe. Query characters (with the left-border H/F/diagonal values)
+    stream through the array: PE p processes row i at clock i + p. The
+    rightmost column of a stripe is buffered to host DDR and replayed as
+    the left border of the next stripe — the paper's "predefined hardware
+    component" for [m > K_PE].
+
+    Affine and linear gaps take the same clock count (the E/F logic is
+    combinational), reproducing the paper's observation that "the runtime
+    is not affected by the gap penalty scheme".
+
+    Global score-only alignment, verified against the CPU engines. *)
+
+type stats = {
+  clocks : int;  (** total clock cycles over all stripes *)
+  cells : int;  (** DP cells relaxed *)
+  utilization : float;  (** cells / (clocks × kpe) *)
+  ddr_words : int;  (** border words written to + read from host DDR *)
+  stripes : int;
+}
+
+val score :
+  ?kpe:int ->
+  Anyseq_scoring.Scheme.t ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_core.Types.ends * stats
+(** Default [kpe] 128. Raises [Invalid_argument] for [kpe <= 0]. *)

@@ -1,0 +1,1 @@
+lib/gpusim/align_kernel.ml: Anyseq_bio Anyseq_core Anyseq_scoring Array Cost Counters Device Kernel

@@ -1,0 +1,1 @@
+lib/gpusim/align_kernel.mli: Anyseq_bio Anyseq_core Anyseq_scoring Cost Counters Device

@@ -1,0 +1,1 @@
+lib/gpusim/cost.ml: Counters Device Float Format

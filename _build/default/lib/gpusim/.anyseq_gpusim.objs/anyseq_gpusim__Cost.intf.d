@@ -1,0 +1,1 @@
+lib/gpusim/cost.mli: Counters Device Format

@@ -1,0 +1,1 @@
+lib/gpusim/counters.mli: Format

@@ -1,0 +1,1 @@
+lib/gpusim/kernel.ml: Array Counters Device Effect Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/gpusim/kernel.mli: Counters Device

@@ -1,0 +1,211 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+open Anyseq_core.Types
+
+type params = { tile : int; block : int; layout : [ `Coalesced | `Strided ] }
+
+let anyseq_params = { tile = 512; block = 128; layout = `Coalesced }
+let nvbio_like_params = { tile = 192; block = 64; layout = `Strided }
+
+type result = { ends : ends; counters : Counters.t; estimate : Cost.estimate }
+
+(* Shared tiled execution.  [tb] overrides the vertical gap-open on column 0
+   (Myers-Miller boundary merging); [store_e] forces the E border rows to be
+   kept even for linear gaps (needed when the caller wants last_rows). *)
+let run ~device ~params ~tb ~store_e (scheme : Scheme.t) ~query ~subject =
+  let { tile; block; layout } = params in
+  if tile <= 0 || block <= 0 then invalid_arg "Align_kernel: bad parameters";
+  let n = Sequence.length query and m = Sequence.length subject in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
+  let affine = Gaps.is_affine scheme.Scheme.gap || store_e in
+  let cell_ops = if affine then 30 else 22 in
+  let nti = max 1 ((n + tile - 1) / tile) and ntj = max 1 ((m + tile - 1) / tile) in
+  (* Border buffers live in global memory; the host initializes the DP
+     borders directly in the backing arrays (host writes are not device
+     traffic) and wraps them with [global_of_array] (no copy). *)
+  let rows_words = (nti + 1) * (m + 1) in
+  let cols_words = (ntj + 1) * (n + 1) in
+  let qbuf = Kernel.global_of_array (Array.init n (fun i -> Sequence.get query i)) in
+  let sbuf = Kernel.global_of_array (Array.init m (fun j -> Sequence.get subject j)) in
+  let rows_idx ti j =
+    match layout with `Coalesced -> (ti * (m + 1)) + j | `Strided -> (j * (nti + 1)) + ti
+  in
+  let cols_idx tj i =
+    match layout with `Coalesced -> (tj * (n + 1)) + i | `Strided -> (i * (ntj + 1)) + tj
+  in
+  let h_rows_arr = Array.make rows_words 0 in
+  let e_rows_arr = Array.make (if affine then rows_words else 1) neg_inf in
+  let h_cols_arr = Array.make cols_words 0 in
+  let f_cols_arr = Array.make cols_words neg_inf in
+  for j = 0 to m do
+    h_rows_arr.(rows_idx 0 j) <- (if j = 0 then 0 else -(go + (j * ge)));
+    if affine then e_rows_arr.(rows_idx 0 j) <- neg_inf
+  done;
+  for i = 0 to n do
+    h_cols_arr.(cols_idx 0 i) <- (if i = 0 then 0 else -(tb + (i * ge)));
+    f_cols_arr.(cols_idx 0 i) <- neg_inf
+  done;
+  (* Row-0 entry of every interior column border: the first thread of each
+     tile reads H(0, tj·tile) as its initial diagonal value. *)
+  for tj = 1 to ntj do
+    let j = min (tj * tile) m in
+    h_cols_arr.(cols_idx tj 0) <- (if j = 0 then 0 else -(go + (j * ge)))
+  done;
+  let h_rows = Kernel.global_of_array h_rows_arr in
+  let e_rows = Kernel.global_of_array e_rows_arr in
+  let h_cols = Kernel.global_of_array h_cols_arr in
+  let f_cols = Kernel.global_of_array f_cols_arr in
+  let totals = Counters.create () in
+  if n > 0 && m > 0 then begin
+    for d = 0 to nti + ntj - 2 do
+      let lo = max 0 (d - ntj + 1) and hi = min (nti - 1) d in
+      let tiles = Array.init (hi - lo + 1) (fun k -> (lo + k, d - lo - k)) in
+      let shared_words = (3 * tile) + 4 in
+      let body ctx ~shared =
+        let ti, tj = tiles.(Kernel.block_idx ctx) in
+        let i0 = ti * tile and j0 = tj * tile in
+        let i1 = min n (i0 + tile) and j1 = min m (j0 + tile) in
+        let w = j1 - j0 in
+        let tid = Kernel.thread_idx ctx in
+        let bdim = Kernel.block_dim ctx in
+        (* shared layout: sh_h = [0..w], sh_e = [w+1 .. 2w+1],
+           sh_s = [2w+2 .. 3w+1] *)
+        let sh_h k = k and sh_e k = w + 1 + k and sh_s k = (2 * w) + 2 + k in
+        (* Cooperative loads: top border row + subject segment. *)
+        let k = ref tid in
+        while !k <= w do
+          Kernel.write ctx shared (sh_h !k) (Kernel.read ctx h_rows (rows_idx ti (j0 + !k)));
+          if affine then
+            Kernel.write ctx shared (sh_e !k) (Kernel.read ctx e_rows (rows_idx ti (j0 + !k)));
+          k := !k + bdim
+        done;
+        let k = ref tid in
+        while !k < w do
+          Kernel.write ctx shared (sh_s !k) (Kernel.read ctx sbuf (j0 + !k));
+          k := !k + bdim
+        done;
+        Kernel.barrier ctx;
+        (* Stripes of height [bdim]. *)
+        let nstripes = ((i1 - i0) + bdim - 1) / bdim in
+        for stripe = 0 to nstripes - 1 do
+          let r = i0 + (stripe * bdim) + tid + 1 in
+          let active = r <= i1 in
+          let q = if active then Kernel.read ctx qbuf (r - 1) else 0 in
+          let h_left = ref (if active then Kernel.read ctx h_cols (cols_idx tj r) else 0) in
+          let f = ref (if active then Kernel.read ctx f_cols (cols_idx tj r) else 0) in
+          let diag = ref (if active then Kernel.read ctx h_cols (cols_idx tj (r - 1)) else 0) in
+          if not active then Kernel.divergent ctx;
+          for step = 0 to w + bdim - 2 do
+            let kk = step - tid in
+            if active && kk >= 0 && kk < w then begin
+              let s = Kernel.read ctx shared (sh_s kk) in
+              let h_up = Kernel.read ctx shared (sh_h (kk + 1)) in
+              let e =
+                if affine then
+                  max (Kernel.read ctx shared (sh_e (kk + 1)) - ge) (h_up - go - ge)
+                else h_up - ge
+              in
+              let fv = max (!f - ge) (!h_left - go - ge) in
+              let dg = !diag + sigma q s in
+              let h = max dg (max e fv) in
+              Kernel.write ctx shared (sh_h (kk + 1)) h;
+              if affine then Kernel.write ctx shared (sh_e (kk + 1)) e;
+              Kernel.work ctx ~cells:1 ~ops:cell_ops;
+              diag := h_up;
+              h_left := h;
+              f := fv;
+              if kk = w - 1 then begin
+                Kernel.write ctx h_cols (cols_idx (tj + 1) r) h;
+                Kernel.write ctx f_cols (cols_idx (tj + 1) r) fv
+              end
+            end;
+            Kernel.barrier ctx
+          done
+        done;
+        (* Bottom border from the stripe carry rows in shared memory;
+           column j0 belongs to the left neighbour except at tj = 0. *)
+        if tid = 0 && tj = 0 then
+          Kernel.write ctx h_rows (rows_idx (ti + 1) 0) (Kernel.read ctx h_cols (cols_idx 0 i1));
+        let k = ref (tid + 1) in
+        while !k <= w do
+          Kernel.write ctx h_rows (rows_idx (ti + 1) (j0 + !k)) (Kernel.read ctx shared (sh_h !k));
+          if affine then
+            Kernel.write ctx e_rows (rows_idx (ti + 1) (j0 + !k)) (Kernel.read ctx shared (sh_e !k));
+          k := !k + bdim
+        done
+      in
+      let res =
+        Kernel.launch ~device ~grid:(Array.length tiles) ~block ~shared_words body
+      in
+      Counters.add totals res.Kernel.counters
+    done
+  end;
+  (h_rows_arr, e_rows_arr, rows_idx, cols_idx, h_cols_arr, nti, totals)
+
+let score ?(device = Device.titan_v) ?(params = anyseq_params) (scheme : Scheme.t) ~query
+    ~subject =
+  let n = Sequence.length query and m = Sequence.length subject in
+  let go = Gaps.open_cost scheme.Scheme.gap in
+  let h_rows_arr, _, rows_idx, cols_idx, h_cols_arr, nti, totals =
+    run ~device ~params ~tb:go ~store_e:false scheme ~query ~subject
+  in
+  let final =
+    if n = 0 || m = 0 then h_cols_arr.(cols_idx 0 n) + h_rows_arr.(rows_idx 0 m)
+    else h_rows_arr.(rows_idx nti m)
+  in
+  {
+    ends = { score = final; query_end = n; subject_end = m };
+    counters = totals;
+    estimate = Cost.estimate device totals;
+  }
+
+(* Accumulates work across the many launches of a divide-and-conquer
+   traceback. *)
+let materialize alphabet (v : Sequence.view) =
+  Sequence.of_codes alphabet (Array.init v.Sequence.len v.Sequence.at)
+
+let last_rows ?(device = Device.titan_v) ?(params = anyseq_params) ~counters
+    (scheme : Scheme.t) ~tb ~(query : Sequence.view) ~(subject : Sequence.view) =
+  let alphabet = Anyseq_scoring.Scheme.alphabet scheme in
+  (* Host-to-device transfer: the sub-range views are materialized, exactly
+     as the real system would copy sequence windows to the GPU. *)
+  let q = materialize alphabet query and s = materialize alphabet subject in
+  let n = Sequence.length q and m = Sequence.length s in
+  let h_rows_arr, e_rows_arr, rows_idx, _, h_cols_arr, nti, totals =
+    run ~device ~params ~tb ~store_e:true scheme ~query:q ~subject:s
+  in
+  Counters.add counters totals;
+  let ge = Gaps.extend_cost scheme.Scheme.gap in
+  let h = Array.init (m + 1) (fun j -> h_rows_arr.(rows_idx nti j)) in
+  let e = Array.init (m + 1) (fun j -> e_rows_arr.(rows_idx nti j)) in
+  ignore h_cols_arr;
+  (* Degenerate problems never launch kernels; their final rows are the
+     initialization borders. *)
+  if n = 0 then
+    for j = 0 to m do
+      h.(j) <- h_rows_arr.(rows_idx 0 j);
+      e.(j) <- neg_inf
+    done
+  else if m = 0 then h.(0) <- -(tb + (n * ge))
+  else h.(0) <- -(tb + (n * ge));
+  (* E(n, 0) is the all-vertical-gap column opened at tb
+     (cf. Dp_linear.last_rows). *)
+  e.(0) <- (if n = 0 then neg_inf else -(tb + (n * ge)));
+  (h, e)
+
+let align_with_traceback ?(device = Device.titan_v) ?(params = anyseq_params)
+    ?cutoff_cells (scheme : Scheme.t) ~query ~subject =
+  let counters = Counters.create () in
+  let last_rows scheme ~tb ~query ~subject =
+    (* Small sub-problems are cheaper on the host than a kernel launch. *)
+    if query.Sequence.len * subject.Sequence.len < 16_384 then
+      Anyseq_core.Dp_linear.last_rows scheme ~tb ~query ~subject
+    else last_rows ~device ~params ~counters scheme ~tb ~query ~subject
+  in
+  let alignment =
+    Anyseq_core.Hirschberg.align ?cutoff_cells ~last_rows scheme Anyseq_core.Types.Global
+      ~query ~subject
+  in
+  (alignment, counters, Cost.estimate device counters)

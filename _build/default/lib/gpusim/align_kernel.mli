@@ -1,0 +1,76 @@
+(** The GPU mapping of §IV-B running on the SIMT simulator.
+
+    Host side: tiles are visited in anti-diagonal order, one kernel launch
+    per diagonal, a one-dimensional grid with one thread-block per tile.
+    Device side: each tile is split into stripes of height [block]; inside
+    a stripe the threads relax anti-diagonals in lockstep (one barrier per
+    wave step), sequence segments and the stripe's carry rows live in
+    shared memory, and the stripe's last row stays in shared memory to seed
+    the next stripe (Fig. 4's reuse of the initialization cells). Tile
+    border rows/columns go through global memory.
+
+    [layout] controls how border rows are addressed in global memory:
+    [`Coalesced] (row-major, consecutive threads touch consecutive words —
+    AnySeq's layout via the offset view) or [`Strided] (column-major, one
+    transaction per thread — what the NVBio-like baseline models).
+
+    Global score-only alignment; affine and linear gaps. 32-bit scores, as
+    the paper notes GPUs lack efficient 16-bit lanes. *)
+
+type params = {
+  tile : int;
+  block : int;  (** threads per block = stripe height *)
+  layout : [ `Coalesced | `Strided ];
+}
+
+val anyseq_params : params
+(** tile 512, block 128, coalesced. *)
+
+val nvbio_like_params : params
+(** tile 192, block 64, strided — smaller tiles (more border traffic, more
+    barrier waves per cell) and an uncoalesced border layout. *)
+
+type result = {
+  ends : Anyseq_core.Types.ends;
+  counters : Counters.t;
+  estimate : Cost.estimate;
+}
+
+val score :
+  ?device:Device.t ->
+  ?params:params ->
+  Anyseq_scoring.Scheme.t ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  result
+(** Simulate the full alignment (global mode). The score must equal the
+    CPU engines' — enforced by the test suite. Simulation cost is O(cells)
+    with a large constant: use directly on scaled inputs; the benches
+    extrapolate device GCUPS from representative tiles via {!Cost}. *)
+
+val last_rows :
+  ?device:Device.t ->
+  ?params:params ->
+  counters:Counters.t ->
+  Anyseq_scoring.Scheme.t ->
+  tb:int ->
+  query:Anyseq_bio.Sequence.view ->
+  subject:Anyseq_bio.Sequence.view ->
+  int array * int array
+(** GPU implementation of {!Anyseq_core.Hirschberg.last_rows_fn}: the final
+    H and E rows of the anchored DP, computed by the tiled kernel. Work is
+    accumulated into [counters]; sub-range views are materialized
+    (host→device transfer). *)
+
+val align_with_traceback :
+  ?device:Device.t ->
+  ?params:params ->
+  ?cutoff_cells:int ->
+  Anyseq_scoring.Scheme.t ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_bio.Alignment.t * Counters.t * Cost.estimate
+(** Full global alignment with the divide-and-conquer traceback whose
+    forward/reverse passes run on the simulated GPU (§V's GPU traceback
+    configuration): the host recursion of Myers-Miller drives GPU kernel
+    launches for every sub-problem above a host threshold. *)

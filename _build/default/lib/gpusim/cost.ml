@@ -1,0 +1,39 @@
+type estimate = {
+  compute_s : float;
+  memory_s : float;
+  barrier_s : float;
+  total_s : float;
+  gcups : float;
+  bound : [ `Compute | `Memory | `Barrier ];
+}
+
+let estimate (d : Device.t) ?(occupancy = 0.72) (c : Counters.t) =
+  let compute_s =
+    float_of_int c.Counters.cell_ops /. (Device.int_ops_per_second d *. occupancy)
+  in
+  let memory_s =
+    float_of_int c.Counters.global_transactions *. 128.0
+    /. (d.Device.mem_bandwidth_gbs *. 1e9)
+  in
+  let barrier_s =
+    float_of_int (c.Counters.barriers * d.Device.barrier_cycles)
+    /. (float_of_int d.Device.sms *. d.Device.clock_ghz *. 1e9)
+  in
+  let overlapped = Float.max compute_s memory_s in
+  let total_s = overlapped +. barrier_s in
+  let bound =
+    if barrier_s > overlapped then `Barrier
+    else if memory_s >= compute_s then `Memory
+    else `Compute
+  in
+  let gcups =
+    if total_s <= 0.0 then 0.0 else float_of_int c.Counters.cells /. total_s /. 1e9
+  in
+  { compute_s; memory_s; barrier_s; total_s; gcups; bound }
+
+let pp_estimate ppf e =
+  let bound =
+    match e.bound with `Compute -> "compute" | `Memory -> "memory" | `Barrier -> "barrier"
+  in
+  Format.fprintf ppf "compute=%.3es memory=%.3es barrier=%.3es total=%.3es gcups=%.2f (%s-bound)"
+    e.compute_s e.memory_s e.barrier_s e.total_s e.gcups bound

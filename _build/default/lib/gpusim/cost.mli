@@ -1,0 +1,21 @@
+(** Roofline-style cost model: counted work → estimated seconds on a
+    {!Device.t}.
+
+    Compute and memory phases overlap on a GPU, so the estimate takes the
+    maximum of the two and adds barrier latency (which overlaps poorly in
+    barrier-per-diagonal kernels). *)
+
+type estimate = {
+  compute_s : float;
+  memory_s : float;
+  barrier_s : float;
+  total_s : float;
+  gcups : float;
+  bound : [ `Compute | `Memory | `Barrier ];
+}
+
+val estimate : Device.t -> ?occupancy:float -> Counters.t -> estimate
+(** [occupancy] (default 0.72) scales sustained integer throughput —
+    wavefront kernels never reach peak issue rate. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit

@@ -1,0 +1,38 @@
+type t = {
+  mutable cells : int;
+  mutable cell_ops : int;
+  mutable global_reads : int;
+  mutable global_writes : int;
+  mutable global_transactions : int;
+  mutable shared_accesses : int;
+  mutable barriers : int;
+  mutable divergent_branches : int;
+}
+
+let create () =
+  {
+    cells = 0;
+    cell_ops = 0;
+    global_reads = 0;
+    global_writes = 0;
+    global_transactions = 0;
+    shared_accesses = 0;
+    barriers = 0;
+    divergent_branches = 0;
+  }
+
+let add acc x =
+  acc.cells <- acc.cells + x.cells;
+  acc.cell_ops <- acc.cell_ops + x.cell_ops;
+  acc.global_reads <- acc.global_reads + x.global_reads;
+  acc.global_writes <- acc.global_writes + x.global_writes;
+  acc.global_transactions <- acc.global_transactions + x.global_transactions;
+  acc.shared_accesses <- acc.shared_accesses + x.shared_accesses;
+  acc.barriers <- acc.barriers + x.barriers;
+  acc.divergent_branches <- acc.divergent_branches + x.divergent_branches
+
+let pp ppf c =
+  Format.fprintf ppf
+    "cells=%d cell_ops=%d greads=%d gwrites=%d gtrans=%d shared=%d barriers=%d divergent=%d"
+    c.cells c.cell_ops c.global_reads c.global_writes c.global_transactions
+    c.shared_accesses c.barriers c.divergent_branches

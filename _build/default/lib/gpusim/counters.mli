@@ -1,0 +1,18 @@
+(** Work counters accumulated during a simulated kernel launch. *)
+
+type t = {
+  mutable cells : int;  (** DP cells relaxed (kernels report via [work]) *)
+  mutable cell_ops : int;  (** arithmetic ops attributed to cell work *)
+  mutable global_reads : int;  (** individual thread-level accesses *)
+  mutable global_writes : int;
+  mutable global_transactions : int;  (** 128-byte segments after coalescing *)
+  mutable shared_accesses : int;
+  mutable barriers : int;  (** block barriers × participating warps *)
+  mutable divergent_branches : int;
+}
+
+val create : unit -> t
+val add : t -> t -> unit
+(** Accumulate the second into the first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = {
+  name : string;
+  sms : int;
+  warp_size : int;
+  clock_ghz : float;
+  int_lanes_per_sm : int;
+  mem_bandwidth_gbs : float;
+  shared_mem_words : int;
+  power_watts : float;
+  barrier_cycles : int;
+}
+
+let titan_v =
+  {
+    name = "Titan V";
+    sms = 80;
+    warp_size = 32;
+    clock_ghz = 1.2;
+    int_lanes_per_sm = 64;
+    mem_bandwidth_gbs = 653.0;
+    shared_mem_words = 24 * 1024;
+    power_watts = 250.0;
+    barrier_cycles = 32;
+  }
+
+let modest_gpu =
+  {
+    name = "modest-gpu";
+    sms = 20;
+    warp_size = 32;
+    clock_ghz = 1.0;
+    int_lanes_per_sm = 32;
+    mem_bandwidth_gbs = 200.0;
+    shared_mem_words = 12 * 1024;
+    power_watts = 120.0;
+    barrier_cycles = 32;
+  }
+
+let int_ops_per_second d =
+  float_of_int d.sms *. float_of_int d.int_lanes_per_sm *. d.clock_ghz *. 1e9

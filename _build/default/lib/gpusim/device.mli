@@ -1,0 +1,27 @@
+(** GPU device models for the SIMT simulator.
+
+    Parameters are public datasheet numbers; the cost model
+    ({!Cost}) turns counted work into estimated wall-clock on such a
+    device. *)
+
+type t = {
+  name : string;
+  sms : int;  (** streaming multiprocessors *)
+  warp_size : int;
+  clock_ghz : float;
+  int_lanes_per_sm : int;  (** sustained integer lanes per SM per clock *)
+  mem_bandwidth_gbs : float;
+  shared_mem_words : int;  (** 32-bit words of shared memory per block *)
+  power_watts : float;
+  barrier_cycles : int;  (** cost of one block-wide __syncthreads *)
+}
+
+val titan_v : t
+(** The paper's GPU: 80 SMs, 1.455 GHz boost (modelled at 1.2 sustained),
+    653 GB/s HBM2, 250 W. *)
+
+val modest_gpu : t
+(** A smaller device for sensitivity runs. *)
+
+val int_ops_per_second : t -> float
+(** sms × lanes × clock. *)

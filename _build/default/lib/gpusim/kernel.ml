@@ -1,0 +1,154 @@
+type space = Global_space | Shared_space
+
+type buffer = { data : int array; space : space; base : int }
+(* [base] gives distinct buffers distinct address ranges so coalescing
+   bookkeeping can mix accesses from several buffers in one phase. *)
+
+let next_base = ref 0
+
+let make_buffer space data =
+  (* 128-byte-aligned bases, as cudaMalloc guarantees — keeps the segment
+     accounting of distinct buffers independent and deterministic. *)
+  let base = !next_base in
+  next_base := !next_base + (((Array.length data + 63) / 32) + 1) * 32;
+  { data; space; base }
+
+let alloc_global n = make_buffer Global_space (Array.make n 0)
+let global_of_array a = make_buffer Global_space a
+let to_array b = Array.copy b.data
+let buffer_size b = Array.length b.data
+
+type block_state = {
+  counters : Counters.t;
+  warp_size : int;
+  mutable phase : int;
+  (* (warp, instruction index, 128-byte segment) triples: the k-th global
+     access of each thread in a warp is modelled as one warp instruction,
+     and its transactions are the distinct segments across the warp. *)
+  mutable segments : (int * int * int, unit) Hashtbl.t;
+}
+
+type ctx = {
+  block_idx : int;
+  thread_idx : int;
+  block_dim : int;
+  grid_dim : int;
+  mutable access_seq : int;
+  state : block_state;
+}
+
+let block_idx c = c.block_idx
+let thread_idx c = c.thread_idx
+let block_dim c = c.block_dim
+let grid_dim c = c.grid_dim
+
+let check (c : ctx) (b : buffer) i what =
+  if i < 0 || i >= Array.length b.data then
+    invalid_arg
+      (Printf.sprintf "gpusim: %s out of bounds (index %d, size %d, block %d thread %d)"
+         what i (Array.length b.data) c.block_idx c.thread_idx)
+
+let note_access c b i ~is_write =
+  let st = c.state in
+  match b.space with
+  | Shared_space -> st.counters.Counters.shared_accesses <- st.counters.Counters.shared_accesses + 1
+  | Global_space ->
+      if is_write then st.counters.Counters.global_writes <- st.counters.Counters.global_writes + 1
+      else st.counters.Counters.global_reads <- st.counters.Counters.global_reads + 1;
+      let warp = c.thread_idx / st.warp_size in
+      let seq = c.access_seq in
+      c.access_seq <- seq + 1;
+      (* 128-byte segments of 4-byte words: 32 words. *)
+      let segment = (b.base + i) / 32 in
+      let key = (warp, seq, segment) in
+      if not (Hashtbl.mem st.segments key) then begin
+        Hashtbl.add st.segments key ();
+        st.counters.Counters.global_transactions <-
+          st.counters.Counters.global_transactions + 1
+      end
+
+let read c b i =
+  check c b i "read";
+  note_access c b i ~is_write:false;
+  Array.unsafe_get b.data i
+
+let write c b i v =
+  check c b i "write";
+  note_access c b i ~is_write:true;
+  Array.unsafe_set b.data i v
+
+let work c ~cells ~ops =
+  c.state.counters.Counters.cells <- c.state.counters.Counters.cells + cells;
+  c.state.counters.Counters.cell_ops <- c.state.counters.Counters.cell_ops + (cells * ops)
+
+let divergent c =
+  c.state.counters.Counters.divergent_branches <-
+    c.state.counters.Counters.divergent_branches + 1
+
+type _ Effect.t += Barrier : unit Effect.t
+
+let barrier _ctx = Effect.perform Barrier
+
+type launch_result = { counters : Counters.t; elapsed_phases : int }
+
+let launch ~(device : Device.t) ~grid ~block ~shared_words body =
+  if grid <= 0 || block <= 0 then invalid_arg "gpusim: empty launch";
+  if shared_words > device.Device.shared_mem_words then
+    invalid_arg
+      (Printf.sprintf "gpusim: shared memory request %d exceeds device limit %d"
+         shared_words device.Device.shared_mem_words);
+  let counters = Counters.create () in
+  let phases = ref 0 in
+  for b = 0 to grid - 1 do
+    let state =
+      {
+        counters;
+        warp_size = device.Device.warp_size;
+        phase = 0;
+        segments = Hashtbl.create 256;
+      }
+    in
+    let shared = make_buffer Shared_space (Array.make (max 1 shared_words) 0) in
+    let waiting = ref [] in
+    let live = ref block in
+    let run_thread tid =
+      let ctx =
+        { block_idx = b; thread_idx = tid; block_dim = block; grid_dim = grid;
+          access_seq = 0; state }
+      in
+      Effect.Deep.match_with
+        (fun () -> body ctx ~shared)
+        ()
+        {
+          retc = (fun () -> live := !live - 1);
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Barrier ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      waiting := (fun () -> Effect.Deep.continue k ()) :: !waiting)
+              | _ -> None);
+        }
+    in
+    for tid = 0 to block - 1 do
+      run_thread tid
+    done;
+    while !waiting <> [] do
+      let arrived = List.length !waiting in
+      if arrived <> !live then
+        failwith
+          (Printf.sprintf
+             "gpusim: divergent barrier in block %d (%d arrived, %d live)" b arrived !live);
+      (* One barrier phase: charge it per warp, reset coalescing window. *)
+      let warps = (block + device.Device.warp_size - 1) / device.Device.warp_size in
+      counters.Counters.barriers <- counters.Counters.barriers + warps;
+      state.phase <- state.phase + 1;
+      incr phases;
+      let batch = List.rev !waiting in
+      waiting := [];
+      List.iter (fun resume -> resume ()) batch
+    done
+  done;
+  { counters; elapsed_phases = !phases }

@@ -1,0 +1,66 @@
+(** SIMT execution engine.
+
+    A launch runs [grid] blocks of [block] threads. Threads are OCaml
+    effect-handler fibers: they execute until they hit {!barrier}, suspend,
+    and resume together once every live thread of the block has arrived —
+    which gives real block-synchronous semantics (CUDA's [__syncthreads])
+    on one OS thread, deterministically.
+
+    Memory is explicit: [global] buffers live across the launch; each block
+    gets a fresh [shared] buffer. Accesses are counted, and global accesses
+    are grouped by (warp, phase) to estimate coalescing: the distinct
+    128-byte segments touched by a warp between two barriers approximate
+    its memory transactions (our kernels perform O(1) global accesses per
+    thread per phase, so the approximation is tight). *)
+
+type buffer
+(** A memory buffer (global or shared). *)
+
+val buffer_size : buffer -> int
+
+type ctx
+
+val block_idx : ctx -> int
+val thread_idx : ctx -> int
+val block_dim : ctx -> int
+val grid_dim : ctx -> int
+
+val read : ctx -> buffer -> int -> int
+(** Bounds-checked; raises [Invalid_argument] with a kernel-debug message
+    on out-of-range access. *)
+
+val write : ctx -> buffer -> int -> int -> unit
+
+val barrier : ctx -> unit
+(** Block-wide synchronization among the threads still running — threads
+    that returned no longer participate (the semantics of
+    [__syncthreads] on post-Volta hardware; classic CUDA calls this
+    undefined). *)
+
+val work : ctx -> cells:int -> ops:int -> unit
+(** Attribute [cells] DP cell relaxations costing [ops] integer
+    operations each — the cost model's compute input. *)
+
+val divergent : ctx -> unit
+(** Record a divergent branch (§IV-B's three-part stripe split exists to
+    avoid these; the NVBio-like kernel records more of them). *)
+
+type launch_result = { counters : Counters.t; elapsed_phases : int }
+
+val alloc_global : int -> buffer
+(** Zero-initialized global buffer, shareable across launches. *)
+
+val global_of_array : int array -> buffer
+(** Wrap an existing array (no copy) — how host data enters the device. *)
+
+val to_array : buffer -> int array
+
+val launch :
+  device:Device.t ->
+  grid:int ->
+  block:int ->
+  shared_words:int ->
+  (ctx -> shared:buffer -> unit) ->
+  launch_result
+(** Run all blocks sequentially (deterministic). Raises [Invalid_argument]
+    if [shared_words] exceeds the device's shared memory. *)

@@ -1,0 +1,1 @@
+lib/scoring/bounds.ml: Anyseq_bio Scheme

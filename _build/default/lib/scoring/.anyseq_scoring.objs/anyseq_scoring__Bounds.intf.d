@@ -1,0 +1,1 @@
+lib/scoring/bounds.mli: Scheme

@@ -1,0 +1,1 @@
+lib/scoring/scheme.ml: Anyseq_bio Printf

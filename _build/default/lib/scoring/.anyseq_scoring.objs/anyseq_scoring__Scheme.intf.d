@@ -1,0 +1,1 @@
+lib/scoring/scheme.mli: Anyseq_bio

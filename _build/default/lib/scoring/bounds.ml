@@ -1,0 +1,45 @@
+module Substitution = Anyseq_bio.Substitution
+module Gaps = Anyseq_bio.Gaps
+
+let differential_range (scheme : Scheme.t) ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Bounds.differential_range: empty block";
+  let diag_steps = min rows cols in
+  let hi =
+    (* All matches along the main diagonal of the block. *)
+    diag_steps * max 0 (Substitution.max_score scheme.subst)
+  in
+  let worst_subst = min 0 (Substitution.min_score scheme.subst) in
+  let along_diagonal = diag_steps * worst_subst in
+  let longest_edge = max rows cols in
+  let along_edge = -Gaps.gap_cost scheme.gap longest_edge in
+  (* A path may also mix: gap across the short edge then mismatches — the
+     paper's two candidate extremes are the diagonal-of-mismatches and the
+     pure-gap edge walk; take the colder of an L-shaped combination too. *)
+  let l_shaped =
+    -Gaps.gap_cost scheme.gap (longest_edge - diag_steps) + along_diagonal
+  in
+  let lo = min along_diagonal (min along_edge l_shaped) in
+  (lo, hi)
+
+let fits scheme ~rows ~cols ~bits =
+  if bits < 2 || bits > 62 then invalid_arg "Bounds.fits: bits must be in 2..62";
+  let lo, hi = differential_range scheme ~rows ~cols in
+  let max_repr = (1 lsl (bits - 1)) - 1 in
+  let min_repr = -(1 lsl (bits - 1)) in
+  lo >= min_repr && hi <= max_repr
+
+let max_square_block scheme ~bits =
+  if not (fits scheme ~rows:1 ~cols:1 ~bits) then 0
+  else begin
+    (* Exponential probe then binary search on the largest feasible b. *)
+    let rec grow b = if fits scheme ~rows:b ~cols:b ~bits then grow (2 * b) else b in
+    let hi = grow 1 in
+    let rec bisect lo hi =
+      (* invariant: fits lo, not (fits hi) *)
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if fits scheme ~rows:mid ~cols:mid ~bits then bisect mid hi else bisect lo mid
+    in
+    bisect (hi / 2) hi
+  end

@@ -1,0 +1,20 @@
+(** 16-bit feasibility analysis for blocked/vectorized scores (§IV-A).
+
+    The vectorized kernels keep {e differential} scores in narrow integers.
+    Per the paper: the largest possible differential value within a block
+    arises when every character pair matches; the smallest when nothing
+    matches and either the largest mismatch penalty (along the diagonal) or
+    the largest gap penalty (along the first row/column) is applied
+    throughout. This module computes those extremes so kernels can verify —
+    before running — that a chosen block size cannot overflow. *)
+
+val differential_range : Scheme.t -> rows:int -> cols:int -> int * int
+(** [(lo, hi)] of reachable differential scores in a [rows × cols] block. *)
+
+val fits : Scheme.t -> rows:int -> cols:int -> bits:int -> bool
+(** Whether every differential score of such a block is representable in a
+    signed [bits]-wide integer. [bits] in [2..62]. *)
+
+val max_square_block : Scheme.t -> bits:int -> int
+(** Largest [b] such that [fits ~rows:b ~cols:b ~bits]; 0 when even a 1×1
+    block overflows. *)

@@ -1,0 +1,40 @@
+module Substitution = Anyseq_bio.Substitution
+module Gaps = Anyseq_bio.Gaps
+module Alphabet = Anyseq_bio.Alphabet
+
+type t = { name : string; subst : Substitution.t; gap : Gaps.t }
+
+let make ?name subst gap =
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "%s+%s" (Alphabet.name (Substitution.alphabet subst))
+          (Gaps.to_string gap)
+  in
+  { name; subst; gap }
+
+let dna_simple_linear ~match_ ~mismatch ~gap_extend =
+  make
+    ~name:(Printf.sprintf "dna(%+d/%+d)/linear(%d)" match_ mismatch gap_extend)
+    (Substitution.simple Alphabet.dna4 ~match_ ~mismatch)
+    (Gaps.linear gap_extend)
+
+let dna_simple_affine ~match_ ~mismatch ~gap_open ~gap_extend =
+  make
+    ~name:
+      (Printf.sprintf "dna(%+d/%+d)/affine(%d,%d)" match_ mismatch gap_open gap_extend)
+    (Substitution.simple Alphabet.dna4 ~match_ ~mismatch)
+    (Gaps.affine ~open_:gap_open ~extend:gap_extend)
+
+let paper_linear = dna_simple_linear ~match_:2 ~mismatch:(-1) ~gap_extend:1
+let paper_affine = dna_simple_affine ~match_:2 ~mismatch:(-1) ~gap_open:2 ~gap_extend:1
+
+let blosum62_affine =
+  make ~name:"blosum62/affine(10,1)" Substitution.blosum62
+    (Gaps.affine ~open_:10 ~extend:1)
+
+let subst_score t = Substitution.score t.subst
+let alphabet t = Substitution.alphabet t.subst
+let is_affine t = Gaps.is_affine t.gap
+let to_string t = t.name

@@ -1,0 +1,33 @@
+(** Complete scoring schemes — a substitution function composed with a gap
+    model, the unit of configuration that §III-C's interface functions pass
+    around ([global_scheme(linear_gap_scoring(simple_subst_scoring(2,-1),
+    -1))]). *)
+
+type t = private {
+  name : string;
+  subst : Anyseq_bio.Substitution.t;
+  gap : Anyseq_bio.Gaps.t;
+}
+
+val make : ?name:string -> Anyseq_bio.Substitution.t -> Anyseq_bio.Gaps.t -> t
+
+val dna_simple_linear : match_:int -> mismatch:int -> gap_extend:int -> t
+(** Simple dna4 scheme with a linear gap penalty. *)
+
+val dna_simple_affine : match_:int -> mismatch:int -> gap_open:int -> gap_extend:int -> t
+
+val paper_linear : t
+(** The paper's main configuration: +2 match, −1 mismatch, −1 linear gap. *)
+
+val paper_affine : t
+(** The paper's affine configuration: +2/−1 with Go = 2, Ge = 1. *)
+
+val blosum62_affine : t
+(** BLOSUM62 with Go = 10, Ge = 1 — the protein example configuration. *)
+
+val subst_score : t -> int -> int -> int
+(** σ(q, s) on alphabet codes. *)
+
+val alphabet : t -> Anyseq_bio.Alphabet.t
+val is_affine : t -> bool
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/seqio/fasta.ml: Anyseq_bio Buffer In_channel List Out_channel Printf String

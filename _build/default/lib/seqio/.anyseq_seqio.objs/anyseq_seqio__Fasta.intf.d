@@ -1,0 +1,1 @@
+lib/seqio/fasta.mli: Anyseq_bio

@@ -1,0 +1,1 @@
+lib/seqio/fastq.ml: Anyseq_bio Array Buffer Char In_channel List Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/seqio/fastq.mli: Anyseq_bio

@@ -1,0 +1,1 @@
+lib/seqio/genome_gen.ml: Anyseq_bio Anyseq_util Array Buffer Char List String

@@ -1,0 +1,1 @@
+lib/seqio/genome_gen.mli: Anyseq_bio Anyseq_util

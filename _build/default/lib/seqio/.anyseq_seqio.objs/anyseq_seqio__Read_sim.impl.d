@@ -1,0 +1,1 @@
+lib/seqio/read_sim.ml: Anyseq_bio Anyseq_util Array Bytes Char Fastq Float Genome_gen List Printf String

@@ -1,0 +1,1 @@
+lib/seqio/read_sim.mli: Anyseq_bio Anyseq_util Fastq

@@ -1,0 +1,1 @@
+lib/seqio/sam.ml: Anyseq_bio Buffer List Out_channel Printf String

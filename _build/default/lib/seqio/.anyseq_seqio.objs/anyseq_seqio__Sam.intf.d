@@ -1,0 +1,1 @@
+lib/seqio/sam.mli: Anyseq_bio

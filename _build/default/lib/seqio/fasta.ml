@@ -1,0 +1,87 @@
+type record = { id : string; description : string; sequence : Anyseq_bio.Sequence.t }
+
+let split_header line =
+  (* line without the leading '>' *)
+  match String.index_opt line ' ' with
+  | None -> (String.trim line, "")
+  | Some i ->
+      (String.sub line 0 i, String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+
+let parse_string alphabet text =
+  let lines = String.split_on_char '\n' text in
+  let finish ~lineno id description chunks acc =
+    if id = "" then Error (Printf.sprintf "line %d: record with empty id" lineno)
+    else
+      let seq_text = String.concat "" (List.rev chunks) in
+      if seq_text = "" then Error (Printf.sprintf "line %d: record %s has no sequence" lineno id)
+      else
+        match Anyseq_bio.Sequence.of_string alphabet seq_text with
+        | sequence -> Ok ({ id; description; sequence } :: acc)
+        | exception Invalid_argument msg ->
+            Error (Printf.sprintf "record %s: %s" id msg)
+  in
+  let rec go lineno lines current acc =
+    match lines with
+    | [] -> (
+        match current with
+        | None -> Ok (List.rev acc)
+        | Some (id, description, chunks) -> (
+            match finish ~lineno id description chunks acc with
+            | Ok acc -> Ok (List.rev acc)
+            | Error _ as e -> e))
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" || (String.length line > 0 && line.[0] = ';') then
+          go (lineno + 1) rest current acc
+        else if line.[0] = '>' then
+          let header = String.sub line 1 (String.length line - 1) in
+          let id, description = split_header header in
+          match current with
+          | None -> go (lineno + 1) rest (Some (id, description, [])) acc
+          | Some (pid, pdesc, chunks) -> (
+              match finish ~lineno pid pdesc chunks acc with
+              | Ok acc -> go (lineno + 1) rest (Some (id, description, [])) acc
+              | Error _ as e -> e)
+        else begin
+          match current with
+          | None -> Error (Printf.sprintf "line %d: sequence data before any '>' header" lineno)
+          | Some (id, description, chunks) ->
+              go (lineno + 1) rest (Some (id, description, line :: chunks)) acc
+        end
+  in
+  go 1 lines None []
+
+let read_file alphabet path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string alphabet text
+  | exception Sys_error msg -> Error msg
+
+let to_string ?(width = 70) records =
+  if width <= 0 then invalid_arg "Fasta.to_string: width must be positive";
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun { id; description; sequence } ->
+      Buffer.add_char buf '>';
+      Buffer.add_string buf id;
+      if description <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf description
+      end;
+      Buffer.add_char buf '\n';
+      let s = Anyseq_bio.Sequence.to_string sequence in
+      let len = String.length s in
+      let rec wrap pos =
+        if pos < len then begin
+          let k = min width (len - pos) in
+          Buffer.add_string buf (String.sub s pos k);
+          Buffer.add_char buf '\n';
+          wrap (pos + k)
+        end
+      in
+      wrap 0)
+    records;
+  Buffer.contents buf
+
+let write_file ?width path records =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ?width records))

@@ -1,0 +1,20 @@
+(** FASTA reading and writing.
+
+    The benchmark inputs of the paper (Table I genomes, read sets) travel as
+    FASTA; this parser accepts the common dialect: [>] header lines with an
+    id and optional description, sequence wrapped over any number of lines,
+    blank lines ignored, [;] comment lines ignored. *)
+
+type record = { id : string; description : string; sequence : Anyseq_bio.Sequence.t }
+
+val parse_string : Anyseq_bio.Alphabet.t -> string -> (record list, string) result
+(** Parse a whole FASTA document. Errors carry a line number and reason
+    (sequence data before any header, characters outside the alphabet,
+    empty record, empty id). *)
+
+val read_file : Anyseq_bio.Alphabet.t -> string -> (record list, string) result
+
+val to_string : ?width:int -> record list -> string
+(** Render with sequence lines wrapped at [width] (default 70) columns. *)
+
+val write_file : ?width:int -> string -> record list -> unit

@@ -1,0 +1,71 @@
+type record = { id : string; sequence : Anyseq_bio.Sequence.t; quality : string }
+
+let phred_of_char c =
+  let v = Char.code c - 33 in
+  if v < 0 || v > 93 then invalid_arg "Fastq.phred_of_char: outside Phred+33 range";
+  v
+
+let char_of_phred q =
+  if q < 0 || q > 93 then invalid_arg "Fastq.char_of_phred: outside 0..93";
+  Char.chr (q + 33)
+
+let error_probability q = 10.0 ** (-.float_of_int q /. 10.0)
+
+let parse_string alphabet text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let nlines = Array.length lines in
+  (* Trailing newline produces one empty final line; tolerate blank tails. *)
+  let rec last_nonempty i = if i > 0 && String.trim lines.(i - 1) = "" then last_nonempty (i - 1) else i in
+  let nlines = last_nonempty nlines in
+  if nlines mod 4 <> 0 then Error (Printf.sprintf "truncated FASTQ: %d lines is not a multiple of 4" nlines)
+  else
+    let rec go i acc =
+      if i >= nlines then Ok (List.rev acc)
+      else
+        let header = String.trim lines.(i) in
+        let seq_line = String.trim lines.(i + 1) in
+        let plus = String.trim lines.(i + 2) in
+        let qual = String.trim lines.(i + 3) in
+        if String.length header = 0 || header.[0] <> '@' then
+          Error (Printf.sprintf "line %d: expected '@' header" (i + 1))
+        else if String.length plus = 0 || plus.[0] <> '+' then
+          Error (Printf.sprintf "line %d: expected '+' separator" (i + 3))
+        else if String.length qual <> String.length seq_line then
+          Error (Printf.sprintf "line %d: quality length %d differs from sequence length %d"
+                   (i + 4) (String.length qual) (String.length seq_line))
+        else if String.exists (fun c -> c < '!' || c > '~') qual then
+          Error (Printf.sprintf "line %d: quality characters outside Phred+33 range" (i + 4))
+        else
+          let id =
+            match String.index_opt header ' ' with
+            | None -> String.sub header 1 (String.length header - 1)
+            | Some j -> String.sub header 1 (j - 1)
+          in
+          match Anyseq_bio.Sequence.of_string alphabet seq_line with
+          | sequence -> go (i + 4) ({ id; sequence; quality = qual } :: acc)
+          | exception Invalid_argument msg ->
+              Error (Printf.sprintf "line %d: %s" (i + 2) msg)
+    in
+    go 0 []
+
+let read_file alphabet path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_string alphabet text
+  | exception Sys_error msg -> Error msg
+
+let to_string records =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun { id; sequence; quality } ->
+      Buffer.add_char buf '@';
+      Buffer.add_string buf id;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Anyseq_bio.Sequence.to_string sequence);
+      Buffer.add_string buf "\n+\n";
+      Buffer.add_string buf quality;
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+let write_file path records =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string records))

@@ -1,0 +1,29 @@
+(** FASTQ reading and writing (Sanger / Phred+33 qualities).
+
+    Simulated Illumina reads (the Fig. 5b workload) are emitted as FASTQ so
+    the CLI round-trips realistic files. *)
+
+type record = {
+  id : string;
+  sequence : Anyseq_bio.Sequence.t;
+  quality : string;  (** Phred+33, same length as the sequence *)
+}
+
+val parse_string : Anyseq_bio.Alphabet.t -> string -> (record list, string) result
+(** Strict 4-line records: [@id], sequence, [+\[id\]], quality. Errors carry
+    a line number and reason (truncated record, length mismatch, quality
+    characters outside the Phred+33 printable range). *)
+
+val read_file : Anyseq_bio.Alphabet.t -> string -> (record list, string) result
+
+val to_string : record list -> string
+val write_file : string -> record list -> unit
+
+val phred_of_char : char -> int
+(** Raises [Invalid_argument] outside ['!'..'~']. *)
+
+val char_of_phred : int -> char
+(** Raises [Invalid_argument] outside [0..93]. *)
+
+val error_probability : int -> float
+(** [10^(-q/10)]. *)

@@ -1,0 +1,123 @@
+module Rng = Anyseq_util.Rng
+module Sequence = Anyseq_bio.Sequence
+module Alphabet = Anyseq_bio.Alphabet
+
+type profile = { gc_content : float; repeat_fraction : float; repeat_unit : int }
+
+let default_profile = { gc_content = 0.41; repeat_fraction = 0.15; repeat_unit = 300 }
+
+(* dna4 codes: A=0 C=1 G=2 T=3 *)
+let draw_base rng gc =
+  let u = Rng.float rng 1.0 in
+  if u < gc /. 2.0 then 1 (* C *)
+  else if u < gc then 2 (* G *)
+  else if u < gc +. ((1.0 -. gc) /. 2.0) then 0 (* A *)
+  else 3 (* T *)
+
+let generate rng ?(profile = default_profile) ~len () =
+  if len < 0 then invalid_arg "Genome_gen.generate: negative length";
+  if profile.gc_content <= 0.0 || profile.gc_content >= 1.0 then
+    invalid_arg "Genome_gen.generate: gc_content must be in (0,1)";
+  if profile.repeat_fraction < 0.0 || profile.repeat_fraction >= 1.0 then
+    invalid_arg "Genome_gen.generate: repeat_fraction must be in [0,1)";
+  let codes = Array.make len 0 in
+  (* Background composition first. *)
+  for i = 0 to len - 1 do
+    codes.(i) <- draw_base rng profile.gc_content
+  done;
+  (* Stamp repeat blocks: pick a unit, tile it a few times, until the
+     requested fraction of positions has been covered. *)
+  if profile.repeat_fraction > 0.0 && len > 2 * profile.repeat_unit then begin
+    let target = int_of_float (profile.repeat_fraction *. float_of_int len) in
+    let unit_len = max 10 profile.repeat_unit in
+    let unit = Array.init unit_len (fun _ -> draw_base rng profile.gc_content) in
+    let covered = ref 0 in
+    while !covered < target do
+      let copies = 1 + Rng.int rng 5 in
+      let span = min (copies * unit_len) (len / 4) in
+      let start = Rng.int rng (len - span) in
+      for k = 0 to span - 1 do
+        codes.(start + k) <- unit.(k mod unit_len)
+      done;
+      covered := !covered + span
+    done
+  end;
+  Sequence.of_codes Alphabet.dna4 codes
+
+type divergence = { snp_rate : float; indel_rate : float; indel_mean_len : float }
+
+let default_divergence = { snp_rate = 0.04; indel_rate = 0.005; indel_mean_len = 3.0 }
+
+let mutate rng ?(divergence = default_divergence) seq =
+  let { snp_rate; indel_rate; indel_mean_len } = divergence in
+  if snp_rate < 0.0 || snp_rate > 1.0 then invalid_arg "Genome_gen.mutate: bad snp_rate";
+  if indel_rate < 0.0 || indel_rate > 1.0 then invalid_arg "Genome_gen.mutate: bad indel_rate";
+  if indel_mean_len < 1.0 then invalid_arg "Genome_gen.mutate: indel_mean_len must be >= 1";
+  let alphabet = Sequence.alphabet seq in
+  let nletters =
+    match Alphabet.wildcard alphabet with
+    | Some w when w = Alphabet.size alphabet - 1 -> Alphabet.size alphabet - 1
+    | _ -> Alphabet.size alphabet
+  in
+  let n = Sequence.length seq in
+  let out = Buffer.create (n + (n / 16)) in
+  let indel_len () = 1 + Rng.geometric rng ~p:(1.0 /. indel_mean_len) in
+  let i = ref 0 in
+  while !i < n do
+    let u = Rng.float rng 1.0 in
+    if u < indel_rate then begin
+      if Rng.bool rng then begin
+        (* Insertion of random bases before position i. *)
+        let k = indel_len () in
+        for _ = 1 to k do
+          Buffer.add_char out (Char.chr (Rng.int rng nletters))
+        done
+      end
+      else begin
+        (* Deletion: skip k source bases. *)
+        let k = indel_len () in
+        i := !i + k
+      end
+    end
+    else begin
+      let c = Sequence.get seq !i in
+      let c =
+        if u < indel_rate +. snp_rate then begin
+          (* Substitute with a different letter. *)
+          let shift = 1 + Rng.int rng (nletters - 1) in
+          (c + shift) mod nletters
+        end
+        else c
+      in
+      Buffer.add_char out (Char.chr c);
+      incr i
+    end
+  done;
+  let bytes = Buffer.contents out in
+  Sequence.of_codes alphabet (Array.init (String.length bytes) (fun k -> Char.code bytes.[k]))
+
+type pair = {
+  name : string;
+  accession_like : string;
+  query : Anyseq_bio.Sequence.t;
+  subject : Anyseq_bio.Sequence.t;
+}
+
+let benchmark_pairs ~seed ~scale =
+  if scale <= 0.0 then invalid_arg "Genome_gen.benchmark_pairs: scale must be positive";
+  let rng = Rng.create ~seed in
+  let specs =
+    [
+      ("bacteria", "SYN_000001/SYN_000002", 65536, 0.39);
+      ("insect-vs-primate", "SYN_000003/SYN_000004", 131072, 0.42);
+      ("mammal-chromosomes", "SYN_000005/SYN_000006", 262144, 0.45);
+    ]
+  in
+  List.map
+    (fun (name, accession_like, base_len, gc) ->
+      let len = max 64 (int_of_float (float_of_int base_len *. scale)) in
+      let profile = { default_profile with gc_content = gc } in
+      let query = generate rng ~profile ~len () in
+      let subject = mutate rng query in
+      { name; accession_like; query; subject })
+    specs

@@ -1,0 +1,112 @@
+module Rng = Anyseq_util.Rng
+module Sequence = Anyseq_bio.Sequence
+module Alphabet = Anyseq_bio.Alphabet
+
+type error_profile = {
+  subst_rate_start : float;
+  subst_rate_end : float;
+  ins_rate : float;
+  del_rate : float;
+}
+
+let illumina_profile =
+  { subst_rate_start = 0.001; subst_rate_end = 0.01; ins_rate = 0.0001; del_rate = 0.0001 }
+
+type strand = Forward | Reverse
+
+type read = {
+  id : string;
+  sequence : Anyseq_bio.Sequence.t;
+  origin : int;
+  strand : strand;
+  quality : string;
+}
+
+let phred_of_error p =
+  let p = Float.max p 1e-9 in
+  let q = int_of_float (Float.round (-10.0 *. log10 p)) in
+  Fastq.char_of_phred (min 93 (max 2 q))
+
+let simulate rng ?(profile = illumina_profile) ?(reverse_fraction = 0.0) ~reference ~read_len ~count () =
+  if read_len <= 0 then invalid_arg "Read_sim.simulate: read_len must be positive";
+  let ref_len = Sequence.length reference in
+  if ref_len < read_len + 16 then
+    invalid_arg "Read_sim.simulate: reference too short for requested read length";
+  let alphabet = Sequence.alphabet reference in
+  let nletters =
+    match Alphabet.wildcard alphabet with
+    | Some w when w = Alphabet.size alphabet - 1 -> Alphabet.size alphabet - 1
+    | _ -> Alphabet.size alphabet
+  in
+  let ramp pos =
+    let f = float_of_int pos /. float_of_int (max 1 (read_len - 1)) in
+    profile.subst_rate_start +. (f *. (profile.subst_rate_end -. profile.subst_rate_start))
+  in
+  List.init count (fun idx ->
+      let origin = Rng.int rng (ref_len - read_len - 8) in
+      let out = Bytes.create read_len in
+      let qual = Bytes.create read_len in
+      (* [src] walks the reference; insertions emit without advancing it,
+         deletions advance it without emitting. *)
+      let src = ref origin in
+      let pos = ref 0 in
+      while !pos < read_len do
+        let p_sub = ramp !pos in
+        let u = Rng.float rng 1.0 in
+        if u < profile.ins_rate then begin
+          Bytes.set out !pos (Char.chr (Rng.int rng nletters));
+          Bytes.set qual !pos (phred_of_error 0.75);
+          incr pos
+        end
+        else if u < profile.ins_rate +. profile.del_rate then incr src
+        else begin
+          let base = Sequence.get reference !src in
+          let base, err_p =
+            if u < profile.ins_rate +. profile.del_rate +. p_sub then
+              (((base + 1 + Rng.int rng (nletters - 1)) mod nletters), 0.75)
+            else (base, p_sub)
+          in
+          Bytes.set out !pos (Char.chr base);
+          Bytes.set qual !pos (phred_of_error err_p);
+          incr src;
+          incr pos
+        end
+      done;
+      let codes = Array.init read_len (fun i -> Char.code (Bytes.get out i)) in
+      let sequence = Sequence.of_codes alphabet codes in
+      let strand =
+        if reverse_fraction > 0.0 && Rng.float rng 1.0 < reverse_fraction then Reverse
+        else Forward
+      in
+      let sequence, quality =
+        match strand with
+        | Forward -> (sequence, Bytes.to_string qual)
+        | Reverse ->
+            (* Base qualities reverse along with the bases. *)
+            let q = Bytes.to_string qual in
+            ( Sequence.reverse_complement sequence,
+              String.init read_len (fun i -> q.[read_len - 1 - i]) )
+      in
+      { id = Printf.sprintf "simread_%06d" idx; sequence; origin; strand; quality })
+
+let to_fastq reads =
+  List.map
+    (fun { id; sequence; quality; _ } -> { Fastq.id; sequence; quality })
+    reads
+
+let read_pairs ~seed ~reference_len ~read_len ~count =
+  let rng = Rng.create ~seed in
+  let reference = Genome_gen.generate rng ~len:reference_len () in
+  let reads = simulate rng ~reference ~read_len ~count () in
+  let pairs =
+    List.map
+      (fun r ->
+        (* The subject window is the true origin region plus a small pad so
+           indel-shifted reads still fit a global alignment. *)
+        let pad = 8 in
+        let start = max 0 (r.origin - pad / 2) in
+        let len = min (read_len + pad) (reference_len - start) in
+        (r.sequence, Sequence.sub reference ~pos:start ~len))
+      reads
+  in
+  Array.of_list pairs

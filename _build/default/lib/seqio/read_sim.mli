@@ -1,0 +1,57 @@
+(** Mason-like Illumina read simulation — the stand-in for the Fig. 5b
+    workload (12.5 M pairs of 150 bp reads simulated with Mason from
+    GRCh38 chr10).
+
+    Reads are sampled uniformly from a reference, sequencing errors are
+    applied with a position-dependent error ramp (error probability grows
+    toward the 3' end, as on real Illumina machines), and Phred qualities
+    consistent with the applied error rates are emitted. *)
+
+type error_profile = {
+  subst_rate_start : float;  (** substitution probability at the 5' end *)
+  subst_rate_end : float;  (** … at the 3' end; linear ramp in between *)
+  ins_rate : float;
+  del_rate : float;
+}
+
+val illumina_profile : error_profile
+(** 0.1 % → 1 % substitution ramp, 0.01 % indels — typical Illumina. *)
+
+type strand = Forward | Reverse
+
+type read = {
+  id : string;
+  sequence : Anyseq_bio.Sequence.t;
+  origin : int;  (** 0-based reference position the read was sampled from *)
+  strand : strand;
+      (** [Reverse] reads are the reverse complement of the sampled
+          window — a mapper must check both orientations *)
+  quality : string;
+}
+
+val simulate :
+  Anyseq_util.Rng.t ->
+  ?profile:error_profile ->
+  ?reverse_fraction:float ->
+  reference:Anyseq_bio.Sequence.t ->
+  read_len:int ->
+  count:int ->
+  unit ->
+  read list
+(** [count] reads of exactly [read_len] bases. Requires the reference to be
+    at least [read_len + 16] long (slack for deletions).
+    [reverse_fraction] (default 0) of the reads are emitted as reverse
+    complements of their sampled window. *)
+
+val to_fastq : read list -> Fastq.record list
+
+val read_pairs :
+  seed:int ->
+  reference_len:int ->
+  read_len:int ->
+  count:int ->
+  (Anyseq_bio.Sequence.t * Anyseq_bio.Sequence.t) array
+(** The Fig. 5b benchmark input: [count] pairs (read, reference window it
+    came from) ready for pairwise alignment — each pair aligns a simulated
+    read against its true origin window, which is exactly the verification
+    alignment an NGS pipeline performs. *)

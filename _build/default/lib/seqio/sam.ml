@@ -1,0 +1,56 @@
+module Cigar = Anyseq_bio.Cigar
+module Sequence = Anyseq_bio.Sequence
+
+type flag = int
+
+let flag_unmapped = 0x4
+let flag_reverse = 0x10
+
+type record = {
+  qname : string;
+  flag : flag;
+  rname : string;
+  pos : int;
+  mapq : int;
+  cigar : Cigar.t option;
+  seq : Sequence.t;
+  qual : string;
+}
+
+let mapped ~qname ~rname ~pos ?(mapq = 255) ?(reverse = false) ~cigar ~seq ?(qual = "*")
+    () =
+  if pos < 0 then invalid_arg "Sam.mapped: negative position";
+  {
+    qname;
+    flag = (if reverse then flag_reverse else 0);
+    rname;
+    pos;
+    mapq;
+    cigar = Some cigar;
+    seq;
+    qual;
+  }
+
+let unmapped ~qname ~seq ?(qual = "*") () =
+  { qname; flag = flag_unmapped; rname = "*"; pos = -1; mapq = 0; cigar = None; seq; qual }
+
+let header ~references =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "@HD\tVN:1.6\tSO:unknown\n";
+  List.iter
+    (fun (name, len) -> Buffer.add_string buf (Printf.sprintf "@SQ\tSN:%s\tLN:%d\n" name len))
+    references;
+  Buffer.contents buf
+
+let record_to_string r =
+  let cigar = match r.cigar with None -> "*" | Some c -> Cigar.to_string c in
+  let cigar = if cigar = "" then "*" else cigar in
+  Printf.sprintf "%s\t%d\t%s\t%d\t%d\t%s\t*\t0\t0\t%s\t%s" r.qname r.flag r.rname
+    (r.pos + 1) r.mapq cigar (Sequence.to_string r.seq) r.qual
+
+let to_string ~references records =
+  header ~references ^ String.concat "\n" (List.map record_to_string records) ^ "\n"
+
+let write_file path ~references records =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ~references records))

@@ -1,0 +1,48 @@
+(** Minimal SAM (Sequence Alignment/Map) output.
+
+    Enough of the SAM spec for a mapper built on this library to emit
+    standard records: @HD/@SQ headers, the 11 mandatory fields, the
+    reverse-strand and unmapped flags, and CIGAR conversion from the
+    library's extended opcodes ([=]/[X] preserved — SAM 1.4 allows them). *)
+
+type flag = int
+
+val flag_unmapped : flag
+val flag_reverse : flag
+
+type record = {
+  qname : string;
+  flag : flag;
+  rname : string;  (** reference name, ["*"] when unmapped *)
+  pos : int;  (** 1-based leftmost mapping position, 0 when unmapped *)
+  mapq : int;  (** 255 = unavailable *)
+  cigar : Anyseq_bio.Cigar.t option;  (** [None] renders ["*"] *)
+  seq : Anyseq_bio.Sequence.t;
+  qual : string;  (** ["*"] allowed *)
+}
+
+val mapped :
+  qname:string ->
+  rname:string ->
+  pos:int ->
+  ?mapq:int ->
+  ?reverse:bool ->
+  cigar:Anyseq_bio.Cigar.t ->
+  seq:Anyseq_bio.Sequence.t ->
+  ?qual:string ->
+  unit ->
+  record
+(** [pos] is 0-based here (library convention) and rendered 1-based. *)
+
+val unmapped :
+  qname:string -> seq:Anyseq_bio.Sequence.t -> ?qual:string -> unit -> record
+
+val header : references:(string * int) list -> string
+(** [@HD] + one [@SQ] line per (name, length). *)
+
+val record_to_string : record -> string
+(** One tab-separated SAM line (no trailing newline). *)
+
+val to_string : references:(string * int) list -> record list -> string
+
+val write_file : string -> references:(string * int) list -> record list -> unit

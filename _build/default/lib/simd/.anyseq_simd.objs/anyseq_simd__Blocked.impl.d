@@ -1,0 +1,1 @@
+lib/simd/blocked.ml: Anyseq_bio Anyseq_core Anyseq_scoring Array Hashtbl Lanes List

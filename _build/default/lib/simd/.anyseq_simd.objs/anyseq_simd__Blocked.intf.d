@@ -1,0 +1,1 @@
+lib/simd/blocked.mli: Anyseq_bio Anyseq_core Anyseq_scoring

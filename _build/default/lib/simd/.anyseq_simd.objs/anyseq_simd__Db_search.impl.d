@@ -1,0 +1,1 @@
+lib/simd/db_search.ml: Anyseq_bio Anyseq_core Array Inter_seq

@@ -1,0 +1,1 @@
+lib/simd/db_search.mli: Anyseq_bio Anyseq_core Anyseq_scoring

@@ -1,0 +1,1 @@
+lib/simd/inter_seq.mli: Anyseq_bio Anyseq_core Anyseq_scoring

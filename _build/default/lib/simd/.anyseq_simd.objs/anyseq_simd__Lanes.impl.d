@@ -1,0 +1,1 @@
+lib/simd/lanes.ml: Array

@@ -1,0 +1,139 @@
+module Tiling = Anyseq_core.Tiling
+module Bounds = Anyseq_scoring.Bounds
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+open Anyseq_core.Types
+
+let default_lanes = 16
+
+let feasible_tile scheme ~tile =
+  (* Differential values inside a block stay within the tile's range;
+     border values rebased to the corner span up to twice the tile
+     distance.  Demand two bits of headroom. *)
+  tile > 0 && Bounds.fits scheme ~rows:(2 * tile) ~cols:(2 * tile) ~bits:14
+
+(* Vector kernel over [lanes] independent, dependency-ready tiles of equal
+   shape, global (Corner) mode: 16-bit differential scores rebased to each
+   tile's top-left corner. *)
+let vector_tiles (raw : Tiling.raw) plan tiles =
+  let lanes = Array.length tiles in
+  let scheme = raw.Tiling.r_scheme in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
+  let n = raw.Tiling.r_query.Sequence.len and m = raw.Tiling.r_subject.Sequence.len in
+  let i0s = Array.map (fun (ti, _) -> ti * raw.Tiling.r_tile) tiles in
+  let j0s = Array.map (fun (_, tj) -> tj * raw.Tiling.r_tile) tiles in
+  let h = min raw.Tiling.r_tile (n - i0s.(0)) and w = min raw.Tiling.r_tile (m - j0s.(0)) in
+  let corners =
+    Array.init lanes (fun l -> raw.Tiling.r_h_rows.(fst tiles.(l)).(j0s.(l)))
+  in
+  let mk x = Lanes.create ~width:lanes x in
+  let hrow = Array.init (w + 1) (fun _ -> mk 0) in
+  let erow = Array.init (w + 1) (fun _ -> mk Lanes.min_value) in
+  (* Load top borders, rebased. *)
+  for k = 0 to w do
+    for l = 0 to lanes - 1 do
+      let ti = fst tiles.(l) in
+      Lanes.set hrow.(k) l (raw.Tiling.r_h_rows.(ti).(j0s.(l) + k) - corners.(l));
+      Lanes.set erow.(k) l (raw.Tiling.r_e_rows.(ti).(j0s.(l) + k) - corners.(l))
+    done
+  done;
+  let f = mk Lanes.min_value in
+  let hdiag = mk 0 in
+  let keep = mk 0 in
+  let e_open = mk 0 and f_open = mk 0 in
+  let sub_vec = mk 0 in
+  for r = 1 to h do
+    Lanes.copy ~dst:hdiag hrow.(0);
+    for l = 0 to lanes - 1 do
+      let i = i0s.(l) + r in
+      Lanes.set hrow.(0) l (raw.Tiling.r_h_cols.(snd tiles.(l)).(i) - corners.(l));
+      Lanes.set f l (raw.Tiling.r_f_cols.(snd tiles.(l)).(i) - corners.(l))
+    done;
+    for k = 1 to w do
+      Lanes.subs_scalar ~dst:e_open hrow.(k) (go + ge);
+      Lanes.subs_scalar ~dst:erow.(k) erow.(k) ge;
+      Lanes.max_ ~dst:erow.(k) erow.(k) e_open;
+      Lanes.subs_scalar ~dst:f_open hrow.(k - 1) (go + ge);
+      Lanes.subs_scalar ~dst:f f ge;
+      Lanes.max_ ~dst:f f f_open;
+      for l = 0 to lanes - 1 do
+        let q = raw.Tiling.r_query.Sequence.at (i0s.(l) + r - 1) in
+        let s = raw.Tiling.r_subject.Sequence.at (j0s.(l) + k - 1) in
+        Lanes.set sub_vec l (sigma q s)
+      done;
+      Lanes.copy ~dst:keep hrow.(k);
+      Lanes.adds ~dst:hrow.(k) hdiag sub_vec;
+      Lanes.max_ ~dst:hrow.(k) hrow.(k) erow.(k);
+      Lanes.max_ ~dst:hrow.(k) hrow.(k) f;
+      Lanes.copy ~dst:hdiag keep
+    done;
+    (* Right border (absolute values restored). *)
+    for l = 0 to lanes - 1 do
+      let tj = snd tiles.(l) in
+      let i = i0s.(l) + r in
+      raw.Tiling.r_h_cols.(tj + 1).(i) <- Lanes.get hrow.(w) l + corners.(l);
+      raw.Tiling.r_f_cols.(tj + 1).(i) <- Lanes.get f l + corners.(l)
+    done
+  done;
+  (* Bottom border; column j0 belongs to the left neighbour except at
+     tj = 0 (same discipline as the scalar tile kernel). *)
+  for l = 0 to lanes - 1 do
+    let ti, tj = tiles.(l) in
+    let src = if tj = 0 then 0 else 1 in
+    for k = src to w do
+      raw.Tiling.r_h_rows.(ti + 1).(j0s.(l) + k) <- Lanes.get hrow.(k) l + corners.(l)
+    done;
+    for k = 1 to w do
+      raw.Tiling.r_e_rows.(ti + 1).(j0s.(l) + k) <- Lanes.get erow.(k) l + corners.(l)
+    done;
+    Tiling.set_best plan ~ti ~tj { score = neg_inf; query_end = 0; subject_end = 0 }
+  done
+
+let compute_tile_block ?(lanes = default_lanes) plan tiles =
+  let raw = Tiling.raw plan in
+  let vector_ok =
+    raw.Tiling.r_variant.best = Corner
+    && (not raw.Tiling.r_variant.clamp_zero)
+    && feasible_tile raw.Tiling.r_scheme ~tile:raw.Tiling.r_tile
+  in
+  if not vector_ok then
+    Array.iter (fun (ti, tj) -> Tiling.compute_tile plan ~ti ~tj) tiles
+  else begin
+    (* Group by shape; full lane groups go vector, the rest scalar. *)
+    let by_shape = Hashtbl.create 4 in
+    Array.iter
+      (fun (ti, tj) ->
+        let i0, i1, j0, j1 = Tiling.tile_span plan ~ti ~tj in
+        let key = (i1 - i0, j1 - j0) in
+        let cur = try Hashtbl.find by_shape key with Not_found -> [] in
+        Hashtbl.replace by_shape key ((ti, tj) :: cur))
+      tiles;
+    Hashtbl.iter
+      (fun (h, w) members ->
+        let members = Array.of_list (List.rev members) in
+        let nmem = Array.length members in
+        let full = if h > 0 && w > 0 then nmem / lanes else 0 in
+        for b = 0 to full - 1 do
+          vector_tiles raw plan (Array.sub members (b * lanes) lanes)
+        done;
+        for k = full * lanes to nmem - 1 do
+          let ti, tj = members.(k) in
+          Tiling.compute_tile plan ~ti ~tj
+        done)
+      by_shape
+  end
+
+let score_vectorized ?(lanes = default_lanes) ?(tile = 256) scheme mode ~query ~subject =
+  let plan =
+    Tiling.create scheme mode ~tile ~query:(Sequence.view query)
+      ~subject:(Sequence.view subject)
+  in
+  let rows = Tiling.tile_rows plan and cols = Tiling.tile_cols plan in
+  for d = 0 to rows + cols - 2 do
+    let lo = max 0 (d - cols + 1) and hi = min (rows - 1) d in
+    let ready = Array.init (hi - lo + 1) (fun k -> (lo + k, d - lo - k)) in
+    compute_tile_block ~lanes plan ready
+  done;
+  Tiling.finish plan

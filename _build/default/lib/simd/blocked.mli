@@ -1,0 +1,39 @@
+(** Vectorized relaxation of blocks of independent tiles (§IV-A, Fig. 3).
+
+    The paper's long-genome vectorization: instead of vectorizing inside
+    one submatrix, a worker takes [lanes] {e independent} ready tiles from
+    the queue and relaxes them in lockstep, one tile per 16-bit lane. Scores
+    inside a block are {e differential} — rebased to each tile's top-left
+    corner value — which is what makes 16-bit lanes feasible on megabase
+    matrices; the corner offset is added back when borders are written.
+
+    Blocks require identical tile shapes; ragged edge tiles and undersized
+    batches fall back to the scalar {!Anyseq_core.Tiling.compute_tile}
+    (§IV-A: "In these cases threads will compute single submatrices using
+    the scalar method"). *)
+
+val default_lanes : int
+(** 16 (AVX2 with 16-bit lanes). *)
+
+val compute_tile_block :
+  ?lanes:int -> Anyseq_core.Tiling.plan -> (int * int) array -> unit
+(** Relax the given ready tiles. Tiles whose shape differs from the
+    majority shape, or any remainder beyond a multiple of [lanes], are
+    computed scalar. All tiles must be dependency-ready and mutually
+    independent (guaranteed for tiles taken from one wavefront ready set). *)
+
+val feasible_tile : Anyseq_scoring.Scheme.t -> tile:int -> bool
+(** Whether a tile of this size passes the 16-bit differential bound
+    (§IV-A's block-size feasibility test). *)
+
+val score_vectorized :
+  ?lanes:int ->
+  ?tile:int ->
+  Anyseq_scoring.Scheme.t ->
+  Anyseq_core.Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  Anyseq_core.Types.ends
+(** Single-threaded driver: wavefront order, taking up to [lanes] tiles per
+    ready set through the vector kernel. Must agree with the scalar tiled
+    engine (differential-tested). Default tile 256. *)

@@ -1,0 +1,22 @@
+module Sequence = Anyseq_bio.Sequence
+open Anyseq_core.Types
+
+type hit = { index : int; ends : ends }
+
+let score_all ?lanes scheme mode ~query ~subjects =
+  let pairs = Array.map (fun s -> (query, s)) subjects in
+  Inter_seq.batch_score ?lanes scheme mode pairs
+
+let top_k ?lanes scheme mode ~query ~subjects ~k =
+  if k <= 0 then []
+  else begin
+    let scores = score_all ?lanes scheme mode ~query ~subjects in
+    let hits = Array.mapi (fun index ends -> { index; ends }) scores in
+    Array.sort
+      (fun a b ->
+        match compare b.ends.score a.ends.score with
+        | 0 -> compare a.index b.index
+        | c -> c)
+      hits;
+    Array.to_list (Array.sub hits 0 (min k (Array.length hits)))
+  end

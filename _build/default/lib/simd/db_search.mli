@@ -1,0 +1,32 @@
+(** Query-vs-database scoring on the inter-sequence SIMD substrate —
+    the many-to-one workload of protein/DNA database scanning (the
+    application domain of the Farrar/SSW lineage in the paper's related
+    work), built on {!Inter_seq}.
+
+    All pairs share the query, so batches group naturally by subject
+    length and vectorize well. *)
+
+type hit = {
+  index : int;  (** position in the [subjects] array *)
+  ends : Anyseq_core.Types.ends;
+}
+
+val top_k :
+  ?lanes:int ->
+  Anyseq_scoring.Scheme.t ->
+  Anyseq_core.Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subjects:Anyseq_bio.Sequence.t array ->
+  k:int ->
+  hit list
+(** The [k] best-scoring subjects, best first; ties broken by lower index.
+    [k <= 0] yields []. *)
+
+val score_all :
+  ?lanes:int ->
+  Anyseq_scoring.Scheme.t ->
+  Anyseq_core.Types.mode ->
+  query:Anyseq_bio.Sequence.t ->
+  subjects:Anyseq_bio.Sequence.t array ->
+  Anyseq_core.Types.ends array
+(** Scores for every subject, in input order. *)

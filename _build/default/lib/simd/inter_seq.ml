@@ -1,0 +1,207 @@
+module Scheme = Anyseq_scoring.Scheme
+module Bounds = Anyseq_scoring.Bounds
+module Gaps = Anyseq_bio.Gaps
+module Sequence = Anyseq_bio.Sequence
+module Substitution = Anyseq_bio.Substitution
+open Anyseq_core.Types
+
+let default_lanes = 16
+
+(* 16-bit -inf: saturating arithmetic keeps it pinned at the bottom. *)
+let vneg_inf = Lanes.min_value
+
+let feasible scheme ~n ~m =
+  n = 0 || m = 0
+  ||
+  (* Absolute scores live within the differential range extended by the
+     anchored-border gap costs; require comfortable headroom. *)
+  let lo, hi = Bounds.differential_range scheme ~rows:n ~cols:m in
+  let border = Gaps.gap_cost scheme.Scheme.gap (n + m) in
+  lo - border > Lanes.min_value / 2 && hi < Lanes.max_value / 2
+
+type group = { n : int; m : int; members : int list (* input indices, reversed *) }
+
+let group_pairs pairs =
+  let tbl = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx (q, s) ->
+      let key = (Sequence.length q, Sequence.length s) in
+      let members = match Hashtbl.find_opt tbl key with Some g -> g.members | None -> [] in
+      Hashtbl.replace tbl key
+        { n = fst key; m = snd key; members = idx :: members })
+    pairs;
+  Hashtbl.fold (fun _ g acc -> { g with members = List.rev g.members } :: acc) tbl []
+
+(* Vector kernel for [lanes] pairs of identical shape (n, m). *)
+let vector_kernel scheme mode ~n ~m pairs idxs out =
+  let lanes = Array.length idxs in
+  let v = variant_of_mode mode in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
+  let simple =
+    (* Simple schemes use cmpeq+blend; others gather per lane. *)
+    let sub = scheme.Scheme.subst in
+    let asize = Anyseq_bio.Alphabet.size (Scheme.alphabet scheme) in
+    let d = Substitution.score sub 0 0 in
+    let o = if asize > 1 then Substitution.score sub 0 1 else d - 1 in
+    let ok = ref (asize > 1) in
+    for a = 0 to asize - 1 do
+      for b = 0 to asize - 1 do
+        if Substitution.score sub a b <> if a = b then d else o then ok := false
+      done
+    done;
+    if !ok then Some (d, o) else None
+  in
+  let qcodes =
+    Array.init n (fun i ->
+        Array.map (fun idx -> Sequence.get (fst pairs.(idx)) i) idxs)
+  in
+  let scodes =
+    Array.init m (fun j ->
+        Array.map (fun idx -> Sequence.get (snd pairs.(idx)) j) idxs)
+  in
+  let mk x = Lanes.create ~width:lanes x in
+  let hrow = Array.init (m + 1) (fun _ -> mk 0) in
+  let erow = Array.init (m + 1) (fun _ -> mk vneg_inf) in
+  let f = mk vneg_inf in
+  let hdiag = mk 0 in
+  let tmp_keep = mk 0 in
+  let e_open = mk 0 and f_open = mk 0 in
+  let sub_vec = mk 0 in
+  let match_vec = mk 0 and mismatch_vec = mk 0 and eqmask = mk 0 in
+  (match simple with
+  | Some (d, o) ->
+      Lanes.fill match_vec d;
+      Lanes.fill mismatch_vec o
+  | None -> ());
+  let zero = mk 0 in
+  let best = mk (if v.clamp_zero then 0 else vneg_inf) in
+  let best_pos = Array.make lanes (0, 0) in
+  let best_val = Array.make lanes (if v.clamp_zero then 0 else vneg_inf) in
+  let note_vec h i j =
+    (* Per-lane tracking: extract-and-compare, the same thing the real
+       kernels do with movemask on the update mask. *)
+    for l = 0 to lanes - 1 do
+      let x = Lanes.get h l in
+      if x > best_val.(l) then begin
+        best_val.(l) <- x;
+        best_pos.(l) <- (i, j)
+      end
+    done
+  in
+  ignore best;
+  (* Row 0. *)
+  for j = 1 to m do
+    Lanes.fill hrow.(j) (if v.free_start then 0 else -(go + (j * ge)))
+  done;
+  (match v.best with
+  | All_cells ->
+      for j = 0 to m do
+        note_vec hrow.(j) 0 j
+      done
+  | Last_row_col -> note_vec hrow.(m) 0 m
+  | Corner -> ());
+  let qvec = mk 0 and svec = mk 0 in
+  for i = 1 to n do
+    Lanes.copy ~dst:hdiag hrow.(0);
+    Lanes.fill hrow.(0) (if v.free_start then 0 else -(go + (i * ge)));
+    Lanes.fill f vneg_inf;
+    (match v.best with
+    | All_cells -> note_vec hrow.(0) i 0
+    | Last_row_col -> if m = 0 then note_vec hrow.(0) i 0
+    | Corner -> ());
+    for l = 0 to lanes - 1 do
+      Lanes.set qvec l qcodes.(i - 1).(l)
+    done;
+    for j = 1 to m do
+      (* E = max(E_up - ge, H_up - go - ge) *)
+      Lanes.subs_scalar ~dst:e_open hrow.(j) (go + ge);
+      Lanes.subs_scalar ~dst:erow.(j) erow.(j) ge;
+      Lanes.max_ ~dst:erow.(j) erow.(j) e_open;
+      (* F = max(F_left - ge, H_left - go - ge) *)
+      Lanes.subs_scalar ~dst:f_open hrow.(j - 1) (go + ge);
+      Lanes.subs_scalar ~dst:f f ge;
+      Lanes.max_ ~dst:f f f_open;
+      (* substitution *)
+      (match simple with
+      | Some _ ->
+          for l = 0 to lanes - 1 do
+            Lanes.set svec l scodes.(j - 1).(l)
+          done;
+          Lanes.cmpeq ~dst:eqmask qvec svec;
+          Lanes.blend ~dst:sub_vec ~mask:eqmask match_vec mismatch_vec
+      | None ->
+          for l = 0 to lanes - 1 do
+            Lanes.set sub_vec l (sigma qcodes.(i - 1).(l) scodes.(j - 1).(l))
+          done);
+      (* H = max(diag + sigma, E, F) (clamped for local) *)
+      Lanes.copy ~dst:tmp_keep hrow.(j);
+      Lanes.adds ~dst:hrow.(j) hdiag sub_vec;
+      Lanes.max_ ~dst:hrow.(j) hrow.(j) erow.(j);
+      Lanes.max_ ~dst:hrow.(j) hrow.(j) f;
+      if v.clamp_zero then Lanes.max_ ~dst:hrow.(j) hrow.(j) zero;
+      Lanes.copy ~dst:hdiag tmp_keep;
+      (match v.best with
+      | All_cells -> note_vec hrow.(j) i j
+      | Last_row_col -> if j = m then note_vec hrow.(j) i j
+      | Corner -> ())
+    done
+  done;
+  (match v.best with
+  | Corner ->
+      for l = 0 to lanes - 1 do
+        out.(idxs.(l)) <- { score = Lanes.get hrow.(m) l; query_end = n; subject_end = m }
+      done
+  | Last_row_col ->
+      for j = 0 to m do
+        note_vec hrow.(j) n j
+      done;
+      for l = 0 to lanes - 1 do
+        let i, j = best_pos.(l) in
+        out.(idxs.(l)) <- { score = best_val.(l); query_end = i; subject_end = j }
+      done
+  | All_cells ->
+      for l = 0 to lanes - 1 do
+        let i, j = best_pos.(l) in
+        out.(idxs.(l)) <- { score = best_val.(l); query_end = i; subject_end = j }
+      done)
+
+let scalar scheme mode pair =
+  let q, s = pair in
+  Anyseq_core.Dp_linear.score_only scheme mode ~query:(Sequence.view q)
+    ~subject:(Sequence.view s)
+
+let batch_score ?(lanes = default_lanes) scheme mode pairs =
+  if lanes <= 0 then invalid_arg "Inter_seq.batch_score: lanes must be positive";
+  let out =
+    Array.make (Array.length pairs) { score = 0; query_end = 0; subject_end = 0 }
+  in
+  let groups = group_pairs pairs in
+  List.iter
+    (fun { n; m; members } ->
+      let members = Array.of_list members in
+      let nmembers = Array.length members in
+      let ok = feasible scheme ~n ~m && n > 0 && m > 0 in
+      let full = if ok then nmembers / lanes else 0 in
+      for b = 0 to full - 1 do
+        let idxs = Array.sub members (b * lanes) lanes in
+        vector_kernel scheme mode ~n ~m pairs idxs out
+      done;
+      for k = full * lanes to nmembers - 1 do
+        out.(members.(k)) <- scalar scheme mode pairs.(members.(k))
+      done)
+    groups;
+  out
+
+let vectorizable_fraction ?(lanes = default_lanes) scheme pairs =
+  let total = Array.length pairs in
+  if total = 0 then 0.0
+  else begin
+    let vectorized = ref 0 in
+    List.iter
+      (fun { n; m; members } ->
+        if feasible scheme ~n ~m && n > 0 && m > 0 then
+          vectorized := !vectorized + (List.length members / lanes * lanes))
+      (group_pairs pairs);
+    float_of_int !vectorized /. float_of_int total
+  end

@@ -1,0 +1,32 @@
+(** Inter-sequence vectorized alignment: l independent pairwise alignments
+    advance in lockstep, one per SIMD lane (§IV-A; the standard approach
+    for NGS read batches, and the strategy AnySeq uses for blocks of
+    independent submatrix rows).
+
+    Pairs are grouped by shape — lanes must stay in lockstep, so a vector
+    batch contains pairs with identical query and subject lengths (true by
+    construction for the Fig. 5b read workload). Pairs left over after
+    grouping (fewer than [lanes] items of one shape, §IV-A's "threads will
+    compute single submatrices using the scalar method") and pairs whose
+    score range fails the 16-bit feasibility check of {!Anyseq_scoring.Bounds}
+    fall back to the scalar engine. Results are bit-identical to
+    {!Anyseq_core.Dp_linear} either way — the test suite enforces it. *)
+
+val default_lanes : int
+(** 16 — AVX2 with 16-bit scores. *)
+
+val batch_score :
+  ?lanes:int ->
+  Anyseq_scoring.Scheme.t ->
+  Anyseq_core.Types.mode ->
+  (Anyseq_bio.Sequence.t * Anyseq_bio.Sequence.t) array ->
+  Anyseq_core.Types.ends array
+(** Scores (and end cells) for every pair, in input order. *)
+
+val vectorizable_fraction :
+  ?lanes:int ->
+  Anyseq_scoring.Scheme.t ->
+  (Anyseq_bio.Sequence.t * Anyseq_bio.Sequence.t) array ->
+  float
+(** Fraction of pairs that the grouping places in full vector batches —
+    reported by the benches to show scalar-fallback overhead. *)

@@ -1,0 +1,113 @@
+type t = int array
+
+let min_value = -32768
+let max_value = 32767
+
+let ops = ref 0
+let op_count () = !ops
+let reset_op_count () = ops := 0
+
+let sat v = if v > max_value then max_value else if v < min_value then min_value else v
+
+let width = Array.length
+
+let create ~width v =
+  if width <= 0 then invalid_arg "Lanes.create: width must be positive";
+  Array.make width (sat v)
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Lanes.of_array: empty";
+  Array.map sat a
+
+let to_array = Array.copy
+let get v i = v.(i)
+let set v i x = v.(i) <- sat x
+
+let check3 dst a b =
+  let w = Array.length dst in
+  if Array.length a <> w || Array.length b <> w then invalid_arg "Lanes: width mismatch"
+
+let adds ~dst a b =
+  check3 dst a b;
+  incr ops;
+  for i = 0 to Array.length dst - 1 do
+    Array.unsafe_set dst i (sat (Array.unsafe_get a i + Array.unsafe_get b i))
+  done
+
+let subs ~dst a b =
+  check3 dst a b;
+  incr ops;
+  for i = 0 to Array.length dst - 1 do
+    Array.unsafe_set dst i (sat (Array.unsafe_get a i - Array.unsafe_get b i))
+  done
+
+let adds_scalar ~dst a k =
+  if Array.length dst <> Array.length a then invalid_arg "Lanes: width mismatch";
+  incr ops;
+  for i = 0 to Array.length dst - 1 do
+    Array.unsafe_set dst i (sat (Array.unsafe_get a i + k))
+  done
+
+let subs_scalar ~dst a k = adds_scalar ~dst a (-k)
+
+let max_ ~dst a b =
+  check3 dst a b;
+  incr ops;
+  for i = 0 to Array.length dst - 1 do
+    let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+    Array.unsafe_set dst i (if x >= y then x else y)
+  done
+
+let min_ ~dst a b =
+  check3 dst a b;
+  incr ops;
+  for i = 0 to Array.length dst - 1 do
+    let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+    Array.unsafe_set dst i (if x <= y then x else y)
+  done
+
+let blend ~dst ~mask a b =
+  check3 dst a b;
+  if Array.length mask <> Array.length dst then invalid_arg "Lanes: width mismatch";
+  incr ops;
+  for i = 0 to Array.length dst - 1 do
+    Array.unsafe_set dst i
+      (if Array.unsafe_get mask i <> 0 then Array.unsafe_get a i else Array.unsafe_get b i)
+  done
+
+let cmpeq ~dst a b =
+  check3 dst a b;
+  incr ops;
+  for i = 0 to Array.length dst - 1 do
+    Array.unsafe_set dst i (if Array.unsafe_get a i = Array.unsafe_get b i then -1 else 0)
+  done
+
+let cmpgt ~dst a b =
+  check3 dst a b;
+  incr ops;
+  for i = 0 to Array.length dst - 1 do
+    Array.unsafe_set dst i (if Array.unsafe_get a i > Array.unsafe_get b i then -1 else 0)
+  done
+
+let copy ~dst a =
+  if Array.length dst <> Array.length a then invalid_arg "Lanes: width mismatch";
+  incr ops;
+  Array.blit a 0 dst 0 (Array.length a)
+
+let fill v x =
+  incr ops;
+  Array.fill v 0 (Array.length v) (sat x)
+
+let shift_up ~dst a ~fill =
+  if Array.length dst <> Array.length a then invalid_arg "Lanes: width mismatch";
+  if dst == a then invalid_arg "Lanes.shift_up: dst must not alias source";
+  incr ops;
+  for i = Array.length dst - 1 downto 1 do
+    Array.unsafe_set dst i (Array.unsafe_get a (i - 1))
+  done;
+  dst.(0) <- sat fill
+
+let horizontal_max v = Array.fold_left max min_value v
+let horizontal_min v = Array.fold_left min max_value v
+
+let iteri = Array.iteri

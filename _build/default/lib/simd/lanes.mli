@@ -1,0 +1,83 @@
+(** Portable emulation of fixed-width SIMD vectors of signed 16-bit lanes.
+
+    The paper's CPU kernels run 16-bit differential scores in AVX2 (16
+    lanes) or AVX-512 (32 lanes) registers. OCaml exposes no SIMD
+    intrinsics, so this module provides the same {e semantics} —
+    bit-accurate saturating signed-16 arithmetic over an arbitrary lane
+    count — as plain int arrays. Kernels written against it are
+    structurally identical to the vectorized originals (no per-lane
+    branching; blends and masks instead), and the machine model converts
+    their measured scalar throughput into modeled vector throughput.
+
+    All operations require equal widths and write to an explicit
+    destination to mirror register semantics (and avoid allocation in hot
+    loops). *)
+
+type t
+(** A vector of [width] signed 16-bit lanes. *)
+
+val width : t -> int
+
+val create : width:int -> int -> t
+(** All lanes set to the (saturated) value. *)
+
+val of_array : int array -> t
+(** Values saturated into lanes. *)
+
+val to_array : t -> int array
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+(** Single-lane access (boundary handling in kernels); saturates. *)
+
+val min_value : int
+(** −32768. *)
+
+val max_value : int
+(** 32767. *)
+
+val adds : dst:t -> t -> t -> unit
+(** Saturating lane-wise addition ([_mm_adds_epi16]). *)
+
+val subs : dst:t -> t -> t -> unit
+(** Saturating lane-wise subtraction. *)
+
+val adds_scalar : dst:t -> t -> int -> unit
+val subs_scalar : dst:t -> t -> int -> unit
+
+val max_ : dst:t -> t -> t -> unit
+val min_ : dst:t -> t -> t -> unit
+
+val blend : dst:t -> mask:t -> t -> t -> unit
+(** Lane-wise [if mask≠0 then a else b] ([dst.(i) = mask.(i) <> 0 ? a.(i) :
+    b.(i)]). *)
+
+val cmpeq : dst:t -> t -> t -> unit
+(** Lanes set to −1 where equal, 0 elsewhere. *)
+
+val cmpgt : dst:t -> t -> t -> unit
+(** Lanes set to −1 where [a > b], 0 elsewhere. *)
+
+val copy : dst:t -> t -> unit
+val fill : t -> int -> unit
+
+val shift_up : dst:t -> t -> fill:int -> unit
+(** Lane l of [dst] receives lane l−1 of the source; lane 0 receives
+    [fill] — the striped-layout rotation of Farrar's kernel
+    ([_mm_slli_si128] by one lane). [dst] must not alias the source. *)
+
+val horizontal_max : t -> int
+(** Maximum over lanes. *)
+
+val horizontal_min : t -> int
+(** Minimum over lanes ([-1] iff any lane of a comparison mask is set). *)
+
+val iteri : (int -> int -> unit) -> t -> unit
+
+val op_count : unit -> int
+(** Global count of vector operations executed since start (every call to
+    an arithmetic/compare/blend op above increments it once, regardless of
+    width) — the measurement hook the machine model uses to convert
+    emulated-kernel work into modeled SIMD cycles. *)
+
+val reset_op_count : unit -> unit

@@ -1,0 +1,1 @@
+lib/staged/compile.ml: Array Expr Hashtbl List Pe Printf

@@ -1,0 +1,1 @@
+lib/staged/compile.mli: Pe

@@ -1,0 +1,1 @@
+lib/staged/expr.ml: Format List Set String

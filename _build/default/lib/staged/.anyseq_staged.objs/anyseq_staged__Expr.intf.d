@@ -1,0 +1,1 @@
+lib/staged/expr.mli: Format

@@ -1,0 +1,1 @@
+lib/staged/gen.mli:

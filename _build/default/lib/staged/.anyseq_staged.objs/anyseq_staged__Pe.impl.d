@@ -1,0 +1,1 @@
+lib/staged/pe.ml: Array Expr Hashtbl List Map Printf String

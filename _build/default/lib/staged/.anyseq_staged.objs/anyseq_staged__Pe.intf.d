@@ -1,0 +1,1 @@
+lib/staged/pe.mli: Expr

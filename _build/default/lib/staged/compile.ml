@@ -1,0 +1,307 @@
+open Expr
+
+type env = {
+  ints : (string * int) list;
+  bools : (string * bool) list;
+  arrays : (string * int array) list;
+}
+
+let empty_env = { ints = []; bools = []; arrays = [] }
+
+type error =
+  | Unbound_variable of string
+  | Unbound_array of string
+  | Unknown_function of string
+  | Arity_mismatch of string
+  | Type_error of string
+  | Division_by_zero
+  | Index_out_of_bounds of string * int
+
+let error_to_string = function
+  | Unbound_variable v -> Printf.sprintf "unbound variable %s" v
+  | Unbound_array a -> Printf.sprintf "unbound array %s" a
+  | Unknown_function f -> Printf.sprintf "unknown function %s" f
+  | Arity_mismatch f -> Printf.sprintf "arity mismatch calling %s" f
+  | Type_error what -> Printf.sprintf "type error: %s" what
+  | Division_by_zero -> "division by zero"
+  | Index_out_of_bounds (a, i) -> Printf.sprintf "index %d out of bounds of array %s" i a
+
+exception Run_error of error
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type value = VInt of int | VBool of bool
+
+let as_int = function
+  | VInt n -> n
+  | VBool _ -> raise (Run_error (Type_error "expected int, got bool"))
+
+let as_bool = function
+  | VBool b -> b
+  | VInt _ -> raise (Run_error (Type_error "expected bool, got int"))
+
+let interpret residual env =
+  let fns = Hashtbl.create 8 in
+  List.iter (fun (f : fn) -> Hashtbl.replace fns f.name f) residual.Pe.fns;
+  let lookup_array arr =
+    match List.assoc_opt arr env.arrays with
+    | Some a -> a
+    | None -> raise (Run_error (Unbound_array arr))
+  in
+  let rec eval scope e =
+    match e with
+    | Int n -> VInt n
+    | Bool b -> VBool b
+    | Var v -> (
+        match List.assoc_opt v scope with
+        | Some value -> value
+        | None -> (
+            match List.assoc_opt v env.ints with
+            | Some n -> VInt n
+            | None -> (
+                match List.assoc_opt v env.bools with
+                | Some b -> VBool b
+                | None -> raise (Run_error (Unbound_variable v)))))
+    | Let (v, rhs, body) -> eval ((v, eval scope rhs) :: scope) body
+    | If (c, t, f) -> if as_bool (eval scope c) then eval scope t else eval scope f
+    | Neg a -> VInt (-as_int (eval scope a))
+    | Binop (op, a, b) -> (
+        let va = eval scope a and vb = eval scope b in
+        match op with
+        | Add -> VInt (as_int va + as_int vb)
+        | Sub -> VInt (as_int va - as_int vb)
+        | Mul -> VInt (as_int va * as_int vb)
+        | Div ->
+            let d = as_int vb in
+            if d = 0 then raise (Run_error Division_by_zero) else VInt (as_int va / d)
+        | Eq -> VBool (va = vb)
+        | Ne -> VBool (va <> vb)
+        | Lt -> VBool (as_int va < as_int vb)
+        | Le -> VBool (as_int va <= as_int vb)
+        | And -> VBool (as_bool va && as_bool vb)
+        | Or -> VBool (as_bool va || as_bool vb)
+        | Max -> VInt (max (as_int va) (as_int vb))
+        | Min -> VInt (min (as_int va) (as_int vb)))
+    | Read (arr, idx) ->
+        let a = lookup_array arr in
+        let i = as_int (eval scope idx) in
+        if i < 0 || i >= Array.length a then raise (Run_error (Index_out_of_bounds (arr, i)))
+        else VInt a.(i)
+    | Call (fname, args) -> (
+        match Hashtbl.find_opt fns fname with
+        | None -> raise (Run_error (Unknown_function fname))
+        | Some fn ->
+            if List.length fn.params <> List.length args then
+              raise (Run_error (Arity_mismatch fname));
+            let scope' =
+              List.map2 (fun p a -> (p, eval scope a)) fn.params args
+            in
+            eval scope' fn.body)
+  in
+  match eval [] residual.Pe.entry with
+  | VInt n -> Ok n
+  | VBool _ -> Error (Type_error "kernel returned a boolean")
+  | exception Run_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Compiler to closures                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Runtime representation: everything is an int; booleans are 0/1. A
+   runtime frame is [locals] (int array, slot-addressed) and the closure
+   tree reads inputs resolved at compile time. *)
+
+type runtime = {
+  mutable locals : int array;
+  mutable inputs : int array; (* free variables of the whole program *)
+  mutable arrays : int array array;
+}
+
+type compiled = {
+  residual : Pe.residual;
+  free_ints : string array; (* order of [inputs] *)
+  array_names : string array; (* order of [arrays] *)
+  entry_code : runtime -> int;
+  entry_locals : int;
+}
+
+let compile residual =
+  let fns = Hashtbl.create 8 in
+  List.iter (fun (f : fn) -> Hashtbl.replace fns f.name f) residual.Pe.fns;
+  (* Discover free variables and arrays across entry + all residual fns. *)
+  let arrays = ref [] in
+  let add_array a = if not (List.mem a !arrays) then arrays := a :: !arrays in
+  let rec scan = function
+    | Int _ | Bool _ | Var _ -> ()
+    | Let (_, a, b) -> scan a; scan b
+    | If (a, b, c) -> scan a; scan b; scan c
+    | Binop (_, a, b) -> scan a; scan b
+    | Neg a -> scan a
+    | Read (a, i) -> add_array a; scan i
+    | Call (_, args) -> List.iter scan args
+  in
+  scan residual.Pe.entry;
+  List.iter (fun (f : fn) -> scan f.body) residual.Pe.fns;
+  let array_names = Array.of_list (List.rev !arrays) in
+  let array_index = Hashtbl.create 8 in
+  Array.iteri (fun i a -> Hashtbl.replace array_index a i) array_names;
+  (* Free ints: free vars of entry (fns only see their params). *)
+  let free_ints = Array.of_list (free_vars residual.Pe.entry) in
+  let input_index = Hashtbl.create 8 in
+  Array.iteri (fun i v -> Hashtbl.replace input_index v i) free_ints;
+  (* Compiled residual functions are filled in after a first pass creates
+     placeholders, enabling (mutual) recursion. *)
+  let fn_code : (string, (int array -> runtime -> int) ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (f : fn) ->
+      Hashtbl.replace fn_code f.name (ref (fun _ _ -> raise (Run_error (Unknown_function f.name)))))
+    residual.Pe.fns;
+  let exception Static_error of error in
+  (* [compile_expr scope nlocals e] returns (code, locals_used). [scope]
+     maps variable name -> fetch strategy; function bodies use frame-local
+     slots for params via an indirection closure. *)
+  let rec compile_expr ~in_fn scope nlocals e : (runtime -> int) * int =
+    match e with
+    | Int n -> ((fun _ -> n), nlocals)
+    | Bool b ->
+        let v = if b then 1 else 0 in
+        ((fun _ -> v), nlocals)
+    | Var v -> (
+        match List.assoc_opt v scope with
+        | Some slot -> ((fun rt -> rt.locals.(slot)), nlocals)
+        | None ->
+            if in_fn then raise (Static_error (Unbound_variable v))
+            else (
+              match Hashtbl.find_opt input_index v with
+              | Some slot -> ((fun rt -> rt.inputs.(slot)), nlocals)
+              | None -> raise (Static_error (Unbound_variable v))))
+    | Let (v, rhs, body) ->
+        let rhs_code, n1 = compile_expr ~in_fn scope nlocals rhs in
+        let slot = n1 in
+        let body_code, n2 = compile_expr ~in_fn ((v, slot) :: scope) (n1 + 1) body in
+        ( (fun rt ->
+            rt.locals.(slot) <- rhs_code rt;
+            body_code rt),
+          n2 )
+    | If (c, t, f) ->
+        let c_code, n1 = compile_expr ~in_fn scope nlocals c in
+        let t_code, n2 = compile_expr ~in_fn scope n1 t in
+        let f_code, n3 = compile_expr ~in_fn scope n2 f in
+        ((fun rt -> if c_code rt <> 0 then t_code rt else f_code rt), n3)
+    | Neg a ->
+        let a_code, n1 = compile_expr ~in_fn scope nlocals a in
+        ((fun rt -> -a_code rt), n1)
+    | Binop (op, a, b) -> (
+        let a_code, n1 = compile_expr ~in_fn scope nlocals a in
+        let b_code, n2 = compile_expr ~in_fn scope n1 b in
+        let mk f = ((fun rt -> f (a_code rt) (b_code rt)), n2) in
+        match op with
+        | Add -> mk ( + )
+        | Sub -> mk ( - )
+        | Mul -> mk ( * )
+        | Div ->
+            ( (fun rt ->
+                let d = b_code rt in
+                if d = 0 then raise (Run_error Division_by_zero) else a_code rt / d),
+              n2 )
+        | Eq -> mk (fun x y -> if x = y then 1 else 0)
+        | Ne -> mk (fun x y -> if x <> y then 1 else 0)
+        | Lt -> mk (fun x y -> if x < y then 1 else 0)
+        | Le -> mk (fun x y -> if x <= y then 1 else 0)
+        | And -> ((fun rt -> if a_code rt <> 0 && b_code rt <> 0 then 1 else 0), n2)
+        | Or -> ((fun rt -> if a_code rt <> 0 || b_code rt <> 0 then 1 else 0), n2)
+        | Max -> mk (fun x y -> if x >= y then x else y)
+        | Min -> mk (fun x y -> if x <= y then x else y))
+    | Read (arr, idx) ->
+        let aidx =
+          match Hashtbl.find_opt array_index arr with
+          | Some i -> i
+          | None -> raise (Static_error (Unbound_array arr))
+        in
+        let idx_code, n1 = compile_expr ~in_fn scope nlocals idx in
+        ( (fun rt ->
+            let a = rt.arrays.(aidx) in
+            let i = idx_code rt in
+            if i < 0 || i >= Array.length a then
+              raise (Run_error (Index_out_of_bounds (arr, i)))
+            else Array.unsafe_get a i),
+          n1 )
+    | Call (fname, args) ->
+        let fn =
+          match Hashtbl.find_opt fns fname with
+          | Some fn -> fn
+          | None -> raise (Static_error (Unknown_function fname))
+        in
+        if List.length fn.params <> List.length args then
+          raise (Static_error (Arity_mismatch fname));
+        let codes, nfinal =
+          List.fold_left
+            (fun (acc, n) a ->
+              let code, n' = compile_expr ~in_fn scope n a in
+              (code :: acc, n'))
+            ([], nlocals) args
+        in
+        let codes = Array.of_list (List.rev codes) in
+        let cell = Hashtbl.find fn_code fname in
+        ( (fun rt ->
+            let argv = Array.map (fun code -> code rt) codes in
+            !cell argv rt),
+          nfinal )
+  in
+  match
+    (* Compile every residual function body with params as locals 0..k-1;
+       each call allocates a fresh frame, which keeps recursion correct. *)
+    List.iter
+      (fun (f : fn) ->
+        let scope = List.mapi (fun i p -> (p, i)) f.params in
+        let nparams = List.length f.params in
+        let body_code, nlocals = compile_expr ~in_fn:true scope nparams f.body in
+        let cell = Hashtbl.find fn_code f.name in
+        cell :=
+          fun argv rt ->
+            let saved = rt.locals in
+            let frame = Array.make nlocals 0 in
+            Array.blit argv 0 frame 0 nparams;
+            rt.locals <- frame;
+            let result = body_code rt in
+            rt.locals <- saved;
+            result)
+      residual.Pe.fns;
+    compile_expr ~in_fn:false [] 0 residual.Pe.entry
+  with
+  | entry_code, entry_locals ->
+      Ok { residual; free_ints; array_names; entry_code; entry_locals }
+  | exception Static_error e -> Error e
+
+let run_compiled compiled env =
+  match
+    let inputs =
+      Array.map
+        (fun v ->
+          match List.assoc_opt v env.ints with
+          | Some n -> n
+          | None -> (
+              match List.assoc_opt v env.bools with
+              | Some b -> if b then 1 else 0
+              | None -> raise (Run_error (Unbound_variable v))))
+        compiled.free_ints
+    in
+    let arrays =
+      Array.map
+        (fun a ->
+          match List.assoc_opt a env.arrays with
+          | Some data -> data
+          | None -> raise (Run_error (Unbound_array a)))
+        compiled.array_names
+    in
+    let rt = { locals = Array.make (max 1 compiled.entry_locals) 0; inputs; arrays } in
+    compiled.entry_code rt
+  with
+  | n -> Ok n
+  | exception Run_error e -> Error e
+
+let op_count (residual : Pe.residual) =
+  Expr.size residual.Pe.entry
+  + List.fold_left (fun acc (f : fn) -> acc + Expr.size f.body) 0 residual.Pe.fns

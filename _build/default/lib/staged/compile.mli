@@ -1,0 +1,48 @@
+(** Execution of residual programs.
+
+    Two execution strategies for a {!Pe.residual}:
+
+    - {!interpret}: a straightforward recursive-descent interpreter (the
+      "unspecialized" baseline of the specialization ablation);
+    - {!compile}: a compiler to nested OCaml closures — each IR node becomes
+      one closure {e once}, ahead of time, so per-invocation dispatch
+      disappears. This plays the role of AnyDSL's LLVM backend: the closure
+      tree is our "generated code".
+
+    Both take runtime inputs through an {!env}: integer/boolean variable
+    bindings plus named arrays. *)
+
+type env = {
+  ints : (string * int) list;
+  bools : (string * bool) list;
+  arrays : (string * int array) list;
+}
+
+val empty_env : env
+
+type error =
+  | Unbound_variable of string
+  | Unbound_array of string
+  | Unknown_function of string
+  | Arity_mismatch of string
+  | Type_error of string
+  | Division_by_zero
+  | Index_out_of_bounds of string * int
+
+val error_to_string : error -> string
+
+val interpret : Pe.residual -> env -> (int, error) result
+(** Evaluate the entry expression; boolean results are an error (kernels
+    return scores). *)
+
+type compiled
+(** A compiled residual program; build once, run many times. *)
+
+val compile : Pe.residual -> (compiled, error) result
+(** Static checks (unknown residual functions, arity) happen here. *)
+
+val run_compiled : compiled -> env -> (int, error) result
+
+val op_count : Pe.residual -> int
+(** Total IR size of entry + residual functions — reported by the
+    specialization ablation to show how much code PE removed. *)

@@ -1,0 +1,91 @@
+type binop = Add | Sub | Mul | Div | Eq | Ne | Lt | Le | And | Or | Max | Min
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Let of string * expr * expr
+  | If of expr * expr * expr
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Read of string * expr
+  | Call of string * expr list
+
+type filter = Always | Never | When_static of string list
+
+type fn = { name : string; params : string list; filter : filter; body : expr }
+
+type program = fn list
+
+let lookup_fn program name = List.find_opt (fun f -> f.name = name) program
+
+module Sset = Set.Make (String)
+
+let free_vars e =
+  let rec go bound acc = function
+    | Int _ | Bool _ -> acc
+    | Var v -> if Sset.mem v bound then acc else Sset.add v acc
+    | Let (v, rhs, body) -> go (Sset.add v bound) (go bound acc rhs) body
+    | If (c, t, f) -> go bound (go bound (go bound acc c) t) f
+    | Binop (_, a, b) -> go bound (go bound acc a) b
+    | Neg a -> go bound acc a
+    | Read (_, i) -> go bound acc i
+    | Call (_, args) -> List.fold_left (go bound) acc args
+  in
+  Sset.elements (go Sset.empty Sset.empty e)
+
+let rec size = function
+  | Int _ | Bool _ | Var _ -> 1
+  | Let (_, a, b) -> 1 + size a + size b
+  | If (a, b, c) -> 1 + size a + size b + size c
+  | Binop (_, a, b) -> 1 + size a + size b
+  | Neg a -> 1 + size a
+  | Read (_, i) -> 1 + size i
+  | Call (_, args) -> List.fold_left (fun acc a -> acc + size a) 1 args
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | And -> "&&"
+  | Or -> "||"
+  | Max -> "max"
+  | Min -> "min"
+
+let rec pp ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Var v -> Format.fprintf ppf "%s" v
+  | Let (v, rhs, body) -> Format.fprintf ppf "@[<hv>(let %s = %a in@ %a)@]" v pp rhs pp body
+  | If (c, t, f) -> Format.fprintf ppf "@[<hv>(if %a@ then %a@ else %a)@]" pp c pp t pp f
+  | Binop (((Max | Min) as op), a, b) ->
+      Format.fprintf ppf "@[%s(%a,@ %a)@]" (binop_name op) pp a pp b
+  | Binop (op, a, b) -> Format.fprintf ppf "@[(%a %s %a)@]" pp a (binop_name op) pp b
+  | Neg a -> Format.fprintf ppf "(- %a)" pp a
+  | Read (arr, i) -> Format.fprintf ppf "%s[%a]" arr pp i
+  | Call (f, args) ->
+      Format.fprintf ppf "@[%s(%a)@]" f
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+        args
+
+let to_string e = Format.asprintf "%a" pp e
+
+let int n = Int n
+let var v = Var v
+let max_ a b = Binop (Max, a, b)
+let min_ a b = Binop (Min, a, b)
+let let_ v rhs body = Let (v, rhs, body)
+let if_ c t f = If (c, t, f)
+
+module Infix = struct
+  let ( + ) a b = Binop (Add, a, b)
+  let ( - ) a b = Binop (Sub, a, b)
+  let ( * ) a b = Binop (Mul, a, b)
+  let ( = ) a b = Binop (Eq, a, b)
+  let ( < ) a b = Binop (Lt, a, b)
+end

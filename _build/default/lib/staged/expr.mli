@@ -1,0 +1,83 @@
+(** A small first-order expression IR — the object language of the partial
+    evaluator.
+
+    AnyDSL's Impala lets AnySeq write one generic kernel and derive all
+    specialized variants by partial evaluation. This IR plays Impala's role
+    in the reproduction: kernels (cell-update rules, loop bodies) are built
+    as [expr] values, specialized by {!Pe}, and executed via {!Compile}.
+
+    The language is deliberately tiny: integers and booleans, let/if,
+    arithmetic, comparisons, min/max, reads from named input arrays, and
+    calls to named (possibly recursive) functions. That is exactly enough to
+    express DP relaxation kernels and the [pow]-style examples of the
+    paper's §II-B. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncating; division by a {e static} zero is a PE-time error *)
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | And
+  | Or
+  | Max
+  | Min
+
+type expr =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Let of string * expr * expr
+  | If of expr * expr * expr
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Read of string * expr
+      (** [Read (arr, idx)] — element of a named input array. *)
+  | Call of string * expr list
+      (** Call to a named function of the enclosing {!program}. *)
+
+(** Controls when the partial evaluator unfolds a function at a call site —
+    Impala's filter annotations. *)
+type filter =
+  | Always  (** [@] — specialize every call *)
+  | Never  (** no annotation — residualize every call *)
+  | When_static of string list
+      (** [@(?a & ?b)] — unfold only when all the listed parameters are
+          known at specialization time *)
+
+type fn = { name : string; params : string list; filter : filter; body : expr }
+
+type program = fn list
+
+val lookup_fn : program -> string -> fn option
+
+val free_vars : expr -> string list
+(** Variables not bound by an enclosing [Let], sorted, without duplicates. *)
+
+val size : expr -> int
+(** Number of IR nodes — the metric the specialization ablation reports. *)
+
+val pp : Format.formatter -> expr -> unit
+val to_string : expr -> string
+
+(** {1 Construction helpers}
+
+    Shadowing operators live in {!Infix} so that [open Expr] stays safe. *)
+
+val int : int -> expr
+val var : string -> expr
+val max_ : expr -> expr -> expr
+val min_ : expr -> expr -> expr
+val let_ : string -> expr -> expr -> expr
+val if_ : expr -> expr -> expr -> expr
+
+module Infix : sig
+  val ( + ) : expr -> expr -> expr
+  val ( - ) : expr -> expr -> expr
+  val ( * ) : expr -> expr -> expr
+  val ( = ) : expr -> expr -> expr
+  val ( < ) : expr -> expr -> expr
+end

@@ -1,0 +1,74 @@
+type body1 = int -> unit
+type loop1 = int -> int -> body1 -> unit
+type body2 = int -> int -> unit
+type loop2 = int -> int -> int -> int -> body2 -> unit
+
+let range a b body =
+  for i = a to b - 1 do
+    body i
+  done
+
+let range_rev a b body =
+  for i = b - 1 downto a do
+    body i
+  done
+
+let unroll = range
+
+let step k a b body =
+  if k <= 0 then invalid_arg "Gen.step: step must be positive";
+  let i = ref a in
+  while !i < b do
+    body !i;
+    i := !i + k
+  done
+
+let combine (outer : loop1) (inner : loop1) : loop2 =
+ fun x0 x1 y0 y1 body -> outer x0 x1 (fun x -> inner y0 y1 (fun y -> body x y))
+
+let tile2 ~tile_x ~tile_y ~(inter : loop2) ~(intra : loop2) : loop2 =
+  if tile_x <= 0 || tile_y <= 0 then invalid_arg "Gen.tile2: tile sizes must be positive";
+  fun x0 x1 y0 y1 body ->
+    let ntx = (x1 - x0 + tile_x - 1) / tile_x in
+    let nty = (y1 - y0 + tile_y - 1) / tile_y in
+    inter 0 ntx 0 nty (fun tx ty ->
+        let bx0 = x0 + (tx * tile_x) and by0 = y0 + (ty * tile_y) in
+        let bx1 = min x1 (bx0 + tile_x) and by1 = min y1 (by0 + tile_y) in
+        intra bx0 bx1 by0 by1 body)
+
+let diagonals_of (within : loop1) : loop2 =
+ fun x0 x1 y0 y1 body ->
+  let nx = x1 - x0 and ny = y1 - y0 in
+  if nx > 0 && ny > 0 then
+    for d = 0 to nx + ny - 2 do
+      (* Cells (x, y) with (x - x0) + (y - y0) = d. *)
+      let xlo = max 0 (d - ny + 1) and xhi = min (nx - 1) d in
+      within xlo (xhi + 1) (fun dx -> body (x0 + dx) (y0 + d - dx))
+    done
+
+let diagonal2 : loop2 = diagonals_of range
+
+let chunked ~chunk (outer : loop1) : loop1 =
+  if chunk <= 0 then invalid_arg "Gen.chunked: chunk must be positive";
+  fun a b body ->
+    let nchunks = (b - a + chunk - 1) / chunk in
+    outer 0 nchunks (fun c ->
+        let lo = a + (c * chunk) in
+        let hi = min b (lo + chunk) in
+        for i = lo to hi - 1 do
+          body i
+        done)
+
+let unrolled_calls ~factor a b body =
+  if factor <= 0 then invalid_arg "Gen.unrolled_calls: factor must be positive";
+  let i = ref a in
+  while !i + factor <= b do
+    for k = 0 to factor - 1 do
+      body (!i + k)
+    done;
+    i := !i + factor
+  done;
+  while !i < b do
+    body !i;
+    incr i
+  done

@@ -1,0 +1,58 @@
+(** Generator combinators — the loop-nest vocabulary of §II-B.
+
+    In Impala, generators are higher-order functions invokable with
+    for-syntax ([for x in range(a, b)]); AnySeq composes them ([combine],
+    [tile]) to build the 2D iteration schemes of each backend without the
+    core kernel knowing which one it runs under. OCaml closures express the
+    same thing directly; these combinators are used verbatim by the CPU
+    engines, and by the GPU/FPGA simulators for their host-side loops. *)
+
+type body1 = int -> unit
+type loop1 = int -> int -> body1 -> unit
+(** [loop a b body] iterates [body] over [\[a, b)] in some order/grouping. *)
+
+type body2 = int -> int -> unit
+type loop2 = int -> int -> int -> int -> body2 -> unit
+(** [loop2 x0 x1 y0 y1 body] covers the rectangle [\[x0,x1) × \[y0,y1)]. *)
+
+val range : loop1
+(** Plain ascending iteration — the paper's [range]. *)
+
+val range_rev : loop1
+(** Descending over the same interval (traceback passes). *)
+
+val unroll : loop1
+(** Semantically [range]; named separately so call sites document intent
+    (the IR-level analog in {!Pe} actually unrolls — see
+    {!unrolled_calls}). *)
+
+val step : int -> loop1
+(** [step k] visits [a, a+k, …]; [k > 0]. *)
+
+val combine : loop1 -> loop1 -> loop2
+(** [combine outer inner] — the paper's [combine]: [outer] drives the first
+    axis, [inner] the second. *)
+
+val tile2 : tile_x:int -> tile_y:int -> inter:loop2 -> intra:loop2 -> loop2
+(** The paper's [tile]: cover the rectangle with [tile_x × tile_y] blocks,
+    iterate blocks with [inter] and cells inside each block with [intra].
+    Edge blocks are clipped. *)
+
+val diagonal2 : loop2
+(** Anti-diagonal (wavefront) order: all cells with equal [x−x0 + y−y0] are
+    visited consecutively, diagonals in increasing order — the dependency-
+    respecting order for DP matrices. *)
+
+val diagonals_of : loop1 -> loop2
+(** Like {!diagonal2} but cells {e within} one anti-diagonal are driven by
+    the given 1D generator, so a parallel 1D generator yields wavefront
+    parallelism. *)
+
+val chunked : chunk:int -> loop1 -> loop1
+(** Groups the interval into [chunk]-sized pieces and runs the given loop
+    over pieces, then sequentially inside — the work-distribution shape for
+    domain pools. *)
+
+val unrolled_calls : factor:int -> loop1
+(** Manual unrolling by [factor]: bodies are invoked in groups of [factor]
+    with a scalar epilogue. Behaviourally identical to [range]. *)

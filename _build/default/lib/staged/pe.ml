@@ -1,0 +1,254 @@
+open Expr
+
+type value = VInt of int | VBool of bool
+
+type residual = { entry : Expr.expr; fns : Expr.fn list }
+
+type error =
+  | Unknown_function of string
+  | Arity_mismatch of string
+  | Type_error of string
+  | Division_by_zero
+  | Out_of_fuel of string
+
+let error_to_string = function
+  | Unknown_function f -> Printf.sprintf "unknown function %s" f
+  | Arity_mismatch f -> Printf.sprintf "arity mismatch calling %s" f
+  | Type_error what -> Printf.sprintf "type error: %s" what
+  | Division_by_zero -> "division by a static zero"
+  | Out_of_fuel f -> Printf.sprintf "out of fuel while unfolding %s" f
+
+exception Pe_error of error
+
+(* An abstract value: either fully known at specialization time, or a
+   residual expression to be evaluated at run time. *)
+type aval = Known of value | Dyn of expr
+
+let expr_of_value = function VInt n -> Int n | VBool b -> Bool b
+let expr_of_aval = function Known v -> expr_of_value v | Dyn e -> e
+
+let as_int = function
+  | VInt n -> n
+  | VBool _ -> raise (Pe_error (Type_error "expected int, got bool"))
+
+let as_bool = function
+  | VBool b -> b
+  | VInt _ -> raise (Pe_error (Type_error "expected bool, got int"))
+
+type ctx = {
+  program : Expr.program;
+  static_arrays : (string * int array) list;
+  mutable fuel : int;
+  mutable fresh : int;
+  (* Memoized specializations: (fn name, static arg assignment) ->
+     specialized residual name. *)
+  specializations : (string * (string * value) list, string) Hashtbl.t;
+  mutable residual_fns : Expr.fn list;
+}
+
+let fresh_name ctx base =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%%%d" base ctx.fresh
+
+let mangle name static_args =
+  match static_args with
+  | [] -> name ^ "%d" (* distinguish the all-dynamic variant from the source *)
+  | _ ->
+      let part (p, v) =
+        match v with VInt n -> Printf.sprintf "%s=%d" p n | VBool b -> Printf.sprintf "%s=%b" p b
+      in
+      name ^ "%" ^ String.concat "," (List.map part static_args)
+
+let fold_binop op a b =
+  match op with
+  | Add -> VInt (as_int a + as_int b)
+  | Sub -> VInt (as_int a - as_int b)
+  | Mul -> VInt (as_int a * as_int b)
+  | Div ->
+      let d = as_int b in
+      if d = 0 then raise (Pe_error Division_by_zero) else VInt (as_int a / d)
+  | Eq -> VBool (a = b)
+  | Ne -> VBool (a <> b)
+  | Lt -> VBool (as_int a < as_int b)
+  | Le -> VBool (as_int a <= as_int b)
+  | And -> VBool (as_bool a && as_bool b)
+  | Or -> VBool (as_bool a || as_bool b)
+  | Max -> VInt (max (as_int a) (as_int b))
+  | Min -> VInt (min (as_int a) (as_int b))
+
+(* Algebraic simplification of a residual binop with one known operand. *)
+let simplify op a b =
+  match (op, a, b) with
+  | Add, Known (VInt 0), d | Add, d, Known (VInt 0) -> Some d
+  | Sub, d, Known (VInt 0) -> Some d
+  | Mul, Known (VInt 1), d | Mul, d, Known (VInt 1) -> Some d
+  | Mul, Known (VInt 0), _ | Mul, _, Known (VInt 0) -> Some (Known (VInt 0))
+  | And, Known (VBool true), d | And, d, Known (VBool true) -> Some d
+  | And, Known (VBool false), _ | And, _, Known (VBool false) -> Some (Known (VBool false))
+  | Or, Known (VBool false), d | Or, d, Known (VBool false) -> Some d
+  | Or, Known (VBool true), _ | Or, _, Known (VBool true) -> Some (Known (VBool true))
+  | _ -> None
+
+module Env = Map.Make (String)
+
+let rec pe ctx env e : aval =
+  match e with
+  | Int n -> Known (VInt n)
+  | Bool b -> Known (VBool b)
+  | Var v -> ( match Env.find_opt v env with Some a -> a | None -> Dyn (Var v))
+  | Let (v, rhs, body) -> (
+      match pe ctx env rhs with
+      | Known _ as k -> pe ctx (Env.add v k env) body
+      | Dyn (Var _ as simple) ->
+          (* Binding to a bare variable: inline, no residual let needed. *)
+          pe ctx (Env.add v (Dyn simple) env) body
+      | Dyn rhs' ->
+          let fresh = fresh_name ctx v in
+          let body' = pe ctx (Env.add v (Dyn (Var fresh)) env) body in
+          Dyn (Let (fresh, rhs', expr_of_aval body')))
+  | If (c, t, f) -> (
+      match pe ctx env c with
+      | Known v -> if as_bool v then pe ctx env t else pe ctx env f
+      | Dyn c' ->
+          let t' = pe ctx env t and f' = pe ctx env f in
+          Dyn (If (c', expr_of_aval t', expr_of_aval f')))
+  | Binop (op, a, b) -> (
+      let a' = pe ctx env a and b' = pe ctx env b in
+      match (a', b') with
+      | Known va, Known vb -> Known (fold_binop op va vb)
+      | _ -> (
+          match simplify op a' b' with
+          | Some r -> r
+          | None -> Dyn (Binop (op, expr_of_aval a', expr_of_aval b'))))
+  | Neg a -> (
+      match pe ctx env a with
+      | Known v -> Known (VInt (-as_int v))
+      | Dyn e' -> Dyn (Neg e'))
+  | Read (arr, idx) -> (
+      let idx' = pe ctx env idx in
+      match (List.assoc_opt arr ctx.static_arrays, idx') with
+      | Some data, Known v ->
+          let i = as_int v in
+          if i < 0 || i >= Array.length data then
+            raise (Pe_error (Type_error (Printf.sprintf "static read %s[%d] out of bounds" arr i)))
+          else Known (VInt data.(i))
+      | _ -> Dyn (Read (arr, expr_of_aval idx')))
+  | Call (fname, args) -> (
+      let fn =
+        match lookup_fn ctx.program fname with
+        | Some fn -> fn
+        | None -> raise (Pe_error (Unknown_function fname))
+      in
+      if List.length fn.params <> List.length args then
+        raise (Pe_error (Arity_mismatch fname));
+      let avals = List.map (pe ctx env) args in
+      let bound = List.combine fn.params avals in
+      let statics = List.filter_map (function p, Known v -> Some (p, v) | _ -> None) bound in
+      let unfold =
+        match fn.filter with
+        | Always -> true
+        | Never -> false
+        | When_static names ->
+            List.for_all
+              (fun n -> List.exists (fun (p, _) -> p = n) statics)
+              names
+      in
+      if unfold then begin
+        if ctx.fuel <= 0 then raise (Pe_error (Out_of_fuel fname));
+        ctx.fuel <- ctx.fuel - 1;
+        let env' =
+          List.fold_left (fun acc (p, a) -> Env.add p a acc) Env.empty bound
+        in
+        pe ctx env' fn.body
+      end
+      else begin
+        (* Residualize: emit (and memoize) a variant of [fn] specialized to
+           the static arguments; only dynamic arguments remain. *)
+        let dyn_params = List.filter_map (function p, Dyn _ -> Some p | _ -> None) bound in
+        let dyn_args = List.filter_map (function _, Dyn e -> Some e | _ -> None) bound in
+        let key = (fname, statics) in
+        let rname =
+          match Hashtbl.find_opt ctx.specializations key with
+          | Some rname -> rname
+          | None ->
+              let rname = mangle fname statics in
+              Hashtbl.add ctx.specializations key rname;
+              let env' =
+                List.fold_left
+                  (fun acc (p, a) ->
+                    match a with
+                    | Known v -> Env.add p (Known v) acc
+                    | Dyn _ -> Env.add p (Dyn (Var p)) acc)
+                  Env.empty bound
+              in
+              let body' = pe ctx env' fn.body in
+              ctx.residual_fns <-
+                { name = rname; params = dyn_params; filter = Never; body = expr_of_aval body' }
+                :: ctx.residual_fns;
+              rname
+        in
+        Dyn (Call (rname, dyn_args))
+      end)
+
+(* Residual functions that ended up never being called from the entry (e.g.
+   their call sites folded away after memoization) are pruned. *)
+let reachable entry fns =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace tbl f.name f) fns;
+  let seen = Hashtbl.create 16 in
+  let rec walk e =
+    match e with
+    | Int _ | Bool _ | Var _ -> ()
+    | Let (_, a, b) -> walk a; walk b
+    | If (a, b, c) -> walk a; walk b; walk c
+    | Binop (_, a, b) -> walk a; walk b
+    | Neg a -> walk a
+    | Read (_, i) -> walk i
+    | Call (f, args) ->
+        List.iter walk args;
+        if not (Hashtbl.mem seen f) then begin
+          Hashtbl.add seen f ();
+          match Hashtbl.find_opt tbl f with Some fn -> walk fn.body | None -> ()
+        end
+  in
+  walk entry;
+  List.filter (fun f -> Hashtbl.mem seen f.name) fns
+
+let make_ctx ?(fuel = 100_000) ?(static_arrays = []) ~program () =
+  {
+    program;
+    static_arrays;
+    fuel;
+    fresh = 0;
+    specializations = Hashtbl.create 16;
+    residual_fns = [];
+  }
+
+let run ?fuel ?static_arrays ~program ~env e =
+  let ctx = make_ctx ?fuel ?static_arrays ~program () in
+  let env =
+    List.fold_left (fun acc (v, value) -> Env.add v (Known value) acc) Env.empty env
+  in
+  match pe ctx env e with
+  | aval ->
+      let entry = expr_of_aval aval in
+      Ok { entry; fns = reachable entry (List.rev ctx.residual_fns) }
+  | exception Pe_error err -> Error err
+
+let specialize_fn ?fuel ?static_arrays ~program ~name ~static_args () =
+  match lookup_fn program name with
+  | None -> Error (Unknown_function name)
+  | Some fn ->
+      (* Force unfolding of the entry call by evaluating the body directly
+         with the mixed environment, rather than going through the filter. *)
+      let ctx = make_ctx ?fuel ?static_arrays ~program () in
+      let env =
+        List.fold_left
+          (fun acc (v, value) -> Env.add v (Known value) acc)
+          Env.empty static_args
+      in
+      (match pe ctx env fn.body with
+      | aval ->
+          let entry = expr_of_aval aval in
+          Ok { entry; fns = reachable entry (List.rev ctx.residual_fns) }
+      | exception Pe_error err -> Error err)

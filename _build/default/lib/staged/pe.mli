@@ -1,0 +1,60 @@
+(** Online partial evaluator over {!Expr}.
+
+    Mirrors the behaviour AnySeq relies on in Impala (§II-B of the paper):
+
+    - constant folding and algebraic simplification;
+    - [let]-inlining of static bindings;
+    - static [if] conditions select a branch, eliminating configuration
+      dispatch from residual kernels;
+    - function calls are {e unfolded} or {e residualized} according to the
+      callee's {!Expr.filter} — [Always] corresponds to [@], [When_static
+      xs] to [@(?x & …)]; residualized calls are specialized per static
+      argument tuple ({e polyvariance}), so [pow(x, 5)] residualizes to a
+      loop-free chain of multiplications while [pow(x, n)] keeps a recursive
+      residual function;
+    - reads from arrays registered as static fold when the index is static
+      (substitution-matrix folding).
+
+    Specialization is memoized, recursion through dynamic arguments is
+    residualized as recursive residual functions, and a fuel bound turns
+    runaway unfolding into an error instead of divergence. *)
+
+type value = VInt of int | VBool of bool
+
+type residual = {
+  entry : Expr.expr;  (** specialized entry expression *)
+  fns : Expr.fn list;  (** residual (specialized) functions it calls *)
+}
+
+type error =
+  | Unknown_function of string
+  | Arity_mismatch of string
+  | Type_error of string
+  | Division_by_zero
+  | Out_of_fuel of string
+      (** a cycle of [Always]-filtered unfoldings exceeded the fuel bound *)
+
+val error_to_string : error -> string
+
+val run :
+  ?fuel:int ->
+  ?static_arrays:(string * int array) list ->
+  program:Expr.program ->
+  env:(string * value) list ->
+  Expr.expr ->
+  (residual, error) result
+(** [run ~program ~env e] specializes [e] under the static bindings [env];
+    variables not bound in [env] are dynamic inputs of the residual
+    program. Default [fuel] is 100_000 unfoldings. *)
+
+val specialize_fn :
+  ?fuel:int ->
+  ?static_arrays:(string * int array) list ->
+  program:Expr.program ->
+  name:string ->
+  static_args:(string * value) list ->
+  unit ->
+  (residual, error) result
+(** Specialize a named function with some parameters pinned to static
+    values; the remaining parameters become free variables of
+    [residual.entry]. *)

@@ -1,0 +1,1 @@
+lib/util/timer.ml: Int64 Unix

@@ -1,0 +1,69 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0.0; vals = Array.make 16 None; size = 0 }
+
+let is_empty h = h.size = 0
+let size h = h.size
+
+let grow h =
+  let cap = Array.length h.keys in
+  if h.size = cap then begin
+    let keys = Array.make (2 * cap) 0.0 and vals = Array.make (2 * cap) None in
+    Array.blit h.keys 0 keys 0 cap;
+    Array.blit h.vals 0 vals 0 cap;
+    h.keys <- keys;
+    h.vals <- vals
+  end
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.vals.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.vals.(i) <- h.vals.(j);
+  h.keys.(j) <- k;
+  h.vals.(j) <- v
+
+let push h key value =
+  grow h;
+  h.keys.(h.size) <- key;
+  h.vals.(h.size) <- Some value;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let sift_down h =
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+    if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      swap h !i !smallest;
+      i := !smallest
+    end
+    else continue_ := false
+  done
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) and value = h.vals.(0) in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    h.vals.(h.size) <- None;
+    sift_down h;
+    match value with Some v -> Some (key, v) | None -> None
+  end
+
+let peek_min h =
+  if h.size = 0 then None
+  else match h.vals.(0) with Some v -> Some (h.keys.(0), v) | None -> None

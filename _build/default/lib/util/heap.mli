@@ -1,0 +1,14 @@
+(** Minimal binary min-heap keyed by floats — used by the discrete-event
+    scheduler simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+
+val pop_min : 'a t -> (float * 'a) option
+(** Smallest key; ties in unspecified order. *)
+
+val peek_min : 'a t -> (float * 'a) option

@@ -1,0 +1,104 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+let ( ^% ) = Int64.logxor
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64: used only to expand the user seed into xoshiro state. *)
+let splitmix64 state =
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = (z ^% Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^% Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  z ^% Int64.shift_right_logical z 31
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let bits64 t =
+  let result = rotl (t.s1 *% 5L) 7 *% 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- t.s2 ^% t.s0;
+  t.s3 <- t.s3 ^% t.s1;
+  t.s1 <- t.s1 ^% t.s2;
+  t.s0 <- t.s0 ^% t.s3;
+  t.s2 <- t.s2 ^% tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let st = ref (bits64 t) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits keeps the result exact and
+     unbiased for any bound representable as an OCaml int. *)
+  let mask = max_int in
+  let rec loop () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then loop () else v
+  in
+  loop ()
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 *. bound (* 2^53 *)
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let gaussian t =
+  let rec draw () =
+    let u = float t 1.0 in
+    if u <= 1e-300 then draw () else u
+  in
+  let u1 = draw () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let log_normal t ~mu ~sigma = exp (mu +. (sigma *. gaussian t))
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 1e-300 then 1e-300 else u in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let choose_weighted t pairs =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  if total <= 0.0 then invalid_arg "Rng.choose_weighted: weights sum to zero";
+  let target = float t total in
+  let n = Array.length pairs in
+  let rec pick i acc =
+    let x, w = pairs.(i) in
+    let acc = acc +. w in
+    if target < acc || i = n - 1 then x else pick (i + 1) acc
+  in
+  pick 0 0.0

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the library (workload generation, read
+    simulation, scheduler jitter) draw from this module so that every
+    experiment is reproducible from a single integer seed.  The generator is
+    xoshiro256**, seeded through splitmix64, which is the standard
+    recommendation for seeding xoshiro state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator whose entire stream is determined by
+    [seed]. *)
+
+val copy : t -> t
+(** Independent copy; advancing one does not affect the other. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t]'s stream, advancing [t].
+    Streams of parent and child are (statistically) independent, which lets
+    parallel workers own private generators derived from one seed. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val log_normal : t -> mu:float -> sigma:float -> float
+(** Log-normal deviate: [exp (mu + sigma * gaussian t)]. *)
+
+val geometric : t -> p:float -> int
+(** Number of failures before the first success, [p] in (0,1]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_weighted : t -> ('a * float) array -> 'a
+(** Element drawn proportionally to its (non-negative, not all zero)
+    weight. *)

@@ -1,0 +1,95 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted_copy xs in
+  if n = 1 then ys.(0)
+  else
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+
+let median xs = percentile xs 50.0
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (mn, mx) x -> (Float.min mn x, Float.max mx x))
+    (xs.(0), xs.(0)) xs
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.geometric_mean: empty array";
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive entry"
+        else acc +. log x)
+      0.0 xs
+  in
+  exp (acc /. float_of_int n)
+
+let harmonic_mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.harmonic_mean: empty array";
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.harmonic_mean: non-positive entry"
+        else acc +. (1.0 /. x))
+      0.0 xs
+  in
+  float_of_int n /. acc
+
+let coefficient_of_variation xs =
+  let m = mean xs in
+  if m = 0.0 then 0.0 else stddev xs /. m
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+let summarize xs =
+  let mn, mx = min_max xs in
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = mn;
+    p25 = percentile xs 25.0;
+    median = median xs;
+    p75 = percentile xs 75.0;
+    max = mx;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g p25=%.4g med=%.4g p75=%.4g max=%.4g"
+    s.n s.mean s.stddev s.min s.p25 s.median s.p75 s.max

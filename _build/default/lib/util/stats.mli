@@ -1,0 +1,43 @@
+(** Small descriptive-statistics toolkit used by the benchmark harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n−1 denominator); 0 for fewer than 2 points. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val geometric_mean : float array -> float
+(** Requires all entries strictly positive. *)
+
+val harmonic_mean : float array -> float
+(** Requires all entries strictly positive. *)
+
+val coefficient_of_variation : float array -> float
+(** stddev / mean, or 0 when the mean is 0. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit

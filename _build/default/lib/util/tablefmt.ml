@@ -1,0 +1,91 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string array;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title ~columns () =
+  let headers = Array.of_list (List.map fst columns) in
+  let aligns = Array.of_list (List.map snd columns) in
+  { title; headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> Array.length t.headers then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let len = String.length s in
+  if len >= width then s
+  else
+    let fill = width - len in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let l = fill / 2 in
+        String.make l ' ' ^ s ^ String.make (fill - l) ' '
+
+let render t =
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  let rows = List.rev t.rows in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+          List.iteri
+            (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c))
+            cells)
+    rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line align_of cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        if i < ncols then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (pad (align_of i) widths.(i) c);
+          Buffer.add_string buf " |"
+        end)
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n');
+  rule ();
+  line (fun _ -> Center) (Array.to_list t.headers);
+  rule ();
+  List.iter
+    (function
+      | Separator -> rule ()
+      | Cells cells -> line (fun i -> t.aligns.(i)) cells)
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_ratio a b =
+  if b = 0.0 then "-" else Printf.sprintf "%.2fx" (a /. b)

@@ -1,0 +1,34 @@
+(** ASCII table rendering for benchmark reports.
+
+    The benchmark harness regenerates each table/figure of the paper as an
+    ASCII table on stdout; this module owns the layout so every experiment
+    prints consistently. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** [create ~title ~columns ()] starts a table with the given header cells
+    and per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. Raises [Invalid_argument] if the arity does not match the
+    header. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between the rows added before and after. *)
+
+val render : t -> string
+(** Renders with box-drawing in plain ASCII ([+-|]). *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point cell helper, default 2 decimals. *)
+
+val cell_ratio : float -> float -> string
+(** [cell_ratio a b] renders ["a/b = r x"] style ratio of two quantities,
+    ["-"] when [b] is zero. *)

@@ -1,0 +1,25 @@
+(* Wall-clock timing. [Unix.gettimeofday] is the only sub-second wall clock
+   available without extra dependencies; benchmark runs are single-process
+   and short enough that NTP step adjustments are not a practical concern. *)
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let time f =
+  let t0 = now_ns () in
+  let result = f () in
+  let t1 = now_ns () in
+  (result, Int64.to_float (Int64.sub t1 t0) /. 1e9)
+
+let time_only f = snd (time f)
+
+let best_of ~repeats f =
+  let repeats = max 1 repeats in
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let dt = time_only f in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let gcups ~cells ~seconds =
+  if seconds <= 0.0 then 0.0 else float_of_int cells /. seconds /. 1e9

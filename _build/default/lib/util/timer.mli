@@ -1,0 +1,19 @@
+(** Monotonic wall-clock timing helpers for the benchmark harness. *)
+
+val now_ns : unit -> int64
+(** Monotonic timestamp in nanoseconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val time_only : (unit -> 'a) -> float
+(** Elapsed seconds of one run, discarding the result. *)
+
+val best_of : repeats:int -> (unit -> 'a) -> float
+(** Minimum elapsed seconds over [repeats] runs (at least one). The minimum
+    is the standard robust estimator for single-threaded kernel cost. *)
+
+val gcups : cells:int -> seconds:float -> float
+(** Giga cell updates per second — the unit all of the paper's performance
+    figures use. *)

@@ -1,0 +1,1 @@
+lib/wavefront/domain_pool.mli:

@@ -1,0 +1,1 @@
+lib/wavefront/scheduler.ml: Anyseq_bio Anyseq_core Array Atomic Domain_pool List Tilegraph Workqueue

@@ -1,0 +1,1 @@
+lib/wavefront/scheduler.mli: Anyseq_bio Anyseq_core Anyseq_scoring Workqueue

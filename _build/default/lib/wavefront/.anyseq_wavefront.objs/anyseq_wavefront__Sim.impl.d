@@ -1,0 +1,1 @@
+lib/wavefront/sim.ml: Anyseq_util Array Float

@@ -1,0 +1,1 @@
+lib/wavefront/sim.mli:

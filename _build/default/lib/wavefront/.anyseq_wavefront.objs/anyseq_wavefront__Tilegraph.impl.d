@@ -1,0 +1,1 @@
+lib/wavefront/tilegraph.ml: Array Atomic Printf

@@ -1,0 +1,1 @@
+lib/wavefront/workqueue.ml: Atomic Condition Domain Mutex Queue

@@ -1,0 +1,31 @@
+let run ~domains worker =
+  if domains <= 0 then invalid_arg "Domain_pool.run: need at least one domain";
+  let first_error = Atomic.make None in
+  let record exn = ignore (Atomic.compare_and_set first_error None (Some exn)) in
+  let guarded id = try worker id with exn -> record exn in
+  let others = List.init (domains - 1) (fun k -> Domain.spawn (fun () -> guarded (k + 1))) in
+  guarded 0;
+  List.iter Domain.join others;
+  match Atomic.get first_error with Some exn -> raise exn | None -> ()
+
+let parallel_for ~domains ~lo ~hi body =
+  let n = hi - lo in
+  if n > 0 then begin
+    let domains = max 1 (min domains n) in
+    let chunk = (n + domains - 1) / domains in
+    run ~domains (fun id ->
+        let a = lo + (id * chunk) in
+        let b = min hi (a + chunk) in
+        for i = a to b - 1 do
+          body i
+        done)
+  end
+
+let parallel_map ~domains input f =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for ~domains ~lo:0 ~hi:n (fun i -> out.(i) <- Some (f input.(i)));
+    Array.map (function Some x -> x | None -> assert false) out
+  end

@@ -1,0 +1,17 @@
+(** Minimal domain pool (domainslib is not available in this environment).
+
+    OCaml 5 domains map to OS threads; even on a single hardware core they
+    interleave preemptively, so the concurrent schedulers are genuinely
+    exercised for correctness — wall-clock scalability is the job of
+    {!Sim}. *)
+
+val run : domains:int -> (int -> unit) -> unit
+(** [run ~domains worker] executes [worker id] on [domains] domains
+    (ids 0..domains−1; id 0 runs on the calling domain) and joins them all.
+    The first exception raised by any worker is re-raised after the join. *)
+
+val parallel_for : domains:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Contiguous block partition of [\[lo, hi)] across the pool. *)
+
+val parallel_map : domains:int -> 'a array -> ('a -> 'b) -> 'b array
+(** Block-partitioned map. *)

@@ -1,0 +1,162 @@
+module Rng = Anyseq_util.Rng
+module Heap = Anyseq_util.Heap
+
+type schedule = Static | Dynamic
+
+type params = {
+  threads : int;
+  tile_cost : float;
+  jitter_sigma : float;
+  barrier_cost : float;
+  queue_overhead : float;
+  mem_beta : float;
+  static_kernel_factor : float;
+  seed : int;
+}
+
+let default_params ~tile_cost =
+  {
+    threads = 1;
+    tile_cost;
+    jitter_sigma = 0.25;
+    barrier_cost = 40e-6;
+    queue_overhead = 2e-6;
+    mem_beta = 0.012;
+    static_kernel_factor = 1.6;
+    seed = 1;
+  }
+
+let contention p = 1.0 +. (p.mem_beta *. float_of_int (p.threads - 1))
+
+let draw_cost rng p ~factor =
+  let jitter =
+    if p.jitter_sigma <= 0.0 then 1.0 else Rng.log_normal rng ~mu:0.0 ~sigma:p.jitter_sigma
+  in
+  p.tile_cost *. factor *. jitter *. contention p
+
+let validate p ~rows ~cols =
+  if p.threads <= 0 then invalid_arg "Sim: threads must be positive";
+  if rows <= 0 || cols <= 0 then invalid_arg "Sim: grid must be non-empty";
+  if p.tile_cost <= 0.0 then invalid_arg "Sim: tile_cost must be positive"
+
+(* Static: round-robin within each anti-diagonal, barrier between
+   diagonals.  The diagonal's duration is the maximum over workers of the
+   sum of their assigned tile costs, plus the barrier. *)
+let makespan_static ~rows ~cols p =
+  let rng = Rng.create ~seed:p.seed in
+  let t = p.threads in
+  let worker_time = Array.make t 0.0 in
+  let total = ref 0.0 in
+  for d = 0 to rows + cols - 2 do
+    Array.fill worker_time 0 t 0.0;
+    let lo = max 0 (d - cols + 1) and hi = min (rows - 1) d in
+    for k = 0 to hi - lo do
+      let w = k mod t in
+      worker_time.(w) <-
+        worker_time.(w) +. draw_cost rng p ~factor:p.static_kernel_factor
+    done;
+    let slowest = Array.fold_left Float.max 0.0 worker_time in
+    let barrier = if t > 1 then p.barrier_cost else 0.0 in
+    total := !total +. slowest +. barrier
+  done;
+  !total
+
+(* Dynamic: event-driven greedy list scheduling over one or several tile
+   DAGs sharing the worker pool. *)
+let makespan_dynamic_grids ~grids p =
+  let rng = Rng.create ~seed:p.seed in
+  let t = p.threads in
+  (* Flatten all grids into one id space. *)
+  let offsets = Array.make (Array.length grids) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun g (r, c) ->
+      offsets.(g) <- !total;
+      total := !total + (r * c))
+    grids;
+  let total = !total in
+  let pending = Array.make total 0 in
+  let ready = ref [] in
+  Array.iteri
+    (fun g (rows, cols) ->
+      for ti = 0 to rows - 1 do
+        for tj = 0 to cols - 1 do
+          pending.(offsets.(g) + (ti * cols) + tj) <-
+            ((if ti > 0 then 1 else 0) + if tj > 0 then 1 else 0)
+        done
+      done;
+      ready := offsets.(g) :: !ready)
+    grids;
+  let free_workers = ref t in
+  let events = Heap.create () in
+  let now = ref 0.0 in
+  let finished = ref 0 in
+  let makespan = ref 0.0 in
+  let start_ready () =
+    let rec go () =
+      match !ready with
+      | tile :: rest when !free_workers > 0 ->
+          ready := rest;
+          decr free_workers;
+          let dt = draw_cost rng p ~factor:1.0 +. p.queue_overhead in
+          Heap.push events (!now +. dt) tile;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  start_ready ();
+  while !finished < total do
+    match Heap.pop_min events with
+    | None -> failwith "Sim: deadlock in dynamic simulation (DAG bug)"
+    | Some (time, tile) ->
+        now := time;
+        makespan := time;
+        incr finished;
+        incr free_workers;
+        (* Find the owning grid (few grids: linear scan). *)
+        let g = ref (Array.length grids - 1) in
+        while offsets.(!g) > tile do
+          decr g
+        done;
+        let g = !g in
+        let _, cols = grids.(g) in
+        let rows, _ = grids.(g) in
+        let local = tile - offsets.(g) in
+        let ti = local / cols and tj = local mod cols in
+        let release idx =
+          pending.(idx) <- pending.(idx) - 1;
+          if pending.(idx) = 0 then ready := idx :: !ready
+        in
+        if ti + 1 < rows then release (offsets.(g) + ((ti + 1) * cols) + tj);
+        if tj + 1 < cols then release (offsets.(g) + (ti * cols) + tj + 1);
+        start_ready ()
+  done;
+  !makespan
+
+let makespan_dynamic ~rows ~cols p = makespan_dynamic_grids ~grids:[| (rows, cols) |] p
+
+let makespan schedule ~rows ~cols p =
+  validate p ~rows ~cols;
+  match schedule with
+  | Static -> makespan_static ~rows ~cols p
+  | Dynamic -> makespan_dynamic ~rows ~cols p
+
+let speedup schedule ~rows ~cols p =
+  let t1 = makespan schedule ~rows ~cols { p with threads = 1 } in
+  let tn = makespan schedule ~rows ~cols p in
+  t1 /. tn
+
+let efficiency schedule ~rows ~cols p =
+  speedup schedule ~rows ~cols p /. float_of_int p.threads
+
+let makespan_dynamic_many ~grids p =
+  if Array.length grids = 0 then 0.0
+  else begin
+    Array.iter (fun (r, c) -> validate p ~rows:r ~cols:c) grids;
+    makespan_dynamic_grids ~grids p
+  end
+
+let gcups schedule ~rows ~cols ~cells_per_tile p =
+  let cells = float_of_int (rows * cols) *. cells_per_tile in
+  cells /. makespan schedule ~rows ~cols p /. 1e9

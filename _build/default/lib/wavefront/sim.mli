@@ -1,0 +1,60 @@
+(** Discrete-event simulation of the wavefront schedules — the substitute
+    for Fig. 6's 32-core measurement (this container has one core; see
+    DESIGN.md).
+
+    The simulator replays the exact tile DAG under T workers with a cost
+    model whose parameters are either measured on this machine (per-tile
+    compute cost; the static version's slower aux-lookup kernel) or
+    documented constants (barrier latency, queue round-trip, memory-
+    bandwidth contention):
+
+    - {b dynamic}: greedy list scheduling — a free worker immediately takes
+      any ready tile, paying [queue_overhead] per tile; no barriers.
+    - {b static}: the preliminary-version schedule — tiles of one
+      anti-diagonal are pre-assigned round-robin; a barrier of cost
+      [barrier_cost] separates diagonals, so every diagonal waits for its
+      slowest worker; per-tile costs additionally carry
+      [static_kernel_factor] (the measured slowdown of the auxiliary
+      score-lookup kernel the preliminary version used).
+
+    Per-tile costs are log-normally jittered ([jitter_sigma]) around the
+    measured mean — OS noise and cache effects. Memory-bandwidth contention
+    scales every cost by [1 + mem_beta·(T−1)]. *)
+
+type schedule = Static | Dynamic
+
+type params = {
+  threads : int;
+  tile_cost : float;  (** mean seconds per tile (measured) *)
+  jitter_sigma : float;  (** log-normal sigma of per-tile cost *)
+  barrier_cost : float;  (** seconds per diagonal barrier (static) *)
+  queue_overhead : float;  (** seconds per scheduling round-trip (dynamic) *)
+  mem_beta : float;  (** bandwidth-contention slope *)
+  static_kernel_factor : float;  (** ≥ 1; measured aux-lookup slowdown *)
+  seed : int;
+}
+
+val default_params : tile_cost:float -> params
+(** threads 1, sigma 0.25, barrier 40 µs, queue 2 µs, beta 0.012,
+    static factor 1.6, seed 1. *)
+
+val makespan : schedule -> rows:int -> cols:int -> params -> float
+(** Simulated wall-clock seconds to relax the whole grid. *)
+
+val speedup : schedule -> rows:int -> cols:int -> params -> float
+(** makespan(threads=1) / makespan(threads=T), same schedule. *)
+
+val efficiency : schedule -> rows:int -> cols:int -> params -> float
+(** speedup / T — the quantity Fig. 6's percentages refer to. *)
+
+val gcups :
+  schedule -> rows:int -> cols:int -> cells_per_tile:float -> params -> float
+(** Simulated throughput for the Fig. 6 y-axis. *)
+
+val makespan_dynamic_many : grids:(int * int) array -> params -> float
+(** Dynamic-queue makespan of several independent tile grids (several
+    alignments of different sizes, the paper's Fig. 3 scenario) sharing one
+    worker pool: the queue interleaves ready tiles of all alignments, so
+    the ramp-up/ramp-down phases of one alignment are filled with tiles of
+    the others. Compare with the sum of per-grid makespans to quantify the
+    co-scheduling benefit. *)

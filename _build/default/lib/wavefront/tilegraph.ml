@@ -1,0 +1,48 @@
+type t = {
+  rows : int;
+  cols : int;
+  pending : int Atomic.t array; (* remaining dependencies per tile *)
+  done_flags : bool Atomic.t array;
+  ncompleted : int Atomic.t;
+}
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Tilegraph.create: dimensions must be positive";
+  let pending =
+    Array.init (rows * cols) (fun idx ->
+        let ti = idx / cols and tj = idx mod cols in
+        let deps = (if ti > 0 then 1 else 0) + if tj > 0 then 1 else 0 in
+        Atomic.make deps)
+  in
+  {
+    rows;
+    cols;
+    pending;
+    done_flags = Array.init (rows * cols) (fun _ -> Atomic.make false);
+    ncompleted = Atomic.make 0;
+  }
+
+let rows t = t.rows
+let cols t = t.cols
+let total t = t.rows * t.cols
+let initial_ready _ = [ (0, 0) ]
+
+let complete t ~ti ~tj =
+  let idx = (ti * t.cols) + tj in
+  if not (Atomic.compare_and_set t.done_flags.(idx) false true) then
+    invalid_arg (Printf.sprintf "Tilegraph.complete: tile (%d,%d) completed twice" ti tj);
+  ignore (Atomic.fetch_and_add t.ncompleted 1);
+  let ready = ref [] in
+  let release ti' tj' =
+    let idx' = (ti' * t.cols) + tj' in
+    (* fetch_and_add returns the previous value: exactly one completer of
+       the two dependencies observes 1 and enqueues. *)
+    if Atomic.fetch_and_add t.pending.(idx') (-1) = 1 then ready := (ti', tj') :: !ready
+  in
+  if ti + 1 < t.rows then release (ti + 1) tj;
+  if tj + 1 < t.cols then release ti (tj + 1);
+  !ready
+
+let completed_count t = Atomic.get t.ncompleted
+let all_done t = completed_count t = total t
+let is_completed t ~ti ~tj = Atomic.get t.done_flags.((ti * t.cols) + tj)

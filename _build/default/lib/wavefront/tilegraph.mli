@@ -1,0 +1,30 @@
+(** Dependency tracking for a grid of DP tiles using preallocated arrays of
+    atomics (§IV-A: "The completion and queuing status of all submatrices is
+    tracked using preallocated arrays of atomic flags").
+
+    Tile (ti, tj) becomes ready once (ti−1, tj) and (ti, tj−1) completed.
+    [complete] returns the successors whose last dependency was just
+    satisfied — each successor is returned exactly once across all racing
+    callers (atomic countdown), which is what makes concurrent enqueueing
+    safe. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Requires positive dimensions. *)
+
+val rows : t -> int
+val cols : t -> int
+val total : t -> int
+
+val initial_ready : t -> (int * int) list
+(** [\[(0, 0)\]]. *)
+
+val complete : t -> ti:int -> tj:int -> (int * int) list
+(** Mark done; returns newly-ready tiles (0, 1 or 2 of them). Raises
+    [Invalid_argument] if the tile was already completed (double
+    completion is a scheduler bug). *)
+
+val completed_count : t -> int
+val all_done : t -> bool
+val is_completed : t -> ti:int -> tj:int -> bool

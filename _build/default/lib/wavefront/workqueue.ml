@@ -1,0 +1,118 @@
+type impl = Locked | Lock_free
+
+let impl_name = function Locked -> "locked" | Lock_free -> "lock-free"
+
+(* ------------------------------------------------------------------ *)
+(* Mutex + condvar queue                                               *)
+(* ------------------------------------------------------------------ *)
+
+type 'a locked = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let locked_create () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    closed = false;
+  }
+
+let locked_push q x =
+  Mutex.lock q.mutex;
+  Queue.push x q.items;
+  Condition.signal q.nonempty;
+  Mutex.unlock q.mutex
+
+let locked_pop q =
+  Mutex.lock q.mutex;
+  let rec wait () =
+    match Queue.take_opt q.items with
+    | Some x ->
+        Mutex.unlock q.mutex;
+        Some x
+    | None ->
+        if q.closed then begin
+          Mutex.unlock q.mutex;
+          None
+        end
+        else begin
+          Condition.wait q.nonempty q.mutex;
+          wait ()
+        end
+  in
+  wait ()
+
+let locked_try_pop q =
+  Mutex.lock q.mutex;
+  let r = Queue.take_opt q.items in
+  Mutex.unlock q.mutex;
+  r
+
+let locked_close q =
+  Mutex.lock q.mutex;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.mutex
+
+let locked_length q =
+  Mutex.lock q.mutex;
+  let n = Queue.length q.items in
+  Mutex.unlock q.mutex;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Treiber stack                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type 'a node = Nil | Cons of 'a * 'a node
+
+type 'a treiber = { head : 'a node Atomic.t; tclosed : bool Atomic.t; size : int Atomic.t }
+
+let treiber_create () =
+  { head = Atomic.make Nil; tclosed = Atomic.make false; size = Atomic.make 0 }
+
+let rec treiber_push q x =
+  let old = Atomic.get q.head in
+  if Atomic.compare_and_set q.head old (Cons (x, old)) then
+    ignore (Atomic.fetch_and_add q.size 1)
+  else treiber_push q x
+
+let rec treiber_try_pop q =
+  match Atomic.get q.head with
+  | Nil -> None
+  | Cons (x, rest) as old ->
+      if Atomic.compare_and_set q.head old rest then begin
+        ignore (Atomic.fetch_and_add q.size (-1));
+        Some x
+      end
+      else treiber_try_pop q
+
+let treiber_pop q =
+  (* Spin with a cooperative yield: tile computations are orders of
+     magnitude longer than one scheduling round-trip, so the spin window is
+     short in practice. *)
+  let rec loop () =
+    match treiber_try_pop q with
+    | Some _ as r -> r
+    | None -> if Atomic.get q.tclosed then treiber_try_pop q else (Domain.cpu_relax (); loop ())
+  in
+  loop ()
+
+let treiber_close q = Atomic.set q.tclosed true
+let treiber_length q = max 0 (Atomic.get q.size)
+
+(* ------------------------------------------------------------------ *)
+
+type 'a t = L of 'a locked | T of 'a treiber
+
+let create = function Locked -> L (locked_create ()) | Lock_free -> T (treiber_create ())
+
+let push t x = match t with L q -> locked_push q x | T q -> treiber_push q x
+let pop t = match t with L q -> locked_pop q | T q -> treiber_pop q
+let try_pop t = match t with L q -> locked_try_pop q | T q -> treiber_try_pop q
+let close t = match t with L q -> locked_close q | T q -> treiber_close q
+let length t = match t with L q -> locked_length q | T q -> treiber_length q

@@ -1,0 +1,38 @@
+(** Thread-safe work queues for the dynamic wavefront scheduler (§IV-A:
+    "submatrices are scheduled in a thread-safe queue which allows threads
+    to add and extract work items concurrently").
+
+    Two implementations behind one interface — the paper attributes part of
+    its edge over SeqAn to "the internals of the concurrent queue used for
+    scheduling tiles", and ablation A1 compares these two:
+
+    - [Locked]: a mutex + condition variable around a ring buffer;
+    - [Lock_free]: a Treiber stack on [Atomic] (LIFO — order does not matter
+      for correctness because the tile DAG gates readiness).
+
+    Both support multiple producers and consumers and a monotonic
+    "no more work will ever arrive" shutdown. *)
+
+type impl = Locked | Lock_free
+
+type 'a t
+
+val create : impl -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue; wakes one waiting consumer. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available or the queue is closed; [None] only
+    after [close] with the queue drained. *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking. *)
+
+val close : 'a t -> unit
+(** Idempotent; pending and future [pop]s return [None] once drained. *)
+
+val length : 'a t -> int
+(** Snapshot size (racy, for monitoring). *)
+
+val impl_name : impl -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Anyseq_bio Anyseq_core Anyseq_scoring Anyseq_seqio Anyseq_util QCheck2 QCheck_alcotest String

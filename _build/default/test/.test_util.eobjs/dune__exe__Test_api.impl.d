@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Anyseq Anyseq_seqio Anyseq_util Helpers String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Anyseq_baselines Anyseq_bio Anyseq_core Anyseq_gpusim Anyseq_scoring Anyseq_seqio Anyseq_staged Anyseq_util Array Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_bio.ml: Alcotest Anyseq_bio Anyseq_scoring Anyseq_util Array Helpers List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Anyseq_bio Anyseq_core Anyseq_scoring Anyseq_seqio Anyseq_simd Anyseq_util Array Helpers List QCheck2 Result

@@ -1,0 +1,1 @@
+test/test_fpgasim.ml: Alcotest Anyseq_bio Anyseq_core Anyseq_fpgasim Anyseq_scoring Anyseq_seqio Anyseq_util Helpers List Printf QCheck2

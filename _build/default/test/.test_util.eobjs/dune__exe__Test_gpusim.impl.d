@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Anyseq_bio Anyseq_core Anyseq_gpusim Anyseq_scoring Anyseq_seqio Anyseq_util Array Fun Helpers List Printf QCheck2 Result

@@ -1,0 +1,1 @@
+test/test_scoring.ml: Alcotest Anyseq_bio Anyseq_scoring Helpers QCheck2

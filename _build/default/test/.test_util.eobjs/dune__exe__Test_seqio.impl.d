@@ -1,0 +1,1 @@
+test/test_seqio.ml: Alcotest Anyseq_bio Anyseq_seqio Anyseq_util Array Filename Float Fun Helpers List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_simd.ml: Alcotest Anyseq_bio Anyseq_core Anyseq_scoring Anyseq_simd Anyseq_util Array Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_staged.ml: Alcotest Anyseq_staged Array Fun Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Anyseq_util Array Float Fun Hashtbl Helpers List Option QCheck2 String

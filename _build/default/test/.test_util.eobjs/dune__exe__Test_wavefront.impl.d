@@ -1,0 +1,1 @@
+test/test_wavefront.ml: Alcotest Anyseq_bio Anyseq_core Anyseq_scoring Anyseq_seqio Anyseq_util Anyseq_wavefront Array Atomic Float Fun Helpers List Printf QCheck2 Queue

@@ -1,0 +1,96 @@
+(* Tests of the public facade — the paper's §III-C entry points. *)
+
+let test_global_string_api () =
+  let r = Anyseq.construct_global_alignment ~query:"ACGT" ~subject:"ACGT" () in
+  Alcotest.(check int) "score" 8 r.Anyseq.score;
+  Alcotest.(check string) "query row" "ACGT" r.Anyseq.query_aligned;
+  Alcotest.(check string) "subject row" "ACGT" r.Anyseq.subject_aligned
+
+let test_gapped_rendering () =
+  let r = Anyseq.construct_global_alignment ~query:"ACGT" ~subject:"AGT" () in
+  Alcotest.(check int) "score" 5 r.Anyseq.score;
+  Alcotest.(check int) "rows same length" (String.length r.Anyseq.query_aligned)
+    (String.length r.Anyseq.subject_aligned);
+  Alcotest.(check bool) "gap rendered" true
+    (Helpers.contains_sub r.Anyseq.subject_aligned "-")
+
+let test_local_string_api () =
+  let r =
+    Anyseq.construct_local_alignment ~query:"TTTTACGTTTTT" ~subject:"GGGACGTGGG" ()
+  in
+  Alcotest.(check int) "score" 8 r.Anyseq.score;
+  Alcotest.(check string) "island" "ACGT" r.Anyseq.query_aligned
+
+let test_semiglobal_string_api () =
+  let r =
+    Anyseq.construct_semiglobal_alignment ~query:"ACGT" ~subject:"TTTTACGTTTTT" ()
+  in
+  Alcotest.(check int) "score" 8 r.Anyseq.score
+
+let test_score_only_api () =
+  Alcotest.(check int) "global" 8 (Anyseq.global_alignment_score ~query:"ACGT" ~subject:"ACGT" ());
+  Alcotest.(check int) "local" 8
+    (Anyseq.local_alignment_score ~query:"TTACGTTT" ~subject:"GGACGTGG" ());
+  Alcotest.(check int) "semiglobal" 8
+    (Anyseq.semiglobal_alignment_score ~query:"ACGT" ~subject:"TTACGTTT" ())
+
+let test_wildcard_handling () =
+  (* N never matches, even against N — scored as mismatch. *)
+  let s = Anyseq.global_alignment_score ~query:"ACNT" ~subject:"ACNT" () in
+  Alcotest.(check int) "N scored as mismatch" 5 s
+
+let test_custom_scheme_api () =
+  let scheme =
+    Anyseq.Scheme.make
+      (Anyseq.Substitution.dna_wildcard ~match_:1 ~mismatch:(-2))
+      (Anyseq.Gaps.affine ~open_:3 ~extend:1)
+  in
+  let r = Anyseq.construct_global_alignment ~scheme ~query:"AAAA" ~subject:"AATT" () in
+  Alcotest.(check int) "custom scheme used" (-2) r.Anyseq.score
+
+let test_api_consistency_with_engines () =
+  let rng = Anyseq_util.Rng.create ~seed:61 in
+  for _ = 1 to 20 do
+    let q = Anyseq.Sequence.random rng Anyseq.Alphabet.dna5 ~len:(1 + Anyseq_util.Rng.int rng 50) in
+    let s = Anyseq.Sequence.random rng Anyseq.Alphabet.dna5 ~len:(1 + Anyseq_util.Rng.int rng 50) in
+    let qt = Anyseq.Sequence.to_string q and st = Anyseq.Sequence.to_string s in
+    let via_strings = Anyseq.global_alignment_score ~query:qt ~subject:st () in
+    let via_engine =
+      (Anyseq.Engine.score Anyseq.default_scheme Anyseq.Types.Global ~query:q ~subject:s)
+        .Anyseq.Types.score
+    in
+    Alcotest.(check int) "string api = engine" via_engine via_strings
+  done
+
+let test_alignment_scores_consistent () =
+  let rng = Anyseq_util.Rng.create ~seed:62 in
+  for _ = 1 to 10 do
+    let q = Anyseq.Sequence.random rng Anyseq.Alphabet.dna4 ~len:(10 + Anyseq_util.Rng.int rng 60) in
+    let s = Anyseq_seqio.Genome_gen.mutate rng q in
+    let qt = Anyseq.Sequence.to_string q and st = Anyseq.Sequence.to_string s in
+    let scheme = Anyseq.Scheme.paper_affine in
+    let full = Anyseq.construct_global_alignment ~scheme ~query:qt ~subject:st () in
+    let score = Anyseq.global_alignment_score ~scheme ~query:qt ~subject:st () in
+    Alcotest.(check int) "alignment score = score-only" score full.Anyseq.score
+  done
+
+let test_version () =
+  Alcotest.(check bool) "version nonempty" true (String.length Anyseq.version > 0)
+
+let () =
+  Alcotest.run "api"
+    [
+      ( "string api",
+        [
+          Alcotest.test_case "global" `Quick test_global_string_api;
+          Alcotest.test_case "gapped rendering" `Quick test_gapped_rendering;
+          Alcotest.test_case "local" `Quick test_local_string_api;
+          Alcotest.test_case "semiglobal" `Quick test_semiglobal_string_api;
+          Alcotest.test_case "score only" `Quick test_score_only_api;
+          Alcotest.test_case "wildcards" `Quick test_wildcard_handling;
+          Alcotest.test_case "custom scheme" `Quick test_custom_scheme_api;
+          Alcotest.test_case "consistency with engines" `Quick test_api_consistency_with_engines;
+          Alcotest.test_case "alignment vs score-only" `Quick test_alignment_scores_consistent;
+          Alcotest.test_case "version" `Quick test_version;
+        ] );
+    ]

@@ -1,0 +1,243 @@
+module Ssw = Anyseq_baselines.Ssw_like
+module Parasail = Anyseq_baselines.Parasail_like
+module Seqan = Anyseq_baselines.Seqan_like
+module Nvbio = Anyseq_baselines.Nvbio_like
+module Sequence = Anyseq_bio.Sequence
+module Alphabet = Anyseq_bio.Alphabet
+module Gaps = Anyseq_bio.Gaps
+module Scheme = Anyseq_scoring.Scheme
+module T = Anyseq_core.Types
+module Tiling = Anyseq_core.Tiling
+module Rng = Anyseq_util.Rng
+
+let scalar scheme mode q s =
+  (Anyseq_core.Dp_linear.score_only scheme mode ~query:(Sequence.view q)
+     ~subject:(Sequence.view s))
+    .T.score
+
+(* ------------------------------------------------------------------ *)
+(* SSW (Farrar striped)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let ssw_matches_local_oracle =
+  Helpers.qtest ~count:150 "Farrar striped = local oracle"
+    QCheck2.Gen.(
+      tup3
+        (map (fun seed ->
+             let rng = Rng.create ~seed in
+             Helpers.random_pair rng ~max_len:90) nat)
+        (oneofl (List.map snd Helpers.schemes_under_test))
+        (oneofl [ 4; 8; 16 ]))
+    (fun ((q, s), scheme, lanes) ->
+      if Sequence.length q = 0 || Sequence.length s = 0 then
+        Ssw.score ~lanes scheme ~query:q ~subject:s = 0
+      else Ssw.score ~lanes scheme ~query:q ~subject:s = scalar scheme T.Local q s)
+
+let test_ssw_lazy_f_stress () =
+  (* Gap-heavy scheme with long homopolymers triggers the lazy-F loop. *)
+  let scheme = Scheme.dna_simple_affine ~match_:10 ~mismatch:(-1) ~gap_open:1 ~gap_extend:1 in
+  let q = Sequence.of_string Alphabet.dna4 "AAAAAAAATTTTTTTTAAAAAAAA" in
+  let s = Sequence.of_string Alphabet.dna4 "AAAAAAAAAAAAAAAA" in
+  Alcotest.(check int) "gap-heavy local score" (scalar scheme T.Local q s)
+    (Ssw.score ~lanes:4 scheme ~query:q ~subject:s);
+  Alcotest.(check bool) "lazy-F actually ran" true (Ssw.last_lazy_f_passes () > 0)
+
+let test_ssw_guards () =
+  let rng = Rng.create ~seed:1 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:10 in
+  let zero_ext = Scheme.make (Anyseq_bio.Substitution.simple Alphabet.dna4 ~match_:2 ~mismatch:(-1)) (Gaps.linear 0) in
+  Alcotest.check_raises "ge=0 rejected"
+    (Invalid_argument "Ssw_like.score: requires gap extension >= 1 (lazy-F termination)")
+    (fun () -> ignore (Ssw.score zero_ext ~query:q ~subject:q))
+
+(* ------------------------------------------------------------------ *)
+(* Parasail                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_parasail_effective_scheme () =
+  let eff = Parasail.effective_scheme Scheme.paper_linear in
+  Alcotest.(check bool) "linear becomes affine Go=0" true (Scheme.is_affine eff);
+  Alcotest.(check int) "go 0" 0 (Gaps.open_cost eff.Scheme.gap);
+  Alcotest.(check int) "ge preserved" 1 (Gaps.extend_cost eff.Scheme.gap);
+  let aff = Parasail.effective_scheme Scheme.paper_affine in
+  Alcotest.(check bool) "affine unchanged" true (aff == Scheme.paper_affine)
+
+let parasail_matches_oracle =
+  Helpers.qtest ~count:40 "parasail static wavefront = oracle"
+    QCheck2.Gen.(
+      tup2
+        (map (fun seed ->
+             let rng = Rng.create ~seed in
+             Helpers.random_pair rng ~max_len:120) nat)
+        (oneofl Helpers.modes_under_test))
+    (fun ((q, s), mode) ->
+      let scheme = Scheme.paper_linear in
+      let expected = scalar scheme mode q s in
+      (Parasail.score_sequential ~tile:40 scheme mode ~query:q ~subject:s).T.score = expected
+      && (Parasail.score_threaded ~tile:40 ~domains:2 scheme mode ~query:q ~subject:s).T.score
+         = expected)
+
+let test_parasail_batch () =
+  let rng = Rng.create ~seed:21 in
+  let pairs =
+    Array.init 24 (fun _ ->
+        (Sequence.random rng Alphabet.dna4 ~len:40, Sequence.random rng Alphabet.dna4 ~len:44))
+  in
+  let out = Parasail.batch_score ~lanes:8 Scheme.paper_linear T.Global pairs in
+  Array.iteri
+    (fun i (q, s) ->
+      Alcotest.(check int) (Printf.sprintf "pair %d" i) (scalar Scheme.paper_linear T.Global q s)
+        out.(i).T.score)
+    pairs
+
+(* ------------------------------------------------------------------ *)
+(* SeqAn                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let seqan_matches_oracle =
+  Helpers.qtest ~count:40 "seqan diagonal kernel = oracle"
+    QCheck2.Gen.(
+      tup3
+        (map (fun seed ->
+             let rng = Rng.create ~seed in
+             Helpers.random_pair rng ~max_len:200) nat)
+        (oneofl [ Scheme.paper_linear; Scheme.paper_affine ])
+        (oneofl [ 16; 48; 101 ]))
+    (fun ((q, s), scheme, tile) ->
+      let expected = scalar scheme T.Global q s in
+      (Seqan.score_sequential ~tile scheme T.Global ~query:q ~subject:s).T.score = expected)
+
+let seqan_threaded_matches =
+  Helpers.qtest ~count:15 "seqan threaded = oracle"
+    QCheck2.Gen.(map (fun seed ->
+        let rng = Rng.create ~seed in
+        Helpers.random_pair rng ~max_len:160) nat)
+    (fun (q, s) ->
+      let scheme = Scheme.paper_affine in
+      (Seqan.score_threaded ~tile:40 ~domains:3 scheme T.Global ~query:q ~subject:s).T.score
+      = scalar scheme T.Global q s)
+
+let seqan_nonglobal_fallback =
+  Helpers.qtest ~count:25 "seqan falls back correctly off the global path"
+    QCheck2.Gen.(
+      tup2
+        (map (fun seed ->
+             let rng = Rng.create ~seed in
+             Helpers.random_pair rng ~max_len:100) nat)
+        (oneofl [ T.Local; T.Semiglobal ]))
+    (fun ((q, s), mode) ->
+      let scheme = Scheme.paper_linear in
+      (Seqan.score_sequential ~tile:32 scheme mode ~query:q ~subject:s).T.score
+      = scalar scheme mode q s)
+
+let test_seqan_diag_tile_kernel_direct () =
+  (* Drive compute_tile_diag through a plan and compare borders with the
+     row-major kernel on a second plan. *)
+  let rng = Rng.create ~seed:33 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:70 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:55 in
+  let scheme = Scheme.paper_affine in
+  let mk () =
+    Tiling.create scheme T.Global ~tile:20 ~query:(Sequence.view q)
+      ~subject:(Sequence.view s)
+  in
+  let p1 = mk () and p2 = mk () in
+  Anyseq_staged.Gen.diagonal2 0 (Tiling.tile_rows p1) 0 (Tiling.tile_cols p1) (fun ti tj ->
+      Tiling.compute_tile p1 ~ti ~tj;
+      Seqan.compute_tile_diag p2 ~ti ~tj);
+  Alcotest.(check int) "same final score" (Tiling.finish p1).T.score (Tiling.finish p2).T.score
+
+(* ------------------------------------------------------------------ *)
+(* NVBio                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_nvbio_long () =
+  let rng = Rng.create ~seed:51 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:200 in
+  let s = Anyseq_seqio.Genome_gen.mutate rng q in
+  let scheme = Scheme.paper_linear in
+  let r = Nvbio.score_long scheme ~query:q ~subject:s in
+  Alcotest.(check int) "score matches"
+    (scalar scheme T.Global q s)
+    r.Anyseq_gpusim.Align_kernel.ends.T.score
+
+let test_nvbio_batch () =
+  let rng = Rng.create ~seed:53 in
+  let pairs =
+    Array.init 50 (fun i ->
+        let n = 20 + (i mod 4) in
+        (Sequence.random rng Alphabet.dna4 ~len:n, Sequence.random rng Alphabet.dna4 ~len:(n + 3)))
+  in
+  let out, counters, estimate = Nvbio.batch_score ~block:16 Scheme.paper_affine pairs in
+  Array.iteri
+    (fun i (q, s) ->
+      Alcotest.(check int) (Printf.sprintf "pair %d" i)
+        (scalar Scheme.paper_affine T.Global q s)
+        out.(i).T.score)
+    pairs;
+  Alcotest.(check bool) "counted work" true (counters.Anyseq_gpusim.Counters.cells > 0);
+  Alcotest.(check bool) "estimate positive" true (estimate.Anyseq_gpusim.Cost.total_s > 0.0)
+
+let test_nvbio_batch_memory_profile () =
+  (* One pair per thread keeps every DP row element in DRAM; the tiled
+     block-per-pair kernel keeps the working set in shared memory and only
+     touches global memory at tile borders. *)
+  let rng = Rng.create ~seed:57 in
+  let pairs =
+    Array.init 32 (fun _ ->
+        (Sequence.random rng Alphabet.dna4 ~len:64, Sequence.random rng Alphabet.dna4 ~len:64))
+  in
+  let _, nv, _ = Nvbio.batch_score ~block:32 Scheme.paper_linear pairs in
+  let nv_traffic_per_cell =
+    float_of_int
+      (nv.Anyseq_gpusim.Counters.global_reads + nv.Anyseq_gpusim.Counters.global_writes)
+    /. float_of_int nv.Anyseq_gpusim.Counters.cells
+  in
+  let q, s = pairs.(0) in
+  let tiled =
+    (Anyseq_gpusim.Align_kernel.score
+       ~params:{ Anyseq_gpusim.Align_kernel.tile = 64; block = 32; layout = `Coalesced }
+       Scheme.paper_linear ~query:q ~subject:s)
+      .Anyseq_gpusim.Align_kernel.counters
+  in
+  let tiled_traffic_per_cell =
+    float_of_int
+      (tiled.Anyseq_gpusim.Counters.global_reads
+      + tiled.Anyseq_gpusim.Counters.global_writes)
+    /. float_of_int tiled.Anyseq_gpusim.Counters.cells
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "thread-per-pair does far more DRAM traffic (%.2f vs %.2f words/cell)"
+       nv_traffic_per_cell tiled_traffic_per_cell)
+    true
+    (nv_traffic_per_cell > 3.0 *. tiled_traffic_per_cell)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "ssw",
+        [
+          ssw_matches_local_oracle;
+          Alcotest.test_case "lazy-F stress" `Quick test_ssw_lazy_f_stress;
+          Alcotest.test_case "guards" `Quick test_ssw_guards;
+        ] );
+      ( "parasail",
+        [
+          Alcotest.test_case "effective scheme" `Quick test_parasail_effective_scheme;
+          parasail_matches_oracle;
+          Alcotest.test_case "batch" `Quick test_parasail_batch;
+        ] );
+      ( "seqan",
+        [
+          seqan_matches_oracle;
+          seqan_threaded_matches;
+          seqan_nonglobal_fallback;
+          Alcotest.test_case "diag kernel direct" `Quick test_seqan_diag_tile_kernel_direct;
+        ] );
+      ( "nvbio",
+        [
+          Alcotest.test_case "long pair" `Quick test_nvbio_long;
+          Alcotest.test_case "batch" `Quick test_nvbio_batch;
+          Alcotest.test_case "memory profile" `Quick test_nvbio_batch_memory_profile;
+        ] );
+    ]

@@ -1,0 +1,394 @@
+module Alphabet = Anyseq_bio.Alphabet
+module Sequence = Anyseq_bio.Sequence
+module Substitution = Anyseq_bio.Substitution
+module Gaps = Anyseq_bio.Gaps
+module Cigar = Anyseq_bio.Cigar
+module Alignment = Anyseq_bio.Alignment
+module Rng = Anyseq_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Alphabet                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_alphabet_dna4 () =
+  Alcotest.(check int) "size" 4 (Alphabet.size Alphabet.dna4);
+  Alcotest.(check int) "A" 0 (Alphabet.code_of_char Alphabet.dna4 'A');
+  Alcotest.(check int) "t lowercase" 3 (Alphabet.code_of_char Alphabet.dna4 't');
+  Alcotest.(check char) "roundtrip" 'G' (Alphabet.char_of_code Alphabet.dna4 2);
+  Alcotest.(check bool) "mem" true (Alphabet.mem Alphabet.dna4 'C');
+  Alcotest.(check bool) "not mem" false (Alphabet.mem Alphabet.dna4 'N');
+  Alcotest.(check (option int)) "no wildcard" None (Alphabet.wildcard Alphabet.dna4)
+
+let test_alphabet_dna4_rejects () =
+  Alcotest.check_raises "N rejected"
+    (Invalid_argument "Alphabet.code_of_char: 'N' not in alphabet dna4") (fun () ->
+      ignore (Alphabet.code_of_char Alphabet.dna4 'N'))
+
+let test_alphabet_dna5_wildcard () =
+  Alcotest.(check int) "N code" 4 (Alphabet.code_of_char Alphabet.dna5 'N');
+  Alcotest.(check int) "unknown maps to N" 4 (Alphabet.code_of_char Alphabet.dna5 '?');
+  Alcotest.(check (option int)) "wildcard" (Some 4) (Alphabet.wildcard Alphabet.dna5)
+
+let test_alphabet_protein () =
+  Alcotest.(check int) "size" 21 (Alphabet.size Alphabet.protein);
+  Alcotest.(check char) "first" 'A' (Alphabet.char_of_code Alphabet.protein 0);
+  Alcotest.(check int) "X wildcard" 20 (Alphabet.code_of_char Alphabet.protein 'B')
+
+let test_alphabet_code_range () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Alphabet.char_of_code: code 9 out of range for dna4") (fun () ->
+      ignore (Alphabet.char_of_code Alphabet.dna4 9))
+
+(* ------------------------------------------------------------------ *)
+(* Sequence                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sequence_roundtrip () =
+  let s = Sequence.of_string Alphabet.dna4 "ACGTacgt" in
+  Alcotest.(check string) "uppercased" "ACGTACGT" (Sequence.to_string s);
+  Alcotest.(check int) "length" 8 (Sequence.length s);
+  Alcotest.(check int) "get" 1 (Sequence.get s 1);
+  Alcotest.(check char) "get_char" 'C' (Sequence.get_char s 5)
+
+let test_sequence_of_codes () =
+  let s = Sequence.of_codes Alphabet.dna4 [| 3; 2; 1; 0 |] in
+  Alcotest.(check string) "decoded" "TGCA" (Sequence.to_string s);
+  Alcotest.check_raises "bad code" (Invalid_argument "Sequence.of_codes: code out of range")
+    (fun () -> ignore (Sequence.of_codes Alphabet.dna4 [| 4 |]))
+
+let test_sequence_sub_rev_concat () =
+  let s = Sequence.of_string Alphabet.dna4 "ACGTTT" in
+  Alcotest.(check string) "sub" "CGT" (Sequence.to_string (Sequence.sub s ~pos:1 ~len:3));
+  Alcotest.(check string) "rev" "TTTGCA" (Sequence.to_string (Sequence.rev s));
+  let t = Sequence.of_string Alphabet.dna4 "AA" in
+  Alcotest.(check string) "concat" "ACGTTTAA" (Sequence.to_string (Sequence.concat s t));
+  Alcotest.check_raises "sub bounds" (Invalid_argument "Sequence.sub: range out of bounds")
+    (fun () -> ignore (Sequence.sub s ~pos:4 ~len:5))
+
+let test_reverse_complement () =
+  let s = Sequence.of_string Alphabet.dna4 "AACGT" in
+  Alcotest.(check string) "revcomp" "ACGTT" (Sequence.to_string (Sequence.reverse_complement s));
+  let n5 = Sequence.of_string Alphabet.dna5 "ACGTN" in
+  Alcotest.(check string) "dna5 revcomp keeps N" "NACGT"
+    (Sequence.to_string (Sequence.reverse_complement n5));
+  Alcotest.(check bool) "involution" true
+    (Sequence.equal s (Sequence.reverse_complement (Sequence.reverse_complement s)));
+  let p = Sequence.of_string Alphabet.protein "MK" in
+  Alcotest.check_raises "protein rejected"
+    (Invalid_argument "Sequence.reverse_complement: alphabet protein has no complement")
+    (fun () -> ignore (Sequence.reverse_complement p))
+
+let test_sequence_views () =
+  let s = Sequence.of_string Alphabet.dna4 "ACGTACGT" in
+  let v = Sequence.view s in
+  Alcotest.(check int) "view len" 8 v.Sequence.len;
+  Alcotest.(check int) "view at" (Alphabet.code_of_char Alphabet.dna4 'G') (v.Sequence.at 2);
+  let sub = Sequence.subview v ~pos:2 ~len:4 in
+  Alcotest.(check string) "subview" "GTAC" (Sequence.view_to_string Alphabet.dna4 sub);
+  let rev = Sequence.rev_view sub in
+  Alcotest.(check string) "rev_view" "CATG" (Sequence.view_to_string Alphabet.dna4 rev);
+  let nested = Sequence.subview (Sequence.rev_view v) ~pos:1 ~len:3 in
+  Alcotest.(check string) "composed views" "GCA" (Sequence.view_to_string Alphabet.dna4 nested)
+
+let test_sequence_view_bounds () =
+  let v = Sequence.view (Sequence.of_string Alphabet.dna4 "ACGT") in
+  Alcotest.check_raises "subview bounds"
+    (Invalid_argument "Sequence.subview: range out of bounds") (fun () ->
+      ignore (Sequence.subview v ~pos:2 ~len:3))
+
+let view_composition =
+  Helpers.qtest "rev_view . rev_view = identity"
+    QCheck2.Gen.(string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (0 -- 60))
+    (fun text ->
+      let s = Sequence.of_string Alphabet.dna4 text in
+      let v = Sequence.view s in
+      Sequence.view_to_string Alphabet.dna4 (Sequence.rev_view (Sequence.rev_view v)) = text)
+
+(* ------------------------------------------------------------------ *)
+(* Substitution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_substitution_simple () =
+  let s = Substitution.simple Alphabet.dna4 ~match_:2 ~mismatch:(-1) in
+  Alcotest.(check int) "match" 2 (Substitution.score s 1 1);
+  Alcotest.(check int) "mismatch" (-1) (Substitution.score s 1 2);
+  Alcotest.(check int) "max" 2 (Substitution.max_score s);
+  Alcotest.(check int) "min" (-1) (Substitution.min_score s);
+  Alcotest.(check bool) "symmetric" true (Substitution.is_symmetric s);
+  Alcotest.check_raises "match must beat mismatch"
+    (Invalid_argument "Substitution.simple: match score must exceed mismatch score")
+    (fun () -> ignore (Substitution.simple Alphabet.dna4 ~match_:1 ~mismatch:1))
+
+let test_substitution_matrix () =
+  let m = [| [| 5; -3 |]; [| -2; 4 |] |] in
+  (* 2-letter custom alphabet unavailable; use dna4-sized matrix instead *)
+  ignore m;
+  let m4 = Array.init 4 (fun i -> Array.init 4 (fun j -> (10 * i) + j)) in
+  let s = Substitution.of_matrix Alphabet.dna4 m4 in
+  Alcotest.(check int) "lookup" 21 (Substitution.score s 2 1);
+  Alcotest.(check bool) "asymmetric detected" false (Substitution.is_symmetric s);
+  Alcotest.check_raises "dimension"
+    (Invalid_argument "Substitution.of_matrix: matrix dimension mismatch") (fun () ->
+      ignore (Substitution.of_matrix Alphabet.dna4 [| [| 1 |] |]))
+
+let test_substitution_blosum () =
+  let b = Substitution.blosum62 in
+  let code c = Alphabet.code_of_char Alphabet.protein c in
+  Alcotest.(check int) "W/W = 11" 11 (Substitution.score b (code 'W') (code 'W'));
+  Alcotest.(check int) "A/A = 4" 4 (Substitution.score b (code 'A') (code 'A'));
+  Alcotest.(check int) "W/A = -3" (-3) (Substitution.score b (code 'W') (code 'A'));
+  Alcotest.(check bool) "blosum symmetric" true (Substitution.is_symmetric b);
+  Alcotest.(check int) "max entry" 11 (Substitution.max_score b);
+  Alcotest.(check int) "min entry" (-4) (Substitution.min_score b)
+
+let test_substitution_pam250 () =
+  let p = Substitution.pam250 in
+  let code c = Alphabet.code_of_char Alphabet.protein c in
+  Alcotest.(check int) "W/W = 17" 17 (Substitution.score p (code 'W') (code 'W'));
+  Alcotest.(check int) "C/C = 12" 12 (Substitution.score p (code 'C') (code 'C'));
+  Alcotest.(check int) "W/C = -8" (-8) (Substitution.score p (code 'W') (code 'C'));
+  Alcotest.(check bool) "symmetric" true (Substitution.is_symmetric p);
+  Alcotest.(check int) "min entry" (-8) (Substitution.min_score p)
+
+let test_substitution_wildcard () =
+  let s = Substitution.dna_wildcard ~match_:2 ~mismatch:(-1) in
+  let n = Alphabet.code_of_char Alphabet.dna5 'N' in
+  Alcotest.(check int) "N vs N is mismatch" (-1) (Substitution.score s n n);
+  Alcotest.(check int) "N vs A is mismatch" (-1) (Substitution.score s n 0);
+  Alcotest.(check int) "A vs A matches" 2 (Substitution.score s 0 0)
+
+(* ------------------------------------------------------------------ *)
+(* Gaps                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_gaps_costs () =
+  let lin = Gaps.linear 2 in
+  Alcotest.(check int) "linear k=3" 6 (Gaps.gap_cost lin 3);
+  Alcotest.(check int) "linear k=0" 0 (Gaps.gap_cost lin 0);
+  Alcotest.(check int) "open 0" 0 (Gaps.open_cost lin);
+  let aff = Gaps.affine ~open_:3 ~extend:1 in
+  Alcotest.(check int) "affine k=1" 4 (Gaps.gap_cost aff 1);
+  Alcotest.(check int) "affine k=4" 7 (Gaps.gap_cost aff 4);
+  Alcotest.(check bool) "is_affine" true (Gaps.is_affine aff);
+  Alcotest.(check bool) "linear not affine" false (Gaps.is_affine lin)
+
+let test_gaps_validation () =
+  Alcotest.check_raises "negative linear"
+    (Invalid_argument "Gaps.linear: negative penalty magnitude") (fun () ->
+      ignore (Gaps.linear (-1)));
+  Alcotest.check_raises "negative affine"
+    (Invalid_argument "Gaps.affine: negative penalty magnitude") (fun () ->
+      ignore (Gaps.affine ~open_:(-1) ~extend:0));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Gaps.gap_cost: negative length") (fun () ->
+      ignore (Gaps.gap_cost (Gaps.linear 1) (-1)))
+
+let test_gaps_equivalent_affine () =
+  match Gaps.equivalent_affine (Gaps.linear 2) with
+  | Gaps.Affine { open_ = 0; extend = 2 } -> ()
+  | g -> Alcotest.failf "unexpected: %s" (Gaps.to_string g)
+
+(* ------------------------------------------------------------------ *)
+(* Cigar                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cigar_basics () =
+  let c = Cigar.of_ops [ Cigar.Match; Cigar.Match; Cigar.Mismatch; Cigar.Ins; Cigar.Match ] in
+  Alcotest.(check string) "to_string" "2=1X1I1=" (Cigar.to_string c);
+  Alcotest.(check int) "length" 5 (Cigar.length c);
+  Alcotest.(check int) "query consumed" 5 (Cigar.query_consumed c);
+  Alcotest.(check int) "subject consumed" 4 (Cigar.subject_consumed c);
+  Alcotest.(check int) "matches" 3 (Cigar.count c Cigar.Match);
+  Alcotest.(check (float 1e-9)) "identity" 0.6 (Cigar.identity c)
+
+let test_cigar_runs_normalize () =
+  let c = Cigar.of_runs [ (2, Cigar.Match); (0, Cigar.Del); (3, Cigar.Match); (1, Cigar.Del) ] in
+  Alcotest.(check string) "merged runs" "5=1D" (Cigar.to_string c);
+  Alcotest.check_raises "negative run" (Invalid_argument "Cigar.of_runs: negative run length")
+    (fun () -> ignore (Cigar.of_runs [ (-1, Cigar.Match) ]))
+
+let test_cigar_append_concat_rev () =
+  let c = List.fold_left Cigar.append Cigar.empty [ Cigar.Match; Cigar.Match; Cigar.Del ] in
+  Alcotest.(check string) "append" "2=1D" (Cigar.to_string c);
+  let d = Cigar.concat c (Cigar.of_ops [ Cigar.Del; Cigar.Ins ]) in
+  Alcotest.(check string) "concat merges boundary" "2=2D1I" (Cigar.to_string d);
+  Alcotest.(check string) "rev" "1I2D2=" (Cigar.to_string (Cigar.rev d))
+
+let test_cigar_parse () =
+  let c = Cigar.of_string "12=1X3I9=" in
+  Alcotest.(check string) "roundtrip" "12=1X3I9=" (Cigar.to_string c);
+  Alcotest.(check int) "query consumed" 25 (Cigar.query_consumed c);
+  Alcotest.check_raises "M rejected"
+    (Invalid_argument "Cigar.of_string: ambiguous op 'M'; use '=' or 'X'") (fun () ->
+      ignore (Cigar.of_string "5M"));
+  Alcotest.check_raises "malformed" (Invalid_argument "Cigar.of_string: malformed run")
+    (fun () -> ignore (Cigar.of_string "=="))
+
+let cigar_roundtrip =
+  Helpers.qtest "ops -> cigar -> ops roundtrip"
+    QCheck2.Gen.(list (oneofl [ Cigar.Match; Cigar.Mismatch; Cigar.Ins; Cigar.Del ]))
+    (fun ops -> Cigar.to_ops (Cigar.of_ops ops) = ops)
+
+let cigar_string_roundtrip =
+  Helpers.qtest "cigar -> string -> cigar roundtrip"
+    QCheck2.Gen.(list (oneofl [ Cigar.Match; Cigar.Mismatch; Cigar.Ins; Cigar.Del ]))
+    (fun ops ->
+      let c = Cigar.of_ops ops in
+      Cigar.equal c (Cigar.of_string (Cigar.to_string c)))
+
+(* ------------------------------------------------------------------ *)
+(* Alignment                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scheme = Anyseq_scoring.Scheme.paper_affine
+
+let mk_alignment ?(mode = Alignment.Global) ~qs ~qe ~ss ~se cigar_text score =
+  {
+    Alignment.score;
+    mode;
+    query_start = qs;
+    query_end = qe;
+    subject_start = ss;
+    subject_end = se;
+    cigar = Cigar.of_string cigar_text;
+  }
+
+let seq = Sequence.of_string Alphabet.dna4
+
+let test_rescore_accepts_valid () =
+  let query = seq "ACGT" and subject = seq "ACGT" in
+  let a = mk_alignment ~qs:0 ~qe:4 ~ss:0 ~se:4 "4=" 8 in
+  (match
+     Alignment.rescore ~subst:scheme.Anyseq_scoring.Scheme.subst
+       ~gap:scheme.Anyseq_scoring.Scheme.gap ~query ~subject a
+   with
+  | Ok v -> Alcotest.(check int) "rescored" 8 v
+  | Error e -> Alcotest.fail e)
+
+let expect_rescore_error ~query ~subject a fragment =
+  match
+    Alignment.rescore ~subst:scheme.Anyseq_scoring.Scheme.subst
+      ~gap:scheme.Anyseq_scoring.Scheme.gap ~query ~subject a
+  with
+  | Ok _ -> Alcotest.failf "expected rescore failure (%s)" fragment
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %s (got: %s)" fragment msg)
+        true
+        (Helpers.contains_sub msg fragment)
+
+let test_rescore_rejects_wrong_score () =
+  let query = seq "ACGT" and subject = seq "ACGT" in
+  expect_rescore_error ~query ~subject (mk_alignment ~qs:0 ~qe:4 ~ss:0 ~se:4 "4=" 9) "differs"
+
+let test_rescore_rejects_bad_ops () =
+  let query = seq "ACGT" and subject = seq "ACCT" in
+  expect_rescore_error ~query ~subject (mk_alignment ~qs:0 ~qe:4 ~ss:0 ~se:4 "4=" 8) "disagrees"
+
+let test_rescore_rejects_partial_global () =
+  let query = seq "ACGT" and subject = seq "ACGT" in
+  expect_rescore_error ~query ~subject (mk_alignment ~qs:0 ~qe:3 ~ss:0 ~se:3 "3=" 6) "entirely"
+
+let test_rescore_rejects_bad_consumption () =
+  let query = seq "ACGT" and subject = seq "ACGT" in
+  expect_rescore_error ~query ~subject (mk_alignment ~qs:0 ~qe:4 ~ss:0 ~se:4 "3=" 6) "consumes"
+
+let test_rescore_rejects_local_boundary_gap () =
+  let query = seq "ACGT" and subject = seq "ACGT" in
+  expect_rescore_error ~query ~subject
+    (mk_alignment ~mode:Alignment.Local ~qs:0 ~qe:4 ~ss:0 ~se:3 "1I3=" 2)
+    "starts with a gap"
+
+let test_rescore_gap_scoring () =
+  (* affine go=2 ge=1: 4 matches + one gap of length 2 = 8 - (2 + 2) = 4 *)
+  let query = seq "AACCGG" and subject = seq "AACC" in
+  let a = mk_alignment ~qs:0 ~qe:6 ~ss:0 ~se:4 "4=2I" 4 in
+  match
+    Alignment.rescore ~subst:scheme.Anyseq_scoring.Scheme.subst
+      ~gap:scheme.Anyseq_scoring.Scheme.gap ~query ~subject a
+  with
+  | Ok v -> Alcotest.(check int) "affine gap run charged once" 4 v
+  | Error e -> Alcotest.fail e
+
+let test_aligned_strings () =
+  let query = seq "ACGT" and subject = seq "AGT" in
+  let a = mk_alignment ~qs:0 ~qe:4 ~ss:0 ~se:3 "1=1I2=" 3 in
+  let qa, sa = Alignment.aligned_strings ~query ~subject a in
+  Alcotest.(check string) "query row" "ACGT" qa;
+  Alcotest.(check string) "subject row" "A-GT" sa
+
+let test_pretty_contains_midline () =
+  let query = seq "ACGT" and subject = seq "ACTT" in
+  let a = mk_alignment ~qs:0 ~qe:4 ~ss:0 ~se:4 "2=1X1=" 5 in
+  let text = Alignment.pretty ~query ~subject a in
+  Alcotest.(check bool) "has mismatch mark" true (Helpers.contains_sub text "||.|")
+
+let test_trim_boundary_gaps () =
+  let a =
+    mk_alignment ~mode:Alignment.Local ~qs:0 ~qe:6 ~ss:0 ~se:5 "1I4=1D" 8
+  in
+  let t = Alignment.trim_boundary_gaps a in
+  Alcotest.(check string) "trimmed cigar" "4=" (Cigar.to_string t.Alignment.cigar);
+  Alcotest.(check int) "qs" 1 t.Alignment.query_start;
+  Alcotest.(check int) "qe" 6 t.Alignment.query_end;
+  Alcotest.(check int) "se" 4 t.Alignment.subject_end
+
+let () =
+  Alcotest.run "bio"
+    [
+      ( "alphabet",
+        [
+          Alcotest.test_case "dna4" `Quick test_alphabet_dna4;
+          Alcotest.test_case "dna4 rejects" `Quick test_alphabet_dna4_rejects;
+          Alcotest.test_case "dna5 wildcard" `Quick test_alphabet_dna5_wildcard;
+          Alcotest.test_case "protein" `Quick test_alphabet_protein;
+          Alcotest.test_case "code range" `Quick test_alphabet_code_range;
+        ] );
+      ( "sequence",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sequence_roundtrip;
+          Alcotest.test_case "of_codes" `Quick test_sequence_of_codes;
+          Alcotest.test_case "sub/rev/concat" `Quick test_sequence_sub_rev_concat;
+          Alcotest.test_case "reverse complement" `Quick test_reverse_complement;
+          Alcotest.test_case "views" `Quick test_sequence_views;
+          Alcotest.test_case "view bounds" `Quick test_sequence_view_bounds;
+          view_composition;
+        ] );
+      ( "substitution",
+        [
+          Alcotest.test_case "simple" `Quick test_substitution_simple;
+          Alcotest.test_case "matrix" `Quick test_substitution_matrix;
+          Alcotest.test_case "blosum62" `Quick test_substitution_blosum;
+          Alcotest.test_case "pam250" `Quick test_substitution_pam250;
+          Alcotest.test_case "dna wildcard" `Quick test_substitution_wildcard;
+        ] );
+      ( "gaps",
+        [
+          Alcotest.test_case "costs" `Quick test_gaps_costs;
+          Alcotest.test_case "validation" `Quick test_gaps_validation;
+          Alcotest.test_case "equivalent affine" `Quick test_gaps_equivalent_affine;
+        ] );
+      ( "cigar",
+        [
+          Alcotest.test_case "basics" `Quick test_cigar_basics;
+          Alcotest.test_case "run normalization" `Quick test_cigar_runs_normalize;
+          Alcotest.test_case "append/concat/rev" `Quick test_cigar_append_concat_rev;
+          Alcotest.test_case "parse" `Quick test_cigar_parse;
+          cigar_roundtrip;
+          cigar_string_roundtrip;
+        ] );
+      ( "alignment",
+        [
+          Alcotest.test_case "rescore valid" `Quick test_rescore_accepts_valid;
+          Alcotest.test_case "rejects wrong score" `Quick test_rescore_rejects_wrong_score;
+          Alcotest.test_case "rejects bad ops" `Quick test_rescore_rejects_bad_ops;
+          Alcotest.test_case "rejects partial global" `Quick test_rescore_rejects_partial_global;
+          Alcotest.test_case "rejects bad consumption" `Quick test_rescore_rejects_bad_consumption;
+          Alcotest.test_case "rejects local boundary gap" `Quick
+            test_rescore_rejects_local_boundary_gap;
+          Alcotest.test_case "affine gap scoring" `Quick test_rescore_gap_scoring;
+          Alcotest.test_case "aligned strings" `Quick test_aligned_strings;
+          Alcotest.test_case "pretty midline" `Quick test_pretty_contains_midline;
+          Alcotest.test_case "trim boundary gaps" `Quick test_trim_boundary_gaps;
+        ] );
+    ]

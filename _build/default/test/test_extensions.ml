@@ -1,0 +1,274 @@
+(* Tests for the extension features: generalized ends-free policies, Myers'
+   bit-parallel edit distance, and the database-search API. *)
+
+module Sequence = Anyseq_bio.Sequence
+module Alphabet = Anyseq_bio.Alphabet
+module Alignment = Anyseq_bio.Alignment
+module Gaps = Anyseq_bio.Gaps
+module Scheme = Anyseq_scoring.Scheme
+module T = Anyseq_core.Types
+module EF = Anyseq_core.Ends_free
+module Myers = Anyseq_core.Myers
+module Db_search = Anyseq_simd.Db_search
+module Rng = Anyseq_util.Rng
+
+let dna = Sequence.of_string Alphabet.dna4
+
+(* Brute-force ends-free oracle: dense Gotoh with per-spec borders and
+   final-cell rule. *)
+let brute scheme (spec : EF.spec) q s =
+  let n = Sequence.length q and m = Sequence.length s in
+  let sigma = Scheme.subst_score scheme in
+  let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
+  let h = Array.make_matrix (n + 1) (m + 1) T.neg_inf in
+  let e = Array.make_matrix (n + 1) (m + 1) T.neg_inf in
+  let f = Array.make_matrix (n + 1) (m + 1) T.neg_inf in
+  h.(0).(0) <- 0;
+  for i = 1 to n do
+    h.(i).(0) <- (if spec.EF.skip_query_prefix then 0 else -(go + (i * ge)));
+    e.(i).(0) <- h.(i).(0)
+  done;
+  for j = 1 to m do
+    h.(0).(j) <- (if spec.EF.skip_subject_prefix then 0 else -(go + (j * ge)));
+    f.(0).(j) <- h.(0).(j)
+  done;
+  for i = 1 to n do
+    for j = 1 to m do
+      let ev = max (e.(i - 1).(j) - ge) (h.(i - 1).(j) - go - ge) in
+      let fv = max (f.(i).(j - 1) - ge) (h.(i).(j - 1) - go - ge) in
+      e.(i).(j) <- ev;
+      f.(i).(j) <- fv;
+      h.(i).(j) <-
+        max (h.(i - 1).(j - 1) + sigma (Sequence.get q (i - 1)) (Sequence.get s (j - 1)))
+          (max ev fv)
+    done
+  done;
+  let best = ref T.neg_inf in
+  for i = 0 to n do
+    for j = 0 to m do
+      if
+        (i = n || spec.EF.skip_query_suffix)
+        && (j = m || spec.EF.skip_subject_suffix)
+        && (i = n || j = m)
+        && h.(i).(j) > !best
+      then best := h.(i).(j)
+    done
+  done;
+  !best
+
+let all_specs =
+  [
+    EF.global; EF.ends_free; EF.query_contained; EF.subject_contained;
+    EF.dovetail_query_first; EF.dovetail_subject_first;
+    { EF.skip_query_prefix = true; skip_query_suffix = false;
+      skip_subject_prefix = false; skip_subject_suffix = true };
+  ]
+
+let pair_gen max_len =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      Helpers.random_pair rng ~max_len)
+    QCheck2.Gen.nat
+
+let ends_free_matches_brute =
+  Helpers.qtest ~count:150 "ends_free score = brute-force oracle (all specs)"
+    QCheck2.Gen.(
+      tup3 (pair_gen 30) (oneofl all_specs)
+        (oneofl [ Scheme.paper_linear; Scheme.paper_affine ]))
+    (fun ((q, s), spec, scheme) ->
+      (EF.score_only scheme spec ~query:(Sequence.view q) ~subject:(Sequence.view s))
+        .T.score = brute scheme spec q s)
+
+let ends_free_align_consistent =
+  Helpers.qtest ~count:120 "ends_free alignment scores and validates"
+    QCheck2.Gen.(tup2 (pair_gen 30) (oneofl all_specs))
+    (fun ((q, s), spec) ->
+      let scheme = Scheme.paper_affine in
+      let a = EF.align scheme spec ~query:q ~subject:s in
+      a.Alignment.score = brute scheme spec q s
+      && Result.is_ok
+           (Alignment.rescore ~subst:scheme.Scheme.subst ~gap:scheme.Scheme.gap ~query:q
+              ~subject:s a))
+
+let ends_free_mode_correspondence =
+  Helpers.qtest ~count:100 "ends_free global/ends_free = the classic modes"
+    (pair_gen 35)
+    (fun (q, s) ->
+      let scheme = Scheme.paper_affine in
+      let qv = Sequence.view q and sv = Sequence.view s in
+      (EF.score_only scheme EF.global ~query:qv ~subject:sv).T.score
+      = Helpers.reference_score scheme T.Global ~query:q ~subject:s
+      && (EF.score_only scheme EF.ends_free ~query:qv ~subject:sv).T.score
+         = Helpers.reference_score scheme T.Semiglobal ~query:q ~subject:s)
+
+let ends_free_freedom_monotone =
+  Helpers.qtest ~count:100 "freeing an end never lowers the score"
+    (pair_gen 30)
+    (fun (q, s) ->
+      let scheme = Scheme.paper_linear in
+      let qv = Sequence.view q and sv = Sequence.view s in
+      let score spec = (EF.score_only scheme spec ~query:qv ~subject:sv).T.score in
+      score EF.global <= score EF.dovetail_query_first
+      && score EF.dovetail_query_first <= score EF.ends_free
+      && score EF.global <= score EF.query_contained
+      && score EF.query_contained <= score EF.ends_free)
+
+let test_ends_free_containment () =
+  (* A read inside a window: query_contained finds the exact placement. *)
+  let window = dna "TTTTTTACGTACGTTTTTT" in
+  let read = dna "ACGTACGT" in
+  let a = EF.align Scheme.paper_affine EF.query_contained ~query:read ~subject:window in
+  Alcotest.(check int) "perfect score" 16 a.Alignment.score;
+  Alcotest.(check int) "subject start" 6 a.Alignment.subject_start;
+  Alcotest.(check int) "subject end" 14 a.Alignment.subject_end;
+  Alcotest.(check int) "query fully aligned" 8 (a.Alignment.query_end - a.Alignment.query_start)
+
+let test_ends_free_dovetail () =
+  (* query = ...XY, subject = XY...: suffix of query overlaps prefix of
+     subject. *)
+  let query = dna "GGGGGACGTACGT" and subject = dna "ACGTACGTCCCCC" in
+  let a = EF.align Scheme.paper_linear EF.dovetail_query_first ~query ~subject in
+  Alcotest.(check int) "overlap score" 16 a.Alignment.score;
+  Alcotest.(check int) "query start (prefix skipped)" 5 a.Alignment.query_start;
+  Alcotest.(check int) "query end (anchored)" 13 a.Alignment.query_end;
+  Alcotest.(check int) "subject start (anchored)" 0 a.Alignment.subject_start
+
+(* ------------------------------------------------------------------ *)
+(* Myers                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let myers_matches_dp =
+  Helpers.qtest ~count:250 "Myers distance = unit-cost DP (incl. multi-word)"
+    QCheck2.Gen.(map (fun seed ->
+        let rng = Rng.create ~seed in
+        (* occasionally exceed one 64-bit word *)
+        let n = if Rng.int rng 5 = 0 then 64 + Rng.int rng 140 else Rng.int rng 64 in
+        (Helpers.random_dna rng ~len:n, Helpers.random_dna rng ~len:(Rng.int rng 80))) nat)
+    (fun (q, s) ->
+      Myers.distance q s
+      = -Helpers.reference_score Myers.unit_scheme T.Global ~query:q ~subject:s)
+
+let myers_search_matches_ends_free =
+  Helpers.qtest ~count:200 "Myers search = subject-flanks-free DP"
+    QCheck2.Gen.(map (fun seed ->
+        let rng = Rng.create ~seed in
+        let n = 1 + Rng.int rng 90 in
+        (Helpers.random_dna rng ~len:n, Helpers.random_dna rng ~len:(Rng.int rng 120))) nat)
+    (fun (pattern, text) ->
+      let d, pos = Myers.search ~pattern ~text in
+      let expected =
+        -(EF.score_only Myers.unit_scheme
+            { EF.skip_query_prefix = false; skip_query_suffix = false;
+              skip_subject_prefix = true; skip_subject_suffix = true }
+            ~query:(Sequence.view pattern) ~subject:(Sequence.view text))
+           .T.score
+      in
+      d = expected && pos >= 0 && pos <= Sequence.length text)
+
+let test_myers_hand_cases () =
+  Alcotest.(check int) "identical" 0 (Myers.distance (dna "ACGT") (dna "ACGT"));
+  Alcotest.(check int) "substitution" 1 (Myers.distance (dna "ACGT") (dna "ACCT"));
+  Alcotest.(check int) "indel" 1 (Myers.distance (dna "ACGT") (dna "ACT"));
+  Alcotest.(check int) "empty vs x" 4 (Myers.distance (dna "") (dna "ACGT"));
+  Alcotest.(check int) "x vs empty" 4 (Myers.distance (dna "ACGT") (dna ""));
+  Alcotest.(check int) "kitten-style" 2 (Myers.distance (dna "ACGTACGT") (dna "AGGTACG"))
+
+let test_myers_search_positions () =
+  let pattern = dna "ACGT" in
+  let text = dna "TTTTACGTTTTTACCTTT" in
+  let d, pos = Myers.search ~pattern ~text in
+  Alcotest.(check int) "exact hit distance" 0 d;
+  Alcotest.(check int) "earliest exact end" 8 pos;
+  let hits = Myers.occurrences ~pattern ~text ~k:1 in
+  Alcotest.(check bool) "exact end present" true (List.mem_assoc 8 hits);
+  Alcotest.(check bool) "1-error end present (ACCT)" true (List.mem_assoc 16 hits);
+  List.iter (fun (_, d) -> Alcotest.(check bool) "within k" true (d <= 1)) hits
+
+let test_myers_empty_pattern () =
+  Alcotest.(check (pair int int)) "empty pattern" (0, 0)
+    (Myers.search ~pattern:(dna "") ~text:(dna "ACGT"))
+
+let myers_long_pattern_words =
+  Helpers.qtest ~count:40 "multi-word boundary lengths (63..130)"
+    QCheck2.Gen.(map (fun seed ->
+        let rng = Rng.create ~seed in
+        let n = 63 + Rng.int rng 68 in
+        let q = Helpers.random_dna rng ~len:n in
+        let s = Anyseq_seqio.Genome_gen.mutate rng q in
+        (q, s)) nat)
+    (fun (q, s) ->
+      Myers.distance q s
+      = -Helpers.reference_score Myers.unit_scheme T.Global ~query:q ~subject:s)
+
+(* ------------------------------------------------------------------ *)
+(* Db_search                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_db_search_top_k () =
+  let rng = Rng.create ~seed:91 in
+  let query = Helpers.random_dna rng ~len:60 in
+  let subjects =
+    Array.init 40 (fun i ->
+        if i = 17 then query (* a perfect hit *)
+        else Helpers.random_dna rng ~len:(55 + (i mod 4)))
+  in
+  let hits = Db_search.top_k ~lanes:8 Scheme.paper_linear T.Local ~query ~subjects ~k:3 in
+  Alcotest.(check int) "k hits" 3 (List.length hits);
+  let best = List.hd hits in
+  Alcotest.(check int) "perfect subject wins" 17 best.Db_search.index;
+  Alcotest.(check int) "perfect score" 120 best.Db_search.ends.T.score;
+  (* sorted descending *)
+  let scores = List.map (fun h -> h.Db_search.ends.T.score) hits in
+  Alcotest.(check (list int)) "descending" (List.sort (fun a b -> compare b a) scores) scores
+
+let db_search_matches_scalar =
+  Helpers.qtest ~count:25 "db_search = per-pair scalar scores"
+    QCheck2.Gen.(tup2 (map (fun seed -> Rng.create ~seed) nat) (oneofl Helpers.modes_under_test))
+    (fun (rng, mode) ->
+      let query = Helpers.random_dna rng ~len:(1 + Rng.int rng 40) in
+      let subjects = Array.init 20 (fun _ -> Helpers.random_dna rng ~len:(1 + Rng.int rng 40)) in
+      let scores = Db_search.score_all ~lanes:4 Scheme.paper_affine mode ~query ~subjects in
+      Array.for_all2
+        (fun got s ->
+          got
+          = Anyseq_core.Dp_linear.score_only Scheme.paper_affine mode
+              ~query:(Sequence.view query) ~subject:(Sequence.view s))
+        scores subjects)
+
+let test_db_search_k_edge_cases () =
+  let query = dna "ACGT" in
+  let subjects = [| dna "ACGT"; dna "TTTT" |] in
+  Alcotest.(check int) "k=0" 0
+    (List.length (Db_search.top_k Scheme.paper_linear T.Local ~query ~subjects ~k:0));
+  Alcotest.(check int) "k beyond size" 2
+    (List.length (Db_search.top_k Scheme.paper_linear T.Local ~query ~subjects ~k:10))
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "ends_free",
+        [
+          ends_free_matches_brute;
+          ends_free_align_consistent;
+          ends_free_mode_correspondence;
+          ends_free_freedom_monotone;
+          Alcotest.test_case "containment" `Quick test_ends_free_containment;
+          Alcotest.test_case "dovetail" `Quick test_ends_free_dovetail;
+        ] );
+      ( "myers",
+        [
+          myers_matches_dp;
+          myers_search_matches_ends_free;
+          Alcotest.test_case "hand cases" `Quick test_myers_hand_cases;
+          Alcotest.test_case "search positions" `Quick test_myers_search_positions;
+          Alcotest.test_case "empty pattern" `Quick test_myers_empty_pattern;
+          myers_long_pattern_words;
+        ] );
+      ( "db_search",
+        [
+          Alcotest.test_case "top_k" `Quick test_db_search_top_k;
+          db_search_matches_scalar;
+          Alcotest.test_case "k edge cases" `Quick test_db_search_k_edge_cases;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+module Systolic = Anyseq_fpgasim.Systolic
+module Hls_report = Anyseq_fpgasim.Hls_report
+module Sequence = Anyseq_bio.Sequence
+module Alphabet = Anyseq_bio.Alphabet
+module Scheme = Anyseq_scoring.Scheme
+module T = Anyseq_core.Types
+module Rng = Anyseq_util.Rng
+
+let systolic_matches_scalar =
+  Helpers.qtest ~count:60 "systolic array = scalar engine"
+    QCheck2.Gen.(
+      tup3
+        (map (fun seed ->
+             let rng = Rng.create ~seed in
+             Helpers.random_pair rng ~max_len:160) nat)
+        (oneofl (List.map snd Helpers.schemes_under_test))
+        (oneofl [ 1; 7; 32; 200 ]))
+    (fun ((q, s), scheme, kpe) ->
+      let expected =
+        (Anyseq_core.Dp_linear.score_only scheme T.Global ~query:(Sequence.view q)
+           ~subject:(Sequence.view s))
+          .T.score
+      in
+      (fst (Systolic.score ~kpe scheme ~query:q ~subject:s)).T.score = expected)
+
+let test_systolic_stats () =
+  let rng = Rng.create ~seed:3 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:100 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:96 in
+  let _, stats = Systolic.score ~kpe:32 Scheme.paper_linear ~query:q ~subject:s in
+  Alcotest.(check int) "cells" (100 * 96) stats.Systolic.cells;
+  Alcotest.(check int) "stripes" 3 stats.Systolic.stripes;
+  (* 3 stripes of widths 32,32,32: clocks = 3 x (100 + 32 - 1) *)
+  Alcotest.(check int) "clocks" (3 * 131) stats.Systolic.clocks;
+  Alcotest.(check bool) "utilization in (0,1]" true
+    (stats.Systolic.utilization > 0.0 && stats.Systolic.utilization <= 1.0);
+  Alcotest.(check bool) "ddr traffic counted" true (stats.Systolic.ddr_words > 0)
+
+let test_systolic_single_stripe_utilization () =
+  (* With m <= kpe and long n, the pipeline is nearly always full. *)
+  let rng = Rng.create ~seed:5 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:2000 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:64 in
+  let _, stats = Systolic.score ~kpe:64 Scheme.paper_affine ~query:q ~subject:s in
+  Alcotest.(check int) "one stripe" 1 stats.Systolic.stripes;
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization high (%.3f)" stats.Systolic.utilization)
+    true
+    (stats.Systolic.utilization > 0.9)
+
+let test_affine_same_clocks_as_linear () =
+  (* §V: "The runtime is not affected by the gap penalty scheme". *)
+  let rng = Rng.create ~seed:7 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:300 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:280 in
+  let _, lin = Systolic.score ~kpe:48 Scheme.paper_linear ~query:q ~subject:s in
+  let _, aff = Systolic.score ~kpe:48 Scheme.paper_affine ~query:q ~subject:s in
+  Alcotest.(check int) "identical clock count" lin.Systolic.clocks aff.Systolic.clocks
+
+let test_systolic_empty () =
+  let empty = Sequence.of_string Alphabet.dna4 "" in
+  let rng = Rng.create ~seed:9 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:10 in
+  let e, stats = Systolic.score Scheme.paper_affine ~query:empty ~subject:s in
+  Alcotest.(check int) "empty query score" (-(2 + 10)) e.T.score;
+  Alcotest.(check int) "no clocks" 0 stats.Systolic.clocks;
+  Alcotest.check_raises "kpe positive" (Invalid_argument "Systolic.score: kpe must be positive")
+    (fun () -> ignore (Systolic.score ~kpe:0 Scheme.paper_linear ~query:s ~subject:s))
+
+(* ------------------------------------------------------------------ *)
+(* HLS report                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_stats ?(len = 3000) ?(kpe = 128) () =
+  let rng = Rng.create ~seed:11 in
+  let q = Sequence.random rng Alphabet.dna4 ~len in
+  let s = Anyseq_seqio.Genome_gen.mutate rng q in
+  snd (Systolic.score ~kpe Scheme.paper_linear ~query:q ~subject:s)
+
+let test_report_basics () =
+  let stats = run_stats () in
+  let r = Hls_report.analyze ~kpe:128 stats in
+  Alcotest.(check bool) "fits the ZCU104" true r.Hls_report.fits;
+  Alcotest.(check (float 1e-6)) "peak = kpe x freq" (128.0 *. 187.5e6 /. 1e9)
+    r.Hls_report.peak_gcups;
+  Alcotest.(check bool) "effective <= peak" true
+    (r.Hls_report.effective_gcups <= r.Hls_report.peak_gcups);
+  Alcotest.(check bool) "paper ballpark: ~20 GCUPS at 128 PEs" true
+    (r.Hls_report.effective_gcups > 15.0 && r.Hls_report.effective_gcups < 25.0);
+  Alcotest.(check bool) "energy efficiency ~3 GCUPS/W" true
+    (r.Hls_report.gcups_per_watt > 2.0 && r.Hls_report.gcups_per_watt < 4.5)
+
+let test_report_resource_limit () =
+  let stats = run_stats ~kpe:100 () in
+  let r = Hls_report.analyze ~kpe:1000 stats in
+  Alcotest.(check bool) "1000 PEs do not fit" false r.Hls_report.fits;
+  Alcotest.(check bool) "max_kpe consistent" true
+    (Hls_report.max_kpe () * Hls_report.luts_per_pe <= Hls_report.zcu104.Hls_report.luts)
+
+let test_report_energy_accounting () =
+  let stats = run_stats () in
+  let r = Hls_report.analyze ~kpe:128 stats in
+  Alcotest.(check (float 1e-9)) "joules = watts x seconds"
+    (Hls_report.zcu104.Hls_report.power_watts *. r.Hls_report.seconds)
+    r.Hls_report.joules
+
+let () =
+  Alcotest.run "fpgasim"
+    [
+      ( "systolic",
+        [
+          systolic_matches_scalar;
+          Alcotest.test_case "stats" `Quick test_systolic_stats;
+          Alcotest.test_case "single stripe utilization" `Quick
+            test_systolic_single_stripe_utilization;
+          Alcotest.test_case "affine same clocks" `Quick test_affine_same_clocks_as_linear;
+          Alcotest.test_case "empty" `Quick test_systolic_empty;
+        ] );
+      ( "hls report",
+        [
+          Alcotest.test_case "basics" `Quick test_report_basics;
+          Alcotest.test_case "resource limit" `Quick test_report_resource_limit;
+          Alcotest.test_case "energy accounting" `Quick test_report_energy_accounting;
+        ] );
+    ]

@@ -1,0 +1,344 @@
+module Device = Anyseq_gpusim.Device
+module Kernel = Anyseq_gpusim.Kernel
+module Counters = Anyseq_gpusim.Counters
+module Cost = Anyseq_gpusim.Cost
+module Align_kernel = Anyseq_gpusim.Align_kernel
+module Sequence = Anyseq_bio.Sequence
+module Alphabet = Anyseq_bio.Alphabet
+module Scheme = Anyseq_scoring.Scheme
+module T = Anyseq_core.Types
+module Rng = Anyseq_util.Rng
+
+let device = Device.titan_v
+
+(* ------------------------------------------------------------------ *)
+(* SIMT executor                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_launch_vector_add () =
+  let n = 256 in
+  let a = Kernel.global_of_array (Array.init n Fun.id) in
+  let b = Kernel.global_of_array (Array.init n (fun i -> 2 * i)) in
+  let out = Kernel.alloc_global n in
+  let res =
+    Kernel.launch ~device ~grid:4 ~block:64 ~shared_words:1 (fun ctx ~shared ->
+        ignore shared;
+        let gid = (Kernel.block_idx ctx * Kernel.block_dim ctx) + Kernel.thread_idx ctx in
+        Kernel.write ctx out gid (Kernel.read ctx a gid + Kernel.read ctx b gid))
+  in
+  Alcotest.(check (array int)) "vector add" (Array.init n (fun i -> 3 * i))
+    (Kernel.to_array out);
+  Alcotest.(check int) "reads counted" (2 * n) res.Kernel.counters.Counters.global_reads;
+  Alcotest.(check int) "writes counted" n res.Kernel.counters.Counters.global_writes
+
+let test_barrier_synchronizes () =
+  (* Stage 1: every thread writes its slot; stage 2: every thread reads its
+     neighbour's slot.  Without a real barrier thread 0 would read an
+     unwritten slot. *)
+  let block = 32 in
+  let out = Kernel.alloc_global block in
+  ignore
+    (Kernel.launch ~device ~grid:1 ~block ~shared_words:(block + 1) (fun ctx ~shared ->
+         let tid = Kernel.thread_idx ctx in
+         Kernel.write ctx shared tid (tid * 10);
+         Kernel.barrier ctx;
+         let neighbour = (tid + 1) mod block in
+         Kernel.write ctx out tid (Kernel.read ctx shared neighbour)));
+  Alcotest.(check (array int)) "all neighbour values visible"
+    (Array.init block (fun tid -> (tid + 1) mod block * 10))
+    (Kernel.to_array out)
+
+let test_multi_phase_pipeline () =
+  (* log2(block) reduction phases with a barrier each; checks repeated
+     suspend/resume works. *)
+  let block = 16 in
+  let out = Kernel.alloc_global 1 in
+  ignore
+    (Kernel.launch ~device ~grid:1 ~block ~shared_words:block (fun ctx ~shared ->
+         let tid = Kernel.thread_idx ctx in
+         Kernel.write ctx shared tid (tid + 1);
+         Kernel.barrier ctx;
+         let stride = ref (block / 2) in
+         while !stride > 0 do
+           if tid < !stride then
+             Kernel.write ctx shared tid
+               (Kernel.read ctx shared tid + Kernel.read ctx shared (tid + !stride));
+           Kernel.barrier ctx;
+           stride := !stride / 2
+         done;
+         if tid = 0 then Kernel.write ctx out 0 (Kernel.read ctx shared 0)));
+  Alcotest.(check int) "tree reduction" (block * (block + 1) / 2) (Kernel.to_array out).(0)
+
+let test_early_exit_barrier_semantics () =
+  (* Threads that returned stop participating in barriers (post-Volta
+     semantics); the surviving threads keep synchronizing correctly. *)
+  let out = Kernel.alloc_global 4 in
+  ignore
+    (Kernel.launch ~device ~grid:1 ~block:4 ~shared_words:8 (fun ctx ~shared ->
+         let tid = Kernel.thread_idx ctx in
+         if tid < 2 then begin
+           Kernel.write ctx shared tid (tid + 100);
+           Kernel.barrier ctx;
+           Kernel.write ctx out tid (Kernel.read ctx shared ((tid + 1) mod 2))
+         end));
+  let arr = Kernel.to_array out in
+  Alcotest.(check (array int)) "survivors synchronized" [| 101; 100; 0; 0 |] arr
+
+let test_bounds_checked () =
+  let buf = Kernel.alloc_global 4 in
+  let raised =
+    try
+      ignore
+        (Kernel.launch ~device ~grid:1 ~block:1 ~shared_words:1 (fun ctx ~shared ->
+             ignore shared;
+             ignore (Kernel.read ctx buf 99)));
+      false
+    with Invalid_argument msg -> Helpers.contains_sub msg "out of bounds"
+  in
+  Alcotest.(check bool) "oob read rejected" true raised
+
+let test_shared_limit () =
+  Alcotest.(check bool) "oversized shared rejected" true
+    (try
+       ignore
+         (Kernel.launch ~device ~grid:1 ~block:1
+            ~shared_words:(device.Device.shared_mem_words + 1) (fun _ ~shared ->
+              ignore shared));
+       false
+     with Invalid_argument _ -> true)
+
+let test_coalescing_counts () =
+  let n = 64 in
+  let buf = Kernel.alloc_global n in
+  (* Coalesced: 64 threads read consecutive words = 2 warps x 1 transaction
+     (64 words = 2 segments of 32). *)
+  let coal =
+    Kernel.launch ~device ~grid:1 ~block:64 ~shared_words:1 (fun ctx ~shared ->
+        ignore shared;
+        ignore (Kernel.read ctx buf (Kernel.thread_idx ctx)))
+  in
+  (* Strided by 32: every thread of a warp hits a different segment... with
+     only 64 words the strided pattern wraps; use stride 2 over 2n words to
+     double the touched segments instead. *)
+  let buf2 = Kernel.alloc_global (2 * n) in
+  let strided =
+    Kernel.launch ~device ~grid:1 ~block:64 ~shared_words:1 (fun ctx ~shared ->
+        ignore shared;
+        ignore (Kernel.read ctx buf2 (2 * Kernel.thread_idx ctx)))
+  in
+  Alcotest.(check int) "coalesced transactions" 2
+    coal.Kernel.counters.Counters.global_transactions;
+  Alcotest.(check int) "strided transactions double" 4
+    strided.Kernel.counters.Counters.global_transactions
+
+let test_work_and_divergence_counters () =
+  let res =
+    Kernel.launch ~device ~grid:2 ~block:8 ~shared_words:1 (fun ctx ~shared ->
+        ignore shared;
+        Kernel.work ctx ~cells:3 ~ops:10;
+        if Kernel.thread_idx ctx = 0 then Kernel.divergent ctx)
+  in
+  Alcotest.(check int) "cells" (2 * 8 * 3) res.Kernel.counters.Counters.cells;
+  Alcotest.(check int) "cell ops" (2 * 8 * 30) res.Kernel.counters.Counters.cell_ops;
+  Alcotest.(check int) "divergent" 2 res.Kernel.counters.Counters.divergent_branches
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_compute_bound () =
+  let c = Counters.create () in
+  c.Counters.cells <- 1_000_000;
+  c.Counters.cell_ops <- 30_000_000;
+  c.Counters.global_transactions <- 10;
+  let e = Cost.estimate device c in
+  Alcotest.(check bool) "compute bound" true (e.Cost.bound = `Compute);
+  Alcotest.(check bool) "gcups positive" true (e.Cost.gcups > 0.0)
+
+let test_cost_memory_bound () =
+  let c = Counters.create () in
+  c.Counters.cells <- 1000;
+  c.Counters.cell_ops <- 1000;
+  c.Counters.global_transactions <- 50_000_000;
+  let e = Cost.estimate device c in
+  Alcotest.(check bool) "memory bound" true (e.Cost.bound = `Memory)
+
+let test_cost_occupancy_scales () =
+  let c = Counters.create () in
+  c.Counters.cells <- 1_000_000;
+  c.Counters.cell_ops <- 30_000_000;
+  let full = Cost.estimate device ~occupancy:1.0 c in
+  let half = Cost.estimate device ~occupancy:0.5 c in
+  Alcotest.(check bool) "half occupancy is slower" true
+    (half.Cost.compute_s > full.Cost.compute_s *. 1.9)
+
+(* ------------------------------------------------------------------ *)
+(* Alignment kernel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_matches_scalar =
+  Helpers.qtest ~count:15 "GPU kernel = scalar engine"
+    QCheck2.Gen.(
+      tup3
+        (map (fun seed ->
+             let rng = Rng.create ~seed in
+             Helpers.random_pair rng ~max_len:220) nat)
+        (oneofl [ Scheme.paper_linear; Scheme.paper_affine ])
+        (oneofl [ `Coalesced; `Strided ]))
+    (fun ((q, s), scheme, layout) ->
+      let expected =
+        (Anyseq_core.Dp_linear.score_only scheme T.Global ~query:(Sequence.view q)
+           ~subject:(Sequence.view s))
+          .T.score
+      in
+      let params = { Align_kernel.tile = 48; block = 16; layout } in
+      (Align_kernel.score ~params scheme ~query:q ~subject:s).Align_kernel.ends.T.score
+      = expected)
+
+let test_kernel_empty_sequences () =
+  let empty = Sequence.of_string Alphabet.dna4 "" in
+  let rng = Rng.create ~seed:31 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:12 in
+  let scheme = Scheme.paper_affine in
+  let r = Align_kernel.score scheme ~query:empty ~subject:s in
+  Alcotest.(check int) "empty query" (-(2 + 12)) r.Align_kernel.ends.T.score;
+  let r2 = Align_kernel.score scheme ~query:empty ~subject:empty in
+  Alcotest.(check int) "both empty" 0 r2.Align_kernel.ends.T.score
+
+let test_strided_layout_costs_more () =
+  let rng = Rng.create ~seed:41 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:400 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:400 in
+  let scheme = Scheme.paper_linear in
+  let run layout =
+    let params = { Align_kernel.tile = 64; block = 32; layout } in
+    (Align_kernel.score ~params scheme ~query:q ~subject:s).Align_kernel.counters
+  in
+  let coal = run `Coalesced and strided = run `Strided in
+  Alcotest.(check bool)
+    (Printf.sprintf "strided needs more transactions (%d vs %d)"
+       strided.Counters.global_transactions coal.Counters.global_transactions)
+    true
+    (strided.Counters.global_transactions > coal.Counters.global_transactions);
+  Alcotest.(check int) "same cells" coal.Counters.cells strided.Counters.cells
+
+let test_affine_does_more_memory () =
+  let rng = Rng.create ~seed:43 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:300 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:300 in
+  let run scheme =
+    (Align_kernel.score ~params:{ Align_kernel.tile = 64; block = 32; layout = `Coalesced }
+       scheme ~query:q ~subject:s)
+      .Align_kernel.counters
+  in
+  let lin = run Scheme.paper_linear and aff = run Scheme.paper_affine in
+  Alcotest.(check bool) "affine has more shared traffic" true
+    (aff.Counters.shared_accesses > lin.Counters.shared_accesses);
+  Alcotest.(check bool) "affine has more cell ops" true
+    (aff.Counters.cell_ops > lin.Counters.cell_ops)
+
+let test_nvbio_params_slower () =
+  (* Same problem, NVBio-flavoured parameters must cost more estimated time
+     per cell — the structural source of the paper's ~1.1x gap. *)
+  let rng = Rng.create ~seed:47 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:500 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:500 in
+  let scheme = Scheme.paper_linear in
+  let anyseq =
+    Align_kernel.score
+      ~params:{ Align_kernel.anyseq_params with tile = 128; block = 32 }
+      scheme ~query:q ~subject:s
+  in
+  let nvbio =
+    Align_kernel.score
+      ~params:{ Align_kernel.nvbio_like_params with tile = 48; block = 16 }
+      scheme ~query:q ~subject:s
+  in
+  Alcotest.(check bool) "same score" true
+    (anyseq.Align_kernel.ends.T.score = nvbio.Align_kernel.ends.T.score);
+  Alcotest.(check bool)
+    (Printf.sprintf "nvbio-like slower (%.3g vs %.3g)" nvbio.Align_kernel.estimate.Cost.total_s
+       anyseq.Align_kernel.estimate.Cost.total_s)
+    true
+    (nvbio.Align_kernel.estimate.Cost.total_s > anyseq.Align_kernel.estimate.Cost.total_s)
+
+let gpu_traceback_matches =
+  Helpers.qtest ~count:10 "GPU divide-and-conquer traceback = oracle"
+    QCheck2.Gen.(
+      tup2
+        (map (fun seed ->
+             let rng = Rng.create ~seed in
+             let n = 60 + Rng.int rng 200 in
+             let q = Helpers.random_dna rng ~len:n in
+             (q, Anyseq_seqio.Genome_gen.mutate rng q)) nat)
+        (oneofl [ Scheme.paper_linear; Scheme.paper_affine ]))
+    (fun ((q, s), scheme) ->
+      let params = { Align_kernel.tile = 48; block = 16; layout = `Coalesced } in
+      let alignment, counters, _ =
+        Align_kernel.align_with_traceback ~params ~cutoff_cells:256 scheme ~query:q
+          ~subject:s
+      in
+      let expected =
+        (Anyseq_core.Dp_linear.score_only scheme T.Global ~query:(Sequence.view q)
+           ~subject:(Sequence.view s))
+          .T.score
+      in
+      alignment.Anyseq_bio.Alignment.score = expected
+      && (Sequence.length q * Sequence.length s < 32_768 || counters.Counters.cells > 0)
+      && Result.is_ok
+           (Anyseq_bio.Alignment.rescore
+              ~subst:scheme.Anyseq_scoring.Scheme.subst
+              ~gap:scheme.Anyseq_scoring.Scheme.gap ~query:q ~subject:s alignment))
+
+let test_gpu_last_rows_match_cpu () =
+  let rng = Rng.create ~seed:97 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:150 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:170 in
+  List.iter
+    (fun (scheme, tb) ->
+      let counters = Counters.create () in
+      let gh, ge_ =
+        Align_kernel.last_rows
+          ~params:{ Align_kernel.tile = 64; block = 16; layout = `Coalesced }
+          ~counters scheme ~tb ~query:(Sequence.view q) ~subject:(Sequence.view s)
+      in
+      let ch, ce =
+        Anyseq_core.Dp_linear.last_rows scheme ~tb ~query:(Sequence.view q)
+          ~subject:(Sequence.view s)
+      in
+      Alcotest.(check (array int)) "H row" ch gh;
+      Alcotest.(check (array int)) "E row" ce ge_)
+    [ (Scheme.paper_affine, 2); (Scheme.paper_affine, 0); (Scheme.paper_linear, 0) ]
+
+let () =
+  Alcotest.run "gpusim"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "vector add" `Quick test_launch_vector_add;
+          Alcotest.test_case "barrier synchronizes" `Quick test_barrier_synchronizes;
+          Alcotest.test_case "multi-phase pipeline" `Quick test_multi_phase_pipeline;
+          Alcotest.test_case "early-exit barrier semantics" `Quick
+            test_early_exit_barrier_semantics;
+          Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+          Alcotest.test_case "shared limit" `Quick test_shared_limit;
+          Alcotest.test_case "coalescing counts" `Quick test_coalescing_counts;
+          Alcotest.test_case "work/divergence counters" `Quick test_work_and_divergence_counters;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "compute bound" `Quick test_cost_compute_bound;
+          Alcotest.test_case "memory bound" `Quick test_cost_memory_bound;
+          Alcotest.test_case "occupancy scales" `Quick test_cost_occupancy_scales;
+        ] );
+      ( "alignment kernel",
+        [
+          kernel_matches_scalar;
+          Alcotest.test_case "empty sequences" `Quick test_kernel_empty_sequences;
+          Alcotest.test_case "strided costs more" `Quick test_strided_layout_costs_more;
+          Alcotest.test_case "affine memory traffic" `Quick test_affine_does_more_memory;
+          Alcotest.test_case "nvbio params slower" `Quick test_nvbio_params_slower;
+          gpu_traceback_matches;
+          Alcotest.test_case "last_rows = CPU" `Quick test_gpu_last_rows_match_cpu;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+module Scheme = Anyseq_scoring.Scheme
+module Bounds = Anyseq_scoring.Bounds
+module Substitution = Anyseq_bio.Substitution
+module Gaps = Anyseq_bio.Gaps
+module Alphabet = Anyseq_bio.Alphabet
+
+let test_scheme_presets () =
+  Alcotest.(check bool) "paper linear is linear" false (Scheme.is_affine Scheme.paper_linear);
+  Alcotest.(check bool) "paper affine is affine" true (Scheme.is_affine Scheme.paper_affine);
+  Alcotest.(check int) "match" 2 (Scheme.subst_score Scheme.paper_linear 0 0);
+  Alcotest.(check int) "mismatch" (-1) (Scheme.subst_score Scheme.paper_linear 0 1);
+  Alcotest.(check int) "paper affine go" 2 (Gaps.open_cost Scheme.paper_affine.Scheme.gap);
+  Alcotest.(check int) "paper affine ge" 1 (Gaps.extend_cost Scheme.paper_affine.Scheme.gap);
+  Alcotest.(check string) "alphabet" "dna4" (Alphabet.name (Scheme.alphabet Scheme.paper_linear));
+  Alcotest.(check string) "blosum alphabet" "protein"
+    (Alphabet.name (Scheme.alphabet Scheme.blosum62_affine))
+
+let test_scheme_naming () =
+  let s = Scheme.dna_simple_linear ~match_:1 ~mismatch:(-3) ~gap_extend:2 in
+  Alcotest.(check bool) "name mentions scores" true
+    (Helpers.contains_sub (Scheme.to_string s) "+1/-3");
+  let custom = Scheme.make ~name:"my-scheme" Substitution.blosum62 (Gaps.linear 1) in
+  Alcotest.(check string) "explicit name" "my-scheme" (Scheme.to_string custom)
+
+let test_as_simple_detection () =
+  Alcotest.(check (option (pair int int))) "simple detected" (Some (2, -1))
+    (Substitution.as_simple Scheme.paper_linear.Scheme.subst);
+  Alcotest.(check (option (pair int int))) "blosum not simple" None
+    (Substitution.as_simple Substitution.blosum62)
+
+(* ------------------------------------------------------------------ *)
+(* Bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_range_basics () =
+  (* 1x1 block of the paper scheme: hi = one match, lo = one mismatch or
+     the one-step gap, whichever is colder. *)
+  let lo, hi = Bounds.differential_range Scheme.paper_linear ~rows:1 ~cols:1 in
+  Alcotest.(check int) "hi 1x1" 2 hi;
+  Alcotest.(check int) "lo 1x1" (-1) lo;
+  let lo2, hi2 = Bounds.differential_range Scheme.paper_linear ~rows:10 ~cols:10 in
+  Alcotest.(check int) "hi 10x10 all matches" 20 hi2;
+  Alcotest.(check bool) "lo negative" true (lo2 <= -10)
+
+let test_differential_range_grows () =
+  let lo1, hi1 = Bounds.differential_range Scheme.paper_affine ~rows:8 ~cols:8 in
+  let lo2, hi2 = Bounds.differential_range Scheme.paper_affine ~rows:64 ~cols:64 in
+  Alcotest.(check bool) "hi grows" true (hi2 > hi1);
+  Alcotest.(check bool) "lo shrinks" true (lo2 < lo1)
+
+let test_differential_rectangular () =
+  (* For a flat wide block the cold edge walk dominates. *)
+  let lo, _ = Bounds.differential_range Scheme.paper_linear ~rows:1 ~cols:100 in
+  Alcotest.(check bool) "edge gap dominates" true (lo <= -100)
+
+let test_fits () =
+  Alcotest.(check bool) "small block fits 16 bits" true
+    (Bounds.fits Scheme.paper_linear ~rows:512 ~cols:512 ~bits:16);
+  Alcotest.(check bool) "huge block overflows 8 bits" false
+    (Bounds.fits Scheme.paper_linear ~rows:512 ~cols:512 ~bits:8);
+  Alcotest.check_raises "bits range" (Invalid_argument "Bounds.fits: bits must be in 2..62")
+    (fun () -> ignore (Bounds.fits Scheme.paper_linear ~rows:1 ~cols:1 ~bits:1))
+
+let test_max_square_block () =
+  let b = Bounds.max_square_block Scheme.paper_linear ~bits:16 in
+  Alcotest.(check bool) "feasible at b" true
+    (Bounds.fits Scheme.paper_linear ~rows:b ~cols:b ~bits:16);
+  Alcotest.(check bool) "infeasible at b+1" false
+    (Bounds.fits Scheme.paper_linear ~rows:(b + 1) ~cols:(b + 1) ~bits:16);
+  (* 16-bit with +2 per match: hi = 2b <= 32767 -> b <= 16383 *)
+  Alcotest.(check int) "paper scheme block bound" 16383 b
+
+let test_max_square_block_degenerate () =
+  (* A scheme so hot even 1x1 overflows the tiny width. *)
+  let subst = Substitution.simple Alphabet.dna4 ~match_:100 ~mismatch:(-100) in
+  let scheme = Scheme.make subst (Gaps.linear 1) in
+  Alcotest.(check int) "zero when nothing fits" 0 (Bounds.max_square_block scheme ~bits:2)
+
+let fits_monotone =
+  Helpers.qtest ~count:100 "fits is monotone in block size"
+    QCheck2.Gen.(tup2 (1 -- 200) (1 -- 200))
+    (fun (r, c) ->
+      let f1 = Bounds.fits Scheme.paper_affine ~rows:r ~cols:c ~bits:12 in
+      let f2 = Bounds.fits Scheme.paper_affine ~rows:(r + 1) ~cols:(c + 1) ~bits:12 in
+      (not f2) || f1)
+
+let () =
+  Alcotest.run "scoring"
+    [
+      ( "scheme",
+        [
+          Alcotest.test_case "presets" `Quick test_scheme_presets;
+          Alcotest.test_case "naming" `Quick test_scheme_naming;
+          Alcotest.test_case "as_simple" `Quick test_as_simple_detection;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "differential basics" `Quick test_differential_range_basics;
+          Alcotest.test_case "range grows" `Quick test_differential_range_grows;
+          Alcotest.test_case "rectangular" `Quick test_differential_rectangular;
+          Alcotest.test_case "fits" `Quick test_fits;
+          Alcotest.test_case "max square block" `Quick test_max_square_block;
+          Alcotest.test_case "degenerate" `Quick test_max_square_block_degenerate;
+          fits_monotone;
+        ] );
+    ]

@@ -1,0 +1,234 @@
+module Lanes = Anyseq_simd.Lanes
+module Inter_seq = Anyseq_simd.Inter_seq
+module Blocked = Anyseq_simd.Blocked
+module Sequence = Anyseq_bio.Sequence
+module Alphabet = Anyseq_bio.Alphabet
+module Scheme = Anyseq_scoring.Scheme
+module T = Anyseq_core.Types
+module Rng = Anyseq_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Lanes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_lanes_create_and_saturate () =
+  let v = Lanes.create ~width:4 100_000 in
+  Alcotest.(check int) "construction saturates" Lanes.max_value (Lanes.get v 0);
+  Lanes.set v 1 (-100_000);
+  Alcotest.(check int) "set saturates" Lanes.min_value (Lanes.get v 1);
+  Alcotest.(check int) "width" 4 (Lanes.width v)
+
+let test_lanes_adds_saturating () =
+  let a = Lanes.of_array [| 32000; -32000; 5; 0 |] in
+  let b = Lanes.of_array [| 2000; -2000; 7; 0 |] in
+  let dst = Lanes.create ~width:4 0 in
+  Lanes.adds ~dst a b;
+  Alcotest.(check (array int)) "saturating add"
+    [| Lanes.max_value; Lanes.min_value; 12; 0 |]
+    (Lanes.to_array dst);
+  Lanes.subs ~dst a b;
+  Alcotest.(check int) "saturating sub stays" 30000 (Lanes.get dst 0)
+
+let test_lanes_scalar_ops () =
+  let a = Lanes.of_array [| 1; 2; 3 |] in
+  let dst = Lanes.create ~width:3 0 in
+  Lanes.adds_scalar ~dst a 10;
+  Alcotest.(check (array int)) "adds_scalar" [| 11; 12; 13 |] (Lanes.to_array dst);
+  Lanes.subs_scalar ~dst a 1;
+  Alcotest.(check (array int)) "subs_scalar" [| 0; 1; 2 |] (Lanes.to_array dst)
+
+let test_lanes_minmax_blend () =
+  let a = Lanes.of_array [| 1; 9; 5 |] and b = Lanes.of_array [| 3; 2; 5 |] in
+  let dst = Lanes.create ~width:3 0 in
+  Lanes.max_ ~dst a b;
+  Alcotest.(check (array int)) "max" [| 3; 9; 5 |] (Lanes.to_array dst);
+  Lanes.min_ ~dst a b;
+  Alcotest.(check (array int)) "min" [| 1; 2; 5 |] (Lanes.to_array dst);
+  let mask = Lanes.of_array [| -1; 0; -1 |] in
+  Lanes.blend ~dst ~mask a b;
+  Alcotest.(check (array int)) "blend" [| 1; 2; 5 |] (Lanes.to_array dst)
+
+let test_lanes_compares () =
+  let a = Lanes.of_array [| 1; 5; 5 |] and b = Lanes.of_array [| 5; 5; 1 |] in
+  let dst = Lanes.create ~width:3 0 in
+  Lanes.cmpeq ~dst a b;
+  Alcotest.(check (array int)) "cmpeq" [| 0; -1; 0 |] (Lanes.to_array dst);
+  Lanes.cmpgt ~dst a b;
+  Alcotest.(check (array int)) "cmpgt" [| 0; 0; -1 |] (Lanes.to_array dst)
+
+let test_lanes_shift_horizontal () =
+  let a = Lanes.of_array [| 10; 20; 30 |] in
+  let dst = Lanes.create ~width:3 0 in
+  Lanes.shift_up ~dst a ~fill:(-7);
+  Alcotest.(check (array int)) "shift up" [| -7; 10; 20 |] (Lanes.to_array dst);
+  Alcotest.(check int) "horizontal max" 30 (Lanes.horizontal_max a);
+  Alcotest.(check int) "horizontal min" 10 (Lanes.horizontal_min a);
+  Alcotest.check_raises "alias rejected"
+    (Invalid_argument "Lanes.shift_up: dst must not alias source") (fun () ->
+      Lanes.shift_up ~dst:a a ~fill:0)
+
+let test_lanes_width_mismatch () =
+  let a = Lanes.create ~width:3 0 and b = Lanes.create ~width:4 0 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Lanes: width mismatch") (fun () ->
+      Lanes.adds ~dst:a a b)
+
+let test_lanes_op_count () =
+  Lanes.reset_op_count ();
+  let a = Lanes.create ~width:8 1 in
+  let dst = Lanes.create ~width:8 0 in
+  Lanes.adds ~dst a a;
+  Lanes.max_ ~dst dst a;
+  Alcotest.(check bool) "ops counted" true (Lanes.op_count () >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Inter-sequence batch kernel                                         *)
+(* ------------------------------------------------------------------ *)
+
+let batch_gen =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      (* several shape groups, some full lanes, some remainders *)
+      Array.init 37 (fun i ->
+          let shape = i mod 3 in
+          let n = [| 18; 25; 31 |].(shape) and m = [| 20; 25; 28 |].(shape) in
+          ( Sequence.random rng Alphabet.dna4 ~len:n,
+            Sequence.random rng Alphabet.dna4 ~len:m )))
+    QCheck2.Gen.nat
+
+let batch_matches_scalar =
+  Helpers.qtest ~count:40 "inter_seq batch = scalar engine (ends included)"
+    QCheck2.Gen.(
+      tup3 batch_gen
+        (oneofl (List.map snd Helpers.schemes_under_test))
+        (oneofl Helpers.modes_under_test))
+    (fun (pairs, scheme, mode) ->
+      let batch = Inter_seq.batch_score ~lanes:8 scheme mode pairs in
+      Array.for_all2
+        (fun got (q, s) ->
+          got
+          = Anyseq_core.Dp_linear.score_only scheme mode ~query:(Sequence.view q)
+              ~subject:(Sequence.view s))
+        batch pairs)
+
+let batch_matrix_scheme =
+  Helpers.qtest ~count:20 "inter_seq gathers matrix schemes correctly"
+    QCheck2.Gen.nat
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let pairs =
+        Array.init 20 (fun _ ->
+            ( Sequence.random rng Alphabet.protein ~len:17,
+              Sequence.random rng Alphabet.protein ~len:19 ))
+      in
+      let scheme = Scheme.blosum62_affine in
+      let batch = Inter_seq.batch_score ~lanes:4 scheme T.Local pairs in
+      Array.for_all2
+        (fun got (q, s) ->
+          got.T.score
+          = (Anyseq_core.Dp_linear.score_only scheme T.Local ~query:(Sequence.view q)
+               ~subject:(Sequence.view s))
+              .T.score)
+        batch pairs)
+
+let test_batch_empty_and_degenerate () =
+  let scheme = Scheme.paper_linear in
+  Alcotest.(check int) "empty batch" 0
+    (Array.length (Inter_seq.batch_score scheme T.Global [||]));
+  let rng = Rng.create ~seed:3 in
+  let pairs =
+    [|
+      (Sequence.of_string Alphabet.dna4 "", Sequence.random rng Alphabet.dna4 ~len:5);
+      (Sequence.random rng Alphabet.dna4 ~len:5, Sequence.of_string Alphabet.dna4 "");
+    |]
+  in
+  let out = Inter_seq.batch_score scheme T.Global pairs in
+  Alcotest.(check int) "empty query goes scalar" (-5) out.(0).T.score;
+  Alcotest.(check int) "empty subject goes scalar" (-5) out.(1).T.score
+
+let test_vectorizable_fraction () =
+  let rng = Rng.create ~seed:5 in
+  let uniform =
+    Array.init 32 (fun _ ->
+        (Sequence.random rng Alphabet.dna4 ~len:10, Sequence.random rng Alphabet.dna4 ~len:10))
+  in
+  Alcotest.(check (float 1e-9)) "uniform batch fully vectorizable" 1.0
+    (Inter_seq.vectorizable_fraction ~lanes:8 Scheme.paper_linear uniform);
+  let ragged = Array.sub uniform 0 5 in
+  Alcotest.(check (float 1e-9)) "undersized group falls back" 0.0
+    (Inter_seq.vectorizable_fraction ~lanes:8 Scheme.paper_linear ragged)
+
+(* ------------------------------------------------------------------ *)
+(* Blocked long-genome kernel                                          *)
+(* ------------------------------------------------------------------ *)
+
+let blocked_matches_scalar =
+  Helpers.qtest ~count:25 "blocked tile vectors = scalar (global)"
+    QCheck2.Gen.(
+      tup3
+        (map (fun seed ->
+             let rng = Rng.create ~seed in
+             Helpers.random_pair rng ~max_len:300) nat)
+        (oneofl [ Scheme.paper_linear; Scheme.paper_affine ])
+        (oneofl [ 16; 32; 48 ]))
+    (fun ((q, s), scheme, tile) ->
+      let expected =
+        (Anyseq_core.Dp_linear.score_only scheme T.Global ~query:(Sequence.view q)
+           ~subject:(Sequence.view s))
+          .T.score
+      in
+      (Blocked.score_vectorized ~lanes:4 ~tile scheme T.Global ~query:q ~subject:s).T.score
+      = expected)
+
+let test_blocked_feasibility () =
+  Alcotest.(check bool) "paper scheme feasible at 256" true
+    (Blocked.feasible_tile Scheme.paper_linear ~tile:256);
+  let hot =
+    Scheme.make
+      (Anyseq_bio.Substitution.simple Alphabet.dna4 ~match_:1000 ~mismatch:(-1000))
+      (Anyseq_bio.Gaps.linear 500)
+  in
+  Alcotest.(check bool) "hot scheme infeasible" false (Blocked.feasible_tile hot ~tile:256)
+
+let test_blocked_local_falls_back () =
+  (* Local mode must still be correct (scalar fallback inside). *)
+  let rng = Rng.create ~seed:9 in
+  let q = Sequence.random rng Alphabet.dna4 ~len:120 in
+  let s = Sequence.random rng Alphabet.dna4 ~len:140 in
+  let scheme = Scheme.paper_linear in
+  let expected =
+    (Anyseq_core.Dp_linear.score_only scheme T.Local ~query:(Sequence.view q)
+       ~subject:(Sequence.view s))
+      .T.score
+  in
+  Alcotest.(check int) "local score" expected
+    (Blocked.score_vectorized ~lanes:4 ~tile:32 scheme T.Local ~query:q ~subject:s).T.score
+
+let () =
+  Alcotest.run "simd"
+    [
+      ( "lanes",
+        [
+          Alcotest.test_case "create/saturate" `Quick test_lanes_create_and_saturate;
+          Alcotest.test_case "saturating add/sub" `Quick test_lanes_adds_saturating;
+          Alcotest.test_case "scalar ops" `Quick test_lanes_scalar_ops;
+          Alcotest.test_case "min/max/blend" `Quick test_lanes_minmax_blend;
+          Alcotest.test_case "compares" `Quick test_lanes_compares;
+          Alcotest.test_case "shift/horizontal" `Quick test_lanes_shift_horizontal;
+          Alcotest.test_case "width mismatch" `Quick test_lanes_width_mismatch;
+          Alcotest.test_case "op count" `Quick test_lanes_op_count;
+        ] );
+      ( "inter_seq",
+        [
+          batch_matches_scalar;
+          batch_matrix_scheme;
+          Alcotest.test_case "empty/degenerate" `Quick test_batch_empty_and_degenerate;
+          Alcotest.test_case "vectorizable fraction" `Quick test_vectorizable_fraction;
+        ] );
+      ( "blocked",
+        [
+          blocked_matches_scalar;
+          Alcotest.test_case "feasibility" `Quick test_blocked_feasibility;
+          Alcotest.test_case "local fallback" `Quick test_blocked_local_falls_back;
+        ] );
+    ]

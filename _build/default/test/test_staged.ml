@@ -1,0 +1,362 @@
+module E = Anyseq_staged.Expr
+module Pe = Anyseq_staged.Pe
+module Compile = Anyseq_staged.Compile
+module Gen = Anyseq_staged.Gen
+
+let pow_program filter =
+  let open E in
+  [
+    {
+      name = "pow";
+      params = [ "x"; "n" ];
+      filter;
+      body =
+        if_
+          (Binop (Le, var "n", int 0))
+          (int 1)
+          (Binop (Mul, var "x", Call ("pow", [ var "x"; Binop (Sub, var "n", int 1) ])));
+    };
+  ]
+
+let run_pe ?static_arrays ?fuel ~program ~env e =
+  match Pe.run ?static_arrays ?fuel ~program ~env e with
+  | Ok r -> r
+  | Error err -> Alcotest.failf "PE failed: %s" (Pe.error_to_string err)
+
+(* ------------------------------------------------------------------ *)
+(* Expr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_expr_size_and_free_vars () =
+  let open E in
+  let e = let_ "a" (Binop (Add, var "x", int 1)) (Binop (Mul, var "a", var "y")) in
+  Alcotest.(check int) "size" 7 (size e);
+  Alcotest.(check (list string)) "free vars" [ "x"; "y" ] (free_vars e);
+  Alcotest.(check (list string)) "bound var not free" [ "x" ]
+    (free_vars (let_ "y" (var "x") (var "y")))
+
+let test_expr_pp () =
+  let open E in
+  let text = to_string (Binop (Add, var "x", int 2)) in
+  Alcotest.(check bool) "prints infix" true (Helpers.contains_sub text "x + 2")
+
+(* ------------------------------------------------------------------ *)
+(* Partial evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pe_constant_folding () =
+  let open E in
+  let r = run_pe ~program:[] ~env:[] (Binop (Add, int 2, Binop (Mul, int 3, int 4))) in
+  Alcotest.(check string) "folds" "14" (E.to_string r.Pe.entry)
+
+let test_pe_algebraic_simplification () =
+  let open E in
+  let check name e expected =
+    let r = run_pe ~program:[] ~env:[] e in
+    Alcotest.(check string) name expected (E.to_string r.Pe.entry)
+  in
+  check "x + 0" (Binop (Add, var "x", int 0)) "x";
+  check "1 * x" (Binop (Mul, int 1, var "x")) "x";
+  check "x * 0" (Binop (Mul, var "x", int 0)) "0";
+  check "true && b" (Binop (And, Bool true, var "b")) "b";
+  check "false || b" (Binop (Or, Bool false, var "b")) "b"
+
+let test_pe_static_if () =
+  let open E in
+  let e = if_ (Binop (Lt, int 1, int 2)) (var "a") (Call ("missing", [])) in
+  (* the dead branch must not even be resolved *)
+  let r = run_pe ~program:[] ~env:[] e in
+  Alcotest.(check string) "selects branch" "a" (E.to_string r.Pe.entry)
+
+let test_pe_let_inlining () =
+  let open E in
+  let e = let_ "k" (int 5) (Binop (Add, var "k", var "x")) in
+  let r = run_pe ~program:[] ~env:[] e in
+  Alcotest.(check string) "static let inlined" "(5 + x)" (E.to_string r.Pe.entry)
+
+let test_pe_dynamic_let_kept () =
+  let open E in
+  let e = let_ "k" (Binop (Add, var "x", int 1)) (Binop (Mul, var "k", var "k")) in
+  let r = run_pe ~program:[] ~env:[] e in
+  Alcotest.(check bool) "dynamic let residualized" true
+    (Helpers.contains_sub (E.to_string r.Pe.entry) "let")
+
+let test_pe_pow_unrolls () =
+  let program = pow_program (E.When_static [ "n" ]) in
+  let r =
+    run_pe ~program ~env:[ ("n", Pe.VInt 5) ] (E.Call ("pow", [ E.var "x"; E.var "n" ]))
+  in
+  Alcotest.(check string) "loop-less multiplications" "(x * (x * (x * (x * x))))"
+    (E.to_string r.Pe.entry);
+  Alcotest.(check int) "no residual functions" 0 (List.length r.Pe.fns)
+
+let test_pe_pow_folds_fully () =
+  let program = pow_program (E.When_static [ "n" ]) in
+  let r =
+    run_pe ~program
+      ~env:[ ("x", Pe.VInt 3); ("n", Pe.VInt 5) ]
+      (E.Call ("pow", [ E.var "x"; E.var "n" ]))
+  in
+  Alcotest.(check string) "evaluates" "243" (E.to_string r.Pe.entry)
+
+let test_pe_pow_dynamic_residualizes () =
+  let program = pow_program (E.When_static [ "n" ]) in
+  let r = run_pe ~program ~env:[] (E.Call ("pow", [ E.var "x"; E.var "n" ])) in
+  Alcotest.(check int) "one residual recursive function" 1 (List.length r.Pe.fns);
+  (* and the residual is runnable *)
+  let env = { Compile.empty_env with ints = [ ("x", 2); ("n", 10) ] } in
+  (match Compile.interpret r env with
+  | Ok v -> Alcotest.(check int) "2^10" 1024 v
+  | Error e -> Alcotest.fail (Compile.error_to_string e))
+
+let test_pe_polyvariance () =
+  (* Two static variants of the same function coexist. *)
+  let open E in
+  let program =
+    [
+      { name = "addk"; params = [ "x"; "k" ]; filter = Never; body = Binop (Add, var "x", var "k") };
+    ]
+  in
+  let e = Binop (Add, Call ("addk", [ var "x"; int 1 ]), Call ("addk", [ var "x"; int 2 ])) in
+  let r = run_pe ~program ~env:[] e in
+  Alcotest.(check int) "two specializations" 2 (List.length r.Pe.fns);
+  let env = { Compile.empty_env with ints = [ ("x", 10) ] } in
+  (match Compile.interpret r env with
+  | Ok v -> Alcotest.(check int) "evaluates" 23 v
+  | Error err -> Alcotest.fail (Compile.error_to_string err))
+
+let test_pe_memoizes_specializations () =
+  let open E in
+  let program =
+    [
+      { name = "addk"; params = [ "x"; "k" ]; filter = Never; body = Binop (Add, var "x", var "k") };
+    ]
+  in
+  let e = Binop (Add, Call ("addk", [ var "x"; int 1 ]), Call ("addk", [ var "y"; int 1 ])) in
+  let r = run_pe ~program ~env:[] e in
+  Alcotest.(check int) "same static args share one variant" 1 (List.length r.Pe.fns)
+
+let test_pe_static_array_folding () =
+  let open E in
+  let r =
+    run_pe
+      ~static_arrays:[ ("m", [| 10; 20; 30 |]) ]
+      ~program:[] ~env:[ ("i", Pe.VInt 2) ]
+      (Read ("m", var "i"))
+  in
+  Alcotest.(check string) "folded read" "30" (E.to_string r.Pe.entry);
+  let r2 = run_pe ~static_arrays:[ ("m", [| 1 |]) ] ~program:[] ~env:[] (Read ("m", var "i")) in
+  Alcotest.(check bool) "dynamic index stays a read" true
+    (Helpers.contains_sub (E.to_string r2.Pe.entry) "m[")
+
+let test_pe_errors () =
+  (match Pe.run ~program:[] ~env:[] (E.Call ("nope", [])) with
+  | Error (Pe.Unknown_function "nope") -> ()
+  | _ -> Alcotest.fail "expected unknown function");
+  (match Pe.run ~program:[] ~env:[] (E.Binop (E.Div, E.Int 1, E.Int 0)) with
+  | Error Pe.Division_by_zero -> ()
+  | _ -> Alcotest.fail "expected division by zero");
+  (match
+     Pe.run ~fuel:10
+       ~program:(pow_program E.Always)
+       ~env:[]
+       (E.Call ("pow", [ E.var "x"; E.var "n" ]))
+   with
+  | Error (Pe.Out_of_fuel _) -> ()
+  | _ -> Alcotest.fail "expected out-of-fuel on unbounded Always unfolding");
+  match Pe.run ~program:[] ~env:[] (E.Binop (E.Add, E.Bool true, E.Int 1)) with
+  | Error (Pe.Type_error _) -> ()
+  | _ -> Alcotest.fail "expected type error"
+
+(* ------------------------------------------------------------------ *)
+(* Compile: interpreter vs closure compiler                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Random closed integer expressions over variables a,b and array arr. *)
+let expr_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self size ->
+      if size <= 1 then
+        oneof [ map (fun n -> E.Int (n mod 100)) int; oneofl [ E.Var "a"; E.Var "b" ] ]
+      else
+        let sub = self (size / 2) in
+        oneof
+          [
+            map2 (fun a b -> E.Binop (E.Add, a, b)) sub sub;
+            map2 (fun a b -> E.Binop (E.Sub, a, b)) sub sub;
+            map2 (fun a b -> E.Binop (E.Mul, a, b)) sub sub;
+            map2 (fun a b -> E.max_ a b) sub sub;
+            map2 (fun a b -> E.min_ a b) sub sub;
+            map3 (fun c a b -> E.if_ (E.Binop (E.Lt, c, E.Int 50)) a b) sub sub sub;
+            map2 (fun rhs body -> E.let_ "t" rhs (E.Binop (E.Add, body, E.Var "t"))) sub sub;
+            map (fun idx -> E.Read ("arr", E.max_ (E.Int 0) (E.min_ idx (E.Int 7)))) sub;
+          ])
+
+let interp_equals_compiled =
+  Helpers.qtest ~count:300 "interpreter = closure compiler"
+    QCheck2.Gen.(triple expr_gen (int_bound 100) (int_bound 100))
+    (fun (e, a, b) ->
+      let residual = { Pe.entry = e; fns = [] } in
+      let env =
+        {
+          Compile.ints = [ ("a", a); ("b", b) ];
+          bools = [];
+          arrays = [ ("arr", Array.init 8 (fun i -> i * 7)) ];
+        }
+      in
+      let via_interp = Compile.interpret residual env in
+      let via_compile =
+        match Compile.compile residual with
+        | Ok c -> Compile.run_compiled c env
+        | Error e -> Error e
+      in
+      via_interp = via_compile)
+
+let pe_preserves_semantics =
+  Helpers.qtest ~count:300 "PE residual evaluates like the original"
+    QCheck2.Gen.(triple expr_gen (int_bound 100) (int_bound 100))
+    (fun (e, a, b) ->
+      let arrays = [ ("arr", Array.init 8 (fun i -> i * 7)) ] in
+      let env = { Compile.ints = [ ("a", a); ("b", b) ]; bools = []; arrays } in
+      let original = Compile.interpret { Pe.entry = e; fns = [] } env in
+      (* specialize with a static, keep b dynamic *)
+      match Pe.run ~static_arrays:arrays ~program:[] ~env:[ ("a", Pe.VInt a) ] e with
+      | Error _ -> false
+      | Ok residual ->
+          let specialized =
+            Compile.interpret residual { env with Compile.ints = [ ("b", b) ] }
+          in
+          original = specialized)
+
+let test_compile_errors () =
+  let residual = { Pe.entry = E.Var "missing"; fns = [] } in
+  (match Compile.interpret residual Compile.empty_env with
+  | Error (Compile.Unbound_variable "missing") -> ()
+  | _ -> Alcotest.fail "expected unbound variable");
+  let residual = { Pe.entry = E.Read ("arr", E.Int 99); fns = [] } in
+  (match
+     Compile.interpret residual { Compile.empty_env with arrays = [ ("arr", [| 1 |]) ] }
+   with
+  | Error (Compile.Index_out_of_bounds ("arr", 99)) -> ()
+  | _ -> Alcotest.fail "expected out of bounds");
+  match Compile.compile { Pe.entry = E.Call ("ghost", []); fns = [] } with
+  | Error (Compile.Unknown_function "ghost") -> ()
+  | _ -> Alcotest.fail "expected unknown function at compile time"
+
+let test_op_count () =
+  let r = { Pe.entry = E.Binop (E.Add, E.Int 1, E.Int 2); fns = [] } in
+  Alcotest.(check int) "op count" 3 (Compile.op_count r)
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let collect1 loop a b =
+  let acc = ref [] in
+  loop a b (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let test_gen_range () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (collect1 Gen.range 2 5);
+  Alcotest.(check (list int)) "empty" [] (collect1 Gen.range 5 5);
+  Alcotest.(check (list int)) "rev" [ 4; 3; 2 ] (collect1 Gen.range_rev 2 5);
+  Alcotest.(check (list int)) "step" [ 0; 3; 6; 9 ] (collect1 (Gen.step 3) 0 10)
+
+let test_gen_unrolled_calls () =
+  Alcotest.(check (list int)) "unrolled = range" (collect1 Gen.range 0 10)
+    (collect1 (Gen.unrolled_calls ~factor:4) 0 10)
+
+let cover2 loop x0 x1 y0 y1 =
+  let acc = ref [] in
+  loop x0 x1 y0 y1 (fun x y -> acc := (x, y) :: !acc);
+  List.rev !acc
+
+let full_cover_sorted cells = List.sort compare cells
+
+let test_gen_combine () =
+  let cells = cover2 (Gen.combine Gen.range Gen.range) 0 2 0 3 in
+  Alcotest.(check int) "count" 6 (List.length cells);
+  Alcotest.(check (list (pair int int))) "row major"
+    [ (0, 0); (0, 1); (0, 2); (1, 0); (1, 1); (1, 2) ]
+    cells
+
+let gen_tile_covers =
+  Helpers.qtest ~count:100 "tile2 covers the rectangle exactly once"
+    QCheck2.Gen.(
+      tup4 (1 -- 7) (1 -- 7) (0 -- 9) (0 -- 9))
+    (fun (tx, ty, nx, ny) ->
+      let inter = Gen.combine Gen.range Gen.range in
+      let intra = Gen.combine Gen.range Gen.range in
+      let cells = cover2 (Gen.tile2 ~tile_x:tx ~tile_y:ty ~inter ~intra) 0 nx 0 ny in
+      let expected =
+        List.concat_map (fun x -> List.init ny (fun y -> (x, y))) (List.init nx Fun.id)
+      in
+      full_cover_sorted cells = full_cover_sorted expected)
+
+let gen_diagonal_covers =
+  Helpers.qtest ~count:100 "diagonal2 covers exactly once in wavefront order"
+    QCheck2.Gen.(tup2 (0 -- 9) (0 -- 9))
+    (fun (nx, ny) ->
+      let cells = cover2 Gen.diagonal2 0 nx 0 ny in
+      let expected =
+        List.concat_map (fun x -> List.init ny (fun y -> (x, y))) (List.init nx Fun.id)
+      in
+      full_cover_sorted cells = full_cover_sorted expected
+      &&
+      (* anti-diagonal indices are non-decreasing *)
+      let ds = List.map (fun (x, y) -> x + y) cells in
+      List.sort compare ds = ds)
+
+let test_gen_chunked () =
+  Alcotest.(check (list int)) "chunked covers in order" (collect1 Gen.range 3 11)
+    (collect1 (Gen.chunked ~chunk:3 Gen.range) 3 11)
+
+let test_gen_validation () =
+  Alcotest.check_raises "step 0" (Invalid_argument "Gen.step: step must be positive")
+    (fun () -> Gen.step 0 0 1 ignore);
+  Alcotest.check_raises "tile 0" (Invalid_argument "Gen.tile2: tile sizes must be positive")
+    (fun () ->
+      Gen.tile2 ~tile_x:0 ~tile_y:1 ~inter:Gen.diagonal2 ~intra:Gen.diagonal2 0 1 0 1
+        (fun _ _ -> ()))
+
+let () =
+  Alcotest.run "staged"
+    [
+      ( "expr",
+        [
+          Alcotest.test_case "size and free vars" `Quick test_expr_size_and_free_vars;
+          Alcotest.test_case "pretty printing" `Quick test_expr_pp;
+        ] );
+      ( "pe",
+        [
+          Alcotest.test_case "constant folding" `Quick test_pe_constant_folding;
+          Alcotest.test_case "algebraic simplification" `Quick test_pe_algebraic_simplification;
+          Alcotest.test_case "static if" `Quick test_pe_static_if;
+          Alcotest.test_case "let inlining" `Quick test_pe_let_inlining;
+          Alcotest.test_case "dynamic let kept" `Quick test_pe_dynamic_let_kept;
+          Alcotest.test_case "pow unrolls (paper §II-B)" `Quick test_pe_pow_unrolls;
+          Alcotest.test_case "pow folds fully" `Quick test_pe_pow_folds_fully;
+          Alcotest.test_case "pow residualizes" `Quick test_pe_pow_dynamic_residualizes;
+          Alcotest.test_case "polyvariance" `Quick test_pe_polyvariance;
+          Alcotest.test_case "memoization" `Quick test_pe_memoizes_specializations;
+          Alcotest.test_case "static array folding" `Quick test_pe_static_array_folding;
+          Alcotest.test_case "errors" `Quick test_pe_errors;
+        ] );
+      ( "compile",
+        [
+          interp_equals_compiled;
+          pe_preserves_semantics;
+          Alcotest.test_case "errors" `Quick test_compile_errors;
+          Alcotest.test_case "op count" `Quick test_op_count;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "range/step" `Quick test_gen_range;
+          Alcotest.test_case "unrolled calls" `Quick test_gen_unrolled_calls;
+          Alcotest.test_case "combine" `Quick test_gen_combine;
+          gen_tile_covers;
+          gen_diagonal_covers;
+          Alcotest.test_case "chunked" `Quick test_gen_chunked;
+          Alcotest.test_case "validation" `Quick test_gen_validation;
+        ] );
+    ]

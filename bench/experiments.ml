@@ -498,6 +498,10 @@ let run_ablation cfg =
   in
   Tablefmt.add_row t [ "native specialized loop"; "-"; Tablefmt.cell_float ~decimals:2 native ];
   Tablefmt.print t;
+  Printf.printf
+    "A4 analyzer gate: %s on the specialized kernels (typecheck, termination,\n\
+     binding-time completeness, dispatch-freedom lint)\n"
+    (Anyseq.Findings.report (Anyseq.Staged_kernel.analyze scheme T.Global));
 
   (* A5: co-scheduling of several concurrent alignments (Fig. 3). *)
   let t =

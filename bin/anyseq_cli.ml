@@ -210,9 +210,58 @@ let overlap_cmd =
     (Cmd.info "overlap" ~doc:"Dovetail overlap between two sequences (assembly-style).")
     Term.(const run $ a_t $ b_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
 
+let analyze_cmd =
+  let strict_t =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit with status 1 if any finding is reported.")
+  in
+  let verbose_t =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Also print per-pass detail for clean configurations.")
+  in
+  let modes =
+    [ ("global", Anyseq.Types.Global); ("semiglobal", Anyseq.Types.Semiglobal);
+      ("local", Anyseq.Types.Local) ]
+  in
+  let run strict verbose =
+    Printf.printf
+      "staged-IR static analysis: typecheck, termination (call-graph SCC),\n\
+       binding-time completeness, dispatch-freedom lint\n\n";
+    Printf.printf "%-28s %-12s %13s  %s\n" "scheme" "mode" "IR nodes" "findings";
+    let total = ref 0 and configs = ref 0 in
+    List.iter
+      (fun scheme ->
+        List.iter
+          (fun (mode_name, mode) ->
+            incr configs;
+            let findings = Anyseq.Staged_kernel.analyze scheme mode in
+            total := !total + List.length findings;
+            let generic, resid = Anyseq.Staged_kernel.op_counts scheme mode in
+            Printf.printf "%-28s %-12s %5d -> %4d  %d\n"
+              (Anyseq.Scheme.to_string scheme) mode_name generic resid
+              (List.length findings);
+            List.iter
+              (fun f -> Printf.printf "    %s\n" (Anyseq.Findings.to_string f))
+              findings;
+            if verbose && findings = [] then
+              Printf.printf "    all passes clean (residual is dispatch-free)\n")
+          modes)
+      Anyseq.Scheme.builtins;
+    Printf.printf "\n%d finding%s across %d configurations\n" !total
+      (if !total = 1 then "" else "s")
+      !configs;
+    if strict && !total > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically verify every specialized kernel (built-in schemes x modes): \
+          well-typed, terminating specialization, no foldable leftovers, no \
+          configuration dispatch in residuals.")
+    Term.(const run $ strict_t $ verbose_t)
+
 let () =
   let info = Cmd.info "anyseq" ~version:Anyseq.version ~doc:"AnySeq sequence alignment." in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; search_cmd; overlap_cmd ]))
+          [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; search_cmd;
+            overlap_cmd; analyze_cmd ]))

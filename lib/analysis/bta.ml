@@ -1,0 +1,108 @@
+module E = Anyseq_staged.Expr
+module Pe = Anyseq_staged.Pe
+module Sset = Set.Make (String)
+
+type bt = Static | Dynamic
+
+let bt_to_string = function Static -> "static" | Dynamic -> "dynamic"
+let join a b = if a = Static && b = Static then Static else Dynamic
+
+(* [go] under-approximates folding: [Static] means the online partial
+   evaluator is guaranteed to reduce the expression to a literal (or to
+   fail with a PE-time error such as division by a static zero — in which
+   case no residual exists and the claim is vacuous). Unfold decisions
+   mirror Pe's filter semantics exactly; recursion through [visiting] is
+   conservatively dynamic, since without concrete values we cannot see the
+   decreasing argument that makes pow-style unfolding bottom out. *)
+let rec go ~program ~statics ~sarrays ~visiting env e : bt =
+  let recur = go ~program ~statics ~sarrays ~visiting in
+  match e with
+  | E.Int _ | E.Bool _ -> Static
+  | E.Var v -> (
+      match List.assoc_opt v env with
+      | Some bt -> bt
+      | None -> if Sset.mem v statics then Static else Dynamic)
+  | E.Let (v, rhs, body) ->
+      let b = recur env rhs in
+      recur ((v, b) :: env) body
+  | E.If (c, t, f) -> join (recur env c) (join (recur env t) (recur env f))
+  | E.Binop (_, a, b) -> join (recur env a) (recur env b)
+  | E.Neg a -> recur env a
+  | E.Read (arr, idx) -> if List.mem arr sarrays then recur env idx else Dynamic
+  | E.Call (fname, args) -> (
+      let abts = List.map (recur env) args in
+      match E.lookup_fn program fname with
+      | None -> Dynamic
+      | Some fn when List.length fn.E.params <> List.length args -> Dynamic
+      | Some fn ->
+          let bound = List.combine fn.E.params abts in
+          let unfold =
+            match fn.E.filter with
+            | E.Always -> true
+            | E.Never -> false
+            | E.When_static names ->
+                List.for_all (fun n -> List.assoc_opt n bound = Some Static) names
+          in
+          if (not unfold) || Sset.mem fname visiting then Dynamic
+          else
+            go ~program ~statics ~sarrays
+              ~visiting:(Sset.add fname visiting)
+              bound fn.E.body)
+
+let classify ?(program = []) ?(static_vars = []) ?(static_arrays = []) e =
+  go ~program ~statics:(Sset.of_list static_vars) ~sarrays:static_arrays
+    ~visiting:Sset.empty [] e
+
+let trunc s = if String.length s > 60 then String.sub s 0 57 ^ "..." else s
+
+let is_literal = function E.Int _ | E.Bool _ -> true | _ -> false
+
+(* Walk a residual expression looking for specialization leftovers: a
+   mention of a static configuration variable (Pe substitutes those away),
+   or a maximal non-literal subtree BTA classifies as static (Pe folds
+   those to literals). Bound variables shadow static names, and subtrees
+   already reported static are not descended into. *)
+let check_expr ~program ~statics ~sarrays ~where acc e =
+  let classify_in bound e =
+    let env = List.map (fun v -> (v, Dynamic)) (Sset.elements bound) in
+    go ~program ~statics ~sarrays ~visiting:Sset.empty env e
+  in
+  let finding msg = Findings.make ~pass:"bta" ~where msg in
+  let rec walk bound acc e =
+    if (not (is_literal e)) && classify_in bound e = Static then
+      finding
+        (Printf.sprintf "foldable subexpression survived specialization: %s"
+           (trunc (E.to_string e)))
+      :: acc
+    else
+      match e with
+      | E.Int _ | E.Bool _ -> acc
+      | E.Var v ->
+          if Sset.mem v statics && not (Sset.mem v bound) then
+            finding (Printf.sprintf "static configuration variable %s survived in residual" v)
+            :: acc
+          else acc
+      | E.Let (v, rhs, body) -> walk (Sset.add v bound) (walk bound acc rhs) body
+      | E.If (a, b, c) -> walk bound (walk bound (walk bound acc a) b) c
+      | E.Binop (_, a, b) -> walk bound (walk bound acc a) b
+      | E.Neg a -> walk bound acc a
+      | E.Read (_, i) -> walk bound acc i
+      | E.Call (_, args) -> List.fold_left (walk bound) acc args
+  in
+  walk Sset.empty acc e
+
+let check_residual ?(static_vars = []) ?(static_arrays = []) (r : Pe.residual) =
+  let statics = Sset.of_list static_vars in
+  let program = r.Pe.fns in
+  let acc =
+    check_expr ~program ~statics ~sarrays:static_arrays ~where:"entry" [] r.Pe.entry
+  in
+  let acc =
+    List.fold_left
+      (fun acc (f : E.fn) ->
+        (* Residual function parameters are runtime inputs: dynamic. *)
+        let statics = Sset.diff statics (Sset.of_list f.E.params) in
+        check_expr ~program ~statics ~sarrays:static_arrays ~where:f.E.name acc f.E.body)
+      acc r.Pe.fns
+  in
+  List.rev acc

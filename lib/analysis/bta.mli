@@ -1,0 +1,41 @@
+(** Binding-time analysis over the staged IR.
+
+    The offline counterpart of {!Anyseq_staged.Pe}'s online specializer:
+    given only {e which} variables and arrays a caller will supply
+    statically (not their values), {!classify} predicts whether the partial
+    evaluator must fold an expression to a literal. The analysis is a sound
+    under-approximation — [Static] guarantees folding (or a PE-time error,
+    in which case no residual exists); [Dynamic] makes no promise.
+    Unfolding decisions mirror the [Always] / [Never] / [When_static]
+    filter semantics of Impala's [?e] annotations that the paper's §II-B
+    relies on.
+
+    {!check_residual} turns the prediction into a verifier of
+    specialization {e quality}: a residual produced by [Pe.run] under the
+    same static environment must contain no node BTA classifies as static —
+    neither a leftover mention of a static configuration variable nor a
+    constant subtree the evaluator should have folded. *)
+
+type bt = Static | Dynamic
+
+val bt_to_string : bt -> string
+val join : bt -> bt -> bt
+
+val classify :
+  ?program:Anyseq_staged.Expr.program ->
+  ?static_vars:string list ->
+  ?static_arrays:string list ->
+  Anyseq_staged.Expr.expr ->
+  bt
+(** Binding time of an expression whose free variables outside
+    [static_vars] are dynamic inputs. *)
+
+val check_residual :
+  ?static_vars:string list ->
+  ?static_arrays:string list ->
+  Anyseq_staged.Pe.residual ->
+  Findings.t list
+(** Findings for every specialization leftover in a residual: static
+    configuration variables that survived substitution, and maximal
+    non-literal subtrees classified [Static] (reported once, not per
+    node). *)

@@ -1,0 +1,95 @@
+module E = Anyseq_staged.Expr
+
+let rec callees acc = function
+  | E.Int _ | E.Bool _ | E.Var _ -> acc
+  | E.Let (_, a, b) -> callees (callees acc a) b
+  | E.If (a, b, c) -> callees (callees (callees acc a) b) c
+  | E.Binop (_, a, b) -> callees (callees acc a) b
+  | E.Neg a -> callees acc a
+  | E.Read (_, i) -> callees acc i
+  | E.Call (f, args) ->
+      let acc = if List.mem f acc then acc else f :: acc in
+      List.fold_left callees acc args
+
+let calls_of fn = List.rev (callees [] fn.E.body)
+
+let edges program =
+  List.map (fun (f : E.fn) -> (f.E.name, calls_of f)) program
+
+(* Tarjan's strongly-connected components over the program's call graph;
+   staged programs are a handful of functions, so recursion depth is not a
+   concern. *)
+let sccs program =
+  let succ = Hashtbl.create 16 in
+  List.iter
+    (fun (f : E.fn) ->
+      let known = List.filter (fun c -> E.lookup_fn program c <> None) (calls_of f) in
+      Hashtbl.replace succ f.E.name known)
+    program;
+  let index = Hashtbl.create 16 and lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] and next = ref 0 and out = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (try Hashtbl.find succ v with Not_found -> []);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun (f : E.fn) -> if not (Hashtbl.mem index f.E.name) then strongconnect f.E.name) program;
+  List.rev !out
+
+let is_cyclic program scc =
+  match scc with
+  | [] -> false
+  | [ v ] -> (
+      (* A singleton SCC is a cycle only if it calls itself. *)
+      match E.lookup_fn program v with
+      | Some fn -> List.mem v (calls_of fn)
+      | None -> false)
+  | _ -> true
+
+(* An [Always]-filtered cycle unfolds unconditionally at specialization
+   time: the partial evaluator can never residualize its way out, so the
+   only possible outcomes are fuel exhaustion or divergence. [When_static]
+   cycles are not flagged — they terminate whenever the controlling static
+   argument decreases (pow-style recursion), which is a value property out
+   of reach of a binding-time-level analysis. *)
+let check_termination program =
+  List.filter_map
+    (fun scc ->
+      if
+        is_cyclic program scc
+        && List.for_all
+             (fun name ->
+               match E.lookup_fn program name with
+               | Some fn -> fn.E.filter = E.Always
+               | None -> false)
+             scc
+      then
+        Some
+          (Findings.make ~pass:"termination" ~where:(String.concat " -> " scc)
+             "Always-filtered call cycle: partial evaluation will unfold it until fuel \
+              runs out (Out_of_fuel)")
+      else None)
+    (sccs program)

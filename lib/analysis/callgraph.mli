@@ -1,0 +1,29 @@
+(** Call-graph analysis of staged programs.
+
+    Builds the static call graph of an {!Anyseq_staged.Expr.program},
+    computes its strongly-connected components (Tarjan), and flags the
+    cycles the partial evaluator is guaranteed to fall into: a cycle in
+    which {e every} function carries the [Always] filter can never be
+    residualized, so {!Anyseq_staged.Pe.run} burns fuel until
+    [Out_of_fuel]. Catching it here turns a runtime fuel error into a
+    static finding. *)
+
+val calls_of : Anyseq_staged.Expr.fn -> string list
+(** Callee names occurring in a function body, without duplicates. *)
+
+val edges : Anyseq_staged.Expr.program -> (string * string list) list
+(** [(caller, callees)] adjacency of the whole program. *)
+
+val sccs : Anyseq_staged.Expr.program -> string list list
+(** Strongly-connected components in reverse-topological discovery order;
+    calls to functions outside the program are ignored. *)
+
+val is_cyclic : Anyseq_staged.Expr.program -> string list -> bool
+(** Whether an SCC actually contains a cycle (any multi-node component, or
+    a singleton that calls itself). *)
+
+val check_termination : Anyseq_staged.Expr.program -> Findings.t list
+(** One finding per cycle whose members are all [Always]-filtered.
+    [When_static] cycles are deliberately not flagged: they terminate when
+    the controlling static argument decreases (pow-style recursion), which
+    is a value property this analysis cannot decide. *)

@@ -1,0 +1,31 @@
+module E = Anyseq_staged.Expr
+module Pe = Anyseq_staged.Pe
+
+let analyze_program program =
+  let tc = Typecheck.check_program program in
+  (* Termination runs even when the typechecker found problems: the call
+     graph only needs names and filters, which are always well defined. *)
+  tc @ Callgraph.check_termination program
+
+let analyze_residual ?(static_vars = []) ?(static_arrays = []) ?(config_vars = [])
+    ?(registered_arrays = []) residual =
+  let tc = Typecheck.check_residual residual in
+  let bta = Bta.check_residual ~static_vars ~static_arrays residual in
+  let lint = Lint.check ~config_vars ~registered_arrays residual in
+  tc @ bta @ lint
+
+let specialize_and_analyze ?fuel ?static_arrays ~program ~name ~static_args
+    ?(registered_arrays = []) () =
+  match Pe.specialize_fn ?fuel ?static_arrays ~program ~name ~static_args () with
+  | Error e -> Error e
+  | Ok residual ->
+      let static_vars = List.map fst static_args in
+      let static_array_names =
+        match static_arrays with None -> [] | Some l -> List.map fst l
+      in
+      let findings =
+        analyze_program program
+        @ analyze_residual ~static_vars ~static_arrays:static_array_names
+            ~config_vars:static_vars ~registered_arrays residual
+      in
+      Ok (residual, findings)

@@ -1,0 +1,45 @@
+(** Pass orchestration.
+
+    Pass order and what each guarantees (see DESIGN.md, "Static analysis
+    of the staged IR"):
+
+    + {!Typecheck} — the program/residual is well typed, all calls resolve
+      with correct arity, no unbound variables: everything
+      {!Anyseq_staged.Compile} would otherwise only report at run time.
+    + {!Callgraph.check_termination} — specialization itself terminates
+      (no [Always]-filtered unfold cycles).
+    + {!Bta.check_residual} — specialization is {e complete}: nothing the
+      binding-time analysis proves static survives in the residual.
+    + {!Lint} — the residual is dispatch-free over configuration, has no
+      dead lets, and reads only registered arrays.
+
+    An empty findings list over the full mode × scheme matrix is the
+    machine-checked form of the paper's central claim. *)
+
+val analyze_program : Anyseq_staged.Expr.program -> Findings.t list
+(** Source-program checks: typecheck + termination. *)
+
+val analyze_residual :
+  ?static_vars:string list ->
+  ?static_arrays:string list ->
+  ?config_vars:string list ->
+  ?registered_arrays:string list ->
+  Anyseq_staged.Pe.residual ->
+  Findings.t list
+(** Residual checks: typecheck + BTA completeness + lint. [static_vars]
+    is the static environment the residual was specialized under;
+    [config_vars] the configuration axes dispatch must not survive on
+    (usually the same set); [registered_arrays] the arrays the runtime
+    will provide. *)
+
+val specialize_and_analyze :
+  ?fuel:int ->
+  ?static_arrays:(string * int array) list ->
+  program:Anyseq_staged.Expr.program ->
+  name:string ->
+  static_args:(string * Anyseq_staged.Pe.value) list ->
+  ?registered_arrays:string list ->
+  unit ->
+  (Anyseq_staged.Pe.residual * Findings.t list, Anyseq_staged.Pe.error) result
+(** [Pe.specialize_fn] followed by the full suite over both the source
+    program and the residual. *)

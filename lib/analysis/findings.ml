@@ -1,0 +1,30 @@
+type severity = Error | Warning
+
+type t = {
+  pass : string;
+  severity : severity;
+  where : string;
+  message : string;
+}
+
+let make ?(severity = Error) ~pass ~where message =
+  { pass; severity; where; message }
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let to_string f =
+  Printf.sprintf "[%s] %s: %s: %s" (severity_to_string f.severity) f.pass f.where
+    f.message
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+
+let report fs =
+  match fs with
+  | [] -> "0 findings"
+  | _ ->
+      let lines = List.map to_string fs in
+      Printf.sprintf "%d finding%s\n%s" (List.length fs)
+        (if List.length fs = 1 then "" else "s")
+        (String.concat "\n" lines)

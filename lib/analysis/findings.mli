@@ -1,0 +1,29 @@
+(** Findings — the common currency of the static-analysis passes.
+
+    Every pass ({!Typecheck}, {!Callgraph}, {!Bta}, {!Lint}) reports a list
+    of findings instead of raising: a clean program or residual analyzes to
+    [[]], and the {!Driver} (and the [anyseq analyze] CLI, the [@analyze]
+    dune alias, and [Staged_kernel]'s debug verifier) treat a non-empty
+    list as failure. *)
+
+type severity =
+  | Error  (** violates an invariant the runtime would trip over *)
+  | Warning  (** suspicious but executable (e.g. a dead [let]) *)
+
+type t = {
+  pass : string;  (** producing pass, e.g. ["typecheck"] *)
+  severity : severity;
+  where : string;  (** function name / ["entry"] / expression snippet *)
+  message : string;
+}
+
+val make : ?severity:severity -> pass:string -> where:string -> string -> t
+val severity_to_string : severity -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val errors : t list -> t list
+(** Only the [Error]-severity findings. *)
+
+val report : t list -> string
+(** Human-readable multi-line summary; ["0 findings"] when clean. *)

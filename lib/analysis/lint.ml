@@ -1,0 +1,81 @@
+module E = Anyseq_staged.Expr
+module Pe = Anyseq_staged.Pe
+module Sset = Set.Make (String)
+
+let trunc s = if String.length s > 60 then String.sub s 0 57 ^ "..." else s
+
+let free_in bound e = Sset.diff (Sset.of_list (E.free_vars e)) bound
+
+(* Dispatch-freedom: the paper's §II-B/§IV claim is that residual kernels
+   contain no control flow over configuration parameters. A residual [If]
+   whose condition only involves configuration variables, or a call fed a
+   configuration-only argument, means specialization failed to consume a
+   static axis. A constant [Bool] condition is flagged too — Pe always
+   folds those, so one surviving means the residual was not produced by
+   specialization at all. *)
+let check ?(config_vars = []) ?(registered_arrays = []) (r : Pe.residual) =
+  let config = Sset.of_list config_vars in
+  let acc = ref [] in
+  let finding ?severity ~where msg =
+    acc := Findings.make ?severity ~pass:"lint" ~where msg :: !acc
+  in
+  let config_only bound e =
+    let fv = free_in bound e in
+    (not (Sset.is_empty fv)) && Sset.subset fv config
+  in
+  let rec walk ~where bound e =
+    (match e with
+    | E.If (c, _, _) -> (
+        match c with
+        | E.Bool _ ->
+            finding ~where
+              (Printf.sprintf "constant condition survived specialization: %s"
+                 (trunc (E.to_string e)))
+        | _ ->
+            if config_only bound c then
+              finding ~where
+                (Printf.sprintf "configuration dispatch: if over {%s} in %s"
+                   (String.concat ", " (Sset.elements (free_in bound c)))
+                   (trunc (E.to_string e))))
+    | E.Call (f, args) ->
+        List.iter
+          (fun a ->
+            if config_only bound a then
+              finding ~where
+                (Printf.sprintf
+                   "configuration-dependent argument %s in call to %s"
+                   (trunc (E.to_string a)) f))
+          args
+    | E.Let (v, _, body) ->
+        if not (List.mem v (E.free_vars body)) then
+          finding ~severity:Findings.Warning ~where
+            (Printf.sprintf "dead let: %s is bound but never used" v)
+    | E.Read (arr, _) ->
+        if not (List.mem arr registered_arrays) then
+          finding ~where
+            (Printf.sprintf "read of unregistered array %s" arr)
+    | _ -> ());
+    match e with
+    | E.Int _ | E.Bool _ | E.Var _ -> ()
+    | E.Let (v, a, b) ->
+        walk ~where bound a;
+        walk ~where (Sset.add v bound) b
+    | E.If (a, b, c) ->
+        walk ~where bound a;
+        walk ~where bound b;
+        walk ~where bound c
+    | E.Binop (_, a, b) ->
+        walk ~where bound a;
+        walk ~where bound b
+    | E.Neg a -> walk ~where bound a
+    | E.Read (_, i) -> walk ~where bound i
+    | E.Call (_, args) -> List.iter (walk ~where bound) args
+  in
+  walk ~where:"entry" Sset.empty r.Pe.entry;
+  List.iter
+    (fun (f : E.fn) ->
+      (* Parameters of a residual function are runtime inputs, never
+         configuration — shadow any clashing config name. *)
+      walk ~where:f.E.name (Sset.of_list f.E.params) f.E.body)
+    r.Pe.fns;
+  List.rev !acc

@@ -1,0 +1,24 @@
+(** Residual lint — machine-checks the paper's dispatch-freedom claim.
+
+    Walks a {!Anyseq_staged.Pe.residual} and reports:
+
+    - [If] nodes whose condition depends {e only} on configuration
+      variables ([config_vars]) — configuration dispatch that partial
+      evaluation was supposed to eliminate;
+    - [If] nodes with a constant boolean condition — Pe always folds
+      static conditions, so these cannot appear in a genuine residual;
+    - calls with a configuration-only argument — the callee's
+      specialization still depends on configuration;
+    - dead [let]s (bound variable unused in the body) — Warning severity;
+    - reads of arrays not in [registered_arrays] — the runtime would fail
+      with [Unbound_array].
+
+    Data-dependent control flow (e.g. [if q == s] over dynamic sequence
+    characters) is {e not} flagged: dispatch-freedom is about
+    configuration, not data. *)
+
+val check :
+  ?config_vars:string list ->
+  ?registered_arrays:string list ->
+  Anyseq_staged.Pe.residual ->
+  Findings.t list

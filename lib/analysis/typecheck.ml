@@ -1,0 +1,172 @@
+module E = Anyseq_staged.Expr
+module Pe = Anyseq_staged.Pe
+
+(* Hindley-Milner-lite: two base types, no functions-as-values, so
+   unification needs no occurs check. *)
+type ty = TInt | TBool | TVar of tv ref
+and tv = Unbound of int | Link of ty
+
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  TVar (ref (Unbound !counter))
+
+let rec repr = function
+  | TVar ({ contents = Link t } as r) ->
+      let t' = repr t in
+      r := Link t';
+      t'
+  | t -> t
+
+let ty_to_string t =
+  match repr t with TInt -> "int" | TBool -> "bool" | TVar _ -> "unknown"
+
+let unify a b =
+  match (repr a, repr b) with
+  | TInt, TInt | TBool, TBool -> Ok ()
+  | TVar r, t | t, TVar r ->
+      r := Link t;
+      Ok ()
+  | ta, tb ->
+      Error (Printf.sprintf "expected %s, got %s" (ty_to_string ta) (ty_to_string tb))
+
+let trunc s = if String.length s > 60 then String.sub s 0 57 ^ "..." else s
+let snippet e = trunc (E.to_string e)
+
+type ctx = {
+  mutable findings : Findings.t list;
+  sigs : (string, ty list * ty) Hashtbl.t;
+  inputs : (string, ty) Hashtbl.t;  (* free vars of the entry = runtime inputs *)
+}
+
+let report ctx ?(severity = Findings.Error) ~where msg =
+  ctx.findings <- Findings.make ~severity ~pass:"typecheck" ~where msg :: ctx.findings
+
+let unify_or_report ctx ~where ~at a b =
+  match unify a b with
+  | Ok () -> ()
+  | Error msg -> report ctx ~where (Printf.sprintf "%s in %s" msg (snippet at))
+
+(* [check ctx ~where ~allow_free scope e] infers a type for [e], pushing
+   findings instead of failing; on an error the subexpression gets a fresh
+   type variable so one mistake does not cascade. [allow_free] distinguishes
+   the entry expression (free variables are runtime inputs) from function
+   bodies (free variables are bugs — Compile rejects them). *)
+let rec check ctx ~where ~allow_free scope e : ty =
+  let recur = check ctx ~where ~allow_free in
+  let want t at sub =
+    let ty = recur scope sub in
+    unify_or_report ctx ~where ~at t ty
+  in
+  match e with
+  | E.Int _ -> TInt
+  | E.Bool _ -> TBool
+  | E.Var v -> (
+      match List.assoc_opt v scope with
+      | Some t -> t
+      | None ->
+          if allow_free then (
+            match Hashtbl.find_opt ctx.inputs v with
+            | Some t -> t
+            | None ->
+                let t = fresh () in
+                Hashtbl.add ctx.inputs v t;
+                t)
+          else (
+            report ctx ~where (Printf.sprintf "unbound variable %s" v);
+            fresh ()))
+  | E.Let (v, rhs, body) ->
+      let trhs = recur scope rhs in
+      recur ((v, trhs) :: scope) body
+  | E.If (c, t, f) ->
+      want TBool e c;
+      let tt = recur scope t and tf = recur scope f in
+      unify_or_report ctx ~where ~at:e tt tf;
+      tt
+  | E.Binop (op, a, b) -> (
+      match op with
+      | E.Add | E.Sub | E.Mul | E.Div | E.Max | E.Min ->
+          want TInt e a;
+          want TInt e b;
+          TInt
+      | E.Lt | E.Le ->
+          want TInt e a;
+          want TInt e b;
+          TBool
+      | E.Eq | E.Ne ->
+          (* Polymorphic comparison, but both sides must agree. *)
+          let ta = recur scope a and tb = recur scope b in
+          unify_or_report ctx ~where ~at:e ta tb;
+          TBool
+      | E.And | E.Or ->
+          want TBool e a;
+          want TBool e b;
+          TBool)
+  | E.Neg a ->
+      want TInt e a;
+      TInt
+  | E.Read (_, idx) ->
+      want TInt e idx;
+      TInt
+  | E.Call (fname, args) -> (
+      let targs = List.map (recur scope) args in
+      match Hashtbl.find_opt ctx.sigs fname with
+      | None ->
+          report ctx ~where (Printf.sprintf "unknown function %s" fname);
+          fresh ()
+      | Some (params, result) ->
+          if List.length params <> List.length targs then (
+            report ctx ~where
+              (Printf.sprintf "arity mismatch calling %s: expected %d arguments, got %d"
+                 fname (List.length params) (List.length targs));
+            fresh ())
+          else (
+            List.iter2 (fun p a -> unify_or_report ctx ~where ~at:e p a) params targs;
+            result))
+
+let make_ctx fns =
+  let ctx = { findings = []; sigs = Hashtbl.create 8; inputs = Hashtbl.create 8 } in
+  List.iter
+    (fun (f : E.fn) ->
+      if Hashtbl.mem ctx.sigs f.E.name then
+        report ctx ~where:f.E.name "duplicate function definition"
+      else Hashtbl.add ctx.sigs f.E.name (List.map (fun _ -> fresh ()) f.E.params, fresh ()))
+    fns;
+  ctx
+
+let check_fn ctx (f : E.fn) =
+  let params, result = Hashtbl.find ctx.sigs f.E.name in
+  let scope = List.combine f.E.params params in
+  let tbody = check ctx ~where:f.E.name ~allow_free:false scope f.E.body in
+  unify_or_report ctx ~where:f.E.name ~at:f.E.body tbody result
+
+let check_filter ctx (f : E.fn) =
+  match f.E.filter with
+  | E.Always | E.Never -> ()
+  | E.When_static names ->
+      List.iter
+        (fun n ->
+          if not (List.mem n f.E.params) then
+            report ctx ~where:f.E.name
+              (Printf.sprintf "filter When_static mentions %s, which is not a parameter" n))
+        names
+
+let check_program program =
+  let ctx = make_ctx program in
+  List.iter
+    (fun f ->
+      check_filter ctx f;
+      if Hashtbl.mem ctx.sigs f.E.name then check_fn ctx f)
+    program;
+  List.rev ctx.findings
+
+let check_residual ?(expect_int_entry = true) (r : Pe.residual) =
+  let ctx = make_ctx r.Pe.fns in
+  List.iter (fun f -> if Hashtbl.mem ctx.sigs f.E.name then check_fn ctx f) r.Pe.fns;
+  let tentry = check ctx ~where:"entry" ~allow_free:true [] r.Pe.entry in
+  if expect_int_entry then
+    (match unify tentry TInt with
+    | Ok () -> ()
+    | Error _ -> report ctx ~where:"entry" "kernel entry returns a boolean, expected int");
+  List.rev ctx.findings

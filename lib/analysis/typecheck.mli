@@ -1,0 +1,23 @@
+(** Static typechecker for the staged IR.
+
+    Moves to analysis time everything {!Anyseq_staged.Compile} only detects
+    while running a kernel: int/bool confusion, unknown functions, arity
+    mismatches, unbound variables, non-int kernel entries — plus
+    well-formedness checks the runtime never sees (duplicate function names,
+    [When_static] filters naming non-parameters).
+
+    Types are inferred by unification over two base types; [Eq]/[Ne] are
+    polymorphic but require both operands to agree, matching the dynamic
+    semantics of {!Anyseq_staged.Pe.run} and the interpreter. *)
+
+val check_program : Anyseq_staged.Expr.program -> Findings.t list
+(** Check every function body under its parameters only — a free variable
+    in a body is a finding, mirroring the closure compiler's [in_fn]
+    rule. *)
+
+val check_residual :
+  ?expect_int_entry:bool -> Anyseq_staged.Pe.residual -> Findings.t list
+(** Check a residual program: function bodies as in {!check_program}; free
+    variables of the entry expression are runtime inputs and get inferred
+    types. [expect_int_entry] (default [true]) additionally requires the
+    entry to produce an int, as alignment kernels must. *)

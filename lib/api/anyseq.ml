@@ -13,6 +13,8 @@ module Hirschberg = Anyseq_core.Hirschberg
 module Banded = Anyseq_core.Banded
 module Tiling = Anyseq_core.Tiling
 module Staged_kernel = Anyseq_core.Staged_kernel
+module Analysis = Anyseq_analysis.Driver
+module Findings = Anyseq_analysis.Findings
 module Ends_free = Anyseq_core.Ends_free
 module Myers = Anyseq_core.Myers
 module Scheduler = Anyseq_wavefront.Scheduler

@@ -139,9 +139,47 @@ let residual_of name scheme mode =
   | Ok r -> r
   | Error e -> failwith ("Staged_kernel: PE failed: " ^ Pe.error_to_string e)
 
+let config_vars =
+  [ "use_matrix"; "match_s"; "mismatch_s"; "asize"; "go"; "ge"; "is_affine"; "is_local" ]
+
+let residuals scheme mode =
+  [
+    ("relax_h", residual_of "relax_h" scheme mode);
+    ("relax_e", residual_of "relax_e" scheme mode);
+    ("relax_f", residual_of "relax_f" scheme mode);
+  ]
+
+let analyze scheme mode =
+  let statics, arrays = static_config scheme mode in
+  let static_vars = List.map fst statics in
+  let registered_arrays = List.map fst arrays in
+  Anyseq_analysis.Driver.analyze_program generic_program
+  @ List.concat_map
+      (fun (_, r) ->
+        Anyseq_analysis.Driver.analyze_residual ~static_vars ~config_vars:static_vars
+          ~registered_arrays r)
+      (residuals scheme mode)
+
+let verify_specializations =
+  ref
+    (match Sys.getenv_opt "ANYSEQ_VERIFY" with
+    | None | Some "" | Some "0" | Some "false" -> false
+    | Some _ -> true)
+
+let verified scheme mode =
+  match Anyseq_analysis.Findings.errors (analyze scheme mode) with
+  | [] -> ()
+  | errs ->
+      failwith
+        (Printf.sprintf "Staged_kernel: specialization for %s/%s failed verification:\n%s"
+           (Scheme.to_string scheme)
+           (match mode with Global -> "global" | Semiglobal -> "semiglobal" | Local -> "local")
+           (Anyseq_analysis.Findings.report errs))
+
 let dyn_env ~arrays ints = { Compile.ints; bools = []; arrays }
 
 let specialize scheme mode how =
+  if !verify_specializations then verified scheme mode;
   let _, arrays = static_config scheme mode in
   let rh = residual_of "relax_h" scheme mode in
   let re = residual_of "relax_e" scheme mode in

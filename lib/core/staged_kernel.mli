@@ -20,6 +20,31 @@ type kernel = {
   relax_f : hleft:int -> fleft:int -> int;
 }
 
+val config_vars : string list
+(** Names of the static configuration parameters of {!generic_program} —
+    the variables residual kernels must not dispatch on. *)
+
+val residuals :
+  Anyseq_scoring.Scheme.t ->
+  Types.mode ->
+  (string * Anyseq_staged.Pe.residual) list
+(** The specialized residuals ([relax_h], [relax_e], [relax_f]) for a
+    configuration, as fed to the interpreter / closure compiler. *)
+
+val analyze :
+  Anyseq_scoring.Scheme.t -> Types.mode -> Anyseq_analysis.Findings.t list
+(** Run the full {!Anyseq_analysis} suite — typecheck, termination, BTA
+    completeness, dispatch-freedom lint — over the generic program and
+    every residual of the configuration. [[]] means the paper's
+    dispatch-elimination claim holds for this configuration, machine
+    checked. *)
+
+val verify_specializations : bool ref
+(** Debug mode: when set, {!specialize} runs {!analyze} first and fails on
+    any error-severity finding. Defaults to false; initialized to true when
+    the [ANYSEQ_VERIFY] environment variable is set (to anything but [0],
+    [false] or empty). *)
+
 val specialize :
   Anyseq_scoring.Scheme.t ->
   Types.mode ->
@@ -27,7 +52,9 @@ val specialize :
   kernel
 (** Build a kernel for a configuration. [`Interpreted] re-walks the
     residual IR on every call (the "no code generation" baseline);
-    [`Compiled] uses the closure compiler (the "generated code"). *)
+    [`Compiled] uses the closure compiler (the "generated code"). With
+    {!verify_specializations} set, the static-analysis suite gates kernel
+    construction. *)
 
 val generic_kernel : Anyseq_scoring.Scheme.t -> Types.mode -> kernel
 (** Runs the {e unspecialized} program through the interpreter with the

@@ -34,6 +34,19 @@ let blosum62_affine =
   make ~name:"blosum62/affine(10,1)" Substitution.blosum62
     (Gaps.affine ~open_:10 ~extend:1)
 
+let wildcard_linear =
+  make ~name:"dna5(+2/-1)/linear(1)"
+    (Substitution.dna_wildcard ~match_:2 ~mismatch:(-1))
+    (Gaps.linear 1)
+
+let wildcard_affine =
+  make ~name:"dna5(+2/-1)/affine(2,1)"
+    (Substitution.dna_wildcard ~match_:2 ~mismatch:(-1))
+    (Gaps.affine ~open_:2 ~extend:1)
+
+let builtins =
+  [ paper_linear; paper_affine; blosum62_affine; wildcard_linear; wildcard_affine ]
+
 let subst_score t = Substitution.score t.subst
 let alphabet t = Substitution.alphabet t.subst
 let is_affine t = Gaps.is_affine t.gap

@@ -25,6 +25,19 @@ val paper_affine : t
 val blosum62_affine : t
 (** BLOSUM62 with Go = 10, Ge = 1 — the protein example configuration. *)
 
+val wildcard_linear : t
+(** dna5 wildcard (+2/−1) with a linear gap — exercises the
+    substitution-matrix path of the staged kernel. *)
+
+val wildcard_affine : t
+(** dna5 wildcard (+2/−1) with Go = 2, Ge = 1. *)
+
+val builtins : t list
+(** The named built-in schemes. Together they cover every configuration
+    axis of the staged kernel (simple vs matrix substitution, linear vs
+    affine gaps); [anyseq analyze] and the analyzer regression tests sweep
+    this list × every alignment mode. *)
+
 val subst_score : t -> int -> int -> int
 (** σ(q, s) on alphabet codes. *)
 

@@ -1,0 +1,393 @@
+(* Static-analysis suite over the staged IR: planted violations in every
+   category must be detected, and the real specialized kernels must be
+   clean across the full mode x scheme matrix. *)
+
+module E = Anyseq_staged.Expr
+module Pe = Anyseq_staged.Pe
+module F = Anyseq_analysis.Findings
+module Typecheck = Anyseq_analysis.Typecheck
+module Callgraph = Anyseq_analysis.Callgraph
+module Bta = Anyseq_analysis.Bta
+module Lint = Anyseq_analysis.Lint
+module Driver = Anyseq_analysis.Driver
+module Scheme = Anyseq_scoring.Scheme
+module Staged_kernel = Anyseq_core.Staged_kernel
+module T = Anyseq_core.Types
+
+let residual entry = { Pe.entry; fns = [] }
+
+let check_findings name expected_count fs =
+  Alcotest.(check int) (name ^ ": finding count") expected_count (List.length fs)
+
+let has_finding ~pass ~sub fs =
+  List.exists
+    (fun (f : F.t) -> f.F.pass = pass && Helpers.contains_sub (F.to_string f) sub)
+    fs
+
+let assert_finding name ~pass ~sub fs =
+  if not (has_finding ~pass ~sub fs) then
+    Alcotest.failf "%s: expected a %s finding mentioning %S, got:\n%s" name pass sub
+      (F.report fs)
+
+(* ------------------------------------------------------------------ *)
+(* Typechecker                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_typecheck_int_bool () =
+  let open E in
+  let fs = Typecheck.check_residual (residual (Binop (Add, Bool true, Int 1))) in
+  assert_finding "bool + int" ~pass:"typecheck" ~sub:"expected int, got bool" fs;
+  let fs = Typecheck.check_residual (residual (if_ (Int 3) (Int 1) (Int 2))) in
+  assert_finding "int condition" ~pass:"typecheck" ~sub:"expected bool, got int" fs;
+  let fs = Typecheck.check_residual (residual (if_ (Bool true) (Int 1) (Bool false))) in
+  assert_finding "mixed branches" ~pass:"typecheck" ~sub:"expected" fs;
+  let fs = Typecheck.check_residual (residual (Bool true)) in
+  assert_finding "bool kernel" ~pass:"typecheck" ~sub:"returns a boolean" fs
+
+let test_typecheck_inference_through_inputs () =
+  let open E in
+  (* x is used as an int and as a bool: the two uses must unify and fail. *)
+  let e = if_ (var "x") (Binop (Add, var "x", Int 1)) (Int 0) in
+  let fs = Typecheck.check_residual (residual e) in
+  assert_finding "conflicting input uses" ~pass:"typecheck" ~sub:"expected" fs;
+  (* consistent uses are fine, whatever the inferred type *)
+  let e = if_ (var "b") (Binop (Add, var "x", Int 1)) (Neg (var "x")) in
+  check_findings "consistent" 0 (Typecheck.check_residual (residual e))
+
+let test_typecheck_calls () =
+  let open E in
+  let fs = Typecheck.check_residual (residual (Call ("ghost", [ Int 1 ]))) in
+  assert_finding "unknown fn" ~pass:"typecheck" ~sub:"unknown function ghost" fs;
+  let fns =
+    [ { name = "f"; params = [ "a"; "b" ]; filter = Never; body = Binop (Add, var "a", var "b") } ]
+  in
+  let fs = Typecheck.check_residual { Pe.entry = Call ("f", [ Int 1 ]); fns } in
+  assert_finding "arity" ~pass:"typecheck" ~sub:"arity mismatch calling f" fs;
+  let fs = Typecheck.check_residual { Pe.entry = Call ("f", [ Int 1; Bool true ]); fns } in
+  assert_finding "bad arg type" ~pass:"typecheck" ~sub:"expected" fs;
+  check_findings "good call" 0
+    (Typecheck.check_residual { Pe.entry = Call ("f", [ Int 1; var "x" ]); fns })
+
+let test_typecheck_unbound_and_wellformedness () =
+  let open E in
+  let fs =
+    Typecheck.check_program
+      [ { name = "f"; params = [ "a" ]; filter = Always; body = Binop (Add, var "a", var "oops") } ]
+  in
+  assert_finding "unbound in fn body" ~pass:"typecheck" ~sub:"unbound variable oops" fs;
+  let fs =
+    Typecheck.check_program
+      [
+        { name = "f"; params = []; filter = Never; body = Int 1 };
+        { name = "f"; params = []; filter = Never; body = Int 2 };
+      ]
+  in
+  assert_finding "duplicate" ~pass:"typecheck" ~sub:"duplicate function" fs;
+  let fs =
+    Typecheck.check_program
+      [ { name = "f"; params = [ "a" ]; filter = When_static [ "z" ]; body = var "a" } ]
+  in
+  assert_finding "bad filter" ~pass:"typecheck" ~sub:"not a parameter" fs
+
+let test_typecheck_generic_program_clean () =
+  check_findings "generic kernel program" 0
+    (Typecheck.check_program Staged_kernel.generic_program)
+
+(* ------------------------------------------------------------------ *)
+(* Call graph / termination                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cycle_program filter =
+  let open E in
+  [
+    { name = "f"; params = [ "x" ]; filter; body = Call ("g", [ var "x" ]) };
+    { name = "g"; params = [ "x" ]; filter; body = Call ("f", [ var "x" ]) };
+  ]
+
+let pow_program filter =
+  let open E in
+  [
+    {
+      name = "pow";
+      params = [ "x"; "n" ];
+      filter;
+      body =
+        if_
+          (Binop (Le, var "n", int 0))
+          (int 1)
+          (Binop (Mul, var "x", Call ("pow", [ var "x"; Binop (Sub, var "n", int 1) ])));
+    };
+  ]
+
+let test_callgraph_sccs () =
+  let sccs = Callgraph.sccs (cycle_program E.Never) in
+  Alcotest.(check int) "one SCC" 1 (List.length sccs);
+  Alcotest.(check (list string)) "both members" [ "f"; "g" ]
+    (List.sort compare (List.hd sccs));
+  let sccs = Callgraph.sccs Staged_kernel.generic_program in
+  Alcotest.(check bool) "generic program is acyclic" true
+    (List.for_all (fun s -> not (Callgraph.is_cyclic Staged_kernel.generic_program s)) sccs)
+
+let test_termination_flags_always_cycles () =
+  let fs = Callgraph.check_termination (pow_program E.Always) in
+  check_findings "self-loop" 1 fs;
+  assert_finding "self-loop message" ~pass:"termination" ~sub:"Always-filtered" fs;
+  check_findings "mutual cycle" 1 (Callgraph.check_termination (cycle_program E.Always));
+  (* pow-style When_static recursion terminates when the static argument
+     decreases — not flagged. *)
+  check_findings "When_static cycle" 0
+    (Callgraph.check_termination (pow_program (E.When_static [ "n" ])));
+  check_findings "generic program" 0
+    (Callgraph.check_termination Staged_kernel.generic_program)
+
+(* ------------------------------------------------------------------ *)
+(* Binding-time analysis                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bta_classify () =
+  let open E in
+  let st e = Bta.classify ~static_vars:[ "k" ] e in
+  Alcotest.(check bool) "literal arith" true (st (Binop (Add, Int 2, Int 3)) = Bta.Static);
+  Alcotest.(check bool) "static var" true (st (Binop (Mul, var "k", Int 2)) = Bta.Static);
+  Alcotest.(check bool) "dynamic var" true (st (Binop (Add, var "x", Int 1)) = Bta.Dynamic);
+  Alcotest.(check bool) "dynamic poisons if" true
+    (st (if_ (Binop (Lt, var "k", Int 3)) (var "x") (Int 0)) = Bta.Dynamic);
+  Alcotest.(check bool) "static read" true
+    (Bta.classify ~static_vars:[ "i" ] ~static_arrays:[ "m" ] (Read ("m", var "i"))
+    = Bta.Static);
+  Alcotest.(check bool) "dynamic array read" true
+    (Bta.classify ~static_vars:[ "i" ] (Read ("m", var "i")) = Bta.Dynamic)
+
+let test_bta_calls () =
+  let open E in
+  let double =
+    [ { name = "double"; params = [ "x" ]; filter = Always; body = Binop (Add, var "x", var "x") } ]
+  in
+  Alcotest.(check bool) "unfolded static call" true
+    (Bta.classify ~program:double (Call ("double", [ Int 21 ])) = Bta.Static);
+  Alcotest.(check bool) "unfolded dynamic call" true
+    (Bta.classify ~program:double (Call ("double", [ var "y" ])) = Bta.Dynamic);
+  let never = [ { (List.hd double) with filter = Never } ] in
+  Alcotest.(check bool) "residualized call is dynamic" true
+    (Bta.classify ~program:never (Call ("double", [ Int 21 ])) = Bta.Dynamic);
+  (* Recursion is conservatively dynamic even with static args. *)
+  Alcotest.(check bool) "recursive call" true
+    (Bta.classify ~program:(pow_program (E.When_static [ "n" ]))
+       (Call ("pow", [ Int 2; Int 3 ]))
+    = Bta.Dynamic)
+
+let test_bta_residual_check () =
+  let open E in
+  (* Planted: a foldable subtree the PE should have collapsed. *)
+  let fs = Bta.check_residual (residual (Binop (Max, var "x", Binop (Add, Int 1, Int 2)))) in
+  check_findings "foldable subtree" 1 fs;
+  assert_finding "foldable subtree" ~pass:"bta" ~sub:"foldable subexpression" fs;
+  (* Planted: a static configuration variable that survived substitution. *)
+  let fs =
+    Bta.check_residual ~static_vars:[ "is_affine" ]
+      (residual (if_ (var "is_affine") (var "x") (var "y")))
+  in
+  assert_finding "leftover static var" ~pass:"bta" ~sub:"is_affine" fs;
+  (* A bound variable may shadow a static name without a finding. *)
+  let fs =
+    Bta.check_residual ~static_vars:[ "go" ]
+      (residual (let_ "go" (Binop (Add, var "x", Int 1)) (Binop (Mul, var "go", Int 2))))
+  in
+  check_findings "shadowing let" 0 fs;
+  (* Literal operands inside a dynamic expression are fine. *)
+  check_findings "dynamic max with literal" 0
+    (Bta.check_residual (residual (Binop (Max, var "x", Int 0))))
+
+let test_bta_agrees_with_pe () =
+  (* What BTA calls static, PE folds: specialize pow with static n and
+     check the residual passes the BTA completeness check. *)
+  let program = pow_program (E.When_static [ "n" ]) in
+  match
+    Pe.run ~program ~env:[ ("n", Pe.VInt 5) ] (E.Call ("pow", [ E.var "x"; E.var "n" ]))
+  with
+  | Error e -> Alcotest.failf "PE failed: %s" (Pe.error_to_string e)
+  | Ok r -> check_findings "pow residual" 0 (Bta.check_residual ~static_vars:[ "n" ] r)
+
+(* ------------------------------------------------------------------ *)
+(* Lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let config = Staged_kernel.config_vars
+
+let test_lint_config_dispatch () =
+  let open E in
+  let fs =
+    Lint.check ~config_vars:config
+      (residual (if_ (var "is_affine") (var "x") (var "y")))
+  in
+  check_findings "config if" 1 fs;
+  assert_finding "config if" ~pass:"lint" ~sub:"configuration dispatch" fs;
+  let fs =
+    Lint.check ~config_vars:config
+      (residual (if_ (Binop (And, var "is_local", var "use_matrix")) (var "x") (var "y")))
+  in
+  assert_finding "compound config if" ~pass:"lint" ~sub:"configuration dispatch" fs;
+  (* Data-dependent control flow is allowed. *)
+  check_findings "data if" 0
+    (Lint.check ~config_vars:config
+       (residual (if_ (Binop (Eq, var "q", var "s")) (var "x") (var "y"))));
+  let fs = Lint.check (residual (if_ (Bool true) (var "x") (var "y"))) in
+  assert_finding "constant cond" ~pass:"lint" ~sub:"constant condition" fs
+
+let test_lint_config_call () =
+  let open E in
+  let fns =
+    [ { name = "f"; params = [ "a" ]; filter = Never; body = var "a" } ]
+  in
+  let fs =
+    Lint.check ~config_vars:config { Pe.entry = Call ("f", [ var "go" ]); fns }
+  in
+  assert_finding "config call arg" ~pass:"lint" ~sub:"configuration-dependent" fs;
+  check_findings "dynamic call arg" 0
+    (Lint.check ~config_vars:config { Pe.entry = Call ("f", [ var "x" ]); fns })
+
+let test_lint_dead_let () =
+  let open E in
+  let fs = Lint.check (residual (let_ "t" (Binop (Add, var "x", Int 1)) (Int 7))) in
+  check_findings "dead let" 1 fs;
+  assert_finding "dead let" ~pass:"lint" ~sub:"dead let: t" fs;
+  check_findings "live let" 0
+    (Lint.check (residual (let_ "t" (Binop (Add, var "x", Int 1)) (Neg (var "t")))))
+
+let test_lint_unregistered_array () =
+  let open E in
+  let e = Read ("subst_matrix", var "i") in
+  let fs = Lint.check (residual e) in
+  assert_finding "unregistered" ~pass:"lint" ~sub:"unregistered array subst_matrix" fs;
+  check_findings "registered" 0
+    (Lint.check ~registered_arrays:[ "subst_matrix" ] (residual e))
+
+(* ------------------------------------------------------------------ *)
+(* Driver + the real kernels                                           *)
+(* ------------------------------------------------------------------ *)
+
+let matrix =
+  List.concat_map
+    (fun scheme -> List.map (fun mode -> (scheme, mode)) Helpers.modes_under_test)
+    Scheme.builtins
+
+let mode_name = function
+  | T.Global -> "global"
+  | T.Semiglobal -> "semiglobal"
+  | T.Local -> "local"
+
+let test_matrix_zero_findings () =
+  List.iter
+    (fun (scheme, mode) ->
+      let fs = Staged_kernel.analyze scheme mode in
+      if fs <> [] then
+        Alcotest.failf "%s/%s: %s" (Scheme.to_string scheme) (mode_name mode)
+          (F.report fs))
+    matrix
+
+(* The property the lint generalizes, asserted directly on Pe's output:
+   residuals never branch on configuration parameters. *)
+let test_residuals_dispatch_free () =
+  let module Sset = Set.Make (String) in
+  let config = Sset.of_list Staged_kernel.config_vars in
+  let rec assert_no_config_if ~what e =
+    match e with
+    | E.Int _ | E.Bool _ | E.Var _ -> ()
+    | E.Let (_, a, b) -> assert_no_config_if ~what a; assert_no_config_if ~what b
+    | E.If (c, t, f) ->
+        let fv = Sset.of_list (E.free_vars c) in
+        if (not (Sset.is_empty fv)) && Sset.subset fv config then
+          Alcotest.failf "%s: residual if over configuration: %s" what (E.to_string c);
+        assert_no_config_if ~what c;
+        assert_no_config_if ~what t;
+        assert_no_config_if ~what f
+    | E.Binop (_, a, b) -> assert_no_config_if ~what a; assert_no_config_if ~what b
+    | E.Neg a -> assert_no_config_if ~what a
+    | E.Read (_, i) -> assert_no_config_if ~what i
+    | E.Call (_, args) -> List.iter (assert_no_config_if ~what) args
+  in
+  List.iter
+    (fun (scheme, mode) ->
+      List.iter
+        (fun (name, r) ->
+          let what =
+            Printf.sprintf "%s/%s/%s" (Scheme.to_string scheme) (mode_name mode) name
+          in
+          assert_no_config_if ~what r.Pe.entry;
+          List.iter (fun (f : E.fn) -> assert_no_config_if ~what f.E.body) r.Pe.fns)
+        (Staged_kernel.residuals scheme mode))
+    matrix
+
+let test_driver_specialize_and_analyze () =
+  let program = pow_program (E.When_static [ "n" ]) in
+  match
+    Driver.specialize_and_analyze ~program ~name:"pow"
+      ~static_args:[ ("n", Pe.VInt 4) ] ()
+  with
+  | Error e -> Alcotest.failf "PE failed: %s" (Pe.error_to_string e)
+  | Ok (r, fs) ->
+      check_findings "pow(x, 4)" 0 fs;
+      Alcotest.(check string) "unrolled" "(x * (x * (x * x)))" (E.to_string r.Pe.entry)
+
+let test_driver_catches_planted_program () =
+  let fs = Driver.analyze_program (pow_program E.Always) in
+  assert_finding "always cycle via driver" ~pass:"termination" ~sub:"Always-filtered" fs
+
+let test_staged_kernel_verify_mode () =
+  let saved = !Staged_kernel.verify_specializations in
+  Staged_kernel.verify_specializations := true;
+  Fun.protect
+    ~finally:(fun () -> Staged_kernel.verify_specializations := saved)
+    (fun () ->
+      let kernel = Staged_kernel.specialize Scheme.paper_affine T.Local `Compiled in
+      let v = kernel.Staged_kernel.relax_e ~hup:10 ~eup:3 in
+      Alcotest.(check int) "verified kernel runs" (max (3 - 1) (10 - 2 - 1)) v)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "typecheck",
+        [
+          Alcotest.test_case "int vs bool" `Quick test_typecheck_int_bool;
+          Alcotest.test_case "inference through inputs" `Quick
+            test_typecheck_inference_through_inputs;
+          Alcotest.test_case "calls" `Quick test_typecheck_calls;
+          Alcotest.test_case "unbound + well-formedness" `Quick
+            test_typecheck_unbound_and_wellformedness;
+          Alcotest.test_case "generic program clean" `Quick
+            test_typecheck_generic_program_clean;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "sccs" `Quick test_callgraph_sccs;
+          Alcotest.test_case "Always cycles flagged" `Quick
+            test_termination_flags_always_cycles;
+        ] );
+      ( "bta",
+        [
+          Alcotest.test_case "classify" `Quick test_bta_classify;
+          Alcotest.test_case "calls and filters" `Quick test_bta_calls;
+          Alcotest.test_case "residual completeness check" `Quick test_bta_residual_check;
+          Alcotest.test_case "agrees with PE on pow" `Quick test_bta_agrees_with_pe;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "configuration dispatch" `Quick test_lint_config_dispatch;
+          Alcotest.test_case "configuration call args" `Quick test_lint_config_call;
+          Alcotest.test_case "dead lets" `Quick test_lint_dead_let;
+          Alcotest.test_case "unregistered arrays" `Quick test_lint_unregistered_array;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "zero findings across scheme x mode matrix" `Quick
+            test_matrix_zero_findings;
+          Alcotest.test_case "residuals contain no if over configuration" `Quick
+            test_residuals_dispatch_free;
+          Alcotest.test_case "driver specialize_and_analyze" `Quick
+            test_driver_specialize_and_analyze;
+          Alcotest.test_case "driver flags Always cycle" `Quick
+            test_driver_catches_planted_program;
+          Alcotest.test_case "specialize under verify mode" `Quick
+            test_staged_kernel_verify_mode;
+        ] );
+    ]

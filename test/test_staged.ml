@@ -168,6 +168,40 @@ let test_pe_errors () =
   | Error (Pe.Type_error _) -> ()
   | _ -> Alcotest.fail "expected type error"
 
+(* Each runtime PE error path, paired with the static check that predicts
+   it without spending any fuel. *)
+let test_pe_error_paths_predicted () =
+  (* Always-filtered recursive cycle: burns fuel at specialization time ... *)
+  let always = pow_program E.Always in
+  (match Pe.run ~fuel:50 ~program:always ~env:[] (E.Call ("pow", [ E.var "x"; E.var "n" ])) with
+  | Error (Pe.Out_of_fuel "pow") -> ()
+  | _ -> Alcotest.fail "expected Out_of_fuel unfolding the Always cycle");
+  (* ... and the SCC termination check flags the same cycle statically. *)
+  (match Anyseq_analysis.Callgraph.check_termination always with
+  | [ f ] ->
+      Alcotest.(check bool) "termination finding names the cycle" true
+        (Helpers.contains_sub (Anyseq_analysis.Findings.to_string f) "pow")
+  | fs -> Alcotest.failf "expected exactly one termination finding, got %d" (List.length fs));
+  (* Division by a static zero divisor is a PE-time error. *)
+  (match
+     Pe.run ~program:[] ~env:[ ("a", Pe.VInt 1); ("d", Pe.VInt 0) ]
+       (E.Binop (E.Div, E.var "a", E.var "d"))
+   with
+  | Error Pe.Division_by_zero -> ()
+  | _ -> Alcotest.fail "expected division by static zero");
+  (* Arity mismatch, at PE time and at analysis time. *)
+  let program = pow_program (E.When_static [ "n" ]) in
+  let bad_call = E.Call ("pow", [ E.var "x" ]) in
+  (match Pe.run ~program ~env:[] bad_call with
+  | Error (Pe.Arity_mismatch "pow") -> ()
+  | _ -> Alcotest.fail "expected arity mismatch");
+  let fs = Anyseq_analysis.Typecheck.check_residual { Pe.entry = bad_call; fns = program } in
+  Alcotest.(check bool) "typechecker flags the arity mismatch" true
+    (List.exists
+       (fun f ->
+         Helpers.contains_sub (Anyseq_analysis.Findings.to_string f) "arity mismatch")
+       fs)
+
 (* ------------------------------------------------------------------ *)
 (* Compile: interpreter vs closure compiler                            *)
 (* ------------------------------------------------------------------ *)
@@ -341,6 +375,8 @@ let () =
           Alcotest.test_case "memoization" `Quick test_pe_memoizes_specializations;
           Alcotest.test_case "static array folding" `Quick test_pe_static_array_folding;
           Alcotest.test_case "errors" `Quick test_pe_errors;
+          Alcotest.test_case "error paths statically predicted" `Quick
+            test_pe_error_paths_predicted;
         ] );
       ( "compile",
         [

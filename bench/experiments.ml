@@ -536,3 +536,78 @@ let run_ablation cfg =
      blocked inter-sequence %.3f vs Farrar striped %.3f -- the blocked kernel's\n\
      lower per-cell instruction count backs its higher modeled AVX2 efficiency.\n"
     m.Measure.vector_ops_blocked m.Measure.vector_ops_striped
+
+(* ------------------------------------------------------------------ *)
+(* Runtime service — batch executor vs one-pair-at-a-time facade        *)
+(* ------------------------------------------------------------------ *)
+
+let run_runtime cfg =
+  let pairs = Workloads.read_pairs cfg in
+  let spairs =
+    Array.map (fun (q, s) -> (Sequence.to_string q, Sequence.to_string s)) pairs
+  in
+  let cells = Workloads.total_cells pairs in
+  Printf.printf
+    "Runtime service -- %d read pairs of 150 bp, scores only. \"facade\" calls\n\
+     Anyseq.align once per pair; \"batch\" submits all pairs through one service\n\
+     (grouped dispatch + specialization cache, warmed by a preliminary run).\n"
+    (Array.length pairs);
+  let service = Anyseq.Service.create ~capacity:(max 1 (Array.length spairs)) () in
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("mode", Tablefmt.Left); ("facade GCUPS", Tablefmt.Right);
+          ("batch GCUPS", Tablefmt.Right); ("speedup", Tablefmt.Right);
+        ]
+      ()
+  in
+  let seq_total = ref 0.0 and batch_total = ref 0.0 in
+  List.iter
+    (fun (name, mode) ->
+      let config = Anyseq.Config.make ~mode ~traceback:false () in
+      (* Warm the specialization cache so the timed run measures steady state. *)
+      ignore (Anyseq.align_batch ~service ~config spairs);
+      let seq_dt =
+        Timer.time_only (fun () ->
+            Array.iter
+              (fun (query, subject) ->
+                match Anyseq.align ~config ~query ~subject with
+                | Ok _ -> ()
+                | Error e -> failwith (Anyseq.Error.to_string e))
+              spairs)
+      in
+      let batch_dt =
+        Timer.time_only (fun () -> ignore (Anyseq.align_batch ~service ~config spairs))
+      in
+      seq_total := !seq_total +. seq_dt;
+      batch_total := !batch_total +. batch_dt;
+      Tablefmt.add_row t
+        [
+          name;
+          Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells ~seconds:seq_dt);
+          Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells ~seconds:batch_dt);
+          Tablefmt.cell_ratio seq_dt batch_dt;
+        ])
+    [ ("global", T.Global); ("semiglobal", T.Semiglobal); ("local", T.Local) ];
+  Tablefmt.add_separator t;
+  Tablefmt.add_row t
+    [
+      "all modes";
+      Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells:(3 * cells) ~seconds:!seq_total);
+      Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells:(3 * cells) ~seconds:!batch_total);
+      Tablefmt.cell_ratio !seq_total !batch_total;
+    ];
+  Tablefmt.print t;
+  let cs = Anyseq.Service.cache_stats service in
+  let rate = 100.0 *. Anyseq.Spec_cache.hit_rate cs in
+  let speedup = !seq_total /. !batch_total in
+  Printf.printf
+    "specialization cache: %d hits / %d misses over %d dispatch points (hit rate %.1f%%)\n"
+    cs.Anyseq.Spec_cache.hits cs.Anyseq.Spec_cache.misses
+    (cs.Anyseq.Spec_cache.hits + cs.Anyseq.Spec_cache.misses)
+    rate;
+  Printf.printf "acceptance: batch >= 2x facade: %s (%.2fx); warm hit rate > 90%%: %s\n"
+    (if speedup >= 2.0 then "PASS" else "FAIL")
+    speedup
+    (if rate > 90.0 then "PASS" else "FAIL")

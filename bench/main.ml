@@ -18,6 +18,7 @@ let experiments =
     ("table2", "Table II: energy efficiency");
     ("codeshare", "Code-share breakdown");
     ("ablation", "Ablations A1-A4");
+    ("runtime", "Runtime service: batch executor vs one-at-a-time facade");
   ]
 
 let run only scale reads seed bechamel =
@@ -46,6 +47,7 @@ let run only scale reads seed bechamel =
   section "table2" "Table II" (fun () -> Experiments.run_table2 cfg);
   section "codeshare" "Code share" (fun () -> Experiments.run_codeshare ());
   section "ablation" "Ablations" (fun () -> Experiments.run_ablation cfg);
+  section "runtime" "Runtime service" (fun () -> Experiments.run_runtime cfg);
   if bechamel then begin
     Printf.printf "\n================================================================\n";
     Bechamel_suite.run cfg

@@ -4,8 +4,15 @@
      align           align two FASTA files (first record of each)
      generate        synthesize a benchmark genome pair as FASTA
      simulate-reads  simulate an Illumina-like read set as FASTQ
-     batch           score read pairs (FASTQ vs reference FASTA windows)
-*)
+     batch           run an alignment job file through the runtime service
+     serve           sustained-load loop over the runtime service
+     search          approximate pattern matching (Myers bit-parallel)
+     overlap         dovetail overlap between two sequences
+     analyze         statically verify every specialized kernel
+
+   The alignment subcommands all build one Anyseq.Config.t from the shared
+   scoring/mode/backend flags and hand it to the facade — the CLI performs
+   no engine dispatch of its own. *)
 
 open Cmdliner
 
@@ -26,6 +33,11 @@ let mode_conv =
     [ ("global", Anyseq.Types.Global); ("local", Anyseq.Types.Local);
       ("semiglobal", Anyseq.Types.Semiglobal) ]
 
+let backend_conv =
+  Arg.enum
+    [ ("auto", Anyseq.Config.Auto); ("scalar", Anyseq.Config.Scalar);
+      ("simd", Anyseq.Config.Simd); ("wavefront", Anyseq.Config.Wavefront) ]
+
 (* Shared scoring flags. *)
 let match_t = Arg.(value & opt int 2 & info [ "match" ] ~doc:"Match score.")
 let mismatch_t = Arg.(value & opt int (-1) & info [ "mismatch" ] ~doc:"Mismatch score.")
@@ -35,6 +47,34 @@ let gap_open_t =
 
 let gap_extend_t =
   Arg.(value & opt int 1 & info [ "gap-extend" ] ~doc:"Gap extension penalty.")
+
+let mode_t =
+  Arg.(value & opt mode_conv Anyseq.Types.Global & info [ "mode" ] ~doc:"global|local|semiglobal")
+
+let backend_t =
+  Arg.(
+    value
+    & opt backend_conv Anyseq.Config.Auto
+    & info [ "backend" ]
+        ~doc:
+          "Execution backend hint for score-only jobs: auto|scalar|simd|wavefront. Traceback \
+           always uses the alignment engine.")
+
+let json_t = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
 
 let read_first_record path =
   match Anyseq.Fasta.read_file Anyseq.Alphabet.dna5 path with
@@ -49,38 +89,64 @@ let read_first_record path =
 let align_cmd =
   let query_t = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.fa") in
   let subject_t = Arg.(required & pos 1 (some file) None & info [] ~docv:"SUBJECT.fa") in
-  let mode_t = Arg.(value & opt mode_conv Anyseq.Types.Global & info [ "mode" ] ~doc:"global|local|semiglobal") in
   let score_only_t =
     Arg.(value & flag & info [ "score-only" ] ~doc:"Print only the optimal score.")
   in
   let pretty_t = Arg.(value & flag & info [ "pretty" ] ~doc:"BLAST-style rendering.") in
-  let run query subject mode score_only pretty match_ mismatch gap_open gap_extend =
+  let run query subject mode backend score_only pretty json match_ mismatch gap_open gap_extend =
     let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
+    let config =
+      Anyseq.Config.make ~scheme ~mode ~traceback:(not score_only) ~backend ()
+    in
     let q = read_first_record query and s = read_first_record subject in
     let qseq = q.Anyseq.Fasta.sequence and sseq = s.Anyseq.Fasta.sequence in
-    if score_only then begin
-      let ends = Anyseq.Engine.score scheme mode ~query:qseq ~subject:sseq in
-      Printf.printf "%d\n" ends.Anyseq.Types.score
-    end
-    else begin
-      let alignment = Anyseq.Engine.align scheme mode ~query:qseq ~subject:sseq in
-      if pretty then
-        print_string (Anyseq.Alignment.pretty ~query:qseq ~subject:sseq alignment)
-      else begin
-        Printf.printf "score\t%d\n" alignment.Anyseq.Alignment.score;
-        Printf.printf "query\t%s\t%d\t%d\n" q.Anyseq.Fasta.id
-          alignment.Anyseq.Alignment.query_start alignment.Anyseq.Alignment.query_end;
-        Printf.printf "subject\t%s\t%d\t%d\n" s.Anyseq.Fasta.id
-          alignment.Anyseq.Alignment.subject_start alignment.Anyseq.Alignment.subject_end;
-        Printf.printf "cigar\t%s\n" (Anyseq.Cigar.to_string alignment.Anyseq.Alignment.cigar)
-      end
-    end
+    match
+      Anyseq.align ~config
+        ~query:(Anyseq.Sequence.to_string qseq)
+        ~subject:(Anyseq.Sequence.to_string sseq)
+    with
+    | Error e ->
+        if json then Printf.printf "{\"error\":\"%s\"}\n" (json_escape (Anyseq.Error.to_string e))
+        else Printf.eprintf "error: %s\n" (Anyseq.Error.to_string e);
+        exit 1
+    | Ok r when json ->
+        let b = Buffer.create 256 in
+        Printf.bprintf b "{\"score\":%d,\"mode\":\"%s\",\"scheme\":\"%s\"" r.Anyseq.score
+          (Anyseq.Alignment.mode_to_string mode)
+          (json_escape (Anyseq.Scheme.to_string scheme));
+        (match r.Anyseq.alignment with
+        | Some a ->
+            Printf.bprintf b
+              ",\"query\":{\"id\":\"%s\",\"start\":%d,\"end\":%d},\"subject\":{\"id\":\"%s\",\"start\":%d,\"end\":%d},\"cigar\":\"%s\""
+              (json_escape q.Anyseq.Fasta.id)
+              a.Anyseq.Alignment.query_start a.Anyseq.Alignment.query_end
+              (json_escape s.Anyseq.Fasta.id)
+              a.Anyseq.Alignment.subject_start a.Anyseq.Alignment.subject_end
+              (Anyseq.Cigar.to_string a.Anyseq.Alignment.cigar)
+        | None -> ());
+        Buffer.add_string b "}";
+        print_endline (Buffer.contents b)
+    | Ok r -> (
+        match r.Anyseq.alignment with
+        | None -> Printf.printf "%d\n" r.Anyseq.score
+        | Some alignment ->
+            if pretty then
+              print_string (Anyseq.Alignment.pretty ~query:qseq ~subject:sseq alignment)
+            else begin
+              Printf.printf "score\t%d\n" alignment.Anyseq.Alignment.score;
+              Printf.printf "query\t%s\t%d\t%d\n" q.Anyseq.Fasta.id
+                alignment.Anyseq.Alignment.query_start alignment.Anyseq.Alignment.query_end;
+              Printf.printf "subject\t%s\t%d\t%d\n" s.Anyseq.Fasta.id
+                alignment.Anyseq.Alignment.subject_start alignment.Anyseq.Alignment.subject_end;
+              Printf.printf "cigar\t%s\n"
+                (Anyseq.Cigar.to_string alignment.Anyseq.Alignment.cigar)
+            end)
   in
   Cmd.v
     (Cmd.info "align" ~doc:"Align the first records of two FASTA files.")
     Term.(
-      const run $ query_t $ subject_t $ mode_t $ score_only_t $ pretty_t $ match_t
-      $ mismatch_t $ gap_open_t $ gap_extend_t)
+      const run $ query_t $ subject_t $ mode_t $ backend_t $ score_only_t $ pretty_t $ json_t
+      $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
 
 let generate_cmd =
   let length_t = Arg.(value & opt int 65536 & info [ "length" ] ~doc:"Genome length (bp).") in
@@ -126,35 +192,239 @@ let simulate_reads_cmd =
     (Cmd.info "simulate-reads" ~doc:"Simulate an Illumina-like read set.")
     Term.(const run $ count_t $ read_len_t $ ref_len_t $ seed_t $ out_t)
 
+(* ---- batch / serve: the runtime service front ends ---- *)
+
+(* A job file is FASTA or FASTQ, by extension. *)
+let read_seqs path =
+  let is_fastq =
+    Filename.check_suffix path ".fq" || Filename.check_suffix path ".fastq"
+  in
+  let result =
+    if is_fastq then
+      Result.map
+        (List.map (fun r -> r.Anyseq.Fastq.sequence))
+        (Anyseq.Fastq.read_file Anyseq.Alphabet.dna5 path)
+    else
+      Result.map
+        (List.map (fun r -> r.Anyseq.Fasta.sequence))
+        (Anyseq.Fasta.read_file Anyseq.Alphabet.dna5 path)
+  in
+  match result with
+  | Error msg ->
+      Printf.eprintf "error reading %s: %s\n" path msg;
+      exit 1
+  | Ok [] ->
+      Printf.eprintf "error: %s contains no records\n" path;
+      exit 1
+  | Ok seqs -> List.map Anyseq.Sequence.to_string seqs
+
+(* (query, subject) string pairs for a service run: either real job files
+   or the Fig. 5b simulated short-read workload. *)
+let load_pairs ~reads ~subjects ~count ~seed ~read_len =
+  match (reads, subjects) with
+  | Some rf, Some sf ->
+      let rs = Array.of_list (read_seqs rf) in
+      let ss = Array.of_list (read_seqs sf) in
+      if Array.length ss = 1 then
+        (* one reference: map every read against it *)
+        Array.map (fun r -> (r, ss.(0))) rs
+      else if Array.length ss = Array.length rs then
+        Array.init (Array.length rs) (fun i -> (rs.(i), ss.(i)))
+      else begin
+        Printf.eprintf "error: %d reads vs %d subjects (need equal counts or one subject)\n"
+          (Array.length rs) (Array.length ss);
+        exit 1
+      end
+  | Some rf, None ->
+      (* consecutive records pair up: r0 vs r1, r2 vs r3, ... *)
+      let rs = Array.of_list (read_seqs rf) in
+      if Array.length rs < 2 then begin
+        Printf.eprintf "error: need at least two records to form pairs\n";
+        exit 1
+      end;
+      Array.init (Array.length rs / 2) (fun i -> (rs.(2 * i), rs.((2 * i) + 1)))
+  | None, Some _ ->
+      Printf.eprintf "error: --subjects requires --reads\n";
+      exit 1
+  | None, None ->
+      Array.map
+        (fun (q, s) -> (Anyseq.Sequence.to_string q, Anyseq.Sequence.to_string s))
+        (Anyseq.Read_sim.read_pairs ~seed ~reference_len:200_000 ~read_len ~count)
+
+let reads_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "reads" ] ~docv:"FILE"
+        ~doc:"Query job file (FASTA or FASTQ by extension). Without --subjects, consecutive \
+              records pair up.")
+
+let subjects_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "subjects" ] ~docv:"FILE"
+        ~doc:"Subject job file; one record maps all reads against it, otherwise record i pairs \
+              with read i.")
+
+let metrics_t =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Dump the runtime metrics registry at the end.")
+
+let timeout_t =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-job deadline; expired jobs report timeout.")
+
+let batch_size_t =
+  Arg.(value & opt int 256 & info [ "batch-size" ] ~doc:"Service dispatch chunk size.")
+
+let summarize_errors results =
+  let errs = Hashtbl.create 4 in
+  let ok = ref 0 in
+  Array.iter
+    (function
+      | Ok _ -> incr ok
+      | Error e ->
+          let k = Anyseq.Error.to_string e in
+          Hashtbl.replace errs k (1 + Option.value ~default:0 (Hashtbl.find_opt errs k)))
+    results;
+  (!ok, Hashtbl.fold (fun k v acc -> (k, v) :: acc) errs [])
+
 let batch_cmd =
-  let count_t = Arg.(value & opt int 5000 & info [ "count" ] ~doc:"Number of pairs.") in
-  let seed_t = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"RNG seed.") in
-  let lanes_t = Arg.(value & opt int 16 & info [ "lanes" ] ~doc:"SIMD lanes to emulate.") in
-  let run count seed lanes match_ mismatch gap_open gap_extend =
-    let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna4 in
-    let pairs =
-      Anyseq.Read_sim.read_pairs ~seed ~reference_len:200_000 ~read_len:150 ~count
+  let count_t = Arg.(value & opt int 5000 & info [ "count" ] ~doc:"Simulated pairs when no --reads given.") in
+  let seed_t = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"RNG seed for simulated pairs.") in
+  let traceback_t =
+    Arg.(value & flag & info [ "traceback" ] ~doc:"Full alignments instead of score-only.")
+  in
+  let run reads subjects count seed mode backend traceback json metrics_flag timeout batch_size
+      match_ mismatch gap_open gap_extend =
+    let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
+    let config = Anyseq.Config.make ~scheme ~mode ~traceback ~backend () in
+    let pairs = load_pairs ~reads ~subjects ~count ~seed ~read_len:150 in
+    let service =
+      Anyseq.Service.create ~capacity:(max 1 (Array.length pairs)) ~batch_size ()
     in
-    let (results, dt) =
+    let results, dt =
       Anyseq_util.Timer.time (fun () ->
-          Anyseq.Inter_seq.batch_score ~lanes scheme Anyseq.Types.Global pairs)
+          Anyseq.align_batch ~service ?timeout_s:timeout ~config pairs)
     in
     let cells =
-      Array.fold_left
-        (fun acc (q, s) -> acc + (Anyseq.Sequence.length q * Anyseq.Sequence.length s))
-        0 pairs
+      Option.value ~default:0
+        (Anyseq.Metrics.find (Anyseq.Service.metrics service) "runtime/cells_computed")
     in
-    let mean =
-      Array.fold_left (fun acc e -> acc +. float_of_int e.Anyseq.Types.score) 0.0 results
-      /. float_of_int (max 1 (Array.length results))
-    in
-    Printf.printf "%d pairs, %.3f s, %.3f GCUPS (emulated lanes), mean score %.1f\n" count dt
-      (Anyseq_util.Timer.gcups ~cells ~seconds:dt)
-      mean
+    let ok, errors = summarize_errors results in
+    let cs = Anyseq.Service.cache_stats service in
+    let hit_rate = Anyseq.Spec_cache.hit_rate cs in
+    if json then begin
+      Printf.printf
+        "{\"pairs\":%d,\"ok\":%d,\"seconds\":%.6f,\"gcups\":%.4f,\"cache_hit_rate\":%.4f,\"config\":\"%s\""
+        (Array.length pairs) ok dt
+        (Anyseq_util.Timer.gcups ~cells ~seconds:dt)
+        hit_rate
+        (json_escape (Anyseq.Config.to_string config));
+      if errors <> [] then begin
+        print_string ",\"errors\":{";
+        List.iteri
+          (fun i (k, v) ->
+            Printf.printf "%s\"%s\":%d" (if i > 0 then "," else "") (json_escape k) v)
+          errors;
+        print_string "}"
+      end;
+      print_endline "}"
+    end
+    else begin
+      Printf.printf "%d pairs (%s), %.3f s, %.3f GCUPS, %d ok, cache hit rate %.1f%%\n"
+        (Array.length pairs)
+        (Anyseq.Config.to_string config)
+        dt
+        (Anyseq_util.Timer.gcups ~cells ~seconds:dt)
+        ok (100.0 *. hit_rate);
+      List.iter (fun (k, v) -> Printf.printf "  %6d x %s\n" v k) errors
+    end;
+    if metrics_flag then begin
+      print_endline "--- metrics ---";
+      print_endline (Anyseq.Metrics.dump (Anyseq.Service.metrics service))
+    end
   in
   Cmd.v
-    (Cmd.info "batch" ~doc:"Batch-score simulated read pairs (inter-sequence kernel).")
-    Term.(const run $ count_t $ seed_t $ lanes_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
+    (Cmd.info "batch"
+       ~doc:
+         "Run alignment jobs through the runtime service: jobs are grouped by configuration, \
+          specialized kernels are cached, and groups stream through the batch executor.")
+    Term.(
+      const run $ reads_t $ subjects_t $ count_t $ seed_t $ mode_t $ backend_t $ traceback_t
+      $ json_t $ metrics_t $ timeout_t $ batch_size_t $ match_t $ mismatch_t $ gap_open_t
+      $ gap_extend_t)
+
+let serve_cmd =
+  let rounds_t = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"Load rounds to run.") in
+  let count_t = Arg.(value & opt int 2000 & info [ "count" ] ~doc:"Jobs per round per mode.") in
+  let read_len_t = Arg.(value & opt int 150 & info [ "read-length" ] ~doc:"Read length.") in
+  let seed_t = Arg.(value & opt int 17 & info [ "seed" ] ~doc:"RNG seed.") in
+  let modes_t =
+    Arg.(
+      value
+      & opt (list mode_conv) [ Anyseq.Types.Global; Anyseq.Types.Semiglobal ]
+      & info [ "modes" ] ~doc:"Comma-separated alignment modes each round cycles through.")
+  in
+  let run rounds count read_len seed modes backend json match_ mismatch gap_open gap_extend =
+    let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
+    let pairs = load_pairs ~reads:None ~subjects:None ~count ~seed ~read_len in
+    let service = Anyseq.Service.create ~capacity:(max 1024 count) () in
+    let metrics = Anyseq.Service.metrics service in
+    let cells_before = ref 0 in
+    if not json then
+      Printf.printf "serving %d jobs/round x %d mode(s) x %d rounds (scheme %s)\n" count
+        (List.length modes) rounds (Anyseq.Scheme.to_string scheme);
+    for round = 1 to rounds do
+      let dt =
+        Anyseq_util.Timer.time_only (fun () ->
+            List.iter
+              (fun mode ->
+                let config =
+                  Anyseq.Config.make ~scheme ~mode ~traceback:false ~backend ()
+                in
+                ignore (Anyseq.align_batch ~service ~config pairs))
+              modes)
+      in
+      let cells = Option.value ~default:0 (Anyseq.Metrics.find metrics "runtime/cells_computed") in
+      let round_cells = cells - !cells_before in
+      cells_before := cells;
+      let cs = Anyseq.Service.cache_stats service in
+      if json then
+        Printf.printf
+          "{\"round\":%d,\"jobs\":%d,\"seconds\":%.6f,\"gcups\":%.4f,\"cache_hits\":%d,\"cache_misses\":%d}\n"
+          round
+          (count * List.length modes)
+          dt
+          (Anyseq_util.Timer.gcups ~cells:round_cells ~seconds:dt)
+          cs.Anyseq.Spec_cache.hits cs.Anyseq.Spec_cache.misses
+      else
+        Printf.printf "round %d: %5d jobs, %.3f s, %.3f GCUPS, cache %d hits / %d misses\n"
+          round
+          (count * List.length modes)
+          dt
+          (Anyseq_util.Timer.gcups ~cells:round_cells ~seconds:dt)
+          cs.Anyseq.Spec_cache.hits cs.Anyseq.Spec_cache.misses
+    done;
+    if not json then begin
+      let cs = Anyseq.Service.cache_stats service in
+      Printf.printf "cache: %d/%d entries, hit rate %.1f%% (cold misses = distinct configurations)\n"
+        cs.Anyseq.Spec_cache.size cs.Anyseq.Spec_cache.capacity
+        (100.0 *. Anyseq.Spec_cache.hit_rate cs);
+      print_endline "--- metrics ---";
+      print_endline (Anyseq.Metrics.dump metrics)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Sustained-load demonstration: repeated batches through one service, showing warm \
+          specialization-cache behavior and steady-state throughput.")
+    Term.(
+      const run $ rounds_t $ count_t $ read_len_t $ seed_t $ modes_t $ backend_t $ json_t
+      $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
 
 let search_cmd =
   let pattern_t =
@@ -248,14 +518,96 @@ let analyze_cmd =
     Printf.printf "\n%d finding%s across %d configurations\n" !total
       (if !total = 1 then "" else "s")
       !configs;
-    if strict && !total > 0 then exit 1
+    (* Runtime sweep: build every (builtin scheme x mode) through the
+       specialization cache with verification forced on — the verified
+       staged residual and the pre-generated native kernel — and check
+       that (a) a warm pass hits every entry, and (b) the native kernel
+       agrees with the generic linear-space engine on random inputs. *)
+    Printf.printf "\nruntime specialization-cache sweep (verification on)\n";
+    let saved = !Anyseq.Staged_kernel.verify_specializations in
+    Anyseq.Staged_kernel.verify_specializations := true;
+    let sweep_bad = ref 0 in
+    Fun.protect
+      ~finally:(fun () -> Anyseq.Staged_kernel.verify_specializations := saved)
+      (fun () ->
+        let cache =
+          Anyseq.Spec_cache.create
+            ~capacity:(List.length Anyseq.Scheme.builtins * List.length modes)
+            ()
+        in
+        let rng = Anyseq_util.Rng.create ~seed:2024 in
+        let sweep () =
+          List.iter
+            (fun scheme ->
+              List.iter
+                (fun (mode_name, mode) ->
+                  match Anyseq.Spec_cache.get cache scheme mode with
+                  | kernels ->
+                      let alphabet = Anyseq.Scheme.alphabet scheme in
+                      (match kernels.Anyseq.Spec_cache.native with
+                      | None -> ()
+                      | Some nk ->
+                          for _ = 1 to 10 do
+                            let q =
+                              Anyseq.Sequence.random rng alphabet
+                                ~len:(1 + Anyseq_util.Rng.int rng 64)
+                            and s =
+                              Anyseq.Sequence.random rng alphabet
+                                ~len:(1 + Anyseq_util.Rng.int rng 64)
+                            in
+                            let qv = Anyseq.Sequence.view q
+                            and sv = Anyseq.Sequence.view s in
+                            let reference =
+                              Anyseq_core.Dp_linear.score_only scheme mode ~query:qv
+                                ~subject:sv
+                            in
+                            let native = nk.Anyseq.Native_kernel.score ~query:qv ~subject:sv in
+                            if reference <> native then begin
+                              incr sweep_bad;
+                              Printf.printf
+                                "    MISMATCH %s %s: native (%d,%d,%d) vs engine (%d,%d,%d)\n"
+                                (Anyseq.Scheme.to_string scheme) mode_name native.Anyseq.Types.score
+                                native.Anyseq.Types.query_end native.Anyseq.Types.subject_end
+                                reference.Anyseq.Types.score reference.Anyseq.Types.query_end
+                                reference.Anyseq.Types.subject_end
+                            end
+                          done)
+                  | exception e ->
+                      incr sweep_bad;
+                      Printf.printf "    FAILED %s %s: %s\n"
+                        (Anyseq.Scheme.to_string scheme) mode_name (Printexc.to_string e))
+                modes)
+            Anyseq.Scheme.builtins
+        in
+        sweep ();
+        (* warm pass: every configuration must be served from cache *)
+        sweep ();
+        let st = Anyseq.Spec_cache.stats cache in
+        if st.Anyseq.Spec_cache.hits <> st.Anyseq.Spec_cache.misses then begin
+          incr sweep_bad;
+          Printf.printf "    cache warm pass missed: %d hits vs %d misses\n"
+            st.Anyseq.Spec_cache.hits st.Anyseq.Spec_cache.misses
+        end;
+        if st.Anyseq.Spec_cache.evictions > 0 then begin
+          incr sweep_bad;
+          Printf.printf "    unexpected evictions: %d\n" st.Anyseq.Spec_cache.evictions
+        end;
+        Printf.printf
+          "%d configurations cached (verified residual + native kernel), warm hit rate %.0f%%, %d \
+           problem%s\n"
+          st.Anyseq.Spec_cache.size
+          (100.0 *. Anyseq.Spec_cache.hit_rate st)
+          !sweep_bad
+          (if !sweep_bad = 1 then "" else "s"));
+    if strict && (!total > 0 || !sweep_bad > 0) then exit 1
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Statically verify every specialized kernel (built-in schemes x modes): \
           well-typed, terminating specialization, no foldable leftovers, no \
-          configuration dispatch in residuals.")
+          configuration dispatch in residuals; then sweep the same configurations \
+          through the runtime specialization cache with verification on.")
     Term.(const run $ strict_t $ verbose_t)
 
 let () =
@@ -263,5 +615,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; search_cmd;
+          [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; serve_cmd; search_cmd;
             overlap_cmd; analyze_cmd ]))

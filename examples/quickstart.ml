@@ -1,32 +1,37 @@
-(* Quickstart: the string-level API.
+(* Quickstart: the configuration-based API.
 
    Run with:  dune exec examples/quickstart.exe *)
 
 let () =
-  (* Global alignment with the default scheme (+2 match, -1 mismatch,
-     linear gap -1). *)
+  (* One configuration record names a point in the space the library
+     specializes over: scheme, mode, traceback, backend hint. The default
+     is global alignment with +2 match, -1 mismatch, linear gap -1. *)
   let result =
-    Anyseq.construct_global_alignment ~query:"ACGTACGTTGCA" ~subject:"ACGTCGTTGCAA" ()
+    Anyseq.align_exn ~config:Anyseq.Config.default ~query:"ACGTACGTTGCA"
+      ~subject:"ACGTCGTTGCAA"
   in
   Printf.printf "global score: %d\n" result.Anyseq.score;
   Printf.printf "  Q: %s\n  S: %s\n\n" result.Anyseq.query_aligned
     result.Anyseq.subject_aligned;
 
-  (* Local alignment finds the best-matching island. *)
+  (* Local alignment finds the best-matching island. [alignment] is
+     [Some] because the configuration asked for traceback. *)
   let local =
-    Anyseq.construct_local_alignment ~query:"TTTTTTACGTACGTTTTTT"
-      ~subject:"GGGGACGTACGTGGGG" ()
+    Anyseq.align_exn
+      ~config:(Anyseq.Config.make ~mode:Anyseq.Types.Local ())
+      ~query:"TTTTTTACGTACGTTTTTT" ~subject:"GGGGACGTACGTGGGG"
   in
+  let la = Option.get local.Anyseq.alignment in
   Printf.printf "local score: %d (q[%d,%d) vs s[%d,%d))\n" local.Anyseq.score
-    local.Anyseq.alignment.Anyseq.Alignment.query_start
-    local.Anyseq.alignment.Anyseq.Alignment.query_end
-    local.Anyseq.alignment.Anyseq.Alignment.subject_start
-    local.Anyseq.alignment.Anyseq.Alignment.subject_end;
+    la.Anyseq.Alignment.query_start la.Anyseq.Alignment.query_end
+    la.Anyseq.Alignment.subject_start la.Anyseq.Alignment.subject_end;
   Printf.printf "  Q: %s\n  S: %s\n\n" local.Anyseq.query_aligned
     local.Anyseq.subject_aligned;
 
   (* Changing the scoring scheme is function composition: build a scheme
-     value and pass it in. *)
+     value and put it in the configuration. The paper-compatible wrappers
+     ([construct_global_alignment] & co.) still exist for callers ported
+     from the original C API. *)
   let affine =
     Anyseq.Scheme.make
       (Anyseq.Substitution.dna_wildcard ~match_:2 ~mismatch:(-1))
@@ -36,11 +41,28 @@ let () =
     Anyseq.construct_global_alignment ~scheme:affine ~query:"ACGTTTTACGT"
       ~subject:"ACGTACGT" ()
   in
+  let aa = Option.get a.Anyseq.alignment in
   Printf.printf "affine-gap global score: %d (cigar %s)\n" a.Anyseq.score
-    (Anyseq.Cigar.to_string a.Anyseq.alignment.Anyseq.Alignment.cigar);
+    (Anyseq.Cigar.to_string aa.Anyseq.Alignment.cigar);
 
-  (* Score-only is linear-space and fast. *)
-  let s =
-    Anyseq.semiglobal_alignment_score ~query:"ACGTACGT" ~subject:"TTTTACGTACGTTTTT" ()
+  (* Errors come back as values: a bad character is [Bad_sequence], a full
+     service queue is [Rejected], an expired deadline is [Timeout]. (The
+     default dna5 scheme reads unknown letters as N; the paper's dna4
+     scheme rejects them.) *)
+  let strict = Anyseq.Config.make ~scheme:Anyseq.Scheme.paper_linear () in
+  (match Anyseq.align ~config:strict ~query:"ACGN" ~subject:"ACGT" with
+  | Ok _ -> assert false
+  | Error e -> Printf.printf "bad input: %s\n\n" (Anyseq.Error.to_string e));
+
+  (* Batches go through the runtime service: jobs are grouped by
+     configuration, the specialized kernel is built once and cached, and
+     every pair of the group streams through it score-only. *)
+  let config = Anyseq.Config.make ~mode:Anyseq.Types.Semiglobal ~traceback:false () in
+  let pairs =
+    Array.init 64 (fun i ->
+        ((if i mod 2 = 0 then "ACGTACGT" else "TTACGGA"), "TTTTACGTACGTTTTT"))
   in
-  Printf.printf "semiglobal (read-in-reference) score: %d\n" s
+  let results = Anyseq.align_batch_exn ~config pairs in
+  Printf.printf "batch of %d semiglobal scores: first=%d last=%d\n" (Array.length results)
+    results.(0).Anyseq.score
+    results.(Array.length results - 1).Anyseq.score

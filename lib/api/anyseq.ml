@@ -26,49 +26,108 @@ module Fastq = Anyseq_seqio.Fastq
 module Genome_gen = Anyseq_seqio.Genome_gen
 module Read_sim = Anyseq_seqio.Read_sim
 module Sam = Anyseq_seqio.Sam
+module Config = Anyseq_runtime.Config
+module Error = Anyseq_runtime.Error
+module Service = Anyseq_runtime.Service
+module Spec_cache = Anyseq_runtime.Spec_cache
+module Metrics = Anyseq_runtime.Metrics
+module Native_kernel = Anyseq_runtime.Native_kernel
 
 type aligned = {
   score : int;
   query_aligned : string;
   subject_aligned : string;
-  alignment : Alignment.t;
+  alignment : Alignment.t option;
 }
 
-let default_scheme =
-  Scheme.make ~name:"dna5(+2/-1)/linear(1)"
-    (Substitution.dna_wildcard ~match_:2 ~mismatch:(-1))
-    (Gaps.linear 1)
+let default_scheme = Scheme.wildcard_linear
 
-let parse scheme text = Sequence.of_string (Scheme.alphabet scheme) text
+let of_traceback ~query ~subject a =
+  let query_aligned, subject_aligned = Alignment.aligned_strings ~query ~subject a in
+  { score = a.Alignment.score; query_aligned; subject_aligned; alignment = Some a }
 
-let construct scheme mode ~query ~subject =
-  let q = parse scheme query and s = parse scheme subject in
-  let alignment = Engine.align scheme mode ~query:q ~subject:s in
-  let query_aligned, subject_aligned =
-    Alignment.aligned_strings ~query:q ~subject:s alignment
+let align ~(config : Config.t) ~query ~subject =
+  let scheme = config.Config.scheme and mode = config.Config.mode in
+  match
+    let alphabet = Scheme.alphabet scheme in
+    (Sequence.of_string alphabet query, Sequence.of_string alphabet subject)
+  with
+  | exception Invalid_argument msg -> Result.Error (Error.Bad_sequence msg)
+  | q, s ->
+      let rows = Sequence.length q and cols = Sequence.length s in
+      if
+        (not config.Config.traceback)
+        && config.Config.backend = Config.Simd
+        && rows > 0 && cols > 0
+        && not (Bounds.fits scheme ~rows ~cols ~bits:16)
+      then
+        (* Same screening the batch executor applies, so a job fails the
+           same way whether submitted alone or in a batch. *)
+        Result.Error
+          (Error.Overflow_bound
+             (Printf.sprintf
+                "%d x %d pair exceeds the 16-bit differential-score range of the vector kernels"
+                rows cols))
+      else if config.Config.traceback then
+        Ok (of_traceback ~query:q ~subject:s (Engine.align scheme mode ~query:q ~subject:s))
+      else
+        let backend =
+          match config.Config.backend with
+          | Config.Wavefront -> Engine.Tiled { tile = 512 }
+          | Config.Auto | Config.Scalar | Config.Simd -> Engine.Scalar
+        in
+        let e = Engine.score ~backend scheme mode ~query:q ~subject:s in
+        Ok { score = e.Types.score; query_aligned = ""; subject_aligned = ""; alignment = None }
+
+let align_exn ~config ~query ~subject =
+  match align ~config ~query ~subject with Ok a -> a | Result.Error e -> Error.raise_ e
+
+let of_outcome (o : Service.outcome) =
+  match o.Service.alignment with
+  | Some a -> of_traceback ~query:o.Service.query_seq ~subject:o.Service.subject_seq a
+  | None ->
+      {
+        score = o.Service.score;
+        query_aligned = "";
+        subject_aligned = "";
+        alignment = None;
+      }
+
+let align_batch ?service ?timeout_s ~config pairs =
+  let svc = match service with Some s -> s | None -> Service.default () in
+  let jobs =
+    Array.map (fun (query, subject) -> Service.job ~config ?timeout_s ~query ~subject ()) pairs
   in
-  { score = alignment.Alignment.score; query_aligned; subject_aligned; alignment }
+  Array.map (Result.map of_outcome) (Service.run svc jobs)
+
+let align_batch_exn ?service ?timeout_s ~config pairs =
+  Array.map
+    (function Ok a -> a | Result.Error e -> Error.raise_ e)
+    (align_batch ?service ?timeout_s ~config pairs)
+
+(* Paper-compatible wrappers (§III-C), one line each over the core entry. *)
 
 let construct_global_alignment ?(scheme = default_scheme) ~query ~subject () =
-  construct scheme Types.Global ~query ~subject
+  align_exn ~config:(Config.make ~scheme ~mode:Types.Global ()) ~query ~subject
 
 let construct_local_alignment ?(scheme = default_scheme) ~query ~subject () =
-  construct scheme Types.Local ~query ~subject
+  align_exn ~config:(Config.make ~scheme ~mode:Types.Local ()) ~query ~subject
 
 let construct_semiglobal_alignment ?(scheme = default_scheme) ~query ~subject () =
-  construct scheme Types.Semiglobal ~query ~subject
-
-let score_of scheme mode ~query ~subject =
-  let q = parse scheme query and s = parse scheme subject in
-  (Engine.score scheme mode ~query:q ~subject:s).Types.score
+  align_exn ~config:(Config.make ~scheme ~mode:Types.Semiglobal ()) ~query ~subject
 
 let global_alignment_score ?(scheme = default_scheme) ~query ~subject () =
-  score_of scheme Types.Global ~query ~subject
+  (align_exn ~config:(Config.make ~scheme ~mode:Types.Global ~traceback:false ()) ~query ~subject)
+    .score
 
 let local_alignment_score ?(scheme = default_scheme) ~query ~subject () =
-  score_of scheme Types.Local ~query ~subject
+  (align_exn ~config:(Config.make ~scheme ~mode:Types.Local ~traceback:false ()) ~query ~subject)
+    .score
 
 let semiglobal_alignment_score ?(scheme = default_scheme) ~query ~subject () =
-  score_of scheme Types.Semiglobal ~query ~subject
+  (align_exn
+     ~config:(Config.make ~scheme ~mode:Types.Semiglobal ~traceback:false ())
+     ~query ~subject)
+    .score
 
-let version = "1.0.0"
+let version = "2.0.0"

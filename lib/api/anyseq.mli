@@ -1,10 +1,22 @@
 (** AnySeq — pairwise sequence alignment with interchangeable scoring,
     modes and execution mappings.
 
-    This facade is the library's public API: it re-exports the component
-    libraries under one namespace and provides the convenience entry points
-    of the paper's §III-C (the [construct_*_alignment] C-wrapper analogues)
-    for callers that just want strings in, alignment out.
+    This facade is the library's public API. Since the runtime redesign it
+    is organized around one configuration record and two entry points:
+
+    - {!Config.t} names a point in the configuration space the paper
+      specializes over — scoring scheme, alignment mode, traceback or
+      score-only, backend hint;
+    - {!align} answers one pair under a configuration;
+    - {!align_batch} streams many pairs through the runtime service
+      ({!Anyseq_runtime.Service}), which amortizes kernel specialization
+      across the batch via a bounded cache and dispatches each
+      configuration group to its best engine.
+
+    Both return [result] values over {!Error.t}; [_exn] twins raise
+    {!Error.Error} instead. The historical [construct_*] /
+    [*_alignment_score] functions of the paper's §III-C are kept as
+    one-line wrappers over {!align_exn}.
 
     {1 Component namespaces} *)
 
@@ -37,22 +49,73 @@ module Genome_gen = Anyseq_seqio.Genome_gen
 module Read_sim = Anyseq_seqio.Read_sim
 module Sam = Anyseq_seqio.Sam
 
-(** {1 String-level convenience API}
+(** {1 Runtime namespaces} *)
 
-    DNA sequences as plain strings (ACGT, case-insensitive; N allowed and
-    scored as mismatch). Default scoring is the paper's +2/−1 with linear
-    gap −1; pass [~scheme] to change it. *)
+module Config = Anyseq_runtime.Config
+module Error = Anyseq_runtime.Error
+module Service = Anyseq_runtime.Service
+module Spec_cache = Anyseq_runtime.Spec_cache
+module Metrics = Anyseq_runtime.Metrics
+module Native_kernel = Anyseq_runtime.Native_kernel
+
+(** {1 Core entry points}
+
+    Sequences are plain strings over the configuration scheme's alphabet
+    (for the default DNA schemes: ACGT plus N, case-insensitive). *)
 
 type aligned = {
   score : int;
-  query_aligned : string;  (** gapped rendering, ['-'] in gaps *)
+  query_aligned : string;  (** gapped rendering, ['-'] in gaps; [""] for score-only *)
   subject_aligned : string;
-  alignment : Alignment.t;
+  alignment : Alignment.t option;  (** [Some] iff the configuration asked for traceback *)
 }
+
+val align :
+  config:Config.t -> query:string -> subject:string -> (aligned, Error.t) result
+(** Align one pair under [config]. Fails with [Bad_sequence] on characters
+    the scheme's alphabet rejects, and — like the batch path — with
+    [Overflow_bound] when the configuration explicitly requests the [Simd]
+    backend for a score-only job whose size fails the 16-bit feasibility
+    analysis of {!Bounds}. The backend field is a hint: traceback always
+    goes through {!Engine.align}, so single and batched alignments of the
+    same pair produce identical transcripts. *)
+
+val align_exn : config:Config.t -> query:string -> subject:string -> aligned
+(** Raises {!Error.Error}. *)
+
+val align_batch :
+  ?service:Service.t ->
+  ?timeout_s:float ->
+  config:Config.t ->
+  (string * string) array ->
+  (aligned, Error.t) result array
+(** Align many (query, subject) pairs through the runtime service
+    ([?service] defaults to the shared {!Service.default}); results in
+    input order, one per pair. Jobs beyond the service's admission
+    capacity fail with [Rejected]; [?timeout_s] puts a deadline on every
+    job ([Timeout]). Batched score-only jobs hit the specialization cache
+    and the pre-generated residual kernels, so a batch over few
+    configurations runs substantially faster than a loop over {!align} —
+    the runtime bench table quantifies it. *)
+
+val align_batch_exn :
+  ?service:Service.t ->
+  ?timeout_s:float ->
+  config:Config.t ->
+  (string * string) array ->
+  aligned array
+(** Raises {!Error.Error} on the first failed slot. *)
+
+(** {1 Paper-compatible convenience API (§III-C)}
+
+    The [construct_*] C-wrapper analogues of the original AnySeq API, kept
+    as one-line wrappers over {!align_exn}. Default scoring is the paper's
+    +2/−1 with linear gap −1; pass [~scheme] to change it. *)
 
 val construct_global_alignment :
   ?scheme:Scheme.t -> query:string -> subject:string -> unit -> aligned
-(** The paper's [construct_global_alignment] entry point. *)
+(** The paper's [construct_global_alignment] entry point. The [alignment]
+    field is always [Some]. *)
 
 val construct_local_alignment :
   ?scheme:Scheme.t -> query:string -> subject:string -> unit -> aligned
@@ -69,6 +132,9 @@ val semiglobal_alignment_score :
   ?scheme:Scheme.t -> query:string -> subject:string -> unit -> int
 
 val default_scheme : Scheme.t
-(** [Scheme.paper_linear] over dna5 wildcard scoring. *)
+(** The paper's +2/−1 with linear gap −1 over dna5 —
+    [Scheme.wildcard_linear], the same value {!Config.make} defaults to
+    (same physical substitution closure, so facade and runtime share cache
+    entries). *)
 
 val version : string

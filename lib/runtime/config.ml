@@ -1,0 +1,36 @@
+module Scheme = Anyseq_scoring.Scheme
+module Types = Anyseq_core.Types
+module Alignment = Anyseq_bio.Alignment
+
+type backend = Auto | Scalar | Simd | Wavefront
+
+let backend_to_string = function
+  | Auto -> "auto"
+  | Scalar -> "scalar"
+  | Simd -> "simd"
+  | Wavefront -> "wavefront"
+
+type t = {
+  scheme : Scheme.t;
+  mode : Types.mode;
+  traceback : bool;
+  backend : backend;
+}
+
+let make ?(scheme = Scheme.wildcard_linear) ?(mode = Types.Global) ?(traceback = true)
+    ?(backend = Auto) () =
+  { scheme; mode; traceback; backend }
+
+let default = make ()
+
+let kernel_key t =
+  Printf.sprintf "%s#%s" (Scheme.to_string t.scheme) (Alignment.mode_to_string t.mode)
+
+let key t =
+  Printf.sprintf "%s#%b#%s" (kernel_key t) t.traceback (backend_to_string t.backend)
+
+let to_string t =
+  Printf.sprintf "%s/%s/%s/%s" (Scheme.to_string t.scheme)
+    (Alignment.mode_to_string t.mode)
+    (if t.traceback then "traceback" else "score-only")
+    (backend_to_string t.backend)

@@ -1,0 +1,20 @@
+type t =
+  | Bad_sequence of string
+  | Overflow_bound of string
+  | Rejected
+  | Timeout
+
+exception Error of t
+
+let to_string = function
+  | Bad_sequence msg -> Printf.sprintf "bad sequence: %s" msg
+  | Overflow_bound msg -> Printf.sprintf "overflow bound: %s" msg
+  | Rejected -> "rejected: submission queue full"
+  | Timeout -> "timeout"
+
+let raise_ t = raise (Error t)
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some (Printf.sprintf "Anyseq_runtime.Error.Error(%s)" (to_string t))
+    | _ -> None)

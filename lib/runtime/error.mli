@@ -1,0 +1,20 @@
+(** Typed errors of the request-level API.
+
+    Every string-level entry point returns [(_, Error.t) result]; the [_exn]
+    twins raise {!Error} instead. Engine-internal invariants still raise
+    [Invalid_argument]/[Failure] — this type covers exactly the failures a
+    well-behaved caller can trigger with data. *)
+
+type t =
+  | Bad_sequence of string
+      (** input string rejected by the configured alphabet *)
+  | Overflow_bound of string
+      (** the job cannot run on the requested backend without overflowing
+          its narrow-integer score representation (§IV-A feasibility) *)
+  | Rejected  (** runtime submission queue full — back off and retry *)
+  | Timeout  (** the job's deadline passed before it was executed *)
+
+exception Error of t
+
+val to_string : t -> string
+val raise_ : t -> 'a

@@ -1,0 +1,156 @@
+type counter = int Atomic.t
+
+(* max value tracked alongside, so a gauge line can show its high-water
+   mark without a separate instrument. *)
+type gauge = { g_cur : int Atomic.t; g_max : int Atomic.t }
+
+(* Buckets by bit width: bucket i holds values v with 2^i <= v+1 < 2^(i+1),
+   i.e. index = number of significant bits of v. 63 buckets cover any
+   non-negative int. *)
+let buckets = 63
+
+type histogram = {
+  h_counts : int Atomic.t array;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+}
+
+type instrument = Counter of counter | Gauge of gauge | Hist of histogram
+
+type t = { lock : Mutex.t; tbl : (string, instrument) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 32 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let register t name mk select =
+  match Hashtbl.find_opt t.tbl name with
+  | Some i -> select i
+  | None ->
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.tbl name with
+          | Some i -> select i
+          | None ->
+              let i = mk () in
+              Hashtbl.replace t.tbl name i;
+              select i)
+
+let wrong_kind name = invalid_arg ("Metrics: instrument kind mismatch for " ^ name)
+
+let counter t name =
+  register t name
+    (fun () -> Counter (Atomic.make 0))
+    (function Counter c -> c | _ -> wrong_kind name)
+
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+
+let atomic_max a v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then go ()
+  in
+  go ()
+
+let gauge_set t name v =
+  let g =
+    register t name
+      (fun () -> Gauge { g_cur = Atomic.make 0; g_max = Atomic.make 0 })
+      (function Gauge g -> g | _ -> wrong_kind name)
+  in
+  Atomic.set g.g_cur v;
+  atomic_max g.g_max v
+
+let histogram t name =
+  register t name
+    (fun () ->
+      Hist
+        {
+          h_counts = Array.init buckets (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+          h_max = Atomic.make 0;
+        })
+    (function Hist h -> h | _ -> wrong_kind name)
+
+let bucket_of v =
+  let v = max 0 v in
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  min (buckets - 1) (bits v 0)
+
+let observe h v =
+  Atomic.incr h.h_counts.(bucket_of v);
+  Atomic.incr h.h_count;
+  add h.h_sum (max 0 v);
+  atomic_max h.h_max v
+
+let hist_count h = Atomic.get h.h_count
+let hist_sum h = Atomic.get h.h_sum
+let hist_max h = Atomic.get h.h_max
+
+let hist_quantile h q =
+  let total = hist_count h in
+  if total = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int total)) in
+    let rank = max 1 (min total rank) in
+    let acc = ref 0 and result = ref 0.0 and found = ref false in
+    for i = 0 to buckets - 1 do
+      if not !found then begin
+        acc := !acc + Atomic.get h.h_counts.(i);
+        if !acc >= rank then begin
+          (* upper bound of bucket i: values with i significant bits *)
+          result := float_of_int ((1 lsl i) - 1);
+          found := true
+        end
+      end
+    done;
+    !result
+  end
+
+let find t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> Some (Atomic.get c)
+  | Some (Gauge g) -> Some (Atomic.get g.g_cur)
+  | _ -> None
+
+let reset t =
+  with_lock t (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          match i with
+          | Counter c -> Atomic.set c 0
+          | Gauge g ->
+              Atomic.set g.g_cur 0;
+              Atomic.set g.g_max 0
+          | Hist h ->
+              Array.iter (fun a -> Atomic.set a 0) h.h_counts;
+              Atomic.set h.h_count 0;
+              Atomic.set h.h_sum 0;
+              Atomic.set h.h_max 0)
+        t.tbl)
+
+let dump t =
+  let lines =
+    Hashtbl.fold
+      (fun name i acc ->
+        let line =
+          match i with
+          | Counter c -> Printf.sprintf "counter %s %d" name (Atomic.get c)
+          | Gauge g ->
+              Printf.sprintf "gauge %s %d max=%d" name (Atomic.get g.g_cur)
+                (Atomic.get g.g_max)
+          | Hist h ->
+              let n = hist_count h in
+              let mean = if n = 0 then 0.0 else float_of_int (hist_sum h) /. float_of_int n in
+              Printf.sprintf "hist %s count=%d mean=%.1f p50<=%.0f p99<=%.0f max=%d" name n
+                mean (hist_quantile h 0.5) (hist_quantile h 0.99) (hist_max h)
+        in
+        line :: acc)
+      t.tbl []
+  in
+  String.concat "\n" (List.sort compare lines)

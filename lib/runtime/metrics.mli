@@ -1,0 +1,52 @@
+(** Monotonic counters, gauges and histograms for the alignment runtime.
+
+    A registry is a flat namespace of named instruments, all safe to update
+    from concurrent domains (counters and histogram buckets are [Atomic]s;
+    the registry itself is mutex-protected on first-use registration only).
+    [dump] renders a plain-text snapshot — one instrument per line — wired
+    into [anyseq batch/serve --metrics] and the bench harness. *)
+
+type t
+
+type counter
+(** Monotonically increasing (use {!gauge_set} for level quantities). *)
+
+type histogram
+(** Power-of-two bucketed distribution of non-negative integers
+    (nanoseconds, batch sizes, …). *)
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get or register. Instruments are identified by name; calling twice with
+    one name returns the same instrument. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge_set : t -> string -> int -> unit
+(** Set a level quantity (e.g. current queue depth). Registered on first
+    use; rendered alongside a high-water mark. *)
+
+val histogram : t -> string -> histogram
+val observe : histogram -> int -> unit
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_max : histogram -> int
+
+val hist_quantile : histogram -> float -> float
+(** Upper bucket bound containing quantile [q] of observations
+    (0 on an empty histogram). Bucket resolution is a factor of 2. *)
+
+val find : t -> string -> int option
+(** Current value of a counter or gauge by name (for tests and tools). *)
+
+val reset : t -> unit
+(** Zero every instrument (keeps registrations). *)
+
+val dump : t -> string
+(** Text snapshot, sorted by instrument name:
+    [counter <name> <value>], [gauge <name> <value> max=<high-water>],
+    [hist <name> count=… mean=… p50=… p99=… max=…]. *)

@@ -1,0 +1,271 @@
+module Scheme = Anyseq_scoring.Scheme
+module Gaps = Anyseq_bio.Gaps
+module Alphabet = Anyseq_bio.Alphabet
+module Substitution = Anyseq_bio.Substitution
+module Seq = Anyseq_bio.Sequence
+open Anyseq_core.Types
+
+type t = {
+  nk_scheme : Scheme.t;
+  nk_mode : mode;
+  score : query:Seq.view -> subject:Seq.view -> ends;
+}
+
+(* The substitution function folded to a flat asize×asize table; one
+   unchecked load replaces a closure call per cell. *)
+let fold_subst scheme =
+  let asize = Alphabet.size (Scheme.alphabet scheme) in
+  let sigma = Scheme.subst_score scheme in
+  (Array.init (asize * asize) (fun k -> sigma (k / asize) (k mod asize)), asize)
+
+(* ---------- linear gaps: no E/F state ---------- *)
+
+let lin_corner ~sub ~asize ~ge ~(query : Seq.view) ~(subject : Seq.view) =
+  let n = query.Seq.len and m = subject.Seq.len in
+  let scodes = Array.init m subject.Seq.at in
+  let hrow = Array.make (m + 1) 0 in
+  for j = 1 to m do
+    hrow.(j) <- -(j * ge)
+  done;
+  let q_at = query.Seq.at in
+  for i = 1 to n do
+    let qrow = q_at (i - 1) * asize in
+    let border = -(i * ge) in
+    let hdiag0 = Array.unsafe_get hrow 0 in
+    Array.unsafe_set hrow 0 border;
+    let rec go j hdiag hleft =
+      if j <= m then begin
+        let sc = Array.unsafe_get scodes (j - 1) in
+        let up = Array.unsafe_get hrow j in
+        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+        let gap = (if up >= hleft then up else hleft) - ge in
+        let best = if diag >= gap then diag else gap in
+        Array.unsafe_set hrow j best;
+        go (j + 1) up best
+      end
+    in
+    go 1 hdiag0 border
+  done;
+  { score = hrow.(m); query_end = n; subject_end = m }
+
+let lin_all ~sub ~asize ~ge ~(query : Seq.view) ~(subject : Seq.view) =
+  let n = query.Seq.len and m = subject.Seq.len in
+  let scodes = Array.init m subject.Seq.at in
+  let hrow = Array.make (m + 1) 0 in
+  let q_at = query.Seq.at in
+  (* Borders are all 0 and noted first, so (0, 0, 0) seeds the tracker
+     exactly as the generic engine's row-major strictly-greater scan does. *)
+  let best_sc = ref 0 and best_i = ref 0 and best_j = ref 0 in
+  for i = 1 to n do
+    let qrow = q_at (i - 1) * asize in
+    let hdiag0 = Array.unsafe_get hrow 0 in
+    Array.unsafe_set hrow 0 0;
+    let row_best = ref 0 and row_best_j = ref 0 in
+    let rec go j hdiag hleft =
+      if j <= m then begin
+        let sc = Array.unsafe_get scodes (j - 1) in
+        let up = Array.unsafe_get hrow j in
+        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+        let gap = (if up >= hleft then up else hleft) - ge in
+        let v = if diag >= gap then diag else gap in
+        let v = if v > 0 then v else 0 in
+        Array.unsafe_set hrow j v;
+        if v > !row_best then begin
+          row_best := v;
+          row_best_j := j
+        end;
+        go (j + 1) up v
+      end
+    in
+    go 1 hdiag0 0;
+    (* Per-row reduction preserves the row-major first-strictly-greater
+       position: within a row the leftmost strict improvement wins. *)
+    if !row_best > !best_sc then begin
+      best_sc := !row_best;
+      best_i := i;
+      best_j := !row_best_j
+    end
+  done;
+  { score = !best_sc; query_end = !best_i; subject_end = !best_j }
+
+let lin_lastrc ~sub ~asize ~ge ~(query : Seq.view) ~(subject : Seq.view) =
+  let n = query.Seq.len and m = subject.Seq.len in
+  let scodes = Array.init m subject.Seq.at in
+  let hrow = Array.make (m + 1) 0 in
+  let q_at = query.Seq.at in
+  (* Note order of the generic engine: H(0,m), then H(i,m) for each row
+     (H(i,0) when m = 0), then the last row left to right. *)
+  let best_sc = ref 0 and best_i = ref 0 and best_j = ref m in
+  for i = 1 to n do
+    let qrow = q_at (i - 1) * asize in
+    let hdiag0 = Array.unsafe_get hrow 0 in
+    Array.unsafe_set hrow 0 0;
+    let rec go j hdiag hleft =
+      if j <= m then begin
+        let sc = Array.unsafe_get scodes (j - 1) in
+        let up = Array.unsafe_get hrow j in
+        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+        let gap = (if up >= hleft then up else hleft) - ge in
+        let v = if diag >= gap then diag else gap in
+        Array.unsafe_set hrow j v;
+        go (j + 1) up v
+      end
+    in
+    go 1 hdiag0 0;
+    if hrow.(m) > !best_sc then begin
+      best_sc := hrow.(m);
+      best_i := i;
+      best_j := m
+    end
+  done;
+  for j = 0 to m do
+    if hrow.(j) > !best_sc then begin
+      best_sc := hrow.(j);
+      best_i := n;
+      best_j := j
+    end
+  done;
+  { score = !best_sc; query_end = !best_i; subject_end = !best_j }
+
+(* ---------- affine gaps: E row + rolling F ---------- *)
+
+let aff_corner ~sub ~asize ~go:gopen ~ge ~(query : Seq.view) ~(subject : Seq.view) =
+  let n = query.Seq.len and m = subject.Seq.len in
+  let scodes = Array.init m subject.Seq.at in
+  let hrow = Array.make (m + 1) 0 in
+  let erow = Array.make (m + 1) neg_inf in
+  for j = 1 to m do
+    hrow.(j) <- -(gopen + (j * ge))
+  done;
+  let goe = gopen + ge in
+  let q_at = query.Seq.at in
+  for i = 1 to n do
+    let qrow = q_at (i - 1) * asize in
+    let border = -(gopen + (i * ge)) in
+    let hdiag0 = Array.unsafe_get hrow 0 in
+    Array.unsafe_set hrow 0 border;
+    let rec go j hdiag f hleft =
+      if j <= m then begin
+        let sc = Array.unsafe_get scodes (j - 1) in
+        let hj = Array.unsafe_get hrow j in
+        let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
+        let e = if e_ext >= e_opn then e_ext else e_opn in
+        let f_ext = f - ge and f_opn = hleft - goe in
+        let fv = if f_ext >= f_opn then f_ext else f_opn in
+        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+        let best = if diag >= e then diag else e in
+        let best = if best >= fv then best else fv in
+        Array.unsafe_set hrow j best;
+        Array.unsafe_set erow j e;
+        go (j + 1) hj fv best
+      end
+    in
+    go 1 hdiag0 neg_inf border
+  done;
+  { score = hrow.(m); query_end = n; subject_end = m }
+
+let aff_all ~sub ~asize ~go:gopen ~ge ~(query : Seq.view) ~(subject : Seq.view) =
+  let n = query.Seq.len and m = subject.Seq.len in
+  let scodes = Array.init m subject.Seq.at in
+  let hrow = Array.make (m + 1) 0 in
+  let erow = Array.make (m + 1) neg_inf in
+  let goe = gopen + ge in
+  let q_at = query.Seq.at in
+  let best_sc = ref 0 and best_i = ref 0 and best_j = ref 0 in
+  for i = 1 to n do
+    let qrow = q_at (i - 1) * asize in
+    let hdiag0 = Array.unsafe_get hrow 0 in
+    Array.unsafe_set hrow 0 0;
+    let row_best = ref 0 and row_best_j = ref 0 in
+    let rec go j hdiag f hleft =
+      if j <= m then begin
+        let sc = Array.unsafe_get scodes (j - 1) in
+        let hj = Array.unsafe_get hrow j in
+        let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
+        let e = if e_ext >= e_opn then e_ext else e_opn in
+        let f_ext = f - ge and f_opn = hleft - goe in
+        let fv = if f_ext >= f_opn then f_ext else f_opn in
+        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+        let best = if diag >= e then diag else e in
+        let best = if best >= fv then best else fv in
+        let best = if best > 0 then best else 0 in
+        Array.unsafe_set hrow j best;
+        Array.unsafe_set erow j e;
+        if best > !row_best then begin
+          row_best := best;
+          row_best_j := j
+        end;
+        go (j + 1) hj fv best
+      end
+    in
+    go 1 hdiag0 neg_inf 0;
+    if !row_best > !best_sc then begin
+      best_sc := !row_best;
+      best_i := i;
+      best_j := !row_best_j
+    end
+  done;
+  { score = !best_sc; query_end = !best_i; subject_end = !best_j }
+
+let aff_lastrc ~sub ~asize ~go:gopen ~ge ~(query : Seq.view) ~(subject : Seq.view) =
+  let n = query.Seq.len and m = subject.Seq.len in
+  let scodes = Array.init m subject.Seq.at in
+  let hrow = Array.make (m + 1) 0 in
+  let erow = Array.make (m + 1) neg_inf in
+  let goe = gopen + ge in
+  let q_at = query.Seq.at in
+  let best_sc = ref 0 and best_i = ref 0 and best_j = ref m in
+  for i = 1 to n do
+    let qrow = q_at (i - 1) * asize in
+    let hdiag0 = Array.unsafe_get hrow 0 in
+    Array.unsafe_set hrow 0 0;
+    let rec go j hdiag f hleft =
+      if j <= m then begin
+        let sc = Array.unsafe_get scodes (j - 1) in
+        let hj = Array.unsafe_get hrow j in
+        let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
+        let e = if e_ext >= e_opn then e_ext else e_opn in
+        let f_ext = f - ge and f_opn = hleft - goe in
+        let fv = if f_ext >= f_opn then f_ext else f_opn in
+        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+        let best = if diag >= e then diag else e in
+        let best = if best >= fv then best else fv in
+        Array.unsafe_set hrow j best;
+        Array.unsafe_set erow j e;
+        go (j + 1) hj fv best
+      end
+    in
+    go 1 hdiag0 neg_inf 0;
+    if hrow.(m) > !best_sc then begin
+      best_sc := hrow.(m);
+      best_i := i;
+      best_j := m
+    end
+  done;
+  for j = 0 to m do
+    if hrow.(j) > !best_sc then begin
+      best_sc := hrow.(j);
+      best_i := n;
+      best_j := j
+    end
+  done;
+  { score = !best_sc; query_end = !best_i; subject_end = !best_j }
+
+let build scheme mode =
+  let sub, asize = fold_subst scheme in
+  let ge = Gaps.extend_cost scheme.Scheme.gap in
+  let score =
+    if Gaps.is_affine scheme.Scheme.gap then begin
+      let go = Gaps.open_cost scheme.Scheme.gap in
+      match mode with
+      | Global -> fun ~query ~subject -> aff_corner ~sub ~asize ~go ~ge ~query ~subject
+      | Local -> fun ~query ~subject -> aff_all ~sub ~asize ~go ~ge ~query ~subject
+      | Semiglobal -> fun ~query ~subject -> aff_lastrc ~sub ~asize ~go ~ge ~query ~subject
+    end
+    else
+      match mode with
+      | Global -> fun ~query ~subject -> lin_corner ~sub ~asize ~ge ~query ~subject
+      | Local -> fun ~query ~subject -> lin_all ~sub ~asize ~ge ~query ~subject
+      | Semiglobal -> fun ~query ~subject -> lin_lastrc ~sub ~asize ~ge ~query ~subject
+  in
+  Some { nk_scheme = scheme; nk_mode = mode; score }

@@ -1,0 +1,37 @@
+(** Pre-generated residual score kernels — the runtime counterpart of the
+    residuals AnySeq's partial evaluator emits as native code.
+
+    {!Anyseq_core.Staged_kernel.specialize} produces a residual as a tree of
+    closures, which re-enters the OCaml runtime on every relaxation; without
+    a JIT that costs two orders of magnitude over the generic engine. This
+    module holds the same six residuals written out as straight-line OCaml —
+    one per (gap model × best rule) point of the configuration space, with
+    the substitution function folded into a flat lookup table at build time
+    — so the specialization cache can serve a kernel with {e zero} per-cell
+    configuration dispatch:
+
+    - linear gaps drop the E/F recurrences entirely (E(i,j) = H(i−1,j) − Ge
+      when Go = 0), roughly halving the per-cell work of the generic
+      affine-shaped loop;
+    - local/semi-global best tracking is inlined instead of the generic
+      engine's per-cell tracker closure (the dominant cost of those modes).
+
+    Scores {e and} optimum coordinates are bit-identical to
+    {!Anyseq_core.Dp_linear.score_only} — same note order, same
+    strictly-greater tie rule — which the test suite enforces; the batch
+    executor may therefore mix native and generic execution freely. *)
+
+type t = {
+  nk_scheme : Anyseq_scoring.Scheme.t;
+  nk_mode : Anyseq_core.Types.mode;
+  score :
+    query:Anyseq_bio.Sequence.view ->
+    subject:Anyseq_bio.Sequence.view ->
+    Anyseq_core.Types.ends;
+}
+
+val build : Anyseq_scoring.Scheme.t -> Anyseq_core.Types.mode -> t option
+(** Fold a configuration into its straight-line residual. Currently total —
+    every scheme admits a lookup-table fold — but callers must handle
+    [None] so configurations outside the pre-generated set (future gap
+    models) can fall back to the staged-IR kernel. *)

@@ -1,0 +1,290 @@
+module Scheme = Anyseq_scoring.Scheme
+module Bounds = Anyseq_scoring.Bounds
+module Seq = Anyseq_bio.Sequence
+module Alignment = Anyseq_bio.Alignment
+module Engine = Anyseq_core.Engine
+module Dp_linear = Anyseq_core.Dp_linear
+module Inter_seq = Anyseq_simd.Inter_seq
+module Scheduler = Anyseq_wavefront.Scheduler
+module Timer = Anyseq_util.Timer
+open Anyseq_core.Types
+
+type job = { config : Config.t; query : string; subject : string; timeout_s : float option }
+
+let job ?(config = Config.default) ?timeout_s ~query ~subject () =
+  { config; query; subject; timeout_s }
+
+type outcome = {
+  score : int;
+  query_end : int;
+  subject_end : int;
+  alignment : Alignment.t option;
+  query_seq : Seq.t;
+  subject_seq : Seq.t;
+}
+
+type t = {
+  capacity : int;
+  batch_size : int;
+  domains : int;
+  cache : Spec_cache.t;
+  metrics : Metrics.t;
+  in_flight : int Atomic.t;
+}
+
+let long_pair_cells = 4_000_000
+
+let create ?(capacity = 1024) ?(batch_size = 256)
+    ?(domains = Domain.recommended_domain_count ())
+    ?(cache_capacity = Spec_cache.default_capacity) ?metrics () =
+  if capacity <= 0 then invalid_arg "Service.create: capacity must be positive";
+  if batch_size <= 0 then invalid_arg "Service.create: batch_size must be positive";
+  {
+    capacity;
+    batch_size;
+    domains = max 1 domains;
+    cache = Spec_cache.create ~capacity:cache_capacity ();
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    in_flight = Atomic.make 0;
+  }
+
+(* Admission control: grab as many of [want] slots as the budget still
+   allows, atomically, so concurrent [run] calls cannot oversubscribe. *)
+let reserve t want =
+  let rec go () =
+    let cur = Atomic.get t.in_flight in
+    let grant = min want (t.capacity - cur) in
+    if grant <= 0 then 0
+    else if Atomic.compare_and_set t.in_flight cur (cur + grant) then grant
+    else go ()
+  in
+  go ()
+
+let release t n = ignore (Atomic.fetch_and_add t.in_flight (-n))
+let queue_depth t = Atomic.get t.in_flight
+let cache_stats t = Spec_cache.stats t.cache
+let metrics t = t.metrics
+
+(* An admitted, parsed job awaiting dispatch. *)
+type prepared = {
+  p_idx : int;
+  p_q : Seq.t;
+  p_s : Seq.t;
+  p_deadline : int64;  (** ns timestamp; [Int64.max_int] = no deadline *)
+}
+
+let deadline_of job now =
+  match job.timeout_s with
+  | None -> Int64.max_int
+  | Some s when s <= 0.0 -> Int64.min_int (* already expired, deterministically *)
+  | Some s -> Int64.add now (Int64.of_float (s *. 1e9))
+
+let expired p = Int64.compare (Timer.now_ns ()) p.p_deadline > 0
+let cells_of p = Seq.length p.p_q * Seq.length p.p_s
+
+let ctr t name = Metrics.counter t.metrics ("runtime/" ^ name)
+let hist t name = Metrics.histogram t.metrics ("runtime/" ^ name)
+
+let score_outcome results p (e : ends) =
+  results.(p.p_idx) <-
+    Ok
+      {
+        score = e.score;
+        query_end = e.query_end;
+        subject_end = e.subject_end;
+        alignment = None;
+        query_seq = p.p_q;
+        subject_seq = p.p_s;
+      }
+
+let time_out t results p =
+  results.(p.p_idx) <- Error Error.Timeout;
+  Metrics.incr (ctr t "jobs_timed_out")
+
+let rec split_at k l =
+  if k = 0 then ([], l)
+  else
+    match l with
+    | [] -> ([], [])
+    | x :: tl ->
+        let a, b = split_at (k - 1) tl in
+        (x :: a, b)
+
+(* Feed [group] to [f] in [batch_size] chunks. The deadline check happens
+   once per chunk, right before dispatch — the documented granularity. [f]
+   must fill [results] for every prepared job it is given. *)
+let dispatch_chunks t results group f =
+  let rec go = function
+    | [] -> ()
+    | rest ->
+        let chunk, rest = split_at t.batch_size rest in
+        let live, dead = List.partition (fun p -> not (expired p)) chunk in
+        List.iter (time_out t results) dead;
+        (if live <> [] then begin
+           let t0 = Timer.now_ns () in
+           f live;
+           let us = Int64.to_int (Int64.div (Int64.sub (Timer.now_ns ()) t0) 1000L) in
+           Metrics.incr (ctr t "batches_dispatched");
+           Metrics.observe (hist t "batch_jobs") (List.length live);
+           Metrics.observe (hist t "batch_us") us;
+           Metrics.add (ctr t "cells_computed")
+             (List.fold_left (fun acc p -> acc + cells_of p) 0 live);
+           Metrics.add (ctr t "jobs_completed") (List.length live)
+         end);
+        go rest
+  in
+  go group
+
+(* Traceback tier: per-job dispatch (deadlines are per alignment). *)
+let run_traceback t results (cfg : Config.t) group =
+  List.iter
+    (fun p ->
+      if expired p then time_out t results p
+      else begin
+        let t0 = Timer.now_ns () in
+        let a = Engine.align cfg.scheme cfg.mode ~query:p.p_q ~subject:p.p_s in
+        let us = Int64.to_int (Int64.div (Int64.sub (Timer.now_ns ()) t0) 1000L) in
+        Metrics.observe (hist t "align_us") us;
+        Metrics.add (ctr t "cells_computed") (cells_of p);
+        Metrics.incr (ctr t "jobs_completed");
+        results.(p.p_idx) <-
+          Ok
+            {
+              score = a.Alignment.score;
+              query_end = a.Alignment.query_end;
+              subject_end = a.Alignment.subject_end;
+              alignment = Some a;
+              query_seq = p.p_q;
+              subject_seq = p.p_s;
+            }
+      end)
+    group
+
+(* Scalar tier: the cached pre-generated residual kernel. The cache is
+   consulted at every dispatch point (once per chunk), so hit/miss counts
+   measure how often execution was served without re-specializing. *)
+let run_scalar t results (cfg : Config.t) group =
+  dispatch_chunks t results group (fun live ->
+      let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
+      let score =
+        match kernels.Spec_cache.native with
+        | Some nk -> nk.Native_kernel.score
+        | None ->
+            (* Configurations outside the pre-generated set fall back to the
+               generic linear-space engine (bit-identical results). *)
+            fun ~query ~subject -> Dp_linear.score_only cfg.scheme cfg.mode ~query ~subject
+      in
+      List.iter
+        (fun p -> score_outcome results p (score ~query:(Seq.view p.p_q) ~subject:(Seq.view p.p_s)))
+        live)
+
+(* SIMD tier: 16-bit overflow screening, then lockstep vector batches. *)
+let run_simd t results (cfg : Config.t) group =
+  let feasible =
+    List.filter
+      (fun p ->
+        let rows = Seq.length p.p_q and cols = Seq.length p.p_s in
+        (* Empty pairs have no DP block, hence nothing that can overflow. *)
+        if rows = 0 || cols = 0 || Bounds.fits cfg.scheme ~rows ~cols ~bits:16 then true
+        else begin
+          results.(p.p_idx) <-
+            Error
+              (Error.Overflow_bound
+                 (Printf.sprintf
+                    "%d x %d pair exceeds the 16-bit differential-score range of the vector \
+                     kernels"
+                    rows cols));
+          Metrics.incr (ctr t "jobs_failed");
+          false
+        end)
+      group
+  in
+  dispatch_chunks t results feasible (fun live ->
+      let pairs = Array.of_list (List.map (fun p -> (p.p_q, p.p_s)) live) in
+      let ends = Inter_seq.batch_score cfg.scheme cfg.mode pairs in
+      List.iteri (fun i p -> score_outcome results p ends.(i)) live)
+
+(* Wavefront tier: tiles of all pairs of the chunk share one dynamic queue. *)
+let run_wavefront t results (cfg : Config.t) group =
+  dispatch_chunks t results group (fun live ->
+      let pairs = Array.of_list (List.map (fun p -> (p.p_q, p.p_s)) live) in
+      let ends = Scheduler.score_many ~domains:t.domains cfg.scheme cfg.mode pairs in
+      List.iteri (fun i p -> score_outcome results p ends.(i)) live)
+
+let run_group t results (cfg : Config.t) group =
+  if cfg.traceback then run_traceback t results cfg group
+  else
+    match cfg.backend with
+    | Config.Scalar -> run_scalar t results cfg group
+    | Config.Simd -> run_simd t results cfg group
+    | Config.Wavefront -> run_wavefront t results cfg group
+    | Config.Auto ->
+        (* Short pairs take the cached residual; a pair worth tiling only
+           escalates when there is real parallelism to win. *)
+        let long, short =
+          List.partition (fun p -> t.domains > 1 && cells_of p >= long_pair_cells) group
+        in
+        if short <> [] then run_scalar t results cfg short;
+        if long <> [] then run_wavefront t results cfg long
+
+let run t jobs =
+  let n = Array.length jobs in
+  let results = Array.make n (Error Error.Rejected) in
+  if n = 0 then results
+  else begin
+    Metrics.add (ctr t "jobs_submitted") n;
+    let granted = reserve t n in
+    Metrics.gauge_set t.metrics "runtime/queue_depth" (queue_depth t);
+    if granted < n then Metrics.add (ctr t "jobs_rejected") (n - granted);
+    Fun.protect
+      ~finally:(fun () ->
+        release t granted;
+        Metrics.gauge_set t.metrics "runtime/queue_depth" (queue_depth t))
+      (fun () ->
+        let now0 = Timer.now_ns () in
+        (* Parse phase: bad sequences fail their own slot, nothing else. *)
+        let prepared = ref [] in
+        for i = granted - 1 downto 0 do
+          let j = jobs.(i) in
+          let alphabet = Scheme.alphabet j.config.Config.scheme in
+          match (Seq.of_string alphabet j.query, Seq.of_string alphabet j.subject) with
+          | q, s ->
+              prepared :=
+                { p_idx = i; p_q = q; p_s = s; p_deadline = deadline_of j now0 } :: !prepared
+          | exception Invalid_argument msg ->
+              results.(i) <- Error (Error.Bad_sequence msg);
+              Metrics.incr (ctr t "jobs_failed")
+        done;
+        Metrics.observe (hist t "admit_us")
+          (Int64.to_int (Int64.div (Int64.sub (Timer.now_ns ()) now0) 1000L));
+        (* Group by full configuration key, preserving first-seen order
+           (results are slotted by index, so order only affects locality). *)
+        let groups : (string, (Config.t * prepared list ref)) Hashtbl.t = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun p ->
+            let cfg = jobs.(p.p_idx).config in
+            let k = Config.key cfg in
+            match Hashtbl.find_opt groups k with
+            | Some (_, l) -> l := p :: !l
+            | None ->
+                Hashtbl.add groups k (cfg, ref [ p ]);
+                order := k :: !order)
+          !prepared;
+        List.iter
+          (fun k ->
+            let cfg, l = Hashtbl.find groups k in
+            run_group t results cfg (List.rev !l))
+          (List.rev !order);
+        (* Mirror cache effectiveness into the registry for [dump]. *)
+        let cs = Spec_cache.stats t.cache in
+        Metrics.gauge_set t.metrics "runtime/cache_hits" cs.Spec_cache.hits;
+        Metrics.gauge_set t.metrics "runtime/cache_misses" cs.Spec_cache.misses;
+        Metrics.gauge_set t.metrics "runtime/cache_size" cs.Spec_cache.size;
+        results)
+  end
+
+let run_one t j = (run t [| j |]).(0)
+
+let default_service = lazy (create ())
+let default () = Lazy.force default_service

@@ -1,0 +1,81 @@
+(** The batch alignment service — the runtime's executor (ISSUE tentpole).
+
+    A service owns a {!Spec_cache}, a {!Metrics} registry, and a bounded
+    admission budget. {!run} takes an array of jobs, admits up to the
+    remaining capacity (excess jobs are answered [Error Rejected] —
+    backpressure, never silent dropping), groups admitted jobs by their
+    full configuration key, and dispatches each group through the engine
+    the configuration asks for:
+
+    - traceback jobs go one-by-one through {!Anyseq_core.Engine.align}
+      (dense matrix for small problems, Hirschberg beyond);
+    - [Simd] score jobs are screened with the 16-bit overflow analysis of
+      {!Anyseq_scoring.Bounds} ([Error (Overflow_bound _)] on failure, the
+      same check the facade applies to single alignments) and streamed
+      through {!Anyseq_simd.Inter_seq.batch_score} in [batch_size] chunks;
+    - [Wavefront] score jobs run through
+      {!Anyseq_wavefront.Scheduler.score_many} over the configured domain
+      count;
+    - [Scalar] and [Auto] score jobs use the cached pre-generated residual
+      kernel ({!Native_kernel} via {!Spec_cache.get}) — the fast path that
+      amortizes specialization across the batch. [Auto] escalates a pair
+      to the wavefront tier only when it is at least {!long_pair_cells}
+      cells {e and} more than one domain is configured.
+
+    Results always come back in submission order, one slot per job.
+    Per-job deadlines ([timeout_s]) are checked at every dispatch point —
+    before each traceback alignment and before each score chunk — so an
+    expired job is answered [Error Timeout] without being computed; a job
+    already inside a running chunk is finished, not interrupted. *)
+
+type job = {
+  config : Config.t;
+  query : string;
+  subject : string;
+  timeout_s : float option;  (** [None]: no deadline *)
+}
+
+val job :
+  ?config:Config.t -> ?timeout_s:float -> query:string -> subject:string -> unit -> job
+
+type outcome = {
+  score : int;
+  query_end : int;  (** end cell of the optimum, engine convention *)
+  subject_end : int;
+  alignment : Anyseq_bio.Alignment.t option;  (** [Some] iff the config asked for traceback *)
+  query_seq : Anyseq_bio.Sequence.t;  (** the parsed inputs, for rendering *)
+  subject_seq : Anyseq_bio.Sequence.t;
+}
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?batch_size:int ->
+  ?domains:int ->
+  ?cache_capacity:int ->
+  ?metrics:Metrics.t ->
+  unit ->
+  t
+(** [capacity] (default 1024) bounds jobs in flight across concurrent
+    {!run} calls; [batch_size] (default 256) is the dispatch chunk;
+    [domains] (default [Domain.recommended_domain_count ()]) sizes the
+    wavefront tier; [cache_capacity] sizes the specialization cache. *)
+
+val run : t -> job array -> (outcome, Error.t) result array
+(** Execute a batch. Thread-safe; concurrent callers share capacity and
+    cache. Result [i] answers job [i]. *)
+
+val run_one : t -> job -> (outcome, Error.t) result
+
+val queue_depth : t -> int
+(** Jobs currently admitted and not yet finished. *)
+
+val cache_stats : t -> Spec_cache.stats
+val metrics : t -> Metrics.t
+
+val long_pair_cells : int
+(** Auto-escalation threshold to the wavefront tier (4 M cells). *)
+
+val default : unit -> t
+(** Lazily-created shared service, used by [Anyseq.align_batch]. *)

@@ -1,0 +1,58 @@
+(** Bounded specialization cache — the runtime's answer to the paper's
+    "specialize once, run many" premise (and to Parasail's profile-reuse
+    API): residual kernels are built on first use of a (scheme, mode)
+    configuration and memoized under a bounded LRU policy, so a stream of
+    jobs over few configurations pays specialization once per
+    configuration, not once per job.
+
+    Each entry holds both kernel tiers for the configuration: the
+    pre-generated straight-line residual ({!Native_kernel}) and the
+    staged-IR residual from {!Anyseq_core.Staged_kernel.specialize}
+    [`Compiled] (which runs the static-analysis verification gate when
+    {!Anyseq_core.Staged_kernel.verify_specializations} is set — e.g. under
+    [ANYSEQ_VERIFY=1]). Entries remember the verification flag they were
+    built under; flipping the flag invalidates them on next lookup, so
+    enabling verification mid-run cannot serve unverified kernels.
+
+    Scheme names are the hash key but are not trusted for identity: a hit
+    additionally requires the entry's substitution function to be
+    physically the scheme's and the gap models to be equal. Distinct custom
+    schemes that share a name therefore thrash (counted as
+    [invalidations]) instead of silently reusing the wrong kernel.
+
+    All operations are thread-safe (one mutex; kernels are built inside it,
+    which serializes at most the ~10 µs specialization per miss). *)
+
+type t
+
+type kernels = {
+  native : Native_kernel.t option;
+  staged : Anyseq_core.Staged_kernel.kernel;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** LRU capacity evictions *)
+  invalidations : int;  (** verify-flag flips and scheme-identity conflicts *)
+  size : int;
+  capacity : int;
+}
+
+val default_capacity : int
+(** 64 configurations. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] must be positive. *)
+
+val get : t -> Anyseq_scoring.Scheme.t -> Anyseq_core.Types.mode -> kernels
+(** Lookup or build-and-insert, updating recency. May raise whatever the
+    verification gate of [Staged_kernel.specialize] raises when
+    verification is enabled and the configuration fails analysis. *)
+
+val stats : t -> stats
+val hit_rate : stats -> float
+(** hits / (hits + misses); 0 before any lookup. *)
+
+val clear : t -> unit
+(** Drop every entry (counters are kept — monotonic). *)

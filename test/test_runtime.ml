@@ -1,0 +1,410 @@
+(* Tests of the runtime service layer: specialization cache, batch
+   executor, metrics, and the redesigned facade entry points.
+
+   The central property here is the API contract of the redesign:
+   [align_batch] over any job array is observably identical to folding
+   [align] over it — same scores, same transcripts, same errors — for
+   every backend, mode, and gap model. *)
+
+module Rng = Anyseq_util.Rng
+module Alphabet = Anyseq_bio.Alphabet
+module Sequence = Anyseq_bio.Sequence
+module Substitution = Anyseq_bio.Substitution
+module Gaps = Anyseq_bio.Gaps
+module Cigar = Anyseq_bio.Cigar
+module Alignment = Anyseq_bio.Alignment
+module Scheme = Anyseq_scoring.Scheme
+module T = Anyseq_core.Types
+module Dp_linear = Anyseq_core.Dp_linear
+module Domain_pool = Anyseq_wavefront.Domain_pool
+open Anyseq_runtime
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "jobs" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  Alcotest.(check int) "same name, same counter" 5 (Metrics.value (Metrics.counter m "jobs"));
+  Metrics.gauge_set m "depth" 7;
+  Metrics.gauge_set m "depth" 3;
+  Alcotest.(check (option int)) "gauge current" (Some 3) (Metrics.find m "depth");
+  let h = Metrics.histogram m "lat" in
+  for v = 1 to 100 do
+    Metrics.observe h v
+  done;
+  Alcotest.(check int) "hist count" 100 (Metrics.hist_count h);
+  Alcotest.(check int) "hist max" 100 (Metrics.hist_max h);
+  Alcotest.(check int) "hist sum" 5050 (Metrics.hist_sum h);
+  let p50 = Metrics.hist_quantile h 0.5 in
+  Alcotest.(check bool) "p50 bracket" true (p50 >= 32.0 && p50 <= 127.0);
+  let dump = Metrics.dump m in
+  Alcotest.(check bool) "dump lists all" true
+    (Helpers.contains_sub dump "counter jobs 5"
+    && Helpers.contains_sub dump "gauge depth 3 max=7"
+    && Helpers.contains_sub dump "hist lat count=100");
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.value c)
+
+let test_metrics_kind_mismatch () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  Alcotest.check_raises "histogram over counter name"
+    (Invalid_argument "Metrics: instrument kind mismatch for x") (fun () ->
+      ignore (Metrics.histogram m "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Native kernels: bit-identical to the generic linear-space engine    *)
+(* ------------------------------------------------------------------ *)
+
+let native_schemes =
+  Helpers.schemes_under_test
+  @ [ ("wildcard-linear", Scheme.wildcard_linear); ("blosum62", Scheme.blosum62_affine) ]
+
+let native_matches_engine =
+  Helpers.qtest ~count:60 "native kernel = Dp_linear (score and end cell)"
+    QCheck2.Gen.(
+      tup3 nat (oneofl native_schemes) (oneofl Helpers.modes_under_test))
+    (fun (seed, (_, scheme), mode) ->
+      let rng = Rng.create ~seed in
+      let alphabet = Scheme.alphabet scheme in
+      let nk = Option.get (Native_kernel.build scheme mode) in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let q = Sequence.random rng alphabet ~len:(Rng.int rng 70) in
+        let s = Sequence.random rng alphabet ~len:(Rng.int rng 70) in
+        let qv = Sequence.view q and sv = Sequence.view s in
+        let reference = Dp_linear.score_only scheme mode ~query:qv ~subject:sv in
+        let native = nk.Native_kernel.score ~query:qv ~subject:sv in
+        if reference <> native then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Specialization cache                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_scheme ?name match_ =
+  Scheme.make ?name (Substitution.simple Alphabet.dna4 ~match_ ~mismatch:(-1)) (Gaps.linear 1)
+
+let test_cache_hits_and_misses () =
+  let c = Spec_cache.create ~capacity:4 () in
+  ignore (Spec_cache.get c Scheme.paper_linear T.Global);
+  ignore (Spec_cache.get c Scheme.paper_linear T.Global);
+  ignore (Spec_cache.get c Scheme.paper_linear T.Local);
+  let st = Spec_cache.stats c in
+  Alcotest.(check int) "misses" 2 st.Spec_cache.misses;
+  Alcotest.(check int) "hits" 1 st.Spec_cache.hits;
+  Alcotest.(check int) "size" 2 st.Spec_cache.size;
+  Alcotest.(check (float 0.001)) "hit rate" (1.0 /. 3.0) (Spec_cache.hit_rate st)
+
+let test_cache_lru_eviction () =
+  let c = Spec_cache.create ~capacity:2 () in
+  let a = mk_scheme ~name:"lru-a" 1
+  and b = mk_scheme ~name:"lru-b" 2
+  and d = mk_scheme ~name:"lru-d" 3 in
+  ignore (Spec_cache.get c a T.Global);
+  ignore (Spec_cache.get c b T.Global);
+  ignore (Spec_cache.get c a T.Global);
+  (* a is now more recent than b *)
+  ignore (Spec_cache.get c d T.Global);
+  (* capacity 2: b (least recently used) must go *)
+  let st = Spec_cache.stats c in
+  Alcotest.(check int) "one eviction" 1 st.Spec_cache.evictions;
+  Alcotest.(check int) "bounded size" 2 st.Spec_cache.size;
+  ignore (Spec_cache.get c a T.Global);
+  let st = Spec_cache.stats c in
+  Alcotest.(check int) "a survived (hit)" 2 st.Spec_cache.hits;
+  ignore (Spec_cache.get c b T.Global);
+  let st = Spec_cache.stats c in
+  Alcotest.(check int) "b was evicted (miss)" 4 st.Spec_cache.misses
+
+let test_cache_name_collision () =
+  (* Two distinct schemes sharing a name must not share a kernel. *)
+  let c = Spec_cache.create ~capacity:4 () in
+  let s1 = mk_scheme ~name:"dup" 1 and s2 = mk_scheme ~name:"dup" 5 in
+  let q = Sequence.of_string Alphabet.dna4 "AAAA" in
+  let score scheme =
+    let k = Spec_cache.get c scheme T.Global in
+    ((Option.get k.Spec_cache.native).Native_kernel.score ~query:(Sequence.view q)
+       ~subject:(Sequence.view q))
+      .T.score
+  in
+  Alcotest.(check int) "first scheme kernel" 4 (score s1);
+  Alcotest.(check int) "same-name scheme rebuilt, not reused" 20 (score s2);
+  let st = Spec_cache.stats c in
+  Alcotest.(check int) "conflict counted" 1 st.Spec_cache.invalidations
+
+let test_cache_verify_invalidation () =
+  let saved = !Anyseq_core.Staged_kernel.verify_specializations in
+  Fun.protect
+    ~finally:(fun () -> Anyseq_core.Staged_kernel.verify_specializations := saved)
+    (fun () ->
+      let c = Spec_cache.create () in
+      Anyseq_core.Staged_kernel.verify_specializations := false;
+      ignore (Spec_cache.get c Scheme.paper_linear T.Global);
+      (* Flipping the verification flag must rebuild, not serve stale. *)
+      Anyseq_core.Staged_kernel.verify_specializations := true;
+      ignore (Spec_cache.get c Scheme.paper_linear T.Global);
+      let st = Spec_cache.stats c in
+      Alcotest.(check int) "invalidated" 1 st.Spec_cache.invalidations;
+      Alcotest.(check int) "rebuilt" 2 st.Spec_cache.misses;
+      ignore (Spec_cache.get c Scheme.paper_linear T.Global);
+      let st = Spec_cache.stats c in
+      Alcotest.(check int) "stable afterwards" 1 st.Spec_cache.hits)
+
+(* ------------------------------------------------------------------ *)
+(* Service: admission control, deadlines, error surfacing              *)
+(* ------------------------------------------------------------------ *)
+
+let score_config = Anyseq.Config.make ~traceback:false ()
+
+let test_service_backpressure () =
+  let svc = Service.create ~capacity:4 () in
+  let jobs =
+    Array.init 10 (fun _ -> Service.job ~config:score_config ~query:"ACGT" ~subject:"ACGT" ())
+  in
+  let results = Service.run svc jobs in
+  let ok = Array.length (Array.of_seq (Seq.filter Result.is_ok (Array.to_seq results))) in
+  Alcotest.(check int) "admitted = capacity" 4 ok;
+  Array.iteri
+    (fun i r ->
+      if i < 4 then Alcotest.(check bool) (Printf.sprintf "job %d ok" i) true (Result.is_ok r)
+      else
+        match r with
+        | Error Error.Rejected -> ()
+        | _ -> Alcotest.failf "job %d should be rejected" i)
+    results;
+  Alcotest.(check int) "slots released" 0 (Service.queue_depth svc);
+  (* capacity freed: a new submission is admitted again *)
+  let r = Service.run_one svc (Service.job ~config:score_config ~query:"AC" ~subject:"AC" ()) in
+  Alcotest.(check bool) "after release" true (Result.is_ok r)
+
+let test_service_timeout () =
+  let svc = Service.create () in
+  let jobs =
+    [|
+      Service.job ~config:score_config ~timeout_s:0.0 ~query:"ACGT" ~subject:"ACGT" ();
+      Service.job ~config:Anyseq.Config.default ~timeout_s:0.0 ~query:"ACGT" ~subject:"ACGT" ();
+      Service.job ~config:score_config ~query:"ACGT" ~subject:"ACGT" ();
+    |]
+  in
+  (match Service.run svc jobs with
+  | [| Error Error.Timeout; Error Error.Timeout; Ok _ |] -> ()
+  | r ->
+      Alcotest.failf "expected [timeout; timeout; ok], got [%s]"
+        (String.concat "; "
+           (Array.to_list
+              (Array.map
+                 (function Ok _ -> "ok" | Error e -> Error.to_string e)
+                 r))));
+  let m = Service.metrics svc in
+  Alcotest.(check (option int)) "timeouts counted" (Some 2)
+    (Metrics.find m "runtime/jobs_timed_out")
+
+let test_service_bad_sequence () =
+  let svc = Service.create () in
+  let strict = Anyseq.Config.make ~scheme:Scheme.paper_linear ~traceback:false () in
+  let jobs =
+    [|
+      Service.job ~config:strict ~query:"ACGN" ~subject:"ACGT" ();
+      Service.job ~config:strict ~query:"ACGT" ~subject:"ACGT" ();
+    |]
+  in
+  match Service.run svc jobs with
+  | [| Error (Error.Bad_sequence _); Ok o |] -> Alcotest.(check int) "good job unaffected" 8 o.Service.score
+  | _ -> Alcotest.fail "expected [bad_sequence; ok]"
+
+let overflow_scheme = mk_scheme ~name:"hot" 20000
+
+let test_overflow_bound_parity () =
+  let q = String.concat "" (List.init 10 (fun _ -> "A")) in
+  let simd_score = Anyseq.Config.make ~scheme:overflow_scheme ~traceback:false ~backend:Anyseq.Config.Simd () in
+  (* batch path *)
+  let svc = Service.create () in
+  (match Service.run_one svc (Service.job ~config:simd_score ~query:q ~subject:q ()) with
+  | Error (Error.Overflow_bound _) -> ()
+  | _ -> Alcotest.fail "batch: expected overflow_bound");
+  (* single-align path fails identically *)
+  (match Anyseq.align ~config:simd_score ~query:q ~subject:q with
+  | Error (Error.Overflow_bound _) -> ()
+  | _ -> Alcotest.fail "align: expected overflow_bound");
+  (* scalar backend on the same job is fine... *)
+  let scalar = { simd_score with Anyseq.Config.backend = Anyseq.Config.Scalar } in
+  Alcotest.(check bool) "scalar ok" true
+    (Result.is_ok (Anyseq.align ~config:scalar ~query:q ~subject:q));
+  (* ...and so is traceback, which never uses the 16-bit kernels *)
+  let simd_tb = { simd_score with Anyseq.Config.traceback = true } in
+  Alcotest.(check bool) "traceback ok" true
+    (Result.is_ok (Anyseq.align ~config:simd_tb ~query:q ~subject:q))
+
+(* ------------------------------------------------------------------ *)
+(* The API contract: align_batch = n independent aligns                *)
+(* ------------------------------------------------------------------ *)
+
+let repr (r : (Anyseq.aligned, Error.t) result) =
+  match r with
+  | Error e -> "error: " ^ Error.to_string e
+  | Ok a ->
+      Printf.sprintf "%d/%s/%s/%s" a.Anyseq.score a.Anyseq.query_aligned a.Anyseq.subject_aligned
+        (match a.Anyseq.alignment with
+        | None -> "-"
+        | Some al ->
+            Printf.sprintf "%s@q[%d,%d)s[%d,%d)" (Cigar.to_string al.Alignment.cigar)
+              al.Alignment.query_start al.Alignment.query_end al.Alignment.subject_start
+              al.Alignment.subject_end)
+
+let backends_under_test =
+  Anyseq.Config.[ Auto; Scalar; Simd; Wavefront ]
+
+let batch_equals_sequential =
+  Helpers.qtest ~count:48 "align_batch = sequential aligns (scores, CIGARs, errors)"
+    QCheck2.Gen.(
+      tup5 nat
+        (oneofl Helpers.schemes_under_test)
+        (oneofl Helpers.modes_under_test)
+        (oneofl backends_under_test) bool)
+    (fun (seed, (_, scheme), mode, backend, traceback) ->
+      let rng = Rng.create ~seed in
+      let pairs =
+        Array.init 11 (fun _ ->
+            let q, s = Helpers.random_pair rng ~max_len:40 in
+            (Sequence.to_string q, Sequence.to_string s))
+      in
+      let config = Anyseq.Config.make ~scheme ~mode ~traceback ~backend () in
+      let service = Service.create () in
+      let batch = Anyseq.align_batch ~service ~config pairs in
+      Array.for_all2
+        (fun b (query, subject) -> repr b = repr (Anyseq.align ~config ~query ~subject))
+        batch pairs)
+
+let test_mixed_configs_one_batch () =
+  (* One submission mixing configurations: grouping must dispatch each job
+     under its own configuration and keep submission order. *)
+  let rng = Rng.create ~seed:99 in
+  let configs =
+    [|
+      Anyseq.Config.make ~mode:T.Global ~traceback:false ();
+      Anyseq.Config.make ~mode:T.Local ();
+      Anyseq.Config.make ~scheme:Scheme.paper_affine ~mode:T.Semiglobal ~traceback:false
+        ~backend:Anyseq.Config.Simd ();
+      Anyseq.Config.make ~mode:T.Global ~traceback:false ();
+    |]
+  in
+  let svc = Service.create () in
+  let jobs =
+    Array.init 24 (fun i ->
+        let q, s = Helpers.random_pair rng ~max_len:30 in
+        Service.job ~config:configs.(i mod 4)
+          ~query:(Sequence.to_string q) ~subject:(Sequence.to_string s) ())
+  in
+  let results = Service.run svc jobs in
+  Array.iteri
+    (fun i r ->
+      let j = jobs.(i) in
+      let expected =
+        Anyseq.align ~config:j.Service.config ~query:j.Service.query ~subject:j.Service.subject
+      in
+      let got =
+        Result.map
+          (fun (o : Service.outcome) ->
+            {
+              Anyseq.score = o.Service.score;
+              query_aligned = "";
+              subject_aligned = "";
+              alignment = o.Service.alignment;
+            })
+          r
+      in
+      let expected =
+        Result.map (fun a -> { a with Anyseq.query_aligned = ""; subject_aligned = "" }) expected
+      in
+      Alcotest.(check string) (Printf.sprintf "job %d" i) (repr expected) (repr got))
+    results
+
+let test_concurrent_submitters () =
+  (* Several domains hammer one shared service: the cache mutex, the
+     admission counter, and result slotting must all hold up. *)
+  let svc = Service.create ~capacity:4096 () in
+  let domains = 4 and per_domain = 40 in
+  let mismatches = Array.make domains 0 in
+  Domain_pool.run ~domains (fun id ->
+      let rng = Rng.create ~seed:(1000 + id) in
+      let pairs =
+        Array.init per_domain (fun _ ->
+            let q, s = Helpers.random_pair rng ~max_len:32 in
+            (Sequence.to_string q, Sequence.to_string s))
+      in
+      let mode = Helpers.modes_under_test |> List.filteri (fun i _ -> i = id mod 3) |> List.hd in
+      let config = Anyseq.Config.make ~mode ~traceback:false () in
+      let results = Anyseq.align_batch ~service:svc ~config pairs in
+      Array.iteri
+        (fun i r ->
+          let query, subject = pairs.(i) in
+          if repr r <> repr (Anyseq.align ~config ~query ~subject) then
+            mismatches.(id) <- mismatches.(id) + 1)
+        results);
+  Alcotest.(check (array int)) "all domains consistent" (Array.make domains 0) mismatches;
+  Alcotest.(check int) "all slots released" 0 (Service.queue_depth svc);
+  let st = Service.cache_stats svc in
+  Alcotest.(check bool) "cache bounded" true (st.Spec_cache.size <= st.Spec_cache.capacity)
+
+(* ------------------------------------------------------------------ *)
+(* Facade                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_align_exn_raises () =
+  let strict = Anyseq.Config.make ~scheme:Scheme.paper_linear () in
+  match Anyseq.align_exn ~config:strict ~query:"ACGU" ~subject:"ACGT" with
+  | _ -> Alcotest.fail "expected Error.Error"
+  | exception Error.Error (Error.Bad_sequence _) -> ()
+
+let test_facade_shares_default_scheme () =
+  (* Cache identity depends on the default schemes being one value. *)
+  Alcotest.(check bool) "physically equal" true
+    (Anyseq.default_scheme == Anyseq.Config.default.Anyseq.Config.scheme)
+
+let test_wrappers_still_paper_compatible () =
+  let r = Anyseq.construct_global_alignment ~query:"ACGT" ~subject:"ACGT" () in
+  Alcotest.(check int) "score" 8 r.Anyseq.score;
+  Alcotest.(check bool) "traceback present" true (r.Anyseq.alignment <> None);
+  Alcotest.(check int) "score-only wrapper" 8
+    (Anyseq.global_alignment_score ~query:"ACGT" ~subject:"ACGT" ())
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters, gauges, histograms" `Quick test_metrics_basics;
+          Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+        ] );
+      ("native kernels", [ native_matches_engine ]);
+      ( "spec cache",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_cache_hits_and_misses;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "name collision" `Quick test_cache_name_collision;
+          Alcotest.test_case "verify-flag invalidation" `Quick test_cache_verify_invalidation;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "backpressure" `Quick test_service_backpressure;
+          Alcotest.test_case "timeout" `Quick test_service_timeout;
+          Alcotest.test_case "bad sequence" `Quick test_service_bad_sequence;
+          Alcotest.test_case "overflow parity" `Quick test_overflow_bound_parity;
+          Alcotest.test_case "mixed configs" `Quick test_mixed_configs_one_batch;
+          Alcotest.test_case "concurrent submitters" `Slow test_concurrent_submitters;
+        ] );
+      ( "api contract",
+        [
+          batch_equals_sequential;
+          Alcotest.test_case "align_exn raises" `Quick test_align_exn_raises;
+          Alcotest.test_case "shared default scheme" `Quick test_facade_shares_default_scheme;
+          Alcotest.test_case "paper wrappers" `Quick test_wrappers_still_paper_compatible;
+        ] );
+    ]

@@ -611,3 +611,59 @@ let run_runtime cfg =
     (if speedup >= 2.0 then "PASS" else "FAIL")
     speedup
     (if rate > 90.0 then "PASS" else "FAIL")
+
+(* ---- trace overhead (observability acceptance) ---- *)
+
+let trace_overhead_budget_pct = 5.0
+
+(* Runtime batch workload, tracing off vs on, warmed. Returns
+   (cells, off_s, on_s, spans_recorded, overhead_pct). *)
+let measure_trace_overhead cfg =
+  let pairs = Workloads.read_pairs cfg in
+  let spairs =
+    Array.map (fun (q, s) -> (Sequence.to_string q, Sequence.to_string s)) pairs
+  in
+  let cells = Workloads.total_cells pairs in
+  let service = Anyseq.Service.create ~capacity:(max 1 (Array.length spairs)) () in
+  let config = Anyseq.Config.make ~traceback:false () in
+  let run () = ignore (Anyseq.align_batch ~service ~config spairs) in
+  (* Warm the specialization cache and code paths before either arm. *)
+  run ();
+  let off_s = Timer.best_of ~repeats:3 run in
+  Anyseq.Trace.enable ();
+  let on_s = Timer.best_of ~repeats:3 run in
+  let spans = List.length (Anyseq.Trace.spans ()) in
+  Anyseq.Trace.disable ();
+  let overhead = 100.0 *. ((on_s -. off_s) /. off_s) in
+  (cells, off_s, on_s, spans, overhead)
+
+let run_trace cfg =
+  let cells, off_s, on_s, spans, overhead = measure_trace_overhead cfg in
+  Printf.printf
+    "Tracing overhead -- the runtime batch workload with span collection off\n\
+     vs on (warm cache, best of 3). Disabled instrumentation is one atomic\n\
+     load per site; enabled sites build spans into per-domain ring buffers.\n";
+  let t =
+    Tablefmt.create
+      ~columns:
+        [
+          ("tracing", Tablefmt.Left); ("seconds", Tablefmt.Right);
+          ("GCUPS", Tablefmt.Right); ("spans", Tablefmt.Right);
+        ]
+      ()
+  in
+  Tablefmt.add_row t
+    [
+      "off"; Tablefmt.cell_float ~decimals:4 off_s;
+      Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells ~seconds:off_s); "-";
+    ];
+  Tablefmt.add_row t
+    [
+      "on"; Tablefmt.cell_float ~decimals:4 on_s;
+      Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells ~seconds:on_s);
+      string_of_int spans;
+    ];
+  Tablefmt.print t;
+  Printf.printf "acceptance: overhead %.2f%% < %.0f%%: %s\n" overhead
+    trace_overhead_budget_pct
+    (if overhead < trace_overhead_budget_pct then "PASS" else "FAIL")

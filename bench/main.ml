@@ -19,6 +19,7 @@ let experiments =
     ("codeshare", "Code-share breakdown");
     ("ablation", "Ablations A1-A4");
     ("runtime", "Runtime service: batch executor vs one-at-a-time facade");
+    ("trace", "Tracing overhead: span collection off vs on");
   ]
 
 let run only scale reads seed bechamel =
@@ -48,6 +49,7 @@ let run only scale reads seed bechamel =
   section "codeshare" "Code share" (fun () -> Experiments.run_codeshare ());
   section "ablation" "Ablations" (fun () -> Experiments.run_ablation cfg);
   section "runtime" "Runtime service" (fun () -> Experiments.run_runtime cfg);
+  section "trace" "Tracing overhead" (fun () -> Experiments.run_trace cfg);
   if bechamel then begin
     Printf.printf "\n================================================================\n";
     Bechamel_suite.run cfg

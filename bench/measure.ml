@@ -21,7 +21,7 @@ type rates = {
   vector_ops_striped : float;  (** …, Farrar striped kernel (SeqAn/SSW strategy) *)
 }
 
-let rate ~cells f = float_of_int cells /. Timer.best_of ~repeats:2 f
+let rate = Timer.rate ~repeats:2
 
 let measure (cfg : Workloads.config) =
   let pair = Workloads.medium_pair cfg in

@@ -1,0 +1,15 @@
+(* Standalone gate behind `dune build @trace-overhead`: fails (exit 1)
+   when enabled tracing costs more than the budget on a small runtime
+   batch workload. Kept out of the default runtest alias because it is a
+   timing measurement — run it explicitly, ideally on a quiet machine. *)
+
+let () =
+  let cfg = { Workloads.default with Workloads.read_count = 1500 } in
+  let _, off_s, on_s, spans, overhead = Experiments.measure_trace_overhead cfg in
+  Printf.printf "trace overhead: off %.4fs, on %.4fs (%d spans) -> %+.2f%% (budget %.0f%%)\n"
+    off_s on_s spans overhead Experiments.trace_overhead_budget_pct;
+  if overhead >= Experiments.trace_overhead_budget_pct then begin
+    print_endline "FAIL: tracing overhead exceeds budget";
+    exit 1
+  end;
+  print_endline "PASS"

@@ -6,6 +6,7 @@
      simulate-reads  simulate an Illumina-like read set as FASTQ
      batch           run an alignment job file through the runtime service
      serve           sustained-load loop over the runtime service
+     trace           traced workload -> span-tree profile / Chrome trace
      search          approximate pattern matching (Myers bit-parallel)
      overlap         dovetail overlap between two sequences
      analyze         statically verify every specialized kernel
@@ -62,6 +63,47 @@ let backend_t =
 
 let json_t = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
 
+let metrics_t =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Dump the runtime metrics registry at the end.")
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans across all layers (partial evaluator, specialization cache, service, \
+           backends) and write a Chrome trace-event file; open it in Perfetto \
+           (https://ui.perfetto.dev) or chrome://tracing.")
+
+let metrics_format_t =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("prometheus", `Prometheus) ]) `Text
+    & info [ "metrics-format" ]
+        ~doc:"Format for --metrics dumps: $(b,text) or $(b,prometheus) (text exposition).")
+
+let dump_metrics fmt m =
+  match fmt with
+  | `Text -> Anyseq.Metrics.dump m
+  | `Prometheus -> Anyseq.Metrics.dump_prometheus m
+
+(* Run [f] with tracing enabled and write the Chrome trace on the way out
+   (also on error paths — a partial trace of a failed run is still useful). *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Anyseq.Trace.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          let spans = Anyseq.Trace.spans () in
+          Anyseq.Trace.disable ();
+          Anyseq.Trace_export.write_chrome path spans;
+          Printf.eprintf "trace: %d spans -> %s (%d dropped)\n" (List.length spans) path
+            (Anyseq.Trace.dropped ()))
+        f
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -93,18 +135,29 @@ let align_cmd =
     Arg.(value & flag & info [ "score-only" ] ~doc:"Print only the optimal score.")
   in
   let pretty_t = Arg.(value & flag & info [ "pretty" ] ~doc:"BLAST-style rendering.") in
-  let run query subject mode backend score_only pretty json match_ mismatch gap_open gap_extend =
+  let run query subject mode backend score_only pretty json trace metrics_flag metrics_format
+      match_ mismatch gap_open gap_extend =
     let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
     let config =
       Anyseq.Config.make ~scheme ~mode ~traceback:(not score_only) ~backend ()
     in
     let q = read_first_record query and s = read_first_record subject in
     let qseq = q.Anyseq.Fasta.sequence and sseq = s.Anyseq.Fasta.sequence in
-    match
-      Anyseq.align ~config
-        ~query:(Anyseq.Sequence.to_string qseq)
-        ~subject:(Anyseq.Sequence.to_string sseq)
-    with
+    with_trace trace @@ fun () ->
+    (* --metrics needs an instrumented registry, which the facade's direct
+       path doesn't have: route the single pair through a private service. *)
+    let service = if metrics_flag then Some (Anyseq.Service.create ()) else None in
+    let result =
+      match service with
+      | Some svc ->
+          (Anyseq.align_batch ~service:svc ~config
+             [| (Anyseq.Sequence.to_string qseq, Anyseq.Sequence.to_string sseq) |]).(0)
+      | None ->
+          Anyseq.align ~config
+            ~query:(Anyseq.Sequence.to_string qseq)
+            ~subject:(Anyseq.Sequence.to_string sseq)
+    in
+    (match result with
     | Error e ->
         if json then Printf.printf "{\"error\":\"%s\"}\n" (json_escape (Anyseq.Error.to_string e))
         else Printf.eprintf "error: %s\n" (Anyseq.Error.to_string e);
@@ -140,13 +193,19 @@ let align_cmd =
                 alignment.Anyseq.Alignment.subject_start alignment.Anyseq.Alignment.subject_end;
               Printf.printf "cigar\t%s\n"
                 (Anyseq.Cigar.to_string alignment.Anyseq.Alignment.cigar)
-            end)
+            end));
+    match service with
+    | Some svc ->
+        print_endline "--- metrics ---";
+        print_endline (dump_metrics metrics_format (Anyseq.Service.metrics svc))
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "align" ~doc:"Align the first records of two FASTA files.")
     Term.(
       const run $ query_t $ subject_t $ mode_t $ backend_t $ score_only_t $ pretty_t $ json_t
-      $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
+      $ trace_t $ metrics_t $ metrics_format_t $ match_t $ mismatch_t $ gap_open_t
+      $ gap_extend_t)
 
 let generate_cmd =
   let length_t = Arg.(value & opt int 65536 & info [ "length" ] ~doc:"Genome length (bp).") in
@@ -267,9 +326,6 @@ let subjects_t =
         ~doc:"Subject job file; one record maps all reads against it, otherwise record i pairs \
               with read i.")
 
-let metrics_t =
-  Arg.(value & flag & info [ "metrics" ] ~doc:"Dump the runtime metrics registry at the end.")
-
 let timeout_t =
   Arg.(
     value
@@ -297,8 +353,8 @@ let batch_cmd =
   let traceback_t =
     Arg.(value & flag & info [ "traceback" ] ~doc:"Full alignments instead of score-only.")
   in
-  let run reads subjects count seed mode backend traceback json metrics_flag timeout batch_size
-      match_ mismatch gap_open gap_extend =
+  let run reads subjects count seed mode backend traceback json metrics_flag metrics_format trace
+      timeout batch_size match_ mismatch gap_open gap_extend =
     let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
     let config = Anyseq.Config.make ~scheme ~mode ~traceback ~backend () in
     let pairs = load_pairs ~reads ~subjects ~count ~seed ~read_len:150 in
@@ -306,6 +362,7 @@ let batch_cmd =
       Anyseq.Service.create ~capacity:(max 1 (Array.length pairs)) ~batch_size ()
     in
     let results, dt =
+      with_trace trace @@ fun () ->
       Anyseq_util.Timer.time (fun () ->
           Anyseq.align_batch ~service ?timeout_s:timeout ~config pairs)
     in
@@ -344,7 +401,7 @@ let batch_cmd =
     end;
     if metrics_flag then begin
       print_endline "--- metrics ---";
-      print_endline (Anyseq.Metrics.dump (Anyseq.Service.metrics service))
+      print_endline (dump_metrics metrics_format (Anyseq.Service.metrics service))
     end
   in
   Cmd.v
@@ -354,8 +411,8 @@ let batch_cmd =
           specialized kernels are cached, and groups stream through the batch executor.")
     Term.(
       const run $ reads_t $ subjects_t $ count_t $ seed_t $ mode_t $ backend_t $ traceback_t
-      $ json_t $ metrics_t $ timeout_t $ batch_size_t $ match_t $ mismatch_t $ gap_open_t
-      $ gap_extend_t)
+      $ json_t $ metrics_t $ metrics_format_t $ trace_t $ timeout_t $ batch_size_t $ match_t
+      $ mismatch_t $ gap_open_t $ gap_extend_t)
 
 let serve_cmd =
   let rounds_t = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"Load rounds to run.") in
@@ -368,11 +425,13 @@ let serve_cmd =
       & opt (list mode_conv) [ Anyseq.Types.Global; Anyseq.Types.Semiglobal ]
       & info [ "modes" ] ~doc:"Comma-separated alignment modes each round cycles through.")
   in
-  let run rounds count read_len seed modes backend json match_ mismatch gap_open gap_extend =
+  let run rounds count read_len seed modes backend json trace metrics_format match_ mismatch
+      gap_open gap_extend =
     let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
     let pairs = load_pairs ~reads:None ~subjects:None ~count ~seed ~read_len in
     let service = Anyseq.Service.create ~capacity:(max 1024 count) () in
     let metrics = Anyseq.Service.metrics service in
+    with_trace trace @@ fun () ->
     let cells_before = ref 0 in
     if not json then
       Printf.printf "serving %d jobs/round x %d mode(s) x %d rounds (scheme %s)\n" count
@@ -414,7 +473,7 @@ let serve_cmd =
         cs.Anyseq.Spec_cache.size cs.Anyseq.Spec_cache.capacity
         (100.0 *. Anyseq.Spec_cache.hit_rate cs);
       print_endline "--- metrics ---";
-      print_endline (Anyseq.Metrics.dump metrics)
+      print_endline (dump_metrics metrics_format metrics)
     end
   in
   Cmd.v
@@ -424,6 +483,58 @@ let serve_cmd =
           specialization-cache behavior and steady-state throughput.")
     Term.(
       const run $ rounds_t $ count_t $ read_len_t $ seed_t $ modes_t $ backend_t $ json_t
+      $ trace_t $ metrics_format_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
+
+let trace_cmd =
+  let count_t =
+    Arg.(value & opt int 500 & info [ "count" ] ~doc:"Simulated pairs to run traced.")
+  in
+  let seed_t = Arg.(value & opt int 13 & info [ "seed" ] ~doc:"RNG seed.") in
+  let traceback_t =
+    Arg.(value & flag & info [ "traceback" ] ~doc:"Full alignments instead of score-only.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the Chrome trace-event JSON (for Perfetto / chrome://tracing).")
+  in
+  let buffer_t =
+    Arg.(
+      value
+      & opt int Anyseq.Trace.default_buffer
+      & info [ "buffer" ] ~doc:"Per-domain span ring capacity.")
+  in
+  let run count seed traceback out buffer mode backend match_ mismatch gap_open gap_extend =
+    let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
+    let config = Anyseq.Config.make ~scheme ~mode ~traceback ~backend () in
+    let pairs = load_pairs ~reads:None ~subjects:None ~count ~seed ~read_len:150 in
+    (* A private service so the specialization cache is cold: the trace
+       then shows the full story, PE included. *)
+    let service = Anyseq.Service.create ~capacity:(max 1 (Array.length pairs)) () in
+    Anyseq.Trace.enable ~buffer ();
+    ignore (Anyseq.align_batch ~service ~config pairs);
+    let spans = Anyseq.Trace.spans () in
+    Anyseq.Trace.disable ();
+    (match out with
+    | Some path ->
+        Anyseq.Trace_export.write_chrome path spans;
+        Printf.printf "wrote %d spans to %s\n" (List.length spans) path
+    | None -> ());
+    if Anyseq.Trace.dropped () > 0 then
+      Printf.printf "(%d spans dropped by ring wraparound; raise --buffer to keep more)\n"
+        (Anyseq.Trace.dropped ());
+    print_string (Anyseq.Trace_export.span_tree spans)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a simulated batch workload with tracing on and print the aggregated span-tree \
+          profile (per-layer call counts, total/self wall time). With --out, also write the \
+          Chrome trace-event file.")
+    Term.(
+      const run $ count_t $ seed_t $ traceback_t $ out_t $ buffer_t $ mode_t $ backend_t
       $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
 
 let search_cmd =
@@ -615,5 +726,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; serve_cmd; search_cmd;
-            overlap_cmd; analyze_cmd ]))
+          [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; serve_cmd; trace_cmd;
+            search_cmd; overlap_cmd; analyze_cmd ]))

@@ -32,6 +32,8 @@ module Service = Anyseq_runtime.Service
 module Spec_cache = Anyseq_runtime.Spec_cache
 module Metrics = Anyseq_runtime.Metrics
 module Native_kernel = Anyseq_runtime.Native_kernel
+module Trace = Anyseq_trace.Trace
+module Trace_export = Anyseq_trace.Export
 
 type aligned = {
   score : int;

@@ -58,6 +58,18 @@ module Spec_cache = Anyseq_runtime.Spec_cache
 module Metrics = Anyseq_runtime.Metrics
 module Native_kernel = Anyseq_runtime.Native_kernel
 
+(** {1 Observability}
+
+    {!Trace.enable} turns on span collection across every layer (partial
+    evaluator, specialization cache, batch service, wavefront scheduler,
+    accelerator simulators); {!Trace.spans} snapshots them and
+    {!Trace_export} renders Chrome-trace JSON (loadable in Perfetto) or a
+    plain-text span tree. Disabled tracing costs one atomic load per
+    instrumentation point. *)
+
+module Trace = Anyseq_trace.Trace
+module Trace_export = Anyseq_trace.Export
+
 (** {1 Core entry points}
 
     Sequences are plain strings over the configuration scheme's alphabet

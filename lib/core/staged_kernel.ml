@@ -6,7 +6,10 @@ module Sequence = Anyseq_bio.Sequence
 module E = Anyseq_staged.Expr
 module Pe = Anyseq_staged.Pe
 module Compile = Anyseq_staged.Compile
+module Trace = Anyseq_trace.Trace
 open Types
+
+let mode_name = function Global -> "global" | Semiglobal -> "semiglobal" | Local -> "local"
 
 (* The generic program.  Configuration parameters are ordinary arguments;
    partial evaluation with static values removes every branch on them. *)
@@ -167,18 +170,25 @@ let verify_specializations =
     | Some _ -> true)
 
 let verified scheme mode =
-  match Anyseq_analysis.Findings.errors (analyze scheme mode) with
-  | [] -> ()
-  | errs ->
-      failwith
-        (Printf.sprintf "Staged_kernel: specialization for %s/%s failed verification:\n%s"
-           (Scheme.to_string scheme)
-           (match mode with Global -> "global" | Semiglobal -> "semiglobal" | Local -> "local")
-           (Anyseq_analysis.Findings.report errs))
+  Trace.with_span "staged.verify" (fun () ->
+      match Anyseq_analysis.Findings.errors (analyze scheme mode) with
+      | [] -> ()
+      | errs ->
+          failwith
+            (Printf.sprintf "Staged_kernel: specialization for %s/%s failed verification:\n%s"
+               (Scheme.to_string scheme) (mode_name mode)
+               (Anyseq_analysis.Findings.report errs)))
 
 let dyn_env ~arrays ints = { Compile.ints; bools = []; arrays }
 
 let specialize scheme mode how =
+  Trace.with_span "staged.specialize"
+    ~attrs:
+      [
+        ("scheme", Trace.Str (Scheme.to_string scheme)); ("mode", Trace.Str (mode_name mode));
+        ("how", Trace.Str (match how with `Interpreted -> "interpreted" | `Compiled -> "compiled"));
+      ]
+  @@ fun () ->
   if !verify_specializations then verified scheme mode;
   let _, arrays = static_config scheme mode in
   let rh = residual_of "relax_h" scheme mode in
@@ -192,7 +202,9 @@ let specialize scheme mode how =
         | Error e -> failwith (Compile.error_to_string e))
     | `Compiled ->
         let compiled =
-          match Compile.compile residual with
+          match
+            Trace.with_span "staged.compile" (fun () -> Compile.compile residual)
+          with
           | Ok c -> c
           | Error e -> failwith (Compile.error_to_string e)
         in

@@ -25,6 +25,9 @@ type pe = {
 
 let score ?(kpe = 128) (scheme : Scheme.t) ~query ~subject =
   if kpe <= 0 then invalid_arg "Systolic.score: kpe must be positive";
+  let module Trace = Anyseq_trace.Trace in
+  let frame = Trace.start "fpgasim.score" ~attrs:[ ("kpe", Trace.Int kpe) ] in
+  Fun.protect ~finally:(fun () -> Trace.finish frame) @@ fun () ->
   let n = Sequence.length query and m = Sequence.length subject in
   let sigma = Scheme.subst_score scheme in
   let go = Gaps.open_cost scheme.Scheme.gap and ge = Gaps.extend_cost scheme.Scheme.gap in
@@ -107,5 +110,10 @@ let score ?(kpe = 128) (scheme : Scheme.t) ~query ~subject =
   let utilization =
     if !clocks = 0 then 0.0 else float_of_int cells /. (float_of_int !clocks *. float_of_int kpe)
   in
+  Trace.add frame "clocks" (Trace.Int !clocks);
+  Trace.add frame "cells" (Trace.Int cells);
+  Trace.add frame "utilization_pct" (Trace.Int (int_of_float (utilization *. 100.0)));
+  Trace.add frame "ddr_words" (Trace.Int !ddr_words);
+  Trace.add frame "stripes" (Trace.Int !nstripes);
   ( { score = !score; query_end = n; subject_end = m },
     { clocks = !clocks; cells; utilization; ddr_words = !ddr_words; stripes = !nstripes } )

@@ -97,6 +97,16 @@ let launch ~(device : Device.t) ~grid ~block ~shared_words body =
     invalid_arg
       (Printf.sprintf "gpusim: shared memory request %d exceeds device limit %d"
          shared_words device.Device.shared_mem_words);
+  let module Trace = Anyseq_trace.Trace in
+  let frame =
+    Trace.start "gpusim.launch"
+      ~attrs:
+        [
+          ("grid", Trace.Int grid); ("block", Trace.Int block);
+          ("shared_words", Trace.Int shared_words);
+        ]
+  in
+  Fun.protect ~finally:(fun () -> Trace.finish frame) @@ fun () ->
   let counters = Counters.create () in
   let phases = ref 0 in
   for b = 0 to grid - 1 do
@@ -151,4 +161,14 @@ let launch ~(device : Device.t) ~grid ~block ~shared_words body =
       List.iter (fun resume -> resume ()) batch
     done
   done;
+  let add name v = Trace.add frame name (Trace.Int v) in
+  add "cells" counters.Counters.cells;
+  add "cell_ops" counters.Counters.cell_ops;
+  add "shared_accesses" counters.Counters.shared_accesses;
+  add "global_reads" counters.Counters.global_reads;
+  add "global_writes" counters.Counters.global_writes;
+  add "global_transactions" counters.Counters.global_transactions;
+  add "barriers" counters.Counters.barriers;
+  add "divergent_branches" counters.Counters.divergent_branches;
+  add "phases" !phases;
   { counters; elapsed_phases = !phases }

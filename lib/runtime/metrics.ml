@@ -134,6 +134,57 @@ let reset t =
               Atomic.set h.h_max 0)
         t.tbl)
 
+(* Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; registry
+   names use '/' as a namespace separator, which maps to '_'. *)
+let prom_name name =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      name
+  in
+  "anyseq_" ^ (if mapped = "" then "_" else mapped)
+
+let dump_prometheus t =
+  let b = Buffer.create 1024 in
+  let series =
+    Hashtbl.fold
+      (fun name i acc ->
+        let n = prom_name name in
+        let block =
+          match i with
+          | Counter c ->
+              Printf.sprintf "# TYPE %s counter\n%s %d\n" n n (Atomic.get c)
+          | Gauge g ->
+              Printf.sprintf "# TYPE %s gauge\n%s %d\n# TYPE %s_max gauge\n%s_max %d\n" n n
+                (Atomic.get g.g_cur) n n (Atomic.get g.g_max)
+          | Hist h ->
+              let hb = Buffer.create 256 in
+              Printf.bprintf hb "# TYPE %s histogram\n" n;
+              let total = hist_count h in
+              (* Cumulative buckets; the upper bound of bucket i is the
+                 largest value with i significant bits, 2^i - 1. Trailing
+                 empty buckets are elided (+Inf carries the total). *)
+              let cum = ref 0 in
+              let top = ref (-1) in
+              for i = 0 to buckets - 1 do
+                if Atomic.get h.h_counts.(i) > 0 then top := i
+              done;
+              for i = 0 to !top do
+                cum := !cum + Atomic.get h.h_counts.(i);
+                Printf.bprintf hb "%s_bucket{le=\"%d\"} %d\n" n ((1 lsl i) - 1) !cum
+              done;
+              Printf.bprintf hb "%s_bucket{le=\"+Inf\"} %d\n" n total;
+              Printf.bprintf hb "%s_sum %d\n%s_count %d\n" n (hist_sum h) n total;
+              Buffer.contents hb
+        in
+        (n, block) :: acc)
+      t.tbl []
+  in
+  List.iter (fun (_, block) -> Buffer.add_string b block)
+    (List.sort (fun (a, _) (b, _) -> compare a b) series);
+  Buffer.contents b
+
 let dump t =
   let lines =
     Hashtbl.fold

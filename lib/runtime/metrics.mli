@@ -50,3 +50,12 @@ val dump : t -> string
 (** Text snapshot, sorted by instrument name:
     [counter <name> <value>], [gauge <name> <value> max=<high-water>],
     [hist <name> count=… mean=… p50=… p99=… max=…]. *)
+
+val dump_prometheus : t -> string
+(** Prometheus text-exposition snapshot ([# TYPE] comment per metric,
+    sorted by name). Registry names are sanitized to the Prometheus
+    charset ('/' → '_') and prefixed with [anyseq_]. Counters and gauges
+    render as single samples (a gauge also exports its high-water mark as
+    [<name>_max]); histograms render cumulative [_bucket{le="…"}] series
+    over the power-of-two bucket bounds (2{^i} - 1), then [_sum] and
+    [_count]. *)

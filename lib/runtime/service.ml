@@ -7,6 +7,7 @@ module Dp_linear = Anyseq_core.Dp_linear
 module Inter_seq = Anyseq_simd.Inter_seq
 module Scheduler = Anyseq_wavefront.Scheduler
 module Timer = Anyseq_util.Timer
+module Trace = Anyseq_trace.Trace
 open Anyseq_core.Types
 
 type job = { config : Config.t; query : string; subject : string; timeout_s : float option }
@@ -121,14 +122,17 @@ let dispatch_chunks t results group f =
         let live, dead = List.partition (fun p -> not (expired p)) chunk in
         List.iter (time_out t results) dead;
         (if live <> [] then begin
+           let cells = List.fold_left (fun acc p -> acc + cells_of p) 0 live in
+           let frame =
+             Trace.start "service.chunk"
+               ~attrs:[ ("jobs", Trace.Int (List.length live)); ("cells", Trace.Int cells) ]
+           in
            let t0 = Timer.now_ns () in
-           f live;
-           let us = Int64.to_int (Int64.div (Int64.sub (Timer.now_ns ()) t0) 1000L) in
+           Fun.protect ~finally:(fun () -> Trace.finish frame) (fun () -> f live);
            Metrics.incr (ctr t "batches_dispatched");
            Metrics.observe (hist t "batch_jobs") (List.length live);
-           Metrics.observe (hist t "batch_us") us;
-           Metrics.add (ctr t "cells_computed")
-             (List.fold_left (fun acc p -> acc + cells_of p) 0 live);
+           Metrics.observe (hist t "batch_us") (Timer.elapsed_us t0);
+           Metrics.add (ctr t "cells_computed") cells;
            Metrics.add (ctr t "jobs_completed") (List.length live)
          end);
         go rest
@@ -142,9 +146,12 @@ let run_traceback t results (cfg : Config.t) group =
       if expired p then time_out t results p
       else begin
         let t0 = Timer.now_ns () in
-        let a = Engine.align cfg.scheme cfg.mode ~query:p.p_q ~subject:p.p_s in
-        let us = Int64.to_int (Int64.div (Int64.sub (Timer.now_ns ()) t0) 1000L) in
-        Metrics.observe (hist t "align_us") us;
+        let a =
+          Trace.with_span "backend.traceback"
+            ~attrs:[ ("cells", Trace.Int (cells_of p)) ]
+            (fun () -> Engine.align cfg.scheme cfg.mode ~query:p.p_q ~subject:p.p_s)
+        in
+        Metrics.observe (hist t "align_us") (Timer.elapsed_us t0);
         Metrics.add (ctr t "cells_computed") (cells_of p);
         Metrics.incr (ctr t "jobs_completed");
         results.(p.p_idx) <-
@@ -166,17 +173,22 @@ let run_traceback t results (cfg : Config.t) group =
 let run_scalar t results (cfg : Config.t) group =
   dispatch_chunks t results group (fun live ->
       let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
-      let score =
+      let native, score =
         match kernels.Spec_cache.native with
-        | Some nk -> nk.Native_kernel.score
+        | Some nk -> (true, nk.Native_kernel.score)
         | None ->
             (* Configurations outside the pre-generated set fall back to the
                generic linear-space engine (bit-identical results). *)
-            fun ~query ~subject -> Dp_linear.score_only cfg.scheme cfg.mode ~query ~subject
+            ( false,
+              fun ~query ~subject -> Dp_linear.score_only cfg.scheme cfg.mode ~query ~subject )
       in
-      List.iter
-        (fun p -> score_outcome results p (score ~query:(Seq.view p.p_q) ~subject:(Seq.view p.p_s)))
-        live)
+      Trace.with_span "backend.scalar"
+        ~attrs:[ ("jobs", Trace.Int (List.length live)); ("native", Trace.Str (string_of_bool native)) ]
+        (fun () ->
+          List.iter
+            (fun p ->
+              score_outcome results p (score ~query:(Seq.view p.p_q) ~subject:(Seq.view p.p_s)))
+            live))
 
 (* SIMD tier: 16-bit overflow screening, then lockstep vector batches. *)
 let run_simd t results (cfg : Config.t) group =
@@ -201,14 +213,22 @@ let run_simd t results (cfg : Config.t) group =
   in
   dispatch_chunks t results feasible (fun live ->
       let pairs = Array.of_list (List.map (fun p -> (p.p_q, p.p_s)) live) in
-      let ends = Inter_seq.batch_score cfg.scheme cfg.mode pairs in
+      let ends =
+        Trace.with_span "backend.simd"
+          ~attrs:[ ("jobs", Trace.Int (Array.length pairs)) ]
+          (fun () -> Inter_seq.batch_score cfg.scheme cfg.mode pairs)
+      in
       List.iteri (fun i p -> score_outcome results p ends.(i)) live)
 
 (* Wavefront tier: tiles of all pairs of the chunk share one dynamic queue. *)
 let run_wavefront t results (cfg : Config.t) group =
   dispatch_chunks t results group (fun live ->
       let pairs = Array.of_list (List.map (fun p -> (p.p_q, p.p_s)) live) in
-      let ends = Scheduler.score_many ~domains:t.domains cfg.scheme cfg.mode pairs in
+      let ends =
+        Trace.with_span "backend.wavefront"
+          ~attrs:[ ("jobs", Trace.Int (Array.length pairs)); ("domains", Trace.Int t.domains) ]
+          (fun () -> Scheduler.score_many ~domains:t.domains cfg.scheme cfg.mode pairs)
+      in
       List.iteri (fun i p -> score_outcome results p ends.(i)) live)
 
 let run_group t results (cfg : Config.t) group =
@@ -236,13 +256,23 @@ let run t jobs =
     let granted = reserve t n in
     Metrics.gauge_set t.metrics "runtime/queue_depth" (queue_depth t);
     if granted < n then Metrics.add (ctr t "jobs_rejected") (n - granted);
+    let batch_frame =
+      Trace.start "service.batch"
+        ~attrs:
+          [
+            ("jobs", Trace.Int n); ("granted", Trace.Int granted);
+            ("rejected", Trace.Int (n - granted));
+          ]
+    in
     Fun.protect
       ~finally:(fun () ->
         release t granted;
-        Metrics.gauge_set t.metrics "runtime/queue_depth" (queue_depth t))
+        Metrics.gauge_set t.metrics "runtime/queue_depth" (queue_depth t);
+        Trace.finish batch_frame)
       (fun () ->
         let now0 = Timer.now_ns () in
         (* Parse phase: bad sequences fail their own slot, nothing else. *)
+        let admit_frame = Trace.start "service.admit" in
         let prepared = ref [] in
         for i = granted - 1 downto 0 do
           let j = jobs.(i) in
@@ -255,8 +285,8 @@ let run t jobs =
               results.(i) <- Error (Error.Bad_sequence msg);
               Metrics.incr (ctr t "jobs_failed")
         done;
-        Metrics.observe (hist t "admit_us")
-          (Int64.to_int (Int64.div (Int64.sub (Timer.now_ns ()) now0) 1000L));
+        Trace.finish admit_frame ~attrs:[ ("prepared", Trace.Int (List.length !prepared)) ];
+        Metrics.observe (hist t "admit_us") (Timer.elapsed_us now0);
         (* Group by full configuration key, preserving first-seen order
            (results are slotted by index, so order only affects locality). *)
         let groups : (string, (Config.t * prepared list ref)) Hashtbl.t = Hashtbl.create 8 in
@@ -271,10 +301,15 @@ let run t jobs =
                 Hashtbl.add groups k (cfg, ref [ p ]);
                 order := k :: !order)
           !prepared;
+        Trace.add batch_frame "groups" (Trace.Int (List.length !order));
         List.iter
           (fun k ->
             let cfg, l = Hashtbl.find groups k in
-            run_group t results cfg (List.rev !l))
+            let group = List.rev !l in
+            Trace.with_span "service.group"
+              ~attrs:
+                [ ("config", Trace.Str (Config.to_string cfg)); ("jobs", Trace.Int (List.length group)) ]
+              (fun () -> run_group t results cfg group))
           (List.rev !order);
         (* Mirror cache effectiveness into the registry for [dump]. *)
         let cs = Spec_cache.stats t.cache in

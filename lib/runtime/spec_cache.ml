@@ -1,6 +1,7 @@
 module Scheme = Anyseq_scoring.Scheme
 module Staged_kernel = Anyseq_core.Staged_kernel
 module Alignment = Anyseq_bio.Alignment
+module Trace = Anyseq_trace.Trace
 open Anyseq_core.Types
 
 type kernels = { native : Native_kernel.t option; staged : Staged_kernel.kernel }
@@ -76,7 +77,8 @@ let evict_lru t =
       t.evictions <- t.evictions + 1
   | None -> ()
 
-let build scheme mode =
+let build k scheme mode =
+  Trace.with_span "cache.build" ~attrs:[ ("key", Trace.Str k) ] @@ fun () ->
   {
     native = Native_kernel.build scheme mode;
     staged = Staged_kernel.specialize scheme mode `Compiled;
@@ -86,11 +88,14 @@ let get t scheme mode =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   let k = key scheme mode in
+  let frame = Trace.start "cache.get" ~attrs:[ ("key", Trace.Str k) ] in
+  Fun.protect ~finally:(fun () -> Trace.finish frame) @@ fun () ->
   t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.tbl k with
   | Some entry when valid entry scheme mode ->
       t.hits <- t.hits + 1;
       entry.e_tick <- t.tick;
+      Trace.add frame "result" (Trace.Str "hit");
       entry.e_kernels
   | stale ->
       (match stale with
@@ -99,7 +104,9 @@ let get t scheme mode =
           Hashtbl.remove t.tbl k
       | None -> ());
       t.misses <- t.misses + 1;
-      let kernels = build scheme mode in
+      Trace.add frame "result"
+        (Trace.Str (match stale with Some _ -> "invalidated" | None -> "miss"));
+      let kernels = build k scheme mode in
       if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
       Hashtbl.replace t.tbl k
         {

@@ -1,4 +1,5 @@
 open Expr
+module Trace = Anyseq_trace.Trace
 
 type value = VInt of int | VBool of bool
 
@@ -38,8 +39,15 @@ let as_bool = function
 type ctx = {
   program : Expr.program;
   static_arrays : (string * int array) list;
+  fuel0 : int;  (** initial fuel, for provenance reporting *)
   mutable fuel : int;
   mutable fresh : int;
+  (* Provenance counters surfaced as span attributes: every call unfolding
+     and every PE-time evaluation step that removed a node from the
+     residual (constant-folded binop/neg, statically selected branch,
+     folded static-array read, algebraic simplification). *)
+  mutable unfolds : int;
+  mutable folds : int;
   (* Memoized specializations: (fn name, static arg assignment) ->
      specialized residual name. *)
   specializations : (string * (string * value) list, string) Hashtbl.t;
@@ -108,21 +116,29 @@ let rec pe ctx env e : aval =
           Dyn (Let (fresh, rhs', expr_of_aval body')))
   | If (c, t, f) -> (
       match pe ctx env c with
-      | Known v -> if as_bool v then pe ctx env t else pe ctx env f
+      | Known v ->
+          ctx.folds <- ctx.folds + 1;
+          if as_bool v then pe ctx env t else pe ctx env f
       | Dyn c' ->
           let t' = pe ctx env t and f' = pe ctx env f in
           Dyn (If (c', expr_of_aval t', expr_of_aval f')))
   | Binop (op, a, b) -> (
       let a' = pe ctx env a and b' = pe ctx env b in
       match (a', b') with
-      | Known va, Known vb -> Known (fold_binop op va vb)
+      | Known va, Known vb ->
+          ctx.folds <- ctx.folds + 1;
+          Known (fold_binop op va vb)
       | _ -> (
           match simplify op a' b' with
-          | Some r -> r
+          | Some r ->
+              ctx.folds <- ctx.folds + 1;
+              r
           | None -> Dyn (Binop (op, expr_of_aval a', expr_of_aval b'))))
   | Neg a -> (
       match pe ctx env a with
-      | Known v -> Known (VInt (-as_int v))
+      | Known v ->
+          ctx.folds <- ctx.folds + 1;
+          Known (VInt (-as_int v))
       | Dyn e' -> Dyn (Neg e'))
   | Read (arr, idx) -> (
       let idx' = pe ctx env idx in
@@ -131,7 +147,10 @@ let rec pe ctx env e : aval =
           let i = as_int v in
           if i < 0 || i >= Array.length data then
             raise (Pe_error (Type_error (Printf.sprintf "static read %s[%d] out of bounds" arr i)))
-          else Known (VInt data.(i))
+          else begin
+            ctx.folds <- ctx.folds + 1;
+            Known (VInt data.(i))
+          end
       | _ -> Dyn (Read (arr, expr_of_aval idx')))
   | Call (fname, args) -> (
       let fn =
@@ -156,6 +175,7 @@ let rec pe ctx env e : aval =
       if unfold then begin
         if ctx.fuel <= 0 then raise (Pe_error (Out_of_fuel fname));
         ctx.fuel <- ctx.fuel - 1;
+        ctx.unfolds <- ctx.unfolds + 1;
         let env' =
           List.fold_left (fun acc (p, a) -> Env.add p a acc) Env.empty bound
         in
@@ -218,22 +238,52 @@ let make_ctx ?(fuel = 100_000) ?(static_arrays = []) ~program () =
   {
     program;
     static_arrays;
+    fuel0 = fuel;
     fuel;
     fresh = 0;
+    unfolds = 0;
+    folds = 0;
     specializations = Hashtbl.create 16;
     residual_fns = [];
   }
 
+let residual_nodes r =
+  size r.entry + List.fold_left (fun acc (f : fn) -> acc + size f.body) 0 r.fns
+
+(* Provenance of one specialization, attached to the enclosing span: how
+   much fuel the unfolding consumed, how many nodes folded away, and how
+   big the residual came out — the quantities the paper's specialization
+   claims are about. *)
+let finish_span ctx frame outcome =
+  (match frame with
+  | None -> ()
+  | Some _ ->
+      Trace.add frame "fuel_limit" (Trace.Int ctx.fuel0);
+      Trace.add frame "fuel_used" (Trace.Int (ctx.fuel0 - ctx.fuel));
+      Trace.add frame "unfolds" (Trace.Int ctx.unfolds);
+      Trace.add frame "folds" (Trace.Int ctx.folds);
+      Trace.add frame "specializations" (Trace.Int (Hashtbl.length ctx.specializations));
+      (match outcome with
+      | Ok r ->
+          Trace.add frame "residual_fns" (Trace.Int (List.length r.fns));
+          Trace.add frame "residual_nodes" (Trace.Int (residual_nodes r));
+          Trace.add frame "status" (Trace.Str "ok")
+      | Error err -> Trace.add frame "status" (Trace.Str (error_to_string err))));
+  Trace.finish frame;
+  outcome
+
 let run ?fuel ?static_arrays ~program ~env e =
   let ctx = make_ctx ?fuel ?static_arrays ~program () in
+  let frame = Trace.start "pe.run" in
   let env =
     List.fold_left (fun acc (v, value) -> Env.add v (Known value) acc) Env.empty env
   in
-  match pe ctx env e with
-  | aval ->
-      let entry = expr_of_aval aval in
-      Ok { entry; fns = reachable entry (List.rev ctx.residual_fns) }
-  | exception Pe_error err -> Error err
+  finish_span ctx frame
+    (match pe ctx env e with
+    | aval ->
+        let entry = expr_of_aval aval in
+        Ok { entry; fns = reachable entry (List.rev ctx.residual_fns) }
+    | exception Pe_error err -> Error err)
 
 let specialize_fn ?fuel ?static_arrays ~program ~name ~static_args () =
   match lookup_fn program name with
@@ -242,13 +292,15 @@ let specialize_fn ?fuel ?static_arrays ~program ~name ~static_args () =
       (* Force unfolding of the entry call by evaluating the body directly
          with the mixed environment, rather than going through the filter. *)
       let ctx = make_ctx ?fuel ?static_arrays ~program () in
+      let frame = Trace.start "pe.specialize" ~attrs:[ ("fn", Trace.Str name) ] in
       let env =
         List.fold_left
           (fun acc (v, value) -> Env.add v (Known value) acc)
           Env.empty static_args
       in
-      (match pe ctx env fn.body with
-      | aval ->
-          let entry = expr_of_aval aval in
-          Ok { entry; fns = reachable entry (List.rev ctx.residual_fns) }
-      | exception Pe_error err -> Error err)
+      finish_span ctx frame
+        (match pe ctx env fn.body with
+        | aval ->
+            let entry = expr_of_aval aval in
+            Ok { entry; fns = reachable entry (List.rev ctx.residual_fns) }
+        | exception Pe_error err -> Error err)

@@ -1,0 +1,186 @@
+module Timer = Anyseq_util.Timer
+
+type attr = Int of int | Str of string
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  start_ns : int64;
+  end_ns : int64;
+  domain : int;
+  attrs : (string * attr) list;
+}
+
+let default_buffer = 16_384
+
+(* The global on/off switch — the only thing instrumented code touches when
+   tracing is disabled. *)
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+let dummy_span =
+  { id = 0; parent = 0; name = ""; start_ns = 0L; end_ns = 0L; domain = 0; attrs = [] }
+
+(* One ring per domain that has ever traced. The owning domain is the only
+   writer (plain stores); [spans]/[dropped] read without locking, which can
+   miss spans still in flight on other domains but never observes a torn
+   one (slot writes are single pointer stores of immutable records). *)
+type ring = {
+  r_domain : int;
+  mutable r_slots : span array;
+  r_next : int Atomic.t;  (** completed spans ever written to this ring *)
+}
+
+(* Registry of all rings; mutex held only for registration and control
+   operations (enable/clear), never on the span hot path. *)
+let registry_lock = Mutex.create ()
+let registry : ring list ref = ref []
+let capacity = ref default_buffer
+
+type state = { ring : ring; mutable stack : frame list }
+
+and frame = {
+  fr_id : int;
+  fr_name : string;
+  fr_parent : int;
+  fr_start : int64;
+  mutable fr_attrs : (string * attr) list;  (** reversed *)
+  fr_state : state;
+}
+
+let next_id = Atomic.make 1
+
+let dls_state : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      Mutex.lock registry_lock;
+      let ring =
+        {
+          r_domain = (Domain.self () :> int);
+          r_slots = Array.make !capacity dummy_span;
+          r_next = Atomic.make 0;
+        }
+      in
+      registry := ring :: !registry;
+      Mutex.unlock registry_lock;
+      { ring; stack = [] })
+
+let commit frame end_ns =
+  let st = frame.fr_state in
+  let ring = st.ring in
+  let span =
+    {
+      id = frame.fr_id;
+      parent = frame.fr_parent;
+      name = frame.fr_name;
+      start_ns = frame.fr_start;
+      end_ns;
+      domain = ring.r_domain;
+      attrs = List.rev frame.fr_attrs;
+    }
+  in
+  let cap = Array.length ring.r_slots in
+  let n = Atomic.get ring.r_next in
+  ring.r_slots.(n mod cap) <- span;
+  Atomic.set ring.r_next (n + 1)
+
+let start_frame ?(attrs = []) name =
+  let st = Domain.DLS.get dls_state in
+  let parent = match st.stack with [] -> 0 | f :: _ -> f.fr_id in
+  let frame =
+    {
+      fr_id = Atomic.fetch_and_add next_id 1;
+      fr_name = name;
+      fr_parent = parent;
+      fr_start = Timer.now_ns ();
+      fr_attrs = List.rev attrs;
+      fr_state = st;
+    }
+  in
+  st.stack <- frame :: st.stack;
+  frame
+
+(* Close [frame]: unwind the domain's stack down to it (abandoning any
+   deeper frame left open by a mismatched start/finish pair — those are
+   never recorded) and commit the span. A frame must finish on the domain
+   that started it; one that is no longer on its own stack is ignored. *)
+let finish_frame ?(attrs = []) frame =
+  let st = frame.fr_state in
+  if List.memq frame st.stack then begin
+    let rec unwind = function
+      | f :: rest when f != frame -> unwind rest
+      | _ :: rest -> rest
+      | [] -> []
+    in
+    st.stack <- unwind st.stack;
+    frame.fr_attrs <- List.rev_append attrs frame.fr_attrs;
+    commit frame (Timer.now_ns ())
+  end
+
+let with_span ?attrs name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let frame = start_frame ?attrs name in
+    Fun.protect ~finally:(fun () -> finish_frame frame) f
+  end
+
+let start ?attrs name =
+  if not (Atomic.get enabled_flag) then None else Some (start_frame ?attrs name)
+
+let add frame key value =
+  match frame with
+  | None -> ()
+  | Some f -> f.fr_attrs <- (key, value) :: f.fr_attrs
+
+let finish ?attrs frame =
+  match frame with None -> () | Some f -> finish_frame ?attrs f
+
+(* Reset every ring (resizing it if the requested capacity changed). Caller
+   holds the registry lock; concurrent tracing on other domains during a
+   control operation loses those domains' in-flight spans, which is the
+   documented best-effort behaviour. *)
+let reset_rings cap =
+  List.iter
+    (fun ring ->
+      if Array.length ring.r_slots <> cap then ring.r_slots <- Array.make cap dummy_span
+      else Array.fill ring.r_slots 0 cap dummy_span;
+      Atomic.set ring.r_next 0)
+    !registry
+
+let enable ?(buffer = default_buffer) () =
+  if buffer <= 0 then invalid_arg "Trace.enable: buffer must be positive";
+  Mutex.lock registry_lock;
+  capacity := buffer;
+  reset_rings buffer;
+  Mutex.unlock registry_lock;
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let clear () =
+  Mutex.lock registry_lock;
+  reset_rings !capacity;
+  Mutex.unlock registry_lock
+
+let spans () =
+  Mutex.lock registry_lock;
+  let rings = !registry in
+  Mutex.unlock registry_lock;
+  let collect ring =
+    let cap = Array.length ring.r_slots in
+    let n = Atomic.get ring.r_next in
+    let kept = min n cap in
+    List.init kept (fun k -> ring.r_slots.((n - kept + k) mod cap))
+    |> List.filter (fun s -> s.id > 0)
+  in
+  List.concat_map collect rings
+  |> List.sort (fun a b ->
+         match Int64.compare a.start_ns b.start_ns with 0 -> compare a.id b.id | c -> c)
+
+let dropped () =
+  Mutex.lock registry_lock;
+  let rings = !registry in
+  Mutex.unlock registry_lock;
+  List.fold_left
+    (fun acc ring -> acc + max 0 (Atomic.get ring.r_next - Array.length ring.r_slots))
+    0 rings

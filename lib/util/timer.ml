@@ -1,14 +1,20 @@
-(* Wall-clock timing. [Unix.gettimeofday] is the only sub-second wall clock
-   available without extra dependencies; benchmark runs are single-process
-   and short enough that NTP step adjustments are not a practical concern. *)
+(* Monotonic timing. [Monotonic_clock.now] (bechamel's CLOCK_MONOTONIC
+   binding, already a dependency of the bench harness) gives nanosecond
+   timestamps that never step backwards, which span tracing requires —
+   wall-clock NTP adjustments would otherwise produce negative span
+   durations. *)
 
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns t0 = Int64.sub (now_ns ()) t0
+let elapsed_us t0 = Int64.to_int (Int64.div (elapsed_ns t0) 1000L)
+
+let seconds_of_ns ns = Int64.to_float ns /. 1e9
 
 let time f =
   let t0 = now_ns () in
   let result = f () in
-  let t1 = now_ns () in
-  (result, Int64.to_float (Int64.sub t1 t0) /. 1e9)
+  (result, seconds_of_ns (elapsed_ns t0))
 
 let time_only f = snd (time f)
 
@@ -20,6 +26,8 @@ let best_of ~repeats f =
     if dt < !best then best := dt
   done;
   !best
+
+let rate ?(repeats = 2) ~cells f = float_of_int cells /. best_of ~repeats f
 
 let gcups ~cells ~seconds =
   if seconds <= 0.0 then 0.0 else float_of_int cells /. seconds /. 1e9

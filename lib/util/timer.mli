@@ -1,11 +1,23 @@
-(** Monotonic wall-clock timing helpers for the benchmark harness. *)
+(** Monotonic timing helpers for the benchmark harness and the span
+    tracer. All timestamps come from [CLOCK_MONOTONIC], so differences are
+    insensitive to NTP steps and never negative. *)
 
 val now_ns : unit -> int64
-(** Monotonic timestamp in nanoseconds. *)
+(** Monotonic timestamp in nanoseconds. Only differences are meaningful;
+    the origin is unspecified (boot time on Linux). *)
+
+val elapsed_ns : int64 -> int64
+(** [elapsed_ns t0] is [now_ns () - t0]. *)
+
+val elapsed_us : int64 -> int
+(** [elapsed_ns] truncated to whole microseconds, as an [int] — the unit
+    the metrics histograms record. *)
+
+val seconds_of_ns : int64 -> float
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
-    wall-clock seconds. *)
+    seconds. *)
 
 val time_only : (unit -> 'a) -> float
 (** Elapsed seconds of one run, discarding the result. *)
@@ -13,6 +25,11 @@ val time_only : (unit -> 'a) -> float
 val best_of : repeats:int -> (unit -> 'a) -> float
 (** Minimum elapsed seconds over [repeats] runs (at least one). The minimum
     is the standard robust estimator for single-threaded kernel cost. *)
+
+val rate : ?repeats:int -> cells:int -> (unit -> 'a) -> float
+(** [rate ~cells f] is cells per second under {!best_of} (default 2
+    repeats) — the calibration estimator the bench harness's machine model
+    is built on. *)
 
 val gcups : cells:int -> seconds:float -> float
 (** Giga cell updates per second — the unit all of the paper's performance

@@ -1,5 +1,16 @@
 module Tiling = Anyseq_core.Tiling
 module Sequence = Anyseq_bio.Sequence
+module Trace = Anyseq_trace.Trace
+
+(* One span per tile execution, recorded in the executing domain's ring.
+   Attributes identify the tile so a Chrome trace shows the wavefront
+   sweep per domain lane. *)
+let traced_tile ?grid ~ti ~tj compute =
+  let attrs =
+    let base = [ ("ti", Trace.Int ti); ("tj", Trace.Int tj) ] in
+    match grid with None -> base | Some g -> ("grid", Trace.Int g) :: base
+  in
+  Trace.with_span "wavefront.tile" ~attrs (fun () -> compute ~ti ~tj)
 
 let run_dynamic ?(impl = Workqueue.Locked) ~domains ~rows ~cols ~compute () =
   let graph = Tilegraph.create ~rows ~cols in
@@ -11,7 +22,7 @@ let run_dynamic ?(impl = Workqueue.Locked) ~domains ~rows ~cols ~compute () =
       match Workqueue.pop queue with
       | None -> ()
       | Some (ti, tj) ->
-          compute ~ti ~tj;
+          traced_tile ~ti ~tj compute;
           let ready = Tilegraph.complete graph ~ti ~tj in
           List.iter (fun t -> Workqueue.push queue t) ready;
           if Tilegraph.completed_count graph = total then Workqueue.close queue;
@@ -32,7 +43,7 @@ let run_static ~domains ~rows ~cols ~compute () =
         let k = ref id in
         while !k < Array.length tiles do
           let ti, tj = tiles.(!k) in
-          compute ~ti ~tj;
+          traced_tile ~ti ~tj compute;
           k := !k + domains
         done)
   done
@@ -53,7 +64,7 @@ let run_dynamic_many ?(impl = Workqueue.Locked) ~domains ~grids ~compute () =
       match Workqueue.pop queue with
       | None -> ()
       | Some (gi, ti, tj) ->
-          compute ~grid:gi ~ti ~tj;
+          traced_tile ~grid:gi ~ti ~tj (fun ~ti ~tj -> compute ~grid:gi ~ti ~tj);
           let ready = Tilegraph.complete graphs.(gi) ~ti ~tj in
           List.iter (fun (ti', tj') -> Workqueue.push queue (gi, ti', tj')) ready;
           if Atomic.fetch_and_add completed 1 = total - 1 then Workqueue.close queue;

@@ -50,6 +50,64 @@ let test_metrics_basics () =
   Metrics.reset m;
   Alcotest.(check int) "reset" 0 (Metrics.value c)
 
+(* Round-trip: render the registry as Prometheus text exposition, parse it
+   back with a dumb line parser, and check the numbers survived. *)
+let test_metrics_prometheus () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "runtime/jobs_ok") 12;
+  Metrics.gauge_set m "runtime/queue_depth" 9;
+  Metrics.gauge_set m "runtime/queue_depth" 4;
+  let h = Metrics.histogram m "runtime/batch_us" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 500; 70_000 ];
+  let text = Metrics.dump_prometheus m in
+  let lines = String.split_on_char '\n' text in
+  let types = Hashtbl.create 8 and values = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ "#"; "TYPE"; name; kind ] -> Hashtbl.replace types name kind
+      | [ series; v ] when line <> "" && line.[0] <> '#' ->
+          Hashtbl.replace values series (float_of_string v)
+      | _ -> ())
+    lines;
+  let value s = Hashtbl.find_opt values s in
+  Alcotest.(check (option string)) "counter typed" (Some "counter")
+    (Hashtbl.find_opt types "anyseq_runtime_jobs_ok");
+  Alcotest.(check (option (float 0.))) "counter value" (Some 12.) (value "anyseq_runtime_jobs_ok");
+  Alcotest.(check (option string)) "gauge typed" (Some "gauge")
+    (Hashtbl.find_opt types "anyseq_runtime_queue_depth");
+  Alcotest.(check (option (float 0.))) "gauge current" (Some 4.)
+    (value "anyseq_runtime_queue_depth");
+  Alcotest.(check (option (float 0.))) "gauge high-water" (Some 9.)
+    (value "anyseq_runtime_queue_depth_max");
+  Alcotest.(check (option string)) "histogram typed" (Some "histogram")
+    (Hashtbl.find_opt types "anyseq_runtime_batch_us");
+  Alcotest.(check (option (float 0.))) "hist count" (Some 6.)
+    (value "anyseq_runtime_batch_us_count");
+  Alcotest.(check (option (float 0.))) "hist sum" (Some 70506.)
+    (value "anyseq_runtime_batch_us_sum");
+  Alcotest.(check (option (float 0.))) "+Inf bucket carries the total" (Some 6.)
+    (value {|anyseq_runtime_batch_us_bucket{le="+Inf"}|});
+  (* Buckets are cumulative and ordered: extract them in file order. *)
+  let buckets =
+    List.filter_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ series; v ]
+          when Helpers.contains_sub series "anyseq_runtime_batch_us_bucket{le=\""
+               && not (Helpers.contains_sub series "+Inf") ->
+            Some (float_of_string v)
+        | _ -> None)
+      lines
+  in
+  Alcotest.(check bool) "at least one finite bucket" true (buckets <> []);
+  let monotone =
+    fst
+      (List.fold_left (fun (ok, prev) v -> (ok && v >= prev, v)) (true, neg_infinity) buckets)
+  in
+  Alcotest.(check bool) "buckets cumulative" true monotone;
+  Alcotest.(check (float 0.)) "last finite bucket <= count" 6. (List.nth buckets (List.length buckets - 1))
+
 let test_metrics_kind_mismatch () =
   let m = Metrics.create () in
   ignore (Metrics.counter m "x");
@@ -381,6 +439,7 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "counters, gauges, histograms" `Quick test_metrics_basics;
+          Alcotest.test_case "prometheus round-trip" `Quick test_metrics_prometheus;
           Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
         ] );
       ("native kernels", [ native_matches_engine ]);

@@ -667,3 +667,113 @@ let run_trace cfg =
   Printf.printf "acceptance: overhead %.2f%% < %.0f%%: %s\n" overhead
     trace_overhead_budget_pct
     (if overhead < trace_overhead_budget_pct then "PASS" else "FAIL")
+
+(* ------------------------------------------------------------------ *)
+(* Network server — loopback load generator                             *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0 else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+(* Several pipelining clients, each with its own connection and thread,
+   against a real server on a loopback Unix socket. Measures end-to-end
+   throughput and latency, and reads back the server-reported batch sizes —
+   the continuous-batching acceptance (mean batch > 1 under concurrent
+   load) and the shared-cache acceptance (warm hit rate >= 90%). *)
+let run_server cfg =
+  let pairs = Workloads.read_pairs cfg in
+  let spairs =
+    Array.map (fun (q, s) -> (Sequence.to_string q, Sequence.to_string s)) pairs
+  in
+  let clients = 4 and window = 64 in
+  Printf.printf
+    "Network server -- %d clients x %d read pairs of 150 bp over a loopback\n\
+     Unix socket, window %d requests in flight per client, score-only jobs\n\
+     through one shared service (batcher window %d us, max batch %d).\n"
+    clients (Array.length spairs) window 2000 64;
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "anyseq-bench-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Anyseq.Addr.Unix_socket path in
+  let service =
+    Anyseq.Service.create ~capacity:(max 4096 (clients * Array.length spairs)) ()
+  in
+  match Anyseq.Server.start ~service (Anyseq.Server.default_config ~addrs:[ addr ] ()) with
+  | Error msg -> Printf.printf "!! server start failed: %s\n" msg
+  | Ok srv ->
+      let stats = Array.make clients None in
+      let run_client k =
+        match Anyseq.Client.connect addr with
+        | Error msg -> Printf.eprintf "client %d: %s\n" k msg
+        | Ok conn ->
+            (match Anyseq.Client.run_load conn ~window spairs with
+            | Ok st -> stats.(k) <- Some st
+            | Error msg -> Printf.eprintf "client %d: %s\n" k msg);
+            Anyseq.Client.close conn
+      in
+      (* one untimed warm pass so the timed run measures steady state *)
+      run_client 0;
+      stats.(0) <- None;
+      let t0 = Timer.now_ns () in
+      let threads = List.init clients (fun k -> Thread.create run_client k) in
+      List.iter Thread.join threads;
+      let dt = Int64.to_float (Int64.sub (Timer.now_ns ()) t0) /. 1e9 in
+      Anyseq.Server.stop srv;
+      let completed = ref 0 and ok = ref 0 and batch_sum = ref 0 and queue_sum = ref 0 in
+      let lats = ref [] in
+      Array.iter
+        (function
+          | None -> ()
+          | Some st ->
+              completed := !completed + st.Anyseq.Client.completed;
+              ok := !ok + st.Anyseq.Client.ok;
+              batch_sum := !batch_sum + st.Anyseq.Client.batch_jobs_sum;
+              queue_sum := !queue_sum + st.Anyseq.Client.queue_us_sum;
+              lats := st.Anyseq.Client.latencies_us :: !lats)
+        stats;
+      let lat = Array.concat !lats in
+      Array.sort compare lat;
+      let completed = !completed in
+      let mean_batch =
+        if completed = 0 then 0.0 else float_of_int !batch_sum /. float_of_int completed
+      in
+      let t =
+        Tablefmt.create
+          ~columns:
+            [
+              ("metric", Tablefmt.Left); ("value", Tablefmt.Right);
+            ]
+          ()
+      in
+      Tablefmt.add_row t [ "requests completed"; string_of_int completed ];
+      Tablefmt.add_row t [ "requests ok"; string_of_int !ok ];
+      Tablefmt.add_row t [ "wall seconds"; Tablefmt.cell_float ~decimals:3 dt ];
+      Tablefmt.add_row t
+        [ "throughput (req/s)"; Tablefmt.cell_float ~decimals:0 (float_of_int completed /. dt) ];
+      Tablefmt.add_row t [ "latency p50 (us)"; string_of_int (percentile lat 0.50) ];
+      Tablefmt.add_row t [ "latency p99 (us)"; string_of_int (percentile lat 0.99) ];
+      Tablefmt.add_row t [ "mean batch size"; Tablefmt.cell_float ~decimals:2 mean_batch ];
+      Tablefmt.add_row t
+        [
+          "mean queue time (us)";
+          Tablefmt.cell_float ~decimals:1
+            (if completed = 0 then 0.0 else float_of_int !queue_sum /. float_of_int completed);
+        ];
+      Tablefmt.print t;
+      (* batch-size distribution, from the server's histogram *)
+      let h = Anyseq.Metrics.histogram (Anyseq.Server.metrics srv) "server/batch_jobs" in
+      let batches = Anyseq.Metrics.hist_count h in
+      if batches > 0 then
+        Printf.printf "server batches: %d dispatched, mean size %.1f, max %d\n" batches
+          (float_of_int (Anyseq.Metrics.hist_sum h) /. float_of_int batches)
+          (Anyseq.Metrics.hist_max h);
+      let cs = Anyseq.Service.cache_stats service in
+      let rate = 100.0 *. Anyseq.Spec_cache.hit_rate cs in
+      Printf.printf "specialization cache: %d hits / %d misses (hit rate %.1f%%)\n"
+        cs.Anyseq.Spec_cache.hits cs.Anyseq.Spec_cache.misses rate;
+      Printf.printf "acceptance: mean batch > 1: %s (%.2f); warm hit rate >= 90%%: %s\n"
+        (if mean_batch > 1.0 then "PASS" else "FAIL")
+        mean_batch
+        (if rate >= 90.0 then "PASS" else "FAIL")

@@ -20,6 +20,7 @@ let experiments =
     ("ablation", "Ablations A1-A4");
     ("runtime", "Runtime service: batch executor vs one-at-a-time facade");
     ("trace", "Tracing overhead: span collection off vs on");
+    ("server", "Network server: loopback load, continuous batching, latency percentiles");
   ]
 
 let run only scale reads seed bechamel =
@@ -50,6 +51,7 @@ let run only scale reads seed bechamel =
   section "ablation" "Ablations" (fun () -> Experiments.run_ablation cfg);
   section "runtime" "Runtime service" (fun () -> Experiments.run_runtime cfg);
   section "trace" "Tracing overhead" (fun () -> Experiments.run_trace cfg);
+  section "server" "Network server" (fun () -> Experiments.run_server cfg);
   if bechamel then begin
     Printf.printf "\n================================================================\n";
     Bechamel_suite.run cfg

@@ -5,7 +5,8 @@
      generate        synthesize a benchmark genome pair as FASTA
      simulate-reads  simulate an Illumina-like read set as FASTQ
      batch           run an alignment job file through the runtime service
-     serve           sustained-load loop over the runtime service
+     serve           network alignment server (--listen) or sustained-load loop
+     client          connect to a running server and submit alignments
      trace           traced workload -> span-tree profile / Chrome trace
      search          approximate pattern matching (Myers bit-parallel)
      overlap         dovetail overlap between two sequences
@@ -16,6 +17,36 @@
    no engine dispatch of its own. *)
 
 open Cmdliner
+
+(* Exit codes (documented in README "Serving"). 0 success, 1 generic
+   failure, 2 cmdliner usage error; alignment-level failures get distinct
+   codes so scripts can tell backpressure from bad input:
+     3  invalid configuration / bad request
+     4  input sequence rejected by the alphabet
+     5  job exceeds a backend's score-representation bound
+     6  rejected by backpressure (queue full / server draining)
+     7  deadline expired
+     8  protocol or connection failure (client side) *)
+let exit_invalid_config = 3
+let exit_bad_sequence = 4
+let exit_overflow = 5
+let exit_rejected = 6
+let exit_timeout = 7
+let exit_protocol = 8
+
+let exit_code_of_error = function
+  | Anyseq.Error.Bad_sequence _ -> exit_bad_sequence
+  | Anyseq.Error.Overflow_bound _ -> exit_overflow
+  | Anyseq.Error.Rejected -> exit_rejected
+  | Anyseq.Error.Timeout -> exit_timeout
+
+let exit_code_of_wire = function
+  | Anyseq.Wire.Bad_sequence -> exit_bad_sequence
+  | Anyseq.Wire.Overflow_bound -> exit_overflow
+  | Anyseq.Wire.Rejected | Anyseq.Wire.Draining -> exit_rejected
+  | Anyseq.Wire.Timeout -> exit_timeout
+  | Anyseq.Wire.Bad_request -> exit_invalid_config
+  | Anyseq.Wire.Internal -> 1
 
 let scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet =
   let subst =
@@ -161,7 +192,7 @@ let align_cmd =
     | Error e ->
         if json then Printf.printf "{\"error\":\"%s\"}\n" (json_escape (Anyseq.Error.to_string e))
         else Printf.eprintf "error: %s\n" (Anyseq.Error.to_string e);
-        exit 1
+        exit (exit_code_of_error e)
     | Ok r when json ->
         let b = Buffer.create 256 in
         Printf.bprintf b "{\"score\":%d,\"mode\":\"%s\",\"scheme\":\"%s\"" r.Anyseq.score
@@ -414,7 +445,83 @@ let batch_cmd =
       $ json_t $ metrics_t $ metrics_format_t $ trace_t $ timeout_t $ batch_size_t $ match_t
       $ mismatch_t $ gap_open_t $ gap_extend_t)
 
+(* serve --listen: the network server. Binds the given addresses, serves
+   wire frames through one shared service, and drains gracefully on
+   SIGTERM/SIGINT. Without --listen, serve falls back to the historical
+   in-process sustained-load loop. *)
+let serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers ~capacity
+    ~batch_size ~metrics_flag ~metrics_format =
+  let addrs =
+    List.map
+      (fun s ->
+        match Anyseq.Addr.parse s with
+        | Ok a -> a
+        | Error msg ->
+            Printf.eprintf "error: bad --listen address %s: %s\n" s msg;
+            exit exit_invalid_config)
+      listen
+  in
+  let service = Anyseq.Service.create ?capacity ~batch_size () in
+  let cfg =
+    { (Anyseq.Server.default_config ~addrs ()) with max_batch; max_wait_us; max_pending;
+      dispatch_workers }
+  in
+  match Anyseq.Server.start ~service cfg with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit exit_invalid_config
+  | Ok srv ->
+      Anyseq.Server.install_signal_handlers srv;
+      List.iter
+        (fun a -> Printf.printf "listening on %s\n%!" (Anyseq.Addr.to_string a))
+        (Anyseq.Server.addresses srv);
+      Anyseq.Server.wait srv;
+      let m = Anyseq.Server.metrics srv in
+      let get name = Option.value ~default:0 (Anyseq.Metrics.find m name) in
+      Printf.printf "drained: %d requests received, %d replied, %d connections served\n"
+        (get "server/requests_received") (get "server/requests_replied")
+        (get "server/connections_accepted");
+      let cs = Anyseq.Service.cache_stats service in
+      Printf.printf "cache: %d entries, hit rate %.1f%%\n" cs.Anyseq.Spec_cache.size
+        (100.0 *. Anyseq.Spec_cache.hit_rate cs);
+      if metrics_flag then begin
+        print_endline "--- metrics ---";
+        print_endline (dump_metrics metrics_format m)
+      end
+
 let serve_cmd =
+  let listen_t =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve the network protocol on $(docv) (repeatable): $(b,unix:PATH), \
+             $(b,tcp:HOST:PORT), or $(b,HOST:PORT). Without --listen, serve runs the \
+             in-process sustained-load loop instead.")
+  in
+  let max_batch_t =
+    Arg.(value & opt int 64 & info [ "max-batch" ] ~doc:"Largest batch formed by the server.")
+  in
+  let max_wait_us_t =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-wait-us" ] ~doc:"Batch formation window in microseconds.")
+  in
+  let max_pending_t =
+    Arg.(
+      value & opt int 8192
+      & info [ "max-pending" ] ~doc:"Request queue bound; beyond it requests are rejected.")
+  in
+  let dispatch_workers_t =
+    Arg.(value & opt int 1 & info [ "dispatch-workers" ] ~doc:"Concurrent dispatch loops.")
+  in
+  let capacity_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~doc:"Runtime service admission capacity (--listen mode).")
+  in
   let rounds_t = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"Load rounds to run.") in
   let count_t = Arg.(value & opt int 2000 & info [ "count" ] ~doc:"Jobs per round per mode.") in
   let read_len_t = Arg.(value & opt int 150 & info [ "read-length" ] ~doc:"Read length.") in
@@ -425,8 +532,13 @@ let serve_cmd =
       & opt (list mode_conv) [ Anyseq.Types.Global; Anyseq.Types.Semiglobal ]
       & info [ "modes" ] ~doc:"Comma-separated alignment modes each round cycles through.")
   in
-  let run rounds count read_len seed modes backend json trace metrics_format match_ mismatch
-      gap_open gap_extend =
+  let run listen max_batch max_wait_us max_pending dispatch_workers capacity batch_size
+      metrics_flag rounds count read_len seed modes backend json trace metrics_format match_
+      mismatch gap_open gap_extend =
+    if listen <> [] then
+      serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers ~capacity
+        ~batch_size ~metrics_flag ~metrics_format
+    else begin
     let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
     let pairs = load_pairs ~reads:None ~subjects:None ~count ~seed ~read_len in
     let service = Anyseq.Service.create ~capacity:(max 1024 count) () in
@@ -475,15 +587,196 @@ let serve_cmd =
       print_endline "--- metrics ---";
       print_endline (dump_metrics metrics_format metrics)
     end
+    end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Sustained-load demonstration: repeated batches through one service, showing warm \
-          specialization-cache behavior and steady-state throughput.")
+         "With $(b,--listen), a network alignment server: wire-protocol requests from any mix \
+          of Unix-domain and TCP listeners are continuously batched through one shared runtime \
+          service; SIGTERM/SIGINT drains gracefully. Without it, a sustained-load \
+          demonstration loop over the same service, in process.")
     Term.(
-      const run $ rounds_t $ count_t $ read_len_t $ seed_t $ modes_t $ backend_t $ json_t
-      $ trace_t $ metrics_format_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
+      const run $ listen_t $ max_batch_t $ max_wait_us_t $ max_pending_t $ dispatch_workers_t
+      $ capacity_t $ batch_size_t $ metrics_t $ rounds_t $ count_t $ read_len_t $ seed_t
+      $ modes_t $ backend_t $ json_t $ trace_t $ metrics_format_t $ match_t $ mismatch_t
+      $ gap_open_t $ gap_extend_t)
+
+let client_cmd =
+  let connect_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or $(b,HOST:PORT).")
+  in
+  let query_t =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"Inline query sequence; with SUBJECT, sends one request and prints the result.")
+  in
+  let subject_t =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"SUBJECT" ~doc:"Inline subject sequence.")
+  in
+  let count_t =
+    Arg.(
+      value & opt int 2000
+      & info [ "count" ] ~doc:"Simulated pairs to drive when no sequences or --reads given.")
+  in
+  let seed_t = Arg.(value & opt int 23 & info [ "seed" ] ~doc:"RNG seed for simulated pairs.") in
+  let window_t =
+    Arg.(value & opt int 64 & info [ "window" ] ~doc:"Pipelined requests in flight (load mode).")
+  in
+  let traceback_t =
+    Arg.(value & flag & info [ "traceback" ] ~doc:"Request full alignments (CIGAR) from the server.")
+  in
+  let scheme_name_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scheme" ] ~docv:"NAME"
+          ~doc:"Use the named built-in scoring scheme instead of the scoring flags.")
+  in
+  let alphabet_t =
+    Arg.(
+      value
+      & opt (enum [ ("dna4", `Dna4); ("dna5", `Dna5) ]) `Dna5
+      & info [ "alphabet" ]
+          ~doc:"Alphabet of the scoring-flag scheme: $(b,dna4) (strict ACGT) or $(b,dna5) \
+                (N wildcard; unknown characters read as N).")
+  in
+  let exit_code_of_load errors =
+    (* Most frequent remote error decides the exit code. *)
+    match List.sort (fun (_, a) (_, b) -> compare b a) errors with
+    | [] -> 0
+    | (code, _) :: _ -> exit_code_of_wire code
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0 else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+  in
+  let run connect query subject reads subjects count seed window timeout traceback scheme_name
+      alphabet mode backend json match_ mismatch gap_open gap_extend =
+    let addr =
+      match Anyseq.Addr.parse connect with
+      | Ok a -> a
+      | Error msg ->
+          Printf.eprintf "error: bad --connect address: %s\n" msg;
+          exit exit_invalid_config
+    in
+    let spec =
+      match scheme_name with
+      | Some n -> Anyseq.Wire.Named n
+      | None -> Anyseq.Wire.Simple { alphabet; match_; mismatch; gap_open; gap_extend }
+    in
+    let config = { Anyseq.Wire.scheme = spec; mode; traceback; backend } in
+    let conn =
+      match Anyseq.Client.connect addr with
+      | Ok c -> c
+      | Error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit exit_protocol
+    in
+    Fun.protect ~finally:(fun () -> Anyseq.Client.close conn) @@ fun () ->
+    match (query, subject) with
+    | Some q, Some s -> (
+        match Anyseq.Client.align conn ?timeout_s:timeout ~config ~query:q ~subject:s () with
+        | Ok r ->
+            if json then begin
+              let b = Buffer.create 128 in
+              Printf.bprintf b "{\"score\":%d,\"query_end\":%d,\"subject_end\":%d"
+                r.Anyseq.Client.score r.Anyseq.Client.query_end r.Anyseq.Client.subject_end;
+              (match r.Anyseq.Client.cigar with
+              | Some c -> Printf.bprintf b ",\"cigar\":\"%s\"" (json_escape c)
+              | None -> ());
+              Printf.bprintf b ",\"batch_jobs\":%d,\"queue_us\":%.1f,\"service_us\":%.1f}"
+                r.Anyseq.Client.batch_jobs
+                (Int64.to_float r.Anyseq.Client.queue_ns /. 1e3)
+                (Int64.to_float r.Anyseq.Client.service_ns /. 1e3);
+              print_endline (Buffer.contents b)
+            end
+            else begin
+              Printf.printf "score\t%d\n" r.Anyseq.Client.score;
+              Printf.printf "ends\t%d\t%d\n" r.Anyseq.Client.query_end r.Anyseq.Client.subject_end;
+              (match r.Anyseq.Client.cigar with
+              | Some c -> Printf.printf "cigar\t%s\n" c
+              | None -> ());
+              Printf.printf "server\tbatch=%d queue=%.1fus service=%.1fus\n"
+                r.Anyseq.Client.batch_jobs
+                (Int64.to_float r.Anyseq.Client.queue_ns /. 1e3)
+                (Int64.to_float r.Anyseq.Client.service_ns /. 1e3)
+            end
+        | Error (Anyseq.Client.Remote (code, msg)) ->
+            Printf.eprintf "error: %s: %s\n" (Anyseq.Wire.code_to_string code) msg;
+            exit (exit_code_of_wire code)
+        | Error (Anyseq.Client.Protocol msg) ->
+            Printf.eprintf "error: %s\n" msg;
+            exit exit_protocol)
+    | Some _, None | None, Some _ ->
+        Printf.eprintf "error: QUERY and SUBJECT must be given together\n";
+        exit exit_invalid_config
+    | None, None -> (
+        (* Load mode: drive file or simulated pairs through the pipeline. *)
+        let pairs = load_pairs ~reads ~subjects ~count ~seed ~read_len:150 in
+        let t0 = Anyseq_util.Timer.now_ns () in
+        match Anyseq.Client.run_load conn ~window ?timeout_s:timeout ~config pairs with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit exit_protocol
+        | Ok st ->
+            let dt = Int64.to_float (Int64.sub (Anyseq_util.Timer.now_ns ()) t0) /. 1e9 in
+            let lat = Array.copy st.Anyseq.Client.latencies_us in
+            Array.sort compare lat;
+            let completed = st.Anyseq.Client.completed in
+            let mean_batch =
+              if completed = 0 then 0.0
+              else float_of_int st.Anyseq.Client.batch_jobs_sum /. float_of_int completed
+            in
+            if json then begin
+              Printf.printf
+                "{\"completed\":%d,\"ok\":%d,\"seconds\":%.6f,\"rps\":%.1f,\"p50_us\":%d,\"p99_us\":%d,\"mean_batch\":%.2f"
+                completed st.Anyseq.Client.ok dt
+                (float_of_int completed /. dt)
+                (percentile lat 0.50) (percentile lat 0.99) mean_batch;
+              if st.Anyseq.Client.errors <> [] then begin
+                print_string ",\"errors\":{";
+                List.iteri
+                  (fun i (code, n) ->
+                    Printf.printf "%s\"%s\":%d" (if i > 0 then "," else "")
+                      (Anyseq.Wire.code_to_string code) n)
+                  st.Anyseq.Client.errors;
+                print_string "}"
+              end;
+              print_endline "}"
+            end
+            else begin
+              Printf.printf
+                "%d requests in %.3f s (%.1f req/s), %d ok, p50 %d us, p99 %d us, mean batch %.2f\n"
+                completed dt
+                (float_of_int completed /. dt)
+                st.Anyseq.Client.ok (percentile lat 0.50) (percentile lat 0.99) mean_batch;
+              List.iter
+                (fun (code, n) ->
+                  Printf.printf "  %6d x %s\n" n (Anyseq.Wire.code_to_string code))
+                st.Anyseq.Client.errors
+            end;
+            let rc = exit_code_of_load st.Anyseq.Client.errors in
+            if rc <> 0 then exit rc)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Connect to a running alignment server. With inline QUERY and SUBJECT sequences, \
+          sends one request and prints the score (and CIGAR under --traceback). Otherwise \
+          drives a pipelined load of file or simulated pairs and reports throughput and \
+          latency percentiles. Remote failures map to distinct exit codes: 3 bad request, 4 \
+          bad sequence, 5 overflow, 6 rejected/draining, 7 timeout, 8 protocol.")
+    Term.(
+      const run $ connect_t $ query_t $ subject_t $ reads_t $ subjects_t $ count_t $ seed_t
+      $ window_t $ timeout_t $ traceback_t $ scheme_name_t $ alphabet_t $ mode_t $ backend_t
+      $ json_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
 
 let trace_cmd =
   let count_t =
@@ -726,5 +1019,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; serve_cmd; trace_cmd;
-            search_cmd; overlap_cmd; analyze_cmd ]))
+          [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; serve_cmd; client_cmd;
+            trace_cmd; search_cmd; overlap_cmd; analyze_cmd ]))

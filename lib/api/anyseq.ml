@@ -34,6 +34,11 @@ module Metrics = Anyseq_runtime.Metrics
 module Native_kernel = Anyseq_runtime.Native_kernel
 module Trace = Anyseq_trace.Trace
 module Trace_export = Anyseq_trace.Export
+module Wire = Anyseq_client.Wire
+module Addr = Anyseq_client.Addr
+module Client = Anyseq_client.Client
+module Server = Anyseq_server.Server
+module Batcher = Anyseq_server.Batcher
 
 type aligned = {
   score : int;

@@ -70,6 +70,21 @@ module Native_kernel = Anyseq_runtime.Native_kernel
 module Trace = Anyseq_trace.Trace
 module Trace_export = Anyseq_trace.Export
 
+(** {1 Serving}
+
+    The network subsystem: {!Server} binds Unix-domain and TCP listeners,
+    continuously batches {!Wire} requests through one shared {!Service},
+    and drains gracefully on SIGTERM; {!Client} is the matching
+    connection handle with single-request and pipelined entry points.
+    [anyseq serve --listen] / [anyseq client] are thin CLI shims over
+    these. *)
+
+module Wire = Anyseq_client.Wire
+module Addr = Anyseq_client.Addr
+module Client = Anyseq_client.Client
+module Server = Anyseq_server.Server
+module Batcher = Anyseq_server.Batcher
+
 (** {1 Core entry points}
 
     Sequences are plain strings over the configuration scheme's alphabet

@@ -1,0 +1,83 @@
+type t = Unix_socket of string | Tcp of string * int
+
+let to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let parse s =
+  let tcp_of rest =
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "address %S: expected host:port" s)
+    | Some i -> (
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 ->
+            if host = "" then Error (Printf.sprintf "address %S: empty host" s)
+            else Ok (Tcp (host, p))
+        | _ -> Error (Printf.sprintf "address %S: bad port %S" s port))
+  in
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    let path = String.sub s 5 (String.length s - 5) in
+    if path = "" then Error "unix: address with empty path" else Ok (Unix_socket path)
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then
+    tcp_of (String.sub s 4 (String.length s - 4))
+  else if String.contains s ':' then tcp_of s
+  else Error (Printf.sprintf "address %S: expected unix:PATH, tcp:HOST:PORT or HOST:PORT" s)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | a -> Ok a
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> Ok addrs.(0)
+      | _ | (exception Not_found) -> Error (Printf.sprintf "cannot resolve host %S" host))
+
+let sockaddr_of = function
+  | Unix_socket path -> Ok (Unix.ADDR_UNIX path)
+  | Tcp (host, port) ->
+      Result.map (fun a -> Unix.ADDR_INET (a, port)) (resolve_host host)
+
+let domain_of = function Unix_socket _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let with_socket addr f =
+  match sockaddr_of addr with
+  | Error _ as e -> e
+  | Ok sa -> (
+      let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
+      match f fd sa with
+      | v -> v
+      | exception Unix.Unix_error (e, fn, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Printf.sprintf "%s: %s (%s)" (to_string addr) (Unix.error_message e) fn))
+
+let connect addr =
+  with_socket addr (fun fd sa ->
+      Unix.connect fd sa;
+      (match addr with
+      | Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+      | Unix_socket _ -> ());
+      Ok fd)
+
+let unlink_if_socket = function
+  | Tcp _ -> ()
+  | Unix_socket path -> (
+      match (Unix.lstat path).Unix.st_kind with
+      | Unix.S_SOCK -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ | (exception Unix.Unix_error _) -> ())
+
+let listen ?(backlog = 128) addr =
+  (* A socket file left by a dead server would make bind fail forever. *)
+  unlink_if_socket addr;
+  with_socket addr (fun fd sa ->
+      (match addr with
+      | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+      | Unix_socket _ -> ());
+      Unix.bind fd sa;
+      Unix.listen fd backlog;
+      let bound =
+        match (addr, Unix.getsockname fd) with
+        | Tcp (host, _), Unix.ADDR_INET (_, port) -> Tcp (host, port)
+        | _ -> addr
+      in
+      Ok (fd, bound))

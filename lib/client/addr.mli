@@ -1,0 +1,26 @@
+(** Server addresses: Unix-domain sockets and TCP endpoints.
+
+    The textual forms accepted by [--listen] / [--connect]:
+    - ["unix:/path/to.sock"] — a Unix-domain stream socket;
+    - ["tcp:host:port"] — TCP, [host] resolved by name or dotted quad;
+    - ["host:port"] — shorthand for the TCP form.
+
+    TCP connections set [TCP_NODELAY] (the protocol writes one small
+    frame per request, so Nagle would serialize the pipeline). *)
+
+type t = Unix_socket of string | Tcp of string * int
+
+val parse : string -> (t, string) result
+val to_string : t -> string
+
+val connect : t -> (Unix.file_descr, string) result
+(** A connected stream socket, or a human-readable failure. *)
+
+val listen : ?backlog:int -> t -> (Unix.file_descr * t, string) result
+(** Bind and listen (default backlog 128). A stale Unix socket path is
+    unlinked first; TCP listeners set [SO_REUSEADDR]. The returned
+    address is the one actually bound — asking for TCP port 0 yields the
+    kernel-assigned port, which the tests rely on. *)
+
+val unlink_if_socket : t -> unit
+(** Remove a Unix socket path on shutdown ([Tcp _] is a no-op). *)

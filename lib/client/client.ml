@@ -1,0 +1,171 @@
+module Timer = Anyseq_util.Timer
+
+type t = { fd : Unix.file_descr; mutable next_id : int64; mutable alive : bool }
+
+type response = {
+  score : int;
+  query_end : int;
+  subject_end : int;
+  cigar : string option;
+  queue_ns : int64;
+  service_ns : int64;
+  batch_jobs : int;
+}
+
+type error = Remote of Wire.error_code * string | Protocol of string
+
+let error_to_string = function
+  | Remote (code, msg) ->
+      if msg = "" then Wire.code_to_string code
+      else Printf.sprintf "%s: %s" (Wire.code_to_string code) msg
+  | Protocol msg -> Printf.sprintf "protocol: %s" msg
+
+(* Writes to a connection the server already dropped must surface as an
+   [Error], not kill the process. *)
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ()
+
+let connect addr =
+  ignore_sigpipe ();
+  Result.map (fun fd -> { fd; next_id = 1L; alive = true }) (Addr.connect addr)
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- Int64.add id 1L;
+  id
+
+let response_of_reply (r : Wire.reply) =
+  match r.Wire.payload with
+  | Wire.Result { score; query_end; subject_end; cigar } ->
+      Ok
+        {
+          score;
+          query_end;
+          subject_end;
+          cigar;
+          queue_ns = r.Wire.queue_ns;
+          service_ns = r.Wire.service_ns;
+          batch_jobs = r.Wire.batch_jobs;
+        }
+  | Wire.Failure { code; message } -> Error (Remote (code, message))
+
+let read_reply t =
+  match Wire.read_frame t.fd with
+  | Ok (Wire.Reply r) -> Ok r
+  | Ok (Wire.Request _) -> Error "server sent a request frame"
+  | Error `Eof -> Error "connection closed by server"
+  | Error (`Malformed msg) -> Error ("malformed reply: " ^ msg)
+  | Error (`Io msg) -> Error ("read failed: " ^ msg)
+
+(* The shared pipelining engine: keep up to [window] requests in flight,
+   hand each reply (with its receive timestamp) to [on_reply] under the
+   index of the pair that produced it. *)
+let pipeline t ~window ?timeout_s ~config ~on_reply pairs =
+  if not t.alive then Error "connection is closed"
+  else begin
+    let n = Array.length pairs in
+    let window = max 1 window in
+    let in_flight = Hashtbl.create (2 * window) in
+    let sent = ref 0 and received = ref 0 in
+    let fail msg =
+      t.alive <- false;
+      Error msg
+    in
+    let rec go () =
+      if !received >= n then Ok ()
+      else if !sent < n && Hashtbl.length in_flight < window then begin
+        let query, subject = pairs.(!sent) in
+        let id = fresh_id t in
+        let req = { Wire.id; config; timeout_s; query; subject } in
+        Hashtbl.replace in_flight id (!sent, Timer.now_ns ());
+        incr sent;
+        match Wire.write_frame t.fd (Wire.encode_request req) with
+        | Ok () -> go ()
+        | Error msg -> fail ("write failed: " ^ msg)
+      end
+      else
+        match read_reply t with
+        | Error msg -> fail msg
+        | Ok reply -> (
+            match Hashtbl.find_opt in_flight reply.Wire.rid with
+            | None -> fail (Printf.sprintf "reply for unknown id %Ld" reply.Wire.rid)
+            | Some (idx, sent_ns) ->
+                Hashtbl.remove in_flight reply.Wire.rid;
+                incr received;
+                on_reply idx reply ~sent_ns;
+                go ())
+    in
+    go ()
+  end
+
+let align t ?timeout_s ?(config = Wire.default_config) ~query ~subject () =
+  let result = ref (Error (Protocol "no reply")) in
+  match
+    pipeline t ~window:1 ?timeout_s ~config
+      ~on_reply:(fun _ reply ~sent_ns:_ -> result := response_of_reply reply)
+      [| (query, subject) |]
+  with
+  | Ok () -> !result
+  | Error msg -> Error (Protocol msg)
+
+let align_many t ?(window = 64) ?timeout_s ?(config = Wire.default_config) pairs =
+  let results =
+    Array.make (Array.length pairs) (Error (Protocol "no reply") : (response, error) result)
+  in
+  match
+    pipeline t ~window ?timeout_s ~config
+      ~on_reply:(fun idx reply ~sent_ns:_ -> results.(idx) <- response_of_reply reply)
+      pairs
+  with
+  | Ok () -> Ok results
+  | Error msg -> Error msg
+
+type load_stats = {
+  completed : int;
+  ok : int;
+  errors : (Wire.error_code * int) list;
+  latencies_us : int array;
+  batch_jobs_sum : int;
+  queue_us_sum : int;
+}
+
+let run_load t ?(window = 64) ?timeout_s ?(config = Wire.default_config) pairs =
+  let n = Array.length pairs in
+  let latencies = Array.make n 0 in
+  let completed = ref 0 in
+  let ok = ref 0 in
+  let errors = Hashtbl.create 4 in
+  let batch_jobs_sum = ref 0 in
+  let queue_us_sum = ref 0 in
+  match
+    pipeline t ~window ?timeout_s ~config
+      ~on_reply:(fun _ reply ~sent_ns ->
+        latencies.(!completed) <- Int64.to_int (Int64.sub (Timer.now_ns ()) sent_ns) / 1000;
+        incr completed;
+        batch_jobs_sum := !batch_jobs_sum + reply.Wire.batch_jobs;
+        queue_us_sum := !queue_us_sum + (Int64.to_int reply.Wire.queue_ns / 1000);
+        match reply.Wire.payload with
+        | Wire.Result _ -> incr ok
+        | Wire.Failure { code; _ } ->
+            Hashtbl.replace errors code (1 + Option.value ~default:0 (Hashtbl.find_opt errors code)))
+      pairs
+  with
+  | Error msg -> Error msg
+  | Ok () ->
+      Ok
+        {
+          completed = !completed;
+          ok = !ok;
+          errors = Hashtbl.fold (fun k v acc -> (k, v) :: acc) errors [];
+          latencies_us = Array.sub latencies 0 !completed;
+          batch_jobs_sum = !batch_jobs_sum;
+          queue_us_sum = !queue_us_sum;
+        }

@@ -1,0 +1,431 @@
+module Scheme = Anyseq_scoring.Scheme
+module Substitution = Anyseq_bio.Substitution
+module Gaps = Anyseq_bio.Gaps
+module Alphabet = Anyseq_bio.Alphabet
+module Types = Anyseq_core.Types
+module Rconfig = Anyseq_runtime.Config
+module Rerror = Anyseq_runtime.Error
+
+let magic = 0xA5EC
+let protocol_version = 1
+let header_bytes = 8
+let max_frame = 1 lsl 26
+
+let kind_request = 1
+let kind_reply = 2
+
+type scheme_spec =
+  | Simple of {
+      alphabet : [ `Dna4 | `Dna5 ];
+      match_ : int;
+      mismatch : int;
+      gap_open : int;
+      gap_extend : int;
+    }
+  | Named of string
+
+type config = {
+  scheme : scheme_spec;
+  mode : Types.mode;
+  traceback : bool;
+  backend : Rconfig.backend;
+}
+
+let default_config =
+  {
+    scheme = Named (Scheme.to_string Scheme.wildcard_linear);
+    mode = Types.Global;
+    traceback = false;
+    backend = Rconfig.Auto;
+  }
+
+let resolve_config c =
+  match
+    let scheme =
+      match c.scheme with
+      | Named name -> (
+          match List.find_opt (fun s -> Scheme.to_string s = name) Scheme.builtins with
+          | Some s -> s
+          | None -> failwith (Printf.sprintf "unknown named scheme %S" name))
+      | Simple { alphabet; match_; mismatch; gap_open; gap_extend } ->
+          let subst =
+            match alphabet with
+            | `Dna4 -> Substitution.simple Alphabet.dna4 ~match_ ~mismatch
+            | `Dna5 -> Substitution.dna_wildcard ~match_ ~mismatch
+          in
+          let gap =
+            if gap_open = 0 then Gaps.linear gap_extend
+            else Gaps.affine ~open_:gap_open ~extend:gap_extend
+          in
+          Scheme.make subst gap
+    in
+    Rconfig.make ~scheme ~mode:c.mode ~traceback:c.traceback ~backend:c.backend ()
+  with
+  | cfg -> Ok cfg
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+type error_code =
+  | Bad_sequence
+  | Overflow_bound
+  | Rejected
+  | Timeout
+  | Bad_request
+  | Draining
+  | Internal
+
+let error_code_of_runtime = function
+  | Rerror.Bad_sequence _ -> Bad_sequence
+  | Rerror.Overflow_bound _ -> Overflow_bound
+  | Rerror.Rejected -> Rejected
+  | Rerror.Timeout -> Timeout
+
+let code_to_string = function
+  | Bad_sequence -> "bad-sequence"
+  | Overflow_bound -> "overflow-bound"
+  | Rejected -> "rejected"
+  | Timeout -> "timeout"
+  | Bad_request -> "bad-request"
+  | Draining -> "draining"
+  | Internal -> "internal"
+
+let code_to_byte = function
+  | Bad_sequence -> 1
+  | Overflow_bound -> 2
+  | Rejected -> 3
+  | Timeout -> 4
+  | Bad_request -> 5
+  | Draining -> 6
+  | Internal -> 7
+
+let code_of_byte = function
+  | 1 -> Some Bad_sequence
+  | 2 -> Some Overflow_bound
+  | 3 -> Some Rejected
+  | 4 -> Some Timeout
+  | 5 -> Some Bad_request
+  | 6 -> Some Draining
+  | 7 -> Some Internal
+  | _ -> None
+
+type request = {
+  id : int64;
+  config : config;
+  timeout_s : float option;
+  query : string;
+  subject : string;
+}
+
+type reply_payload =
+  | Result of { score : int; query_end : int; subject_end : int; cigar : string option }
+  | Failure of { code : error_code; message : string }
+
+type reply = {
+  rid : int64;
+  payload : reply_payload;
+  queue_ns : int64;
+  service_ns : int64;
+  batch_jobs : int;
+}
+
+type frame = Request of request | Reply of reply
+
+(* ---- encoding ---- *)
+
+let w_u8 b v = Buffer.add_uint8 b (v land 0xff)
+
+let w_i32 b v =
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    invalid_arg "Wire: integer field outside 32-bit range";
+  Buffer.add_int32_be b (Int32.of_int v)
+
+let w_i64 b v = Buffer.add_int64_be b v
+
+let w_str b s =
+  let n = String.length s in
+  if n > max_frame then invalid_arg "Wire: string field exceeds max_frame";
+  w_i32 b n;
+  Buffer.add_string b s
+
+let mode_to_byte = function Types.Global -> 0 | Types.Semiglobal -> 1 | Types.Local -> 2
+let mode_of_byte = function
+  | 0 -> Some Types.Global
+  | 1 -> Some Types.Semiglobal
+  | 2 -> Some Types.Local
+  | _ -> None
+
+let backend_to_byte = function
+  | Rconfig.Auto -> 0
+  | Rconfig.Scalar -> 1
+  | Rconfig.Simd -> 2
+  | Rconfig.Wavefront -> 3
+
+let backend_of_byte = function
+  | 0 -> Some Rconfig.Auto
+  | 1 -> Some Rconfig.Scalar
+  | 2 -> Some Rconfig.Simd
+  | 3 -> Some Rconfig.Wavefront
+  | _ -> None
+
+let w_config b c =
+  (match c.scheme with
+  | Simple { alphabet; match_; mismatch; gap_open; gap_extend } ->
+      w_u8 b 0;
+      w_u8 b (match alphabet with `Dna4 -> 0 | `Dna5 -> 1);
+      w_i32 b match_;
+      w_i32 b mismatch;
+      w_i32 b gap_open;
+      w_i32 b gap_extend
+  | Named name ->
+      w_u8 b 1;
+      w_str b name);
+  w_u8 b (mode_to_byte c.mode);
+  w_u8 b (if c.traceback then 1 else 0);
+  w_u8 b (backend_to_byte c.backend)
+
+let config_key c =
+  let b = Buffer.create 32 in
+  w_config b c;
+  Buffer.contents b
+
+let frame_of_payload kind payload =
+  let n = String.length payload in
+  if n > max_frame then invalid_arg "Wire: payload exceeds max_frame";
+  let b = Buffer.create (header_bytes + n) in
+  Buffer.add_uint16_be b magic;
+  w_u8 b protocol_version;
+  w_u8 b kind;
+  w_i32 b n;
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let encode_request r =
+  let b = Buffer.create (64 + String.length r.query + String.length r.subject) in
+  w_i64 b r.id;
+  w_config b r.config;
+  (match r.timeout_s with
+  | None -> w_u8 b 0
+  | Some s ->
+      w_u8 b 1;
+      w_i64 b (Int64.bits_of_float s));
+  w_str b r.query;
+  w_str b r.subject;
+  frame_of_payload kind_request (Buffer.contents b)
+
+let encode_reply r =
+  let b = Buffer.create 64 in
+  w_i64 b r.rid;
+  (match r.payload with
+  | Result { score; query_end; subject_end; cigar } ->
+      w_u8 b 0;
+      w_i64 b (Int64.of_int score);
+      w_i32 b query_end;
+      w_i32 b subject_end;
+      (match cigar with
+      | None -> w_u8 b 0
+      | Some c ->
+          w_u8 b 1;
+          w_str b c)
+  | Failure { code; message } ->
+      w_u8 b (code_to_byte code);
+      w_str b message);
+  w_i64 b r.queue_ns;
+  w_i64 b r.service_ns;
+  w_i32 b r.batch_jobs;
+  frame_of_payload kind_reply (Buffer.contents b)
+
+(* ---- decoding ---- *)
+
+exception Malformed of string
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n =
+  if n < 0 || c.pos + n > String.length c.s then raise (Malformed "truncated payload")
+
+let r_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_i32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.s c.pos) in
+  c.pos <- c.pos + 4;
+  v
+
+let r_i64 c =
+  need c 8;
+  let v = String.get_int64_be c.s c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let r_str c =
+  let n = r_i32 c in
+  if n < 0 || n > max_frame then raise (Malformed "bad string length");
+  need c n;
+  let v = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  v
+
+let r_config c =
+  let scheme =
+    match r_u8 c with
+    | 0 ->
+        let alphabet =
+          match r_u8 c with
+          | 0 -> `Dna4
+          | 1 -> `Dna5
+          | a -> raise (Malformed (Printf.sprintf "unknown alphabet tag %d" a))
+        in
+        let match_ = r_i32 c in
+        let mismatch = r_i32 c in
+        let gap_open = r_i32 c in
+        let gap_extend = r_i32 c in
+        Simple { alphabet; match_; mismatch; gap_open; gap_extend }
+    | 1 -> Named (r_str c)
+    | t -> raise (Malformed (Printf.sprintf "unknown scheme tag %d" t))
+  in
+  let mode =
+    match mode_of_byte (r_u8 c) with
+    | Some m -> m
+    | None -> raise (Malformed "unknown mode")
+  in
+  let traceback =
+    match r_u8 c with
+    | 0 -> false
+    | 1 -> true
+    | _ -> raise (Malformed "bad traceback flag")
+  in
+  let backend =
+    match backend_of_byte (r_u8 c) with
+    | Some b -> b
+    | None -> raise (Malformed "unknown backend")
+  in
+  { scheme; mode; traceback; backend }
+
+let r_request c =
+  let id = r_i64 c in
+  let config = r_config c in
+  let timeout_s =
+    match r_u8 c with
+    | 0 -> None
+    | 1 ->
+        let s = Int64.float_of_bits (r_i64 c) in
+        if Float.is_nan s then raise (Malformed "NaN timeout");
+        Some s
+    | _ -> raise (Malformed "bad timeout flag")
+  in
+  let query = r_str c in
+  let subject = r_str c in
+  { id; config; timeout_s; query; subject }
+
+let r_reply c =
+  let rid = r_i64 c in
+  let payload =
+    match r_u8 c with
+    | 0 ->
+        let score64 = r_i64 c in
+        let score = Int64.to_int score64 in
+        if Int64.of_int score <> score64 then raise (Malformed "score outside native int");
+        let query_end = r_i32 c in
+        let subject_end = r_i32 c in
+        let cigar =
+          match r_u8 c with
+          | 0 -> None
+          | 1 -> Some (r_str c)
+          | _ -> raise (Malformed "bad cigar flag")
+        in
+        Result { score; query_end; subject_end; cigar }
+    | code -> (
+        match code_of_byte code with
+        | Some code -> Failure { code; message = r_str c }
+        | None -> raise (Malformed (Printf.sprintf "unknown status byte %d" code)))
+  in
+  let queue_ns = r_i64 c in
+  let service_ns = r_i64 c in
+  let batch_jobs = r_i32 c in
+  if batch_jobs < 0 then raise (Malformed "negative batch size");
+  { rid; payload; queue_ns; service_ns; batch_jobs }
+
+let decode_payload ~kind payload =
+  let c = { s = payload; pos = 0 } in
+  match
+    if kind = kind_request then Request (r_request c)
+    else if kind = kind_reply then Reply (r_reply c)
+    else raise (Malformed (Printf.sprintf "unknown frame kind %d" kind))
+  with
+  | frame ->
+      if c.pos <> String.length payload then Error "trailing bytes after payload"
+      else Ok frame
+  | exception Malformed msg -> Error msg
+
+let decode_header s =
+  if String.length s < header_bytes then Error "short header"
+  else
+    let m = String.get_uint16_be s 0 in
+    if m <> magic then Error (Printf.sprintf "bad magic 0x%04x" m)
+    else
+      let v = Char.code s.[2] in
+      if v <> protocol_version then Error (Printf.sprintf "unsupported protocol version %d" v)
+      else
+        let kind = Char.code s.[3] in
+        let len = Int32.to_int (String.get_int32_be s 4) in
+        if len < 0 || len > max_frame then
+          Error (Printf.sprintf "payload length %d out of range" len)
+        else Ok (kind, len)
+
+let decode_frame buf =
+  if String.length buf < header_bytes then Error `Incomplete
+  else
+    match decode_header (String.sub buf 0 header_bytes) with
+    | Error msg -> Error (`Malformed msg)
+    | Ok (kind, len) ->
+        if String.length buf < header_bytes + len then Error `Incomplete
+        else
+          let payload = String.sub buf header_bytes len in
+          (match decode_payload ~kind payload with
+          | Ok frame -> Ok (frame, header_bytes + len)
+          | Error msg -> Error (`Malformed msg))
+
+(* ---- blocking fd I/O ---- *)
+
+let rec read_exact fd buf pos len =
+  if len = 0 then `Ok
+  else
+    match Unix.read fd buf pos len with
+    | 0 -> `Closed
+    | n -> read_exact fd buf (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf pos len
+    | exception Unix.Unix_error (e, _, _) -> `Err (Unix.error_message e)
+
+let read_frame fd =
+  let hdr = Bytes.create header_bytes in
+  match read_exact fd hdr 0 header_bytes with
+  | `Closed -> Error `Eof
+  | `Err msg -> Error (`Io msg)
+  | `Ok -> (
+      match decode_header (Bytes.to_string hdr) with
+      | Error msg -> Error (`Malformed msg)
+      | Ok (kind, len) -> (
+          let payload = Bytes.create len in
+          match read_exact fd payload 0 len with
+          | `Closed -> Error (`Malformed "stream closed mid-frame")
+          | `Err msg -> Error (`Io msg)
+          | `Ok -> (
+              match decode_payload ~kind (Bytes.to_string payload) with
+              | Ok frame -> Ok frame
+              | Error msg -> Error (`Malformed msg))))
+
+let write_frame fd s =
+  let buf = Bytes.of_string s in
+  let rec go pos len =
+    if len = 0 then Ok ()
+    else
+      match Unix.write fd buf pos len with
+      | n -> go (pos + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos len
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0 (Bytes.length buf)

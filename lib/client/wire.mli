@@ -1,0 +1,137 @@
+(** The alignment wire protocol (ISSUE 4 tentpole).
+
+    Both sides of the network subsystem — {!Anyseq_server} and {!Client} —
+    speak length-prefixed binary frames over a stream socket:
+
+    {v
+      +-------+---------+------+-------------+----------------+
+      | magic | version | kind | payload len | payload ...    |
+      | u16   | u8      | u8   | u32 (BE)    | len bytes      |
+      +-------+---------+------+-------------+----------------+
+    v}
+
+    All integers are big-endian. A request payload carries a client-chosen
+    id (echoed verbatim in the reply, so replies may be matched out of
+    order under pipelining), the full alignment configuration (scheme,
+    mode, traceback, backend hint), an optional deadline, and the two
+    sequences. A reply carries either the alignment result (score, end
+    coordinates, optional CIGAR) or a typed error code, plus server-side
+    timing (nanoseconds spent queued and in the batch executor) and the
+    size of the batch the request rode in — the observability hooks the
+    loopback bench and the smoke tests read.
+
+    Schemes cross the wire either as the parameters of a simple
+    match/mismatch + gap model ([Simple]) or as the name of a built-in
+    scheme ([Named], resolved against {!Anyseq_scoring.Scheme.builtins}),
+    because arbitrary scoring closures cannot be serialized.
+
+    Decoding never raises on untrusted input: every decoder returns
+    [result], truncated or trailing bytes are [Error], and payload lengths
+    beyond {!max_frame} are rejected before any allocation — a malformed
+    or hostile peer costs one connection, never the process. *)
+
+val protocol_version : int
+val header_bytes : int
+(** 8: magic, version, kind, payload length. *)
+
+val max_frame : int
+(** Upper bound on a payload length (64 MiB). Longer announced frames are
+    rejected at the header, before reading the payload. *)
+
+(** A scheme as it crosses the wire. *)
+type scheme_spec =
+  | Simple of {
+      alphabet : [ `Dna4 | `Dna5 ];
+      match_ : int;
+      mismatch : int;
+      gap_open : int;  (** 0 = linear gaps *)
+      gap_extend : int;
+    }
+  | Named of string  (** resolved against [Scheme.builtins] by name *)
+
+type config = {
+  scheme : scheme_spec;
+  mode : Anyseq_core.Types.mode;
+  traceback : bool;
+  backend : Anyseq_runtime.Config.backend;
+}
+
+val default_config : config
+(** dna5 wildcard +2/−1 linear gaps, global, score-only, auto backend. *)
+
+val resolve_config : config -> (Anyseq_runtime.Config.t, string) result
+(** Build the runtime configuration a server executes. [Error] on an
+    unknown named scheme or invalid scoring parameters. Note each call
+    with a [Simple] spec builds a fresh scheme value; servers intern the
+    result per {!config_key} so the specialization cache sees one
+    physical scheme per distinct wire configuration. *)
+
+val config_key : config -> string
+(** Canonical bytes of the configuration — the interning key. Two configs
+    have equal keys iff they encode identically. *)
+
+type error_code =
+  | Bad_sequence
+  | Overflow_bound
+  | Rejected  (** server queue full — back off and retry *)
+  | Timeout
+  | Bad_request  (** undecodable configuration / invalid parameters *)
+  | Draining  (** server is shutting down; connect elsewhere *)
+  | Internal
+
+val error_code_of_runtime : Anyseq_runtime.Error.t -> error_code
+val code_to_string : error_code -> string
+
+type request = {
+  id : int64;
+  config : config;
+  timeout_s : float option;
+  query : string;
+  subject : string;
+}
+
+type reply_payload =
+  | Result of { score : int; query_end : int; subject_end : int; cigar : string option }
+  | Failure of { code : error_code; message : string }
+
+type reply = {
+  rid : int64;  (** echo of {!request.id} *)
+  payload : reply_payload;
+  queue_ns : int64;  (** time spent in the server's request queue *)
+  service_ns : int64;  (** wall time of the executing batch *)
+  batch_jobs : int;  (** number of requests in that batch *)
+}
+
+type frame = Request of request | Reply of reply
+
+val encode_request : request -> string
+(** Complete frame, header included. Raises [Invalid_argument] if a field
+    is out of representable range (lengths over {!max_frame}, scores
+    outside 32 bits) — encoding errors are caller bugs, unlike decoding. *)
+
+val encode_reply : reply -> string
+
+val decode_header : string -> (int * int, string) result
+(** [(kind, payload_len)] from the first {!header_bytes} bytes; [Error] on
+    short input, bad magic, unsupported version, or oversized length. *)
+
+val decode_payload : kind:int -> string -> (frame, string) result
+(** Decode one complete payload. Trailing bytes are an error. *)
+
+val decode_frame : string -> (frame * int, [ `Incomplete | `Malformed of string ]) result
+(** Parse one frame off the head of a buffer, returning bytes consumed —
+    the incremental entry the fuzz tests drive. [`Incomplete] means more
+    bytes are needed; [`Malformed] means the stream is unrecoverable. *)
+
+(** {1 Blocking frame I/O}
+
+    Writers must serialize calls per descriptor themselves. *)
+
+val read_frame :
+  Unix.file_descr -> (frame, [ `Eof | `Malformed of string | `Io of string ]) result
+(** [`Eof] on clean close before a header byte; a header or payload cut
+    short mid-frame is [`Malformed]. *)
+
+val write_frame : Unix.file_descr -> string -> (unit, string) result
+(** Write a whole encoded frame, handling short writes; [Error] wraps
+    [EPIPE]/reset (the peer is gone). *)

@@ -31,6 +31,7 @@ type t = {
   cache : Spec_cache.t;
   metrics : Metrics.t;
   in_flight : int Atomic.t;
+  accepting : bool Atomic.t;
 }
 
 let long_pair_cells = 4_000_000
@@ -47,17 +48,22 @@ let create ?(capacity = 1024) ?(batch_size = 256)
     cache = Spec_cache.create ~capacity:cache_capacity ();
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     in_flight = Atomic.make 0;
+    accepting = Atomic.make true;
   }
 
 (* Admission control: grab as many of [want] slots as the budget still
-   allows, atomically, so concurrent [run] calls cannot oversubscribe. *)
+   allows, atomically, so concurrent [run] calls cannot oversubscribe. A
+   draining service grants nothing — every job of the batch is answered
+   [Rejected], the same backpressure path as a full queue. *)
 let reserve t want =
   let rec go () =
-    let cur = Atomic.get t.in_flight in
-    let grant = min want (t.capacity - cur) in
-    if grant <= 0 then 0
-    else if Atomic.compare_and_set t.in_flight cur (cur + grant) then grant
-    else go ()
+    if not (Atomic.get t.accepting) then 0
+    else
+      let cur = Atomic.get t.in_flight in
+      let grant = min want (t.capacity - cur) in
+      if grant <= 0 then 0
+      else if Atomic.compare_and_set t.in_flight cur (cur + grant) then grant
+      else go ()
   in
   go ()
 
@@ -65,6 +71,19 @@ let release t n = ignore (Atomic.fetch_and_add t.in_flight (-n))
 let queue_depth t = Atomic.get t.in_flight
 let cache_stats t = Spec_cache.stats t.cache
 let metrics t = t.metrics
+let is_draining t = not (Atomic.get t.accepting)
+
+(* Graceful shutdown for hosts (the network server's SIGTERM path): flip
+   the admission gate, then wait for every already-admitted job to leave.
+   The wait is a spin — in-flight chunks are compute-bound and we have no
+   thread/unix dependency here — bounded by the longest running chunk. *)
+let drain t =
+  Atomic.set t.accepting false;
+  while Atomic.get t.in_flight > 0 do
+    Domain.cpu_relax ()
+  done
+
+let reopen t = Atomic.set t.accepting true
 
 (* An admitted, parsed job awaiting dispatch. *)
 type prepared = {

@@ -71,6 +71,18 @@ val run_one : t -> job -> (outcome, Error.t) result
 val queue_depth : t -> int
 (** Jobs currently admitted and not yet finished. *)
 
+val drain : t -> unit
+(** Graceful shutdown: stop admitting (every subsequent or concurrent job
+    is answered [Error Rejected]) and block until all already-admitted
+    jobs have finished. Idempotent; a host that wants to serve again later
+    calls {!reopen}. *)
+
+val reopen : t -> unit
+(** Re-open admissions after {!drain}. *)
+
+val is_draining : t -> bool
+(** True once {!drain} has flipped the admission gate. *)
+
 val cache_stats : t -> Spec_cache.stats
 val metrics : t -> Metrics.t
 

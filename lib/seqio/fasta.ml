@@ -30,6 +30,8 @@ let parse_string alphabet text =
             | Ok acc -> Ok (List.rev acc)
             | Error _ as e -> e))
     | line :: rest ->
+        (* trim also chomps the '\r' a CRLF file leaves after splitting on
+           '\n' — CRLF input parses identically to LF input. *)
         let line = String.trim line in
         if line = "" || (String.length line > 0 && line.[0] = ';') then
           go (lineno + 1) rest current acc

@@ -3,7 +3,9 @@
     The benchmark inputs of the paper (Table I genomes, read sets) travel as
     FASTA; this parser accepts the common dialect: [>] header lines with an
     id and optional description, sequence wrapped over any number of lines,
-    blank lines ignored, [;] comment lines ignored. *)
+    blank lines ignored, [;] comment lines ignored. Line endings are
+    normalized: CRLF files (Windows tooling) parse identically to LF files,
+    and the final record does not need a trailing newline. *)
 
 type record = { id : string; description : string; sequence : Anyseq_bio.Sequence.t }
 

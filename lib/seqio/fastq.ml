@@ -14,7 +14,10 @@ let error_probability q = 10.0 ** (-.float_of_int q /. 10.0)
 let parse_string alphabet text =
   let lines = Array.of_list (String.split_on_char '\n' text) in
   let nlines = Array.length lines in
-  (* Trailing newline produces one empty final line; tolerate blank tails. *)
+  (* Trailing newline produces one empty final line; tolerate blank tails
+     (and a file whose last record lacks the newline entirely). Each line
+     is trimmed below, which also chomps the '\r' of CRLF files — safe for
+     quality strings, whose Phred+33 range starts above space. *)
   let rec last_nonempty i = if i > 0 && String.trim lines.(i - 1) = "" then last_nonempty (i - 1) else i in
   let nlines = last_nonempty nlines in
   if nlines mod 4 <> 0 then Error (Printf.sprintf "truncated FASTQ: %d lines is not a multiple of 4" nlines)

@@ -10,7 +10,8 @@ type record = {
 }
 
 val parse_string : Anyseq_bio.Alphabet.t -> string -> (record list, string) result
-(** Strict 4-line records: [@id], sequence, [+\[id\]], quality. Errors carry
+(** Strict 4-line records: [@id], sequence, [+\[id\]], quality. CRLF line
+    endings and a missing final newline are tolerated. Errors carry
     a line number and reason (truncated record, length mismatch, quality
     characters outside the Phred+33 printable range). *)
 

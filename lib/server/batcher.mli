@@ -1,0 +1,39 @@
+(** The continuous batcher: a bounded multi-producer queue whose consumer
+    side hands out {e batches}, not items.
+
+    Connection readers {!push} requests as they arrive; dispatch workers
+    block in {!next_batch}, which returns as soon as whichever fires
+    first:
+
+    - {b max batch} — [max_batch] items are waiting (queue pressure:
+      a backlog is handed out immediately, no timer involved);
+    - {b max wait} — [max_wait_us] elapsed since the first item of the
+      forming batch arrived (a lone request leaves after ≤ 2 ms by
+      default, so single in-flight requests keep low latency);
+    - {b close} — the queue is draining; whatever is left goes out, then
+      [None] tells workers to exit.
+
+    Generic in the item type so the unit tests can drive it with plain
+    ints, deterministically ([max_wait_us = 0] never waits). *)
+
+type 'a t
+
+val create : ?max_batch:int -> ?max_wait_us:int -> ?max_pending:int -> unit -> 'a t
+(** Defaults: [max_batch] 64, [max_wait_us] 2000, [max_pending] 8192.
+    All must be positive ([max_wait_us] ≥ 0). *)
+
+val push : 'a t -> 'a -> bool
+(** False when the queue is at [max_pending] (backpressure — the caller
+    answers [Rejected]) or closed. Never blocks. *)
+
+val next_batch : 'a t -> 'a list option
+(** Block for the next batch, in arrival order. [None] after {!close}
+    once the queue is empty — the consumer's termination signal. Safe for
+    multiple concurrent consumers; each item goes to exactly one. *)
+
+val close : 'a t -> unit
+(** Stop accepting pushes and wake all waiting consumers. Items already
+    queued are still handed out ("flush the queue" of graceful drain). *)
+
+val depth : 'a t -> int
+val is_closed : 'a t -> bool

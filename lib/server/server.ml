@@ -1,0 +1,435 @@
+module Wire = Anyseq_client.Wire
+module Addr = Anyseq_client.Addr
+module Service = Anyseq_runtime.Service
+module Rconfig = Anyseq_runtime.Config
+module Rerror = Anyseq_runtime.Error
+module Metrics = Anyseq_runtime.Metrics
+module Trace = Anyseq_trace.Trace
+module Timer = Anyseq_util.Timer
+module Cigar = Anyseq_bio.Cigar
+module Alignment = Anyseq_bio.Alignment
+
+type config = {
+  addrs : Addr.t list;
+  max_batch : int;
+  max_wait_us : int;
+  max_pending : int;
+  dispatch_workers : int;
+}
+
+let default_config ?(addrs = []) () =
+  { addrs; max_batch = 64; max_wait_us = 2000; max_pending = 8192; dispatch_workers = 1 }
+
+(* A connection: the reader thread owns the socket's read side and the
+   conn's lifetime; the writer thread drains [out] so a slow client blocks
+   only its own writer, never a dispatch worker. *)
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  out : string Queue.t;
+  out_mutex : Mutex.t;
+  out_cond : Condition.t;
+  out_limit : int;
+  mutable out_closed : bool;  (** no further enqueues; writer flushes then exits *)
+  mutable dead : bool;  (** write side failed; replies are dropped *)
+}
+
+(* An admitted request waiting for a dispatch worker. *)
+type pending = { preq : Wire.request; pcfg : Rconfig.t; pconn : conn; enq_ns : int64 }
+
+type t = {
+  cfg : config;
+  srv : Service.t;
+  batcher : pending Batcher.t;
+  listeners : (Unix.file_descr * Addr.t) list;
+  stop_requested : bool Atomic.t;
+  draining : bool Atomic.t;
+  stopped : bool Atomic.t;
+  conns : (int, conn * Thread.t) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  next_cid : int Atomic.t;
+  interned : (string, Rconfig.t) Hashtbl.t;
+  intern_mutex : Mutex.t;
+  stop_mutex : Mutex.t;
+  mutable acceptor : Thread.t option;
+  mutable workers : Thread.t list;
+}
+
+let service t = t.srv
+let metrics t = Service.metrics t.srv
+let addresses t = List.map snd t.listeners
+let is_stopped t = Atomic.get t.stopped
+let ctr t name = Metrics.counter (metrics t) ("server/" ^ name)
+let hist t name = Metrics.histogram (metrics t) ("server/" ^ name)
+
+let connections t =
+  Mutex.lock t.conns_mutex;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_mutex;
+  n
+
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ()
+
+(* ---- config interning ----
+   [Spec_cache] validates scheme identity physically, so decoding a fresh
+   Scheme.t per request would thrash it. Interning by the canonical wire
+   bytes gives every distinct wire configuration one physical Config.t for
+   the server's lifetime — the cache sees repeat customers. *)
+
+let intern_limit = 1024
+
+let intern_config t wc =
+  let key = Wire.config_key wc in
+  Mutex.lock t.intern_mutex;
+  let r =
+    match Hashtbl.find_opt t.interned key with
+    | Some cfg -> Ok cfg
+    | None -> (
+        match Wire.resolve_config wc with
+        | Error _ as e -> e
+        | Ok cfg ->
+            (* A hostile client could fill the table with one-off configs;
+               beyond the bound we serve uncached (correct, just slower). *)
+            if Hashtbl.length t.interned < intern_limit then Hashtbl.add t.interned key cfg;
+            Ok cfg)
+  in
+  Mutex.unlock t.intern_mutex;
+  r
+
+(* ---- reply path ---- *)
+
+let enqueue_reply t conn frame =
+  Mutex.lock conn.out_mutex;
+  if conn.dead || conn.out_closed then begin
+    Mutex.unlock conn.out_mutex;
+    Metrics.incr (ctr t "replies_dropped")
+  end
+  else if Queue.length conn.out >= conn.out_limit then begin
+    (* Slow consumer: its replies pile up faster than it reads. Cutting the
+       connection is the only bounded-memory option. *)
+    conn.dead <- true;
+    Condition.broadcast conn.out_cond;
+    Mutex.unlock conn.out_mutex;
+    Metrics.incr (ctr t "slow_consumer_drops")
+  end
+  else begin
+    Queue.add frame conn.out;
+    Condition.signal conn.out_cond;
+    Mutex.unlock conn.out_mutex;
+    Metrics.incr (ctr t "requests_replied")
+  end
+
+let error_reply t conn ~rid code message =
+  let reply =
+    {
+      Wire.rid;
+      payload = Wire.Failure { code; message };
+      queue_ns = 0L;
+      service_ns = 0L;
+      batch_jobs = 0;
+    }
+  in
+  enqueue_reply t conn (Wire.encode_reply reply)
+
+let writer_loop conn =
+  let rec go () =
+    Mutex.lock conn.out_mutex;
+    let rec await () =
+      if conn.dead then `Exit
+      else if not (Queue.is_empty conn.out) then `Write (Queue.pop conn.out)
+      else if conn.out_closed then `Exit
+      else begin
+        Condition.wait conn.out_cond conn.out_mutex;
+        await ()
+      end
+    in
+    let action = await () in
+    Mutex.unlock conn.out_mutex;
+    match action with
+    | `Exit -> ()
+    | `Write frame -> (
+        match Wire.write_frame conn.fd frame with
+        | Ok () -> go ()
+        | Error _ ->
+            Mutex.lock conn.out_mutex;
+            conn.dead <- true;
+            Mutex.unlock conn.out_mutex)
+  in
+  go ()
+
+(* ---- dispatch workers ---- *)
+
+let dispatch t batch =
+  let items = Array.of_list batch in
+  let n = Array.length items in
+  let t0 = Timer.now_ns () in
+  let jobs =
+    Array.map
+      (fun p ->
+        (* The deadline the client asked for started ticking on arrival,
+           not on dispatch: hand the service only what is left of it. *)
+        let timeout_s =
+          Option.map
+            (fun s -> s -. (Int64.to_float (Int64.sub t0 p.enq_ns) *. 1e-9))
+            p.preq.Wire.timeout_s
+        in
+        Service.job ~config:p.pcfg ?timeout_s ~query:p.preq.Wire.query
+          ~subject:p.preq.Wire.subject ())
+      items
+  in
+  let results =
+    Trace.with_span "server.dispatch"
+      ~attrs:[ ("jobs", Trace.Int n); ("queued", Trace.Int (Batcher.depth t.batcher)) ]
+      (fun () -> Service.run t.srv jobs)
+  in
+  let service_ns = Int64.sub (Timer.now_ns ()) t0 in
+  Metrics.observe (hist t "batch_jobs") n;
+  Metrics.observe (hist t "service_us") (Int64.to_int service_ns / 1000);
+  Trace.with_span "server.reply" ~attrs:[ ("jobs", Trace.Int n) ] @@ fun () ->
+  Array.iteri
+    (fun i p ->
+      let payload =
+        match results.(i) with
+        | Ok (o : Service.outcome) ->
+            let cigar =
+              Option.map (fun a -> Cigar.to_string a.Alignment.cigar) o.Service.alignment
+            in
+            Wire.Result
+              {
+                score = o.Service.score;
+                query_end = o.Service.query_end;
+                subject_end = o.Service.subject_end;
+                cigar;
+              }
+        | Error e ->
+            Wire.Failure
+              { code = Wire.error_code_of_runtime e; message = Rerror.to_string e }
+      in
+      let queue_ns = Int64.sub t0 p.enq_ns in
+      Metrics.observe (hist t "queue_us") (Int64.to_int queue_ns / 1000);
+      let reply =
+        { Wire.rid = p.preq.Wire.id; payload; queue_ns; service_ns; batch_jobs = n }
+      in
+      enqueue_reply t p.pconn (Wire.encode_reply reply))
+    items
+
+let worker_loop t =
+  let rec go () =
+    match Batcher.next_batch t.batcher with
+    | None -> ()
+    | Some batch ->
+        dispatch t batch;
+        go ()
+  in
+  go ()
+
+(* ---- connection readers ---- *)
+
+let reader_loop t conn =
+  let rec loop () =
+    match Wire.read_frame conn.fd with
+    | Ok (Wire.Request req) ->
+        Metrics.incr (ctr t "requests_received");
+        (if Atomic.get t.draining then begin
+           Metrics.incr (ctr t "draining_rejected");
+           error_reply t conn ~rid:req.Wire.id Wire.Draining "server is draining"
+         end
+         else
+           match intern_config t req.Wire.config with
+           | Error msg ->
+               Metrics.incr (ctr t "bad_requests");
+               error_reply t conn ~rid:req.Wire.id Wire.Bad_request msg
+           | Ok pcfg ->
+               let p = { preq = req; pcfg; pconn = conn; enq_ns = Timer.now_ns () } in
+               if Batcher.push t.batcher p then
+                 Metrics.gauge_set (metrics t) "server/queue_depth"
+                   (Batcher.depth t.batcher)
+               else begin
+                 Metrics.incr (ctr t "queue_rejected");
+                 error_reply t conn ~rid:req.Wire.id Wire.Rejected "server request queue full"
+               end);
+        loop ()
+    | Ok (Wire.Reply _) ->
+        (* A peer speaking the protocol backwards gets disconnected. *)
+        Metrics.incr (ctr t "bad_frames")
+    | Error `Eof | Error (`Io _) -> ()
+    | Error (`Malformed _) ->
+        (* The stream cannot be resynced after a corrupt frame: this
+           connection dies; the server keeps serving everyone else. *)
+        Metrics.incr (ctr t "bad_frames")
+  in
+  loop ()
+
+let deregister t cid =
+  Mutex.lock t.conns_mutex;
+  Hashtbl.remove t.conns cid;
+  Mutex.unlock t.conns_mutex
+
+let conn_thread t conn writer =
+  (try reader_loop t conn with _ -> ());
+  (* Flush whatever the writer still owes this client, then close. *)
+  Mutex.lock conn.out_mutex;
+  conn.out_closed <- true;
+  Condition.broadcast conn.out_cond;
+  Mutex.unlock conn.out_mutex;
+  Thread.join writer;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  deregister t conn.cid;
+  Metrics.incr (ctr t "connections_closed");
+  Metrics.gauge_set (metrics t) "server/connections" (connections t)
+
+let register_conn t fd =
+  Trace.with_span "server.accept" @@ fun () ->
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  (* Bound the damage of a client that stops reading: writes give up after
+     5 s instead of parking the writer thread forever. *)
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0 with Unix.Unix_error _ -> ());
+  let conn =
+    {
+      cid = Atomic.fetch_and_add t.next_cid 1;
+      fd;
+      out = Queue.create ();
+      out_mutex = Mutex.create ();
+      out_cond = Condition.create ();
+      out_limit = 4 * t.cfg.max_pending;
+      out_closed = false;
+      dead = false;
+    }
+  in
+  let writer = Thread.create writer_loop conn in
+  let reader = Thread.create (fun () -> conn_thread t conn writer) () in
+  Mutex.lock t.conns_mutex;
+  Hashtbl.replace t.conns conn.cid (conn, reader);
+  Mutex.unlock t.conns_mutex;
+  Metrics.incr (ctr t "connections_accepted");
+  Metrics.gauge_set (metrics t) "server/connections" (connections t)
+
+let acceptor_loop t =
+  let fds = List.map fst t.listeners in
+  let rec go () =
+    if Atomic.get t.stop_requested then ()
+    else begin
+      (match Unix.select fds [] [] 0.1 with
+      | readable, _, _ ->
+          List.iter
+            (fun lfd ->
+              match Unix.accept lfd with
+              | fd, _ -> register_conn t fd
+              | exception Unix.Unix_error _ -> ())
+            readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+(* ---- lifecycle ---- *)
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let install_signal_handlers t =
+  let handle = Sys.Signal_handle (fun _ -> request_stop t) in
+  (try Sys.set_signal Sys.sigterm handle with Invalid_argument _ -> ());
+  try Sys.set_signal Sys.sigint handle with Invalid_argument _ -> ()
+
+(* The drain sequence. Order matters:
+   1. flag draining — readers answer new requests with [Draining];
+   2. stop the acceptor and close the listeners;
+   3. close the batcher — workers flush the remaining queue and exit;
+   4. drain the service — every admitted chunk has left;
+   5. wake the readers (SHUT_RD keeps the write side alive so their
+      writers can still flush), join them; each closes its own socket. *)
+let do_stop t =
+  Mutex.lock t.stop_mutex;
+  let first = not (Atomic.get t.stopped) in
+  if first then begin
+    Atomic.set t.draining true;
+    Atomic.set t.stop_requested true;
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    List.iter
+      (fun (fd, addr) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Addr.unlink_if_socket addr)
+      t.listeners;
+    Batcher.close t.batcher;
+    List.iter Thread.join t.workers;
+    Service.drain t.srv;
+    let snapshot =
+      Mutex.lock t.conns_mutex;
+      let l = Hashtbl.fold (fun _ v acc -> v :: acc) t.conns [] in
+      Mutex.unlock t.conns_mutex;
+      l
+    in
+    List.iter
+      (fun (conn, reader) ->
+        (try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+        Thread.join reader)
+      snapshot;
+    Atomic.set t.stopped true
+  end;
+  Mutex.unlock t.stop_mutex
+
+let rec wait t =
+  if Atomic.get t.stopped then ()
+  else if Atomic.get t.stop_requested then do_stop t
+  else begin
+    Thread.delay 0.05;
+    wait t
+  end
+
+let stop t =
+  request_stop t;
+  do_stop t
+
+let start ?service cfg =
+  if cfg.addrs = [] then Error "Server.start: no listen addresses"
+  else if cfg.max_batch <= 0 || cfg.max_pending <= 0 || cfg.dispatch_workers <= 0
+          || cfg.max_wait_us < 0
+  then Error "Server.start: batch/pending/workers must be positive"
+  else begin
+    ignore_sigpipe ();
+    let rec bind acc = function
+      | [] -> Ok (List.rev acc)
+      | a :: rest -> (
+          match Addr.listen a with
+          | Ok (fd, bound) -> bind ((fd, bound) :: acc) rest
+          | Error msg ->
+              List.iter
+                (fun (fd, b) ->
+                  (try Unix.close fd with Unix.Unix_error _ -> ());
+                  Addr.unlink_if_socket b)
+                acc;
+              Error msg)
+    in
+    match bind [] cfg.addrs with
+    | Error _ as e -> e
+    | Ok listeners ->
+        let srv = match service with Some s -> s | None -> Service.create () in
+        let t =
+          {
+            cfg;
+            srv;
+            batcher =
+              Batcher.create ~max_batch:cfg.max_batch ~max_wait_us:cfg.max_wait_us
+                ~max_pending:cfg.max_pending ();
+            listeners;
+            stop_requested = Atomic.make false;
+            draining = Atomic.make false;
+            stopped = Atomic.make false;
+            conns = Hashtbl.create 32;
+            conns_mutex = Mutex.create ();
+            next_cid = Atomic.make 1;
+            interned = Hashtbl.create 16;
+            intern_mutex = Mutex.create ();
+            stop_mutex = Mutex.create ();
+            acceptor = None;
+            workers = [];
+          }
+        in
+        t.workers <- List.init cfg.dispatch_workers (fun _ -> Thread.create worker_loop t);
+        t.acceptor <- Some (Thread.create acceptor_loop t);
+        Ok t
+  end

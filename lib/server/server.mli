@@ -1,0 +1,83 @@
+(** The network alignment server (ISSUE 4 tentpole).
+
+    One process serves {!Anyseq_client.Wire} frames over any mix of
+    Unix-domain and TCP listeners, feeding every request through one
+    shared {!Anyseq_runtime.Service} — so all connections share one warm
+    specialization cache, one admission budget, and one metrics registry.
+
+    Thread architecture (OS threads; the compute parallelism lives inside
+    [Service.run]'s wavefront tier, which spawns domains):
+
+    - {b acceptor} — one thread [select]ing over the listeners, so a stop
+      request is noticed within ~100 ms without signals-in-syscalls games;
+    - {b connection readers} — one per connection, blocking on frame
+      reads; decoded requests are pushed into the shared {!Batcher}. A
+      malformed frame costs exactly that connection. Config decoding
+      happens here, against an interning table, so every distinct wire
+      configuration maps to one physical [Config.t] and the
+      specialization cache stays warm across connections;
+    - {b dispatch workers} — [dispatch_workers] threads looping
+      [Batcher.next_batch] → [Service.run] → reply fan-out. The batcher
+      closes a batch on max-size, max-wait (2 ms default) or drain —
+      continuous batching: bursts group, lone requests leave quickly;
+    - {b connection writers} — one per connection draining a bounded
+      reply queue, so one slow client never stalls a dispatch worker
+      (an over-full reply queue or a 5 s send timeout kills that
+      connection only).
+
+    Request deadlines propagate: a request's [timeout_s], minus the time
+    it spent queued here, becomes the [Service.job] deadline.
+
+    {b Graceful drain} (SIGTERM/SIGINT via {!install_signal_handlers}, or
+    {!stop}): stop accepting connections, answer new requests with
+    [Draining], flush every already-accepted request through the service,
+    deliver all replies, then close. Accepted requests are never
+    dropped. *)
+
+module Addr = Anyseq_client.Addr
+
+type config = {
+  addrs : Addr.t list;  (** listeners; at least one *)
+  max_batch : int;  (** batch size bound (default 64) *)
+  max_wait_us : int;  (** batch formation window (default 2000) *)
+  max_pending : int;  (** request queue bound — beyond it, [Rejected] (default 8192) *)
+  dispatch_workers : int;  (** concurrent [Service.run] loops (default 1) *)
+}
+
+val default_config : ?addrs:Addr.t list -> unit -> config
+
+type t
+
+val start : ?service:Anyseq_runtime.Service.t -> config -> (t, string) result
+(** Bind all listeners and start serving. [service] defaults to a fresh
+    [Service.create ()]; passing one shares its cache/metrics with
+    in-process work. [Error] if any address fails to bind (none are left
+    half-bound). *)
+
+val addresses : t -> Addr.t list
+(** Actually-bound addresses (TCP port 0 resolved to the real port). *)
+
+val service : t -> Anyseq_runtime.Service.t
+val metrics : t -> Anyseq_runtime.Metrics.t
+(** The service's registry; server instruments live under [server/]. *)
+
+val connections : t -> int
+(** Currently open connections. *)
+
+val request_stop : t -> unit
+(** Flag the server to drain. Async-signal-safe (one atomic store); the
+    actual teardown happens on the thread inside {!wait}/{!stop}. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM and SIGINT → {!request_stop}. *)
+
+val wait : t -> unit
+(** Block until a stop is requested, then perform the graceful drain:
+    listeners closed (Unix socket paths unlinked), request queue flushed
+    through the service, replies delivered, connections closed, threads
+    joined, [Service.drain] completed. Idempotent across threads. *)
+
+val stop : t -> unit
+(** {!request_stop} then {!wait}. *)
+
+val is_stopped : t -> bool

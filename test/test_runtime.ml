@@ -384,6 +384,59 @@ let test_mixed_configs_one_batch () =
       Alcotest.(check string) (Printf.sprintf "job %d" i) (repr expected) (repr got))
     results
 
+let test_service_drain () =
+  let svc = Service.create () in
+  (* A draining service rejects whole batches... *)
+  Service.drain svc;
+  Alcotest.(check bool) "draining" true (Service.is_draining svc);
+  (match Service.run_one svc (Service.job ~config:score_config ~query:"AC" ~subject:"AC" ()) with
+  | Error Error.Rejected -> ()
+  | Ok _ -> Alcotest.fail "draining service admitted a job"
+  | Error e -> Alcotest.failf "expected Rejected, got %s" (Error.to_string e));
+  (* ...drain is idempotent, and reopen restores admission. *)
+  Service.drain svc;
+  Service.reopen svc;
+  Alcotest.(check bool) "reopened" false (Service.is_draining svc);
+  let r = Service.run_one svc (Service.job ~config:score_config ~query:"AC" ~subject:"AC" ()) in
+  Alcotest.(check bool) "admitted after reopen" true (Result.is_ok r)
+
+let test_service_drain_waits_for_in_flight () =
+  (* Submitters run in domains; drain must block until their admitted jobs
+     have released every slot, and late submitters must see Rejected. *)
+  let svc = Service.create ~capacity:4096 () in
+  let started = Atomic.make 0 in
+  let rng = Rng.create ~seed:99 in
+  let pairs =
+    Array.init 64 (fun _ ->
+        let q, s = Helpers.random_pair rng ~max_len:96 in
+        (Sequence.to_string q, Sequence.to_string s))
+  in
+  let submitter () =
+    Domain.spawn (fun () ->
+        Atomic.incr started;
+        let config = Anyseq.Config.make ~traceback:false () in
+        Anyseq.align_batch ~service:svc ~config pairs)
+  in
+  let d1 = submitter () and d2 = submitter () in
+  (* Wait until both submitters are live so drain races real work. *)
+  while Atomic.get started < 2 do
+    Domain.cpu_relax ()
+  done;
+  Service.drain svc;
+  Alcotest.(check int) "no jobs in flight after drain" 0 (Service.queue_depth svc);
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  (* Every job either completed normally or was rejected by the gate —
+     never lost, never half-done. *)
+  Array.iter
+    (fun results ->
+      Array.iter
+        (function
+          | Ok _ | Error Error.Rejected -> ()
+          | Error e -> Alcotest.failf "unexpected error during drain: %s" (Error.to_string e))
+        results)
+    [| r1; r2 |];
+  Alcotest.(check int) "slots all released" 0 (Service.queue_depth svc)
+
 let test_concurrent_submitters () =
   (* Several domains hammer one shared service: the cache mutex, the
      admission counter, and result slotting must all hold up. *)
@@ -457,6 +510,8 @@ let () =
           Alcotest.test_case "bad sequence" `Quick test_service_bad_sequence;
           Alcotest.test_case "overflow parity" `Quick test_overflow_bound_parity;
           Alcotest.test_case "mixed configs" `Quick test_mixed_configs_one_batch;
+          Alcotest.test_case "drain gate" `Quick test_service_drain;
+          Alcotest.test_case "drain waits for in-flight" `Slow test_service_drain_waits_for_in_flight;
           Alcotest.test_case "concurrent submitters" `Slow test_concurrent_submitters;
         ] );
       ( "api contract",

@@ -46,6 +46,32 @@ let test_fasta_errors () =
   expect_error "bad char" (Fasta.parse_string Alphabet.dna4 ">a\nACXT\n") "not in alphabet";
   expect_error "empty id" (Fasta.parse_string Alphabet.dna4 "> desc only\nAC\n") "empty id"
 
+(* Files written on Windows (CRLF) and files whose last record lacks a
+   trailing newline must parse identically to their clean LF form. *)
+let test_fasta_crlf () =
+  let lf = ">seq1 first sequence\nACGT\nACGT\n>seq2\nTTTT\n" in
+  let crlf = ">seq1 first sequence\r\nACGT\r\nACGT\r\n>seq2\r\nTTTT\r\n" in
+  let a = ok (Fasta.parse_string Alphabet.dna4 lf) in
+  let b = ok (Fasta.parse_string Alphabet.dna4 crlf) in
+  Alcotest.(check int) "same record count" (List.length a) (List.length b);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) "id" x.Fasta.id y.Fasta.id;
+      Alcotest.(check string) "description" x.Fasta.description y.Fasta.description;
+      Alcotest.(check string) "sequence"
+        (Sequence.to_string x.Fasta.sequence)
+        (Sequence.to_string y.Fasta.sequence))
+    a b
+
+let test_fasta_no_final_newline () =
+  List.iter
+    (fun text ->
+      let records = ok (Fasta.parse_string Alphabet.dna4 text) in
+      Alcotest.(check int) "two records" 2 (List.length records);
+      Alcotest.(check string) "last sequence intact" "TTTT"
+        (Sequence.to_string (List.nth records 1).Fasta.sequence))
+    [ ">a\nACGT\n>b\nTT\nTT"; ">a\r\nACGT\r\n>b\r\nTT\r\nTT" ]
+
 let test_fasta_roundtrip () =
   let rng = Rng.create ~seed:4 in
   let records =
@@ -103,6 +129,31 @@ let test_fastq_phred () =
   Alcotest.(check (float 1e-9)) "q10" 0.1 (Fastq.error_probability 10);
   Alcotest.check_raises "range" (Invalid_argument "Fastq.char_of_phred: outside 0..93")
     (fun () -> ignore (Fastq.char_of_phred 94))
+
+let test_fastq_crlf () =
+  let lf = "@read1 extra\nACGT\n+\nIIII\n@read2\nTT\n+read2\n!~\n" in
+  let crlf = "@read1 extra\r\nACGT\r\n+\r\nIIII\r\n@read2\r\nTT\r\n+read2\r\n!~\r\n" in
+  let a = ok (Fastq.parse_string Alphabet.dna4 lf) in
+  let b = ok (Fastq.parse_string Alphabet.dna4 crlf) in
+  Alcotest.(check int) "same record count" (List.length a) (List.length b);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check string) "id" x.Fastq.id y.Fastq.id;
+      Alcotest.(check string) "quality" x.Fastq.quality y.Fastq.quality;
+      Alcotest.(check string) "sequence"
+        (Sequence.to_string x.Fastq.sequence)
+        (Sequence.to_string y.Fastq.sequence))
+    a b
+
+let test_fastq_no_final_newline () =
+  List.iter
+    (fun text ->
+      let records = ok (Fastq.parse_string Alphabet.dna4 text) in
+      Alcotest.(check int) "one record" 1 (List.length records);
+      let r = List.hd records in
+      Alcotest.(check string) "sequence" "ACGT" (Sequence.to_string r.Fastq.sequence);
+      Alcotest.(check string) "quality intact" "IIII" r.Fastq.quality)
+    [ "@r\nACGT\n+\nIIII"; "@r\r\nACGT\r\n+\r\nIIII" ]
 
 let test_fastq_roundtrip () =
   let records =
@@ -366,6 +417,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_fasta_basic;
           Alcotest.test_case "comments and blanks" `Quick test_fasta_comments_blanks;
           Alcotest.test_case "errors" `Quick test_fasta_errors;
+          Alcotest.test_case "crlf" `Quick test_fasta_crlf;
+          Alcotest.test_case "no final newline" `Quick test_fasta_no_final_newline;
           Alcotest.test_case "roundtrip" `Quick test_fasta_roundtrip;
           Alcotest.test_case "file io" `Quick test_fasta_file_io;
         ] );
@@ -373,6 +426,8 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_fastq_basic;
           Alcotest.test_case "errors" `Quick test_fastq_errors;
+          Alcotest.test_case "crlf" `Quick test_fastq_crlf;
+          Alcotest.test_case "no final newline" `Quick test_fastq_no_final_newline;
           Alcotest.test_case "phred" `Quick test_fastq_phred;
           Alcotest.test_case "roundtrip" `Quick test_fastq_roundtrip;
         ] );

@@ -1,0 +1,504 @@
+(* The network subsystem: wire protocol in isolation (round-trips,
+   truncation, fuzz), the continuous batcher, and a loopback server whose
+   answers must be byte-identical to direct Anyseq.align calls. *)
+
+module Wire = Anyseq.Wire
+module Addr = Anyseq.Addr
+module Client = Anyseq.Client
+module Server = Anyseq.Server
+module Batcher = Anyseq.Batcher
+module Rng = Anyseq_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let configs_under_test =
+  [
+    Wire.default_config;
+    {
+      Wire.scheme =
+        Wire.Simple { alphabet = `Dna4; match_ = 2; mismatch = -1; gap_open = 0; gap_extend = 1 };
+      mode = Anyseq.Types.Global;
+      traceback = false;
+      backend = Anyseq.Config.Scalar;
+    };
+    {
+      Wire.scheme =
+        Wire.Simple { alphabet = `Dna5; match_ = 3; mismatch = -2; gap_open = 5; gap_extend = 2 };
+      mode = Anyseq.Types.Local;
+      traceback = true;
+      backend = Anyseq.Config.Simd;
+    };
+    {
+      Wire.scheme = Wire.Named "dna5(+2/-1)/affine(2,1)";
+      mode = Anyseq.Types.Semiglobal;
+      traceback = false;
+      backend = Anyseq.Config.Wavefront;
+    };
+  ]
+
+let requests_under_test =
+  List.mapi
+    (fun i config ->
+      {
+        Wire.id = Int64.of_int (1000 + i);
+        config;
+        timeout_s = (if i mod 2 = 0 then Some (0.5 +. float_of_int i) else None);
+        query = String.concat "" (List.init (i + 1) (fun _ -> "ACGT"));
+        subject = "TTACGTTT";
+      })
+    configs_under_test
+
+let replies_under_test =
+  [
+    {
+      Wire.rid = 7L;
+      payload = Wire.Result { score = 42; query_end = 10; subject_end = 9; cigar = None };
+      queue_ns = 1234L;
+      service_ns = 56789L;
+      batch_jobs = 17;
+    };
+    {
+      Wire.rid = Int64.max_int;
+      payload =
+        Wire.Result { score = -3; query_end = 0; subject_end = 0; cigar = Some "4=1X12D" };
+      queue_ns = 0L;
+      service_ns = 0L;
+      batch_jobs = 1;
+    };
+  ]
+  @ List.mapi
+      (fun i code ->
+        {
+          Wire.rid = Int64.of_int i;
+          payload = Wire.Failure { code; message = "m" ^ string_of_int i };
+          queue_ns = 5L;
+          service_ns = 6L;
+          batch_jobs = 0;
+        })
+      [
+        Wire.Bad_sequence; Wire.Overflow_bound; Wire.Rejected; Wire.Timeout; Wire.Bad_request;
+        Wire.Draining; Wire.Internal;
+      ]
+
+let decode_ok what s =
+  match Wire.decode_frame s with
+  | Ok (frame, consumed) ->
+      Alcotest.(check int) (what ^ ": consumed whole frame") (String.length s) consumed;
+      frame
+  | Error `Incomplete -> Alcotest.failf "%s: unexpected Incomplete" what
+  | Error (`Malformed msg) -> Alcotest.failf "%s: unexpected Malformed %s" what msg
+
+let test_wire_request_roundtrip () =
+  List.iter
+    (fun (req : Wire.request) ->
+      match decode_ok "request" (Wire.encode_request req) with
+      | Wire.Request r ->
+          Alcotest.(check int64) "id" req.Wire.id r.Wire.id;
+          Alcotest.(check string) "query" req.Wire.query r.Wire.query;
+          Alcotest.(check string) "subject" req.Wire.subject r.Wire.subject;
+          Alcotest.(check (option (float 1e-9))) "timeout" req.Wire.timeout_s r.Wire.timeout_s;
+          Alcotest.(check string) "config survives"
+            (Wire.config_key req.Wire.config)
+            (Wire.config_key r.Wire.config)
+      | Wire.Reply _ -> Alcotest.fail "request decoded as reply")
+    requests_under_test
+
+let test_wire_reply_roundtrip () =
+  List.iter
+    (fun (rep : Wire.reply) ->
+      match decode_ok "reply" (Wire.encode_reply rep) with
+      | Wire.Reply r ->
+          Alcotest.(check int64) "rid" rep.Wire.rid r.Wire.rid;
+          Alcotest.(check int64) "queue_ns" rep.Wire.queue_ns r.Wire.queue_ns;
+          Alcotest.(check int64) "service_ns" rep.Wire.service_ns r.Wire.service_ns;
+          Alcotest.(check int) "batch_jobs" rep.Wire.batch_jobs r.Wire.batch_jobs;
+          (match (rep.Wire.payload, r.Wire.payload) with
+          | Wire.Result a, Wire.Result b ->
+              Alcotest.(check int) "score" a.score b.score;
+              Alcotest.(check int) "query_end" a.query_end b.query_end;
+              Alcotest.(check int) "subject_end" a.subject_end b.subject_end;
+              Alcotest.(check (option string)) "cigar" a.cigar b.cigar
+          | Wire.Failure a, Wire.Failure b ->
+              Alcotest.(check bool) "code" true (a.code = b.code);
+              Alcotest.(check string) "message" a.message b.message
+          | _ -> Alcotest.fail "payload kind flipped")
+      | Wire.Request _ -> Alcotest.fail "reply decoded as request")
+    replies_under_test
+
+let test_wire_truncated () =
+  let frame = Wire.encode_request (List.hd requests_under_test) in
+  for n = 0 to String.length frame - 1 do
+    match Wire.decode_frame (String.sub frame 0 n) with
+    | Error `Incomplete -> ()
+    | Ok _ -> Alcotest.failf "prefix of %d bytes decoded as a whole frame" n
+    | Error (`Malformed msg) -> Alcotest.failf "prefix of %d bytes malformed (%s)" n msg
+  done;
+  (* A frame followed by the start of the next consumes only the first. *)
+  match Wire.decode_frame (frame ^ String.sub frame 0 5) with
+  | Ok (_, consumed) -> Alcotest.(check int) "consumed first frame" (String.length frame) consumed
+  | Error _ -> Alcotest.fail "frame + partial tail should decode the head"
+
+let expect_malformed what s =
+  match Wire.decode_frame s with
+  | Error (`Malformed _) -> ()
+  | Ok _ -> Alcotest.failf "%s: decoded" what
+  | Error `Incomplete -> Alcotest.failf "%s: Incomplete" what
+
+let test_wire_malformed () =
+  let frame = Bytes.of_string (Wire.encode_request (List.hd requests_under_test)) in
+  let flip pos v =
+    let b = Bytes.copy frame in
+    Bytes.set b pos v;
+    Bytes.to_string b
+  in
+  expect_malformed "bad magic" (flip 0 '\x00');
+  expect_malformed "bad version" (flip 2 '\x09');
+  expect_malformed "bad kind" (flip 3 '\x07');
+  (* An announced length beyond max_frame is rejected at the header. *)
+  let oversized = Bytes.copy frame in
+  Bytes.set_int32_be oversized 4 (Int32.of_int (Wire.max_frame + 1));
+  expect_malformed "oversized length" (Bytes.to_string oversized)
+
+(* Mutation fuzz: decoding must never raise, whatever the bytes. *)
+let test_wire_fuzz () =
+  let rng = Rng.create ~seed:99 in
+  let frames =
+    Array.of_list
+      (List.map Wire.encode_request requests_under_test
+      @ List.map Wire.encode_reply replies_under_test)
+  in
+  for _ = 1 to 2000 do
+    let f = frames.(Rng.int rng (Array.length frames)) in
+    let b = Bytes.of_string f in
+    let flips = 1 + Rng.int rng 4 in
+    for _ = 1 to flips do
+      Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (Rng.int rng 256))
+    done;
+    match Wire.decode_frame (Bytes.to_string b) with
+    | Ok _ | Error `Incomplete | Error (`Malformed _) -> ()
+  done;
+  (* and pure noise *)
+  for _ = 1 to 500 do
+    let len = Rng.int rng 64 in
+    let s = String.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+    match Wire.decode_frame s with
+    | Ok _ | Error `Incomplete | Error (`Malformed _) -> ()
+  done
+
+let test_wire_resolve () =
+  List.iter
+    (fun (c : Wire.config) ->
+      match Wire.resolve_config c with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "resolve failed: %s" msg)
+    configs_under_test;
+  (match Wire.resolve_config { Wire.default_config with scheme = Wire.Named "nope" } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown named scheme resolved");
+  (* config_key separates distinct configs and is stable for equal ones *)
+  let keys = List.map Wire.config_key configs_under_test in
+  Alcotest.(check int) "distinct keys" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+(* ------------------------------------------------------------------ *)
+(* Batcher                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_batcher_max_batch () =
+  (* deadline far away: only queue pressure can close the batch *)
+  let b = Batcher.create ~max_batch:4 ~max_wait_us:10_000_000 () in
+  for i = 1 to 9 do
+    Alcotest.(check bool) "push" true (Batcher.push b i)
+  done;
+  Alcotest.(check (option (list int))) "first four, arrival order" (Some [ 1; 2; 3; 4 ])
+    (Batcher.next_batch b);
+  Alcotest.(check (option (list int))) "next four" (Some [ 5; 6; 7; 8 ]) (Batcher.next_batch b)
+
+let test_batcher_max_wait () =
+  (* zero window: a lone item leaves immediately, no batch-mates needed *)
+  let b = Batcher.create ~max_batch:64 ~max_wait_us:0 () in
+  ignore (Batcher.push b 1);
+  Alcotest.(check (option (list int))) "lone item" (Some [ 1 ]) (Batcher.next_batch b)
+
+let test_batcher_wait_window_groups () =
+  (* items pushed within the window ride in one batch *)
+  let b = Batcher.create ~max_batch:64 ~max_wait_us:50_000 () in
+  let pusher =
+    Thread.create
+      (fun () ->
+        for i = 1 to 5 do
+          ignore (Batcher.push b i);
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let batch = Batcher.next_batch b in
+  Thread.join pusher;
+  match batch with
+  | None -> Alcotest.fail "no batch"
+  | Some items ->
+      Alcotest.(check bool)
+        (Printf.sprintf "several grouped (got %d)" (List.length items))
+        true
+        (List.length items > 1)
+
+let test_batcher_backpressure () =
+  let b = Batcher.create ~max_pending:2 ~max_wait_us:0 () in
+  Alcotest.(check bool) "1 fits" true (Batcher.push b 1);
+  Alcotest.(check bool) "2 fits" true (Batcher.push b 2);
+  Alcotest.(check bool) "3 rejected" false (Batcher.push b 3);
+  Alcotest.(check int) "depth" 2 (Batcher.depth b)
+
+let test_batcher_close_drains () =
+  let b = Batcher.create ~max_batch:2 ~max_wait_us:0 () in
+  List.iter (fun i -> ignore (Batcher.push b i)) [ 1; 2; 3 ];
+  Batcher.close b;
+  Alcotest.(check bool) "push after close" false (Batcher.push b 9);
+  Alcotest.(check (option (list int))) "flush 1" (Some [ 1; 2 ]) (Batcher.next_batch b);
+  Alcotest.(check (option (list int))) "flush 2" (Some [ 3 ]) (Batcher.next_batch b);
+  Alcotest.(check (option (list int))) "then None" None (Batcher.next_batch b);
+  Alcotest.(check (option (list int))) "stays None" None (Batcher.next_batch b)
+
+let test_batcher_wakes_blocked_consumer () =
+  let b = Batcher.create ~max_wait_us:0 () in
+  let result = ref (Some []) in
+  let consumer = Thread.create (fun () -> result := Batcher.next_batch b) () in
+  Thread.delay 0.02;
+  ignore (Batcher.push b 42);
+  Thread.join consumer;
+  Alcotest.(check (option (list int))) "blocked consumer woken" (Some [ 42 ]) !result;
+  (* close wakes a consumer blocked on an empty queue *)
+  let consumer = Thread.create (fun () -> result := Batcher.next_batch b) () in
+  Thread.delay 0.02;
+  Batcher.close b;
+  Thread.join consumer;
+  Alcotest.(check (option (list int))) "close wakes consumer" None !result
+
+(* ------------------------------------------------------------------ *)
+(* Loopback integration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_socket_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "anyseq-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(cfg_update = fun c -> c) f =
+  let path = fresh_socket_path () in
+  let cfg = cfg_update (Server.default_config ~addrs:[ Addr.Unix_socket path ] ()) in
+  match Server.start cfg with
+  | Error msg -> Alcotest.failf "server start: %s" msg
+  | Ok srv ->
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop srv;
+          if Sys.file_exists path then Sys.remove path)
+        (fun () -> f srv (Addr.Unix_socket path))
+
+let random_dna_pairs ~seed ~count ~max_len =
+  let rng = Rng.create ~seed in
+  Array.init count (fun _ ->
+      let len rng = 1 + Rng.int rng max_len in
+      let dna rng n = String.init n (fun _ -> "ACGT".[Rng.int rng 4]) in
+      (dna rng (len rng), dna rng (len rng)))
+
+(* Every score (and CIGAR) served over the socket must equal the direct
+   in-process Anyseq.align answer for the same configuration. *)
+let test_loopback_matches_direct () =
+  with_server @@ fun _srv addr ->
+  let pairs = random_dna_pairs ~seed:5 ~count:24 ~max_len:80 in
+  List.iteri
+    (fun ci config ->
+      let rconfig =
+        match Wire.resolve_config config with
+        | Ok c -> c
+        | Error msg -> Alcotest.failf "resolve: %s" msg
+      in
+      let conn =
+        match Client.connect addr with
+        | Ok c -> c
+        | Error msg -> Alcotest.failf "connect: %s" msg
+      in
+      Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+      match Client.align_many conn ~window:8 ~config pairs with
+      | Error msg -> Alcotest.failf "config %d: connection failed: %s" ci msg
+      | Ok results ->
+          Array.iteri
+            (fun i r ->
+              let query, subject = pairs.(i) in
+              let direct = Anyseq.align ~config:rconfig ~query ~subject in
+              match (r, direct) with
+              | Ok remote, Ok local ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "config %d pair %d score" ci i)
+                    local.Anyseq.score remote.Client.score;
+                  let local_cigar =
+                    Option.map
+                      (fun a -> Anyseq.Cigar.to_string a.Anyseq.Alignment.cigar)
+                      local.Anyseq.alignment
+                  in
+                  Alcotest.(check (option string))
+                    (Printf.sprintf "config %d pair %d cigar" ci i)
+                    local_cigar remote.Client.cigar
+              | Error e, Ok _ ->
+                  Alcotest.failf "config %d pair %d: remote failed: %s" ci i
+                    (Client.error_to_string e)
+              | Ok _, Error e ->
+                  Alcotest.failf "config %d pair %d: only direct failed: %s" ci i
+                    (Anyseq.Error.to_string e)
+              | Error _, Error _ -> ())
+            results)
+    configs_under_test
+
+(* A malformed frame (or a client that vanishes) costs that connection;
+   the server keeps answering everyone else. *)
+let test_loopback_malformed_kills_connection_only () =
+  with_server @@ fun srv addr ->
+  let fd = match Addr.connect addr with Ok fd -> fd | Error m -> Alcotest.failf "%s" m in
+  let garbage = "this is not a frame at all.............." in
+  let _ = Unix.write_substring fd garbage 0 (String.length garbage) in
+  (* server closes this connection: read sees EOF *)
+  let buf = Bytes.create 16 in
+  let n = try Unix.read fd buf 0 16 with Unix.Unix_error _ -> 0 in
+  Alcotest.(check int) "connection closed on garbage" 0 n;
+  Unix.close fd;
+  (* an abruptly killed client mid-stream *)
+  (let fd2 = match Addr.connect addr with Ok fd -> fd | Error m -> Alcotest.failf "%s" m in
+   let frame = Wire.encode_request (List.hd requests_under_test) in
+   let _ = Unix.write_substring fd2 frame 0 (String.length frame / 2) in
+   Unix.close fd2);
+  (* ...and the server still serves a well-behaved client *)
+  let conn = match Client.connect addr with Ok c -> c | Error m -> Alcotest.failf "%s" m in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  (match Client.align conn ~query:"ACGT" ~subject:"ACGT" () with
+  | Ok r -> Alcotest.(check int) "still serving" 8 r.Client.score
+  | Error e -> Alcotest.failf "server died with the bad client: %s" (Client.error_to_string e));
+  Alcotest.(check bool) "server not stopped" false (Server.is_stopped srv)
+
+let test_loopback_timeout_and_errors () =
+  with_server @@ fun _srv addr ->
+  let conn = match Client.connect addr with Ok c -> c | Error m -> Alcotest.failf "%s" m in
+  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+  (* an already-expired deadline must come back as a Timeout error *)
+  (match Client.align conn ~timeout_s:1e-9 ~query:"ACGT" ~subject:"ACGT" () with
+  | Error (Client.Remote (Wire.Timeout, _)) -> ()
+  | Ok _ -> Alcotest.fail "expired deadline succeeded"
+  | Error e -> Alcotest.failf "wrong error: %s" (Client.error_to_string e));
+  (* unknown named scheme: Bad_request, connection stays usable *)
+  (match
+     Client.align conn
+       ~config:{ Wire.default_config with scheme = Wire.Named "no-such" }
+       ~query:"ACGT" ~subject:"ACGT" ()
+   with
+  | Error (Client.Remote (Wire.Bad_request, _)) -> ()
+  | Ok _ -> Alcotest.fail "unknown scheme succeeded"
+  | Error e -> Alcotest.failf "wrong error: %s" (Client.error_to_string e));
+  match Client.align conn ~query:"ACGT" ~subject:"ACGT" () with
+  | Ok r -> Alcotest.(check int) "usable after errors" 8 r.Client.score
+  | Error e -> Alcotest.failf "connection lost: %s" (Client.error_to_string e)
+
+(* Graceful drain: everything accepted before the stop is answered. *)
+let test_loopback_drain () =
+  let path = fresh_socket_path () in
+  let cfg = Server.default_config ~addrs:[ Addr.Unix_socket path ] () in
+  let srv = match Server.start cfg with Ok s -> s | Error m -> Alcotest.failf "%s" m in
+  let addr = Addr.Unix_socket path in
+  let pairs = random_dna_pairs ~seed:8 ~count:128 ~max_len:60 in
+  let conn = match Client.connect addr with Ok c -> c | Error m -> Alcotest.failf "%s" m in
+  let results = Client.align_many conn ~window:16 pairs in
+  (match results with
+  | Error msg -> Alcotest.failf "load failed: %s" msg
+  | Ok rs ->
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "pair %d failed: %s" i (Client.error_to_string e))
+        rs);
+  (* request the stop the way a signal handler would, then wait out the drain *)
+  Server.request_stop srv;
+  Server.wait srv;
+  Alcotest.(check bool) "stopped" true (Server.is_stopped srv);
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path);
+  Client.close conn;
+  (match Client.connect addr with
+  | Ok c ->
+      Client.close c;
+      Alcotest.fail "connect succeeded after drain"
+  | Error _ -> ());
+  (* stop is idempotent *)
+  Server.stop srv
+
+(* Stop while a pipelined load is in flight: every request the server
+   accepted is answered (result or an orderly Draining rejection); the
+   connection may also break once the drain shuts the read side — but the
+   server itself must come down cleanly. *)
+let test_loopback_drain_under_load () =
+  let path = fresh_socket_path () in
+  let cfg = Server.default_config ~addrs:[ Addr.Unix_socket path ] () in
+  let srv = match Server.start cfg with Ok s -> s | Error m -> Alcotest.failf "%s" m in
+  let addr = Addr.Unix_socket path in
+  let pairs = random_dna_pairs ~seed:9 ~count:512 ~max_len:120 in
+  let outcome = ref (Error "not run") in
+  let client_thread =
+    Thread.create
+      (fun () ->
+        match Client.connect addr with
+        | Error m -> outcome := Error m
+        | Ok conn ->
+            outcome := Client.align_many conn ~window:32 pairs;
+            Client.close conn)
+      ()
+  in
+  Thread.delay 0.02;
+  Server.stop srv;
+  Thread.join client_thread;
+  Alcotest.(check bool) "stopped" true (Server.is_stopped srv);
+  match !outcome with
+  | Error _ -> () (* connection broken mid-pipeline by the shutdown: acceptable *)
+  | Ok rs ->
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok _ | Error (Client.Remote (Wire.Draining, _)) -> ()
+          | Error e ->
+              Alcotest.failf "pair %d: unexpected outcome during drain: %s" i
+                (Client.error_to_string e))
+        rs
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_wire_request_roundtrip;
+          Alcotest.test_case "reply roundtrip" `Quick test_wire_reply_roundtrip;
+          Alcotest.test_case "truncated frames" `Quick test_wire_truncated;
+          Alcotest.test_case "malformed frames" `Quick test_wire_malformed;
+          Alcotest.test_case "mutation fuzz" `Quick test_wire_fuzz;
+          Alcotest.test_case "config resolution" `Quick test_wire_resolve;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "max batch" `Quick test_batcher_max_batch;
+          Alcotest.test_case "max wait zero" `Quick test_batcher_max_wait;
+          Alcotest.test_case "window groups" `Quick test_batcher_wait_window_groups;
+          Alcotest.test_case "backpressure" `Quick test_batcher_backpressure;
+          Alcotest.test_case "close drains" `Quick test_batcher_close_drains;
+          Alcotest.test_case "wakes blocked consumer" `Quick test_batcher_wakes_blocked_consumer;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "matches direct align" `Slow test_loopback_matches_direct;
+          Alcotest.test_case "malformed kills connection only" `Quick
+            test_loopback_malformed_kills_connection_only;
+          Alcotest.test_case "timeout and errors" `Quick test_loopback_timeout_and_errors;
+          Alcotest.test_case "graceful drain" `Quick test_loopback_drain;
+          Alcotest.test_case "drain under load" `Slow test_loopback_drain_under_load;
+        ] );
+    ]

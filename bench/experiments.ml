@@ -9,6 +9,23 @@ module Scheme = Anyseq.Scheme
 module T = Anyseq.Types
 module Sim = Anyseq_wavefront.Sim
 
+(* Machine-readable headline numbers: [run_*] record into this registry
+   and --json dumps it as one flat object (e.g. BENCH_5.json), so CI can
+   track GCUPS, req/s, and minor words/alignment across commits. *)
+let json_results : (string * float) list ref = ref []
+let record_result name v = json_results := (name, v) :: !json_results
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let rows = List.rev !json_results in
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (k, v) -> Printf.fprintf oc "  %S: %.6g%s\n" k v (if i = last then "" else ","))
+    rows;
+  output_string oc "}\n";
+  close_out oc
+
 let variants = [ (false, false); (true, false); (false, true); (true, true) ]
 
 let variant_name ~affine ~traceback =
@@ -550,7 +567,10 @@ let run_runtime cfg =
   Printf.printf
     "Runtime service -- %d read pairs of 150 bp, scores only. \"facade\" calls\n\
      Anyseq.align once per pair; \"batch\" submits all pairs through one service\n\
-     (grouped dispatch + specialization cache, warmed by a preliminary run).\n"
+     (grouped dispatch + specialization cache + workspace arenas, warmed by a\n\
+     preliminary run). \"wds/aln\" is minor-heap words allocated per alignment;\n\
+     the batch column is the arena steady state -- parse and plumbing only, no\n\
+     per-row or per-cell allocation (the alloc gate bounds the Service.run core).\n"
     (Array.length pairs);
   let service = Anyseq.Service.create ~capacity:(max 1 (Array.length spairs)) () in
   let t =
@@ -559,15 +579,19 @@ let run_runtime cfg =
         [
           ("mode", Tablefmt.Left); ("facade GCUPS", Tablefmt.Right);
           ("batch GCUPS", Tablefmt.Right); ("speedup", Tablefmt.Right);
+          ("facade wds/aln", Tablefmt.Right); ("batch wds/aln", Tablefmt.Right);
         ]
       ()
   in
+  let njobs = float_of_int (Array.length spairs) in
   let seq_total = ref 0.0 and batch_total = ref 0.0 in
+  let seq_words_total = ref 0.0 and batch_words_total = ref 0.0 in
   List.iter
     (fun (name, mode) ->
       let config = Anyseq.Config.make ~mode ~traceback:false () in
       (* Warm the specialization cache so the timed run measures steady state. *)
       ignore (Anyseq.align_batch ~service ~config spairs);
+      let seq_w0 = Gc.minor_words () in
       let seq_dt =
         Timer.time_only (fun () ->
             Array.iter
@@ -577,17 +601,24 @@ let run_runtime cfg =
                 | Error e -> failwith (Anyseq.Error.to_string e))
               spairs)
       in
+      let seq_words = (Gc.minor_words () -. seq_w0) /. njobs in
+      let batch_w0 = Gc.minor_words () in
       let batch_dt =
         Timer.time_only (fun () -> ignore (Anyseq.align_batch ~service ~config spairs))
       in
+      let batch_words = (Gc.minor_words () -. batch_w0) /. njobs in
       seq_total := !seq_total +. seq_dt;
       batch_total := !batch_total +. batch_dt;
+      seq_words_total := !seq_words_total +. seq_words;
+      batch_words_total := !batch_words_total +. batch_words;
       Tablefmt.add_row t
         [
           name;
           Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells ~seconds:seq_dt);
           Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells ~seconds:batch_dt);
           Tablefmt.cell_ratio seq_dt batch_dt;
+          Tablefmt.cell_float ~decimals:1 seq_words;
+          Tablefmt.cell_float ~decimals:1 batch_words;
         ])
     [ ("global", T.Global); ("semiglobal", T.Semiglobal); ("local", T.Local) ];
   Tablefmt.add_separator t;
@@ -597,8 +628,15 @@ let run_runtime cfg =
       Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells:(3 * cells) ~seconds:!seq_total);
       Tablefmt.cell_float ~decimals:4 (Timer.gcups ~cells:(3 * cells) ~seconds:!batch_total);
       Tablefmt.cell_ratio !seq_total !batch_total;
+      Tablefmt.cell_float ~decimals:1 (!seq_words_total /. 3.0);
+      Tablefmt.cell_float ~decimals:1 (!batch_words_total /. 3.0);
     ];
   Tablefmt.print t;
+  record_result "runtime/facade_gcups" (Timer.gcups ~cells:(3 * cells) ~seconds:!seq_total);
+  record_result "runtime/batch_gcups" (Timer.gcups ~cells:(3 * cells) ~seconds:!batch_total);
+  record_result "runtime/batch_speedup" (!seq_total /. !batch_total);
+  record_result "runtime/facade_minor_words_per_alignment" (!seq_words_total /. 3.0);
+  record_result "runtime/batch_minor_words_per_alignment" (!batch_words_total /. 3.0);
   let cs = Anyseq.Service.cache_stats service in
   let rate = 100.0 *. Anyseq.Spec_cache.hit_rate cs in
   let speedup = !seq_total /. !batch_total in
@@ -716,10 +754,12 @@ let run_server cfg =
       (* one untimed warm pass so the timed run measures steady state *)
       run_client 0;
       stats.(0) <- None;
+      let w0 = Gc.minor_words () in
       let t0 = Timer.now_ns () in
       let threads = List.init clients (fun k -> Thread.create run_client k) in
       List.iter Thread.join threads;
       let dt = Int64.to_float (Int64.sub (Timer.now_ns ()) t0) /. 1e9 in
+      let minor_words = Gc.minor_words () -. w0 in
       Anyseq.Server.stop srv;
       let completed = ref 0 and ok = ref 0 and batch_sum = ref 0 and queue_sum = ref 0 in
       let lats = ref [] in
@@ -761,7 +801,20 @@ let run_server cfg =
           Tablefmt.cell_float ~decimals:1
             (if completed = 0 then 0.0 else float_of_int !queue_sum /. float_of_int completed);
         ];
+      (* Whole-process allocation (decode, batching, service, encode; the
+         in-process client threads ride along) — the arena/pooled-decode
+         steady state end to end, not the isolated alloc-gate number. *)
+      let words_per_req =
+        if completed = 0 then 0.0 else minor_words /. float_of_int completed
+      in
+      Tablefmt.add_row t
+        [ "minor words / request"; Tablefmt.cell_float ~decimals:1 words_per_req ];
       Tablefmt.print t;
+      record_result "server/req_per_s" (float_of_int completed /. dt);
+      record_result "server/latency_p50_us" (float_of_int (percentile lat 0.50));
+      record_result "server/latency_p99_us" (float_of_int (percentile lat 0.99));
+      record_result "server/mean_batch" mean_batch;
+      record_result "server/minor_words_per_request" words_per_req;
       (* batch-size distribution, from the server's histogram *)
       let h = Anyseq.Metrics.histogram (Anyseq.Server.metrics srv) "server/batch_jobs" in
       let batches = Anyseq.Metrics.hist_count h in

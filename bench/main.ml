@@ -5,7 +5,8 @@
      dune exec bench/main.exe                  # everything, default scale
      dune exec bench/main.exe -- --only fig6   # one artifact
      dune exec bench/main.exe -- --scale 0.5 --reads 10000
-     dune exec bench/main.exe -- --bechamel    # micro-suite as well *)
+     dune exec bench/main.exe -- --bechamel    # micro-suite as well
+     dune exec bench/main.exe -- --only runtime --json BENCH_5.json *)
 
 open Cmdliner
 
@@ -23,7 +24,7 @@ let experiments =
     ("server", "Network server: loopback load, continuous batching, latency percentiles");
   ]
 
-let run only scale reads seed bechamel =
+let run only scale reads seed bechamel json =
   let cfg = { Workloads.scale; read_count = reads; seed } in
   let wanted name = match only with None -> true | Some o -> o = name in
   let section name title f =
@@ -55,7 +56,12 @@ let run only scale reads seed bechamel =
   if bechamel then begin
     Printf.printf "\n================================================================\n";
     Bechamel_suite.run cfg
-  end
+  end;
+  match json with
+  | None -> ()
+  | Some file ->
+      Experiments.write_json file;
+      Printf.printf "\nheadline numbers written to %s\n" file
 
 let only_t =
   Arg.(value & opt (some string) None & info [ "only" ] ~doc:"Run a single experiment.")
@@ -79,7 +85,17 @@ let seed_t =
 let bechamel_t =
   Arg.(value & flag & info [ "bechamel" ] ~doc:"Also run the Bechamel micro-suite.")
 
+let json_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write the headline numbers of the executed experiments (GCUPS, req/s, minor \
+           words/alignment) to $(docv) as one flat JSON object.")
+
 let () =
   let info = Cmd.info "anyseq-bench" ~doc:"Regenerate the paper's tables and figures." in
   exit
-    (Cmd.eval (Cmd.v info Term.(const run $ only_t $ scale_t $ reads_t $ seed_t $ bechamel_t)))
+    (Cmd.eval
+       (Cmd.v info Term.(const run $ only_t $ scale_t $ reads_t $ seed_t $ bechamel_t $ json_t)))

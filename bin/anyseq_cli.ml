@@ -965,7 +965,10 @@ let analyze_cmd =
                               Anyseq_core.Dp_linear.score_only scheme mode ~query:qv
                                 ~subject:sv
                             in
-                            let native = nk.Anyseq.Native_kernel.score ~query:qv ~subject:sv in
+                            let native =
+                              Anyseq.Workspace.with_ws (fun ws ->
+                                  nk.Anyseq.Native_kernel.score ~ws ~query:q ~subject:s)
+                            in
                             if reference <> native then begin
                               incr sweep_bad;
                               Printf.printf

@@ -8,6 +8,7 @@ module Scheme = Anyseq_scoring.Scheme
 module Bounds = Anyseq_scoring.Bounds
 module Types = Anyseq_core.Types
 module Engine = Anyseq_core.Engine
+module Scratch = Anyseq_core.Scratch
 module Reference = Anyseq_core.Reference
 module Hirschberg = Anyseq_core.Hirschberg
 module Banded = Anyseq_core.Banded
@@ -32,6 +33,7 @@ module Service = Anyseq_runtime.Service
 module Spec_cache = Anyseq_runtime.Spec_cache
 module Metrics = Anyseq_runtime.Metrics
 module Native_kernel = Anyseq_runtime.Native_kernel
+module Workspace = Anyseq_runtime.Workspace
 module Trace = Anyseq_trace.Trace
 module Trace_export = Anyseq_trace.Export
 module Wire = Anyseq_client.Wire
@@ -76,14 +78,20 @@ let align ~(config : Config.t) ~query ~subject =
                 "%d x %d pair exceeds the 16-bit differential-score range of the vector kernels"
                 rows cols))
       else if config.Config.traceback then
-        Ok (of_traceback ~query:q ~subject:s (Engine.align scheme mode ~query:q ~subject:s))
+        Ok
+          (of_traceback ~query:q ~subject:s
+             (Anyseq_runtime.Workspace.with_ws (fun ws ->
+                  Engine.align ~ws scheme mode ~query:q ~subject:s)))
       else
         let backend =
           match config.Config.backend with
           | Config.Wavefront -> Engine.Tiled { tile = 512 }
           | Config.Auto | Config.Scalar | Config.Simd -> Engine.Scalar
         in
-        let e = Engine.score ~backend scheme mode ~query:q ~subject:s in
+        let e =
+          Anyseq_runtime.Workspace.with_ws (fun ws ->
+              Engine.score ~ws ~backend scheme mode ~query:q ~subject:s)
+        in
         Ok { score = e.Types.score; query_aligned = ""; subject_aligned = ""; alignment = None }
 
 let align_exn ~config ~query ~subject =

@@ -30,6 +30,7 @@ module Scheme = Anyseq_scoring.Scheme
 module Bounds = Anyseq_scoring.Bounds
 module Types = Anyseq_core.Types
 module Engine = Anyseq_core.Engine
+module Scratch = Anyseq_core.Scratch
 module Reference = Anyseq_core.Reference
 module Hirschberg = Anyseq_core.Hirschberg
 module Banded = Anyseq_core.Banded
@@ -57,6 +58,7 @@ module Service = Anyseq_runtime.Service
 module Spec_cache = Anyseq_runtime.Spec_cache
 module Metrics = Anyseq_runtime.Metrics
 module Native_kernel = Anyseq_runtime.Native_kernel
+module Workspace = Anyseq_runtime.Workspace
 
 (** {1 Observability}
 

@@ -24,6 +24,34 @@ let of_ops ops = of_runs (List.map (fun op -> (1, op)) ops)
 let to_ops t =
   List.concat_map (fun (n, op) -> List.init n (fun _ -> op)) (runs t)
 
+(* Integer opcodes for pooled traceback builders: the DP walk pushes
+   plain ints into a scratch buffer instead of consing an op list. *)
+let op_to_code = function Match -> 0 | Mismatch -> 1 | Ins -> 2 | Del -> 3
+
+let op_of_code = function
+  | 0 -> Match
+  | 1 -> Mismatch
+  | 2 -> Ins
+  | _ -> Del
+
+let of_rev_op_codes a k =
+  (* a.(0 .. k-1) were pushed while walking the matrix backwards, so
+     forward alignment order is index k-1 down to 0. Build the reverse
+     run list directly — equal to [of_ops] over the forward list. *)
+  if k < 0 || k > Array.length a then invalid_arg "Cigar.of_rev_op_codes";
+  let rev_runs = ref [] in
+  let i = ref (k - 1) in
+  while !i >= 0 do
+    let code = a.(!i) in
+    let j = ref (!i - 1) in
+    while !j >= 0 && a.(!j) = code do
+      decr j
+    done;
+    rev_runs := (!i - !j, op_of_code code) :: !rev_runs;
+    i := !j
+  done;
+  { rev_runs = !rev_runs }
+
 let append t op =
   match t.rev_runs with
   | (n, op') :: rest when op' = op -> { rev_runs = (n + 1, op) :: rest }

@@ -29,6 +29,18 @@ val of_runs : (int * op) list -> t
 val append : t -> op -> t
 (** Add one op at the end (O(1) amortized through run merging). *)
 
+val op_to_code : op -> int
+(** 0 [=], 1 [X], 2 [I], 3 [D] — for pooled traceback op buffers. *)
+
+val op_of_code : int -> op
+(** Inverse of {!op_to_code}; unknown codes decode as [Del]. *)
+
+val of_rev_op_codes : int array -> int -> t
+(** [of_rev_op_codes buf k] builds a CIGAR from [buf.(0..k-1)], opcodes
+    pushed in {e backward} (traceback) order — exactly what a DP matrix
+    walk emits into a scratch buffer. Equal to [of_ops] applied to the
+    forward op list; allocates only the run list. *)
+
 val concat : t -> t -> t
 
 val rev : t -> t

@@ -8,6 +8,16 @@ let of_string alphabet s =
   done;
   { alphabet; codes }
 
+let of_substring alphabet s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Sequence.of_substring: range out of bounds";
+  let codes = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set codes i
+      (Char.chr (Alphabet.code_of_char alphabet (String.unsafe_get s (pos + i))))
+  done;
+  { alphabet; codes }
+
 let to_string t =
   String.init (Bytes.length t.codes) (fun i ->
       Alphabet.char_of_code t.alphabet (Char.code (Bytes.unsafe_get t.codes i)))
@@ -29,6 +39,9 @@ let alphabet t = t.alphabet
 let get t i =
   if i < 0 || i >= length t then invalid_arg "Sequence.get: index out of bounds";
   Char.code (Bytes.unsafe_get t.codes i)
+
+let unsafe_get t i = Char.code (Bytes.unsafe_get t.codes i)
+let unsafe_codes t = t.codes
 
 let get_char t i = Alphabet.char_of_code t.alphabet (get t i)
 

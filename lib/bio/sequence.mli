@@ -22,6 +22,11 @@ type t
 val of_string : Alphabet.t -> string -> t
 (** Encode; raises [Invalid_argument] on characters the alphabet rejects. *)
 
+val of_substring : Alphabet.t -> string -> pos:int -> len:int -> t
+(** Encode a slice of [s] directly — no intermediate [String.sub] copy.
+    The server decode path uses this to build sequences straight from a
+    wire payload. Raises like {!of_string}, plus on a bad range. *)
+
 val to_string : t -> string
 
 val of_codes : Alphabet.t -> int array -> t
@@ -32,6 +37,18 @@ val alphabet : t -> Alphabet.t
 
 val get : t -> int -> int
 (** Code at an index; bounds-checked. *)
+
+val unsafe_get : t -> int -> int
+(** Code at an index with no bounds check — the native residual kernels'
+    inner loops. The caller must guarantee [0 <= i < length t]. *)
+
+val unsafe_codes : t -> bytes
+(** The underlying code buffer, one code per byte. A performance escape
+    hatch for specialized kernels: hoisting this once per call turns the
+    per-cell read into an inlined [Bytes.unsafe_get] primitive, where
+    {!unsafe_get} is a (non-inlined) cross-module call per cell. Callers
+    must treat the buffer as read-only; mutating it corrupts the
+    sequence. *)
 
 val get_char : t -> int -> char
 

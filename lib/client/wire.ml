@@ -305,21 +305,78 @@ let r_config c =
   in
   { scheme; mode; traceback; backend }
 
+let r_timeout c =
+  match r_u8 c with
+  | 0 -> None
+  | 1 ->
+      let s = Int64.float_of_bits (r_i64 c) in
+      if Float.is_nan s then raise (Malformed "NaN timeout");
+      Some s
+  | _ -> raise (Malformed "bad timeout flag")
+
 let r_request c =
   let id = r_i64 c in
   let config = r_config c in
-  let timeout_s =
-    match r_u8 c with
-    | 0 -> None
-    | 1 ->
-        let s = Int64.float_of_bits (r_i64 c) in
-        if Float.is_nan s then raise (Malformed "NaN timeout");
-        Some s
-    | _ -> raise (Malformed "bad timeout flag")
-  in
+  let timeout_s = r_timeout c in
   let query = r_str c in
   let subject = r_str c in
   { id; config; timeout_s; query; subject }
+
+(* A request decoded without copying its sequences: the view keeps the
+   payload string and the byte ranges the sequences occupy, so a host can
+   parse them straight into packed code buffers. *)
+type request_view = {
+  rv_id : int64;
+  rv_config : config;
+  rv_timeout_s : float option;
+  rv_payload : string;
+  rv_query_pos : int;
+  rv_query_len : int;
+  rv_subject_pos : int;
+  rv_subject_len : int;
+}
+
+(* [r_str] without the [String.sub]: validate the length prefix, skip the
+   bytes, hand back the range. *)
+let r_span c =
+  let n = r_i32 c in
+  if n < 0 || n > max_frame then raise (Malformed "bad string length");
+  need c n;
+  let pos = c.pos in
+  c.pos <- c.pos + n;
+  (pos, n)
+
+let decode_request_view payload =
+  let c = { s = payload; pos = 0 } in
+  match
+    let rv_id = r_i64 c in
+    let rv_config = r_config c in
+    let rv_timeout_s = r_timeout c in
+    let rv_query_pos, rv_query_len = r_span c in
+    let rv_subject_pos, rv_subject_len = r_span c in
+    {
+      rv_id;
+      rv_config;
+      rv_timeout_s;
+      rv_payload = payload;
+      rv_query_pos;
+      rv_query_len;
+      rv_subject_pos;
+      rv_subject_len;
+    }
+  with
+  | v ->
+      if c.pos <> String.length payload then Error "trailing bytes after payload" else Ok v
+  | exception Malformed msg -> Error msg
+
+let request_of_view v =
+  {
+    id = v.rv_id;
+    config = v.rv_config;
+    timeout_s = v.rv_timeout_s;
+    query = String.sub v.rv_payload v.rv_query_pos v.rv_query_len;
+    subject = String.sub v.rv_payload v.rv_subject_pos v.rv_subject_len;
+  }
 
 let r_reply c =
   let rid = r_i64 c in
@@ -400,7 +457,7 @@ let rec read_exact fd buf pos len =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_exact fd buf pos len
     | exception Unix.Unix_error (e, _, _) -> `Err (Unix.error_message e)
 
-let read_frame fd =
+let read_raw_frame fd =
   let hdr = Bytes.create header_bytes in
   match read_exact fd hdr 0 header_bytes with
   | `Closed -> Error `Eof
@@ -413,10 +470,18 @@ let read_frame fd =
           match read_exact fd payload 0 len with
           | `Closed -> Error (`Malformed "stream closed mid-frame")
           | `Err msg -> Error (`Io msg)
-          | `Ok -> (
-              match decode_payload ~kind (Bytes.to_string payload) with
-              | Ok frame -> Ok frame
-              | Error msg -> Error (`Malformed msg))))
+          (* The buffer never escapes as [Bytes.t], so freezing it in
+             place is sound — the payload is read exactly once off the
+             socket and shared by every view into it. *)
+          | `Ok -> Ok (kind, Bytes.unsafe_to_string payload)))
+
+let read_frame fd =
+  match read_raw_frame fd with
+  | Error _ as e -> e
+  | Ok (kind, payload) -> (
+      match decode_payload ~kind payload with
+      | Ok frame -> Ok frame
+      | Error msg -> Error (`Malformed msg))
 
 let write_frame fd s =
   let buf = Bytes.of_string s in

@@ -104,6 +104,33 @@ type reply = {
 
 type frame = Request of request | Reply of reply
 
+type request_view = {
+  rv_id : int64;
+  rv_config : config;
+  rv_timeout_s : float option;
+  rv_payload : string;  (** the raw frame payload the ranges index into *)
+  rv_query_pos : int;
+  rv_query_len : int;
+  rv_subject_pos : int;
+  rv_subject_len : int;
+}
+(** A request decoded {e in place}: config and metadata are parsed, but
+    the sequences stay as byte ranges of the payload, so a host can feed
+    them to [Sequence.of_substring] and skip the intermediate string
+    copies of {!request}. The server's decode path runs on this. *)
+
+val kind_request : int
+val kind_reply : int
+(** Frame kind bytes, as {!decode_header} returns them. *)
+
+val decode_request_view : string -> (request_view, string) result
+(** Decode a request payload (as returned by {!read_raw_frame} for
+    {!kind_request}) without copying the sequences. Same validation as the
+    copying decoder, including the trailing-bytes check. *)
+
+val request_of_view : request_view -> request
+(** Materialize the string copies (tests, logging). *)
+
 val encode_request : request -> string
 (** Complete frame, header included. Raises [Invalid_argument] if a field
     is out of representable range (lengths over {!max_frame}, scores
@@ -131,6 +158,12 @@ val read_frame :
   Unix.file_descr -> (frame, [ `Eof | `Malformed of string | `Io of string ]) result
 (** [`Eof] on clean close before a header byte; a header or payload cut
     short mid-frame is [`Malformed]. *)
+
+val read_raw_frame :
+  Unix.file_descr -> (int * string, [ `Eof | `Malformed of string | `Io of string ]) result
+(** One validated header plus its raw payload, undecoded — [(kind,
+    payload)]. The payload string is freshly read and uniquely owned;
+    {!read_frame} is this followed by {!decode_payload}. *)
 
 val write_frame : Unix.file_descr -> string -> (unit, string) result
 (** Write a whole encoded frame, handling short writes; [Error] wraps

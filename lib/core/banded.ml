@@ -23,8 +23,9 @@ let cells ~band ~query_len ~subject_len =
 
 (* Band storage: row i keeps columns [i-band .. i+band] clipped to [0..m],
    addressed as column offset (j - (i - band)). *)
-let score_only (scheme : Scheme.t) ~band ~(query : Sequence.view)
+let score_only ?ws (scheme : Scheme.t) ~band ~(query : Sequence.view)
     ~(subject : Sequence.view) =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
   let n = query.Sequence.len and m = subject.Sequence.len in
   check_band ~band ~n ~m;
   let sigma = Scheme.subst_score scheme in
@@ -33,10 +34,14 @@ let score_only (scheme : Scheme.t) ~band ~(query : Sequence.view)
   (* hrow.(k) = H(i, (i - band) + k); shifting one row down moves the same
      physical index one column right, which is why the diagonal neighbour
      of slot k is the previous row's slot k. *)
-  let hrow = Array.make width neg_inf in
-  let erow = Array.make width neg_inf in
-  let prev_h = Array.make width neg_inf in
-  let prev_e = Array.make width neg_inf in
+  let hrow = Scratch.acquire ws width in
+  let erow = Scratch.acquire ws width in
+  let prev_h = Scratch.acquire ws width in
+  let prev_e = Scratch.acquire ws width in
+  Array.fill hrow 0 width neg_inf;
+  Array.fill erow 0 width neg_inf;
+  Array.fill prev_h 0 width neg_inf;
+  Array.fill prev_e 0 width neg_inf;
   (* Row 0: slots for j in [0 .. band]. *)
   for k = 0 to width - 1 do
     let j = k - band in
@@ -75,17 +80,29 @@ let score_only (scheme : Scheme.t) ~band ~(query : Sequence.view)
     done
   done;
   let k = m - (n - band) in
-  { score = hrow.(k); query_end = n; subject_end = m }
+  let ends = { score = hrow.(k); query_end = n; subject_end = m } in
+  Scratch.release ws hrow;
+  Scratch.release ws erow;
+  Scratch.release ws prev_h;
+  Scratch.release ws prev_e;
+  ends
 
-let align (scheme : Scheme.t) ~band ~query ~subject =
+let align ?ws (scheme : Scheme.t) ~band ~query ~subject =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
   let n = Sequence.length query and m = Sequence.length subject in
   check_band ~band ~n ~m;
   let sigma = Scheme.subst_score scheme in
   let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
   let width = (2 * band) + 1 in
-  let h = Array.make_matrix (n + 1) width neg_inf in
-  let e = Array.make_matrix (n + 1) width neg_inf in
-  let f = Array.make_matrix (n + 1) width neg_inf in
+  let strip () =
+    Array.init (n + 1) (fun _ ->
+        let row = Scratch.acquire ws width in
+        Array.fill row 0 width neg_inf;
+        row)
+  in
+  let h = strip () in
+  let e = strip () in
+  let f = strip () in
   let slot i j = j - (i - band) in
   let in_band i j = j >= max 0 (i - band) && j <= min m (i + band) in
   let get mat i j = if in_band i j then mat.(i).(slot i j) else neg_inf in
@@ -113,7 +130,16 @@ let align (scheme : Scheme.t) ~band ~query ~subject =
       end
     done
   done;
-  let ops = ref [] in
+  let ops = Scratch.acquire ws (n + m + 1) in
+  let nops = ref 0 in
+  let push c =
+    ops.(!nops) <- c;
+    incr nops
+  in
+  let c_match = Cigar.op_to_code Cigar.Match
+  and c_mismatch = Cigar.op_to_code Cigar.Mismatch
+  and c_ins = Cigar.op_to_code Cigar.Ins
+  and c_del = Cigar.op_to_code Cigar.Del in
   let rec walk i j state =
     match state with
     | `M ->
@@ -125,28 +151,35 @@ let align (scheme : Scheme.t) ~band ~query ~subject =
                + sigma (Sequence.get query (i - 1)) (Sequence.get subject (j - 1))
         then begin
           let qc = Sequence.get query (i - 1) and sc = Sequence.get subject (j - 1) in
-          ops := (if qc = sc then Cigar.Match else Cigar.Mismatch) :: !ops;
+          push (if qc = sc then c_match else c_mismatch);
           walk (i - 1) (j - 1) `M
         end
         else if i > 0 && get h i j = get e i j then walk i j `E
         else if j > 0 && get h i j = get f i j then walk i j `F
         else assert false
     | `E ->
-        ops := Cigar.Ins :: !ops;
+        push c_ins;
         if i = 1 || get e i j = get h (i - 1) j - go - ge then walk (i - 1) j `M
         else walk (i - 1) j `E
     | `F ->
-        ops := Cigar.Del :: !ops;
+        push c_del;
         if j = 1 || get f i j = get h i (j - 1) - go - ge then walk i (j - 1) `M
         else walk i (j - 1) `F
   in
   walk n m `M;
-  {
-    Alignment.score = get h n m;
-    mode = Global;
-    query_start = 0;
-    query_end = n;
-    subject_start = 0;
-    subject_end = m;
-    cigar = Cigar.of_ops !ops;
-  }
+  let result =
+    {
+      Alignment.score = get h n m;
+      mode = Global;
+      query_start = 0;
+      query_end = n;
+      subject_start = 0;
+      subject_end = m;
+      cigar = Cigar.of_rev_op_codes ops !nops;
+    }
+  in
+  Scratch.release ws ops;
+  Array.iter (Scratch.release ws) h;
+  Array.iter (Scratch.release ws) e;
+  Array.iter (Scratch.release ws) f;
+  result

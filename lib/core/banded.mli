@@ -12,21 +12,24 @@ val min_band : query_len:int -> subject_len:int -> int
     (n,m), i.e. at least |n − m|. *)
 
 val score_only :
+  ?ws:Scratch.t ->
   Anyseq_scoring.Scheme.t ->
   band:int ->
   query:Anyseq_bio.Sequence.view ->
   subject:Anyseq_bio.Sequence.view ->
   Types.ends
-(** Global score within the band. Raises [Invalid_argument] when
-    [band < min_band]. *)
+(** Global score within the band; [?ws] pools the four band strips.
+    Raises [Invalid_argument] when [band < min_band]. *)
 
 val align :
+  ?ws:Scratch.t ->
   Anyseq_scoring.Scheme.t ->
   band:int ->
   query:Anyseq_bio.Sequence.t ->
   subject:Anyseq_bio.Sequence.t ->
   Anyseq_bio.Alignment.t
-(** Global alignment with traceback, O((n+1)·(2·band+1)) space. *)
+(** Global alignment with traceback, O((n+1)·(2·band+1)) space; [?ws]
+    pools the per-row strips and the traceback op buffer. *)
 
 val cells : band:int -> query_len:int -> subject_len:int -> int
 (** Number of DP cells actually relaxed — for banded GCUPS accounting. *)

@@ -20,8 +20,10 @@ let e_open_bit = 4
 let f_open_bit = 8
 
 (* Fills H/E rows in linear space but records predecessor bytes densely.
-   Returns (ends, preds, n, m). *)
-let fill (scheme : Scheme.t) mode ~(query : Sequence.view) ~(subject : Sequence.view) =
+   Returns (ends, preds, n, m). The predecessor buffer comes from [ws]
+   (dirty is fine: every cell in [0,n] x [0,m] is written below) and must
+   be released by the caller; the H/E rows are released here. *)
+let fill ~ws (scheme : Scheme.t) mode ~(query : Sequence.view) ~(subject : Sequence.view) =
   let n = query.Sequence.len and m = subject.Sequence.len in
   if (n + 1) * (m + 1) > max_cells then
     invalid_arg "Dp_full: problem too large; use the Hirschberg engine";
@@ -29,10 +31,12 @@ let fill (scheme : Scheme.t) mode ~(query : Sequence.view) ~(subject : Sequence.
   let sigma = Scheme.subst_score scheme in
   let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
   let width = m + 1 in
-  let preds = Bytes.make ((n + 1) * width) '\000' in
+  let preds = Scratch.acquire_bytes ws ((n + 1) * width) in
   let setp i j b = Bytes.unsafe_set preds ((i * width) + j) (Char.unsafe_chr b) in
-  let hrow = Array.make width 0 in
-  let erow = Array.make width neg_inf in
+  let hrow = Scratch.acquire ws width in
+  let erow = Scratch.acquire ws width in
+  Array.fill hrow 0 width 0;
+  Array.fill erow 0 width neg_inf;
   let tracker = Accessors.max_tracker () in
   let q_at = query.Sequence.at and s_at = subject.Sequence.at in
   setp 0 0 h_start;
@@ -102,18 +106,34 @@ let fill (scheme : Scheme.t) mode ~(query : Sequence.view) ~(subject : Sequence.
         done;
         tracker.Accessors.current ()
   in
+  Scratch.release ws hrow;
+  Scratch.release ws erow;
   (ends, preds, n, m)
 
-let score_only scheme mode ~query ~subject =
-  let ends, _, _, _ = fill scheme mode ~query ~subject in
+let score_only ?ws scheme mode ~query ~subject =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
+  let ends, preds, _, _ = fill ~ws scheme mode ~query ~subject in
+  Scratch.release_bytes ws preds;
   ends
 
-let align (scheme : Scheme.t) mode ~query ~subject =
+let align ?ws (scheme : Scheme.t) mode ~query ~subject =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
   let qv = Sequence.view query and sv = Sequence.view subject in
-  let ends, preds, _n, m = fill scheme mode ~query:qv ~subject:sv in
+  let ends, preds, n, m = fill ~ws scheme mode ~query:qv ~subject:sv in
   let width = m + 1 in
   let getp i j = Char.code (Bytes.unsafe_get preds ((i * width) + j)) in
-  let ops = ref [] in
+  (* Opcode pushes go into a pooled buffer in backward-walk order; a path
+     visits at most n + m cells. *)
+  let c_match = Cigar.op_to_code Cigar.Match
+  and c_mismatch = Cigar.op_to_code Cigar.Mismatch
+  and c_ins = Cigar.op_to_code Cigar.Ins
+  and c_del = Cigar.op_to_code Cigar.Del in
+  let ops = Scratch.acquire ws (n + m + 1) in
+  let k = ref 0 in
+  let push c =
+    ops.(!k) <- c;
+    incr k
+  in
   let rec walk i j state =
     let b = getp i j in
     match state with
@@ -122,18 +142,23 @@ let align (scheme : Scheme.t) mode ~query ~subject =
         | x when x = h_start -> (i, j)
         | x when x = h_diag ->
             let q = Sequence.get query (i - 1) and s = Sequence.get subject (j - 1) in
-            ops := (if q = s then Cigar.Match else Cigar.Mismatch) :: !ops;
+            push (if q = s then c_match else c_mismatch);
             walk (i - 1) (j - 1) `M
         | x when x = h_e -> walk i j `E
         | _ -> walk i j `F)
     | `E ->
-        ops := Cigar.Ins :: !ops;
+        push c_ins;
         if b land e_open_bit <> 0 then walk (i - 1) j `M else walk (i - 1) j `E
     | `F ->
-        ops := Cigar.Del :: !ops;
+        push c_del;
         if b land f_open_bit <> 0 then walk i (j - 1) `M else walk i (j - 1) `F
   in
-  if mode = Local && ends.score = 0 then
+  let release_all () =
+    Scratch.release ws ops;
+    Scratch.release_bytes ws preds
+  in
+  if mode = Local && ends.score = 0 then begin
+    release_all ();
     {
       Alignment.score = 0;
       mode;
@@ -143,8 +168,11 @@ let align (scheme : Scheme.t) mode ~query ~subject =
       subject_end = 0;
       cigar = Cigar.empty;
     }
+  end
   else begin
     let qs, ss = walk ends.query_end ends.subject_end `M in
+    let cigar = Cigar.of_rev_op_codes ops !k in
+    release_all ();
     let result =
       {
         Alignment.score = ends.score;
@@ -153,7 +181,7 @@ let align (scheme : Scheme.t) mode ~query ~subject =
         query_end = ends.query_end;
         subject_start = ss;
         subject_end = ends.subject_end;
-        cigar = Cigar.of_ops !ops;
+        cigar;
       }
     in
     if mode = Local then Alignment.trim_boundary_gaps result else result

@@ -3,12 +3,17 @@
     The fast path for short-pair workloads (Fig. 5b: 150 bp reads): one byte
     of predecessor information per cell makes the traceback a pointer walk
     instead of a recompute, at O(nm) bytes — fine for reads, prohibitive for
-    genomes (which use {!Hirschberg}). *)
+    genomes (which use {!Hirschberg}).
+
+    [?ws] pools the predecessor matrix, the DP rows and the traceback op
+    buffer; a warmed arena makes [align] allocate only the CIGAR run list
+    and the alignment record. *)
 
 val max_cells : int
 (** Allocation guard (256 M cells ≈ 256 MB of predecessor bytes). *)
 
 val score_only :
+  ?ws:Scratch.t ->
   Anyseq_scoring.Scheme.t ->
   Types.mode ->
   query:Anyseq_bio.Sequence.view ->
@@ -16,6 +21,7 @@ val score_only :
   Types.ends
 
 val align :
+  ?ws:Scratch.t ->
   Anyseq_scoring.Scheme.t ->
   Types.mode ->
   query:Anyseq_bio.Sequence.t ->

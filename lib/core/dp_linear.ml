@@ -6,20 +6,32 @@ open Types
 
 let cells ~(query : Sequence.view) ~(subject : Sequence.view) = query.len * subject.len
 
-let materialize_codes (v : Sequence.view) = Array.init v.Sequence.len v.Sequence.at
+(* Subject codes into a pooled buffer; prefix [0, len) is valid. *)
+let pooled_codes ws (v : Sequence.view) =
+  let a = Scratch.acquire ws (max 1 v.Sequence.len) in
+  let at = v.Sequence.at in
+  for i = 0 to v.Sequence.len - 1 do
+    Array.unsafe_set a i (at i)
+  done;
+  a
 
 (* Specialized hot loop: corner-rule (no best tracking), no zero-clamping,
    simple match/mismatch substitution — the configuration of the paper's
    headline long-genome benchmarks.  This is the hand-written equivalent of
    what AnyDSL's partial evaluator emits for that configuration; the
    generic [sweep] below stays the single source of truth for every other
-   combination, and the test suite keeps them in agreement. *)
-let sweep_fast ~match_ ~mismatch ~free_start ~tb ~go ~ge ~(query : Sequence.view)
+   combination, and the test suite keeps them in agreement.
+
+   Rows come out of the workspace arena dirty and oversized; every slot in
+   [0, m] is initialized below and callers must release (or copy) them. *)
+let sweep_fast ~ws ~match_ ~mismatch ~free_start ~tb ~go ~ge ~(query : Sequence.view)
     ~(subject : Sequence.view) =
   let n = query.Sequence.len and m = subject.Sequence.len in
-  let scodes = materialize_codes subject in
-  let hrow = Array.make (m + 1) 0 in
-  let erow = Array.make (m + 1) neg_inf in
+  let scodes = pooled_codes ws subject in
+  let hrow = Scratch.acquire ws (m + 1) in
+  let erow = Scratch.acquire ws (m + 1) in
+  Array.fill hrow 0 (m + 1) 0;
+  Array.fill erow 0 (m + 1) neg_inf;
   if not free_start then
     for j = 1 to m do
       hrow.(j) <- -(go + (j * ge))
@@ -52,20 +64,23 @@ let sweep_fast ~match_ ~mismatch ~free_start ~tb ~go ~ge ~(query : Sequence.view
     in
     go 1 hdiag0 neg_inf border
   done;
+  Scratch.release ws scodes;
   (hrow, erow)
 
 (* One pass over the matrix keeping a single H row, a single E row and a
    scalar F.  [tb] overrides the vertical gap-open cost on column 0 (Go
    otherwise); used by last_rows for Myers-Miller.  Calls [note] on every
    cell including the borders. *)
-let sweep (scheme : Scheme.t) ~free_start ~clamp_zero ~tb ~(query : Sequence.view)
+let sweep ~ws (scheme : Scheme.t) ~free_start ~clamp_zero ~tb ~(query : Sequence.view)
     ~(subject : Sequence.view) ~(note : int -> int -> int -> unit) =
   let n = query.Sequence.len and m = subject.Sequence.len in
   let sigma = Scheme.subst_score scheme in
   let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
-  let scodes = materialize_codes subject in
-  let hrow = Array.make (m + 1) 0 in
-  let erow = Array.make (m + 1) neg_inf in
+  let scodes = pooled_codes ws subject in
+  let hrow = Scratch.acquire ws (m + 1) in
+  let erow = Scratch.acquire ws (m + 1) in
+  Array.fill hrow 0 (m + 1) 0;
+  Array.fill erow 0 (m + 1) neg_inf;
   let q_at = query.Sequence.at in
   (* Row 0. *)
   hrow.(0) <- 0;
@@ -95,41 +110,50 @@ let sweep (scheme : Scheme.t) ~free_start ~clamp_zero ~tb ~(query : Sequence.vie
       note best i j
     done
   done;
+  Scratch.release ws scodes;
   (hrow, erow)
 
-let corner_rows (scheme : Scheme.t) ~free_start ~tb ~query ~subject =
+let corner_rows ~ws (scheme : Scheme.t) ~free_start ~tb ~query ~subject =
   match Substitution.as_simple scheme.Scheme.subst with
   | Some (match_, mismatch) ->
-      sweep_fast ~match_ ~mismatch ~free_start ~tb
+      sweep_fast ~ws ~match_ ~mismatch ~free_start ~tb
         ~go:(Gaps.open_cost scheme.Scheme.gap)
         ~ge:(Gaps.extend_cost scheme.Scheme.gap)
         ~query ~subject
   | None ->
-      sweep scheme ~free_start ~clamp_zero:false ~tb ~query ~subject
+      sweep ~ws scheme ~free_start ~clamp_zero:false ~tb ~query ~subject
         ~note:(fun _ _ _ -> ())
 
-let score_variant scheme (v : variant) ~query ~subject =
+let release_rows ws (hrow, erow) =
+  Scratch.release ws hrow;
+  Scratch.release ws erow
+
+let score_variant ?ws scheme (v : variant) ~query ~subject =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
   let n = query.Sequence.len and m = subject.Sequence.len in
   match v.best with
   | Corner ->
-      let hrow, _ =
-        corner_rows scheme ~free_start:v.free_start
+      let ((hrow, _) as rows) =
+        corner_rows ~ws scheme ~free_start:v.free_start
           ~tb:(Gaps.open_cost scheme.Scheme.gap) ~query ~subject
       in
-      { score = hrow.(m); query_end = n; subject_end = m }
+      let ends = { score = hrow.(m); query_end = n; subject_end = m } in
+      release_rows ws rows;
+      ends
   | All_cells ->
       let tracker = Accessors.max_tracker () in
-      let _ =
-        sweep scheme ~free_start:v.free_start ~clamp_zero:v.clamp_zero
+      let rows =
+        sweep ~ws scheme ~free_start:v.free_start ~clamp_zero:v.clamp_zero
           ~tb:(Gaps.open_cost scheme.Scheme.gap) ~query ~subject
           ~note:tracker.Accessors.note
       in
+      release_rows ws rows;
       tracker.Accessors.current ()
   | Last_row_col ->
       let tracker = Accessors.max_tracker () in
       let note score i j = if j = m then tracker.Accessors.note score i j in
-      let hrow, _ =
-        sweep scheme ~free_start:v.free_start ~clamp_zero:v.clamp_zero
+      let ((hrow, _) as rows) =
+        sweep ~ws scheme ~free_start:v.free_start ~clamp_zero:v.clamp_zero
           ~tb:(Gaps.open_cost scheme.Scheme.gap) ~query ~subject ~note
       in
       (* Last row.  The reference scans column m (i ascending) then row n
@@ -138,13 +162,20 @@ let score_variant scheme (v : variant) ~query ~subject =
       for j = 0 to m do
         tracker.Accessors.note hrow.(j) n j
       done;
+      release_rows ws rows;
       tracker.Accessors.current ()
 
-let score_only scheme mode ~query ~subject =
-  score_variant scheme (variant_of_mode mode) ~query ~subject
+let score_only ?ws scheme mode ~query ~subject =
+  score_variant ?ws scheme (variant_of_mode mode) ~query ~subject
 
-let last_rows scheme ~tb ~query ~subject =
-  let hrow, erow = corner_rows scheme ~free_start:false ~tb ~query ~subject in
+let last_rows ?ws scheme ~tb ~query ~subject =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
+  let m = subject.Sequence.len in
+  let ((ph, pe) as rows) = corner_rows ~ws scheme ~free_start:false ~tb ~query ~subject in
+  (* Exact-length copies keep the documented contract (and let callers own
+     the arrays); the O(nm) sweep above dwarfs this O(m) copy. *)
+  let hrow = Array.sub ph 0 (m + 1) and erow = Array.sub pe 0 (m + 1) in
+  release_rows ws rows;
   (* E(n, 0): the all-vertical-gap column, open charged at tb. *)
   let n = query.Sequence.len in
   let ge = Gaps.extend_cost scheme.Scheme.gap in

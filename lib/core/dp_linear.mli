@@ -4,9 +4,15 @@
     This is the workhorse scalar kernel: O(m) memory, O(nm) time, all modes,
     linear and affine gaps (linear is Gotoh with Go = 0 — identical
     recurrences, one code path, exactly the kind of unification partial
-    evaluation makes free). *)
+    evaluation makes free).
+
+    All entry points take an optional [?ws] workspace arena; when given,
+    every internal row and code buffer is checked out of it and returned
+    before the call ends, so warmed steady-state calls allocate only the
+    result record. Without [?ws] a private arena is created per call. *)
 
 val score_only :
+  ?ws:Scratch.t ->
   Anyseq_scoring.Scheme.t ->
   Types.mode ->
   query:Anyseq_bio.Sequence.view ->
@@ -15,6 +21,7 @@ val score_only :
 (** Optimum score and its end cell. *)
 
 val score_variant :
+  ?ws:Scratch.t ->
   Anyseq_scoring.Scheme.t ->
   Types.variant ->
   query:Anyseq_bio.Sequence.view ->
@@ -24,6 +31,7 @@ val score_variant :
     the linear-space tracebacks). *)
 
 val last_rows :
+  ?ws:Scratch.t ->
   Anyseq_scoring.Scheme.t ->
   tb:int ->
   query:Anyseq_bio.Sequence.view ->
@@ -33,7 +41,8 @@ val last_rows :
     (global) DP — the forward half of Myers–Miller. [tb] is the opening
     cost of a {e vertical} gap running along column 0 (the boundary-merged
     gap cost of the divide-and-conquer recursion); horizontal gaps always
-    open at the scheme's Go. Arrays have length [m + 1]. *)
+    open at the scheme's Go. Arrays have length [m + 1] and are owned by
+    the caller (never pooled), whatever [?ws] is. *)
 
 val cells : query:Anyseq_bio.Sequence.view -> subject:Anyseq_bio.Sequence.view -> int
 (** n·m — the cell count GCUPS figures are based on. *)

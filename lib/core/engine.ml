@@ -14,27 +14,27 @@ type align_backend =
 
 let auto_full_matrix_limit = 1 lsl 20
 
-let score ?(backend = Scalar) scheme mode ~query ~subject =
+let score ?ws ?(backend = Scalar) scheme mode ~query ~subject =
   let qv = Sequence.view query and sv = Sequence.view subject in
   match backend with
-  | Scalar -> Dp_linear.score_only scheme mode ~query:qv ~subject:sv
+  | Scalar -> Dp_linear.score_only ?ws scheme mode ~query:qv ~subject:sv
   | Tiled { tile } -> Tiling.score_only scheme mode ~tile ~query:qv ~subject:sv
-  | Full -> Dp_full.score_only scheme mode ~query:qv ~subject:sv
+  | Full -> Dp_full.score_only ?ws scheme mode ~query:qv ~subject:sv
   | Banded { band } ->
       if mode <> Types.Global then
         invalid_arg "Engine.score: banded backend supports global mode only";
-      Banded.score_only scheme ~band ~query:qv ~subject:sv
+      Banded.score_only ?ws scheme ~band ~query:qv ~subject:sv
 
-let align ?(backend = Auto) scheme mode ~query ~subject =
+let align ?ws ?(backend = Auto) scheme mode ~query ~subject =
   match backend with
   | Auto ->
       let cells = (Sequence.length query + 1) * (Sequence.length subject + 1) in
-      if cells <= auto_full_matrix_limit then Dp_full.align scheme mode ~query ~subject
-      else Hirschberg.align scheme mode ~query ~subject
-  | Full_matrix -> Dp_full.align scheme mode ~query ~subject
+      if cells <= auto_full_matrix_limit then Dp_full.align ?ws scheme mode ~query ~subject
+      else Hirschberg.align ?ws scheme mode ~query ~subject
+  | Full_matrix -> Dp_full.align ?ws scheme mode ~query ~subject
   | Linear_space { cutoff_cells } ->
-      Hirschberg.align ~cutoff_cells scheme mode ~query ~subject
+      Hirschberg.align ~cutoff_cells ?ws scheme mode ~query ~subject
   | Banded_align { band } ->
       if mode <> Types.Global then
         invalid_arg "Engine.align: banded backend supports global mode only";
-      Banded.align scheme ~band ~query ~subject
+      Banded.align ?ws scheme ~band ~query ~subject

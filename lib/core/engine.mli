@@ -21,6 +21,7 @@ val auto_full_matrix_limit : int
 (** Cell threshold below which [Auto] picks the dense engine (1 M cells). *)
 
 val score :
+  ?ws:Scratch.t ->
   ?backend:score_backend ->
   Anyseq_scoring.Scheme.t ->
   Types.mode ->
@@ -28,13 +29,16 @@ val score :
   subject:Anyseq_bio.Sequence.t ->
   Types.ends
 (** Optimal score (default backend: [Scalar]). [Banded] requires
-    [Global] mode and raises [Invalid_argument] otherwise. *)
+    [Global] mode and raises [Invalid_argument] otherwise. [?ws] pools
+    the DP workspaces of the scalar/full/banded engines. *)
 
 val align :
+  ?ws:Scratch.t ->
   ?backend:align_backend ->
   Anyseq_scoring.Scheme.t ->
   Types.mode ->
   query:Anyseq_bio.Sequence.t ->
   subject:Anyseq_bio.Sequence.t ->
   Anyseq_bio.Alignment.t
-(** Optimal alignment with traceback (default [Auto]). *)
+(** Optimal alignment with traceback (default [Auto]); [?ws] as in
+    {!score}. *)

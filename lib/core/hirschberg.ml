@@ -36,14 +36,20 @@ let repeat_op op k = Cigar.of_runs [ (k, op) ]
    a leading vertical gap (hugging column 0) opens at [tb]; a trailing
    vertical gap (ending at the last cell) opens at [te].  Returns the
    transcript only — scores are re-derived by the caller. *)
-let small_cigar (scheme : Scheme.t) ~tb ~te ~(query : Sequence.view)
+let small_cigar ~ws (scheme : Scheme.t) ~tb ~te ~(query : Sequence.view)
     ~(subject : Sequence.view) =
   let n = query.Sequence.len and m = subject.Sequence.len in
   let sigma = Scheme.subst_score scheme in
   let go = Gaps.open_cost scheme.gap and ge = Gaps.extend_cost scheme.gap in
-  let h = Array.make_matrix (n + 1) (m + 1) 0 in
-  let e = Array.make_matrix (n + 1) (m + 1) neg_inf in
-  let f = Array.make_matrix (n + 1) (m + 1) neg_inf in
+  let matrix fill_v =
+    Array.init (n + 1) (fun _ ->
+        let row = Scratch.acquire ws (m + 1) in
+        Array.fill row 0 (m + 1) fill_v;
+        row)
+  in
+  let h = matrix 0 in
+  let e = matrix neg_inf in
+  let f = matrix neg_inf in
   for i = 1 to n do
     h.(i).(0) <- -(tb + (i * ge));
     e.(i).(0) <- -(tb + (i * ge))
@@ -64,7 +70,16 @@ let small_cigar (scheme : Scheme.t) ~tb ~te ~(query : Sequence.view)
       h.(i).(j) <- max diag (max ev fv)
     done
   done;
-  let ops = ref [] in
+  let ops = Scratch.acquire ws (n + m + 1) in
+  let nops = ref 0 in
+  let push c =
+    ops.(!nops) <- c;
+    incr nops
+  in
+  let c_match = Cigar.op_to_code Cigar.Match
+  and c_mismatch = Cigar.op_to_code Cigar.Mismatch
+  and c_ins = Cigar.op_to_code Cigar.Ins
+  and c_del = Cigar.op_to_code Cigar.Del in
   let rec walk i j state =
     match state with
     | `M ->
@@ -76,25 +91,30 @@ let small_cigar (scheme : Scheme.t) ~tb ~te ~(query : Sequence.view)
                + sigma (query.Sequence.at (i - 1)) (subject.Sequence.at (j - 1))
         then begin
           let q = query.Sequence.at (i - 1) and s = subject.Sequence.at (j - 1) in
-          ops := (if q = s then Cigar.Match else Cigar.Mismatch) :: !ops;
+          push (if q = s then c_match else c_mismatch);
           walk (i - 1) (j - 1) `M
         end
         else if i > 0 && h.(i).(j) = e.(i).(j) then walk i j `E
         else if j > 0 && h.(i).(j) = f.(i).(j) then walk i j `F
         else assert false
     | `E ->
-        ops := Cigar.Ins :: !ops;
+        push c_ins;
         if i = 1 || e.(i).(j) = h.(i - 1).(j) - go - ge then walk (i - 1) j `M
         else walk (i - 1) j `E
     | `F ->
-        ops := Cigar.Del :: !ops;
+        push c_del;
         if j = 1 || f.(i).(j) = h.(i).(j - 1) - go - ge then walk i (j - 1) `M
         else walk i (j - 1) `F
   in
   (* A trailing vertical gap is effectively charged [te] instead of [go]:
      when that makes the E-channel win, start the walk in state E. *)
   if n > 0 && m >= 0 && e.(n).(m) + go - te > h.(n).(m) then walk n m `E else walk n m `M;
-  Cigar.of_ops !ops
+  let cigar = Cigar.of_rev_op_codes ops !nops in
+  Scratch.release ws ops;
+  Array.iter (Scratch.release ws) h;
+  Array.iter (Scratch.release ws) e;
+  Array.iter (Scratch.release ws) f;
+  cigar
 
 (* Closed-form single-row case (Myers-Miller's base): either the lone query
    character is gap-aligned (the gap merges with the cheaper boundary), or
@@ -133,14 +153,14 @@ type last_rows_fn =
   subject:Sequence.view ->
   int array * int array
 
-let rec mm (scheme : Scheme.t) ~cutoff ~(last_rows : last_rows_fn) ~tb ~te
+let rec mm ~ws (scheme : Scheme.t) ~cutoff ~(last_rows : last_rows_fn) ~tb ~te
     (query : Sequence.view) (subject : Sequence.view) =
   let n = query.Sequence.len and m = subject.Sequence.len in
   let go = Gaps.open_cost scheme.Scheme.gap in
   if n = 0 then repeat_op Cigar.Del m
   else if m = 0 then repeat_op Cigar.Ins n
   else if n = 1 then one_row_cigar scheme ~tb ~te ~query ~subject
-  else if (n + 1) * (m + 1) <= cutoff then small_cigar scheme ~tb ~te ~query ~subject
+  else if (n + 1) * (m + 1) <= cutoff then small_cigar ~ws scheme ~tb ~te ~query ~subject
   else begin
     let mid = n / 2 in
     let q_top = Sequence.subview query ~pos:0 ~len:mid in
@@ -173,26 +193,34 @@ let rec mm (scheme : Scheme.t) ~cutoff ~(last_rows : last_rows_fn) ~tb ~te
     let s_right = Sequence.subview subject ~pos:j ~len:(m - j) in
     match !best_type with
     | `A ->
-        let left = mm scheme ~cutoff ~last_rows ~tb ~te:go q_top s_left in
-        let right = mm scheme ~cutoff ~last_rows ~tb:go ~te q_bot s_right in
+        let left = mm ~ws scheme ~cutoff ~last_rows ~tb ~te:go q_top s_left in
+        let right = mm ~ws scheme ~cutoff ~last_rows ~tb:go ~te q_bot s_right in
         Cigar.concat left right
     | `B ->
         (* The crossing gap consumes query chars mid-1 and mid; the halves
            around it get a free open on the shared boundary. *)
         let q_above = Sequence.subview query ~pos:0 ~len:(mid - 1) in
         let q_below = Sequence.subview query ~pos:(mid + 1) ~len:(n - mid - 1) in
-        let left = mm scheme ~cutoff ~last_rows ~tb ~te:0 q_above s_left in
-        let right = mm scheme ~cutoff ~last_rows ~tb:0 ~te q_below s_right in
+        let left = mm ~ws scheme ~cutoff ~last_rows ~tb ~te:0 q_above s_left in
+        let right = mm ~ws scheme ~cutoff ~last_rows ~tb:0 ~te q_below s_right in
         Cigar.concat (Cigar.concat left (repeat_op Cigar.Ins 2)) right
   end
 
-let global_cigar ?(cutoff_cells = default_cutoff_cells)
-    ?(last_rows = Dp_linear.last_rows) scheme ~query ~subject =
-  let go = Gaps.open_cost scheme.Scheme.gap in
-  mm scheme ~cutoff:(max 1 cutoff_cells) ~last_rows ~tb:go ~te:go query subject
+let default_last_rows ws : last_rows_fn =
+ fun scheme ~tb ~query ~subject -> Dp_linear.last_rows ~ws scheme ~tb ~query ~subject
 
-let align ?(cutoff_cells = default_cutoff_cells) ?last_rows (scheme : Scheme.t) mode
+let global_cigar ?(cutoff_cells = default_cutoff_cells) ?last_rows ?ws scheme ~query
+    ~subject =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
+  let last_rows =
+    match last_rows with Some f -> f | None -> default_last_rows ws
+  in
+  let go = Gaps.open_cost scheme.Scheme.gap in
+  mm ~ws scheme ~cutoff:(max 1 cutoff_cells) ~last_rows ~tb:go ~te:go query subject
+
+let align ?(cutoff_cells = default_cutoff_cells) ?last_rows ?ws (scheme : Scheme.t) mode
     ~query ~subject =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
   let qv = Sequence.view query and sv = Sequence.view subject in
   let make ~qs ~ss ~qe ~se cigar =
     let qwin = Sequence.subview qv ~pos:qs ~len:(qe - qs) in
@@ -210,38 +238,44 @@ let align ?(cutoff_cells = default_cutoff_cells) ?last_rows (scheme : Scheme.t) 
   in
   match mode with
   | Global ->
-      let cigar = global_cigar ~cutoff_cells ?last_rows scheme ~query:qv ~subject:sv in
+      let cigar =
+        global_cigar ~cutoff_cells ?last_rows ~ws scheme ~query:qv ~subject:sv
+      in
       make ~qs:0 ~ss:0 ~qe:(Sequence.length query) ~se:(Sequence.length subject) cigar
   | Local ->
-      let fwd = Dp_linear.score_only scheme Local ~query:qv ~subject:sv in
+      let fwd = Dp_linear.score_only ~ws scheme Local ~query:qv ~subject:sv in
       if fwd.score = 0 then
         make ~qs:0 ~ss:0 ~qe:0 ~se:0 Cigar.empty
       else begin
         let qpre = Sequence.subview qv ~pos:0 ~len:fwd.query_end in
         let spre = Sequence.subview sv ~pos:0 ~len:fwd.subject_end in
         let rev =
-          Dp_linear.score_variant scheme local_reverse ~query:(Sequence.rev_view qpre)
-            ~subject:(Sequence.rev_view spre)
+          Dp_linear.score_variant ~ws scheme local_reverse
+            ~query:(Sequence.rev_view qpre) ~subject:(Sequence.rev_view spre)
         in
         let qs = fwd.query_end - rev.query_end
         and ss = fwd.subject_end - rev.subject_end in
         let qwin = Sequence.subview qv ~pos:qs ~len:(fwd.query_end - qs) in
         let swin = Sequence.subview sv ~pos:ss ~len:(fwd.subject_end - ss) in
-        let cigar = global_cigar ~cutoff_cells ?last_rows scheme ~query:qwin ~subject:swin in
+        let cigar =
+          global_cigar ~cutoff_cells ?last_rows ~ws scheme ~query:qwin ~subject:swin
+        in
         Alignment.trim_boundary_gaps
           (make ~qs ~ss ~qe:fwd.query_end ~se:fwd.subject_end cigar)
       end
   | Semiglobal ->
-      let fwd = Dp_linear.score_only scheme Semiglobal ~query:qv ~subject:sv in
+      let fwd = Dp_linear.score_only ~ws scheme Semiglobal ~query:qv ~subject:sv in
       let qpre = Sequence.subview qv ~pos:0 ~len:fwd.query_end in
       let spre = Sequence.subview sv ~pos:0 ~len:fwd.subject_end in
       let rev =
-        Dp_linear.score_variant scheme semiglobal_reverse
+        Dp_linear.score_variant ~ws scheme semiglobal_reverse
           ~query:(Sequence.rev_view qpre) ~subject:(Sequence.rev_view spre)
       in
       let qs = fwd.query_end - rev.query_end
       and ss = fwd.subject_end - rev.subject_end in
       let qwin = Sequence.subview qv ~pos:qs ~len:(fwd.query_end - qs) in
       let swin = Sequence.subview sv ~pos:ss ~len:(fwd.subject_end - ss) in
-      let cigar = global_cigar ~cutoff_cells ?last_rows scheme ~query:qwin ~subject:swin in
+      let cigar =
+        global_cigar ~cutoff_cells ?last_rows ~ws scheme ~query:qwin ~subject:swin
+      in
       make ~qs ~ss ~qe:fwd.query_end ~se:fwd.subject_end cigar

@@ -27,6 +27,7 @@ type last_rows_fn =
 val align :
   ?cutoff_cells:int ->
   ?last_rows:last_rows_fn ->
+  ?ws:Scratch.t ->
   Anyseq_scoring.Scheme.t ->
   Types.mode ->
   query:Anyseq_bio.Sequence.t ->
@@ -35,11 +36,14 @@ val align :
 (** [last_rows] defaults to {!Dp_linear.last_rows}; passing a different
     provider changes the execution mapping of the O(nm) passes without
     touching the recursion (sub-problems below [cutoff_cells] always use
-    the dense CPU base case). *)
+    the dense CPU base case). [?ws] pools the score-pass rows and the
+    base-case matrices; a custom [last_rows] that wants pooling must
+    close over its own arena. *)
 
 val global_cigar :
   ?cutoff_cells:int ->
   ?last_rows:last_rows_fn ->
+  ?ws:Scratch.t ->
   Anyseq_scoring.Scheme.t ->
   query:Anyseq_bio.Sequence.view ->
   subject:Anyseq_bio.Sequence.view ->

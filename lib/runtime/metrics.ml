@@ -134,6 +134,16 @@ let reset t =
               Atomic.set h.h_max 0)
         t.tbl)
 
+(* GC visibility: [Gc.quick_stat] reads the live counters without walking
+   the heap, so hosts can refresh these gauges at every dump point. The
+   word counts saturate into an int (they are floats in [Gc.stat] only
+   because 32-bit platforms overflow — irrelevant on 64-bit). *)
+let record_gc t =
+  let s = Gc.quick_stat () in
+  gauge_set t "gc/minor_words" (int_of_float s.Gc.minor_words);
+  gauge_set t "gc/major_collections" s.Gc.major_collections;
+  gauge_set t "gc/heap_words" s.Gc.heap_words
+
 (* Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; registry
    names use '/' as a namespace separator, which maps to '_'. *)
 let prom_name name =

@@ -43,6 +43,13 @@ val hist_quantile : histogram -> float -> float
 val find : t -> string -> int option
 (** Current value of a counter or gauge by name (for tests and tools). *)
 
+val record_gc : t -> unit
+(** Refresh the GC gauges — [gc/minor_words], [gc/major_collections],
+    [gc/heap_words] — from [Gc.quick_stat] (cheap; no heap traversal).
+    Hosts call this wherever they snapshot the registry so allocation
+    pressure shows up in {!dump} and {!dump_prometheus} next to the
+    runtime's own counters. *)
+
 val reset : t -> unit
 (** Zero every instrument (keeps registrations). *)
 

@@ -3,12 +3,18 @@ module Gaps = Anyseq_bio.Gaps
 module Alphabet = Anyseq_bio.Alphabet
 module Substitution = Anyseq_bio.Substitution
 module Seq = Anyseq_bio.Sequence
+module Alignment = Anyseq_bio.Alignment
+module Cigar = Anyseq_bio.Cigar
+module Scratch = Anyseq_core.Scratch
+module Engine = Anyseq_core.Engine
+module Hirschberg = Anyseq_core.Hirschberg
 open Anyseq_core.Types
 
 type t = {
   nk_scheme : Scheme.t;
   nk_mode : mode;
-  score : query:Seq.view -> subject:Seq.view -> ends;
+  score : ws:Scratch.t -> query:Seq.t -> subject:Seq.t -> ends;
+  align : ws:Scratch.t -> query:Seq.t -> subject:Seq.t -> Alignment.t;
 }
 
 (* The substitution function folded to a flat asize×asize table; one
@@ -18,66 +24,215 @@ let fold_subst scheme =
   let sigma = Scheme.subst_score scheme in
   (Array.init (asize * asize) (fun k -> sigma (k / asize) (k mod asize)), asize)
 
+(* All kernels below read sequence codes straight out of the packed
+   [Seq.t] bytes (no view closure, no materialized code array) and pull
+   their DP rows from the workspace arena. The per-row inner sweeps are
+   tail-recursive with the rolling cell state in arguments — registers,
+   not boxed refs — and live at {e top level}: a fully-applied call to a
+   top-level function allocates nothing, where a per-call [let rec]
+   closure costs a heap block per kernel invocation, which the
+   minor-words-per-alignment gate would see. *)
+
 (* ---------- linear gaps: no E/F state ---------- *)
 
-let lin_corner ~sub ~asize ~ge ~(query : Seq.view) ~(subject : Seq.view) =
-  let n = query.Seq.len and m = subject.Seq.len in
-  let scodes = Array.init m subject.Seq.at in
-  let hrow = Array.make (m + 1) 0 in
-  for j = 1 to m do
+(* One row of the linear-gap recurrence; shared by the Corner and
+   Last_row_col kernels (their sweeps are identical — only borders and
+   the final reduction differ).
+
+   Two micro-architectural choices, both value-preserving:
+
+   - Maxes are branchless: [max a b = a - (d land (d asr 62))] with
+     [d = a - b] (sign-mask selection on 63-bit ints; all operands stay
+     far inside [min_int/4], so the difference cannot wrap). The cell
+     values the DP produces are data-dependent enough that the branching
+     form mispredicts heavily in the Last_row_col and clamped sweeps.
+   - The three-way max is reassociated as
+     [max (max diag (up - ge)) (hleft - ge)]: [diag] and [up] come from
+     the previous row, so [x = max diag (up - ge)] is off the
+     loop-carried dependency chain and only the final max with
+     [hleft - ge] — 5 data-dependent ops per cell instead of 8 — sits on
+     it. Max is associative, so the stored values are unchanged.
+
+   The body is unrolled 4x with the rolling state in locals; each cell
+   computes exactly the expressions above in the same order as the
+   single-step tail, so results stay bit-identical to the generic
+   engines cell for cell. *)
+let rec lin_row sub scodes hrow ge m j hdiag hleft qrow =
+  if j + 3 <= m then begin
+    let sc = Char.code (Bytes.unsafe_get scodes (j - 1)) in
+    let up0 = Array.unsafe_get hrow j in
+    let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+    let a = up0 - ge in
+    let dx = diag - a in
+    let x = diag - (dx land (dx asr 62)) in
+    let c = hleft - ge in
+    let e = x - c in
+    let b0 = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow j b0;
+    let sc = Char.code (Bytes.unsafe_get scodes j) in
+    let up1 = Array.unsafe_get hrow (j + 1) in
+    let diag = up0 + Array.unsafe_get sub (qrow + sc) in
+    let a = up1 - ge in
+    let dx = diag - a in
+    let x = diag - (dx land (dx asr 62)) in
+    let c = b0 - ge in
+    let e = x - c in
+    let b1 = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow (j + 1) b1;
+    let sc = Char.code (Bytes.unsafe_get scodes (j + 1)) in
+    let up2 = Array.unsafe_get hrow (j + 2) in
+    let diag = up1 + Array.unsafe_get sub (qrow + sc) in
+    let a = up2 - ge in
+    let dx = diag - a in
+    let x = diag - (dx land (dx asr 62)) in
+    let c = b1 - ge in
+    let e = x - c in
+    let b2 = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow (j + 2) b2;
+    let sc = Char.code (Bytes.unsafe_get scodes (j + 2)) in
+    let up3 = Array.unsafe_get hrow (j + 3) in
+    let diag = up2 + Array.unsafe_get sub (qrow + sc) in
+    let a = up3 - ge in
+    let dx = diag - a in
+    let x = diag - (dx land (dx asr 62)) in
+    let c = b2 - ge in
+    let e = x - c in
+    let b3 = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow (j + 3) b3;
+    lin_row sub scodes hrow ge m (j + 4) up3 b3 qrow
+  end
+  else if j <= m then begin
+    let sc = Char.code (Bytes.unsafe_get scodes (j - 1)) in
+    let up = Array.unsafe_get hrow j in
+    let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+    let a = up - ge in
+    let dx = diag - a in
+    let x = diag - (dx land (dx asr 62)) in
+    let c = hleft - ge in
+    let e = x - c in
+    let best = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow j best;
+    lin_row sub scodes hrow ge m (j + 1) up best qrow
+  end
+
+(* The clamped (local) row, tracking the row's leftmost strict best. *)
+let rec lin_row_clamp sub scodes hrow ge m row_best row_best_j j hdiag hleft qrow =
+  if j + 3 <= m then begin
+    let sc = Char.code (Bytes.unsafe_get scodes (j - 1)) in
+    let up0 = Array.unsafe_get hrow j in
+    let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+    let dz = diag - (diag land (diag asr 62)) in
+    let a = up0 - ge in
+    let dx = dz - a in
+    let x = dz - (dx land (dx asr 62)) in
+    let c = hleft - ge in
+    let e = x - c in
+    let v0 = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow j v0;
+    if v0 > !row_best then begin
+      row_best := v0;
+      row_best_j := j
+    end;
+    let sc = Char.code (Bytes.unsafe_get scodes j) in
+    let up1 = Array.unsafe_get hrow (j + 1) in
+    let diag = up0 + Array.unsafe_get sub (qrow + sc) in
+    let dz = diag - (diag land (diag asr 62)) in
+    let a = up1 - ge in
+    let dx = dz - a in
+    let x = dz - (dx land (dx asr 62)) in
+    let c = v0 - ge in
+    let e = x - c in
+    let v1 = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow (j + 1) v1;
+    if v1 > !row_best then begin
+      row_best := v1;
+      row_best_j := (j + 1)
+    end;
+    let sc = Char.code (Bytes.unsafe_get scodes (j + 1)) in
+    let up2 = Array.unsafe_get hrow (j + 2) in
+    let diag = up1 + Array.unsafe_get sub (qrow + sc) in
+    let dz = diag - (diag land (diag asr 62)) in
+    let a = up2 - ge in
+    let dx = dz - a in
+    let x = dz - (dx land (dx asr 62)) in
+    let c = v1 - ge in
+    let e = x - c in
+    let v2 = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow (j + 2) v2;
+    if v2 > !row_best then begin
+      row_best := v2;
+      row_best_j := (j + 2)
+    end;
+    let sc = Char.code (Bytes.unsafe_get scodes (j + 2)) in
+    let up3 = Array.unsafe_get hrow (j + 3) in
+    let diag = up2 + Array.unsafe_get sub (qrow + sc) in
+    let dz = diag - (diag land (diag asr 62)) in
+    let a = up3 - ge in
+    let dx = dz - a in
+    let x = dz - (dx land (dx asr 62)) in
+    let c = v2 - ge in
+    let e = x - c in
+    let v3 = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow (j + 3) v3;
+    if v3 > !row_best then begin
+      row_best := v3;
+      row_best_j := (j + 3)
+    end;
+    lin_row_clamp sub scodes hrow ge m row_best row_best_j (j + 4) up3 v3 qrow
+  end
+  else if j <= m then begin
+    let sc = Char.code (Bytes.unsafe_get scodes (j - 1)) in
+    let up = Array.unsafe_get hrow j in
+    let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+    let dz = diag - (diag land (diag asr 62)) in
+    let a = up - ge in
+    let dx = dz - a in
+    let x = dz - (dx land (dx asr 62)) in
+    let c = hleft - ge in
+    let e = x - c in
+    let v = x - (e land (e asr 62)) in
+    Array.unsafe_set hrow j v;
+    if v > !row_best then begin
+      row_best := v;
+      row_best_j := j
+    end;
+    lin_row_clamp sub scodes hrow ge m row_best row_best_j (j + 1) up v qrow
+  end
+
+let lin_corner ~sub ~asize ~ge ~ws ~(query : Seq.t) ~(subject : Seq.t) =
+  let n = Seq.length query and m = Seq.length subject in
+  let qcodes = Seq.unsafe_codes query and scodes = Seq.unsafe_codes subject in
+  let hrow = Scratch.acquire ws (m + 1) in
+  for j = 0 to m do
     hrow.(j) <- -(j * ge)
   done;
-  let q_at = query.Seq.at in
   for i = 1 to n do
-    let qrow = q_at (i - 1) * asize in
+    let qrow = Char.code (Bytes.unsafe_get qcodes (i - 1)) * asize in
     let border = -(i * ge) in
     let hdiag0 = Array.unsafe_get hrow 0 in
     Array.unsafe_set hrow 0 border;
-    let rec go j hdiag hleft =
-      if j <= m then begin
-        let sc = Array.unsafe_get scodes (j - 1) in
-        let up = Array.unsafe_get hrow j in
-        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
-        let gap = (if up >= hleft then up else hleft) - ge in
-        let best = if diag >= gap then diag else gap in
-        Array.unsafe_set hrow j best;
-        go (j + 1) up best
-      end
-    in
-    go 1 hdiag0 border
+    lin_row sub scodes hrow ge m 1 hdiag0 border qrow
   done;
-  { score = hrow.(m); query_end = n; subject_end = m }
+  let ends = { score = hrow.(m); query_end = n; subject_end = m } in
+  Scratch.release ws hrow;
+  ends
 
-let lin_all ~sub ~asize ~ge ~(query : Seq.view) ~(subject : Seq.view) =
-  let n = query.Seq.len and m = subject.Seq.len in
-  let scodes = Array.init m subject.Seq.at in
-  let hrow = Array.make (m + 1) 0 in
-  let q_at = query.Seq.at in
+let lin_all ~sub ~asize ~ge ~ws ~(query : Seq.t) ~(subject : Seq.t) =
+  let n = Seq.length query and m = Seq.length subject in
+  let qcodes = Seq.unsafe_codes query and scodes = Seq.unsafe_codes subject in
+  let hrow = Scratch.acquire ws (m + 1) in
+  Array.fill hrow 0 (m + 1) 0;
   (* Borders are all 0 and noted first, so (0, 0, 0) seeds the tracker
      exactly as the generic engine's row-major strictly-greater scan does. *)
   let best_sc = ref 0 and best_i = ref 0 and best_j = ref 0 in
+  let row_best = ref 0 and row_best_j = ref 0 in
   for i = 1 to n do
-    let qrow = q_at (i - 1) * asize in
+    let qrow = Char.code (Bytes.unsafe_get qcodes (i - 1)) * asize in
     let hdiag0 = Array.unsafe_get hrow 0 in
     Array.unsafe_set hrow 0 0;
-    let row_best = ref 0 and row_best_j = ref 0 in
-    let rec go j hdiag hleft =
-      if j <= m then begin
-        let sc = Array.unsafe_get scodes (j - 1) in
-        let up = Array.unsafe_get hrow j in
-        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
-        let gap = (if up >= hleft then up else hleft) - ge in
-        let v = if diag >= gap then diag else gap in
-        let v = if v > 0 then v else 0 in
-        Array.unsafe_set hrow j v;
-        if v > !row_best then begin
-          row_best := v;
-          row_best_j := j
-        end;
-        go (j + 1) up v
-      end
-    in
-    go 1 hdiag0 0;
+    row_best := 0;
+    row_best_j := 0;
+    lin_row_clamp sub scodes hrow ge m row_best row_best_j 1 hdiag0 0 qrow;
     (* Per-row reduction preserves the row-major first-strictly-greater
        position: within a row the leftmost strict improvement wins. *)
     if !row_best > !best_sc then begin
@@ -86,32 +241,22 @@ let lin_all ~sub ~asize ~ge ~(query : Seq.view) ~(subject : Seq.view) =
       best_j := !row_best_j
     end
   done;
+  Scratch.release ws hrow;
   { score = !best_sc; query_end = !best_i; subject_end = !best_j }
 
-let lin_lastrc ~sub ~asize ~ge ~(query : Seq.view) ~(subject : Seq.view) =
-  let n = query.Seq.len and m = subject.Seq.len in
-  let scodes = Array.init m subject.Seq.at in
-  let hrow = Array.make (m + 1) 0 in
-  let q_at = query.Seq.at in
+let lin_lastrc ~sub ~asize ~ge ~ws ~(query : Seq.t) ~(subject : Seq.t) =
+  let n = Seq.length query and m = Seq.length subject in
+  let qcodes = Seq.unsafe_codes query and scodes = Seq.unsafe_codes subject in
+  let hrow = Scratch.acquire ws (m + 1) in
+  Array.fill hrow 0 (m + 1) 0;
   (* Note order of the generic engine: H(0,m), then H(i,m) for each row
      (H(i,0) when m = 0), then the last row left to right. *)
   let best_sc = ref 0 and best_i = ref 0 and best_j = ref m in
   for i = 1 to n do
-    let qrow = q_at (i - 1) * asize in
+    let qrow = Char.code (Bytes.unsafe_get qcodes (i - 1)) * asize in
     let hdiag0 = Array.unsafe_get hrow 0 in
     Array.unsafe_set hrow 0 0;
-    let rec go j hdiag hleft =
-      if j <= m then begin
-        let sc = Array.unsafe_get scodes (j - 1) in
-        let up = Array.unsafe_get hrow j in
-        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
-        let gap = (if up >= hleft then up else hleft) - ge in
-        let v = if diag >= gap then diag else gap in
-        Array.unsafe_set hrow j v;
-        go (j + 1) up v
-      end
-    in
-    go 1 hdiag0 0;
+    lin_row sub scodes hrow ge m 1 hdiag0 0 qrow;
     if hrow.(m) > !best_sc then begin
       best_sc := hrow.(m);
       best_i := i;
@@ -125,117 +270,122 @@ let lin_lastrc ~sub ~asize ~ge ~(query : Seq.view) ~(subject : Seq.view) =
       best_j := j
     end
   done;
+  Scratch.release ws hrow;
   { score = !best_sc; query_end = !best_i; subject_end = !best_j }
 
 (* ---------- affine gaps: E row + rolling F ---------- *)
 
-let aff_corner ~sub ~asize ~go:gopen ~ge ~(query : Seq.view) ~(subject : Seq.view) =
-  let n = query.Seq.len and m = subject.Seq.len in
-  let scodes = Array.init m subject.Seq.at in
-  let hrow = Array.make (m + 1) 0 in
-  let erow = Array.make (m + 1) neg_inf in
+(* One row of the Gotoh recurrence; shared by the Corner and
+   Last_row_col kernels. *)
+let rec aff_row sub scodes hrow erow ge goe m j hdiag f hleft qrow =
+  if j <= m then begin
+    let sc = Char.code (Bytes.unsafe_get scodes (j - 1)) in
+    let hj = Array.unsafe_get hrow j in
+    let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
+    let de = e_ext - e_opn in
+    let e = e_ext - (de land (de asr 62)) in
+    let f_ext = f - ge and f_opn = hleft - goe in
+    let df = f_ext - f_opn in
+    let fv = f_ext - (df land (df asr 62)) in
+    let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+    let d1 = diag - e in
+    let best = diag - (d1 land (d1 asr 62)) in
+    let d2 = best - fv in
+    let best = best - (d2 land (d2 asr 62)) in
+    Array.unsafe_set hrow j best;
+    Array.unsafe_set erow j e;
+    aff_row sub scodes hrow erow ge goe m (j + 1) hj fv best qrow
+  end
+
+let rec aff_row_clamp sub scodes hrow erow ge goe m row_best row_best_j j hdiag f hleft qrow =
+  if j <= m then begin
+    let sc = Char.code (Bytes.unsafe_get scodes (j - 1)) in
+    let hj = Array.unsafe_get hrow j in
+    let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
+    let de = e_ext - e_opn in
+    let e = e_ext - (de land (de asr 62)) in
+    let f_ext = f - ge and f_opn = hleft - goe in
+    let df = f_ext - f_opn in
+    let fv = f_ext - (df land (df asr 62)) in
+    let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+    let d1 = diag - e in
+    let best = diag - (d1 land (d1 asr 62)) in
+    let d2 = best - fv in
+    let best = best - (d2 land (d2 asr 62)) in
+    let best = best - (best land (best asr 62)) in
+    Array.unsafe_set hrow j best;
+    Array.unsafe_set erow j e;
+    if best > !row_best then begin
+      row_best := best;
+      row_best_j := j
+    end;
+    aff_row_clamp sub scodes hrow erow ge goe m row_best row_best_j (j + 1) hj fv best qrow
+  end
+
+let aff_corner ~sub ~asize ~go:gopen ~ge ~ws ~(query : Seq.t) ~(subject : Seq.t) =
+  let n = Seq.length query and m = Seq.length subject in
+  let qcodes = Seq.unsafe_codes query and scodes = Seq.unsafe_codes subject in
+  let hrow = Scratch.acquire ws (m + 1) in
+  let erow = Scratch.acquire ws (m + 1) in
+  hrow.(0) <- 0;
   for j = 1 to m do
     hrow.(j) <- -(gopen + (j * ge))
   done;
+  Array.fill erow 0 (m + 1) neg_inf;
   let goe = gopen + ge in
-  let q_at = query.Seq.at in
   for i = 1 to n do
-    let qrow = q_at (i - 1) * asize in
+    let qrow = Char.code (Bytes.unsafe_get qcodes (i - 1)) * asize in
     let border = -(gopen + (i * ge)) in
     let hdiag0 = Array.unsafe_get hrow 0 in
     Array.unsafe_set hrow 0 border;
-    let rec go j hdiag f hleft =
-      if j <= m then begin
-        let sc = Array.unsafe_get scodes (j - 1) in
-        let hj = Array.unsafe_get hrow j in
-        let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
-        let e = if e_ext >= e_opn then e_ext else e_opn in
-        let f_ext = f - ge and f_opn = hleft - goe in
-        let fv = if f_ext >= f_opn then f_ext else f_opn in
-        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
-        let best = if diag >= e then diag else e in
-        let best = if best >= fv then best else fv in
-        Array.unsafe_set hrow j best;
-        Array.unsafe_set erow j e;
-        go (j + 1) hj fv best
-      end
-    in
-    go 1 hdiag0 neg_inf border
+    aff_row sub scodes hrow erow ge goe m 1 hdiag0 neg_inf border qrow
   done;
-  { score = hrow.(m); query_end = n; subject_end = m }
+  let ends = { score = hrow.(m); query_end = n; subject_end = m } in
+  Scratch.release ws hrow;
+  Scratch.release ws erow;
+  ends
 
-let aff_all ~sub ~asize ~go:gopen ~ge ~(query : Seq.view) ~(subject : Seq.view) =
-  let n = query.Seq.len and m = subject.Seq.len in
-  let scodes = Array.init m subject.Seq.at in
-  let hrow = Array.make (m + 1) 0 in
-  let erow = Array.make (m + 1) neg_inf in
+let aff_all ~sub ~asize ~go:gopen ~ge ~ws ~(query : Seq.t) ~(subject : Seq.t) =
+  let n = Seq.length query and m = Seq.length subject in
+  let qcodes = Seq.unsafe_codes query and scodes = Seq.unsafe_codes subject in
+  let hrow = Scratch.acquire ws (m + 1) in
+  let erow = Scratch.acquire ws (m + 1) in
+  Array.fill hrow 0 (m + 1) 0;
+  Array.fill erow 0 (m + 1) neg_inf;
   let goe = gopen + ge in
-  let q_at = query.Seq.at in
   let best_sc = ref 0 and best_i = ref 0 and best_j = ref 0 in
+  let row_best = ref 0 and row_best_j = ref 0 in
   for i = 1 to n do
-    let qrow = q_at (i - 1) * asize in
+    let qrow = Char.code (Bytes.unsafe_get qcodes (i - 1)) * asize in
     let hdiag0 = Array.unsafe_get hrow 0 in
     Array.unsafe_set hrow 0 0;
-    let row_best = ref 0 and row_best_j = ref 0 in
-    let rec go j hdiag f hleft =
-      if j <= m then begin
-        let sc = Array.unsafe_get scodes (j - 1) in
-        let hj = Array.unsafe_get hrow j in
-        let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
-        let e = if e_ext >= e_opn then e_ext else e_opn in
-        let f_ext = f - ge and f_opn = hleft - goe in
-        let fv = if f_ext >= f_opn then f_ext else f_opn in
-        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
-        let best = if diag >= e then diag else e in
-        let best = if best >= fv then best else fv in
-        let best = if best > 0 then best else 0 in
-        Array.unsafe_set hrow j best;
-        Array.unsafe_set erow j e;
-        if best > !row_best then begin
-          row_best := best;
-          row_best_j := j
-        end;
-        go (j + 1) hj fv best
-      end
-    in
-    go 1 hdiag0 neg_inf 0;
+    row_best := 0;
+    row_best_j := 0;
+    aff_row_clamp sub scodes hrow erow ge goe m row_best row_best_j 1 hdiag0 neg_inf 0 qrow;
     if !row_best > !best_sc then begin
       best_sc := !row_best;
       best_i := i;
       best_j := !row_best_j
     end
   done;
+  Scratch.release ws hrow;
+  Scratch.release ws erow;
   { score = !best_sc; query_end = !best_i; subject_end = !best_j }
 
-let aff_lastrc ~sub ~asize ~go:gopen ~ge ~(query : Seq.view) ~(subject : Seq.view) =
-  let n = query.Seq.len and m = subject.Seq.len in
-  let scodes = Array.init m subject.Seq.at in
-  let hrow = Array.make (m + 1) 0 in
-  let erow = Array.make (m + 1) neg_inf in
+let aff_lastrc ~sub ~asize ~go:gopen ~ge ~ws ~(query : Seq.t) ~(subject : Seq.t) =
+  let n = Seq.length query and m = Seq.length subject in
+  let qcodes = Seq.unsafe_codes query and scodes = Seq.unsafe_codes subject in
+  let hrow = Scratch.acquire ws (m + 1) in
+  let erow = Scratch.acquire ws (m + 1) in
+  Array.fill hrow 0 (m + 1) 0;
+  Array.fill erow 0 (m + 1) neg_inf;
   let goe = gopen + ge in
-  let q_at = query.Seq.at in
   let best_sc = ref 0 and best_i = ref 0 and best_j = ref m in
   for i = 1 to n do
-    let qrow = q_at (i - 1) * asize in
+    let qrow = Char.code (Bytes.unsafe_get qcodes (i - 1)) * asize in
     let hdiag0 = Array.unsafe_get hrow 0 in
     Array.unsafe_set hrow 0 0;
-    let rec go j hdiag f hleft =
-      if j <= m then begin
-        let sc = Array.unsafe_get scodes (j - 1) in
-        let hj = Array.unsafe_get hrow j in
-        let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
-        let e = if e_ext >= e_opn then e_ext else e_opn in
-        let f_ext = f - ge and f_opn = hleft - goe in
-        let fv = if f_ext >= f_opn then f_ext else f_opn in
-        let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
-        let best = if diag >= e then diag else e in
-        let best = if best >= fv then best else fv in
-        Array.unsafe_set hrow j best;
-        Array.unsafe_set erow j e;
-        go (j + 1) hj fv best
-      end
-    in
-    go 1 hdiag0 neg_inf 0;
+    aff_row sub scodes hrow erow ge goe m 1 hdiag0 neg_inf 0 qrow;
     if hrow.(m) > !best_sc then begin
       best_sc := hrow.(m);
       best_i := i;
@@ -249,23 +399,258 @@ let aff_lastrc ~sub ~asize ~go:gopen ~ge ~(query : Seq.view) ~(subject : Seq.vie
       best_j := j
     end
   done;
+  Scratch.release ws hrow;
+  Scratch.release ws erow;
   { score = !best_sc; query_end = !best_i; subject_end = !best_j }
+
+(* ---------- traceback residuals ---------- *)
+
+(* Predecessor byte layout — must match {!Anyseq_core.Dp_full} exactly:
+   bits 0-1 H source (0 diag, 1 E, 2 F, 3 start), bit 2 E opened here,
+   bit 3 F opened here. *)
+let h_diag = 0
+let h_e = 1
+let h_f = 2
+let h_start = 3
+let e_open_bit = 4
+let f_open_bit = 8
+
+(* Straight-line replica of [Dp_full.fill] + its walk over the flat
+   substitution table: same recurrences, same tie rules (>= prefers the
+   first operand), same strictly-greater best tracking in the generic
+   note order, so scores, coordinates and CIGARs are bit-identical. *)
+let full_align ~sub ~asize ~go:gopen ~ge ~ws mode ~(query : Seq.t) ~(subject : Seq.t) =
+  let n = Seq.length query and m = Seq.length subject in
+  let qcodes = Seq.unsafe_codes query and scodes = Seq.unsafe_codes subject in
+  let v = variant_of_mode mode in
+  let width = m + 1 in
+  let preds = Scratch.acquire_bytes ws ((n + 1) * width) in
+  let setp i j b = Bytes.unsafe_set preds ((i * width) + j) (Char.unsafe_chr b) in
+  let hrow = Scratch.acquire ws width in
+  let erow = Scratch.acquire ws width in
+  Array.fill hrow 0 width 0;
+  Array.fill erow 0 width neg_inf;
+  let best_sc = ref neg_inf and best_i = ref 0 and best_j = ref 0 in
+  let note x i j =
+    if x > !best_sc then begin
+      best_sc := x;
+      best_i := i;
+      best_j := j
+    end
+  in
+  let goe = gopen + ge in
+  setp 0 0 h_start;
+  if v.best = All_cells || (v.best = Last_row_col && m = 0) then note 0 0 0;
+  for j = 1 to m do
+    if v.free_start then begin
+      hrow.(j) <- 0;
+      setp 0 j h_start
+    end
+    else begin
+      hrow.(j) <- -(gopen + (j * ge));
+      setp 0 j (h_f lor (if j = 1 then f_open_bit else 0))
+    end;
+    if v.best = All_cells || (v.best = Last_row_col && j = m) then note hrow.(j) 0 j
+  done;
+  for i = 1 to n do
+    let qrow = Char.code (Bytes.unsafe_get qcodes (i - 1)) * asize in
+    let hdiag = ref hrow.(0) in
+    if v.free_start then begin
+      hrow.(0) <- 0;
+      setp i 0 h_start
+    end
+    else begin
+      hrow.(0) <- -(gopen + (i * ge));
+      setp i 0 (h_e lor (if i = 1 then e_open_bit else 0))
+    end;
+    if v.best = All_cells || (v.best = Last_row_col && m = 0) then note hrow.(0) i 0;
+    let f = ref neg_inf in
+    for j = 1 to m do
+      let sc = Char.code (Bytes.unsafe_get scodes (j - 1)) in
+      let e_ext = Array.unsafe_get erow j - ge and e_opn = Array.unsafe_get hrow j - goe in
+      let e = if e_ext >= e_opn then e_ext else e_opn in
+      let f_ext = !f - ge and f_opn = Array.unsafe_get hrow (j - 1) - goe in
+      let fv = if f_ext >= f_opn then f_ext else f_opn in
+      let diag = !hdiag + Array.unsafe_get sub (qrow + sc) in
+      let best = if diag >= e then diag else e in
+      let best = if best >= fv then best else fv in
+      let clamped = v.clamp_zero && best < 0 in
+      let best = if clamped then 0 else best in
+      let src =
+        if clamped then h_start
+        else if best = diag then h_diag
+        else if best = e then h_e
+        else h_f
+      in
+      let b = src in
+      let b = if e_opn >= e_ext then b lor e_open_bit else b in
+      let b = if f_opn >= f_ext then b lor f_open_bit else b in
+      setp i j b;
+      hdiag := Array.unsafe_get hrow j;
+      Array.unsafe_set hrow j best;
+      Array.unsafe_set erow j e;
+      f := fv;
+      if v.best = All_cells || (v.best = Last_row_col && j = m) then note best i j
+    done
+  done;
+  let ends =
+    match v.best with
+    | Corner -> { score = hrow.(m); query_end = n; subject_end = m }
+    | All_cells -> { score = !best_sc; query_end = !best_i; subject_end = !best_j }
+    | Last_row_col ->
+        for j = 0 to m do
+          note hrow.(j) n j
+        done;
+        { score = !best_sc; query_end = !best_i; subject_end = !best_j }
+  in
+  Scratch.release ws hrow;
+  Scratch.release ws erow;
+  let finish_empty () =
+    Scratch.release_bytes ws preds;
+    {
+      Alignment.score = 0;
+      mode;
+      query_start = 0;
+      query_end = 0;
+      subject_start = 0;
+      subject_end = 0;
+      cigar = Cigar.empty;
+    }
+  in
+  if mode = Local && ends.score = 0 then finish_empty ()
+  else begin
+    let getp i j = Char.code (Bytes.unsafe_get preds ((i * width) + j)) in
+    let c_match = Cigar.op_to_code Cigar.Match
+    and c_mismatch = Cigar.op_to_code Cigar.Mismatch
+    and c_ins = Cigar.op_to_code Cigar.Ins
+    and c_del = Cigar.op_to_code Cigar.Del in
+    let ops = Scratch.acquire ws (n + m + 1) in
+    let k = ref 0 in
+    let push c =
+      ops.(!k) <- c;
+      incr k
+    in
+    let rec walk i j state =
+      let b = getp i j in
+      match state with
+      | `M -> (
+          match b land 3 with
+          | x when x = h_start -> (i, j)
+          | x when x = h_diag ->
+              let q = Char.code (Bytes.unsafe_get qcodes (i - 1))
+              and s = Char.code (Bytes.unsafe_get scodes (j - 1)) in
+              push (if q = s then c_match else c_mismatch);
+              walk (i - 1) (j - 1) `M
+          | x when x = h_e -> walk i j `E
+          | _ -> walk i j `F)
+      | `E ->
+          push c_ins;
+          if b land e_open_bit <> 0 then walk (i - 1) j `M else walk (i - 1) j `E
+      | `F ->
+          push c_del;
+          if b land f_open_bit <> 0 then walk i (j - 1) `M else walk i (j - 1) `F
+    in
+    let qs, ss = walk ends.query_end ends.subject_end `M in
+    let cigar = Cigar.of_rev_op_codes ops !k in
+    Scratch.release ws ops;
+    Scratch.release_bytes ws preds;
+    let result =
+      {
+        Alignment.score = ends.score;
+        mode;
+        query_start = qs;
+        query_end = ends.query_end;
+        subject_start = ss;
+        subject_end = ends.subject_end;
+        cigar;
+      }
+    in
+    if mode = Local then Alignment.trim_boundary_gaps result else result
+  end
+
+(* Native forward half-pass for the Myers–Miller recursion: the unified
+   Gotoh corner sweep with the flat table (linear gaps are Go = 0), the
+   vertical gap open charged at [tb] along column 0, and the E(n,0)
+   boundary fixup — integer-identical to {!Anyseq_core.Dp_linear.last_rows},
+   so the divide-and-conquer takes the same joins and emits the same
+   CIGAR. Views (not [Seq.t]) because the recursion hands us reversed
+   sub-windows. The returned arrays are caller-owned (the documented
+   [last_rows] contract), hence exact-length and unpooled. *)
+let native_last_rows ~sub ~asize ~go:gopen ~ge ~tb ~(query : Seq.view)
+    ~(subject : Seq.view) =
+  let n = query.Seq.len and m = subject.Seq.len in
+  let hrow = Array.make (m + 1) 0 in
+  let erow = Array.make (m + 1) neg_inf in
+  for j = 1 to m do
+    hrow.(j) <- -(gopen + (j * ge))
+  done;
+  let goe = gopen + ge in
+  let q_at = query.Seq.at and s_at = subject.Seq.at in
+  let rec go j hdiag f hleft qrow =
+    if j <= m then begin
+      let sc = s_at (j - 1) in
+      let hj = Array.unsafe_get hrow j in
+      let e_ext = Array.unsafe_get erow j - ge and e_opn = hj - goe in
+      let e = if e_ext >= e_opn then e_ext else e_opn in
+      let f_ext = f - ge and f_opn = hleft - goe in
+      let fv = if f_ext >= f_opn then f_ext else f_opn in
+      let diag = hdiag + Array.unsafe_get sub (qrow + sc) in
+      let best = if diag >= e then diag else e in
+      let best = if best >= fv then best else fv in
+      Array.unsafe_set hrow j best;
+      Array.unsafe_set erow j e;
+      go (j + 1) hj fv best qrow
+    end
+  in
+  for i = 1 to n do
+    let qrow = q_at (i - 1) * asize in
+    let border = -(tb + (i * ge)) in
+    let hdiag0 = Array.unsafe_get hrow 0 in
+    Array.unsafe_set hrow 0 border;
+    go 1 hdiag0 neg_inf border qrow
+  done;
+  erow.(0) <- (if n = 0 then neg_inf else -(tb + (n * ge)));
+  (hrow, erow)
 
 let build scheme mode =
   let sub, asize = fold_subst scheme in
   let ge = Gaps.extend_cost scheme.Scheme.gap in
+  let gopen = Gaps.open_cost scheme.Scheme.gap in
   let score =
-    if Gaps.is_affine scheme.Scheme.gap then begin
-      let go = Gaps.open_cost scheme.Scheme.gap in
+    if Gaps.is_affine scheme.Scheme.gap then
       match mode with
-      | Global -> fun ~query ~subject -> aff_corner ~sub ~asize ~go ~ge ~query ~subject
-      | Local -> fun ~query ~subject -> aff_all ~sub ~asize ~go ~ge ~query ~subject
-      | Semiglobal -> fun ~query ~subject -> aff_lastrc ~sub ~asize ~go ~ge ~query ~subject
-    end
+      | Global ->
+          fun ~ws ~query ~subject ->
+            aff_corner ~sub ~asize ~go:gopen ~ge ~ws ~query ~subject
+      | Local ->
+          fun ~ws ~query ~subject ->
+            aff_all ~sub ~asize ~go:gopen ~ge ~ws ~query ~subject
+      | Semiglobal ->
+          fun ~ws ~query ~subject ->
+            aff_lastrc ~sub ~asize ~go:gopen ~ge ~ws ~query ~subject
     else
       match mode with
-      | Global -> fun ~query ~subject -> lin_corner ~sub ~asize ~ge ~query ~subject
-      | Local -> fun ~query ~subject -> lin_all ~sub ~asize ~ge ~query ~subject
-      | Semiglobal -> fun ~query ~subject -> lin_lastrc ~sub ~asize ~ge ~query ~subject
+      | Global ->
+          fun ~ws ~query ~subject ->
+            lin_corner ~sub ~asize ~ge ~ws ~query ~subject
+      | Local ->
+          fun ~ws ~query ~subject ->
+            lin_all ~sub ~asize ~ge ~ws ~query ~subject
+      | Semiglobal ->
+          fun ~ws ~query ~subject ->
+            lin_lastrc ~sub ~asize ~ge ~ws ~query ~subject
   in
-  Some { nk_scheme = scheme; nk_mode = mode; score }
+  let last_rows : Hirschberg.last_rows_fn =
+   fun _scheme ~tb ~query ~subject ->
+    native_last_rows ~sub ~asize ~go:gopen ~ge ~tb ~query ~subject
+  in
+  let align ~ws ~query ~subject =
+    (* The same shape dispatch as [Engine.align Auto], with both branches
+       running on native residuals: dense predecessor walk for short
+       pairs, Hirschberg over the native half-pass for long ones. *)
+    let cells = (Seq.length query + 1) * (Seq.length subject + 1) in
+    if cells <= Engine.auto_full_matrix_limit then
+      full_align ~sub ~asize ~go:gopen ~ge ~ws mode ~query ~subject
+    else Hirschberg.align ~last_rows ~ws scheme mode ~query ~subject
+  in
+  Some { nk_scheme = scheme; nk_mode = mode; score; align }

@@ -1,10 +1,10 @@
-(** Pre-generated residual score kernels — the runtime counterpart of the
+(** Pre-generated residual kernels — the runtime counterpart of the
     residuals AnySeq's partial evaluator emits as native code.
 
     {!Anyseq_core.Staged_kernel.specialize} produces a residual as a tree of
     closures, which re-enters the OCaml runtime on every relaxation; without
     a JIT that costs two orders of magnitude over the generic engine. This
-    module holds the same six residuals written out as straight-line OCaml —
+    module holds the same residuals written out as straight-line OCaml —
     one per (gap model × best rule) point of the configuration space, with
     the substitution function folded into a flat lookup table at build time
     — so the specialization cache can serve a kernel with {e zero} per-cell
@@ -14,24 +14,42 @@
       when Go = 0), roughly halving the per-cell work of the generic
       affine-shaped loop;
     - local/semi-global best tracking is inlined instead of the generic
-      engine's per-cell tracker closure (the dominant cost of those modes).
+      engine's per-cell tracker closure (the dominant cost of those modes);
+    - sequence codes are read straight from the packed byte buffers (no
+      view closure per cell) and every DP row, predecessor strip and
+      traceback op buffer comes from the caller's workspace arena, so a
+      warmed batch runs with ~zero minor allocations per alignment.
 
-    Scores {e and} optimum coordinates are bit-identical to
-    {!Anyseq_core.Dp_linear.score_only} — same note order, same
-    strictly-greater tie rule — which the test suite enforces; the batch
-    executor may therefore mix native and generic execution freely. *)
+    [score] results are bit-identical to {!Anyseq_core.Dp_linear.score_only}
+    — same note order, same strictly-greater tie rule. [align] replicates
+    {!Anyseq_core.Engine.align}'s [Auto] dispatch with native residuals on
+    both branches: a straight-line {!Anyseq_core.Dp_full} replica (same
+    predecessor-byte layout and tie rules) under the dense-matrix limit,
+    and {!Anyseq_core.Hirschberg} driven by a native forward half-pass
+    above it — so scores, coordinates {e and} CIGARs match the generic
+    engines exactly, which the test suite enforces. The batch executor may
+    therefore mix native and generic execution freely. *)
 
 type t = {
   nk_scheme : Anyseq_scoring.Scheme.t;
   nk_mode : Anyseq_core.Types.mode;
   score :
-    query:Anyseq_bio.Sequence.view ->
-    subject:Anyseq_bio.Sequence.view ->
+    ws:Anyseq_core.Scratch.t ->
+    query:Anyseq_bio.Sequence.t ->
+    subject:Anyseq_bio.Sequence.t ->
     Anyseq_core.Types.ends;
+  align :
+    ws:Anyseq_core.Scratch.t ->
+    query:Anyseq_bio.Sequence.t ->
+    subject:Anyseq_bio.Sequence.t ->
+    Anyseq_bio.Alignment.t;
 }
+(** [ws] is required, not optional: the residuals exist to run inside a
+    workspace; one-shot callers pass a fresh {!Anyseq_core.Scratch.create}
+    or bracket with {!Workspace.with_ws}. *)
 
 val build : Anyseq_scoring.Scheme.t -> Anyseq_core.Types.mode -> t option
-(** Fold a configuration into its straight-line residual. Currently total —
+(** Fold a configuration into its straight-line residuals. Currently total —
     every scheme admits a lookup-table fold — but callers must handle
     [None] so configurations outside the pre-generated set (future gap
     models) can fall back to the staged-IR kernel. *)

@@ -1,5 +1,6 @@
 module Scheme = Anyseq_scoring.Scheme
 module Bounds = Anyseq_scoring.Bounds
+module Alphabet = Anyseq_bio.Alphabet
 module Seq = Anyseq_bio.Sequence
 module Alignment = Anyseq_bio.Alignment
 module Engine = Anyseq_core.Engine
@@ -14,6 +15,16 @@ type job = { config : Config.t; query : string; subject : string; timeout_s : fl
 
 let job ?(config = Config.default) ?timeout_s ~query ~subject () =
   { config; query; subject; timeout_s }
+
+type seq_job = {
+  sj_config : Config.t;
+  sj_query : Seq.t;
+  sj_subject : Seq.t;
+  sj_timeout_s : float option;
+}
+
+let seq_job ?(config = Config.default) ?timeout_s ~query ~subject () =
+  { sj_config = config; sj_query = query; sj_subject = subject; sj_timeout_s = timeout_s }
 
 type outcome = {
   score : int;
@@ -88,18 +99,19 @@ let reopen t = Atomic.set t.accepting true
 (* An admitted, parsed job awaiting dispatch. *)
 type prepared = {
   p_idx : int;
+  p_cfg : Config.t;
   p_q : Seq.t;
   p_s : Seq.t;
   p_deadline : int64;  (** ns timestamp; [Int64.max_int] = no deadline *)
 }
 
-let deadline_of job now =
-  match job.timeout_s with
+let deadline_of timeout_s now =
+  match timeout_s with
   | None -> Int64.max_int
   | Some s when s <= 0.0 -> Int64.min_int (* already expired, deterministically *)
   | Some s -> Int64.add now (Int64.of_float (s *. 1e9))
 
-let expired p = Int64.compare (Timer.now_ns ()) p.p_deadline > 0
+let expired_at now p = Int64.compare now p.p_deadline > 0
 let cells_of p = Seq.length p.p_q * Seq.length p.p_s
 
 let ctr t name = Metrics.counter t.metrics ("runtime/" ^ name)
@@ -130,15 +142,33 @@ let rec split_at k l =
         let a, b = split_at (k - 1) tl in
         (x :: a, b)
 
-(* Feed [group] to [f] in [batch_size] chunks. The deadline check happens
-   once per chunk, right before dispatch — the documented granularity. [f]
-   must fill [results] for every prepared job it is given. *)
+(* length l <= k, touching at most k+1 spine cells. *)
+let rec fits_in l k =
+  match l with [] -> true | _ :: tl -> k > 0 && fits_in tl (k - 1)
+
+(* Feed [group] to [f] in [batch_size] chunks, each running inside one
+   workspace checkout — a warmed pool makes the whole chunk allocation-free
+   in the kernels. The deadline check happens once per chunk, right before
+   dispatch — the documented granularity — against a single clock read. [f]
+   must fill [results] for every prepared job it is given.
+
+   The common shapes pay no list copies: a group that fits one chunk is
+   dispatched as-is (no [split_at] spine rebuild), and the live/dead
+   partition runs only when a deadline actually expired — both on the
+   minor-words-per-alignment budget the alloc gate enforces. *)
 let dispatch_chunks t results group f =
   let rec go = function
     | [] -> ()
     | rest ->
-        let chunk, rest = split_at t.batch_size rest in
-        let live, dead = List.partition (fun p -> not (expired p)) chunk in
+        let chunk, rest =
+          if fits_in rest t.batch_size then (rest, []) else split_at t.batch_size rest
+        in
+        let now = Timer.now_ns () in
+        let live, dead =
+          if List.exists (expired_at now) chunk then
+            List.partition (fun p -> not (expired_at now p)) chunk
+          else (chunk, [])
+        in
         List.iter (time_out t results) dead;
         (if live <> [] then begin
            let cells = List.fold_left (fun acc p -> acc + cells_of p) 0 live in
@@ -147,7 +177,9 @@ let dispatch_chunks t results group f =
                ~attrs:[ ("jobs", Trace.Int (List.length live)); ("cells", Trace.Int cells) ]
            in
            let t0 = Timer.now_ns () in
-           Fun.protect ~finally:(fun () -> Trace.finish frame) (fun () -> f live);
+           Fun.protect
+             ~finally:(fun () -> Trace.finish frame)
+             (fun () -> Workspace.with_ws (fun ws -> f ws live));
            Metrics.incr (ctr t "batches_dispatched");
            Metrics.observe (hist t "batch_jobs") (List.length live);
            Metrics.observe (hist t "batch_us") (Timer.elapsed_us t0);
@@ -158,56 +190,71 @@ let dispatch_chunks t results group f =
   in
   go group
 
-(* Traceback tier: per-job dispatch (deadlines are per alignment). *)
+(* Traceback tier: per-job dispatch (deadlines are per alignment), one
+   workspace checkout for the whole group. Scalar/Auto groups run the
+   pre-generated native traceback residual when the cache has one;
+   everything else (and configurations outside the pre-generated set)
+   takes the generic engine — bit-identical either way. *)
 let run_traceback t results (cfg : Config.t) group =
-  List.iter
-    (fun p ->
-      if expired p then time_out t results p
-      else begin
-        let t0 = Timer.now_ns () in
-        let a =
-          Trace.with_span "backend.traceback"
-            ~attrs:[ ("cells", Trace.Int (cells_of p)) ]
-            (fun () -> Engine.align cfg.scheme cfg.mode ~query:p.p_q ~subject:p.p_s)
-        in
-        Metrics.observe (hist t "align_us") (Timer.elapsed_us t0);
-        Metrics.add (ctr t "cells_computed") (cells_of p);
-        Metrics.incr (ctr t "jobs_completed");
-        results.(p.p_idx) <-
-          Ok
-            {
-              score = a.Alignment.score;
-              query_end = a.Alignment.query_end;
-              subject_end = a.Alignment.subject_end;
-              alignment = Some a;
-              query_seq = p.p_q;
-              subject_seq = p.p_s;
-            }
-      end)
-    group
+  let align =
+    match cfg.backend with
+    | Config.Scalar | Config.Auto -> (
+        let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
+        match kernels.Spec_cache.native with
+        | Some nk -> fun ~ws ~query ~subject -> nk.Native_kernel.align ~ws ~query ~subject
+        | None -> fun ~ws ~query ~subject -> Engine.align ~ws cfg.scheme cfg.mode ~query ~subject)
+    | Config.Simd | Config.Wavefront ->
+        fun ~ws ~query ~subject -> Engine.align ~ws cfg.scheme cfg.mode ~query ~subject
+  in
+  Workspace.with_ws (fun ws ->
+      List.iter
+        (fun p ->
+          if expired_at (Timer.now_ns ()) p then time_out t results p
+          else begin
+            let t0 = Timer.now_ns () in
+            let a =
+              Trace.with_span "backend.traceback"
+                ~attrs:[ ("cells", Trace.Int (cells_of p)) ]
+                (fun () -> align ~ws ~query:p.p_q ~subject:p.p_s)
+            in
+            Metrics.observe (hist t "align_us") (Timer.elapsed_us t0);
+            Metrics.add (ctr t "cells_computed") (cells_of p);
+            Metrics.incr (ctr t "jobs_completed");
+            results.(p.p_idx) <-
+              Ok
+                {
+                  score = a.Alignment.score;
+                  query_end = a.Alignment.query_end;
+                  subject_end = a.Alignment.subject_end;
+                  alignment = Some a;
+                  query_seq = p.p_q;
+                  subject_seq = p.p_s;
+                }
+          end)
+        group)
 
 (* Scalar tier: the cached pre-generated residual kernel. The cache is
    consulted at every dispatch point (once per chunk), so hit/miss counts
    measure how often execution was served without re-specializing. *)
 let run_scalar t results (cfg : Config.t) group =
-  dispatch_chunks t results group (fun live ->
+  dispatch_chunks t results group (fun ws live ->
       let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
       let native, score =
         match kernels.Spec_cache.native with
-        | Some nk -> (true, nk.Native_kernel.score)
+        | Some nk ->
+            (true, fun p -> nk.Native_kernel.score ~ws ~query:p.p_q ~subject:p.p_s)
         | None ->
             (* Configurations outside the pre-generated set fall back to the
                generic linear-space engine (bit-identical results). *)
             ( false,
-              fun ~query ~subject -> Dp_linear.score_only cfg.scheme cfg.mode ~query ~subject )
+              fun p ->
+                Dp_linear.score_only ~ws cfg.scheme cfg.mode ~query:(Seq.view p.p_q)
+                  ~subject:(Seq.view p.p_s) )
       in
       Trace.with_span "backend.scalar"
-        ~attrs:[ ("jobs", Trace.Int (List.length live)); ("native", Trace.Str (string_of_bool native)) ]
-        (fun () ->
-          List.iter
-            (fun p ->
-              score_outcome results p (score ~query:(Seq.view p.p_q) ~subject:(Seq.view p.p_s)))
-            live))
+        ~attrs:
+          [ ("jobs", Trace.Int (List.length live)); ("native", Trace.Str (string_of_bool native)) ]
+        (fun () -> List.iter (fun p -> score_outcome results p (score p)) live))
 
 (* SIMD tier: 16-bit overflow screening, then lockstep vector batches. *)
 let run_simd t results (cfg : Config.t) group =
@@ -230,18 +277,20 @@ let run_simd t results (cfg : Config.t) group =
         end)
       group
   in
-  dispatch_chunks t results feasible (fun live ->
+  dispatch_chunks t results feasible (fun ws live ->
       let pairs = Array.of_list (List.map (fun p -> (p.p_q, p.p_s)) live) in
       let ends =
         Trace.with_span "backend.simd"
           ~attrs:[ ("jobs", Trace.Int (Array.length pairs)) ]
-          (fun () -> Inter_seq.batch_score cfg.scheme cfg.mode pairs)
+          (fun () -> Inter_seq.batch_score ~ws cfg.scheme cfg.mode pairs)
       in
       List.iteri (fun i p -> score_outcome results p ends.(i)) live)
 
-(* Wavefront tier: tiles of all pairs of the chunk share one dynamic queue. *)
+(* Wavefront tier: tiles of all pairs of the chunk share one dynamic
+   queue. The scheduler's worker domains manage their own buffers, so the
+   chunk's workspace is not threaded in. *)
 let run_wavefront t results (cfg : Config.t) group =
-  dispatch_chunks t results group (fun live ->
+  dispatch_chunks t results group (fun _ws live ->
       let pairs = Array.of_list (List.map (fun p -> (p.p_q, p.p_s)) live) in
       let ends =
         Trace.with_span "backend.wavefront"
@@ -266,9 +315,50 @@ let run_group t results (cfg : Config.t) group =
         if short <> [] then run_scalar t results cfg short;
         if long <> [] then run_wavefront t results cfg long
 
-let run t jobs =
-  let n = Array.length jobs in
-  let results = Array.make n (Error Error.Rejected) in
+(* Group accumulation without a per-job [Config.key]: batch submitters
+   overwhelmingly share one config {e value}, so membership is decided by
+   physical equality against the (few) group representatives first, and
+   the sprintf-built key is computed only for configs not seen by
+   identity — once per distinct value, not once per job. *)
+type group_acc = {
+  g_cfg : Config.t;
+  mutable g_key : string option;
+  mutable g_jobs : prepared list;  (** reversed *)
+}
+
+let key_of g =
+  match g.g_key with
+  | Some k -> k
+  | None ->
+      let k = Config.key g.g_cfg in
+      g.g_key <- Some k;
+      k
+
+let add_to_groups groups p =
+  let rec by_identity = function
+    | [] -> false
+    | g :: tl ->
+        if g.g_cfg == p.p_cfg then begin
+          g.g_jobs <- p :: g.g_jobs;
+          true
+        end
+        else by_identity tl
+  in
+  if not (by_identity !groups) then begin
+    let k = Config.key p.p_cfg in
+    let rec by_key = function
+      | [] ->
+          groups := { g_cfg = p.p_cfg; g_key = Some k; g_jobs = [ p ] } :: !groups
+      | g :: tl ->
+          if String.equal (key_of g) k then g.g_jobs <- p :: g.g_jobs else by_key tl
+    in
+    by_key !groups
+  end
+
+(* The shared execution path behind [run] (string jobs) and [run_seqs]
+   (pre-parsed jobs). [prepare i now] either returns the admitted job or
+   fills [results.(i)] itself and returns [None]. *)
+let run_internal t n results ~prepare =
   if n = 0 then results
   else begin
     Metrics.add (ctr t "jobs_submitted") n;
@@ -294,49 +384,77 @@ let run t jobs =
         let admit_frame = Trace.start "service.admit" in
         let prepared = ref [] in
         for i = granted - 1 downto 0 do
-          let j = jobs.(i) in
-          let alphabet = Scheme.alphabet j.config.Config.scheme in
-          match (Seq.of_string alphabet j.query, Seq.of_string alphabet j.subject) with
-          | q, s ->
-              prepared :=
-                { p_idx = i; p_q = q; p_s = s; p_deadline = deadline_of j now0 } :: !prepared
-          | exception Invalid_argument msg ->
-              results.(i) <- Error (Error.Bad_sequence msg);
-              Metrics.incr (ctr t "jobs_failed")
+          match prepare i now0 with
+          | Some p -> prepared := p :: !prepared
+          | None -> Metrics.incr (ctr t "jobs_failed")
         done;
         Trace.finish admit_frame ~attrs:[ ("prepared", Trace.Int (List.length !prepared)) ];
         Metrics.observe (hist t "admit_us") (Timer.elapsed_us now0);
-        (* Group by full configuration key, preserving first-seen order
-           (results are slotted by index, so order only affects locality). *)
-        let groups : (string, (Config.t * prepared list ref)) Hashtbl.t = Hashtbl.create 8 in
-        let order = ref [] in
+        (* Group by configuration, preserving first-seen order (results
+           are slotted by index, so order only affects locality). *)
+        let groups = ref [] in
+        List.iter (add_to_groups groups) !prepared;
+        let ordered = List.rev !groups in
+        Trace.add batch_frame "groups" (Trace.Int (List.length ordered));
         List.iter
-          (fun p ->
-            let cfg = jobs.(p.p_idx).config in
-            let k = Config.key cfg in
-            match Hashtbl.find_opt groups k with
-            | Some (_, l) -> l := p :: !l
-            | None ->
-                Hashtbl.add groups k (cfg, ref [ p ]);
-                order := k :: !order)
-          !prepared;
-        Trace.add batch_frame "groups" (Trace.Int (List.length !order));
-        List.iter
-          (fun k ->
-            let cfg, l = Hashtbl.find groups k in
-            let group = List.rev !l in
+          (fun g ->
+            let group = List.rev g.g_jobs in
             Trace.with_span "service.group"
               ~attrs:
-                [ ("config", Trace.Str (Config.to_string cfg)); ("jobs", Trace.Int (List.length group)) ]
-              (fun () -> run_group t results cfg group))
-          (List.rev !order);
-        (* Mirror cache effectiveness into the registry for [dump]. *)
+                [
+                  ("config", Trace.Str (Config.to_string g.g_cfg));
+                  ("jobs", Trace.Int (List.length group));
+                ]
+              (fun () -> run_group t results g.g_cfg group))
+          ordered;
+        (* Mirror cache, workspace and GC effectiveness into the registry
+           for [dump]. *)
         let cs = Spec_cache.stats t.cache in
         Metrics.gauge_set t.metrics "runtime/cache_hits" cs.Spec_cache.hits;
         Metrics.gauge_set t.metrics "runtime/cache_misses" cs.Spec_cache.misses;
         Metrics.gauge_set t.metrics "runtime/cache_size" cs.Spec_cache.size;
+        Workspace.publish t.metrics;
+        Metrics.record_gc t.metrics;
         results)
   end
+
+let run t jobs =
+  let n = Array.length jobs in
+  let results = Array.make n (Error Error.Rejected) in
+  run_internal t n results ~prepare:(fun i now0 ->
+      let j = jobs.(i) in
+      let alphabet = Scheme.alphabet j.config.Config.scheme in
+      match (Seq.of_string alphabet j.query, Seq.of_string alphabet j.subject) with
+      | q, s ->
+          Some
+            { p_idx = i; p_cfg = j.config; p_q = q; p_s = s;
+              p_deadline = deadline_of j.timeout_s now0 }
+      | exception Invalid_argument msg ->
+          results.(i) <- Error (Error.Bad_sequence msg);
+          None)
+
+let run_seqs t jobs =
+  let n = Array.length jobs in
+  let results = Array.make n (Error Error.Rejected) in
+  run_internal t n results ~prepare:(fun i now0 ->
+      let j = jobs.(i) in
+      let alphabet = Scheme.alphabet j.sj_config.Config.scheme in
+      if
+        Alphabet.equal (Seq.alphabet j.sj_query) alphabet
+        && Alphabet.equal (Seq.alphabet j.sj_subject) alphabet
+      then
+        Some
+          { p_idx = i; p_cfg = j.sj_config; p_q = j.sj_query; p_s = j.sj_subject;
+            p_deadline = deadline_of j.sj_timeout_s now0 }
+      else begin
+        results.(i) <-
+          Error
+            (Error.Bad_sequence
+               (Printf.sprintf "sequence alphabet %s does not match scheme alphabet %s"
+                  (Alphabet.name (Seq.alphabet j.sj_query))
+                  (Alphabet.name alphabet)));
+        None
+      end)
 
 let run_one t j = (run t [| j |]).(0)
 

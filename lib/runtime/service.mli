@@ -26,7 +26,15 @@
     Per-job deadlines ([timeout_s]) are checked at every dispatch point —
     before each traceback alignment and before each score chunk — so an
     expired job is answered [Error Timeout] without being computed; a job
-    already inside a running chunk is finished, not interrupted. *)
+    already inside a running chunk is finished, not interrupted.
+
+    Every dispatch chunk runs inside one {!Workspace} checkout, so a
+    warmed service aligns without per-job DP allocations; traceback on
+    the Scalar/Auto backends is served by the pre-generated native
+    traceback residuals ({!Native_kernel.t.align}), bit-identical to the
+    generic engines. Hosts that already hold parsed sequences (the
+    network server's decode path) submit them directly via {!run_seqs}
+    and skip the string round-trip. *)
 
 type job = {
   config : Config.t;
@@ -37,6 +45,25 @@ type job = {
 
 val job :
   ?config:Config.t -> ?timeout_s:float -> query:string -> subject:string -> unit -> job
+
+type seq_job = {
+  sj_config : Config.t;
+  sj_query : Anyseq_bio.Sequence.t;
+  sj_subject : Anyseq_bio.Sequence.t;
+  sj_timeout_s : float option;
+}
+(** A job whose sequences are already parsed (e.g. decoded straight from a
+    wire frame into packed buffers). A sequence whose alphabet differs
+    from the config's scheme alphabet is answered [Error (Bad_sequence _)]
+    in its slot at admission. *)
+
+val seq_job :
+  ?config:Config.t ->
+  ?timeout_s:float ->
+  query:Anyseq_bio.Sequence.t ->
+  subject:Anyseq_bio.Sequence.t ->
+  unit ->
+  seq_job
 
 type outcome = {
   score : int;
@@ -67,6 +94,11 @@ val run : t -> job array -> (outcome, Error.t) result array
     cache. Result [i] answers job [i]. *)
 
 val run_one : t -> job -> (outcome, Error.t) result
+
+val run_seqs : t -> seq_job array -> (outcome, Error.t) result array
+(** {!run} for pre-parsed jobs: same admission, grouping, dispatch and
+    result-slotting; only the parse phase is replaced by an alphabet
+    check. *)
 
 val queue_depth : t -> int
 (** Jobs currently admitted and not yet finished. *)

@@ -1,0 +1,73 @@
+module Scratch = Anyseq_core.Scratch
+module Trace = Anyseq_trace.Trace
+
+(* One pool per domain, reached through DLS. The server's dispatch workers
+   are systhreads multiplexed onto a single domain, so the pool itself is
+   mutex-protected: DLS alone is not thread-safe there. The critical
+   section is a list push/pop — nanoseconds against the microseconds of
+   the chunks the arenas serve. *)
+type pool = { mutex : Mutex.t; mutable free : Scratch.t list }
+
+let pool_key = Domain.DLS.new_key (fun () -> { mutex = Mutex.create (); free = [] })
+
+(* Process-wide effectiveness counters; arenas themselves are unshared, so
+   their per-arena stats are folded in here at checkin. *)
+let checkouts_c = Atomic.make 0
+let created_c = Atomic.make 0
+let buffer_hits_c = Atomic.make 0
+let buffer_misses_c = Atomic.make 0
+let buffer_resizes_c = Atomic.make 0
+
+type stats = {
+  checkouts : int;
+  created : int;
+  buffer_hits : int;
+  buffer_misses : int;
+  buffer_resizes : int;
+}
+
+let stats () =
+  {
+    checkouts = Atomic.get checkouts_c;
+    created = Atomic.get created_c;
+    buffer_hits = Atomic.get buffer_hits_c;
+    buffer_misses = Atomic.get buffer_misses_c;
+    buffer_resizes = Atomic.get buffer_resizes_c;
+  }
+
+let checkout () =
+  Atomic.incr checkouts_c;
+  let p = Domain.DLS.get pool_key in
+  Mutex.lock p.mutex;
+  match p.free with
+  | ws :: tl ->
+      p.free <- tl;
+      Mutex.unlock p.mutex;
+      ws
+  | [] ->
+      Mutex.unlock p.mutex;
+      Atomic.incr created_c;
+      Trace.with_span "ws.create" (fun () -> Scratch.create ())
+
+let checkin ws =
+  ignore (Atomic.fetch_and_add buffer_hits_c (Scratch.hits ws));
+  ignore (Atomic.fetch_and_add buffer_misses_c (Scratch.misses ws));
+  ignore (Atomic.fetch_and_add buffer_resizes_c (Scratch.resizes ws));
+  Scratch.reset_stats ws;
+  let p = Domain.DLS.get pool_key in
+  Mutex.lock p.mutex;
+  p.free <- ws :: p.free;
+  Mutex.unlock p.mutex
+
+let with_ws f =
+  let frame = Trace.start "ws.checkout" in
+  let ws = checkout () in
+  Trace.finish frame;
+  Fun.protect ~finally:(fun () -> checkin ws) (fun () -> f ws)
+
+let publish metrics =
+  Metrics.gauge_set metrics "ws/checkouts" (Atomic.get checkouts_c);
+  Metrics.gauge_set metrics "ws/arenas_created" (Atomic.get created_c);
+  Metrics.gauge_set metrics "ws/buffer_hits" (Atomic.get buffer_hits_c);
+  Metrics.gauge_set metrics "ws/buffer_misses" (Atomic.get buffer_misses_c);
+  Metrics.gauge_set metrics "ws/buffer_resizes" (Atomic.get buffer_resizes_c)

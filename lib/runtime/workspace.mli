@@ -1,0 +1,48 @@
+(** Per-domain checkout pools of {!Anyseq_core.Scratch} workspace arenas —
+    the piece that makes the batch hot path allocation-free end to end.
+
+    An arena amortizes DP-buffer allocation {e within} one thread of
+    execution; this module amortizes the arenas themselves {e across}
+    batches, threads and domains. Executors bracket each dispatch chunk
+    with {!with_ws}: a warmed pool hands back an arena whose size-class
+    stacks already hold every row, predecessor strip and traceback buffer
+    the chunk needs, so steady-state alignment performs no minor
+    allocation beyond the result values.
+
+    Pools are per-domain (DLS) with an internal mutex, because the network
+    server's dispatch workers are systhreads sharing one domain. An arena
+    is owned exclusively between {!checkout} and {!checkin}; the contained
+    buffers need no further locking (the {!Anyseq_core.Scratch} contract).
+
+    Effectiveness is observable three ways: process-wide atomic counters
+    ({!stats}), gauges mirrored into a {!Metrics} registry ({!publish}:
+    [ws/checkouts], [ws/arenas_created], [ws/buffer_hits],
+    [ws/buffer_misses], [ws/buffer_resizes]), and [ws.*] trace spans
+    ([ws.checkout] around pool access, [ws.create] when a checkout had to
+    build a fresh arena). *)
+
+val checkout : unit -> Anyseq_core.Scratch.t
+(** Take an arena from the current domain's pool, creating one if the pool
+    is empty. The caller owns it until {!checkin}. *)
+
+val checkin : Anyseq_core.Scratch.t -> unit
+(** Return an arena to the current domain's pool and fold its hit/miss/
+    resize counters into the process-wide stats. Check an arena back in on
+    the domain that checked it out. *)
+
+val with_ws : (Anyseq_core.Scratch.t -> 'a) -> 'a
+(** [with_ws f]: checkout, run [f], checkin (also on exceptions). *)
+
+type stats = {
+  checkouts : int;  (** total {!checkout} calls *)
+  created : int;  (** checkouts that had to build a fresh arena *)
+  buffer_hits : int;  (** buffer acquisitions served from a pool *)
+  buffer_misses : int;  (** buffer acquisitions that allocated *)
+  buffer_resizes : int;  (** free-stack growth events inside arenas *)
+}
+
+val stats : unit -> stats
+(** Process-wide counters since start (monotonic; never reset). *)
+
+val publish : Metrics.t -> unit
+(** Mirror {!stats} into [ws/*] gauges of the registry. *)

@@ -8,6 +8,8 @@ module Trace = Anyseq_trace.Trace
 module Timer = Anyseq_util.Timer
 module Cigar = Anyseq_bio.Cigar
 module Alignment = Anyseq_bio.Alignment
+module Sequence = Anyseq_bio.Sequence
+module Scheme = Anyseq_scoring.Scheme
 
 type config = {
   addrs : Addr.t list;
@@ -34,8 +36,10 @@ type conn = {
   mutable dead : bool;  (** write side failed; replies are dropped *)
 }
 
-(* An admitted request waiting for a dispatch worker. *)
-type pending = { preq : Wire.request; pcfg : Rconfig.t; pconn : conn; enq_ns : int64 }
+(* An admitted request waiting for a dispatch worker. The view keeps the
+   sequences as ranges of the raw frame payload — they are parsed straight
+   into packed buffers at dispatch, never copied out as strings. *)
+type pending = { pview : Wire.request_view; pcfg : Rconfig.t; pconn : conn; enq_ns : int64 }
 
 type t = {
   cfg : config;
@@ -166,25 +170,60 @@ let dispatch t batch =
   let items = Array.of_list batch in
   let n = Array.length items in
   let t0 = Timer.now_ns () in
-  let jobs =
+  (* Parse each request's sequences straight from its frame payload into
+     packed code buffers — the same conversion (and the same error text)
+     the service's string parse phase performs, minus the string copies.
+     A bad sequence fails its own slot here and never reaches the
+     service. *)
+  let parsed =
     Array.map
       (fun p ->
-        (* The deadline the client asked for started ticking on arrival,
-           not on dispatch: hand the service only what is left of it. *)
-        let timeout_s =
-          Option.map
-            (fun s -> s -. (Int64.to_float (Int64.sub t0 p.enq_ns) *. 1e-9))
-            p.preq.Wire.timeout_s
-        in
-        Service.job ~config:p.pcfg ?timeout_s ~query:p.preq.Wire.query
-          ~subject:p.preq.Wire.subject ())
+        let v = p.pview in
+        let alphabet = Scheme.alphabet p.pcfg.Rconfig.scheme in
+        match
+          ( Sequence.of_substring alphabet v.Wire.rv_payload ~pos:v.Wire.rv_query_pos
+              ~len:v.Wire.rv_query_len,
+            Sequence.of_substring alphabet v.Wire.rv_payload ~pos:v.Wire.rv_subject_pos
+              ~len:v.Wire.rv_subject_len )
+        with
+        | q, s ->
+            (* The deadline the client asked for started ticking on arrival,
+               not on dispatch: hand the service only what is left of it. *)
+            let timeout_s =
+              Option.map
+                (fun s' -> s' -. (Int64.to_float (Int64.sub t0 p.enq_ns) *. 1e-9))
+                v.Wire.rv_timeout_s
+            in
+            Ok (Service.seq_job ~config:p.pcfg ?timeout_s ~query:q ~subject:s ())
+        | exception Invalid_argument msg -> Error (Rerror.Bad_sequence msg))
       items
   in
-  let results =
+  let live = Array.make n None in
+  let live_n = ref 0 in
+  Array.iter
+    (fun r ->
+      match r with
+      | Ok j ->
+          live.(!live_n) <- Some j;
+          incr live_n
+      | Error _ -> ())
+    parsed;
+  let jobs = Array.init !live_n (fun i -> Option.get live.(i)) in
+  let live_results =
     Trace.with_span "server.dispatch"
       ~attrs:[ ("jobs", Trace.Int n); ("queued", Trace.Int (Batcher.depth t.batcher)) ]
-      (fun () -> Service.run t.srv jobs)
+      (fun () -> Service.run_seqs t.srv jobs)
   in
+  let results = Array.make n (Error Rerror.Rejected) in
+  let k = ref 0 in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok _ ->
+          results.(i) <- live_results.(!k);
+          incr k
+      | Error e -> results.(i) <- Error e)
+    parsed;
   let service_ns = Int64.sub (Timer.now_ns ()) t0 in
   Metrics.observe (hist t "batch_jobs") n;
   Metrics.observe (hist t "service_us") (Int64.to_int service_ns / 1000);
@@ -211,7 +250,7 @@ let dispatch t batch =
       let queue_ns = Int64.sub t0 p.enq_ns in
       Metrics.observe (hist t "queue_us") (Int64.to_int queue_ns / 1000);
       let reply =
-        { Wire.rid = p.preq.Wire.id; payload; queue_ns; service_ns; batch_jobs = n }
+        { Wire.rid = p.pview.Wire.rv_id; payload; queue_ns; service_ns; batch_jobs = n }
       in
       enqueue_reply t p.pconn (Wire.encode_reply reply))
     items
@@ -230,36 +269,41 @@ let worker_loop t =
 
 let reader_loop t conn =
   let rec loop () =
-    match Wire.read_frame conn.fd with
-    | Ok (Wire.Request req) ->
-        Metrics.incr (ctr t "requests_received");
-        (if Atomic.get t.draining then begin
-           Metrics.incr (ctr t "draining_rejected");
-           error_reply t conn ~rid:req.Wire.id Wire.Draining "server is draining"
-         end
-         else
-           match intern_config t req.Wire.config with
-           | Error msg ->
-               Metrics.incr (ctr t "bad_requests");
-               error_reply t conn ~rid:req.Wire.id Wire.Bad_request msg
-           | Ok pcfg ->
-               let p = { preq = req; pcfg; pconn = conn; enq_ns = Timer.now_ns () } in
-               if Batcher.push t.batcher p then
-                 Metrics.gauge_set (metrics t) "server/queue_depth"
-                   (Batcher.depth t.batcher)
-               else begin
-                 Metrics.incr (ctr t "queue_rejected");
-                 error_reply t conn ~rid:req.Wire.id Wire.Rejected "server request queue full"
-               end);
-        loop ()
-    | Ok (Wire.Reply _) ->
-        (* A peer speaking the protocol backwards gets disconnected. *)
+    match Wire.read_raw_frame conn.fd with
+    | Ok (kind, payload) when kind = Wire.kind_request -> (
+        match Wire.decode_request_view payload with
+        | Error _ ->
+            (* The stream cannot be resynced after a corrupt frame: this
+               connection dies; the server keeps serving everyone else. *)
+            Metrics.incr (ctr t "bad_frames")
+        | Ok req ->
+            Metrics.incr (ctr t "requests_received");
+            (if Atomic.get t.draining then begin
+               Metrics.incr (ctr t "draining_rejected");
+               error_reply t conn ~rid:req.Wire.rv_id Wire.Draining "server is draining"
+             end
+             else
+               match intern_config t req.Wire.rv_config with
+               | Error msg ->
+                   Metrics.incr (ctr t "bad_requests");
+                   error_reply t conn ~rid:req.Wire.rv_id Wire.Bad_request msg
+               | Ok pcfg ->
+                   let p = { pview = req; pcfg; pconn = conn; enq_ns = Timer.now_ns () } in
+                   if Batcher.push t.batcher p then
+                     Metrics.gauge_set (metrics t) "server/queue_depth"
+                       (Batcher.depth t.batcher)
+                   else begin
+                     Metrics.incr (ctr t "queue_rejected");
+                     error_reply t conn ~rid:req.Wire.rv_id Wire.Rejected
+                       "server request queue full"
+                   end);
+            loop ())
+    | Ok (_, _) ->
+        (* A peer speaking the protocol backwards (or garbage we cannot
+           resync past) gets disconnected. *)
         Metrics.incr (ctr t "bad_frames")
     | Error `Eof | Error (`Io _) -> ()
-    | Error (`Malformed _) ->
-        (* The stream cannot be resynced after a corrupt frame: this
-           connection dies; the server keeps serving everyone else. *)
-        Metrics.incr (ctr t "bad_frames")
+    | Error (`Malformed _) -> Metrics.incr (ctr t "bad_frames")
   in
   loop ()
 

@@ -4,6 +4,7 @@ module Scheme = Anyseq_scoring.Scheme
 module Gaps = Anyseq_bio.Gaps
 module Sequence = Anyseq_bio.Sequence
 open Anyseq_core.Types
+module Scratch = Anyseq_core.Scratch
 
 let default_lanes = 16
 
@@ -16,7 +17,7 @@ let feasible_tile scheme ~tile =
 (* Vector kernel over [lanes] independent, dependency-ready tiles of equal
    shape, global (Corner) mode: 16-bit differential scores rebased to each
    tile's top-left corner. *)
-let vector_tiles (raw : Tiling.raw) plan tiles =
+let vector_tiles ~ws (raw : Tiling.raw) plan tiles =
   let lanes = Array.length tiles in
   let scheme = raw.Tiling.r_scheme in
   let sigma = Scheme.subst_score scheme in
@@ -28,7 +29,7 @@ let vector_tiles (raw : Tiling.raw) plan tiles =
   let corners =
     Array.init lanes (fun l -> raw.Tiling.r_h_rows.(fst tiles.(l)).(j0s.(l)))
   in
-  let mk x = Lanes.create ~width:lanes x in
+  let mk x = Lanes.acquire ws ~width:lanes x in
   let hrow = Array.init (w + 1) (fun _ -> mk 0) in
   let erow = Array.init (w + 1) (fun _ -> mk Lanes.min_value) in
   (* Load top borders, rebased. *)
@@ -89,9 +90,13 @@ let vector_tiles (raw : Tiling.raw) plan tiles =
       raw.Tiling.r_e_rows.(ti + 1).(j0s.(l) + k) <- Lanes.get erow.(k) l + corners.(l)
     done;
     Tiling.set_best plan ~ti ~tj { score = neg_inf; query_end = 0; subject_end = 0 }
-  done
+  done;
+  Array.iter (Lanes.release ws) hrow;
+  Array.iter (Lanes.release ws) erow;
+  List.iter (Lanes.release ws) [ f; hdiag; keep; e_open; f_open; sub_vec ]
 
-let compute_tile_block ?(lanes = default_lanes) plan tiles =
+let compute_tile_block ?ws ?(lanes = default_lanes) plan tiles =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
   let raw = Tiling.raw plan in
   let vector_ok =
     raw.Tiling.r_variant.best = Corner
@@ -116,7 +121,7 @@ let compute_tile_block ?(lanes = default_lanes) plan tiles =
         let nmem = Array.length members in
         let full = if h > 0 && w > 0 then nmem / lanes else 0 in
         for b = 0 to full - 1 do
-          vector_tiles raw plan (Array.sub members (b * lanes) lanes)
+          vector_tiles ~ws raw plan (Array.sub members (b * lanes) lanes)
         done;
         for k = full * lanes to nmem - 1 do
           let ti, tj = members.(k) in
@@ -125,7 +130,9 @@ let compute_tile_block ?(lanes = default_lanes) plan tiles =
       by_shape
   end
 
-let score_vectorized ?(lanes = default_lanes) ?(tile = 256) scheme mode ~query ~subject =
+let score_vectorized ?ws ?(lanes = default_lanes) ?(tile = 256) scheme mode ~query
+    ~subject =
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
   let plan =
     Tiling.create scheme mode ~tile ~query:(Sequence.view query)
       ~subject:(Sequence.view subject)
@@ -134,6 +141,6 @@ let score_vectorized ?(lanes = default_lanes) ?(tile = 256) scheme mode ~query ~
   for d = 0 to rows + cols - 2 do
     let lo = max 0 (d - cols + 1) and hi = min (rows - 1) d in
     let ready = Array.init (hi - lo + 1) (fun k -> (lo + k, d - lo - k)) in
-    compute_tile_block ~lanes plan ready
+    compute_tile_block ~ws ~lanes plan ready
   done;
   Tiling.finish plan

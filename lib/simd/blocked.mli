@@ -16,7 +16,11 @@ val default_lanes : int
 (** 16 (AVX2 with 16-bit lanes). *)
 
 val compute_tile_block :
-  ?lanes:int -> Anyseq_core.Tiling.plan -> (int * int) array -> unit
+  ?ws:Anyseq_core.Scratch.t ->
+  ?lanes:int ->
+  Anyseq_core.Tiling.plan ->
+  (int * int) array ->
+  unit
 (** Relax the given ready tiles. Tiles whose shape differs from the
     majority shape, or any remainder beyond a multiple of [lanes], are
     computed scalar. All tiles must be dependency-ready and mutually
@@ -27,6 +31,7 @@ val feasible_tile : Anyseq_scoring.Scheme.t -> tile:int -> bool
     (§IV-A's block-size feasibility test). *)
 
 val score_vectorized :
+  ?ws:Anyseq_core.Scratch.t ->
   ?lanes:int ->
   ?tile:int ->
   Anyseq_scoring.Scheme.t ->

@@ -4,6 +4,7 @@ module Gaps = Anyseq_bio.Gaps
 module Sequence = Anyseq_bio.Sequence
 module Substitution = Anyseq_bio.Substitution
 open Anyseq_core.Types
+module Scratch = Anyseq_core.Scratch
 
 let default_lanes = 16
 
@@ -32,8 +33,12 @@ let group_pairs pairs =
     pairs;
   Hashtbl.fold (fun _ g acc -> { g with members = List.rev g.members } :: acc) tbl []
 
-(* Vector kernel for [lanes] pairs of identical shape (n, m). *)
-let vector_kernel scheme mode ~n ~m pairs idxs out =
+(* Vector kernel for [lanes] pairs of identical shape (n, m). All lane
+   vectors and code profiles come out of [ws]; pooled vectors may be
+   longer than [lanes] (pow2 class size) — every Lanes op runs over the
+   full physical length, which is harmless on saturating int lanes, and
+   lane extraction only ever reads indices below [lanes]. *)
+let vector_kernel ~ws scheme mode ~n ~m pairs idxs out =
   let lanes = Array.length idxs in
   let v = variant_of_mode mode in
   let sigma = Scheme.subst_score scheme in
@@ -52,15 +57,17 @@ let vector_kernel scheme mode ~n ~m pairs idxs out =
     done;
     if !ok then Some (d, o) else None
   in
-  let qcodes =
-    Array.init n (fun i ->
-        Array.map (fun idx -> Sequence.get (fst pairs.(idx)) i) idxs)
+  let profile len side =
+    Array.init len (fun i ->
+        let a = Scratch.acquire ws lanes in
+        for l = 0 to lanes - 1 do
+          a.(l) <- Sequence.get (side pairs.(idxs.(l))) i
+        done;
+        a)
   in
-  let scodes =
-    Array.init m (fun j ->
-        Array.map (fun idx -> Sequence.get (snd pairs.(idx)) j) idxs)
-  in
-  let mk x = Lanes.create ~width:lanes x in
+  let qcodes = profile n fst in
+  let scodes = profile m snd in
+  let mk x = Lanes.acquire ws ~width:lanes x in
   let hrow = Array.init (m + 1) (fun _ -> mk 0) in
   let erow = Array.init (m + 1) (fun _ -> mk vneg_inf) in
   let f = mk vneg_inf in
@@ -164,15 +171,23 @@ let vector_kernel scheme mode ~n ~m pairs idxs out =
       for l = 0 to lanes - 1 do
         let i, j = best_pos.(l) in
         out.(idxs.(l)) <- { score = best_val.(l); query_end = i; subject_end = j }
-      done)
+      done);
+  Array.iter (Scratch.release ws) qcodes;
+  Array.iter (Scratch.release ws) scodes;
+  Array.iter (Lanes.release ws) hrow;
+  Array.iter (Lanes.release ws) erow;
+  List.iter (Lanes.release ws)
+    [ f; hdiag; tmp_keep; e_open; f_open; sub_vec; match_vec; mismatch_vec;
+      eqmask; zero; best; qvec; svec ]
 
-let scalar scheme mode pair =
+let scalar ~ws scheme mode pair =
   let q, s = pair in
-  Anyseq_core.Dp_linear.score_only scheme mode ~query:(Sequence.view q)
+  Anyseq_core.Dp_linear.score_only ~ws scheme mode ~query:(Sequence.view q)
     ~subject:(Sequence.view s)
 
-let batch_score ?(lanes = default_lanes) scheme mode pairs =
+let batch_score ?ws ?(lanes = default_lanes) scheme mode pairs =
   if lanes <= 0 then invalid_arg "Inter_seq.batch_score: lanes must be positive";
+  let ws = match ws with Some ws -> ws | None -> Scratch.create () in
   let out =
     Array.make (Array.length pairs) { score = 0; query_end = 0; subject_end = 0 }
   in
@@ -185,10 +200,10 @@ let batch_score ?(lanes = default_lanes) scheme mode pairs =
       let full = if ok then nmembers / lanes else 0 in
       for b = 0 to full - 1 do
         let idxs = Array.sub members (b * lanes) lanes in
-        vector_kernel scheme mode ~n ~m pairs idxs out
+        vector_kernel ~ws scheme mode ~n ~m pairs idxs out
       done;
       for k = full * lanes to nmembers - 1 do
-        out.(members.(k)) <- scalar scheme mode pairs.(members.(k))
+        out.(members.(k)) <- scalar ~ws scheme mode pairs.(members.(k))
       done)
     groups;
   out

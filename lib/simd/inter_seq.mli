@@ -16,12 +16,14 @@ val default_lanes : int
 (** 16 — AVX2 with 16-bit scores. *)
 
 val batch_score :
+  ?ws:Anyseq_core.Scratch.t ->
   ?lanes:int ->
   Anyseq_scoring.Scheme.t ->
   Anyseq_core.Types.mode ->
   (Anyseq_bio.Sequence.t * Anyseq_bio.Sequence.t) array ->
   Anyseq_core.Types.ends array
-(** Scores (and end cells) for every pair, in input order. *)
+(** Scores (and end cells) for every pair, in input order. [?ws] pools
+    the lane vectors and code profiles across vector batches. *)
 
 val vectorizable_fraction :
   ?lanes:int ->

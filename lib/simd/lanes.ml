@@ -19,6 +19,18 @@ let of_array a =
   if Array.length a = 0 then invalid_arg "Lanes.of_array: empty";
   Array.map sat a
 
+(* Pooled vectors: the physical width is the arena's pow2 class size, so
+   it may exceed the logical lane count. Whole-register ops over the
+   excess lanes are harmless (saturating int arithmetic on garbage), and
+   kernels only extract lanes below their logical width. *)
+let acquire ws ~width v =
+  if width <= 0 then invalid_arg "Lanes.acquire: width must be positive";
+  let a = Anyseq_core.Scratch.acquire ws width in
+  Array.fill a 0 (Array.length a) (sat v);
+  a
+
+let release ws v = Anyseq_core.Scratch.release ws v
+
 let to_array = Array.copy
 let get v i = v.(i)
 let set v i x = v.(i) <- sat x

@@ -24,6 +24,15 @@ val create : width:int -> int -> t
 val of_array : int array -> t
 (** Values saturated into lanes. *)
 
+val acquire : Anyseq_core.Scratch.t -> width:int -> int -> t
+(** Pooled {!create}: the vector comes from a workspace arena, all
+    physical lanes set to the (saturated) value. The physical width may
+    exceed the requested width (pow2 size class); kernels must derive
+    loop bounds from their logical lane count, never from {!width}. *)
+
+val release : Anyseq_core.Scratch.t -> t -> unit
+(** Return a pooled vector to its arena. *)
+
 val to_array : t -> int array
 
 val get : t -> int -> int

@@ -1,0 +1,75 @@
+(* Allocation gate for the zero-allocation hot path (ISSUE 5).
+
+   Warms a service (specialization cache populated, per-domain workspace
+   arenas grown to steady state), then measures [Gc.minor_words] across
+   repeated score-only batches through [Service.run]. In steady state the
+   per-alignment cost must stay under a fixed budget of minor words —
+   request parsing and result plumbing only; DP rows, lane buffers, and
+   traceback matrices all come from the arena.
+
+   Run via [dune build @alloc-gate]. Exits non-zero (failing the alias)
+   when the budget is exceeded, so a regression that reintroduces per-call
+   allocation in the kernels or the batch executor breaks tier-1. *)
+
+module Rng = Anyseq_util.Rng
+module Sequence = Anyseq.Sequence
+module Service = Anyseq.Service
+module Config = Anyseq.Config
+
+(* Budget, in minor words per alignment, for a 50-150 bp score-only
+   batch. Steady state measures ~81: two sequence parses (~17 words each
+   of packed codes), the prepared-job record, the result cell, and the
+   grouping cons cells; the kernel itself contributes only its 4-word
+   [ends] record. 100 leaves headroom for compiler version drift without
+   letting a per-row allocation (151+ words) or a per-cell one sneak
+   back in. *)
+let budget_words_per_alignment = 100.0
+
+let jobs_per_batch = 64
+let warm_batches = 4
+let measured_batches = 16
+
+let random_sequence rng len =
+  String.init len (fun _ -> "ACGT".[Rng.int rng 4])
+
+let () =
+  let svc = Service.create () in
+  let rng = Rng.create ~seed:2024 in
+  let config = Config.make ~traceback:false ~backend:Config.Scalar () in
+  let jobs =
+    Array.init jobs_per_batch (fun _ ->
+        let query = random_sequence rng (50 + Rng.int rng 101) in
+        let subject = random_sequence rng (50 + Rng.int rng 101) in
+        Service.job ~config ~query ~subject ())
+  in
+  let run_batch () =
+    let results = Service.run svc jobs in
+    Array.iter
+      (function
+        | Ok _ -> ()
+        | Error e ->
+            Printf.eprintf "alloc-gate: job failed: %s\n" (Anyseq.Error.to_string e);
+            exit 2)
+      results
+  in
+  for _ = 1 to warm_batches do
+    run_batch ()
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to measured_batches do
+    run_batch ()
+  done;
+  let per_alignment =
+    (Gc.minor_words () -. before)
+    /. float_of_int (measured_batches * jobs_per_batch)
+  in
+  Printf.printf
+    "alloc-gate: %.1f minor words/alignment (budget %.0f, %d alignments measured)\n"
+    per_alignment budget_words_per_alignment
+    (measured_batches * jobs_per_batch);
+  if per_alignment >= budget_words_per_alignment then begin
+    Printf.eprintf
+      "alloc-gate FAILED: steady-state allocation %.1f >= %.0f minor words/alignment\n"
+      per_alignment budget_words_per_alignment;
+    exit 1
+  end

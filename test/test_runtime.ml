@@ -131,16 +131,95 @@ let native_matches_engine =
       let rng = Rng.create ~seed in
       let alphabet = Scheme.alphabet scheme in
       let nk = Option.get (Native_kernel.build scheme mode) in
+      let ws = Anyseq_core.Scratch.create () in
       let ok = ref true in
       for _ = 1 to 10 do
         let q = Sequence.random rng alphabet ~len:(Rng.int rng 70) in
         let s = Sequence.random rng alphabet ~len:(Rng.int rng 70) in
         let qv = Sequence.view q and sv = Sequence.view s in
         let reference = Dp_linear.score_only scheme mode ~query:qv ~subject:sv in
-        let native = nk.Native_kernel.score ~query:qv ~subject:sv in
+        let native = nk.Native_kernel.score ~ws ~query:q ~subject:s in
         if reference <> native then ok := false
       done;
       !ok)
+
+let align_repr (a : Alignment.t) =
+  Printf.sprintf "%d %s q[%d,%d) s[%d,%d)" a.Alignment.score
+    (Cigar.to_string a.Alignment.cigar)
+    a.Alignment.query_start a.Alignment.query_end a.Alignment.subject_start
+    a.Alignment.subject_end
+
+let native_traceback_matches_engine =
+  Helpers.qtest ~count:40 "native traceback = Engine.align (score, CIGAR, coords)"
+    QCheck2.Gen.(
+      tup3 nat (oneofl native_schemes) (oneofl Helpers.modes_under_test))
+    (fun (seed, (_, scheme), mode) ->
+      let rng = Rng.create ~seed in
+      let alphabet = Scheme.alphabet scheme in
+      let nk = Option.get (Native_kernel.build scheme mode) in
+      let ws = Anyseq_core.Scratch.create () in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let q = Sequence.random rng alphabet ~len:(Rng.int rng 70) in
+        let s = Sequence.random rng alphabet ~len:(Rng.int rng 70) in
+        let reference = Anyseq_core.Engine.align scheme mode ~query:q ~subject:s in
+        let native = nk.Native_kernel.align ~ws ~query:q ~subject:s in
+        if align_repr reference <> align_repr native then ok := false
+      done;
+      !ok)
+
+let test_native_traceback_long_pairs () =
+  (* Above [Engine.auto_full_matrix_limit] the native align must take the
+     same Hirschberg route as the generic engine — and still match it
+     bit-for-bit, CIGAR included. *)
+  let rng = Rng.create ~seed:7 in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun mode ->
+          let alphabet = Scheme.alphabet scheme in
+          let q = Sequence.random rng alphabet ~len:1100 in
+          let s = Sequence.random rng alphabet ~len:1050 in
+          let nk = Option.get (Native_kernel.build scheme mode) in
+          let reference = Anyseq_core.Engine.align scheme mode ~query:q ~subject:s in
+          let native =
+            Workspace.with_ws (fun ws -> nk.Native_kernel.align ~ws ~query:q ~subject:s)
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "long pair, %s" (Scheme.to_string scheme))
+            (align_repr reference) (align_repr native))
+        [ T.Global; T.Semiglobal; T.Local ])
+    [ Scheme.paper_linear; Scheme.paper_affine ]
+
+let test_steady_state_allocation_budget () =
+  (* The tentpole's acceptance bar: once arenas and kernels are warm, a
+     score-only batch must stay under 100 minor words per alignment —
+     parse + result plumbing only, nothing per DP cell or row. *)
+  let svc = Service.create () in
+  let rng = Rng.create ~seed:11 in
+  let config = Anyseq.Config.make ~traceback:false ~backend:Anyseq.Config.Scalar () in
+  let pairs =
+    Array.init 64 (fun _ ->
+        let q, s = Helpers.random_pair rng ~max_len:150 in
+        (Sequence.to_string q, Sequence.to_string s))
+  in
+  let jobs =
+    Array.map (fun (query, subject) -> Service.job ~config ~query ~subject ()) pairs
+  in
+  for _ = 1 to 3 do
+    ignore (Service.run svc jobs)
+  done;
+  let w0 = Gc.minor_words () in
+  let iters = 10 in
+  for _ = 1 to iters do
+    ignore (Service.run svc jobs)
+  done;
+  let per =
+    (Gc.minor_words () -. w0) /. float_of_int (iters * Array.length jobs)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state %.1f minor words/alignment < 100" per)
+    true (per < 100.0)
 
 (* ------------------------------------------------------------------ *)
 (* Specialization cache                                                *)
@@ -188,8 +267,8 @@ let test_cache_name_collision () =
   let q = Sequence.of_string Alphabet.dna4 "AAAA" in
   let score scheme =
     let k = Spec_cache.get c scheme T.Global in
-    ((Option.get k.Spec_cache.native).Native_kernel.score ~query:(Sequence.view q)
-       ~subject:(Sequence.view q))
+    ((Option.get k.Spec_cache.native).Native_kernel.score
+       ~ws:(Anyseq_core.Scratch.create ()) ~query:q ~subject:q)
       .T.score
   in
   Alcotest.(check int) "first scheme kernel" 4 (score s1);
@@ -495,7 +574,15 @@ let () =
           Alcotest.test_case "prometheus round-trip" `Quick test_metrics_prometheus;
           Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
         ] );
-      ("native kernels", [ native_matches_engine ]);
+      ( "native kernels",
+        [
+          native_matches_engine;
+          native_traceback_matches_engine;
+          Alcotest.test_case "long pairs via Hirschberg" `Quick
+            test_native_traceback_long_pairs;
+          Alcotest.test_case "steady-state allocation budget" `Quick
+            test_steady_state_allocation_budget;
+        ] );
       ( "spec cache",
         [
           Alcotest.test_case "hits and misses" `Quick test_cache_hits_and_misses;

@@ -898,7 +898,7 @@ let analyze_cmd =
   let run strict verbose =
     Printf.printf
       "staged-IR static analysis: typecheck, termination (call-graph SCC),\n\
-       binding-time completeness, dispatch-freedom lint\n\n";
+       binding-time completeness, dispatch-freedom lint, residual cost model\n\n";
     Printf.printf "%-28s %-12s %13s  %s\n" "scheme" "mode" "IR nodes" "findings";
     let total = ref 0 and configs = ref 0 in
     List.iter
@@ -907,11 +907,33 @@ let analyze_cmd =
           (fun (mode_name, mode) ->
             incr configs;
             let findings = Anyseq.Staged_kernel.analyze scheme mode in
+            (* Static cost pass over the same residuals the runtime executes:
+               exact per-cell operation counts plus the allocation-freedom
+               verdict (straight-line residuals evaluate without boxing). *)
+            let residuals = Anyseq.Staged_kernel.residuals scheme mode in
+            let cost =
+              List.fold_left
+                (fun acc (_, r) -> Anyseq.Costmodel.add acc (Anyseq.Costmodel.of_residual r))
+                Anyseq.Costmodel.zero residuals
+            in
+            let cost_findings =
+              List.concat_map
+                (fun (name, r) -> Anyseq.Costmodel.check ~name r)
+                residuals
+            in
+            let alloc_free =
+              List.for_all (fun (_, r) -> Anyseq.Costmodel.straight_line r) residuals
+            in
+            let findings = findings @ cost_findings in
             total := !total + List.length findings;
             let generic, resid = Anyseq.Staged_kernel.op_counts scheme mode in
             Printf.printf "%-28s %-12s %5d -> %4d  %d\n"
               (Anyseq.Scheme.to_string scheme) mode_name generic resid
               (List.length findings);
+            Printf.printf "    per-cell cost: %s; %s\n"
+              (Anyseq.Costmodel.to_string cost)
+              (if alloc_free then "allocation-free (straight-line)"
+               else "NOT allocation-free");
             List.iter
               (fun f -> Printf.printf "    %s\n" (Anyseq.Findings.to_string f))
               findings;
@@ -922,6 +944,59 @@ let analyze_cmd =
     Printf.printf "\n%d finding%s across %d configurations\n" !total
       (if !total = 1 then "" else "s")
       !configs;
+    (* Semantic property certificates: abstract interpretation over each
+       scheme's substitution function and gap model. Every emitted
+       certificate is independently re-validated with [Property.check]
+       (counted into the findings total), and the bit-parallel tier
+       admissibility derived from it is printed — the dispatcher trusts
+       exactly these certificates, never scheme names. *)
+    Printf.printf "\nsemantic property certificates (abstract interpretation)\n\n";
+    List.iter
+      (fun scheme ->
+        let report = Anyseq.Property.analyze scheme in
+        Printf.printf "  %s\n" (Anyseq.Property.report_to_string report);
+        let recheck =
+          List.concat_map (Anyseq.Property.check scheme) report.Anyseq.Property.certs
+        in
+        total := !total + List.length recheck;
+        List.iter
+          (fun f -> Printf.printf "      %s\n" (Anyseq.Findings.to_string f))
+          recheck;
+        (match Anyseq.Property.admissible_modes report with
+        | [] -> Printf.printf "      bit-parallel tier: not admissible (no Unit_cost certificate)\n"
+        | ms ->
+            Printf.printf "      bit-parallel tier admissible on: %s\n"
+              (String.concat ", "
+                 (List.map
+                    (function
+                      | Anyseq.Types.Global -> "global"
+                      | Anyseq.Types.Semiglobal -> "semiglobal"
+                      | Anyseq.Types.Local -> "local")
+                    ms))))
+      Anyseq.Scheme.builtins;
+    (* Planted-violation self-test: the gate must be able to catch what it
+       claims to catch. A forged Unit_cost certificate for a non-unit
+       scheme must be refuted, and a residual hiding work behind a call
+       must fail the cost pass. *)
+    let planted_bad = ref 0 in
+    (match Anyseq.Property.unit_cost (Anyseq.Property.analyze Anyseq.Scheme.unit_cost) with
+    | None -> incr planted_bad
+    | Some forged_cert ->
+        if Anyseq.Property.check Anyseq.Scheme.paper_linear
+             (Anyseq.Property.Unit_cost forged_cert)
+           = []
+        then incr planted_bad);
+    let hidden_call =
+      let open Anyseq_staged.Expr in
+      { Anyseq_staged.Pe.entry = Call ("helper", [ Int 1 ]);
+        fns = [ { name = "helper"; params = [ "x" ]; filter = Always; body = Var "x" } ] }
+    in
+    if Anyseq.Costmodel.check ~name:"planted" hidden_call = [] then incr planted_bad;
+    Printf.printf
+      "\nplanted-violation self-test: forged Unit_cost refuted, hidden-allocation residual \
+       rejected — %d problem%s\n"
+      !planted_bad
+      (if !planted_bad = 1 then "" else "s");
     (* Runtime sweep: build every (builtin scheme x mode) through the
        specialization cache with verification forced on — the verified
        staged residual and the pre-generated native kernel — and check
@@ -977,7 +1052,28 @@ let analyze_cmd =
                                 native.Anyseq.Types.query_end native.Anyseq.Types.subject_end
                                 reference.Anyseq.Types.score reference.Anyseq.Types.query_end
                                 reference.Anyseq.Types.subject_end
-                            end
+                            end;
+                            (* Certificate-gated bit-parallel tier (only
+                               present under a Unit_cost certificate): the
+                               converted Myers distance must be bit-identical
+                               to the generic engine. *)
+                            match kernels.Anyseq.Spec_cache.bitparallel with
+                            | None -> ()
+                            | Some bp ->
+                                let bpe =
+                                  Anyseq.Workspace.with_ws (fun ws ->
+                                      bp.Anyseq.Bitparallel.bp_score ~ws ~query:q ~subject:s)
+                                in
+                                if reference <> bpe then begin
+                                  incr sweep_bad;
+                                  Printf.printf
+                                    "    MISMATCH %s %s: bitparallel (%d,%d,%d) vs engine (%d,%d,%d)\n"
+                                    (Anyseq.Scheme.to_string scheme) mode_name
+                                    bpe.Anyseq.Types.score bpe.Anyseq.Types.query_end
+                                    bpe.Anyseq.Types.subject_end reference.Anyseq.Types.score
+                                    reference.Anyseq.Types.query_end
+                                    reference.Anyseq.Types.subject_end
+                                end
                           done)
                   | exception e ->
                       incr sweep_bad;
@@ -1006,15 +1102,20 @@ let analyze_cmd =
           (100.0 *. Anyseq.Spec_cache.hit_rate st)
           !sweep_bad
           (if !sweep_bad = 1 then "" else "s"));
-    if strict && (!total > 0 || !sweep_bad > 0) then exit 1
+    if strict && (!total > 0 || !sweep_bad > 0 || !planted_bad > 0) then exit 1
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Statically verify every specialized kernel (built-in schemes x modes): \
           well-typed, terminating specialization, no foldable leftovers, no \
-          configuration dispatch in residuals; then sweep the same configurations \
-          through the runtime specialization cache with verification on.")
+          configuration dispatch in residuals, static per-cell cost and \
+          allocation-freedom of residuals, semantic property certificates \
+          (unit-cost equivalence, symmetry, score bounds) with independent \
+          re-validation and planted-violation self-tests; then sweep the same \
+          configurations through the runtime specialization cache with \
+          verification on, differentially testing native and certificate-gated \
+          bit-parallel kernels against the generic engine.")
     Term.(const run $ strict_t $ verbose_t)
 
 let () =

@@ -1,0 +1,75 @@
+module E = Anyseq_staged.Expr
+module Pe = Anyseq_staged.Pe
+
+type cost = {
+  c_ops : int;
+  c_loads : int;
+  c_stores : int;
+  c_branches : int;
+  c_calls : int;
+  c_nodes : int;
+}
+
+let zero = { c_ops = 0; c_loads = 0; c_stores = 0; c_branches = 0; c_calls = 0; c_nodes = 0 }
+
+let add a b =
+  {
+    c_ops = a.c_ops + b.c_ops;
+    c_loads = a.c_loads + b.c_loads;
+    c_stores = a.c_stores + b.c_stores;
+    c_branches = a.c_branches + b.c_branches;
+    c_calls = a.c_calls + b.c_calls;
+    c_nodes = a.c_nodes + b.c_nodes;
+  }
+
+let rec of_expr e =
+  let node = { zero with c_nodes = 1 } in
+  match e with
+  | E.Int _ | E.Bool _ | E.Var _ -> node
+  | E.Let (_, a, b) -> add { node with c_stores = 1 } (add (of_expr a) (of_expr b))
+  | E.If (c, t, f) ->
+      add { node with c_branches = 1 } (add (of_expr c) (add (of_expr t) (of_expr f)))
+  | E.Binop (_, a, b) -> add { node with c_ops = 1 } (add (of_expr a) (of_expr b))
+  | E.Neg a -> add { node with c_ops = 1 } (of_expr a)
+  | E.Read (_, i) -> add { node with c_loads = 1 } (of_expr i)
+  | E.Call (_, args) ->
+      List.fold_left (fun acc a -> add acc (of_expr a)) { node with c_calls = 1 } args
+
+let of_residual (r : Pe.residual) =
+  List.fold_left
+    (fun acc (f : E.fn) -> add acc (of_expr f.E.body))
+    (of_expr r.Pe.entry) r.Pe.fns
+
+let straight_line (r : Pe.residual) =
+  r.Pe.fns = [] && (of_expr r.Pe.entry).c_calls = 0
+
+let check ~name (r : Pe.residual) =
+  let finding where fmt =
+    Printf.ksprintf (fun msg -> Findings.make ~pass:"costmodel" ~where msg) fmt
+  in
+  let fns =
+    List.map
+      (fun (f : E.fn) ->
+        finding name "residual function %s survives specialization — per-cell evaluation \
+                      is not straight-line (possible recursion)" f.E.name)
+      r.Pe.fns
+  in
+  let entry_calls = (of_expr r.Pe.entry).c_calls in
+  let calls =
+    if entry_calls = 0 then []
+    else
+      [ finding name
+          "%d residual call site%s in the entry — each evaluation allocates an argument \
+           environment, breaking the allocation-free guarantee"
+          entry_calls
+          (if entry_calls = 1 then "" else "s") ]
+  in
+  fns @ calls
+
+let to_string c =
+  Printf.sprintf "%d ops, %d loads, %d stores, %d branch%s, %d call%s (%d nodes)" c.c_ops
+    c.c_loads c.c_stores c.c_branches
+    (if c.c_branches = 1 then "" else "es")
+    c.c_calls
+    (if c.c_calls = 1 then "" else "s")
+    c.c_nodes

@@ -1,0 +1,49 @@
+(** Residual cost model — static per-cell operation counts and the
+    allocation-freedom proof for straight-line residuals.
+
+    The runtime's [@alloc-gate] measures that the batch hot path allocates
+    nothing {e empirically}; this pass is its static complement over the
+    staged IR. A DP relaxation residual is evaluated once per cell, so the
+    node counts below are exact per-cell costs of the interpreted/compiled
+    residual (reported next to the IR-node counts in the A4 ablation):
+
+    - ops: arithmetic/comparison work ([Binop], [Neg]);
+    - loads: reads from registered input arrays ([Read]);
+    - stores: [let]-bound intermediates (environment writes);
+    - branches: residual [If] nodes;
+    - calls: residualized function call {e sites}.
+
+    Allocation-freedom holds exactly when the residual is straight-line:
+    no residual functions and no call sites. Evaluating [Int]/[Bool]/
+    [Var]/[Let]/[If]/[Binop]/[Neg]/[Read] forms builds unboxed ints and
+    booleans only, whereas a residual call builds an argument environment
+    per evaluation (and a residual function may recurse — unbounded work
+    per cell). A residual that hides work behind a call therefore {e
+    fails} the pass — the planted-violation case of the [@analyze] gate. *)
+
+type cost = {
+  c_ops : int;
+  c_loads : int;
+  c_stores : int;
+  c_branches : int;
+  c_calls : int;
+  c_nodes : int;  (** total IR nodes, = {!Anyseq_staged.Expr.size} *)
+}
+
+val zero : cost
+val add : cost -> cost -> cost
+val of_expr : Anyseq_staged.Expr.expr -> cost
+
+val of_residual : Anyseq_staged.Pe.residual -> cost
+(** Entry plus every residual function body. *)
+
+val straight_line : Anyseq_staged.Pe.residual -> bool
+(** No residual functions, no call sites: per-cell cost is exactly
+    {!of_expr} of the entry and evaluation allocates nothing. *)
+
+val check : name:string -> Anyseq_staged.Pe.residual -> Findings.t list
+(** Empty iff {!straight_line}; otherwise [Error] findings (pass
+    ["costmodel"]) naming each residual function and call site. *)
+
+val to_string : cost -> string
+(** e.g. ["14 ops, 2 loads, 3 stores, 1 branch, 0 calls (27 nodes)"]. *)

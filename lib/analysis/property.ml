@@ -1,0 +1,196 @@
+module Scheme = Anyseq_scoring.Scheme
+module Substitution = Anyseq_bio.Substitution
+module Gaps = Anyseq_bio.Gaps
+module Alphabet = Anyseq_bio.Alphabet
+
+type unit_cost_cert = {
+  uc_match : int;
+  uc_mismatch : int;
+  uc_extend : int;
+  uc_scale : int;
+  uc_drift : int;
+}
+
+type score_bounds_cert = { sb_max_len : int; sb_lo : int; sb_hi : int; sb_bits : int }
+
+type cert =
+  | Unit_cost of unit_cost_cert
+  | Affine_reduces_to_linear of { extend : int }
+  | Symmetric
+  | Score_bounds of score_bounds_cert
+
+type report = { scheme_name : string; certs : cert list }
+
+let default_max_len = 1_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Abstract interpretation of the substitution function: the alphabet   *)
+(* is finite, so "for all residues" is an exhaustive sweep — the        *)
+(* machine-checked part. Nothing here reads the scheme's name.          *)
+(* ------------------------------------------------------------------ *)
+
+(* σ restricted to the diagonal / off-diagonal: constant or not. A dna5
+   wildcard scheme fails the diagonal sweep (σ(N,N) = mismatch), which is
+   exactly right — N≠N pairs are not matches, so no unit-cost conversion
+   exists for it. *)
+let semantically_simple scheme =
+  let asize = Alphabet.size (Scheme.alphabet scheme) in
+  if asize < 2 then None
+  else begin
+    let sigma = Scheme.subst_score scheme in
+    let ma = sigma 0 0 and mi = sigma 0 1 in
+    let ok = ref true in
+    for q = 0 to asize - 1 do
+      for s = 0 to asize - 1 do
+        let expect = if q = s then ma else mi in
+        if sigma q s <> expect then ok := false
+      done
+    done;
+    if !ok then Some (ma, mi) else None
+  end
+
+let is_symmetric scheme =
+  let asize = Alphabet.size (Scheme.alphabet scheme) in
+  let sigma = Scheme.subst_score scheme in
+  let ok = ref true in
+  for q = 0 to asize - 1 do
+    for s = q + 1 to asize - 1 do
+      if sigma q s <> sigma s q then ok := false
+    done
+  done;
+  !ok
+
+(* Gap shape: the effective linear extend penalty, when one exists. An
+   affine model with open = 0 is semantically linear (the E/F recurrences
+   collapse to the linear ones value-for-value). *)
+let linear_extend gap =
+  match gap with
+  | Gaps.Linear { extend } -> Some (extend, false)
+  | Gaps.Affine { open_ = 0; extend } -> Some (extend, true)
+  | Gaps.Affine _ -> None
+
+(* The unit-cost equivalence condition — see the .mli derivation. *)
+let unit_cost_of scheme =
+  match (semantically_simple scheme, linear_extend scheme.Scheme.gap) with
+  | Some (ma, mi), Some (ge, _) ->
+      let scale = mi + (2 * ge) in
+      if ma = (2 * mi) + (2 * ge) && scale > 0 then
+        Some { uc_match = ma; uc_mismatch = mi; uc_extend = ge; uc_scale = scale;
+               uc_drift = scale - ge }
+      else None
+  | _ -> None
+
+(* Interval analysis over length-bounded inputs. For |q|, |s| <= L every
+   global/semiglobal/local score lies within:
+     hi = L * max(0, max σ)            (at most L scored pairs, gaps only
+                                        subtract, local clamps at 0)
+     lo = L * min(0, min σ) − cost of gapping both sequences entirely.
+   Sound over-approximation — a certificate claims containment, not
+   tightness. *)
+let bounds_of scheme ~max_len =
+  let subst = scheme.Scheme.subst and gap = scheme.Scheme.gap in
+  let hi = max_len * max 0 (Substitution.max_score subst) in
+  let lo = (max_len * min 0 (Substitution.min_score subst)) - Gaps.gap_cost gap (2 * max_len) in
+  let fits bits v = v >= -(1 lsl (bits - 1)) && v < 1 lsl (bits - 1) in
+  let bits =
+    List.find (fun b -> fits b lo && fits b hi) [ 8; 16; 32; 64 ]
+  in
+  { sb_max_len = max_len; sb_lo = lo; sb_hi = hi; sb_bits = bits }
+
+let analyze ?(max_len = default_max_len) scheme =
+  let certs = [ Score_bounds (bounds_of scheme ~max_len) ] in
+  let certs = if is_symmetric scheme then Symmetric :: certs else certs in
+  let certs =
+    match linear_extend scheme.Scheme.gap with
+    | Some (extend, true) -> Affine_reduces_to_linear { extend } :: certs
+    | _ -> certs
+  in
+  let certs =
+    match unit_cost_of scheme with Some c -> Unit_cost c :: certs | None -> certs
+  in
+  { scheme_name = Scheme.to_string scheme; certs }
+
+let unit_cost r =
+  List.find_map (function Unit_cost c -> Some c | _ -> None) r.certs
+
+let score_bounds r =
+  List.find_map (function Score_bounds b -> Some b | _ -> None) r.certs
+
+let symmetric r = List.mem Symmetric r.certs
+
+let admissible_modes r =
+  match unit_cost r with
+  | Some _ -> [ Anyseq_bio.Alignment.Global ]
+  | None -> []
+
+let convert c ~n ~m ~distance = (c.uc_drift * (n + m)) - (c.uc_scale * distance)
+
+(* ------------------------------------------------------------------ *)
+(* Independent re-validation of a claimed certificate.                  *)
+(* ------------------------------------------------------------------ *)
+
+let finding where fmt =
+  Printf.ksprintf (fun msg -> Findings.make ~pass:"property" ~where msg) fmt
+
+let check scheme cert =
+  let where = Scheme.to_string scheme in
+  match cert with
+  | Symmetric -> if is_symmetric scheme then [] else [ finding where "claimed Symmetric but σ(x,y) ≠ σ(y,x) for some pair" ]
+  | Affine_reduces_to_linear { extend } -> (
+      match scheme.Scheme.gap with
+      | Gaps.Affine { open_ = 0; extend = e } when e = extend -> []
+      | g ->
+          [ finding where "claimed Affine_reduces_to_linear(%d) but gap model is %s" extend
+              (Gaps.to_string g) ])
+  | Score_bounds b ->
+      let fresh = bounds_of scheme ~max_len:b.sb_max_len in
+      if fresh.sb_lo >= b.sb_lo && fresh.sb_hi <= b.sb_hi && fresh.sb_bits <= b.sb_bits
+      then []
+      else
+        [ finding where
+            "claimed score interval [%d, %d] (%d-bit cells) does not contain the derived \
+             interval [%d, %d] (%d-bit)"
+            b.sb_lo b.sb_hi b.sb_bits fresh.sb_lo fresh.sb_hi fresh.sb_bits ]
+  | Unit_cost c ->
+      let fs = ref [] in
+      let fail fmt = Printf.ksprintf (fun m -> fs := finding where "%s" m :: !fs) fmt in
+      (match semantically_simple scheme with
+      | None -> fail "claimed Unit_cost but σ is not constant on/off the diagonal"
+      | Some (ma, mi) ->
+          if ma <> c.uc_match || mi <> c.uc_mismatch then
+            fail "claimed σ = (%d, %d) but sweep derives (%d, %d)" c.uc_match c.uc_mismatch
+              ma mi);
+      (match linear_extend scheme.Scheme.gap with
+      | None ->
+          fail "claimed Unit_cost but gap model %s has no linear reduction"
+            (Gaps.to_string scheme.Scheme.gap)
+      | Some (ge, _) ->
+          if ge <> c.uc_extend then
+            fail "claimed gap extend %d but model has %d" c.uc_extend ge);
+      if c.uc_match <> (2 * c.uc_mismatch) + (2 * c.uc_extend) then
+        fail "unit-cost identity ma = 2·mi + 2·ge violated (%d ≠ 2·%d + 2·%d)" c.uc_match
+          c.uc_mismatch c.uc_extend;
+      let scale = c.uc_mismatch + (2 * c.uc_extend) in
+      if scale <= 0 then fail "scale mi + 2·ge = %d is not positive" scale
+      else if c.uc_scale <> scale then fail "claimed scale %d, derived %d" c.uc_scale scale;
+      if c.uc_drift <> scale - c.uc_extend then
+        fail "claimed drift %d, derived %d" c.uc_drift (scale - c.uc_extend);
+      List.rev !fs
+
+(* ------------------------------------------------------------------ *)
+
+let cert_to_string = function
+  | Unit_cost c ->
+      Printf.sprintf
+        "Unit_cost(match=%d mismatch=%d gap=%d; score = %d·(n+m) − %d·D)" c.uc_match
+        c.uc_mismatch c.uc_extend c.uc_drift c.uc_scale
+  | Affine_reduces_to_linear { extend } ->
+      Printf.sprintf "Affine_reduces_to_linear(extend=%d)" extend
+  | Symmetric -> "Symmetric"
+  | Score_bounds b ->
+      Printf.sprintf "Score_bounds(len≤%d: [%d, %d], %d-bit cells)" b.sb_max_len b.sb_lo
+        b.sb_hi b.sb_bits
+
+let report_to_string r =
+  Printf.sprintf "%s: %s" r.scheme_name
+    (String.concat ", " (List.map cert_to_string r.certs))

@@ -1,0 +1,90 @@
+(** Semantic scheme property analysis — machine-checked certificates.
+
+    Where {!Typecheck}/{!Bta}/{!Lint} prove {e syntactic} facts about the
+    staged IR, this pass proves {e semantic} facts about a scoring scheme
+    by abstract interpretation of its substitution function and gap model:
+    exhaustive evaluation over the (finite) alphabet square plus interval
+    reasoning over sequence-length bounds. Each fact is emitted as a
+    certificate carrying exactly the data a consumer needs to act on it —
+    most importantly [Unit_cost], which legalizes the Myers bit-parallel
+    tier with the score↔distance conversion recorded in the certificate.
+
+    Soundness discipline: consumers (the specialization cache, the
+    dispatcher) must trust {e only} certificates, never scheme names —
+    two schemes may share a name and differ semantically (the same rule
+    {!Anyseq_runtime.Spec_cache} applies to kernel identity). Every
+    certificate can be independently re-validated with {!check}; the
+    [@analyze] gate does so for every builtin, and the planted-violation
+    tests prove non-member schemes are rejected. *)
+
+(** Proof that maximizing the scheme's global score is equivalent to
+    minimizing unit-cost edit distance, for {e all} inputs.
+
+    For a simple scheme (σ(x,x) = ma, σ(x≠y) = mi, linear gap penalty ge)
+    a global alignment with M matches and X mismatches of sequences of
+    lengths n, m scores
+    [S = (ma + 2ge)·M + (mi + 2ge)·X − ge·(n + m)], while its edit cost is
+    [D = (n + m) − 2M − X]. [S] is an affine function of [D] alone —
+    independent of the (M, X) split — iff [ma = 2·mi + 2·ge]; then
+    [S = drift·(n + m) − scale·D] with [scale = mi + 2ge] and
+    [drift = scale − ge], and [scale > 0] makes score-max ≡ distance-min.
+    The certificate stores that conversion. *)
+type unit_cost_cert = {
+  uc_match : int;  (** σ on the diagonal (constant, proven by sweep) *)
+  uc_mismatch : int;  (** σ off the diagonal (constant, proven by sweep) *)
+  uc_extend : int;  (** effective linear gap penalty *)
+  uc_scale : int;  (** score units per edit — [mi + 2ge > 0] *)
+  uc_drift : int;  (** per-length score drift — [scale − ge] *)
+}
+
+type score_bounds_cert = {
+  sb_max_len : int;  (** sequence-length bound the interval was proven for *)
+  sb_lo : int;
+  sb_hi : int;  (** every reachable score lies in [[sb_lo, sb_hi]] *)
+  sb_bits : int;  (** minimal signed cell width from {8,16,32,64} *)
+}
+
+type cert =
+  | Unit_cost of unit_cost_cert
+  | Affine_reduces_to_linear of { extend : int }
+      (** the gap model is affine with open = 0 — semantically linear *)
+  | Symmetric  (** σ(x,y) = σ(y,x) over the whole alphabet square *)
+  | Score_bounds of score_bounds_cert
+
+type report = {
+  scheme_name : string;  (** display only — never used for decisions *)
+  certs : cert list;
+}
+
+val default_max_len : int
+(** Length bound for the interval analysis (1e6 — far above the service's
+    chunk workloads; {!analyze} takes an override). *)
+
+val analyze : ?max_len:int -> Anyseq_scoring.Scheme.t -> report
+(** Derive every certificate the scheme admits. Total: schemes outside a
+    class simply lack that certificate. *)
+
+val unit_cost : report -> unit_cost_cert option
+val score_bounds : report -> score_bounds_cert option
+val symmetric : report -> bool
+
+val admissible_modes : report -> Anyseq_bio.Alignment.mode list
+(** Modes on which a [Unit_cost] certificate legalizes the bit-parallel
+    kernel: [[Global]] when certified, [[]] otherwise. Semiglobal is
+    excluded by construction — this library's semiglobal frees {e both}
+    sequence starts and scans the last row {e and} column, which is not
+    expressible as a text-ends-free distance minimization (Myers' search
+    keeps the pattern fully aligned), so no conversion exists. *)
+
+val convert : unit_cost_cert -> n:int -> m:int -> distance:int -> int
+(** [drift·(n+m) − scale·distance] — the certified global score of an
+    optimal-distance alignment of lengths n, m. *)
+
+val check : Anyseq_scoring.Scheme.t -> cert -> Findings.t list
+(** Independently re-validate a claimed certificate against the scheme
+    (pass ["property"]). Empty for every certificate {!analyze} emits;
+    a forged certificate — e.g. [Unit_cost] claimed for a non-unit
+    scheme — yields [Error] findings naming the violated condition. *)
+
+val cert_to_string : cert -> string
+val report_to_string : report -> string

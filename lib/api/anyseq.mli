@@ -38,6 +38,8 @@ module Tiling = Anyseq_core.Tiling
 module Staged_kernel = Anyseq_core.Staged_kernel
 module Analysis = Anyseq_analysis.Driver
 module Findings = Anyseq_analysis.Findings
+module Property = Anyseq_analysis.Property
+module Costmodel = Anyseq_analysis.Costmodel
 module Ends_free = Anyseq_core.Ends_free
 module Myers = Anyseq_core.Myers
 module Scheduler = Anyseq_wavefront.Scheduler
@@ -58,6 +60,7 @@ module Service = Anyseq_runtime.Service
 module Spec_cache = Anyseq_runtime.Spec_cache
 module Metrics = Anyseq_runtime.Metrics
 module Native_kernel = Anyseq_runtime.Native_kernel
+module Bitparallel = Anyseq_runtime.Bitparallel
 module Workspace = Anyseq_runtime.Workspace
 
 (** {1 Observability}

@@ -1,125 +1,145 @@
 module Sequence = Anyseq_bio.Sequence
 module Alphabet = Anyseq_bio.Alphabet
 
-let unit_scheme =
-  Anyseq_scoring.Scheme.make ~name:"unit-cost"
-    (Anyseq_bio.Substitution.simple Alphabet.dna4 ~match_:0 ~mismatch:(-1))
-    (Anyseq_bio.Gaps.linear 1)
+let unit_scheme = Anyseq_scoring.Scheme.unit_cost
 
-let word_bits = 64
+(* The bit vectors use 62-bit limbs of OCaml's native int, not 64-bit
+   Int64 words: [(eq land pv) + pv] of two 62-bit values stays strictly
+   below 2^63, so the carry chain of Myers' Xh equation runs on untagged
+   ints — no per-operation boxing in the inner loop, and every buffer is
+   an [int array] the {!Scratch} arena can pool. Block decomposition is
+   internal; distances are representation-independent. *)
+let word_bits = 62
 
-(* Per-pattern state: Peq bitmasks per alphabet code per vertical block. *)
-type pattern = {
-  n : int;
-  nblocks : int;
-  peq : int64 array array; (* peq.(code).(block) *)
-  last_mask : int64; (* bit of pattern row n-1 inside the last block *)
-}
+let all_ones = (1 lsl word_bits) - 1
+let high_bit = 1 lsl (word_bits - 1)
+let nblocks_of n = max 1 ((n + word_bits - 1) / word_bits)
 
-let build_pattern q =
-  let n = Sequence.length q in
-  let nblocks = max 1 ((n + word_bits - 1) / word_bits) in
+(* Peq is flat — [peq.(code * nblocks + block)] — so one arena acquisition
+   covers the whole table. Buffers come back dirty: zero exactly the
+   prefix in use. *)
+let fill_peq peq q ~n ~nblocks =
   let asize = Alphabet.size (Sequence.alphabet q) in
-  let peq = Array.make_matrix asize nblocks 0L in
-  for i = 0 to n - 1 do
-    let c = Sequence.get q i in
-    let b = i / word_bits and off = i mod word_bits in
-    peq.(c).(b) <- Int64.logor peq.(c).(b) (Int64.shift_left 1L off)
+  for k = 0 to (asize * nblocks) - 1 do
+    Array.unsafe_set peq k 0
   done;
-  let last_mask = Int64.shift_left 1L ((n - 1) mod word_bits) in
-  { n; nblocks; peq; last_mask }
+  for i = 0 to n - 1 do
+    let c = Sequence.unsafe_get q i in
+    let k = (c * nblocks) + (i / word_bits) in
+    Array.unsafe_set peq k (Array.unsafe_get peq k lor (1 lsl (i mod word_bits)))
+  done
 
 (* One column step for one block (Myers' Advance_Block, as in edlib).
    [hin] is the horizontal delta entering the block's top row (-1/0/+1);
-   returns the delta leaving its bottom row. *)
-let advance_block pv mv ~b ~eq ~hin =
-  let ( &^ ) = Int64.logand
-  and ( |^ ) = Int64.logor
-  and ( ^^ ) = Int64.logxor
-  and lnot64 = Int64.lognot in
-  let pvb = pv.(b) and mvb = mv.(b) in
-  let eq = if hin < 0 then eq |^ 1L else eq in
-  let xv = eq |^ mvb in
-  let xh = Int64.add (eq &^ pvb) pvb ^^ pvb |^ eq in
-  let ph = mvb |^ lnot64 (xh |^ pvb) in
-  let mh = pvb &^ xh in
-  let high = Int64.shift_left 1L (word_bits - 1) in
-  let hout =
-    if ph &^ high <> 0L then 1 else if mh &^ high <> 0L then -1 else 0
-  in
-  let ph = Int64.shift_left ph 1 in
-  let mh = Int64.shift_left mh 1 in
-  let ph = if hin > 0 then ph |^ 1L else ph in
-  let mh = if hin < 0 then mh |^ 1L else mh in
-  pv.(b) <- (mh |^ lnot64 (xv |^ ph));
-  mv.(b) <- ph &^ xv;
-  hout
-
-(* Last-block step: identical to [advance_block] except the score delta is
-   sampled at the pattern's bottom-row bit [last_mask] instead of the
-   block's top bit. *)
-let advance_last pv mv ~b ~eq ~hin ~last_mask =
-  let ( &^ ) = Int64.logand
-  and ( |^ ) = Int64.logor
-  and ( ^^ ) = Int64.logxor
-  and lnot64 = Int64.lognot in
-  let pvb = pv.(b) and mvb = mv.(b) in
-  let eq = if hin < 0 then eq |^ 1L else eq in
-  let xv = eq |^ mvb in
-  let xh = Int64.add (eq &^ pvb) pvb ^^ pvb |^ eq in
-  let ph = mvb |^ lnot64 (xh |^ pvb) in
-  let mh = pvb &^ xh in
+   the returned delta is sampled at [sample] — the block's top bit for
+   interior blocks (the carry leaving its bottom row), or the pattern's
+   last-row bit for the final block (the score delta). *)
+let advance pv mv ~b ~eq ~hin ~sample =
+  let pvb = Array.unsafe_get pv b and mvb = Array.unsafe_get mv b in
+  let eq = if hin < 0 then eq lor 1 else eq in
+  let xv = eq lor mvb in
+  let xh = (((eq land pvb) + pvb) land all_ones) lxor pvb lor eq in
+  let ph = mvb lor (all_ones land lnot (xh lor pvb)) in
+  let mh = pvb land xh in
   let delta =
-    if ph &^ last_mask <> 0L then 1 else if mh &^ last_mask <> 0L then -1 else 0
+    if ph land sample <> 0 then 1 else if mh land sample <> 0 then -1 else 0
   in
-  let ph = Int64.shift_left ph 1 in
-  let mh = Int64.shift_left mh 1 in
-  let ph = if hin > 0 then ph |^ 1L else ph in
-  let mh = if hin < 0 then mh |^ 1L else mh in
-  pv.(b) <- (mh |^ lnot64 (xv |^ ph));
-  mv.(b) <- ph &^ xv;
+  let ph = (ph lsl 1) land all_ones in
+  let mh = (mh lsl 1) land all_ones in
+  let ph = if hin > 0 then ph lor 1 else ph in
+  let mh = if hin < 0 then mh lor 1 else mh in
+  Array.unsafe_set pv b (mh lor (all_ones land lnot (xv lor ph)));
+  Array.unsafe_set mv b (ph land xv);
   delta
 
-let run_columns pattern text ~hin0 ~on_score =
-  let { n; nblocks; peq; last_mask } = pattern in
-  let pv = Array.make nblocks Int64.minus_one in
-  let mv = Array.make nblocks 0L in
-  let score = ref n in
-  let m = Sequence.length text in
-  for j = 0 to m - 1 do
-    let c = Sequence.get text j in
-    let hin = ref hin0 in
-    for b = 0 to nblocks - 2 do
-      hin := advance_block pv mv ~b ~eq:peq.(c).(b) ~hin:!hin
-    done;
-    let delta =
-      advance_last pv mv ~b:(nblocks - 1) ~eq:peq.(c).(nblocks - 1) ~hin:!hin ~last_mask
+(* Carry propagation through the interior blocks of one column. *)
+let rec interior pv mv peq ~base ~b ~last ~hin =
+  if b = last then hin
+  else
+    let hout =
+      advance pv mv ~b ~eq:(Array.unsafe_get peq (base + b)) ~hin ~sample:high_bit
     in
-    score := !score + delta;
-    on_score j !score
-  done;
-  !score
+    interior pv mv peq ~base ~b:(b + 1) ~last ~hin:hout
 
-let distance q s =
+let one_column pv mv peq scodes ~nblocks ~last_mask ~hin0 ~j =
+  let c = Char.code (Bytes.unsafe_get scodes j) in
+  let base = c * nblocks in
+  let hin = interior pv mv peq ~base ~b:0 ~last:(nblocks - 1) ~hin:hin0 in
+  advance pv mv ~b:(nblocks - 1)
+    ~eq:(Array.unsafe_get peq (base + (nblocks - 1)))
+    ~hin ~sample:last_mask
+
+(* Straight distance loop (no per-column callback): tail-recursive with
+   the running score in an argument, so the steady state allocates
+   nothing — the form the runtime's bit-parallel tier dispatches on. *)
+let rec distance_columns pv mv peq scodes ~nblocks ~last_mask ~j ~m ~score =
+  if j = m then score
+  else
+    let delta = one_column pv mv peq scodes ~nblocks ~last_mask ~hin0:1 ~j in
+    distance_columns pv mv peq scodes ~nblocks ~last_mask ~j:(j + 1) ~m
+      ~score:(score + delta)
+
+let rec scan_columns pv mv peq scodes ~nblocks ~last_mask ~hin0 ~j ~m ~score ~on_score =
+  if j = m then score
+  else begin
+    let delta = one_column pv mv peq scodes ~nblocks ~last_mask ~hin0 ~j in
+    let score = score + delta in
+    on_score j score;
+    scan_columns pv mv peq scodes ~nblocks ~last_mask ~hin0 ~j:(j + 1) ~m ~score ~on_score
+  end
+
+(* Buffer management: peq (asize x nblocks, flat), pv, mv — from the
+   arena when one is supplied, fresh otherwise. pv starts all-ones
+   (column 0 is 0,1,2,…,n top to bottom), mv empty. *)
+let with_state ?ws q f =
+  let n = Sequence.length q in
+  let nblocks = nblocks_of n in
+  let asize = Alphabet.size (Sequence.alphabet q) in
+  let last_mask = 1 lsl ((n - 1) mod word_bits) in
+  let init peq pv mv =
+    fill_peq peq q ~n ~nblocks;
+    for b = 0 to nblocks - 1 do
+      Array.unsafe_set pv b all_ones;
+      Array.unsafe_set mv b 0
+    done;
+    f peq pv mv ~nblocks ~last_mask
+  in
+  match ws with
+  | None -> init (Array.make (asize * nblocks) 0) (Array.make nblocks 0) (Array.make nblocks 0)
+  | Some ws ->
+      let peq = Scratch.acquire ws (asize * nblocks) in
+      let pv = Scratch.acquire ws nblocks in
+      let mv = Scratch.acquire ws nblocks in
+      Fun.protect
+        ~finally:(fun () ->
+          Scratch.release ws mv;
+          Scratch.release ws pv;
+          Scratch.release ws peq)
+        (fun () -> init peq pv mv)
+
+let distance ?ws q s =
   let n = Sequence.length q and m = Sequence.length s in
   if n = 0 then m
   else if m = 0 then n
   else
-    let pattern = build_pattern q in
-    run_columns pattern s ~hin0:1 ~on_score:(fun _ _ -> ())
+    with_state ?ws q (fun peq pv mv ~nblocks ~last_mask ->
+        distance_columns pv mv peq (Sequence.unsafe_codes s) ~nblocks ~last_mask ~j:0 ~m
+          ~score:n)
 
 let search ~pattern ~text =
   let n = Sequence.length pattern in
   if n = 0 then (0, 0)
   else begin
-    let p = build_pattern pattern in
     let best = ref n and best_pos = ref 0 in
-    ignore
-      (run_columns p text ~hin0:0 ~on_score:(fun j score ->
-           if score < !best then begin
-             best := score;
-             best_pos := j + 1
-           end));
+    let m = Sequence.length text in
+    with_state pattern (fun peq pv mv ~nblocks ~last_mask ->
+        ignore
+          (scan_columns pv mv peq (Sequence.unsafe_codes text) ~nblocks ~last_mask ~hin0:0
+             ~j:0 ~m ~score:n ~on_score:(fun j score ->
+               if score < !best then begin
+                 best := score;
+                 best_pos := j + 1
+               end)));
     (!best, !best_pos)
   end
 
@@ -127,10 +147,12 @@ let occurrences ~pattern ~text ~k =
   let n = Sequence.length pattern in
   if n = 0 then List.init (Sequence.length text + 1) (fun j -> (j, 0))
   else begin
-    let p = build_pattern pattern in
     let hits = ref [] in
-    ignore
-      (run_columns p text ~hin0:0 ~on_score:(fun j score ->
-           if score <= k then hits := (j + 1, score) :: !hits));
+    let m = Sequence.length text in
+    with_state pattern (fun peq pv mv ~nblocks ~last_mask ->
+        ignore
+          (scan_columns pv mv peq (Sequence.unsafe_codes text) ~nblocks ~last_mask ~hin0:0
+             ~j:0 ~m ~score:n ~on_score:(fun j score ->
+               if score <= k then hits := (j + 1, score) :: !hits)));
     List.rev !hits
   end

@@ -1,23 +1,35 @@
 (** Myers' bit-parallel edit-distance kernel (Myers 1999, multi-word form).
 
-    For the unit-cost configuration (match 0, mismatch/indel 1) the DP
-    column fits in bit vectors: 64 cells advance per word operation. This
-    is the ultimate form of the specialization story the paper tells —
-    when the partial evaluator knows the scoring scheme is unit-cost, a
-    completely different, far faster kernel becomes admissible. The engines
-    here are verified against the general DP under the equivalent scheme
-    ([unit_scheme]): [distance q s = - global_score], and
-    [search] matches the subject-contained ends-free policy.
+    For the unit-cost configuration (match 0, mismatch/indel cost 1 — the
+    scheme-land scores are match 0, mismatch −1, linear gap penalty 1) the
+    DP column fits in bit vectors: one word operation advances
+    {!word_bits} cells. This is the ultimate form of the specialization
+    story the paper tells — when the analyzer proves a scoring scheme is
+    unit-cost ({!Anyseq_analysis.Property}'s [Unit_cost] certificate), a
+    completely different, far faster kernel becomes admissible. The
+    engines here are verified against the general DP under the equivalent
+    scheme ([unit_scheme]): [distance q s = - global_score], and [search]
+    matches the subject-contained ends-free policy.
 
     Patterns of any length are supported (vertical blocks with carry
-    propagation). *)
+    propagation). The vectors are 62-bit limbs of native [int] — the carry
+    add of two limbs stays inside OCaml's 63-bit range — so the inner loop
+    boxes nothing and the state buffers pool in a {!Scratch} arena. *)
 
 val unit_scheme : Anyseq_scoring.Scheme.t
-(** match 0, mismatch −1, linear gap 1 over dna4 — the general-DP scheme
-    whose global score is the negated edit distance. *)
+(** match 0, mismatch −1, linear gap penalty 1 over dna4 — the general-DP
+    scheme whose global score is the negated edit distance. This is
+    {!Anyseq_scoring.Scheme.unit_cost} itself (physically equal), so jobs
+    naming the ["unit-cost"] builtin reuse its specialization-cache entry
+    and bit-parallel eligibility. *)
 
-val distance : Anyseq_bio.Sequence.t -> Anyseq_bio.Sequence.t -> int
-(** Global (Levenshtein) edit distance. *)
+val word_bits : int
+(** Cells advanced per word operation (62: native-int limbs). *)
+
+val distance : ?ws:Scratch.t -> Anyseq_bio.Sequence.t -> Anyseq_bio.Sequence.t -> int
+(** Global (Levenshtein) edit distance. With [ws], the pattern masks and
+    column vectors come from the arena and the call is allocation-free in
+    steady state — the form the runtime's bit-parallel tier uses. *)
 
 val search :
   pattern:Anyseq_bio.Sequence.t -> text:Anyseq_bio.Sequence.t -> int * int

@@ -1,0 +1,20 @@
+module Property = Anyseq_analysis.Property
+module Myers = Anyseq_core.Myers
+module Seq = Anyseq_bio.Sequence
+open Anyseq_core.Types
+
+type t = {
+  bp_cert : Property.unit_cost_cert;
+  bp_score : ws:Anyseq_core.Scratch.t -> query:Seq.t -> subject:Seq.t -> ends;
+}
+
+let build _scheme mode report =
+  match Property.unit_cost report with
+  | Some cert when List.mem mode (Property.admissible_modes report) ->
+      let score ~ws ~query ~subject =
+        let n = Seq.length query and m = Seq.length subject in
+        let d = Myers.distance ~ws query subject in
+        { score = Property.convert cert ~n ~m ~distance:d; query_end = n; subject_end = m }
+      in
+      Some { bp_cert = cert; bp_score = score }
+  | _ -> None

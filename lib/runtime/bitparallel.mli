@@ -1,0 +1,30 @@
+(** Proof-directed bit-parallel kernel tier.
+
+    A {!t} exists for a (scheme, mode) configuration {e only} when the
+    property pass emitted a [Unit_cost] certificate and the mode is in the
+    certificate's admissible set (Global — see
+    {!Anyseq_analysis.Property.admissible_modes} for why this library's
+    semiglobal is excluded). The kernel runs {!Anyseq_core.Myers} edit
+    distance (multi-word, all lengths, arena-pooled state) and converts
+    the distance to the scheme's score per the certificate:
+    [score = drift·(n+m) − scale·D]. Global ends are always (n, m), so
+    the outcome is bit-identical to the generic engine's — including the
+    cell width the Corner kernel reports — not merely equal-scoring. *)
+
+type t = {
+  bp_cert : Anyseq_analysis.Property.unit_cost_cert;
+  bp_score :
+    ws:Anyseq_core.Scratch.t ->
+    query:Anyseq_bio.Sequence.t ->
+    subject:Anyseq_bio.Sequence.t ->
+    Anyseq_core.Types.ends;
+}
+
+val build :
+  Anyseq_scoring.Scheme.t ->
+  Anyseq_core.Types.mode ->
+  Anyseq_analysis.Property.report ->
+  t option
+(** [None] unless [report] carries a [Unit_cost] certificate admitting
+    [mode]. The scheme itself is consulted only through the certificate —
+    tier selection trusts proofs, never names or shapes. *)

@@ -196,16 +196,22 @@ let dispatch_chunks t results group f =
    everything else (and configurations outside the pre-generated set)
    takes the generic engine — bit-identical either way. *)
 let run_traceback t results (cfg : Config.t) group =
-  let align =
+  let tier, align =
     match cfg.backend with
     | Config.Scalar | Config.Auto -> (
         let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
         match kernels.Spec_cache.native with
-        | Some nk -> fun ~ws ~query ~subject -> nk.Native_kernel.align ~ws ~query ~subject
-        | None -> fun ~ws ~query ~subject -> Engine.align ~ws cfg.scheme cfg.mode ~query ~subject)
+        | Some nk ->
+            ( "tier_native",
+              fun ~ws ~query ~subject -> nk.Native_kernel.align ~ws ~query ~subject )
+        | None ->
+            ( "tier_staged",
+              fun ~ws ~query ~subject -> Engine.align ~ws cfg.scheme cfg.mode ~query ~subject ))
     | Config.Simd | Config.Wavefront ->
-        fun ~ws ~query ~subject -> Engine.align ~ws cfg.scheme cfg.mode ~query ~subject
+        ( "tier_staged",
+          fun ~ws ~query ~subject -> Engine.align ~ws cfg.scheme cfg.mode ~query ~subject )
   in
+  Metrics.add (ctr t tier) (List.length group);
   Workspace.with_ws (fun ws ->
       List.iter
         (fun p ->
@@ -233,28 +239,52 @@ let run_traceback t results (cfg : Config.t) group =
           end)
         group)
 
-(* Scalar tier: the cached pre-generated residual kernel. The cache is
-   consulted at every dispatch point (once per chunk), so hit/miss counts
-   measure how often execution was served without re-specializing. *)
+(* Scalar tier: proof-directed selection per chunk. A configuration whose
+   cache entry carries a bit-parallel kernel — populated only under a
+   Unit_cost certificate — runs Myers edit distance with the certified
+   score conversion; everything else runs the cached pre-generated
+   residual, falling back to the generic linear-space engine. All three
+   are bit-identical on scores and ends. The cache is consulted at every
+   dispatch point (once per chunk), so hit/miss counts measure how often
+   execution was served without re-specializing. *)
 let run_scalar t results (cfg : Config.t) group =
   dispatch_chunks t results group (fun ws live ->
       let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
-      let native, score =
-        match kernels.Spec_cache.native with
-        | Some nk ->
-            (true, fun p -> nk.Native_kernel.score ~ws ~query:p.p_q ~subject:p.p_s)
-        | None ->
-            (* Configurations outside the pre-generated set fall back to the
-               generic linear-space engine (bit-identical results). *)
-            ( false,
-              fun p ->
-                Dp_linear.score_only ~ws cfg.scheme cfg.mode ~query:(Seq.view p.p_q)
-                  ~subject:(Seq.view p.p_s) )
-      in
-      Trace.with_span "backend.scalar"
-        ~attrs:
-          [ ("jobs", Trace.Int (List.length live)); ("native", Trace.Str (string_of_bool native)) ]
-        (fun () -> List.iter (fun p -> score_outcome results p (score p)) live))
+      match kernels.Spec_cache.bitparallel with
+      | Some bp ->
+          Metrics.add (ctr t "tier_bitparallel") (List.length live);
+          Trace.with_span "backend.myers"
+            ~attrs:
+              [
+                ("jobs", Trace.Int (List.length live));
+                ("scale", Trace.Int bp.Bitparallel.bp_cert.Anyseq_analysis.Property.uc_scale);
+              ]
+            (fun () ->
+              List.iter
+                (fun p ->
+                  score_outcome results p
+                    (bp.Bitparallel.bp_score ~ws ~query:p.p_q ~subject:p.p_s))
+                live)
+      | None ->
+          let native, score =
+            match kernels.Spec_cache.native with
+            | Some nk ->
+                (true, fun p -> nk.Native_kernel.score ~ws ~query:p.p_q ~subject:p.p_s)
+            | None ->
+                (* Configurations outside the pre-generated set fall back to the
+                   generic linear-space engine (bit-identical results). *)
+                ( false,
+                  fun p ->
+                    Dp_linear.score_only ~ws cfg.scheme cfg.mode ~query:(Seq.view p.p_q)
+                      ~subject:(Seq.view p.p_s) )
+          in
+          Metrics.add
+            (ctr t (if native then "tier_native" else "tier_staged"))
+            (List.length live);
+          Trace.with_span "backend.scalar"
+            ~attrs:
+              [ ("jobs", Trace.Int (List.length live)); ("native", Trace.Str (string_of_bool native)) ]
+            (fun () -> List.iter (fun p -> score_outcome results p (score p)) live))
 
 (* SIMD tier: 16-bit overflow screening, then lockstep vector batches. *)
 let run_simd t results (cfg : Config.t) group =
@@ -279,6 +309,7 @@ let run_simd t results (cfg : Config.t) group =
   in
   dispatch_chunks t results feasible (fun ws live ->
       let pairs = Array.of_list (List.map (fun p -> (p.p_q, p.p_s)) live) in
+      Metrics.add (ctr t "tier_simd") (List.length live);
       let ends =
         Trace.with_span "backend.simd"
           ~attrs:[ ("jobs", Trace.Int (Array.length pairs)) ]
@@ -292,6 +323,7 @@ let run_simd t results (cfg : Config.t) group =
 let run_wavefront t results (cfg : Config.t) group =
   dispatch_chunks t results group (fun _ws live ->
       let pairs = Array.of_list (List.map (fun p -> (p.p_q, p.p_s)) live) in
+      Metrics.add (ctr t "tier_wavefront") (List.length live);
       let ends =
         Trace.with_span "backend.wavefront"
           ~attrs:[ ("jobs", Trace.Int (Array.length pairs)); ("domains", Trace.Int t.domains) ]
@@ -308,12 +340,19 @@ let run_group t results (cfg : Config.t) group =
     | Config.Wavefront -> run_wavefront t results cfg group
     | Config.Auto ->
         (* Short pairs take the cached residual; a pair worth tiling only
-           escalates when there is real parallelism to win. *)
-        let long, short =
-          List.partition (fun p -> t.domains > 1 && cells_of p >= long_pair_cells) group
-        in
-        if short <> [] then run_scalar t results cfg short;
-        if long <> [] then run_wavefront t results cfg long
+           escalates when there is real parallelism to win — unless the
+           configuration is certified unit-cost, where the bit-parallel
+           kernel's ~62 cells per word op beats wavefront parallelism at
+           any realistic domain count, so the whole group stays scalar. *)
+        let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
+        if kernels.Spec_cache.bitparallel <> None then run_scalar t results cfg group
+        else begin
+          let long, short =
+            List.partition (fun p -> t.domains > 1 && cells_of p >= long_pair_cells) group
+          in
+          if short <> [] then run_scalar t results cfg short;
+          if long <> [] then run_wavefront t results cfg long
+        end
 
 (* Group accumulation without a per-job [Config.key]: batch submitters
    overwhelmingly share one config {e value}, so membership is decided by

@@ -4,7 +4,12 @@ module Alignment = Anyseq_bio.Alignment
 module Trace = Anyseq_trace.Trace
 open Anyseq_core.Types
 
-type kernels = { native : Native_kernel.t option; staged : Staged_kernel.kernel }
+type kernels = {
+  native : Native_kernel.t option;
+  staged : Staged_kernel.kernel;
+  props : Anyseq_analysis.Property.report;
+  bitparallel : Bitparallel.t option;
+}
 
 type entry = {
   e_scheme : Scheme.t;
@@ -79,9 +84,16 @@ let evict_lru t =
 
 let build k scheme mode =
   Trace.with_span "cache.build" ~attrs:[ ("key", Trace.Str k) ] @@ fun () ->
+  (* The property pass runs at build time (one alphabet-square sweep —
+     cheap next to specialization) and its certificates gate the
+     bit-parallel tier: [bitparallel] is [Some] exactly when a
+     [Unit_cost] certificate admits this mode. No name-based dispatch. *)
+  let props = Anyseq_analysis.Property.analyze scheme in
   {
     native = Native_kernel.build scheme mode;
     staged = Staged_kernel.specialize scheme mode `Compiled;
+    props;
+    bitparallel = Bitparallel.build scheme mode props;
   }
 
 let get t scheme mode =

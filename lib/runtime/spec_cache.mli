@@ -28,6 +28,12 @@ type t
 type kernels = {
   native : Native_kernel.t option;
   staged : Anyseq_core.Staged_kernel.kernel;
+  props : Anyseq_analysis.Property.report;
+      (** semantic certificates derived at build time *)
+  bitparallel : Bitparallel.t option;
+      (** populated {e only} when [props] carries a [Unit_cost]
+          certificate admitting this entry's mode — proof-directed tier
+          selection; see DESIGN.md "Proof-directed specialization" *)
 }
 
 type stats = {

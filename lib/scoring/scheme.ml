@@ -44,8 +44,13 @@ let wildcard_affine =
     (Substitution.dna_wildcard ~match_:2 ~mismatch:(-1))
     (Gaps.affine ~open_:2 ~extend:1)
 
+let unit_cost =
+  make ~name:"unit-cost"
+    (Substitution.simple Alphabet.dna4 ~match_:0 ~mismatch:(-1))
+    (Gaps.linear 1)
+
 let builtins =
-  [ paper_linear; paper_affine; blosum62_affine; wildcard_linear; wildcard_affine ]
+  [ paper_linear; paper_affine; blosum62_affine; wildcard_linear; wildcard_affine; unit_cost ]
 
 let subst_score t = Substitution.score t.subst
 let alphabet t = Substitution.alphabet t.subst

@@ -32,6 +32,13 @@ val wildcard_linear : t
 val wildcard_affine : t
 (** dna5 wildcard (+2/−1) with Go = 2, Ge = 1. *)
 
+val unit_cost : t
+(** match 0 / mismatch −1 / linear gap 1 over dna4 — the scheme whose
+    global score is exactly the negated Levenshtein distance. Being a
+    builtin, a remote job naming ["unit-cost"] resolves to this value and
+    is eligible for the bit-parallel tier (the property pass certifies any
+    scheme in the same unit-cost equivalence class, named or not). *)
+
 val builtins : t list
 (** The named built-in schemes. Together they cover every configuration
     axis of the staged kernel (simple vs matrix substitution, linear vs

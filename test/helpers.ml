@@ -12,6 +12,9 @@ let schemes_under_test =
     ("paper-linear", Scheme.paper_linear);
     ("paper-affine", Scheme.paper_affine);
     ("steep-affine", Scheme.dna_simple_affine ~match_:3 ~mismatch:(-2) ~gap_open:5 ~gap_extend:2);
+    (* Unit_cost-certified: batches through the service additionally
+       exercise the proof-gated Myers bit-parallel tier. *)
+    ("unit-cost", Scheme.unit_cost);
   ]
 
 let modes_under_test = [ T.Global; T.Semiglobal; T.Local ]

@@ -333,6 +333,185 @@ let test_driver_catches_planted_program () =
   let fs = Driver.analyze_program (pow_program E.Always) in
   assert_finding "always cycle via driver" ~pass:"termination" ~sub:"Always-filtered" fs
 
+(* ------------------------------------------------------------------ *)
+(* Semantic property certificates                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Property = Anyseq_analysis.Property
+module Costmodel = Anyseq_analysis.Costmodel
+module Gaps = Anyseq_bio.Gaps
+module Substitution = Anyseq_bio.Substitution
+module Alphabet = Anyseq_bio.Alphabet
+
+let test_property_unit_cost_certifies () =
+  let report = Property.analyze Scheme.unit_cost in
+  match Property.unit_cost report with
+  | None -> Alcotest.fail "unit-cost scheme must certify Unit_cost"
+  | Some c ->
+      Alcotest.(check int) "match" 0 c.Property.uc_match;
+      Alcotest.(check int) "mismatch" (-1) c.Property.uc_mismatch;
+      Alcotest.(check int) "extend" 1 c.Property.uc_extend;
+      Alcotest.(check int) "scale" 1 c.Property.uc_scale;
+      Alcotest.(check int) "drift" 0 c.Property.uc_drift;
+      (* scale 1, drift 0: the certified score of a distance-D alignment
+         is exactly −D, independent of lengths. *)
+      Alcotest.(check int) "convert" (-7) (Property.convert c ~n:40 ~m:33 ~distance:7);
+      Alcotest.(check bool) "admits global" true
+        (Property.admissible_modes report = [ T.Global ])
+
+let test_property_unit_scheme_is_builtin () =
+  (* The Myers kernel's published scheme is the builtin value itself, so
+     remote jobs naming "unit-cost" resolve to a physically identical
+     scheme and hit the same cache entry. *)
+  Alcotest.(check bool) "physically equal" true
+    (Anyseq_core.Myers.unit_scheme == Scheme.unit_cost)
+
+let test_property_scaled_unit_cost () =
+  (* match 2, mismatch 0, gap 1 satisfies ma = 2·mi + 2·ge with
+     scale = mi + 2ge = 2 and drift = scale − ge = 1: a scaled/drifted
+     unit-cost scheme that still legalizes the distance kernel. *)
+  let scheme =
+    Scheme.make ~name:"dna-201"
+      (Substitution.simple Alphabet.dna4 ~match_:2 ~mismatch:0)
+      (Gaps.linear 1)
+  in
+  let report = Property.analyze scheme in
+  match Property.unit_cost report with
+  | None -> Alcotest.fail "2/0/1 must certify Unit_cost"
+  | Some c ->
+      Alcotest.(check int) "scale" 2 c.Property.uc_scale;
+      Alcotest.(check int) "drift" 1 c.Property.uc_drift;
+      Alcotest.(check int) "convert" (1 * 20 - 2 * 3)
+        (Property.convert c ~n:10 ~m:10 ~distance:3)
+
+let test_property_affine_open0_reduces () =
+  let scheme =
+    Scheme.make ~name:"affine0"
+      (Substitution.simple Alphabet.dna4 ~match_:0 ~mismatch:(-1))
+      (Gaps.affine ~open_:0 ~extend:1)
+  in
+  let report = Property.analyze scheme in
+  Alcotest.(check bool) "affine open=0 reduces to linear" true
+    (List.exists
+       (function Property.Affine_reduces_to_linear { extend = 1 } -> true | _ -> false)
+       report.Property.certs);
+  Alcotest.(check bool) "and still certifies Unit_cost" true
+    (Property.unit_cost report <> None)
+
+let test_property_non_unit_schemes_rejected () =
+  (* No builtin except unit-cost may certify — in particular the paper's
+     +2/−1/1 fails ma = 2·mi + 2·ge (2 ≠ 0). *)
+  List.iter
+    (fun scheme ->
+      if scheme != Scheme.unit_cost then
+        Alcotest.(check bool)
+          (Scheme.to_string scheme ^ " must not certify Unit_cost")
+          true
+          (Property.unit_cost (Property.analyze scheme) = None))
+    Scheme.builtins;
+  (* The wildcard substitution breaks the two-value premise — σ(N,x) is a
+     match for every x, so off-diagonal entries are not constant — and
+     must be rejected even with unit-cost parameters. *)
+  let wildcard_unit =
+    Scheme.make ~name:"wild-unit"
+      (Substitution.dna_wildcard ~match_:0 ~mismatch:(-1))
+      (Gaps.linear 1)
+  in
+  Alcotest.(check bool) "wildcard off-diagonal rejected" true
+    (Property.unit_cost (Property.analyze wildcard_unit) = None)
+
+let test_property_check_refutes_forged_cert () =
+  (* Every certificate analyze emits re-validates clean... *)
+  List.iter
+    (fun scheme ->
+      let report = Property.analyze scheme in
+      List.iter
+        (fun cert ->
+          check_findings
+            (Scheme.to_string scheme ^ ": " ^ Property.cert_to_string cert)
+            0 (Property.check scheme cert))
+        report.Property.certs)
+    Scheme.builtins;
+  (* ...and a forged Unit_cost for a non-member scheme is refuted. *)
+  match Property.unit_cost (Property.analyze Scheme.unit_cost) with
+  | None -> Alcotest.fail "missing cert to forge"
+  | Some c ->
+      let fs = Property.check Scheme.paper_linear (Property.Unit_cost c) in
+      assert_finding "forged cert" ~pass:"property" ~sub:"claimed" fs
+
+let test_property_score_bounds_width () =
+  let bits max_len =
+    match Property.score_bounds (Property.analyze ~max_len Scheme.unit_cost) with
+    | Some b -> b.Property.sb_bits
+    | None -> Alcotest.fail "score bounds must always derive"
+  in
+  (* L=100: scores lie in [−300, 0] — 16-bit cells suffice. At L=20000
+     the interval reaches −60000, forcing 32-bit. *)
+  Alcotest.(check int) "short sequences fit 16-bit" 16 (bits 100);
+  Alcotest.(check int) "long sequences need 32-bit" 32 (bits 20_000)
+
+let test_property_symmetry () =
+  List.iter
+    (fun scheme ->
+      Alcotest.(check bool)
+        (Scheme.to_string scheme ^ " symmetric")
+        true
+        (Property.symmetric (Property.analyze scheme)))
+    Scheme.builtins
+
+(* ------------------------------------------------------------------ *)
+(* Residual cost model                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_costmodel_exact_counts () =
+  let open E in
+  (* let t = m[i] + 1 in if t < 0 then −t else t *)
+  let e =
+    let_ "t"
+      (Binop (Add, Read ("m", var "i"), Int 1))
+      (if_ (Binop (Lt, var "t", Int 0)) (Neg (var "t")) (var "t"))
+  in
+  let c = Costmodel.of_expr e in
+  Alcotest.(check int) "ops" 3 c.Costmodel.c_ops;
+  Alcotest.(check int) "loads" 1 c.Costmodel.c_loads;
+  Alcotest.(check int) "stores" 1 c.Costmodel.c_stores;
+  Alcotest.(check int) "branches" 1 c.Costmodel.c_branches;
+  Alcotest.(check int) "calls" 0 c.Costmodel.c_calls;
+  Alcotest.(check int) "nodes = Expr.size" (E.size e) c.Costmodel.c_nodes
+
+let test_costmodel_residuals_straight_line () =
+  (* Every residual the runtime executes is provably allocation-free:
+     no surviving functions, no call sites. *)
+  List.iter
+    (fun (scheme, mode) ->
+      List.iter
+        (fun (name, r) ->
+          let what =
+            Printf.sprintf "%s/%s/%s" (Scheme.to_string scheme) (mode_name mode) name
+          in
+          Alcotest.(check bool) (what ^ " straight-line") true (Costmodel.straight_line r);
+          check_findings what 0 (Costmodel.check ~name:what r);
+          Alcotest.(check int) (what ^ " calls") 0 (Costmodel.of_residual r).Costmodel.c_calls)
+        (Staged_kernel.residuals scheme mode))
+    matrix
+
+let test_costmodel_planted_call_rejected () =
+  let open E in
+  (* Hidden allocation: a call site builds an argument environment per
+     evaluation, and a surviving residual function may recurse. *)
+  let planted =
+    {
+      Pe.entry = Binop (Add, Call ("helper", [ var "x" ]), Int 1);
+      fns = [ { name = "helper"; params = [ "x" ]; filter = Always; body = var "x" } ];
+    }
+  in
+  Alcotest.(check bool) "not straight-line" false (Costmodel.straight_line planted);
+  let fs = Costmodel.check ~name:"planted" planted in
+  assert_finding "surviving fn" ~pass:"costmodel" ~sub:"residual function helper" fs;
+  assert_finding "call site" ~pass:"costmodel" ~sub:"call site" fs;
+  (* a call-free entry with no functions passes *)
+  check_findings "clean" 0 (Costmodel.check ~name:"clean" (residual (Neg (var "x"))))
+
 let test_staged_kernel_verify_mode () =
   let saved = !Staged_kernel.verify_specializations in
   Staged_kernel.verify_specializations := true;
@@ -389,5 +568,28 @@ let () =
             test_driver_catches_planted_program;
           Alcotest.test_case "specialize under verify mode" `Quick
             test_staged_kernel_verify_mode;
+        ] );
+      ( "property",
+        [
+          Alcotest.test_case "unit-cost certifies" `Quick test_property_unit_cost_certifies;
+          Alcotest.test_case "Myers unit_scheme is the builtin" `Quick
+            test_property_unit_scheme_is_builtin;
+          Alcotest.test_case "scaled unit-cost (2/0/1)" `Quick test_property_scaled_unit_cost;
+          Alcotest.test_case "affine open=0 reduces to linear" `Quick
+            test_property_affine_open0_reduces;
+          Alcotest.test_case "non-unit schemes rejected" `Quick
+            test_property_non_unit_schemes_rejected;
+          Alcotest.test_case "check refutes forged certificate" `Quick
+            test_property_check_refutes_forged_cert;
+          Alcotest.test_case "score-bounds cell width" `Quick test_property_score_bounds_width;
+          Alcotest.test_case "symmetry across builtins" `Quick test_property_symmetry;
+        ] );
+      ( "costmodel",
+        [
+          Alcotest.test_case "exact counts" `Quick test_costmodel_exact_counts;
+          Alcotest.test_case "all residuals straight-line" `Quick
+            test_costmodel_residuals_straight_line;
+          Alcotest.test_case "planted call rejected" `Quick
+            test_costmodel_planted_call_rejected;
         ] );
     ]

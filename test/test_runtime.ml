@@ -17,6 +17,7 @@ module Scheme = Anyseq_scoring.Scheme
 module T = Anyseq_core.Types
 module Dp_linear = Anyseq_core.Dp_linear
 module Domain_pool = Anyseq_wavefront.Domain_pool
+module Wire = Anyseq_client.Wire
 open Anyseq_runtime
 
 (* ------------------------------------------------------------------ *)
@@ -419,6 +420,169 @@ let batch_equals_sequential =
         (fun b (query, subject) -> repr b = repr (Anyseq.align ~config ~query ~subject))
         batch pairs)
 
+(* ------------------------------------------------------------------ *)
+(* Proof-directed bit-parallel tier                                    *)
+(* ------------------------------------------------------------------ *)
+
+let tier_count svc name = Metrics.find (Service.metrics svc) ("runtime/tier_" ^ name)
+
+(* Global score-only batches under a Unit_cost-certified scheme must route
+   through the Myers tier (visible in the per-tier counters) and stay
+   bit-identical — score and end cell — to the generic engine, across
+   multi-word (>64) lengths and empty/degenerate inputs. *)
+let test_myers_tier_differential () =
+  let rng = Rng.create ~seed:4242 in
+  let config =
+    Anyseq.Config.make ~scheme:Scheme.unit_cost ~mode:T.Global ~traceback:false ()
+  in
+  let lens = [| 0; 1; 2; 63; 64; 65; 127; 128; 200 |] in
+  let pairs =
+    Array.init 40 (fun i ->
+        let pick () =
+          if i < Array.length lens then lens.(i mod Array.length lens)
+          else Rng.int rng 201
+        in
+        ( Sequence.to_string (Helpers.random_dna rng ~len:(pick ())),
+          Sequence.to_string (Helpers.random_dna rng ~len:(pick ())) ))
+  in
+  let svc = Service.create () in
+  let jobs =
+    Array.map (fun (q, s) -> Service.job ~config ~query:q ~subject:s ()) pairs
+  in
+  Anyseq_trace.Trace.enable ();
+  let results =
+    Fun.protect ~finally:Anyseq_trace.Trace.disable (fun () -> Service.run svc jobs)
+  in
+  Alcotest.(check bool) "dispatch visible as backend.myers span" true
+    (List.exists
+       (fun (s : Anyseq_trace.Trace.span) -> s.Anyseq_trace.Trace.name = "backend.myers")
+       (Anyseq_trace.Trace.spans ()));
+  Anyseq_trace.Trace.clear ();
+  Array.iteri
+    (fun i r ->
+      let query, subject = pairs.(i) in
+      match r with
+      | Error e -> Alcotest.failf "job %d failed: %s" i (Error.to_string e)
+      | Ok o ->
+          let qv = Sequence.view (Sequence.of_string Alphabet.dna4 query)
+          and sv = Sequence.view (Sequence.of_string Alphabet.dna4 subject) in
+          let reference = Dp_linear.score_only Scheme.unit_cost T.Global ~query:qv ~subject:sv in
+          Alcotest.(check int) (Printf.sprintf "job %d score" i) reference.T.score o.Service.score;
+          Alcotest.(check int) (Printf.sprintf "job %d qend" i) reference.T.query_end
+            o.Service.query_end;
+          Alcotest.(check int) (Printf.sprintf "job %d send" i) reference.T.subject_end
+            o.Service.subject_end)
+    results;
+  Alcotest.(check (option int)) "all jobs on the bit-parallel tier"
+    (Some (Array.length jobs)) (tier_count svc "bitparallel");
+  Alcotest.(check bool) "no jobs on the native tier" true
+    (match tier_count svc "native" with None | Some 0 -> true | Some _ -> false)
+
+(* Certificates, not names, gate the tier: a non-unit scheme must never
+   touch the bit-parallel counter, and unit-cost jobs asking for traceback
+   or non-global modes stay off it too. *)
+let test_myers_tier_gating () =
+  let rng = Rng.create ~seed:77 in
+  let pairs =
+    Array.init 12 (fun _ ->
+        let q, s = Helpers.random_pair rng ~max_len:50 in
+        (Sequence.to_string q, Sequence.to_string s))
+  in
+  let run_config config =
+    let svc = Service.create () in
+    let jobs = Array.map (fun (q, s) -> Service.job ~config ~query:q ~subject:s ()) pairs in
+    Array.iter
+      (fun r -> if Result.is_error r then Alcotest.fail "job failed")
+      (Service.run svc jobs);
+    tier_count svc "bitparallel"
+  in
+  let off config name =
+    match run_config config with
+    | None | Some 0 -> ()
+    | Some n -> Alcotest.failf "%s: %d jobs on the bit-parallel tier" name n
+  in
+  off (Anyseq.Config.make ~scheme:Scheme.paper_linear ~mode:T.Global ~traceback:false ())
+    "paper-linear global";
+  off (Anyseq.Config.make ~scheme:Scheme.unit_cost ~mode:T.Local ~traceback:false ())
+    "unit-cost local";
+  off (Anyseq.Config.make ~scheme:Scheme.unit_cost ~mode:T.Semiglobal ~traceback:false ())
+    "unit-cost semiglobal";
+  off (Anyseq.Config.make ~scheme:Scheme.unit_cost ~mode:T.Global ~traceback:true ())
+    "unit-cost traceback";
+  Alcotest.(check (option int)) "unit-cost global score-only routes" (Some (Array.length pairs))
+    (run_config (Anyseq.Config.make ~scheme:Scheme.unit_cost ~mode:T.Global ~traceback:false ()))
+
+let test_tier_counters_prometheus () =
+  let rng = Rng.create ~seed:5150 in
+  let svc = Service.create () in
+  let submit scheme =
+    let config = Anyseq.Config.make ~scheme ~mode:T.Global ~traceback:false () in
+    let jobs =
+      Array.init 9 (fun _ ->
+          let q, s = Helpers.random_pair rng ~max_len:40 in
+          Service.job ~config ~query:(Sequence.to_string q) ~subject:(Sequence.to_string s) ())
+    in
+    Array.iter (fun r -> if Result.is_error r then Alcotest.fail "job failed") (Service.run svc jobs)
+  in
+  submit Scheme.unit_cost;
+  submit Scheme.paper_linear;
+  let text = Metrics.dump_prometheus (Service.metrics svc) in
+  let value series =
+    List.find_map
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ s; v ] when s = series -> Some (float_of_string v)
+        | _ -> None)
+      (String.split_on_char '\n' text)
+  in
+  Alcotest.(check (option (float 0.))) "bitparallel tier exported" (Some 9.)
+    (value "anyseq_runtime_tier_bitparallel");
+  (* The same scrape shows the non-unit batch routed onto a scalar tier. *)
+  let native = Option.value ~default:0. (value "anyseq_runtime_tier_native")
+  and staged = Option.value ~default:0. (value "anyseq_runtime_tier_staged") in
+  Alcotest.(check (float 0.)) "non-unit batch on scalar tiers" 9. (native +. staged)
+
+(* Remote unit-cost jobs must reach the fast tier: the wire config
+   [Named "unit-cost"] survives encode/decode and resolves to the builtin
+   scheme {e value} (physical equality is what the specialization cache
+   and the certificate analysis key on). *)
+let test_wire_unit_cost_round_trip () =
+  let wire_config =
+    { Wire.default_config with Wire.scheme = Wire.Named "unit-cost"; mode = T.Global }
+  in
+  let request =
+    { Wire.id = 42L; config = wire_config; timeout_s = None; query = "ACGT"; subject = "AGT" }
+  in
+  let bytes = Wire.encode_request request in
+  (match Wire.decode_frame bytes with
+  | Error `Incomplete -> Alcotest.fail "incomplete frame"
+  | Error (`Malformed m) -> Alcotest.failf "malformed frame: %s" m
+  | Ok (Wire.Reply _, _) -> Alcotest.fail "expected a request frame"
+  | Ok (Wire.Request r, _) ->
+      Alcotest.(check bool) "scheme spec survives" true (r.Wire.config = wire_config));
+  match Wire.resolve_config wire_config with
+  | Error m -> Alcotest.failf "resolve failed: %s" m
+  | Ok cfg ->
+      Alcotest.(check bool) "resolves to the builtin value" true
+        (cfg.Anyseq.Config.scheme == Scheme.unit_cost);
+      (* A structurally unit-cost Simple spec also certifies — the analysis
+         is semantic, so remote clients need not know the builtin's name. *)
+      let simple =
+        {
+          wire_config with
+          Wire.scheme =
+            Wire.Simple
+              { alphabet = `Dna4; match_ = 0; mismatch = -1; gap_open = 0; gap_extend = 1 };
+        }
+      in
+      (match Wire.resolve_config simple with
+      | Error m -> Alcotest.failf "simple resolve failed: %s" m
+      | Ok cfg ->
+          Alcotest.(check bool) "structural unit-cost certifies" true
+            (Anyseq_analysis.Property.unit_cost
+               (Anyseq_analysis.Property.analyze cfg.Anyseq.Config.scheme)
+            <> None))
+
 let test_mixed_configs_one_batch () =
   (* One submission mixing configurations: grouping must dispatch each job
      under its own configuration and keep submission order. *)
@@ -597,6 +761,12 @@ let () =
           Alcotest.test_case "bad sequence" `Quick test_service_bad_sequence;
           Alcotest.test_case "overflow parity" `Quick test_overflow_bound_parity;
           Alcotest.test_case "mixed configs" `Quick test_mixed_configs_one_batch;
+          Alcotest.test_case "Myers tier bit-identical" `Quick test_myers_tier_differential;
+          Alcotest.test_case "Myers tier certificate gating" `Quick test_myers_tier_gating;
+          Alcotest.test_case "tier counters in Prometheus" `Quick
+            test_tier_counters_prometheus;
+          Alcotest.test_case "wire round-trip hits fast tier" `Quick
+            test_wire_unit_cost_round_trip;
           Alcotest.test_case "drain gate" `Quick test_service_drain;
           Alcotest.test_case "drain waits for in-flight" `Slow test_service_drain_waits_for_in_flight;
           Alcotest.test_case "concurrent submitters" `Slow test_concurrent_submitters;

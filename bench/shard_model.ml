@@ -1,0 +1,132 @@
+(* Discrete-event model of shard imbalance.
+
+   The sharded runtime's scaling claim — near-linear throughput in the
+   shard count — cannot be measured on this box (one core; extra domains
+   only time-slice). What CAN be checked deterministically is the
+   {e scheduling} half of the claim: given the chunk placement the
+   service actually performs (round-robin over shard queues) and a
+   skewed chunk-cost distribution (alignment cost is quadratic in length,
+   so a length skew is a cost skew squared), how much of the ideal
+   [shards]x speedup survives imbalance — and how much of the loss
+   work-stealing wins back.
+
+   The model replays exactly the runtime's protocol: each shard consumes
+   its own queue front-to-back; with stealing on, a shard whose queue is
+   empty takes the {e oldest} chunk from the sibling with the most queued
+   work (the Shard module scans in ring order — most-loaded is the
+   adversarial-best case the ring approximates over time). List
+   scheduling, simulated by advancing the earliest-finishing shard.
+   Everything is seeded and integer-driven: the table is reproducible to
+   the digit. *)
+
+(* Deterministic splitmix-ish generator; good enough spread for costs. *)
+let mix seed i =
+  let z = ref (seed + (i * 0x9E3779B9) land 0x3FFFFFFF) in
+  z := (!z lxor (!z lsr 15)) * 0x85EBCA6B land 0x3FFFFFFF;
+  z := (!z lxor (!z lsr 13)) * 0xC2B2AE35 land 0x3FFFFFFF;
+  !z lxor (!z lsr 16)
+
+(* Chunk costs from a skewed read-length mix: most chunks hold short
+   reads (cost 1), a [heavy_frac] fraction hold long ones costing
+   [heavy_cost] — the square of the length ratio, like DP cells. *)
+let costs ~chunks ~heavy_frac ~heavy_cost ~seed =
+  Array.init chunks (fun i ->
+      let r = float_of_int (mix seed i mod 10_000) /. 10_000.0 in
+      if r < heavy_frac then heavy_cost else 1.0)
+
+type outcome = {
+  makespan : float;
+  total_work : float;
+  steals : int;
+  efficiency : float;  (* total_work / (shards * makespan) *)
+  per_shard : float array;  (* busy time per shard *)
+}
+
+let run ~shards ~steal cost_arr =
+  let queues = Array.make shards [] in
+  (* round-robin placement, exactly [Shard.place]'s cursor *)
+  Array.iteri (fun i c -> queues.(i mod shards) <- c :: queues.(i mod shards)) cost_arr;
+  let queues = Array.map (fun l -> Queue.of_seq (List.to_seq (List.rev l))) queues in
+  let clock = Array.make shards 0.0 in
+  let busy = Array.make shards 0.0 in
+  let steals = ref 0 in
+  let total_work = Array.fold_left ( +. ) 0.0 cost_arr in
+  let victim me =
+    (* most-loaded sibling by queued chunks; ties to the lowest id *)
+    let best = ref (-1) and best_n = ref 0 in
+    for v = 0 to shards - 1 do
+      if v <> me then begin
+        let n = Queue.length queues.(v) in
+        if n > !best_n then begin
+          best := v;
+          best_n := n
+        end
+      end
+    done;
+    !best
+  in
+  let exhausted = ref false in
+  while not !exhausted do
+    (* the earliest-finishing shard schedules next — list scheduling *)
+    let me = ref 0 in
+    for i = 1 to shards - 1 do
+      if clock.(i) < clock.(!me) then me := i
+    done;
+    let me = !me in
+    match Queue.take_opt queues.(me) with
+    | Some c ->
+        clock.(me) <- clock.(me) +. c;
+        busy.(me) <- busy.(me) +. c
+    | None ->
+        if steal then begin
+          match victim me with
+          | -1 -> exhausted := true
+          | v ->
+              let c = Queue.take queues.(v) in
+              incr steals;
+              clock.(me) <- clock.(me) +. c;
+              busy.(me) <- busy.(me) +. c
+        end
+        else begin
+          (* static: an empty shard is done; park it past every deadline *)
+          clock.(me) <- infinity;
+          exhausted := Array.for_all (fun q -> Queue.is_empty q) queues
+        end
+  done;
+  let makespan = Array.fold_left (fun a b -> if b = infinity then a else Float.max a b) 0.0 clock in
+  let makespan = Array.fold_left Float.max makespan busy in
+  {
+    makespan;
+    total_work;
+    steals = !steals;
+    efficiency = total_work /. (float_of_int shards *. makespan);
+    per_shard = busy;
+  }
+
+type row = {
+  r_shards : int;
+  r_static_speedup : float;
+  r_steal_speedup : float;
+  r_steal_eff : float;
+  r_steals : int;
+}
+
+(* The standard table: one skewed workload, shard counts 1..8, static
+   round-robin vs work-stealing. Speedups are against the same workload
+   on one shard, so shards=1 is 1.00 by construction. *)
+let table ?(chunks = 512) ?(heavy_frac = 0.0625) ?(heavy_cost = 16.0) ?(seed = 42)
+    shard_counts =
+  let cost_arr = costs ~chunks ~heavy_frac ~heavy_cost ~seed in
+  let base = (run ~shards:1 ~steal:false cost_arr).makespan in
+  List.map
+    (fun n ->
+      let st = run ~shards:n ~steal:false cost_arr in
+      let dy = run ~shards:n ~steal:true cost_arr in
+      {
+        r_shards = n;
+        r_static_speedup = base /. st.makespan;
+        r_steal_speedup = base /. dy.makespan;
+        r_steal_eff = dy.efficiency;
+        r_steals = dy.steals;
+      })
+    shard_counts

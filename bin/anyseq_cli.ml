@@ -449,8 +449,8 @@ let batch_cmd =
    wire frames through one shared service, and drains gracefully on
    SIGTERM/SIGINT. Without --listen, serve falls back to the historical
    in-process sustained-load loop. *)
-let serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers ~capacity
-    ~batch_size ~metrics_flag ~metrics_format =
+let serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers ~shards
+    ~capacity ~batch_size ~metrics_flag ~metrics_format =
   let addrs =
     List.map
       (fun s ->
@@ -461,10 +461,12 @@ let serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers
             exit exit_invalid_config)
       listen
   in
-  let service = Anyseq.Service.create ?capacity ~batch_size () in
+  (* --shards 0 = auto: one shard per recommended domain. *)
+  let shards = if shards = 0 then (Anyseq.Runtime.default ()).Anyseq.Runtime.shards else shards in
+  let service = Anyseq.Service.create ?capacity ~batch_size ~shards () in
   let cfg =
     { (Anyseq.Server.default_config ~addrs ()) with max_batch; max_wait_us; max_pending;
-      dispatch_workers }
+      dispatch_workers; shards }
   in
   match Anyseq.Server.start ~service cfg with
   | Error msg ->
@@ -484,6 +486,17 @@ let serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers
       let cs = Anyseq.Service.cache_stats service in
       Printf.printf "cache: %d entries, hit rate %.1f%%\n" cs.Anyseq.Spec_cache.size
         (100.0 *. Anyseq.Spec_cache.hit_rate cs);
+      if Anyseq.Service.shards service > 1 then
+        Array.iter
+          (fun (s : Anyseq.Service.shard_stat) ->
+            Printf.printf
+              "shard %d: %d jobs, %d chunks enqueued, %d run local, %d stolen by it, %d \
+               stolen from it\n"
+              s.Anyseq.Service.ss_shard s.Anyseq.Service.ss_jobs s.Anyseq.Service.ss_enqueued
+              s.Anyseq.Service.ss_run_local s.Anyseq.Service.ss_steals
+              s.Anyseq.Service.ss_stolen_from)
+          (Anyseq.Service.shard_stats service);
+      Anyseq.Service.shutdown service;
       if metrics_flag then begin
         print_endline "--- metrics ---";
         print_endline (dump_metrics metrics_format m)
@@ -516,6 +529,14 @@ let serve_cmd =
   let dispatch_workers_t =
     Arg.(value & opt int 1 & info [ "dispatch-workers" ] ~doc:"Concurrent dispatch loops.")
   in
+  let shards_t =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Service shards (worker domains) executing batches; 0 = one per recommended \
+             domain (--listen mode).")
+  in
   let capacity_t =
     Arg.(
       value
@@ -532,12 +553,12 @@ let serve_cmd =
       & opt (list mode_conv) [ Anyseq.Types.Global; Anyseq.Types.Semiglobal ]
       & info [ "modes" ] ~doc:"Comma-separated alignment modes each round cycles through.")
   in
-  let run listen max_batch max_wait_us max_pending dispatch_workers capacity batch_size
+  let run listen max_batch max_wait_us max_pending dispatch_workers shards capacity batch_size
       metrics_flag rounds count read_len seed modes backend json trace metrics_format match_
       mismatch gap_open gap_extend =
     if listen <> [] then
-      serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers ~capacity
-        ~batch_size ~metrics_flag ~metrics_format
+      serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers ~shards
+        ~capacity ~batch_size ~metrics_flag ~metrics_format
     else begin
     let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
     let pairs = load_pairs ~reads:None ~subjects:None ~count ~seed ~read_len in
@@ -598,7 +619,7 @@ let serve_cmd =
           demonstration loop over the same service, in process.")
     Term.(
       const run $ listen_t $ max_batch_t $ max_wait_us_t $ max_pending_t $ dispatch_workers_t
-      $ capacity_t $ batch_size_t $ metrics_t $ rounds_t $ count_t $ read_len_t $ seed_t
+      $ shards_t $ capacity_t $ batch_size_t $ metrics_t $ rounds_t $ count_t $ read_len_t $ seed_t
       $ modes_t $ backend_t $ json_t $ trace_t $ metrics_format_t $ match_t $ mismatch_t
       $ gap_open_t $ gap_extend_t)
 

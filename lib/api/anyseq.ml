@@ -45,6 +45,25 @@ module Client = Anyseq_client.Client
 module Server = Anyseq_server.Server
 module Batcher = Anyseq_server.Batcher
 
+(* One record for every parallelism knob the runtime scatters across
+   Service.create / the wavefront scheduler / the server config — the
+   facade-level answer to "how parallel should this process be". *)
+module Runtime = struct
+  type t = { shards : int; domains : int; capacity : int; batch_size : int }
+
+  let default () =
+    let d = Domain.recommended_domain_count () in
+    { shards = d; domains = d; capacity = 1024; batch_size = 256 }
+
+  let sequential = { shards = 1; domains = 1; capacity = 1024; batch_size = 256 }
+
+  let service r =
+    Service.create ~capacity:r.capacity ~batch_size:r.batch_size ~shards:r.shards
+      ~domains:r.domains ()
+
+  let shutdown = Service.shutdown
+end
+
 type aligned = {
   score : int;
   query_aligned : string;
@@ -111,17 +130,27 @@ let of_outcome (o : Service.outcome) =
         alignment = None;
       }
 
-let align_batch ?service ?timeout_s ~config pairs =
-  let svc = match service with Some s -> s | None -> Service.default () in
+let align_batch ?service ?runtime ?timeout_s ~config pairs =
   let jobs =
     Array.map (fun (query, subject) -> Service.job ~config ?timeout_s ~query ~subject ()) pairs
   in
-  Array.map (Result.map of_outcome) (Service.run svc jobs)
+  match (service, runtime) with
+  | Some svc, _ ->
+      (* An explicit service wins: its own shard/domain shape was chosen
+         at creation, [?runtime] cannot re-shape it. *)
+      Array.map (Result.map of_outcome) (Service.run svc jobs)
+  | None, Some r ->
+      let svc = Runtime.service r in
+      Fun.protect
+        ~finally:(fun () -> Runtime.shutdown svc)
+        (fun () -> Array.map (Result.map of_outcome) (Service.run svc jobs))
+  | None, None ->
+      Array.map (Result.map of_outcome) (Service.run (Service.default ()) jobs)
 
-let align_batch_exn ?service ?timeout_s ~config pairs =
+let align_batch_exn ?service ?runtime ?timeout_s ~config pairs =
   Array.map
     (function Ok a -> a | Result.Error e -> Error.raise_ e)
-    (align_batch ?service ?timeout_s ~config pairs)
+    (align_batch ?service ?runtime ?timeout_s ~config pairs)
 
 (* Paper-compatible wrappers (§III-C), one line each over the core entry. *)
 

@@ -90,6 +90,43 @@ module Client = Anyseq_client.Client
 module Server = Anyseq_server.Server
 module Batcher = Anyseq_server.Batcher
 
+(** {1 Parallelism}
+
+    Every parallelism knob in one place. {!Config.t}'s [backend] field
+    stays a {e per-job} hint about which kernel family to use; the
+    {!Runtime.t} record decides {e process} shape — how many service
+    shards (worker domains) execute batches and how wide the wavefront
+    tier may fan one long pair out. When the two meet, the runtime record
+    has precedence: a [Wavefront] hint under [domains = 1] runs the tiled
+    kernel sequentially, and an [Auto] job never escalates past
+    [Runtime.domains]. *)
+
+module Runtime : sig
+  type t = {
+    shards : int;
+        (** service lanes, each with its own admission slice, spec-cache
+            replica, queue and (when ≥ 2) worker domain *)
+    domains : int;  (** wavefront-tier width for one long pair *)
+    capacity : int;  (** admission bound across in-flight batches *)
+    batch_size : int;  (** dispatch chunk size *)
+  }
+
+  val default : unit -> t
+  (** [shards] and [domains] both [Domain.recommended_domain_count ()],
+      [capacity] 1024, [batch_size] 256. *)
+
+  val sequential : t
+  (** Everything 1 — no domains spawned anywhere; the shape the unit
+      tests and the alloc gate run under. *)
+
+  val service : t -> Service.t
+  (** Build a {!Service} of this shape ([Service.create] with the record
+      fields). The caller owns it: {!shutdown} joins its worker domains. *)
+
+  val shutdown : Service.t -> unit
+  (** [Service.shutdown]: drain, then stop and join worker domains. *)
+end
+
 (** {1 Core entry points}
 
     Sequences are plain strings over the configuration scheme's alphabet
@@ -117,21 +154,29 @@ val align_exn : config:Config.t -> query:string -> subject:string -> aligned
 
 val align_batch :
   ?service:Service.t ->
+  ?runtime:Runtime.t ->
   ?timeout_s:float ->
   config:Config.t ->
   (string * string) array ->
   (aligned, Error.t) result array
-(** Align many (query, subject) pairs through the runtime service
-    ([?service] defaults to the shared {!Service.default}); results in
-    input order, one per pair. Jobs beyond the service's admission
-    capacity fail with [Rejected]; [?timeout_s] puts a deadline on every
-    job ([Timeout]). Batched score-only jobs hit the specialization cache
-    and the pre-generated residual kernels, so a batch over few
-    configurations runs substantially faster than a loop over {!align} —
-    the runtime bench table quantifies it. *)
+(** Align many (query, subject) pairs through the runtime service;
+    results in input order, one per pair. Jobs beyond the service's
+    admission capacity fail with [Rejected]; [?timeout_s] puts a deadline
+    on every job ([Timeout]). Batched score-only jobs hit the
+    specialization caches and the pre-generated residual kernels, so a
+    batch over few configurations runs substantially faster than a loop
+    over {!align} — the runtime bench table quantifies it.
+
+    Execution shape, in precedence order: [?service] (its creation-time
+    shape wins, [?runtime] is ignored); else [?runtime] (a service of
+    that shape is created for this call and shut down after — callers
+    with many batches should build one with {!Runtime.service} and pass
+    it as [?service] instead of paying domain spawns per call); else the
+    shared single-shard {!Service.default}. *)
 
 val align_batch_exn :
   ?service:Service.t ->
+  ?runtime:Runtime.t ->
   ?timeout_s:float ->
   config:Config.t ->
   (string * string) array ->

@@ -35,67 +35,6 @@ type outcome = {
   subject_seq : Seq.t;
 }
 
-type t = {
-  capacity : int;
-  batch_size : int;
-  domains : int;
-  cache : Spec_cache.t;
-  metrics : Metrics.t;
-  in_flight : int Atomic.t;
-  accepting : bool Atomic.t;
-}
-
-let long_pair_cells = 4_000_000
-
-let create ?(capacity = 1024) ?(batch_size = 256)
-    ?(domains = Domain.recommended_domain_count ())
-    ?(cache_capacity = Spec_cache.default_capacity) ?metrics () =
-  if capacity <= 0 then invalid_arg "Service.create: capacity must be positive";
-  if batch_size <= 0 then invalid_arg "Service.create: batch_size must be positive";
-  {
-    capacity;
-    batch_size;
-    domains = max 1 domains;
-    cache = Spec_cache.create ~capacity:cache_capacity ();
-    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
-    in_flight = Atomic.make 0;
-    accepting = Atomic.make true;
-  }
-
-(* Admission control: grab as many of [want] slots as the budget still
-   allows, atomically, so concurrent [run] calls cannot oversubscribe. A
-   draining service grants nothing — every job of the batch is answered
-   [Rejected], the same backpressure path as a full queue. *)
-let reserve t want =
-  let rec go () =
-    if not (Atomic.get t.accepting) then 0
-    else
-      let cur = Atomic.get t.in_flight in
-      let grant = min want (t.capacity - cur) in
-      if grant <= 0 then 0
-      else if Atomic.compare_and_set t.in_flight cur (cur + grant) then grant
-      else go ()
-  in
-  go ()
-
-let release t n = ignore (Atomic.fetch_and_add t.in_flight (-n))
-let queue_depth t = Atomic.get t.in_flight
-let cache_stats t = Spec_cache.stats t.cache
-let metrics t = t.metrics
-let is_draining t = not (Atomic.get t.accepting)
-
-(* Graceful shutdown for hosts (the network server's SIGTERM path): flip
-   the admission gate, then wait for every already-admitted job to leave.
-   The wait is a spin — in-flight chunks are compute-bound and we have no
-   thread/unix dependency here — bounded by the longest running chunk. *)
-let drain t =
-  Atomic.set t.accepting false;
-  while Atomic.get t.in_flight > 0 do
-    Domain.cpu_relax ()
-  done
-
-let reopen t = Atomic.set t.accepting true
-
 (* An admitted, parsed job awaiting dispatch. *)
 type prepared = {
   p_idx : int;
@@ -104,6 +43,38 @@ type prepared = {
   p_s : Seq.t;
   p_deadline : int64;  (** ns timestamp; [Int64.max_int] = no deadline *)
 }
+
+type t = {
+  batch_size : int;
+  domains : int;
+  pool : chunk Shard.pool;
+  caches : Spec_cache.t array;  (** one replica per shard *)
+  jobs_by_shard : int Atomic.t array;  (** jobs executed per executing shard *)
+  metrics : Metrics.t;
+  submit_rr : int Atomic.t;  (** rotating admission home, spreads budget pressure *)
+}
+
+(* A unit of dispatch: up to [batch_size] jobs sharing one configuration,
+   bound to the ticket whose result slots they fill. Chunks sit in shard
+   queues; whichever shard executes one uses its own spec-cache replica
+   and its own domain's workspace pool. *)
+and chunk = { ck_cfg : Config.t; ck_jobs : prepared list; ck_njobs : int; ck_ticket : ticket }
+
+(* The submit/await handle: a fixed result array slotted by submission
+   index, a count of outstanding chunks, and the per-shard admission
+   grants to give back when the last chunk lands. *)
+and ticket = {
+  tk_svc : t;
+  tk_results : (outcome, Error.t) result array;
+  tk_pending : int Atomic.t;  (** outstanding chunks + the submission hold *)
+  tk_grants : int array;  (** admission slots to release, per shard *)
+  tk_done : bool Atomic.t;
+  tk_mutex : Mutex.t;
+  tk_cond : Condition.t;
+  mutable tk_exn : exn option;  (** first executor exception, re-raised by await *)
+}
+
+let long_pair_cells = 4_000_000
 
 let deadline_of timeout_s now =
   match timeout_s with
@@ -152,7 +123,8 @@ let rec fits_in l k =
    dispatch — the documented granularity — against a single clock read. [f]
    must fill [results] for every prepared job it is given.
 
-   The common shapes pay no list copies: a group that fits one chunk is
+   Shard dispatch already delivers groups of at most [batch_size] jobs, so
+   the common shapes pay no list copies: a group that fits one chunk is
    dispatched as-is (no [split_at] spine rebuild), and the live/dead
    partition runs only when a deadline actually expired — both on the
    minor-words-per-alignment budget the alloc gate enforces. *)
@@ -192,14 +164,14 @@ let dispatch_chunks t results group f =
 
 (* Traceback tier: per-job dispatch (deadlines are per alignment), one
    workspace checkout for the whole group. Scalar/Auto groups run the
-   pre-generated native traceback residual when the cache has one;
-   everything else (and configurations outside the pre-generated set)
-   takes the generic engine — bit-identical either way. *)
-let run_traceback t results (cfg : Config.t) group =
+   pre-generated native traceback residual when the cache replica has
+   one; everything else (and configurations outside the pre-generated
+   set) takes the generic engine — bit-identical either way. *)
+let run_traceback t cache results (cfg : Config.t) group =
   let tier, align =
     match cfg.backend with
     | Config.Scalar | Config.Auto -> (
-        let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
+        let kernels = Spec_cache.get cache cfg.scheme cfg.mode in
         match kernels.Spec_cache.native with
         | Some nk ->
             ( "tier_native",
@@ -244,12 +216,12 @@ let run_traceback t results (cfg : Config.t) group =
    Unit_cost certificate — runs Myers edit distance with the certified
    score conversion; everything else runs the cached pre-generated
    residual, falling back to the generic linear-space engine. All three
-   are bit-identical on scores and ends. The cache is consulted at every
+   are bit-identical on scores and ends. The replica is consulted at every
    dispatch point (once per chunk), so hit/miss counts measure how often
    execution was served without re-specializing. *)
-let run_scalar t results (cfg : Config.t) group =
+let run_scalar t cache results (cfg : Config.t) group =
   dispatch_chunks t results group (fun ws live ->
-      let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
+      let kernels = Spec_cache.get cache cfg.scheme cfg.mode in
       match kernels.Spec_cache.bitparallel with
       | Some bp ->
           Metrics.add (ctr t "tier_bitparallel") (List.length live);
@@ -331,11 +303,11 @@ let run_wavefront t results (cfg : Config.t) group =
       in
       List.iteri (fun i p -> score_outcome results p ends.(i)) live)
 
-let run_group t results (cfg : Config.t) group =
-  if cfg.traceback then run_traceback t results cfg group
+let run_group t cache results (cfg : Config.t) group =
+  if cfg.traceback then run_traceback t cache results cfg group
   else
     match cfg.backend with
-    | Config.Scalar -> run_scalar t results cfg group
+    | Config.Scalar -> run_scalar t cache results cfg group
     | Config.Simd -> run_simd t results cfg group
     | Config.Wavefront -> run_wavefront t results cfg group
     | Config.Auto ->
@@ -344,15 +316,157 @@ let run_group t results (cfg : Config.t) group =
            configuration is certified unit-cost, where the bit-parallel
            kernel's ~62 cells per word op beats wavefront parallelism at
            any realistic domain count, so the whole group stays scalar. *)
-        let kernels = Spec_cache.get t.cache cfg.scheme cfg.mode in
-        if kernels.Spec_cache.bitparallel <> None then run_scalar t results cfg group
+        let kernels = Spec_cache.get cache cfg.scheme cfg.mode in
+        if kernels.Spec_cache.bitparallel <> None then run_scalar t cache results cfg group
         else begin
           let long, short =
             List.partition (fun p -> t.domains > 1 && cells_of p >= long_pair_cells) group
           in
-          if short <> [] then run_scalar t results cfg short;
+          if short <> [] then run_scalar t cache results cfg short;
           if long <> [] then run_wavefront t results cfg long
         end
+
+(* ---- aggregate views over the shard replicas ---- *)
+
+let cache_stats t =
+  Array.fold_left
+    (fun (acc : Spec_cache.stats) c ->
+      let s = Spec_cache.stats c in
+      {
+        Spec_cache.hits = acc.Spec_cache.hits + s.Spec_cache.hits;
+        misses = acc.Spec_cache.misses + s.Spec_cache.misses;
+        evictions = acc.Spec_cache.evictions + s.Spec_cache.evictions;
+        invalidations = acc.Spec_cache.invalidations + s.Spec_cache.invalidations;
+        size = acc.Spec_cache.size + s.Spec_cache.size;
+        capacity = acc.Spec_cache.capacity + s.Spec_cache.capacity;
+      })
+    {
+      Spec_cache.hits = 0;
+      misses = 0;
+      evictions = 0;
+      invalidations = 0;
+      size = 0;
+      capacity = 0;
+    }
+    t.caches
+
+let metrics t = t.metrics
+let queue_depth t = Shard.in_flight t.pool
+let shards t = Shard.shards t.pool
+let is_draining t = Shard.is_closed t.pool
+
+type shard_stat = {
+  ss_shard : int;
+  ss_capacity : int;
+  ss_in_flight : int;
+  ss_queued : int;
+  ss_enqueued : int;
+  ss_run_local : int;
+  ss_steals : int;
+  ss_stolen_from : int;
+  ss_jobs : int;
+  ss_worker_minor_words : float;
+}
+
+let shard_stats t =
+  Array.mapi
+    (fun i (s : Shard.shard_stats) ->
+      {
+        ss_shard = i;
+        ss_capacity = s.Shard.s_capacity;
+        ss_in_flight = s.Shard.s_in_flight;
+        ss_queued = s.Shard.s_queued;
+        ss_enqueued = s.Shard.s_enqueued;
+        ss_run_local = s.Shard.s_run_local;
+        ss_steals = s.Shard.s_steals;
+        ss_stolen_from = s.Shard.s_stolen_from;
+        ss_jobs = Atomic.get t.jobs_by_shard.(i);
+        ss_worker_minor_words = s.Shard.s_worker_words;
+      })
+    (Shard.stats t.pool)
+
+(* Mirror cache, workspace, shard and GC effectiveness into the registry
+   for [dump] — once per completed ticket, the same cadence the
+   pre-shard executor used per batch. *)
+let mirror_stats t =
+  let cs = cache_stats t in
+  Metrics.gauge_set t.metrics "runtime/cache_hits" cs.Spec_cache.hits;
+  Metrics.gauge_set t.metrics "runtime/cache_misses" cs.Spec_cache.misses;
+  Metrics.gauge_set t.metrics "runtime/cache_size" cs.Spec_cache.size;
+  let steals, stolen =
+    Array.fold_left
+      (fun (a, b) (s : Shard.shard_stats) ->
+        (a + s.Shard.s_steals, b + s.Shard.s_stolen_from))
+      (0, 0) (Shard.stats t.pool)
+  in
+  Metrics.gauge_set t.metrics "runtime/shard_steals" steals;
+  Metrics.gauge_set t.metrics "runtime/shard_stolen_chunks" stolen;
+  Metrics.gauge_set t.metrics "runtime/shard_helped" (Shard.helped t.pool);
+  Workspace.publish t.metrics;
+  Metrics.record_gc t.metrics
+
+(* ---- ticket lifecycle ---- *)
+
+let complete t tk =
+  Array.iteri (fun i g -> Shard.release t.pool i g) tk.tk_grants;
+  Metrics.gauge_set t.metrics "runtime/queue_depth" (Shard.in_flight t.pool);
+  mirror_stats t;
+  Atomic.set tk.tk_done true;
+  Mutex.lock tk.tk_mutex;
+  Condition.broadcast tk.tk_cond;
+  Mutex.unlock tk.tk_mutex
+
+let finish_chunk t tk =
+  if Atomic.fetch_and_add tk.tk_pending (-1) = 1 then complete t tk
+
+(* Execute one chunk as shard [executor]: its spec-cache replica, this
+   domain's workspace pool. Never raises — an executor exception is
+   parked on the ticket and re-raised by [await] on the submitting side,
+   so a worker domain survives any chunk. *)
+let exec_chunk t ~executor ~home ck =
+  let tk = ck.ck_ticket in
+  (try
+     Trace.with_span "service.exec"
+       ~attrs:
+         [
+           ("shard", Trace.Int executor);
+           ("home", Trace.Int home);
+           ("stolen", Trace.Str (string_of_bool (executor <> home)));
+           ("jobs", Trace.Int ck.ck_njobs);
+           ("config", Trace.Str (Config.to_string ck.ck_cfg));
+         ]
+       (fun () -> run_group t t.caches.(executor) tk.tk_results ck.ck_cfg ck.ck_jobs)
+   with e ->
+     Mutex.lock tk.tk_mutex;
+     if tk.tk_exn = None then tk.tk_exn <- Some e;
+     Mutex.unlock tk.tk_mutex;
+     Metrics.incr (ctr t "chunk_exceptions"));
+  ignore (Atomic.fetch_and_add t.jobs_by_shard.(executor) ck.ck_njobs);
+  finish_chunk t tk
+
+let create ?(capacity = 1024) ?(batch_size = 256) ?(shards = 1)
+    ?(domains = Domain.recommended_domain_count ())
+    ?(cache_capacity = Spec_cache.default_capacity) ?metrics () =
+  if capacity <= 0 then invalid_arg "Service.create: capacity must be positive";
+  if batch_size <= 0 then invalid_arg "Service.create: batch_size must be positive";
+  let shards = max 1 shards in
+  let t =
+    {
+      batch_size;
+      domains = max 1 domains;
+      pool = Shard.create ~shards ~capacity ();
+      caches = Array.init shards (fun _ -> Spec_cache.create ~capacity:cache_capacity ());
+      jobs_by_shard = Array.init shards (fun _ -> Atomic.make 0);
+      metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+      submit_rr = Atomic.make 0;
+    }
+  in
+  Metrics.gauge_set t.metrics "runtime/shards" shards;
+  (* Multi-shard pools get one worker domain per shard; a single-shard
+     pool spawns nothing and [await] executes on the caller — the
+     pre-shard hot path, unchanged. *)
+  Shard.start_workers t.pool ~exec:(fun ~executor ~home ck -> exec_chunk t ~executor ~home ck);
+  t
 
 (* Group accumulation without a per-job [Config.key]: batch submitters
    overwhelmingly share one config {e value}, so membership is decided by
@@ -394,16 +508,38 @@ let add_to_groups groups p =
     by_key !groups
   end
 
-(* The shared execution path behind [run] (string jobs) and [run_seqs]
-   (pre-parsed jobs). [prepare i now] either returns the admitted job or
-   fills [results.(i)] itself and returns [None]. *)
-let run_internal t n results ~prepare =
-  if n = 0 then results
+(* The shared submit path behind string jobs and pre-parsed jobs.
+   [prepare i now] either returns the admitted job or fills
+   [results.(i)] itself and returns [None]. Admission, parsing and
+   grouping run on the submitting thread; chunks are then placed on the
+   shard queues (round-robin with overflow) and the ticket returned. *)
+let submit_internal t n results ~prepare =
+  let tk granted grants =
+    {
+      tk_svc = t;
+      tk_results = results;
+      tk_pending = Atomic.make 1;
+      (* the submission hold, dropped when placement is finished *)
+      tk_grants = grants;
+      tk_done = Atomic.make (granted < 0);
+      tk_mutex = Mutex.create ();
+      tk_cond = Condition.create ();
+      tk_exn = None;
+    }
+  in
+  if n = 0 then begin
+    let tk = tk (-1) [||] in
+    Atomic.set tk.tk_pending 0;
+    tk
+  end
   else begin
     Metrics.add (ctr t "jobs_submitted") n;
-    let granted = reserve t n in
-    Metrics.gauge_set t.metrics "runtime/queue_depth" (queue_depth t);
+    let home = Atomic.fetch_and_add t.submit_rr 1 in
+    let grants = Shard.reserve t.pool ~home n in
+    let granted = Array.fold_left ( + ) 0 grants in
+    Metrics.gauge_set t.metrics "runtime/queue_depth" (Shard.in_flight t.pool);
     if granted < n then Metrics.add (ctr t "jobs_rejected") (n - granted);
+    let tk = tk granted grants in
     let batch_frame =
       Trace.start "service.batch"
         ~attrs:
@@ -412,55 +548,89 @@ let run_internal t n results ~prepare =
             ("rejected", Trace.Int (n - granted));
           ]
     in
-    Fun.protect
-      ~finally:(fun () ->
-        release t granted;
-        Metrics.gauge_set t.metrics "runtime/queue_depth" (queue_depth t);
-        Trace.finish batch_frame)
-      (fun () ->
-        let now0 = Timer.now_ns () in
-        (* Parse phase: bad sequences fail their own slot, nothing else. *)
-        let admit_frame = Trace.start "service.admit" in
-        let prepared = ref [] in
-        for i = granted - 1 downto 0 do
-          match prepare i now0 with
-          | Some p -> prepared := p :: !prepared
-          | None -> Metrics.incr (ctr t "jobs_failed")
-        done;
-        Trace.finish admit_frame ~attrs:[ ("prepared", Trace.Int (List.length !prepared)) ];
-        Metrics.observe (hist t "admit_us") (Timer.elapsed_us now0);
-        (* Group by configuration, preserving first-seen order (results
-           are slotted by index, so order only affects locality). *)
-        let groups = ref [] in
-        List.iter (add_to_groups groups) !prepared;
-        let ordered = List.rev !groups in
-        Trace.add batch_frame "groups" (Trace.Int (List.length ordered));
-        List.iter
-          (fun g ->
-            let group = List.rev g.g_jobs in
-            Trace.with_span "service.group"
-              ~attrs:
-                [
-                  ("config", Trace.Str (Config.to_string g.g_cfg));
-                  ("jobs", Trace.Int (List.length group));
-                ]
-              (fun () -> run_group t results g.g_cfg group))
-          ordered;
-        (* Mirror cache, workspace and GC effectiveness into the registry
-           for [dump]. *)
-        let cs = Spec_cache.stats t.cache in
-        Metrics.gauge_set t.metrics "runtime/cache_hits" cs.Spec_cache.hits;
-        Metrics.gauge_set t.metrics "runtime/cache_misses" cs.Spec_cache.misses;
-        Metrics.gauge_set t.metrics "runtime/cache_size" cs.Spec_cache.size;
-        Workspace.publish t.metrics;
-        Metrics.record_gc t.metrics;
-        results)
+    let now0 = Timer.now_ns () in
+    (* Parse phase: bad sequences fail their own slot, nothing else. *)
+    let admit_frame = Trace.start "service.admit" in
+    let prepared = ref [] in
+    for i = granted - 1 downto 0 do
+      match prepare i now0 with
+      | Some p -> prepared := p :: !prepared
+      | None -> Metrics.incr (ctr t "jobs_failed")
+    done;
+    Trace.finish admit_frame ~attrs:[ ("prepared", Trace.Int (List.length !prepared)) ];
+    Metrics.observe (hist t "admit_us") (Timer.elapsed_us now0);
+    (* Group by configuration, preserving first-seen order (results are
+       slotted by index, so order only affects locality). *)
+    let groups = ref [] in
+    List.iter (add_to_groups groups) !prepared;
+    let ordered = List.rev !groups in
+    (* Chunk and place. A queue refusing a chunk overflows to its
+       siblings; with every queue at its bound (possible only when
+       capacity far exceeds the queue bounds) the submitter runs the
+       chunk itself rather than dropping admitted work. *)
+    let nchunks = ref 0 in
+    List.iter
+      (fun g ->
+        let rec chunks jobs =
+          match jobs with
+          | [] -> ()
+          | _ ->
+              let chunk_jobs, rest =
+                if fits_in jobs t.batch_size then (jobs, []) else split_at t.batch_size jobs
+              in
+              let ck =
+                {
+                  ck_cfg = g.g_cfg;
+                  ck_jobs = chunk_jobs;
+                  ck_njobs = List.length chunk_jobs;
+                  ck_ticket = tk;
+                }
+              in
+              incr nchunks;
+              Atomic.incr tk.tk_pending;
+              (match Shard.place t.pool ck with
+              | Some _ -> ()
+              | None -> exec_chunk t ~executor:0 ~home:0 ck);
+              chunks rest
+        in
+        chunks (List.rev g.g_jobs))
+      ordered;
+    Trace.finish batch_frame
+      ~attrs:
+        [ ("groups", Trace.Int (List.length ordered)); ("chunks", Trace.Int !nchunks) ];
+    finish_chunk t tk;
+    (* drop the submission hold *)
+    tk
   end
 
-let run t jobs =
+(* Wait for a ticket, executing queued chunks while there is any — the
+   single-shard pool has no worker domains, so the awaiting caller IS the
+   executor there; on multi-shard pools the caller just adds a lane. Once
+   nothing is queued, block on the ticket condition. *)
+let await tk =
+  let t = tk.tk_svc in
+  let rec help () =
+    if not (Atomic.get tk.tk_done) then begin
+      match Shard.try_take t.pool with
+      | Some (ck, home) ->
+          exec_chunk t ~executor:home ~home ck;
+          help ()
+      | None ->
+          Mutex.lock tk.tk_mutex;
+          while not (Atomic.get tk.tk_done) do
+            Condition.wait tk.tk_cond tk.tk_mutex
+          done;
+          Mutex.unlock tk.tk_mutex
+    end
+  in
+  Trace.with_span "service.await" (fun () -> help ());
+  (match tk.tk_exn with Some e -> raise e | None -> ());
+  tk.tk_results
+
+let submit t jobs =
   let n = Array.length jobs in
   let results = Array.make n (Error Error.Rejected) in
-  run_internal t n results ~prepare:(fun i now0 ->
+  submit_internal t n results ~prepare:(fun i now0 ->
       let j = jobs.(i) in
       let alphabet = Scheme.alphabet j.config.Config.scheme in
       match (Seq.of_string alphabet j.query, Seq.of_string alphabet j.subject) with
@@ -472,10 +642,10 @@ let run t jobs =
           results.(i) <- Error (Error.Bad_sequence msg);
           None)
 
-let run_seqs t jobs =
+let submit_seqs t jobs =
   let n = Array.length jobs in
   let results = Array.make n (Error Error.Rejected) in
-  run_internal t n results ~prepare:(fun i now0 ->
+  submit_internal t n results ~prepare:(fun i now0 ->
       let j = jobs.(i) in
       let alphabet = Scheme.alphabet j.sj_config.Config.scheme in
       if
@@ -495,7 +665,32 @@ let run_seqs t jobs =
         None
       end)
 
+let run t jobs = await (submit t jobs)
+let run_seqs t jobs = await (submit_seqs t jobs)
 let run_one t j = (run t [| j |]).(0)
+
+(* Graceful shutdown for hosts (the network server's SIGTERM path): flip
+   the admission gate, then wait for every already-admitted job to leave.
+   The wait helps: queued chunks are executed right here, so drain can
+   never deadlock on a single-shard pool whose ticket is not yet being
+   awaited, and on multi-shard pools it shortens the tail. *)
+let drain t =
+  Shard.close t.pool;
+  let rec go () =
+    if Shard.in_flight t.pool > 0 then begin
+      (match Shard.try_take t.pool with
+      | Some (ck, home) -> exec_chunk t ~executor:home ~home ck
+      | None -> Domain.cpu_relax ());
+      go ()
+    end
+  in
+  go ()
+
+let reopen t = Shard.reopen t.pool
+
+let shutdown t =
+  drain t;
+  Shard.shutdown t.pool
 
 let default_service = lazy (create ())
 let default () = Lazy.force default_service

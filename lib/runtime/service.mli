@@ -1,40 +1,50 @@
-(** The batch alignment service — the runtime's executor (ISSUE tentpole).
+(** The batch alignment service — a domain-sharded runtime behind an
+    async submit/await API.
 
-    A service owns a {!Spec_cache}, a {!Metrics} registry, and a bounded
-    admission budget. {!run} takes an array of jobs, admits up to the
-    remaining capacity (excess jobs are answered [Error Rejected] —
-    backpressure, never silent dropping), groups admitted jobs by their
-    full configuration key, and dispatches each group through the engine
-    the configuration asks for:
+    A service owns a {!Shard.pool}: [shards] independent lanes, each with
+    its own slice of the admission budget, its own bounded chunk queue,
+    its own {!Spec_cache} replica, and (for pools of two or more shards)
+    its own worker domain whose domain-local {!Workspace} pool stays warm
+    across chunks. {!submit} admits a job array against the sharded
+    budget, parses and groups the admitted jobs by configuration, splits
+    each group into [batch_size] chunks, spreads the chunks over the
+    shard queues, and returns a {!ticket}; {!await} blocks until every
+    chunk has landed and returns the results — always in submission
+    order, one slot per job, regardless of which shard executed what.
+    {!run} is the one-line submit+await wrapper.
 
-    - traceback jobs go one-by-one through {!Anyseq_core.Engine.align}
-      (dense matrix for small problems, Hirschberg beyond);
-    - [Simd] score jobs are screened with the 16-bit overflow analysis of
-      {!Anyseq_scoring.Bounds} ([Error (Overflow_bound _)] on failure, the
-      same check the facade applies to single alignments) and streamed
-      through {!Anyseq_simd.Inter_seq.batch_score} in [batch_size] chunks;
-    - [Wavefront] score jobs run through
-      {!Anyseq_wavefront.Scheduler.score_many} over the configured domain
-      count;
-    - [Scalar] and [Auto] score jobs use the cached pre-generated residual
-      kernel ({!Native_kernel} via {!Spec_cache.get}) — the fast path that
-      amortizes specialization across the batch. [Auto] escalates a pair
-      to the wavefront tier only when it is at least {!long_pair_cells}
-      cells {e and} more than one domain is configured.
+    {b Admission.} Capacity is divided evenly across shards. A submit
+    prefers a rotating home shard and overflows to siblings, so one
+    saturated shard cannot reject work the pool as a whole could take;
+    jobs beyond the pool-wide budget are answered [Error Rejected] —
+    backpressure, never silent dropping — and admission is a prefix of
+    the array (jobs [0..granted-1]).
 
-    Results always come back in submission order, one slot per job.
-    Per-job deadlines ([timeout_s]) are checked at every dispatch point —
-    before each traceback alignment and before each score chunk — so an
-    expired job is answered [Error Timeout] without being computed; a job
-    already inside a running chunk is finished, not interrupted.
+    {b Dispatch and stealing.} Chunks are placed round-robin. A worker
+    drains its own queue first, then steals the {e oldest} chunk from a
+    sibling (oldest-first: nearest deadlines). On a single-shard service
+    no domains are spawned — the awaiting caller executes the chunks
+    itself, which keeps shards=1 on the exact pre-shard hot path.
 
-    Every dispatch chunk runs inside one {!Workspace} checkout, so a
-    warmed service aligns without per-job DP allocations; traceback on
-    the Scalar/Auto backends is served by the pre-generated native
-    traceback residuals ({!Native_kernel.t.align}), bit-identical to the
-    generic engines. Hosts that already hold parsed sequences (the
-    network server's decode path) submit them directly via {!run_seqs}
-    and skip the string round-trip. *)
+    {b Tiers} (unchanged by sharding, now per-shard): traceback jobs go
+    one-by-one through the pre-generated native traceback residuals or
+    {!Anyseq_core.Engine.align}; [Simd] score jobs are screened with the
+    16-bit overflow analysis of {!Anyseq_scoring.Bounds} and streamed
+    through {!Anyseq_simd.Inter_seq.batch_score}; [Wavefront] score jobs
+    run through {!Anyseq_wavefront.Scheduler.score_many}; [Scalar] and
+    [Auto] score jobs use the executing shard's cached residual kernels
+    ({!Spec_cache.get}) — bit-parallel under a unit-cost certificate,
+    native otherwise. [Auto] escalates a pair to the wavefront tier only
+    when it is at least {!long_pair_cells} cells {e and} more than one
+    domain is configured.
+
+    Per-job deadlines ([timeout_s]) are checked at every dispatch point;
+    an expired job is answered [Error Timeout] without being computed.
+    Every chunk runs inside one {!Workspace} checkout on its executing
+    domain, so a warmed service aligns without per-job DP allocations —
+    per shard, which the shard gate enforces. An exception thrown by a
+    chunk is parked on its ticket and re-raised by {!await} on the
+    submitting side; worker domains survive it. *)
 
 type job = {
   config : Config.t;
@@ -76,38 +86,85 @@ type outcome = {
 
 type t
 
+type ticket
+(** An in-flight batch: admission grants held, chunks queued or
+    executing, a result slot per submitted job. Settled by {!await}. *)
+
 val create :
   ?capacity:int ->
   ?batch_size:int ->
+  ?shards:int ->
   ?domains:int ->
   ?cache_capacity:int ->
   ?metrics:Metrics.t ->
   unit ->
   t
 (** [capacity] (default 1024) bounds jobs in flight across concurrent
-    {!run} calls; [batch_size] (default 256) is the dispatch chunk;
-    [domains] (default [Domain.recommended_domain_count ()]) sizes the
-    wavefront tier; [cache_capacity] sizes the specialization cache. *)
+    submits, split evenly across shards; [batch_size] (default 256) is
+    the dispatch chunk; [shards] (default 1) is the number of lanes —
+    values ≥ 2 spawn one worker domain per shard; [domains] (default
+    [Domain.recommended_domain_count ()]) sizes the wavefront tier;
+    [cache_capacity] sizes {e each} shard's specialization-cache
+    replica. *)
+
+(** {1 Submit / await} *)
+
+val submit : t -> job array -> ticket
+(** Admit, parse, group and enqueue a batch; returns immediately once
+    the chunks are on the shard queues. Thread-safe; concurrent
+    submitters share the sharded budget. Jobs beyond it are answered
+    [Error Rejected] in their slots (admission is a prefix). *)
+
+val submit_seqs : t -> seq_job array -> ticket
+(** {!submit} for pre-parsed jobs: same admission, grouping, dispatch
+    and result-slotting; only the parse phase is replaced by an alphabet
+    check. *)
+
+val await : ticket -> (outcome, Error.t) result array
+(** Block until every chunk of the ticket has finished; result [i]
+    answers job [i]. On a single-shard service the caller executes the
+    queued chunks itself; on a sharded service it lends a hand while any
+    chunk is queued, then sleeps. Safe to call from any thread; may be
+    called more than once (subsequent calls return the settled array).
+    Re-raises the first executor exception, if any. *)
 
 val run : t -> job array -> (outcome, Error.t) result array
-(** Execute a batch. Thread-safe; concurrent callers share capacity and
-    cache. Result [i] answers job [i]. *)
+(** [run t jobs = await (submit t jobs)]. *)
 
 val run_one : t -> job -> (outcome, Error.t) result
 
 val run_seqs : t -> seq_job array -> (outcome, Error.t) result array
-(** {!run} for pre-parsed jobs: same admission, grouping, dispatch and
-    result-slotting; only the parse phase is replaced by an alphabet
-    check. *)
+(** [run_seqs t jobs = await (submit_seqs t jobs)]. *)
+
+(** {1 Introspection} *)
 
 val queue_depth : t -> int
-(** Jobs currently admitted and not yet finished. *)
+(** Jobs currently admitted and not yet finished (all shards). *)
+
+val shards : t -> int
+
+type shard_stat = {
+  ss_shard : int;
+  ss_capacity : int;  (** this shard's admission slice *)
+  ss_in_flight : int;
+  ss_queued : int;  (** chunks waiting in this shard's queue *)
+  ss_enqueued : int;  (** chunks ever placed on this shard's queue *)
+  ss_run_local : int;  (** chunks its worker popped from its own queue *)
+  ss_steals : int;  (** chunks its worker stole from siblings *)
+  ss_stolen_from : int;  (** chunks siblings/callers took from its queue *)
+  ss_jobs : int;  (** jobs this shard executed *)
+  ss_worker_minor_words : float;
+      (** minor words its worker domain allocated (0 when no worker) *)
+}
+
+val shard_stats : t -> shard_stat array
 
 val drain : t -> unit
 (** Graceful shutdown: stop admitting (every subsequent or concurrent job
     is answered [Error Rejected]) and block until all already-admitted
-    jobs have finished. Idempotent; a host that wants to serve again later
-    calls {!reopen}. *)
+    jobs have finished — executing queued chunks on the calling thread as
+    needed, so drain cannot deadlock on an un-awaited ticket. Idempotent;
+    a host that wants to serve again later calls {!reopen}. *)
 
 val reopen : t -> unit
 (** Re-open admissions after {!drain}. *)
@@ -115,7 +172,14 @@ val reopen : t -> unit
 val is_draining : t -> bool
 (** True once {!drain} has flipped the admission gate. *)
 
+val shutdown : t -> unit
+(** {!drain}, then stop and join the worker domains. The service still
+    works afterwards (caller-executed, as shards=1) once {!reopen}ed. *)
+
 val cache_stats : t -> Spec_cache.stats
+(** Aggregated over the per-shard replicas (sums; [capacity] is the sum
+    of the replica capacities). *)
+
 val metrics : t -> Metrics.t
 
 val long_pair_cells : int

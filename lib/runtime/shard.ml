@@ -1,0 +1,273 @@
+(* The generic shard pool: per-shard admission budgets and bounded chunk
+   queues, FIFO stealing between them, and optional worker domains. The
+   Service instantiates one pool per runtime; everything here is plain
+   counters, mutexes and queues so it can be unit-tested with int chunks. *)
+
+type 'a shard = {
+  id : int;
+  cap : int;
+  used : int Atomic.t;
+  q_mutex : Mutex.t;
+  queue : 'a Queue.t;
+  enqueued : int Atomic.t;
+  run_local : int Atomic.t;
+  steals : int Atomic.t;
+  stolen_from : int Atomic.t;
+  (* Worker-domain allocation, published by the worker after every chunk
+     so the shard gate can hold each shard to the minor-words budget.
+     Stored as words (an int is wide enough for ~4.6e18 on 64-bit). *)
+  worker_words : int Atomic.t;
+}
+
+type 'a pool = {
+  members : 'a shard array;
+  queue_bound : int;
+  accepting : bool Atomic.t;
+  (* Monotonic push counter: workers snapshot it before scanning the
+     queues and re-check it under [sleep_mutex] before sleeping, so a push
+     that lands mid-scan can never be lost. *)
+  pushes : int Atomic.t;
+  sleep_mutex : Mutex.t;
+  work_cond : Condition.t;
+  stop : bool Atomic.t;
+  mutable workers : unit Domain.t list;
+  workers_mutex : Mutex.t;
+  rr : int Atomic.t;  (* placement cursor *)
+  helped_c : int Atomic.t;
+}
+
+let create ~shards ~capacity ?queue_bound () =
+  if shards <= 0 then invalid_arg "Shard.create: shards must be positive";
+  if capacity <= 0 then invalid_arg "Shard.create: capacity must be positive";
+  let queue_bound = match queue_bound with Some b -> max 1 b | None -> max 16 capacity in
+  let base = capacity / shards and extra = capacity mod shards in
+  {
+    members =
+      Array.init shards (fun id ->
+          {
+            id;
+            cap = (base + if id < extra then 1 else 0);
+            used = Atomic.make 0;
+            q_mutex = Mutex.create ();
+            queue = Queue.create ();
+            enqueued = Atomic.make 0;
+            run_local = Atomic.make 0;
+            steals = Atomic.make 0;
+            stolen_from = Atomic.make 0;
+            worker_words = Atomic.make 0;
+          });
+    queue_bound;
+    accepting = Atomic.make true;
+    pushes = Atomic.make 0;
+    sleep_mutex = Mutex.create ();
+    work_cond = Condition.create ();
+    stop = Atomic.make false;
+    workers = [];
+    workers_mutex = Mutex.create ();
+    rr = Atomic.make 0;
+    helped_c = Atomic.make 0;
+  }
+
+let shards p = Array.length p.members
+let capacity_of p i = p.members.(i).cap
+let close p = Atomic.set p.accepting false
+let reopen p = Atomic.set p.accepting true
+let is_closed p = not (Atomic.get p.accepting)
+let helped p = Atomic.get p.helped_c
+
+(* ---- admission ---- *)
+
+(* Grab up to [want] slots from one shard's budget, atomically against
+   concurrent reservers on the same shard. *)
+let grab s want =
+  let rec go () =
+    let cur = Atomic.get s.used in
+    let grant = min want (s.cap - cur) in
+    if grant <= 0 then 0
+    else if Atomic.compare_and_set s.used cur (cur + grant) then grant
+    else go ()
+  in
+  go ()
+
+let reserve_on p i want =
+  if want <= 0 || not (Atomic.get p.accepting) then 0 else grab p.members.(i) want
+
+let reserve p ~home want =
+  let n = shards p in
+  let grants = Array.make n 0 in
+  if want > 0 && Atomic.get p.accepting then begin
+    let left = ref want in
+    let start = ((home mod n) + n) mod n in
+    let i = ref 0 in
+    while !left > 0 && !i < n do
+      let s = (start + !i) mod n in
+      let g = grab p.members.(s) !left in
+      grants.(s) <- g;
+      left := !left - g;
+      incr i
+    done
+  end;
+  grants
+
+let release p i n = if n > 0 then ignore (Atomic.fetch_and_add p.members.(i).used (-n))
+
+let in_flight p =
+  Array.fold_left (fun acc s -> acc + Atomic.get s.used) 0 p.members
+
+(* ---- queues ---- *)
+
+let wake p =
+  Mutex.lock p.sleep_mutex;
+  Condition.broadcast p.work_cond;
+  Mutex.unlock p.sleep_mutex
+
+let push p i x =
+  let s = p.members.(i) in
+  Mutex.lock s.q_mutex;
+  let ok = Queue.length s.queue < p.queue_bound in
+  if ok then Queue.add x s.queue;
+  Mutex.unlock s.q_mutex;
+  if ok then begin
+    Atomic.incr s.enqueued;
+    Atomic.incr p.pushes;
+    wake p
+  end;
+  ok
+
+let place p x =
+  let n = shards p in
+  let start = Atomic.fetch_and_add p.rr 1 in
+  let rec go i =
+    if i >= n then None
+    else
+      let s = (start + i) mod n in
+      if push p s x then Some s else go (i + 1)
+  in
+  go 0
+
+let pop_queue s =
+  Mutex.lock s.q_mutex;
+  let r = Queue.take_opt s.queue in
+  Mutex.unlock s.q_mutex;
+  r
+
+let try_take ?self p =
+  let n = shards p in
+  let own =
+    match self with
+    | Some i -> (
+        match pop_queue p.members.(i) with
+        | Some x ->
+            Atomic.incr p.members.(i).run_local;
+            Some (x, i)
+        | None -> None)
+    | None -> None
+  in
+  match own with
+  | Some _ as r -> r
+  | None ->
+      let start =
+        match self with Some i -> i + 1 | None -> Atomic.fetch_and_add p.rr 1
+      in
+      let rec go k =
+        if k >= n then None
+        else
+          let v = ((start + k) mod n + n) mod n in
+          if self = Some v then go (k + 1)
+          else
+            match pop_queue p.members.(v) with
+            | Some x ->
+                Atomic.incr p.members.(v).stolen_from;
+                (match self with
+                | Some i -> Atomic.incr p.members.(i).steals
+                | None -> Atomic.incr p.helped_c);
+                Some (x, v)
+            | None -> go (k + 1)
+      in
+      go 0
+
+let queue_depth p =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.q_mutex;
+      let l = Queue.length s.queue in
+      Mutex.unlock s.q_mutex;
+      acc + l)
+    0 p.members
+
+(* ---- worker domains ---- *)
+
+let worker_loop p ~exec id =
+  let s = p.members.(id) in
+  let words0 = Gc.minor_words () in
+  let publish () =
+    Atomic.set s.worker_words (int_of_float (Gc.minor_words () -. words0))
+  in
+  let rec loop () =
+    if Atomic.get p.stop then ()
+    else begin
+      let seen = Atomic.get p.pushes in
+      match try_take ~self:id p with
+      | Some (x, home) ->
+          exec ~executor:id ~home x;
+          publish ();
+          loop ()
+      | None ->
+          Mutex.lock p.sleep_mutex;
+          if Atomic.get p.pushes = seen && not (Atomic.get p.stop) then
+            Condition.wait p.work_cond p.sleep_mutex;
+          Mutex.unlock p.sleep_mutex;
+          loop ()
+    end
+  in
+  loop ()
+
+let start_workers p ~exec =
+  if shards p > 1 then begin
+    Mutex.lock p.workers_mutex;
+    if p.workers = [] && not (Atomic.get p.stop) then
+      p.workers <-
+        List.init (shards p) (fun id -> Domain.spawn (fun () -> worker_loop p ~exec id));
+    Mutex.unlock p.workers_mutex
+  end
+
+let shutdown p =
+  Atomic.set p.stop true;
+  wake p;
+  Mutex.lock p.workers_mutex;
+  let ws = p.workers in
+  p.workers <- [];
+  Mutex.unlock p.workers_mutex;
+  List.iter Domain.join ws;
+  Atomic.set p.stop false
+
+(* ---- stats ---- *)
+
+type shard_stats = {
+  s_capacity : int;
+  s_in_flight : int;
+  s_queued : int;
+  s_enqueued : int;
+  s_run_local : int;
+  s_steals : int;
+  s_stolen_from : int;
+  s_worker_words : float;
+}
+
+let stats p =
+  Array.map
+    (fun s ->
+      Mutex.lock s.q_mutex;
+      let queued = Queue.length s.queue in
+      Mutex.unlock s.q_mutex;
+      {
+        s_capacity = s.cap;
+        s_in_flight = Atomic.get s.used;
+        s_queued = queued;
+        s_enqueued = Atomic.get s.enqueued;
+        s_run_local = Atomic.get s.run_local;
+        s_steals = Atomic.get s.steals;
+        s_stolen_from = Atomic.get s.stolen_from;
+        s_worker_words = float_of_int (Atomic.get s.worker_words);
+      })
+    p.members

@@ -1,0 +1,121 @@
+(** Per-domain shards with work-stealing dispatch — the multicore spine of
+    the runtime.
+
+    A {e pool} is a fixed array of shards. Each shard owns
+
+    - an {b admission budget}: its slice of the pool's job capacity,
+      granted and released through atomic counters (the sharded admission
+      controller — a saturated shard overflows to its siblings, and only
+      when every budget is exhausted does a job see [Rejected]);
+    - a {b bounded FIFO chunk queue}: units of work ([batch_size] jobs
+      that share one configuration) pushed by submitters and popped by
+      the shard's worker domain;
+    - a {b worker domain} (pools of two or more shards only): a domain
+      spawned by {!start_workers} that loops on {!take} — own queue
+      first, then stealing the {e oldest} chunk from a sibling, oldest
+      first because older chunks carry the nearest deadlines.
+
+    The pool is generic in the chunk type so the scheduling machinery can
+    be unit-tested with plain values; {!Anyseq_runtime.Service} instantiates
+    it with its prepared-job chunks and gives each shard its own
+    spec-cache replica and (via domain-local storage) its own workspace
+    pool.
+
+    Single-shard pools spawn no domains: callers execute chunks themselves
+    through {!try_take}, which keeps the shards=1 hot path identical to
+    the pre-shard executor (no cross-domain handoff, no extra latency).
+
+    All operations are thread- and domain-safe. *)
+
+type 'a pool
+
+val create : shards:int -> capacity:int -> ?queue_bound:int -> unit -> 'a pool
+(** [shards] ≥ 1 queues/budgets; [capacity] total admission slots, split
+    as evenly as integer division allows (the first [capacity mod shards]
+    shards get one extra). [queue_bound] (default [max 16 capacity])
+    bounds each shard's chunk queue — {!push} refuses beyond it. *)
+
+val shards : 'a pool -> int
+val capacity_of : 'a pool -> int -> int
+(** Admission slots shard [i] owns. *)
+
+(** {1 Sharded admission control} *)
+
+val reserve : 'a pool -> home:int -> int -> int array
+(** [reserve p ~home want] grabs up to [want] slots, preferring shard
+    [home mod shards] and overflowing to siblings in ring order. Returns
+    the per-shard grant vector (sum ≤ [want]); all zeros once the pool is
+    {!close}d or every budget is exhausted. *)
+
+val reserve_on : 'a pool -> int -> int -> int
+(** [reserve_on p i want] grabs up to [want] slots on shard [i] only —
+    no overflow. Exposes the per-shard budget boundary directly (tests,
+    pinned submitters). *)
+
+val release : 'a pool -> int -> int -> unit
+(** [release p i n] returns [n] slots to shard [i]. *)
+
+val in_flight : 'a pool -> int
+(** Total granted, not-yet-released slots across all shards. *)
+
+val close : 'a pool -> unit
+(** Stop granting ({!reserve}/{!reserve_on} answer zero). Queued chunks
+    are still handed out — drain semantics, never silent dropping. *)
+
+val reopen : 'a pool -> unit
+val is_closed : 'a pool -> bool
+
+(** {1 Chunk queues and stealing} *)
+
+val push : 'a pool -> int -> 'a -> bool
+(** Append a chunk to shard [i]'s queue and wake sleeping workers. False
+    when that queue is at [queue_bound] (per-shard backpressure — the
+    caller may overflow to a sibling or run the chunk itself). *)
+
+val place : 'a pool -> 'a -> int option
+(** Round-robin {!push} with overflow: try the cursor's shard, then each
+    sibling. [Some shard] on success; [None] only when every queue is at
+    its bound. *)
+
+val try_take : ?self:int -> 'a pool -> ('a * int) option
+(** Pop one chunk, own queue first ([self], when given), then siblings in
+    ring order — FIFO within each queue. Returns the chunk and the shard
+    whose queue held it. A cross-shard pop increments the victim's
+    [stolen_from] (and the thief's [steals] when [self] names a shard);
+    a pop without [self] counts as caller {e help}. *)
+
+val queue_depth : 'a pool -> int
+(** Chunks currently queued across all shards. *)
+
+(** {1 Worker domains} *)
+
+val start_workers : 'a pool -> exec:(executor:int -> home:int -> 'a -> unit) -> unit
+(** Spawn one worker domain per shard (no-op on single-shard pools and on
+    pools whose workers already run). Each worker [i] loops: {!try_take}
+    [~self:i], execute via [exec ~executor:i ~home], sleep when every
+    queue is empty. [exec] must not raise. *)
+
+val shutdown : 'a pool -> unit
+(** Stop and join the worker domains (idempotent). Callers should
+    {!close} and finish outstanding work first; chunks still queued at
+    shutdown are abandoned. After shutdown the pool still serves
+    single-shard-style caller execution via {!try_take}. *)
+
+(** {1 Stats} *)
+
+type shard_stats = {
+  s_capacity : int;
+  s_in_flight : int;  (** admission slots currently granted *)
+  s_queued : int;  (** chunks waiting in this shard's queue *)
+  s_enqueued : int;  (** chunks ever pushed to this shard's queue *)
+  s_run_local : int;  (** chunks popped from its own queue by worker [i] *)
+  s_steals : int;  (** chunks worker [i] took from sibling queues *)
+  s_stolen_from : int;  (** chunks other executors took from this queue *)
+  s_worker_words : float;
+      (** minor words the worker domain has allocated (0 until a worker
+          runs; the shard-gate divides this by jobs executed) *)
+}
+
+val stats : 'a pool -> shard_stats array
+val helped : 'a pool -> int
+(** Chunks executed by non-worker callers ({!try_take} without [self]). *)

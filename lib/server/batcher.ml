@@ -52,6 +52,25 @@ let take_up_to t n =
   in
   go n []
 
+let take_one t =
+  Mutex.lock t.mutex;
+  let rec go () =
+    if not (Queue.is_empty t.items) then begin
+      let x = Queue.pop t.items in
+      Mutex.unlock t.mutex;
+      Some x
+    end
+    else if t.closed then begin
+      Mutex.unlock t.mutex;
+      None
+    end
+    else begin
+      Condition.wait t.nonempty t.mutex;
+      go ()
+    end
+  in
+  go ()
+
 (* The deadline loop cannot use [Condition.wait] (the stdlib has no timed
    wait), so it polls in ≤ 200 µs sleeps — coarse enough to be free, fine
    enough that a 2 ms window is respected within ~10%. *)

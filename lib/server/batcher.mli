@@ -26,6 +26,11 @@ val push : 'a t -> 'a -> bool
 (** False when the queue is at [max_pending] (backpressure — the caller
     answers [Rejected]) or closed. Never blocks. *)
 
+val take_one : 'a t -> 'a option
+(** Block for the next single item, in arrival order — no batch window.
+    [None] after {!close} once the queue is empty. The server's completion
+    queue uses this: tickets come back one at a time, as submitted. *)
+
 val next_batch : 'a t -> 'a list option
 (** Block for the next batch, in arrival order. [None] after {!close}
     once the queue is empty — the consumer's termination signal. Safe for

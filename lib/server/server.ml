@@ -17,10 +17,11 @@ type config = {
   max_wait_us : int;
   max_pending : int;
   dispatch_workers : int;
+  shards : int;
 }
 
-let default_config ?(addrs = []) () =
-  { addrs; max_batch = 64; max_wait_us = 2000; max_pending = 8192; dispatch_workers = 1 }
+let default_config ?(addrs = []) ?(shards = 1) () =
+  { addrs; max_batch = 64; max_wait_us = 2000; max_pending = 8192; dispatch_workers = 1; shards }
 
 (* A connection: the reader thread owns the socket's read side and the
    conn's lifetime; the writer thread drains [out] so a slow client blocks
@@ -41,10 +42,23 @@ type conn = {
    into packed buffers at dispatch, never copied out as strings. *)
 type pending = { pview : Wire.request_view; pcfg : Rconfig.t; pconn : conn; enq_ns : int64 }
 
+(* A batch in flight inside the service: submitted, not yet awaited. The
+   dispatch workers produce these; the completer consumes them in
+   submission order, so replies leave in the order batches formed while
+   the shards already chew on the next batch. *)
+type inflight = {
+  if_items : pending array;
+  if_parsed : (Service.seq_job, Rerror.t) result array;
+  if_ticket : Service.ticket;
+  if_t0 : int64;  (** submit timestamp; queue/service split point *)
+}
+
 type t = {
   cfg : config;
   srv : Service.t;
+  owns_srv : bool;  (** created by [start]; shut its worker domains down on stop *)
   batcher : pending Batcher.t;
+  completions : inflight Batcher.t;
   listeners : (Unix.file_descr * Addr.t) list;
   stop_requested : bool Atomic.t;
   draining : bool Atomic.t;
@@ -57,6 +71,7 @@ type t = {
   stop_mutex : Mutex.t;
   mutable acceptor : Thread.t option;
   mutable workers : Thread.t list;
+  mutable completer : Thread.t option;
 }
 
 let service t = t.srv
@@ -166,7 +181,9 @@ let writer_loop conn =
 
 (* ---- dispatch workers ---- *)
 
-let dispatch t batch =
+(* Stage 1: parse and submit. Returns the ticket without waiting, so the
+   worker can form the next batch while the shards execute this one. *)
+let submit_batch t batch =
   let items = Array.of_list batch in
   let n = Array.length items in
   let t0 = Timer.now_ns () in
@@ -209,10 +226,23 @@ let dispatch t batch =
       | Error _ -> ())
     parsed;
   let jobs = Array.init !live_n (fun i -> Option.get live.(i)) in
-  let live_results =
+  let ticket =
     Trace.with_span "server.dispatch"
       ~attrs:[ ("jobs", Trace.Int n); ("queued", Trace.Int (Batcher.depth t.batcher)) ]
-      (fun () -> Service.run_seqs t.srv jobs)
+      (fun () -> Service.submit_seqs t.srv jobs)
+  in
+  { if_items = items; if_parsed = parsed; if_ticket = ticket; if_t0 = t0 }
+
+(* Stage 2: await the ticket and fan the replies out. Runs on the
+   completer thread (or inline when the completion queue is saturated —
+   natural backpressure on the submitting worker). *)
+let reply_batch t inf =
+  let items = inf.if_items and parsed = inf.if_parsed and t0 = inf.if_t0 in
+  let n = Array.length items in
+  let live_results =
+    Trace.with_span "server.await"
+      ~attrs:[ ("jobs", Trace.Int n) ]
+      (fun () -> Service.await inf.if_ticket)
   in
   let results = Array.make n (Error Rerror.Rejected) in
   let k = ref 0 in
@@ -260,7 +290,21 @@ let worker_loop t =
     match Batcher.next_batch t.batcher with
     | None -> ()
     | Some batch ->
-        dispatch t batch;
+        let inf = submit_batch t batch in
+        (* The completion queue full means the completer is behind by
+           [max_pending] batches: await this one right here instead of
+           letting tickets pile up unboundedly. *)
+        if not (Batcher.push t.completions inf) then reply_batch t inf;
+        go ()
+  in
+  go ()
+
+let completer_loop t =
+  let rec go () =
+    match Batcher.take_one t.completions with
+    | None -> ()
+    | Some inf ->
+        reply_batch t inf;
         go ()
   in
   go ()
@@ -382,9 +426,13 @@ let install_signal_handlers t =
 (* The drain sequence. Order matters:
    1. flag draining — readers answer new requests with [Draining];
    2. stop the acceptor and close the listeners;
-   3. close the batcher — workers flush the remaining queue and exit;
-   4. drain the service — every admitted chunk has left;
-   5. wake the readers (SHUT_RD keeps the write side alive so their
+   3. close the request batcher — workers flush the remaining queue
+      (submitting every batch) and exit;
+   4. close the completion queue — the completer awaits every
+      outstanding ticket, fans its replies out, and exits;
+   5. drain the service — every admitted chunk has left — and, when the
+      server created the service, join its shard worker domains;
+   6. wake the readers (SHUT_RD keeps the write side alive so their
       writers can still flush), join them; each closes its own socket. *)
 let do_stop t =
   Mutex.lock t.stop_mutex;
@@ -400,7 +448,9 @@ let do_stop t =
       t.listeners;
     Batcher.close t.batcher;
     List.iter Thread.join t.workers;
-    Service.drain t.srv;
+    Batcher.close t.completions;
+    (match t.completer with Some th -> Thread.join th | None -> ());
+    if t.owns_srv then Service.shutdown t.srv else Service.drain t.srv;
     let snapshot =
       Mutex.lock t.conns_mutex;
       let l = Hashtbl.fold (fun _ v acc -> v :: acc) t.conns [] in
@@ -431,8 +481,8 @@ let stop t =
 let start ?service cfg =
   if cfg.addrs = [] then Error "Server.start: no listen addresses"
   else if cfg.max_batch <= 0 || cfg.max_pending <= 0 || cfg.dispatch_workers <= 0
-          || cfg.max_wait_us < 0
-  then Error "Server.start: batch/pending/workers must be positive"
+          || cfg.max_wait_us < 0 || cfg.shards <= 0
+  then Error "Server.start: batch/pending/workers/shards must be positive"
   else begin
     ignore_sigpipe ();
     let rec bind acc = function
@@ -451,14 +501,23 @@ let start ?service cfg =
     match bind [] cfg.addrs with
     | Error _ as e -> e
     | Ok listeners ->
-        let srv = match service with Some s -> s | None -> Service.create () in
+        let srv, owns_srv =
+          match service with
+          | Some s -> (s, false)
+          | None -> (Service.create ~shards:cfg.shards (), true)
+        in
         let t =
           {
             cfg;
             srv;
+            owns_srv;
             batcher =
               Batcher.create ~max_batch:cfg.max_batch ~max_wait_us:cfg.max_wait_us
                 ~max_pending:cfg.max_pending ();
+            completions =
+              (* One slot per possible in-flight batch; batches come one
+                 per worker plus whatever the service admits. *)
+              Batcher.create ~max_batch:1 ~max_wait_us:0 ~max_pending:cfg.max_pending ();
             listeners;
             stop_requested = Atomic.make false;
             draining = Atomic.make false;
@@ -471,9 +530,11 @@ let start ?service cfg =
             stop_mutex = Mutex.create ();
             acceptor = None;
             workers = [];
+            completer = None;
           }
         in
         t.workers <- List.init cfg.dispatch_workers (fun _ -> Thread.create worker_loop t);
+        t.completer <- Some (Thread.create completer_loop t);
         t.acceptor <- Some (Thread.create acceptor_loop t);
         Ok t
   end

@@ -1,12 +1,13 @@
-(** The network alignment server (ISSUE 4 tentpole).
+(** The network alignment server.
 
     One process serves {!Anyseq_client.Wire} frames over any mix of
     Unix-domain and TCP listeners, feeding every request through one
     shared {!Anyseq_runtime.Service} — so all connections share one warm
-    specialization cache, one admission budget, and one metrics registry.
+    specialization cache (replicated per shard), one admission budget,
+    and one metrics registry.
 
-    Thread architecture (OS threads; the compute parallelism lives inside
-    [Service.run]'s wavefront tier, which spawns domains):
+    Thread architecture (OS threads; the compute parallelism lives in the
+    service's shard worker {e domains} and the wavefront tier):
 
     - {b acceptor} — one thread [select]ing over the listeners, so a stop
       request is noticed within ~100 ms without signals-in-syscalls games;
@@ -15,15 +16,21 @@
       malformed frame costs exactly that connection. Config decoding
       happens here, against an interning table, so every distinct wire
       configuration maps to one physical [Config.t] and the
-      specialization cache stays warm across connections;
+      specialization caches stay warm across connections;
     - {b dispatch workers} — [dispatch_workers] threads looping
-      [Batcher.next_batch] → [Service.run] → reply fan-out. The batcher
+      [Batcher.next_batch] → parse → [Service.submit_seqs]. The batcher
       closes a batch on max-size, max-wait (2 ms default) or drain —
-      continuous batching: bursts group, lone requests leave quickly;
+      continuous batching: bursts group, lone requests leave quickly.
+      Submit returns as soon as the batch's chunks are on the shard
+      queues, so the worker forms the next batch while the shards
+      execute this one — batches overlap instead of serializing;
+    - {b completer} — one thread popping tickets off a completion queue
+      in submission order, [Service.await]ing each and fanning its
+      replies out;
     - {b connection writers} — one per connection draining a bounded
-      reply queue, so one slow client never stalls a dispatch worker
-      (an over-full reply queue or a 5 s send timeout kills that
-      connection only).
+      reply queue, so one slow client never stalls the completer (an
+      over-full reply queue or a 5 s send timeout kills that connection
+      only).
 
     Request deadlines propagate: a request's [timeout_s], minus the time
     it spent queued here, becomes the [Service.job] deadline.
@@ -41,18 +48,23 @@ type config = {
   max_batch : int;  (** batch size bound (default 64) *)
   max_wait_us : int;  (** batch formation window (default 2000) *)
   max_pending : int;  (** request queue bound — beyond it, [Rejected] (default 8192) *)
-  dispatch_workers : int;  (** concurrent [Service.run] loops (default 1) *)
+  dispatch_workers : int;  (** concurrent submit loops (default 1) *)
+  shards : int;
+      (** service lanes when [start] creates the service itself (default
+          1; ≥ 2 spawns one worker domain per shard). Ignored when an
+          explicit [?service] is passed — its own shard count wins. *)
 }
 
-val default_config : ?addrs:Addr.t list -> unit -> config
+val default_config : ?addrs:Addr.t list -> ?shards:int -> unit -> config
 
 type t
 
 val start : ?service:Anyseq_runtime.Service.t -> config -> (t, string) result
 (** Bind all listeners and start serving. [service] defaults to a fresh
-    [Service.create ()]; passing one shares its cache/metrics with
-    in-process work. [Error] if any address fails to bind (none are left
-    half-bound). *)
+    [Service.create ~shards:cfg.shards ()] whose worker domains the
+    server also shuts down on stop; passing one shares its cache/metrics
+    with in-process work (and leaves its lifecycle to the caller).
+    [Error] if any address fails to bind (none are left half-bound). *)
 
 val addresses : t -> Addr.t list
 (** Actually-bound addresses (TCP port 0 resolved to the real port). *)

@@ -1,0 +1,176 @@
+(* shard-gate: tier-1 smoke for the domain-sharded runtime, run by
+   `dune build @shard-gate`.
+
+   Two assertions:
+
+   1. {b Loopback ≡ direct at shards=2.} A real server over a Unix socket
+      whose service runs two shards (two worker domains) must answer
+      byte-identically to direct Anyseq.align — sharded dispatch, work
+      stealing and the submit/await pipeline change scheduling, never
+      results.
+
+   2. {b The alloc budget holds per shard.} The PR-5 zero-allocation hot
+      path is enforced per executing domain: after warmup, each shard's
+      worker must stay under the same minor-words-per-alignment budget
+      the single-shard @alloc-gate enforces. [Gc.minor_words] is
+      per-domain in OCaml 5, so each worker publishes its own count
+      (Service.shard_stats); tickets are awaited only after the queues
+      drain, so the measured batches run entirely on the workers. *)
+
+module Rng = Anyseq_util.Rng
+module Service = Anyseq.Service
+module Config = Anyseq.Config
+module Wire = Anyseq.Wire
+module Addr = Anyseq.Addr
+module Client = Anyseq.Client
+module Server = Anyseq.Server
+
+let budget_words_per_alignment = 100.0
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "FAIL: %s\n" what
+  end
+
+let checkf what fmt = Printf.ksprintf (fun msg -> check (what ^ ": " ^ msg)) fmt
+
+let random_pairs ~seed ~count ~max_len =
+  let rng = Rng.create ~seed in
+  Array.init count (fun _ ->
+      let dna n = String.init n (fun _ -> "ACGTN".[Rng.int rng 5]) in
+      (dna (1 + Rng.int rng max_len), dna (1 + Rng.int rng max_len)))
+
+(* ---- part 1: loopback ≡ direct with a two-shard service ---- *)
+
+let loopback () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "anyseq-shard-gate-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Addr.Unix_socket path in
+  let cfg = Server.default_config ~addrs:[ addr ] ~shards:2 () in
+  match Server.start cfg with
+  | Error msg ->
+      checkf "server" "start: %s" msg false;
+      0
+  | Ok srv ->
+      check "service runs 2 shards" (Service.shards (Server.service srv) = 2);
+      let pairs = random_pairs ~seed:97 ~count:64 ~max_len:120 in
+      let total = ref 0 in
+      List.iter
+        (fun (name, config) ->
+          match Wire.resolve_config config with
+          | Error msg -> checkf name "resolve_config: %s" msg false
+          | Ok rconfig -> (
+              match Client.connect addr with
+              | Error msg -> checkf name "connect: %s" msg false
+              | Ok conn ->
+                  Fun.protect ~finally:(fun () -> Client.close conn) @@ fun () ->
+                  (match Client.align_many conn ~window:16 ~config pairs with
+                  | Error msg -> checkf name "pipeline: %s" msg false
+                  | Ok results ->
+                      Array.iteri
+                        (fun i r ->
+                          incr total;
+                          let query, subject = pairs.(i) in
+                          match (r, Anyseq.align ~config:rconfig ~query ~subject) with
+                          | Ok remote, Ok local ->
+                              checkf name "pair %d: score %d <> direct %d" i
+                                remote.Client.score local.Anyseq.score
+                                (remote.Client.score = local.Anyseq.score);
+                              let local_cigar =
+                                Option.map
+                                  (fun a -> Anyseq.Cigar.to_string a.Anyseq.Alignment.cigar)
+                                  local.Anyseq.alignment
+                              in
+                              checkf name "pair %d: cigar mismatch" i
+                                (remote.Client.cigar = local_cigar)
+                          | Error e, Ok _ ->
+                              checkf name "pair %d: remote error %s" i
+                                (Client.error_to_string e) false
+                          | Ok _, Error e ->
+                              checkf name "pair %d: only direct failed: %s" i
+                                (Anyseq.Error.to_string e) false
+                          | Error _, Error _ -> ())
+                        results)))
+        [
+          ("score-only", Wire.default_config);
+          ("traceback", { Wire.default_config with traceback = true });
+        ];
+      Server.stop srv;
+      check "every accepted request replied"
+        (let m = Server.metrics srv in
+         let get name = Option.value ~default:0 (Anyseq.Metrics.find m name) in
+         get "server/requests_received" = get "server/requests_replied");
+      !total
+
+(* ---- part 2: per-shard allocation budget ---- *)
+
+(* Submit without awaiting, let the worker domains drain the queues, and
+   only then collect the tickets — so every measured chunk executed on a
+   worker and its allocations are attributed to that shard alone. *)
+let run_round svc jobs batches =
+  let tickets = List.init batches (fun _ -> Service.submit svc jobs) in
+  while Service.queue_depth svc > 0 do
+    Unix.sleepf 0.0005
+  done;
+  List.iter
+    (fun tk ->
+      Array.iter
+        (function
+          | Ok _ -> ()
+          | Error e ->
+              Printf.eprintf "shard-gate: job failed: %s\n" (Anyseq.Error.to_string e);
+              exit 2)
+        (Service.await tk))
+    tickets
+
+let per_shard_alloc () =
+  let svc = Service.create ~shards:2 () in
+  check "created with 2 shards" (Service.shards svc = 2);
+  let rng = Rng.create ~seed:2024 in
+  let config = Config.make ~traceback:false ~backend:Config.Scalar () in
+  let jobs =
+    Array.init 64 (fun _ ->
+        let dna n = String.init n (fun _ -> "ACGT".[Rng.int rng 4]) in
+        Service.job ~config ~query:(dna (50 + Rng.int rng 101))
+          ~subject:(dna (50 + Rng.int rng 101)) ())
+  in
+  run_round svc jobs 8 (* warm both shards' caches and arenas *);
+  let before = Service.shard_stats svc in
+  run_round svc jobs 16;
+  let after = Service.shard_stats svc in
+  let measured = ref 0 in
+  Array.iteri
+    (fun i (a : Service.shard_stat) ->
+      let b = before.(i) in
+      let jobs_run = a.Service.ss_jobs - b.Service.ss_jobs in
+      let words = a.Service.ss_worker_minor_words -. b.Service.ss_worker_minor_words in
+      if jobs_run > 0 && words > 0.0 then begin
+        incr measured;
+        let per = words /. float_of_int jobs_run in
+        Printf.printf "shard %d: %.1f minor words/alignment over %d alignments\n" i per
+          jobs_run;
+        checkf "per-shard alloc budget" "shard %d at %.1f words/alignment (budget %.0f)" i
+          per budget_words_per_alignment
+          (per < budget_words_per_alignment)
+      end)
+    after;
+  (* Both workers must have executed measured work — otherwise the gate
+     measured nothing and stealing/round-robin placement is broken. *)
+  check "both shards executed measured work" (!measured = 2);
+  Service.shutdown svc
+
+let () =
+  let total = loopback () in
+  per_shard_alloc ();
+  if !failures > 0 then begin
+    Printf.eprintf "shard-gate: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  Printf.printf "shard-gate OK: %d loopback alignments matched direct at shards=2, per-shard \
+                 alloc budget %.0f held\n"
+    total budget_words_per_alignment

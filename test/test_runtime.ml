@@ -708,6 +708,206 @@ let test_concurrent_submitters () =
   Alcotest.(check bool) "cache bounded" true (st.Spec_cache.size <= st.Spec_cache.capacity)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded runtime: determinism, stealing, per-shard backpressure      *)
+(* ------------------------------------------------------------------ *)
+
+(* A skewed job-length mix: mostly short reads, every eighth pair an
+   order of magnitude longer — the distribution that unbalances
+   round-robin placement and makes stealing earn its keep. *)
+let skewed_pairs rng count =
+  Array.init count (fun i ->
+      let len () = if i mod 8 = 0 then 200 + Rng.int rng 201 else 8 + Rng.int rng 33 in
+      ( Sequence.to_string (Helpers.random_dna rng ~len:(len ())),
+        Sequence.to_string (Helpers.random_dna rng ~len:(len ())) ))
+
+(* Results must be independent of the shard count: scores, CIGARs and
+   errors at shards 1/2/4 all equal the sequential facade answers, under
+   both score-only and traceback configs over the skewed mix. *)
+let test_shard_determinism () =
+  let configs =
+    [
+      Anyseq.Config.make ~traceback:false ();
+      Anyseq.Config.make ~mode:T.Local ~traceback:true ();
+    ]
+  in
+  List.iter
+    (fun shards ->
+      let svc = Service.create ~shards () in
+      Alcotest.(check int) "shard count" shards (Service.shards svc);
+      Fun.protect
+        ~finally:(fun () -> Service.shutdown svc)
+        (fun () ->
+          List.iter
+            (fun config ->
+              let rng = Rng.create ~seed:777 in
+              let pairs = skewed_pairs rng 48 in
+              let results = Anyseq.align_batch ~service:svc ~config pairs in
+              Array.iteri
+                (fun i r ->
+                  let query, subject = pairs.(i) in
+                  Alcotest.(check string)
+                    (Printf.sprintf "shards=%d pair %d" shards i)
+                    (repr (Anyseq.align ~config ~query ~subject))
+                    (repr r))
+                results)
+            configs;
+          Alcotest.(check int)
+            (Printf.sprintf "shards=%d slots released" shards)
+            0 (Service.queue_depth svc)))
+    [ 1; 2; 4 ]
+
+(* The submit/await seam itself: submit returns while chunks are queued,
+   await settles them, a second await returns the settled array. *)
+let test_submit_await () =
+  let svc = Service.create () in
+  let rng = Rng.create ~seed:31 in
+  let pairs = skewed_pairs rng 24 in
+  let config = Anyseq.Config.make ~traceback:false () in
+  let jobs =
+    Array.map (fun (query, subject) -> Service.job ~config ~query ~subject ()) pairs
+  in
+  let tk = Service.submit svc jobs in
+  let results = Service.await tk in
+  Alcotest.(check int) "one slot per job" (Array.length jobs) (Array.length results);
+  let again = Service.await tk in
+  Alcotest.(check bool) "await is idempotent" true (results == again);
+  Array.iteri
+    (fun i r ->
+      let query, subject = pairs.(i) in
+      match (r, Anyseq.align ~config ~query ~subject) with
+      | Ok (o : Service.outcome), Ok a ->
+          Alcotest.(check int) (Printf.sprintf "pair %d" i) a.Anyseq.score o.Service.score
+      | _ -> Alcotest.failf "pair %d: unexpected failure" i)
+    results;
+  (* run is literally submit+await *)
+  let direct = Service.run svc jobs in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "run = submit+await, job %d" i)
+        true
+        ((Result.is_ok r) = Result.is_ok results.(i)))
+    direct
+
+(* Work-stealing units over the generic pool with int chunks. *)
+let test_shard_pool_units () =
+  let p : int Shard.pool = Shard.create ~shards:3 ~capacity:10 () in
+  Alcotest.(check int) "shards" 3 (Shard.shards p);
+  (* capacity split 4/3/3 *)
+  Alcotest.(check (list int)) "budget split" [ 4; 3; 3 ]
+    (List.init 3 (Shard.capacity_of p));
+  (* reserve prefers home, overflows in ring order *)
+  let g = Shard.reserve p ~home:1 5 in
+  Alcotest.(check (array int)) "home then ring" [| 0; 3; 2 |] g;
+  Alcotest.(check int) "in flight" 5 (Shard.in_flight p);
+  Shard.release p 1 3;
+  Shard.release p 2 2;
+  Alcotest.(check int) "released" 0 (Shard.in_flight p);
+  (* queues: own pop first, then ring-order steal, FIFO within a queue *)
+  Alcotest.(check bool) "push 0" true (Shard.push p 0 100);
+  Alcotest.(check bool) "push 0 again" true (Shard.push p 0 101);
+  Alcotest.(check bool) "push 1" true (Shard.push p 1 200);
+  (match Shard.try_take ~self:1 p with
+  | Some (200, 1) -> ()
+  | _ -> Alcotest.fail "own queue first");
+  (match Shard.try_take ~self:1 p with
+  | Some (100, 0) -> () (* oldest chunk of the victim *)
+  | _ -> Alcotest.fail "steals the oldest sibling chunk");
+  (match Shard.try_take p with
+  | Some (101, 0) -> ()
+  | _ -> Alcotest.fail "caller help finds the last chunk");
+  Alcotest.(check (option (pair int int))) "empty" None (Shard.try_take p);
+  let st = Shard.stats p in
+  Alcotest.(check int) "victim counts both pops" 2 st.(0).Shard.s_stolen_from;
+  Alcotest.(check int) "thief counted" 1 st.(1).Shard.s_steals;
+  Alcotest.(check int) "local pop counted" 1 st.(1).Shard.s_run_local;
+  Alcotest.(check int) "caller help counted" 1 (Shard.helped p);
+  (* queue bound: a full queue refuses, place overflows to a sibling *)
+  let q : int Shard.pool = Shard.create ~shards:2 ~capacity:64 ~queue_bound:1 () in
+  Alcotest.(check bool) "first fits" true (Shard.push q 0 1);
+  Alcotest.(check bool) "bound enforced" false (Shard.push q 0 2);
+  (match Shard.place q 3 with
+  | Some s -> Alcotest.(check int) "overflowed to the free shard" 1 s
+  | None -> Alcotest.fail "place must overflow before giving up");
+  (match Shard.place q 4 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "every queue full must refuse");
+  (* closed pool grants nothing, from any entry point *)
+  Shard.close p;
+  Alcotest.(check (array int)) "closed grants zeros" [| 0; 0; 0 |] (Shard.reserve p ~home:0 4);
+  Alcotest.(check int) "closed reserve_on" 0 (Shard.reserve_on p 2 1);
+  Shard.reopen p;
+  Alcotest.(check int) "reopened" 1 (Shard.reserve_on p 2 1)
+
+(* One saturated shard must not poison its siblings: budget exhausted on
+   shard 0 still leaves shard 1's slots reachable through overflow. *)
+let test_shard_backpressure_isolation () =
+  let p : unit Shard.pool = Shard.create ~shards:2 ~capacity:8 () in
+  Alcotest.(check int) "saturate shard 0" 4 (Shard.reserve_on p 0 4);
+  Alcotest.(check int) "shard 0 exhausted" 0 (Shard.reserve_on p 0 1);
+  let g = Shard.reserve p ~home:0 6 in
+  Alcotest.(check (array int)) "sibling still grants its slice" [| 0; 4 |] g;
+  Shard.release p 0 4;
+  Alcotest.(check int) "shard 0 usable again" 2 (Shard.reserve_on p 0 2);
+  (* and through the service: a 2-shard pool still answers the classic
+     backpressure contract — prefix admission, Rejected beyond the pool
+     budget, slots released afterwards *)
+  let svc = Service.create ~capacity:4 ~shards:2 () in
+  Fun.protect
+    ~finally:(fun () -> Service.shutdown svc)
+    (fun () ->
+      let jobs =
+        Array.init 10 (fun _ ->
+            Service.job ~config:score_config ~query:"ACGT" ~subject:"ACGT" ())
+      in
+      let results = Service.run svc jobs in
+      Array.iteri
+        (fun i r ->
+          if i < 4 then
+            Alcotest.(check bool) (Printf.sprintf "job %d admitted" i) true (Result.is_ok r)
+          else
+            match r with
+            | Error Error.Rejected -> ()
+            | _ -> Alcotest.failf "job %d should be rejected" i)
+        results;
+      Alcotest.(check int) "slots released" 0 (Service.queue_depth svc))
+
+(* Force a deterministic cross-shard steal: two workers, both chunks on
+   shard 0's queue, and whichever worker executes the first chunk blocks
+   until the other has taken the second — so exactly one of the two pops
+   must be a steal, whatever the interleaving. *)
+let test_shard_workers_steal () =
+  let p : int Shard.pool = Shard.create ~shards:2 ~capacity:8 () in
+  let gate = Atomic.make false in
+  let ran = Atomic.make 0 in
+  let log = Array.make 2 (-1, -1) in
+  Shard.start_workers p ~exec:(fun ~executor ~home x ->
+      log.(x) <- (executor, home);
+      if x = 0 then
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done;
+      Atomic.incr ran);
+  Alcotest.(check bool) "chunk 0 queued" true (Shard.push p 0 0);
+  Alcotest.(check bool) "chunk 1 queued" true (Shard.push p 0 1);
+  (* chunk 1 can only run on the worker NOT blocked inside chunk 0 *)
+  while Atomic.get ran < 1 do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set gate true;
+  while Atomic.get ran < 2 do
+    Domain.cpu_relax ()
+  done;
+  Shard.shutdown p;
+  let executors = [ fst log.(0); fst log.(1) ] in
+  Alcotest.(check bool) "both workers executed" true
+    (List.sort compare executors = [ 0; 1 ]);
+  Array.iter (fun (_, home) -> Alcotest.(check int) "home is shard 0" 0 home) log;
+  let st = Shard.stats p in
+  Alcotest.(check int) "exactly one pop was cross-shard" 1 st.(0).Shard.s_stolen_from;
+  Alcotest.(check int) "worker 1's pop counted as its steal" 1 st.(1).Shard.s_steals
+
+(* ------------------------------------------------------------------ *)
 (* Facade                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -770,6 +970,15 @@ let () =
           Alcotest.test_case "drain gate" `Quick test_service_drain;
           Alcotest.test_case "drain waits for in-flight" `Slow test_service_drain_waits_for_in_flight;
           Alcotest.test_case "concurrent submitters" `Slow test_concurrent_submitters;
+        ] );
+      ( "sharded runtime",
+        [
+          Alcotest.test_case "determinism at shards 1/2/4" `Slow test_shard_determinism;
+          Alcotest.test_case "submit/await" `Quick test_submit_await;
+          Alcotest.test_case "shard pool units" `Quick test_shard_pool_units;
+          Alcotest.test_case "backpressure isolation" `Quick
+            test_shard_backpressure_isolation;
+          Alcotest.test_case "workers steal" `Slow test_shard_workers_steal;
         ] );
       ( "api contract",
         [

@@ -956,6 +956,39 @@ let run_server cfg =
         Printf.printf "server batches: %d dispatched, mean size %.1f, max %d\n" batches
           (float_of_int (Anyseq.Metrics.hist_sum h) /. float_of_int batches)
           (Anyseq.Metrics.hist_max h);
+      (* per-stage latency decomposition, from the server's stage stamps:
+         where a request's wall time went (decode, admission, batcher
+         queue, execution, reply fan-out) over the whole timed run *)
+      let st =
+        Tablefmt.create
+          ~columns:
+            [
+              ("stage", Tablefmt.Left); ("p50 (us)", Tablefmt.Right);
+              ("p90 (us)", Tablefmt.Right); ("p99 (us)", Tablefmt.Right);
+              ("max (us)", Tablefmt.Right);
+            ]
+          ()
+      in
+      let m = Anyseq.Server.metrics srv in
+      List.iter
+        (fun stage ->
+          match Anyseq.Metrics.find_hist m ("server/stage_" ^ stage ^ "_us") with
+          | Some h when Anyseq.Metrics.hist_count h > 0 ->
+              let q p = Anyseq.Metrics.hist_quantile h p in
+              Tablefmt.add_row st
+                [
+                  stage;
+                  Tablefmt.cell_float ~decimals:0 (q 0.50);
+                  Tablefmt.cell_float ~decimals:0 (q 0.90);
+                  Tablefmt.cell_float ~decimals:0 (q 0.99);
+                  string_of_int (Anyseq.Metrics.hist_max h);
+                ];
+              record_result (Printf.sprintf "server/stage_%s_p50_us" stage) (q 0.50);
+              record_result (Printf.sprintf "server/stage_%s_p99_us" stage) (q 0.99)
+          | _ -> ())
+        [ "decode"; "admit"; "queue"; "execute"; "reply" ];
+      Printf.printf "\nper-stage latency decomposition:\n";
+      Tablefmt.print st;
       let cs = Anyseq.Service.cache_stats service in
       let rate = 100.0 *. Anyseq.Spec_cache.hit_rate cs in
       Printf.printf "specialization cache: %d hits / %d misses (hit rate %.1f%%)\n"

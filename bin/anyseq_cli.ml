@@ -449,24 +449,23 @@ let batch_cmd =
    wire frames through one shared service, and drains gracefully on
    SIGTERM/SIGINT. Without --listen, serve falls back to the historical
    in-process sustained-load loop. *)
-let serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers ~shards
-    ~capacity ~batch_size ~metrics_flag ~metrics_format =
-  let addrs =
-    List.map
-      (fun s ->
-        match Anyseq.Addr.parse s with
-        | Ok a -> a
-        | Error msg ->
-            Printf.eprintf "error: bad --listen address %s: %s\n" s msg;
-            exit exit_invalid_config)
-      listen
+let serve_network ~listen ~admin ~max_batch ~max_wait_us ~max_pending ~dispatch_workers
+    ~shards ~capacity ~batch_size ~metrics_flag ~metrics_format =
+  let parse_addr what s =
+    match Anyseq.Addr.parse s with
+    | Ok a -> a
+    | Error msg ->
+        Printf.eprintf "error: bad %s address %s: %s\n" what s msg;
+        exit exit_invalid_config
   in
+  let addrs = List.map (parse_addr "--listen") listen in
+  let admin = Option.map (parse_addr "--admin") admin in
   (* --shards 0 = auto: one shard per recommended domain. *)
   let shards = if shards = 0 then (Anyseq.Runtime.default ()).Anyseq.Runtime.shards else shards in
   let service = Anyseq.Service.create ?capacity ~batch_size ~shards () in
   let cfg =
-    { (Anyseq.Server.default_config ~addrs ()) with max_batch; max_wait_us; max_pending;
-      dispatch_workers; shards }
+    { (Anyseq.Server.default_config ~addrs ?admin ()) with max_batch; max_wait_us;
+      max_pending; dispatch_workers; shards }
   in
   match Anyseq.Server.start ~service cfg with
   | Error msg ->
@@ -477,6 +476,11 @@ let serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers
       List.iter
         (fun a -> Printf.printf "listening on %s\n%!" (Anyseq.Addr.to_string a))
         (Anyseq.Server.addresses srv);
+      (match Anyseq.Server.admin_address srv with
+      | Some a ->
+          Printf.printf "admin endpoint on %s (/metrics /healthz /statusz /debug/flight)\n%!"
+            (Anyseq.Addr.to_string a)
+      | None -> ());
       Anyseq.Server.wait srv;
       let m = Anyseq.Server.metrics srv in
       let get name = Option.value ~default:0 (Anyseq.Metrics.find m name) in
@@ -512,6 +516,17 @@ let serve_cmd =
             "Serve the network protocol on $(docv) (repeatable): $(b,unix:PATH), \
              $(b,tcp:HOST:PORT), or $(b,HOST:PORT). Without --listen, serve runs the \
              in-process sustained-load loop instead.")
+  in
+  let admin_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "admin" ] ~docv:"ADDR"
+          ~doc:
+            "Serve the admin/observability endpoint on $(docv) (HTTP/1.0: $(b,/metrics), \
+             $(b,/healthz), $(b,/statusz), $(b,/debug/flight)); same address forms as \
+             --listen. $(b,anyseq top --connect) $(docv) renders a live dashboard from \
+             it.")
   in
   let max_batch_t =
     Arg.(value & opt int 64 & info [ "max-batch" ] ~doc:"Largest batch formed by the server.")
@@ -553,12 +568,12 @@ let serve_cmd =
       & opt (list mode_conv) [ Anyseq.Types.Global; Anyseq.Types.Semiglobal ]
       & info [ "modes" ] ~doc:"Comma-separated alignment modes each round cycles through.")
   in
-  let run listen max_batch max_wait_us max_pending dispatch_workers shards capacity batch_size
-      metrics_flag rounds count read_len seed modes backend json trace metrics_format match_
-      mismatch gap_open gap_extend =
+  let run listen admin max_batch max_wait_us max_pending dispatch_workers shards capacity
+      batch_size metrics_flag rounds count read_len seed modes backend json trace
+      metrics_format match_ mismatch gap_open gap_extend =
     if listen <> [] then
-      serve_network ~listen ~max_batch ~max_wait_us ~max_pending ~dispatch_workers ~shards
-        ~capacity ~batch_size ~metrics_flag ~metrics_format
+      serve_network ~listen ~admin ~max_batch ~max_wait_us ~max_pending ~dispatch_workers
+        ~shards ~capacity ~batch_size ~metrics_flag ~metrics_format
     else begin
     let scheme = scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5 in
     let pairs = load_pairs ~reads:None ~subjects:None ~count ~seed ~read_len in
@@ -618,10 +633,10 @@ let serve_cmd =
           service; SIGTERM/SIGINT drains gracefully. Without it, a sustained-load \
           demonstration loop over the same service, in process.")
     Term.(
-      const run $ listen_t $ max_batch_t $ max_wait_us_t $ max_pending_t $ dispatch_workers_t
-      $ shards_t $ capacity_t $ batch_size_t $ metrics_t $ rounds_t $ count_t $ read_len_t $ seed_t
-      $ modes_t $ backend_t $ json_t $ trace_t $ metrics_format_t $ match_t $ mismatch_t
-      $ gap_open_t $ gap_extend_t)
+      const run $ listen_t $ admin_t $ max_batch_t $ max_wait_us_t $ max_pending_t
+      $ dispatch_workers_t $ shards_t $ capacity_t $ batch_size_t $ metrics_t $ rounds_t
+      $ count_t $ read_len_t $ seed_t $ modes_t $ backend_t $ json_t $ trace_t
+      $ metrics_format_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
 
 let client_cmd =
   let connect_t =
@@ -798,6 +813,150 @@ let client_cmd =
       const run $ connect_t $ query_t $ subject_t $ reads_t $ subjects_t $ count_t $ seed_t
       $ window_t $ timeout_t $ traceback_t $ scheme_name_t $ alphabet_t $ mode_t $ backend_t
       $ json_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
+
+(* top: poll a server's /statusz and render a live terminal dashboard —
+   per-shard activity, tier counters, stage latency quantiles, request
+   rate from poll-to-poll deltas. *)
+let top_cmd =
+  let connect_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Admin endpoint address (what $(b,anyseq serve --admin) printed): \
+             $(b,unix:PATH), $(b,tcp:HOST:PORT), or $(b,HOST:PORT).")
+  in
+  let interval_t =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~doc:"Seconds between polls.")
+  in
+  let count_t =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~doc:"Stop after this many polls (0 = until interrupted).")
+  in
+  let run connect interval count =
+    let addr =
+      match Anyseq.Addr.parse connect with
+      | Ok a -> a
+      | Error msg ->
+          Printf.eprintf "error: bad --connect address %s: %s\n" connect msg;
+          exit exit_invalid_config
+    in
+    let interval = if interval <= 0.0 then 1.0 else interval in
+    let module J = Anyseq.Jsonv in
+    let prev_replied = ref nan in
+    let render doc =
+      let srv = Option.value ~default:J.Null (J.member "server" doc) in
+      let req = Option.value ~default:J.Null (J.member "requests" doc) in
+      let replied = J.num ~default:0.0 "replied" req in
+      let rate =
+        if Float.is_nan !prev_replied then 0.0
+        else Float.max 0.0 ((replied -. !prev_replied) /. interval)
+      in
+      prev_replied := replied;
+      (* ANSI clear + home; falls out harmlessly on a dumb terminal. *)
+      print_string "\027[2J\027[H";
+      Printf.printf "anyseq top — %s   uptime %.0fs   draining: %s\n" connect
+        (J.num ~default:0.0 "uptime_s" srv)
+        (match J.member "draining" srv with Some (J.Bool true) -> "YES" | _ -> "no");
+      Printf.printf
+        "requests: %.0f received, %.0f replied (%.1f req/s), %.0f bad, %.0f rejected   \
+         connections: %.0f   dispatch queue: %.0f\n"
+        (J.num ~default:0.0 "received" req)
+        replied rate
+        (J.num ~default:0.0 "bad" req)
+        (J.num ~default:0.0 "queue_rejected" req)
+        (J.num ~default:0.0 "connections" srv)
+        (J.num ~default:0.0 "dispatch_queue" srv);
+      (match J.member "stages" doc with
+      | Some stages ->
+          Printf.printf "\n%-9s %10s %10s %10s %12s\n" "stage" "p50(us)" "p90(us)"
+            "p99(us)" "count";
+          List.iter
+            (fun name ->
+              match J.member name stages with
+              | Some s when J.num ~default:0.0 "count" s > 0.0 ->
+                  Printf.printf "%-9s %10.0f %10.0f %10.0f %12.0f\n" name
+                    (J.num ~default:0.0 "p50_us" s)
+                    (J.num ~default:0.0 "p90_us" s)
+                    (J.num ~default:0.0 "p99_us" s)
+                    (J.num ~default:0.0 "count" s)
+              | _ -> Printf.printf "%-9s %10s %10s %10s %12s\n" name "-" "-" "-" "0")
+            [ "decode"; "admit"; "queue"; "execute"; "reply" ]
+      | None -> ());
+      (match Option.bind (J.member "shards" doc) J.to_list with
+      | Some (_ :: _ as shards) ->
+          Printf.printf "\n%-6s %10s %8s %10s %8s %8s %14s\n" "shard" "jobs" "queued"
+            "in-flight" "steals" "stolen" "minor-words";
+          List.iter
+            (fun s ->
+              Printf.printf "%-6.0f %10.0f %8.0f %10.0f %8.0f %8.0f %14.0f\n"
+                (J.num ~default:0.0 "shard" s)
+                (J.num ~default:0.0 "jobs" s)
+                (J.num ~default:0.0 "queued" s)
+                (J.num ~default:0.0 "in_flight" s)
+                (J.num ~default:0.0 "steals" s)
+                (J.num ~default:0.0 "stolen_from" s)
+                (J.num ~default:0.0 "minor_words" s))
+            shards
+      | _ -> ());
+      (match J.member "tiers" doc with
+      | Some (J.Obj fields) ->
+          print_string "\ntiers:";
+          List.iter
+            (fun (name, v) ->
+              match J.to_num v with
+              | Some n when n > 0.0 -> Printf.printf "  %s %.0f" name n
+              | _ -> ())
+            fields;
+          print_newline ()
+      | _ -> ());
+      (match J.member "cache" doc with
+      | Some c ->
+          let hits = J.num ~default:0.0 "hits" c and misses = J.num ~default:0.0 "misses" c in
+          let total = hits +. misses in
+          Printf.printf "cache: %.0f/%.0f entries, hit rate %.1f%%\n"
+            (J.num ~default:0.0 "size" c)
+            (J.num ~default:0.0 "capacity" c)
+            (if total > 0.0 then 100.0 *. hits /. total else 0.0)
+      | None -> ());
+      (match J.member "flight" doc with
+      | Some f ->
+          Printf.printf "flight: %.0f recorded (ring of %.0f), %.0f dumps\n%!"
+            (J.num ~default:0.0 "recorded" f)
+            (J.num ~default:0.0 "capacity" f)
+            (J.num ~default:0.0 "dumps" f)
+      | None -> print_string "%!")
+    in
+    let rec poll i =
+      if count = 0 || i < count then begin
+        (match Anyseq.Admin.http_get addr "/statusz" with
+        | Ok (200, body) -> (
+            match J.parse body with
+            | Ok doc -> render doc
+            | Error msg ->
+                Printf.eprintf "error: unparsable /statusz: %s\n" msg;
+                exit exit_protocol)
+        | Ok (status, _) ->
+            Printf.eprintf "error: /statusz answered HTTP %d\n" status;
+            exit exit_protocol
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit exit_protocol);
+        if count = 0 || i + 1 < count then Unix.sleepf interval;
+        poll (i + 1)
+      end
+    in
+    poll 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard for a running server: polls the admin endpoint's \
+          $(b,/statusz) (see $(b,anyseq serve --admin)) and renders per-shard activity, \
+          kernel-tier counters, per-stage latency quantiles and the request rate.")
+    Term.(const run $ connect_t $ interval_t $ count_t)
 
 let trace_cmd =
   let count_t =
@@ -1145,4 +1304,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; serve_cmd; client_cmd;
-            trace_cmd; search_cmd; overlap_cmd; analyze_cmd ]))
+            top_cmd; trace_cmd; search_cmd; overlap_cmd; analyze_cmd ]))

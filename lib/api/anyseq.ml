@@ -44,6 +44,9 @@ module Addr = Anyseq_client.Addr
 module Client = Anyseq_client.Client
 module Server = Anyseq_server.Server
 module Batcher = Anyseq_server.Batcher
+module Admin = Anyseq_server.Admin
+module Flight = Anyseq_server.Flight
+module Jsonv = Anyseq_util.Jsonv
 
 (* One record for every parallelism knob the runtime scatters across
    Service.create / the wavefront scheduler / the server config — the

@@ -82,13 +82,20 @@ module Trace_export = Anyseq_trace.Export
     and drains gracefully on SIGTERM; {!Client} is the matching
     connection handle with single-request and pipelined entry points.
     [anyseq serve --listen] / [anyseq client] are thin CLI shims over
-    these. *)
+    these. {!Admin} is the server's HTTP/1.0 observability listener
+    ([/metrics], [/healthz], [/statusz], [/debug/flight] — enabled with
+    [anyseq serve --admin]); {!Flight} its bounded ring of recent
+    per-request records; {!Jsonv} the dependency-free JSON reader
+    [anyseq top] parses [/statusz] with. *)
 
 module Wire = Anyseq_client.Wire
 module Addr = Anyseq_client.Addr
 module Client = Anyseq_client.Client
 module Server = Anyseq_server.Server
 module Batcher = Anyseq_server.Batcher
+module Admin = Anyseq_server.Admin
+module Flight = Anyseq_server.Flight
+module Jsonv = Anyseq_util.Jsonv
 
 (** {1 Parallelism}
 

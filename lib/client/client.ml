@@ -1,6 +1,20 @@
 module Timer = Anyseq_util.Timer
+module Trace = Anyseq_trace.Trace
 
-type t = { fd : Unix.file_descr; mutable next_id : int64; mutable alive : bool }
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int64;
+  mutable next_trace : int64;
+  mutable alive : bool;
+}
+
+(* Per-request trace ids must be unique across concurrently tracing
+   client processes (the server stitches by id): seed each connection
+   with pid ⊕ connect-time nanoseconds in the high bits and count up. *)
+let trace_seed () =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (Unix.getpid () land 0xffffff)) 40)
+    (Int64.logand (Timer.now_ns ()) 0xff_ffff_ffffL)
 
 type response = {
   score : int;
@@ -29,7 +43,9 @@ let ignore_sigpipe () =
 
 let connect addr =
   ignore_sigpipe ();
-  Result.map (fun fd -> { fd; next_id = 1L; alive = true }) (Addr.connect addr)
+  Result.map
+    (fun fd -> { fd; next_id = 1L; next_trace = trace_seed (); alive = true })
+    (Addr.connect addr)
 
 let close t =
   if t.alive then begin
@@ -84,8 +100,23 @@ let pipeline t ~window ?timeout_s ~config ~on_reply pairs =
       else if !sent < n && Hashtbl.length in_flight < window then begin
         let query, subject = pairs.(!sent) in
         let id = fresh_id t in
-        let req = { Wire.id; config; timeout_s; query; subject } in
-        Hashtbl.replace in_flight id (!sent, Timer.now_ns ());
+        (* When tracing is on, mint a trace id for the request and note
+           the span open right now — the server stamps both onto its own
+           spans, so one export stitches client and server views. *)
+        let trace =
+          if Trace.enabled () then begin
+            let trace_id = t.next_trace in
+            t.next_trace <- Int64.add trace_id 1L;
+            Some
+              {
+                Wire.trace_id;
+                parent_span = Int64.of_int (Trace.current_span_id ());
+              }
+          end
+          else None
+        in
+        let req = { Wire.id; config; timeout_s; query; subject; trace } in
+        Hashtbl.replace in_flight id (!sent, Timer.now_ns (), trace);
         incr sent;
         match Wire.write_frame t.fd (Wire.encode_request req) with
         | Ok () -> go ()
@@ -97,9 +128,22 @@ let pipeline t ~window ?timeout_s ~config ~on_reply pairs =
         | Ok reply -> (
             match Hashtbl.find_opt in_flight reply.Wire.rid with
             | None -> fail (Printf.sprintf "reply for unknown id %Ld" reply.Wire.rid)
-            | Some (idx, sent_ns) ->
+            | Some (idx, sent_ns, trace) ->
                 Hashtbl.remove in_flight reply.Wire.rid;
                 incr received;
+                (match trace with
+                | Some { Wire.trace_id; parent_span } ->
+                    ignore
+                      (Trace.emit "client.request"
+                         ~parent:(Int64.to_int parent_span)
+                         ~attrs:
+                           [
+                             ("trace_id", Trace.Str (Wire.trace_id_to_string trace_id));
+                             ("rid", Trace.Int (Int64.to_int reply.Wire.rid));
+                             ("batch_jobs", Trace.Int reply.Wire.batch_jobs);
+                           ]
+                         ~start_ns:sent_ns ~end_ns:(Timer.now_ns ()))
+                | None -> ());
                 on_reply idx reply ~sent_ns;
                 go ())
     in

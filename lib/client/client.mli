@@ -14,7 +14,17 @@
 
     Remote failures ([Rejected], [Timeout], …) are per-request values;
     [Protocol _] means the connection itself is broken and must be
-    dropped. *)
+    dropped.
+
+    {b Distributed tracing}: when {!Anyseq_trace.Trace.enable} is on,
+    every outgoing request carries a client-minted
+    {!Wire.trace_context} (unique trace id + the span open at send
+    time), and each reply commits a [client.request] span covering
+    send → receive, tagged with the [trace_id] attribute. A server with
+    tracing enabled stamps the same id onto its [server.request] span,
+    so exporting both sides' spans yields one stitched cross-process
+    trace. When tracing is off, requests carry no context and nothing is
+    recorded. *)
 
 type t
 

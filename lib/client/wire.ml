@@ -7,7 +7,16 @@ module Rconfig = Anyseq_runtime.Config
 module Rerror = Anyseq_runtime.Error
 
 let magic = 0xA5EC
-let protocol_version = 1
+
+(* Version history:
+   1 — the ISSUE-4 protocol: request = id, config, timeout, sequences.
+   2 — appends an optional trace context (trace id + parent span) to the
+       request payload. Replies are unchanged.
+   A server accepts any version in [min_protocol_version,
+   protocol_version] per frame, decoding the request by the version the
+   frame's header announces — old clients keep working unmodified. *)
+let protocol_version = 2
+let min_protocol_version = 1
 let header_bytes = 8
 let max_frame = 1 lsl 26
 
@@ -108,12 +117,21 @@ let code_of_byte = function
   | 7 -> Some Internal
   | _ -> None
 
+(* A client-generated trace identity carried alongside the request, so
+   the server's spans for this request can be stitched to the client's in
+   one cross-process view. [parent_span] is the client-side span open at
+   send time (0 = none). *)
+type trace_context = { trace_id : int64; parent_span : int64 }
+
+let trace_id_to_string tid = Printf.sprintf "%016Lx" tid
+
 type request = {
   id : int64;
   config : config;
   timeout_s : float option;
   query : string;
   subject : string;
+  trace : trace_context option;
 }
 
 type reply_payload =
@@ -188,18 +206,20 @@ let config_key c =
   w_config b c;
   Buffer.contents b
 
-let frame_of_payload kind payload =
+let frame_of_payload ?(version = protocol_version) kind payload =
   let n = String.length payload in
   if n > max_frame then invalid_arg "Wire: payload exceeds max_frame";
   let b = Buffer.create (header_bytes + n) in
   Buffer.add_uint16_be b magic;
-  w_u8 b protocol_version;
+  w_u8 b version;
   w_u8 b kind;
   w_i32 b n;
   Buffer.add_string b payload;
   Buffer.contents b
 
-let encode_request r =
+let encode_request ?(version = protocol_version) r =
+  if version < min_protocol_version || version > protocol_version then
+    invalid_arg (Printf.sprintf "Wire: cannot encode protocol version %d" version);
   let b = Buffer.create (64 + String.length r.query + String.length r.subject) in
   w_i64 b r.id;
   w_config b r.config;
@@ -210,7 +230,17 @@ let encode_request r =
       w_i64 b (Int64.bits_of_float s));
   w_str b r.query;
   w_str b r.subject;
-  frame_of_payload kind_request (Buffer.contents b)
+  (* The trace context exists only from version 2 on; a v1 encoding drops
+     it (tracing degrades, the alignment answer does not). *)
+  if version >= 2 then begin
+    match r.trace with
+    | None -> w_u8 b 0
+    | Some { trace_id; parent_span } ->
+        w_u8 b 1;
+        w_i64 b trace_id;
+        w_i64 b parent_span
+  end;
+  frame_of_payload ~version kind_request (Buffer.contents b)
 
 let encode_reply r =
   let b = Buffer.create 64 in
@@ -314,13 +344,25 @@ let r_timeout c =
       Some s
   | _ -> raise (Malformed "bad timeout flag")
 
-let r_request c =
+let r_trace ~version c =
+  if version < 2 then None
+  else
+    match r_u8 c with
+    | 0 -> None
+    | 1 ->
+        let trace_id = r_i64 c in
+        let parent_span = r_i64 c in
+        Some { trace_id; parent_span }
+    | _ -> raise (Malformed "bad trace flag")
+
+let r_request ~version c =
   let id = r_i64 c in
   let config = r_config c in
   let timeout_s = r_timeout c in
   let query = r_str c in
   let subject = r_str c in
-  { id; config; timeout_s; query; subject }
+  let trace = r_trace ~version c in
+  { id; config; timeout_s; query; subject; trace }
 
 (* A request decoded without copying its sequences: the view keeps the
    payload string and the byte ranges the sequences occupy, so a host can
@@ -334,6 +376,7 @@ type request_view = {
   rv_query_len : int;
   rv_subject_pos : int;
   rv_subject_len : int;
+  rv_trace : trace_context option;
 }
 
 (* [r_str] without the [String.sub]: validate the length prefix, skip the
@@ -346,7 +389,7 @@ let r_span c =
   c.pos <- c.pos + n;
   (pos, n)
 
-let decode_request_view payload =
+let decode_request_view ?(version = protocol_version) payload =
   let c = { s = payload; pos = 0 } in
   match
     let rv_id = r_i64 c in
@@ -354,6 +397,7 @@ let decode_request_view payload =
     let rv_timeout_s = r_timeout c in
     let rv_query_pos, rv_query_len = r_span c in
     let rv_subject_pos, rv_subject_len = r_span c in
+    let rv_trace = r_trace ~version c in
     {
       rv_id;
       rv_config;
@@ -363,6 +407,7 @@ let decode_request_view payload =
       rv_query_len;
       rv_subject_pos;
       rv_subject_len;
+      rv_trace;
     }
   with
   | v ->
@@ -376,6 +421,7 @@ let request_of_view v =
     timeout_s = v.rv_timeout_s;
     query = String.sub v.rv_payload v.rv_query_pos v.rv_query_len;
     subject = String.sub v.rv_payload v.rv_subject_pos v.rv_subject_len;
+    trace = v.rv_trace;
   }
 
 let r_reply c =
@@ -406,10 +452,10 @@ let r_reply c =
   if batch_jobs < 0 then raise (Malformed "negative batch size");
   { rid; payload; queue_ns; service_ns; batch_jobs }
 
-let decode_payload ~kind payload =
+let decode_payload ?(version = protocol_version) ~kind payload =
   let c = { s = payload; pos = 0 } in
   match
-    if kind = kind_request then Request (r_request c)
+    if kind = kind_request then Request (r_request ~version c)
     else if kind = kind_reply then Reply (r_reply c)
     else raise (Malformed (Printf.sprintf "unknown frame kind %d" kind))
   with
@@ -425,24 +471,25 @@ let decode_header s =
     if m <> magic then Error (Printf.sprintf "bad magic 0x%04x" m)
     else
       let v = Char.code s.[2] in
-      if v <> protocol_version then Error (Printf.sprintf "unsupported protocol version %d" v)
+      if v < min_protocol_version || v > protocol_version then
+        Error (Printf.sprintf "unsupported protocol version %d" v)
       else
         let kind = Char.code s.[3] in
         let len = Int32.to_int (String.get_int32_be s 4) in
         if len < 0 || len > max_frame then
           Error (Printf.sprintf "payload length %d out of range" len)
-        else Ok (kind, len)
+        else Ok (v, kind, len)
 
 let decode_frame buf =
   if String.length buf < header_bytes then Error `Incomplete
   else
     match decode_header (String.sub buf 0 header_bytes) with
     | Error msg -> Error (`Malformed msg)
-    | Ok (kind, len) ->
+    | Ok (version, kind, len) ->
         if String.length buf < header_bytes + len then Error `Incomplete
         else
           let payload = String.sub buf header_bytes len in
-          (match decode_payload ~kind payload with
+          (match decode_payload ~version ~kind payload with
           | Ok frame -> Ok (frame, header_bytes + len)
           | Error msg -> Error (`Malformed msg))
 
@@ -465,7 +512,7 @@ let read_raw_frame fd =
   | `Ok -> (
       match decode_header (Bytes.to_string hdr) with
       | Error msg -> Error (`Malformed msg)
-      | Ok (kind, len) -> (
+      | Ok (version, kind, len) -> (
           let payload = Bytes.create len in
           match read_exact fd payload 0 len with
           | `Closed -> Error (`Malformed "stream closed mid-frame")
@@ -473,13 +520,13 @@ let read_raw_frame fd =
           (* The buffer never escapes as [Bytes.t], so freezing it in
              place is sound — the payload is read exactly once off the
              socket and shared by every view into it. *)
-          | `Ok -> Ok (kind, Bytes.unsafe_to_string payload)))
+          | `Ok -> Ok (version, kind, Bytes.unsafe_to_string payload)))
 
 let read_frame fd =
   match read_raw_frame fd with
   | Error _ as e -> e
-  | Ok (kind, payload) -> (
-      match decode_payload ~kind payload with
+  | Ok (version, kind, payload) -> (
+      match decode_payload ~version ~kind payload with
       | Ok frame -> Ok frame
       | Error msg -> Error (`Malformed msg))
 

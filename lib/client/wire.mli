@@ -28,9 +28,23 @@
     Decoding never raises on untrusted input: every decoder returns
     [result], truncated or trailing bytes are [Error], and payload lengths
     beyond {!max_frame} are rejected before any allocation — a malformed
-    or hostile peer costs one connection, never the process. *)
+    or hostile peer costs one connection, never the process.
+
+    {b Version negotiation} is per frame: every header announces the
+    version its payload was encoded under, and a decoder accepts any
+    version in [[min_protocol_version, protocol_version]], parsing
+    version-gated fields only when the frame's version carries them.
+    Version 2 appended an optional {!trace_context} to requests; v1
+    clients against a v2 server (and v2 requests encoded with
+    [~version:1] against a v1 server) keep working — they just don't
+    propagate trace ids. *)
 
 val protocol_version : int
+(** 2 — the newest version this build encodes and accepts. *)
+
+val min_protocol_version : int
+(** 1 — the oldest version still accepted on decode. *)
+
 val header_bytes : int
 (** 8: magic, version, kind, payload length. *)
 
@@ -82,12 +96,26 @@ type error_code =
 val error_code_of_runtime : Anyseq_runtime.Error.t -> error_code
 val code_to_string : error_code -> string
 
+type trace_context = {
+  trace_id : int64;  (** client-generated; labels every span of the request *)
+  parent_span : int64;  (** client-side span open at send time; 0 = none *)
+}
+(** The wire form of a distributed trace identity (protocol ≥ 2). The
+    client mints a [trace_id] per request when tracing is enabled; the
+    server stamps it onto its [server.request] / dispatch spans, so one
+    Chrome-trace export of both sides stitches under one id. *)
+
+val trace_id_to_string : int64 -> string
+(** Canonical rendering (16 lowercase hex digits) — the form used in span
+    attributes on both sides, so exports match up textually. *)
+
 type request = {
   id : int64;
   config : config;
   timeout_s : float option;
   query : string;
   subject : string;
+  trace : trace_context option;  (** dropped when encoding at version 1 *)
 }
 
 type reply_payload =
@@ -113,6 +141,7 @@ type request_view = {
   rv_query_len : int;
   rv_subject_pos : int;
   rv_subject_len : int;
+  rv_trace : trace_context option;
 }
 (** A request decoded {e in place}: config and metadata are parsed, but
     the sequences stay as byte ranges of the payload, so a host can feed
@@ -123,27 +152,34 @@ val kind_request : int
 val kind_reply : int
 (** Frame kind bytes, as {!decode_header} returns them. *)
 
-val decode_request_view : string -> (request_view, string) result
+val decode_request_view : ?version:int -> string -> (request_view, string) result
 (** Decode a request payload (as returned by {!read_raw_frame} for
     {!kind_request}) without copying the sequences. Same validation as the
-    copying decoder, including the trailing-bytes check. *)
+    copying decoder, including the trailing-bytes check. [version]
+    (default {!protocol_version}) is the version the frame's header
+    announced; v1 payloads have no trace field. *)
 
 val request_of_view : request_view -> request
 (** Materialize the string copies (tests, logging). *)
 
-val encode_request : request -> string
-(** Complete frame, header included. Raises [Invalid_argument] if a field
-    is out of representable range (lengths over {!max_frame}, scores
-    outside 32 bits) — encoding errors are caller bugs, unlike decoding. *)
+val encode_request : ?version:int -> request -> string
+(** Complete frame, header included, encoded at [version] (default
+    {!protocol_version}; versions below 2 omit the trace context — how a
+    new client talks to an old server). Raises [Invalid_argument] if a
+    field is out of representable range (lengths over {!max_frame}, scores
+    outside 32 bits) or the version is outside the supported range —
+    encoding errors are caller bugs, unlike decoding. *)
 
 val encode_reply : reply -> string
 
-val decode_header : string -> (int * int, string) result
-(** [(kind, payload_len)] from the first {!header_bytes} bytes; [Error] on
-    short input, bad magic, unsupported version, or oversized length. *)
+val decode_header : string -> (int * int * int, string) result
+(** [(version, kind, payload_len)] from the first {!header_bytes} bytes;
+    [Error] on short input, bad magic, version outside
+    [[min_protocol_version, protocol_version]], or oversized length. *)
 
-val decode_payload : kind:int -> string -> (frame, string) result
-(** Decode one complete payload. Trailing bytes are an error. *)
+val decode_payload : ?version:int -> kind:int -> string -> (frame, string) result
+(** Decode one complete payload as encoded under [version] (default
+    {!protocol_version}). Trailing bytes are an error. *)
 
 val decode_frame : string -> (frame * int, [ `Incomplete | `Malformed of string ]) result
 (** Parse one frame off the head of a buffer, returning bytes consumed —
@@ -160,10 +196,11 @@ val read_frame :
     short mid-frame is [`Malformed]. *)
 
 val read_raw_frame :
-  Unix.file_descr -> (int * string, [ `Eof | `Malformed of string | `Io of string ]) result
-(** One validated header plus its raw payload, undecoded — [(kind,
-    payload)]. The payload string is freshly read and uniquely owned;
-    {!read_frame} is this followed by {!decode_payload}. *)
+  Unix.file_descr ->
+  (int * int * string, [ `Eof | `Malformed of string | `Io of string ]) result
+(** One validated header plus its raw payload, undecoded — [(version,
+    kind, payload)]. The payload string is freshly read and uniquely
+    owned; {!read_frame} is this followed by {!decode_payload}. *)
 
 val write_frame : Unix.file_descr -> string -> (unit, string) result
 (** Write a whole encoded frame, handling short writes; [Error] wraps

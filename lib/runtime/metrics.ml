@@ -92,6 +92,11 @@ let hist_count h = Atomic.get h.h_count
 let hist_sum h = Atomic.get h.h_sum
 let hist_max h = Atomic.get h.h_max
 
+(* Quantile estimation from the log2 buckets: find the bucket holding the
+   rank, then interpolate linearly inside it — bucket i spans
+   [2^(i-1), 2^i - 1] (bucket 0 is just {0}), so the estimate is off by at
+   most the position error within one power-of-two bucket rather than
+   always reporting the bucket's upper bound. *)
 let hist_quantile h q =
   let total = hist_count h in
   if total = 0 then 0.0
@@ -101,22 +106,68 @@ let hist_quantile h q =
     let acc = ref 0 and result = ref 0.0 and found = ref false in
     for i = 0 to buckets - 1 do
       if not !found then begin
-        acc := !acc + Atomic.get h.h_counts.(i);
+        let n = Atomic.get h.h_counts.(i) in
+        acc := !acc + n;
         if !acc >= rank then begin
-          (* upper bound of bucket i: values with i significant bits *)
-          result := float_of_int ((1 lsl i) - 1);
+          let lo = if i = 0 then 0.0 else float_of_int (1 lsl (i - 1)) in
+          let hi = float_of_int ((1 lsl i) - 1) in
+          let frac =
+            if n = 0 then 1.0
+            else float_of_int (rank - (!acc - n)) /. float_of_int n
+          in
+          result := lo +. (frac *. (hi -. lo));
           found := true
         end
       end
     done;
-    !result
+    (* The top bucket's upper bound can overshoot what was actually seen;
+       the observed max is a tighter cap for any quantile. *)
+    Float.min !result (float_of_int (hist_max h))
   end
+
+(* Labeled series: one instrument per (name, label value) pair, stored
+   under [name ^ "#" ^ key ^ "=" ^ value]. '#' cannot appear in plain
+   registry names, so the renderers can split unambiguously and emit a
+   real Prometheus label. *)
+let labeled_key name (k, v) = name ^ "#" ^ k ^ "=" ^ v
+
+let split_label key =
+  match String.index_opt key '#' with
+  | None -> (key, None)
+  | Some i -> (
+      let base = String.sub key 0 i in
+      let rest = String.sub key (i + 1) (String.length key - i - 1) in
+      match String.index_opt rest '=' with
+      | None -> (key, None)
+      | Some j ->
+          ( base,
+            Some
+              ( String.sub rest 0 j,
+                String.sub rest (j + 1) (String.length rest - j - 1) ) ))
+
+let gauge_set_labeled t name ~label v = gauge_set t (labeled_key name label) v
 
 let find t name =
   match Hashtbl.find_opt t.tbl name with
   | Some (Counter c) -> Some (Atomic.get c)
   | Some (Gauge g) -> Some (Atomic.get g.g_cur)
   | _ -> None
+
+let find_hist t name =
+  match Hashtbl.find_opt t.tbl name with Some (Hist h) -> Some h | _ -> None
+
+let fold_labeled t name f acc =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun key i acc ->
+          match split_label key with
+          | base, Some (_, lv) when base = name -> (
+              match i with
+              | Counter c -> f acc lv (Atomic.get c)
+              | Gauge g -> f acc lv (Atomic.get g.g_cur)
+              | Hist _ -> acc)
+          | _ -> acc)
+        t.tbl acc)
 
 let reset t =
   with_lock t (fun () ->
@@ -156,49 +207,89 @@ let prom_name name =
   "anyseq_" ^ (if mapped = "" then "_" else mapped)
 
 let dump_prometheus t =
-  let b = Buffer.create 1024 in
-  let series =
-    Hashtbl.fold
-      (fun name i acc ->
-        let n = prom_name name in
-        let block =
-          match i with
-          | Counter c ->
-              Printf.sprintf "# TYPE %s counter\n%s %d\n" n n (Atomic.get c)
-          | Gauge g ->
-              Printf.sprintf "# TYPE %s gauge\n%s %d\n# TYPE %s_max gauge\n%s_max %d\n" n n
-                (Atomic.get g.g_cur) n n (Atomic.get g.g_max)
-          | Hist h ->
-              let hb = Buffer.create 256 in
-              Printf.bprintf hb "# TYPE %s histogram\n" n;
-              let total = hist_count h in
-              (* Cumulative buckets; the upper bound of bucket i is the
-                 largest value with i significant bits, 2^i - 1. Trailing
-                 empty buckets are elided (+Inf carries the total). *)
-              let cum = ref 0 in
-              let top = ref (-1) in
-              for i = 0 to buckets - 1 do
-                if Atomic.get h.h_counts.(i) > 0 then top := i
-              done;
-              for i = 0 to !top do
-                cum := !cum + Atomic.get h.h_counts.(i);
-                Printf.bprintf hb "%s_bucket{le=\"%d\"} %d\n" n ((1 lsl i) - 1) !cum
-              done;
-              Printf.bprintf hb "%s_bucket{le=\"+Inf\"} %d\n" n total;
-              Printf.bprintf hb "%s_sum %d\n%s_count %d\n" n (hist_sum h) n total;
-              Buffer.contents hb
-        in
-        (n, block) :: acc)
-      t.tbl []
+  (* Group samples by metric family so labeled series of one name share a
+     single [# TYPE] line and stay contiguous (the exposition format
+     requires all lines of a metric in one block). Each instrument
+     contributes one ordered chunk of lines; chunks sort by their series
+     label, families by name. *)
+  let families : (string, string * (string * string list) list) Hashtbl.t =
+    Hashtbl.create 32
   in
-  List.iter (fun (_, block) -> Buffer.add_string b block)
-    (List.sort (fun (a, _) (b, _) -> compare a b) series);
+  let add_chunk family kind sort_key lines =
+    match Hashtbl.find_opt families family with
+    | Some (k, chunks) -> Hashtbl.replace families family (k, (sort_key, lines) :: chunks)
+    | None -> Hashtbl.replace families family (kind, [ (sort_key, lines) ])
+  in
+  let render_labels = function
+    | [] -> ""
+    | ls ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k v) ls)
+        ^ "}"
+  in
+  Hashtbl.iter
+    (fun key i ->
+      let base, label = split_label key in
+      let n = prom_name base in
+      let ls = match label with None -> [] | Some kv -> [ kv ] in
+      let sort_key = match label with None -> "" | Some (_, v) -> v in
+      match i with
+      | Counter c ->
+          add_chunk n "counter" sort_key
+            [ Printf.sprintf "%s%s %d" n (render_labels ls) (Atomic.get c) ]
+      | Gauge g ->
+          add_chunk n "gauge" sort_key
+            [ Printf.sprintf "%s%s %d" n (render_labels ls) (Atomic.get g.g_cur) ];
+          add_chunk (n ^ "_max") "gauge" sort_key
+            [ Printf.sprintf "%s_max%s %d" n (render_labels ls) (Atomic.get g.g_max) ]
+      | Hist h ->
+          let total = hist_count h in
+          (* Cumulative buckets; the upper bound of bucket i is the
+             largest value with i significant bits, 2^i - 1. Trailing
+             empty buckets are elided (+Inf carries the total). *)
+          let cum = ref 0 in
+          let top = ref (-1) in
+          for i = 0 to buckets - 1 do
+            if Atomic.get h.h_counts.(i) > 0 then top := i
+          done;
+          let lines = ref [] in
+          for i = 0 to !top do
+            cum := !cum + Atomic.get h.h_counts.(i);
+            lines :=
+              Printf.sprintf "%s_bucket%s %d" n
+                (render_labels (ls @ [ ("le", string_of_int ((1 lsl i) - 1)) ]))
+                !cum
+              :: !lines
+          done;
+          lines :=
+            Printf.sprintf "%s_bucket%s %d" n
+              (render_labels (ls @ [ ("le", "+Inf") ]))
+              total
+            :: !lines;
+          lines := Printf.sprintf "%s_sum%s %d" n (render_labels ls) (hist_sum h) :: !lines;
+          lines := Printf.sprintf "%s_count%s %d" n (render_labels ls) total :: !lines;
+          add_chunk n "histogram" sort_key (List.rev !lines))
+    t.tbl;
+  let b = Buffer.create 1024 in
+  Hashtbl.fold (fun name fam acc -> (name, fam) :: acc) families []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (name, (kind, chunks)) ->
+         Printf.bprintf b "# TYPE %s %s\n" name kind;
+         List.sort compare chunks
+         |> List.iter (fun (_, lines) ->
+                List.iter (fun l -> Buffer.add_string b (l ^ "\n")) lines));
   Buffer.contents b
 
 let dump t =
   let lines =
     Hashtbl.fold
-      (fun name i acc ->
+      (fun key i acc ->
+        let name =
+          match split_label key with
+          | base, Some (k, v) -> Printf.sprintf "%s{%s=%s}" base k v
+          | base, None -> base
+        in
         let line =
           match i with
           | Counter c -> Printf.sprintf "counter %s %d" name (Atomic.get c)
@@ -208,8 +299,9 @@ let dump t =
           | Hist h ->
               let n = hist_count h in
               let mean = if n = 0 then 0.0 else float_of_int (hist_sum h) /. float_of_int n in
-              Printf.sprintf "hist %s count=%d mean=%.1f p50<=%.0f p99<=%.0f max=%d" name n
-                mean (hist_quantile h 0.5) (hist_quantile h 0.99) (hist_max h)
+              Printf.sprintf "hist %s count=%d mean=%.1f p50=%.0f p90=%.0f p99=%.0f max=%d"
+                name n mean (hist_quantile h 0.5) (hist_quantile h 0.9)
+                (hist_quantile h 0.99) (hist_max h)
         in
         line :: acc)
       t.tbl []

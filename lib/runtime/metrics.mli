@@ -29,6 +29,19 @@ val gauge_set : t -> string -> int -> unit
 (** Set a level quantity (e.g. current queue depth). Registered on first
     use; rendered alongside a high-water mark. *)
 
+val gauge_set_labeled : t -> string -> label:string * string -> int -> unit
+(** [gauge_set_labeled t name ~label:(key, value) v]: one gauge {e series}
+    per label value under a shared metric name — e.g.
+    [gauge_set_labeled t "runtime/shard_jobs" ~label:("shard", "0") n]
+    renders as [anyseq_runtime_shard_jobs{shard="0"}] in the Prometheus
+    exposition and as [runtime/shard_jobs{shard=0}] in {!dump}. Each
+    (name, value) pair is its own instrument; series of one name share a
+    single [# TYPE] declaration. *)
+
+val fold_labeled : t -> string -> ('a -> string -> int -> 'a) -> 'a -> 'a
+(** Fold over the labeled series registered under [name]: [f acc
+    label_value current]. Counters and gauges only. *)
+
 val histogram : t -> string -> histogram
 val observe : histogram -> int -> unit
 
@@ -37,11 +50,17 @@ val hist_sum : histogram -> int
 val hist_max : histogram -> int
 
 val hist_quantile : histogram -> float -> float
-(** Upper bucket bound containing quantile [q] of observations
-    (0 on an empty histogram). Bucket resolution is a factor of 2. *)
+(** Estimate of quantile [q]: the log2 bucket holding the rank, linearly
+    interpolated between the bucket's bounds, capped at the observed
+    maximum (0 on an empty histogram). Worst-case error is the rank's
+    position within one power-of-two bucket. *)
 
 val find : t -> string -> int option
 (** Current value of a counter or gauge by name (for tests and tools). *)
+
+val find_hist : t -> string -> histogram option
+(** Histogram by name, without registering one — for snapshot consumers
+    (the admin endpoint's stage tables, the bench reports). *)
 
 val record_gc : t -> unit
 (** Refresh the GC gauges — [gc/minor_words], [gc/major_collections],
@@ -56,7 +75,8 @@ val reset : t -> unit
 val dump : t -> string
 (** Text snapshot, sorted by instrument name:
     [counter <name> <value>], [gauge <name> <value> max=<high-water>],
-    [hist <name> count=… mean=… p50=… p99=… max=…]. *)
+    [hist <name> count=… mean=… p50=… p90=… p99=… max=…] (quantiles via
+    {!hist_quantile}). Labeled series print as [name{key=value}]. *)
 
 val dump_prometheus : t -> string
 (** Prometheus text-exposition snapshot ([# TYPE] comment per metric,

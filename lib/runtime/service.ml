@@ -58,7 +58,15 @@ type t = {
    bound to the ticket whose result slots they fill. Chunks sit in shard
    queues; whichever shard executes one uses its own spec-cache replica
    and its own domain's workspace pool. *)
-and chunk = { ck_cfg : Config.t; ck_jobs : prepared list; ck_njobs : int; ck_ticket : ticket }
+and chunk = {
+  ck_cfg : Config.t;
+  ck_jobs : prepared list;
+  ck_njobs : int;
+  ck_ticket : ticket;
+  ck_attrs : (string * Trace.attr) list;
+      (** caller-supplied span attributes (e.g. a wire trace id), echoed
+          on the [service.exec] span of every chunk of the batch *)
+}
 
 (* The submit/await handle: a fixed result array slotted by submission
    index, a count of outstanding chunks, and the per-shard admission
@@ -385,6 +393,26 @@ let shard_stats t =
       })
     (Shard.stats t.pool)
 
+(* The Prometheus view of [shard_stats]: one gauge family per field,
+   labeled by shard index. Refreshed per completed ticket (via
+   [mirror_stats]) and again by the admin endpoint at scrape time, so a
+   /metrics scrape's per-shard totals match a concurrent [shard_stats]
+   snapshot. *)
+let publish_shard_stats t =
+  Array.iter
+    (fun s ->
+      let label = ("shard", string_of_int s.ss_shard) in
+      let g name v = Metrics.gauge_set_labeled t.metrics ("runtime/" ^ name) ~label v in
+      g "shard_jobs" s.ss_jobs;
+      g "shard_queued" s.ss_queued;
+      g "shard_in_flight" s.ss_in_flight;
+      g "shard_enqueued" s.ss_enqueued;
+      g "shard_run_local" s.ss_run_local;
+      g "shard_steals" s.ss_steals;
+      g "shard_stolen_from" s.ss_stolen_from;
+      g "shard_minor_words" (int_of_float s.ss_worker_minor_words))
+    (shard_stats t)
+
 (* Mirror cache, workspace, shard and GC effectiveness into the registry
    for [dump] — once per completed ticket, the same cadence the
    pre-shard executor used per batch. *)
@@ -402,6 +430,7 @@ let mirror_stats t =
   Metrics.gauge_set t.metrics "runtime/shard_steals" steals;
   Metrics.gauge_set t.metrics "runtime/shard_stolen_chunks" stolen;
   Metrics.gauge_set t.metrics "runtime/shard_helped" (Shard.helped t.pool);
+  publish_shard_stats t;
   Workspace.publish t.metrics;
   Metrics.record_gc t.metrics
 
@@ -428,13 +457,14 @@ let exec_chunk t ~executor ~home ck =
   (try
      Trace.with_span "service.exec"
        ~attrs:
-         [
+         ([
            ("shard", Trace.Int executor);
            ("home", Trace.Int home);
            ("stolen", Trace.Str (string_of_bool (executor <> home)));
            ("jobs", Trace.Int ck.ck_njobs);
            ("config", Trace.Str (Config.to_string ck.ck_cfg));
          ]
+         @ ck.ck_attrs)
        (fun () -> run_group t t.caches.(executor) tk.tk_results ck.ck_cfg ck.ck_jobs)
    with e ->
      Mutex.lock tk.tk_mutex;
@@ -513,7 +543,7 @@ let add_to_groups groups p =
    [results.(i)] itself and returns [None]. Admission, parsing and
    grouping run on the submitting thread; chunks are then placed on the
    shard queues (round-robin with overflow) and the ticket returned. *)
-let submit_internal t n results ~prepare =
+let submit_internal t ?(attrs = []) n results ~prepare =
   let tk granted grants =
     {
       tk_svc = t;
@@ -543,10 +573,11 @@ let submit_internal t n results ~prepare =
     let batch_frame =
       Trace.start "service.batch"
         ~attrs:
-          [
-            ("jobs", Trace.Int n); ("granted", Trace.Int granted);
-            ("rejected", Trace.Int (n - granted));
-          ]
+          ([
+             ("jobs", Trace.Int n); ("granted", Trace.Int granted);
+             ("rejected", Trace.Int (n - granted));
+           ]
+          @ attrs)
     in
     let now0 = Timer.now_ns () in
     (* Parse phase: bad sequences fail their own slot, nothing else. *)
@@ -584,6 +615,7 @@ let submit_internal t n results ~prepare =
                   ck_jobs = chunk_jobs;
                   ck_njobs = List.length chunk_jobs;
                   ck_ticket = tk;
+                  ck_attrs = attrs;
                 }
               in
               incr nchunks;
@@ -627,10 +659,10 @@ let await tk =
   (match tk.tk_exn with Some e -> raise e | None -> ());
   tk.tk_results
 
-let submit t jobs =
+let submit t ?attrs jobs =
   let n = Array.length jobs in
   let results = Array.make n (Error Error.Rejected) in
-  submit_internal t n results ~prepare:(fun i now0 ->
+  submit_internal t ?attrs n results ~prepare:(fun i now0 ->
       let j = jobs.(i) in
       let alphabet = Scheme.alphabet j.config.Config.scheme in
       match (Seq.of_string alphabet j.query, Seq.of_string alphabet j.subject) with
@@ -642,10 +674,10 @@ let submit t jobs =
           results.(i) <- Error (Error.Bad_sequence msg);
           None)
 
-let submit_seqs t jobs =
+let submit_seqs t ?attrs jobs =
   let n = Array.length jobs in
   let results = Array.make n (Error Error.Rejected) in
-  submit_internal t n results ~prepare:(fun i now0 ->
+  submit_internal t ?attrs n results ~prepare:(fun i now0 ->
       let j = jobs.(i) in
       let alphabet = Scheme.alphabet j.sj_config.Config.scheme in
       if

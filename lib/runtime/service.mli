@@ -109,13 +109,20 @@ val create :
 
 (** {1 Submit / await} *)
 
-val submit : t -> job array -> ticket
+val submit :
+  t -> ?attrs:(string * Anyseq_trace.Trace.attr) list -> job array -> ticket
 (** Admit, parse, group and enqueue a batch; returns immediately once
     the chunks are on the shard queues. Thread-safe; concurrent
     submitters share the sharded budget. Jobs beyond it are answered
-    [Error Rejected] in their slots (admission is a prefix). *)
+    [Error Rejected] in their slots (admission is a prefix).
 
-val submit_seqs : t -> seq_job array -> ticket
+    [attrs] (default empty) are extra span attributes stamped onto the
+    batch's [service.batch] span and every one of its [service.exec]
+    spans — how a server threads a wire-propagated trace id down to the
+    chunks that execute on worker domains. *)
+
+val submit_seqs :
+  t -> ?attrs:(string * Anyseq_trace.Trace.attr) list -> seq_job array -> ticket
 (** {!submit} for pre-parsed jobs: same admission, grouping, dispatch
     and result-slotting; only the parse phase is replaced by an alphabet
     check. *)
@@ -158,6 +165,15 @@ type shard_stat = {
 }
 
 val shard_stats : t -> shard_stat array
+
+val publish_shard_stats : t -> unit
+(** Refresh the per-shard labeled gauge families
+    ([runtime/shard_jobs{shard=…}], [shard_queued], [shard_in_flight],
+    [shard_enqueued], [shard_run_local], [shard_steals],
+    [shard_stolen_from], [shard_minor_words]) from a fresh
+    {!shard_stats} snapshot. Runs automatically once per completed
+    ticket; a metrics endpoint calls it again at scrape time so the
+    exposed totals match the live pool. *)
 
 val drain : t -> unit
 (** Graceful shutdown: stop admitting (every subsequent or concurrent job

@@ -1,0 +1,100 @@
+module Jsonv = Anyseq_util.Jsonv
+
+(* One served request's life, as monotonic stamps. All_ns fields come
+   from [Anyseq_util.Timer.now_ns]; a stage that never happened (e.g. an
+   error reply short-circuiting before dispatch) keeps the previous
+   stage's stamp, so stage deltas are never negative. *)
+type record = {
+  fr_rid : int64;
+  fr_cid : int;  (** connection id *)
+  fr_config : string;  (** human-readable config label *)
+  fr_trace : int64 option;  (** wire trace id, when the client sent one *)
+  fr_accept_ns : int64;  (** frame fully read off the socket *)
+  fr_decode_ns : int64;  (** request view decoded, config interned *)
+  fr_enqueue_ns : int64;  (** admitted into the batcher *)
+  fr_submit_ns : int64;  (** batch submitted to the service *)
+  fr_done_ns : int64;  (** batch results available *)
+  fr_reply_ns : int64;  (** reply enqueued to the connection writer *)
+  fr_batch_jobs : int;
+  fr_outcome : string;  (** "ok" or the wire error-code string *)
+}
+
+(* Multi-producer bounded ring under a mutex: reply fan-out runs on one
+   completer thread plus the occasional backpressured dispatch worker, so
+   contention is negligible next to the alignment work each record
+   represents. *)
+type t = {
+  lock : Mutex.t;
+  slots : record option array;
+  mutable next : int;  (** records ever written *)
+}
+
+let default_capacity = 1024
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  { lock = Mutex.create (); slots = Array.make capacity None; next = 0 }
+
+let capacity t = Array.length t.slots
+
+let record t r =
+  Mutex.lock t.lock;
+  t.slots.(t.next mod Array.length t.slots) <- Some r;
+  t.next <- t.next + 1;
+  Mutex.unlock t.lock
+
+let recorded t =
+  Mutex.lock t.lock;
+  let n = t.next in
+  Mutex.unlock t.lock;
+  n
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let cap = Array.length t.slots in
+  let n = t.next in
+  let kept = min n cap in
+  let out =
+    List.init kept (fun k ->
+        match t.slots.((n - kept + k) mod cap) with
+        | Some r -> r
+        | None -> assert false (* slots below [next] are always filled *))
+  in
+  Mutex.unlock t.lock;
+  out
+
+let record_json b r =
+  let stamp name v = Printf.bprintf b "\"%s\":%Ld," name v in
+  Buffer.add_char b '{';
+  Printf.bprintf b "\"rid\":%Ld,\"cid\":%d," r.fr_rid r.fr_cid;
+  Printf.bprintf b "\"config\":\"%s\"," (Jsonv.escape_string r.fr_config);
+  (match r.fr_trace with
+  | Some tid -> Printf.bprintf b "\"trace_id\":\"%016Lx\"," tid
+  | None -> ());
+  stamp "accept_ns" r.fr_accept_ns;
+  stamp "decode_ns" r.fr_decode_ns;
+  stamp "enqueue_ns" r.fr_enqueue_ns;
+  stamp "submit_ns" r.fr_submit_ns;
+  stamp "done_ns" r.fr_done_ns;
+  stamp "reply_ns" r.fr_reply_ns;
+  Printf.bprintf b "\"batch_jobs\":%d,\"outcome\":\"%s\"}" r.fr_batch_jobs
+    (Jsonv.escape_string r.fr_outcome)
+
+let to_json records =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"records\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      record_json b r)
+    records;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let dump t ~path =
+  match
+    Out_channel.with_open_text path (fun oc -> output_string oc (to_json (snapshot t)))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg

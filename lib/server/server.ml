@@ -18,10 +18,21 @@ type config = {
   max_pending : int;
   dispatch_workers : int;
   shards : int;
+  admin : Addr.t option;
+  flight_capacity : int;
 }
 
-let default_config ?(addrs = []) ?(shards = 1) () =
-  { addrs; max_batch = 64; max_wait_us = 2000; max_pending = 8192; dispatch_workers = 1; shards }
+let default_config ?(addrs = []) ?(shards = 1) ?admin () =
+  {
+    addrs;
+    max_batch = 64;
+    max_wait_us = 2000;
+    max_pending = 8192;
+    dispatch_workers = 1;
+    shards;
+    admin;
+    flight_capacity = Flight.default_capacity;
+  }
 
 (* A connection: the reader thread owns the socket's read side and the
    conn's lifetime; the writer thread drains [out] so a slow client blocks
@@ -39,8 +50,18 @@ type conn = {
 
 (* An admitted request waiting for a dispatch worker. The view keeps the
    sequences as ranges of the raw frame payload — they are parsed straight
-   into packed buffers at dispatch, never copied out as strings. *)
-type pending = { pview : Wire.request_view; pcfg : Rconfig.t; pconn : conn; enq_ns : int64 }
+   into packed buffers at dispatch, never copied out as strings. The three
+   stamps are the first stages of the request's latency decomposition:
+   frame off the socket, config decoded/interned, admitted into the
+   batcher. *)
+type pending = {
+  pview : Wire.request_view;
+  pcfg : Rconfig.t;
+  pconn : conn;
+  p_accept_ns : int64;
+  p_decode_ns : int64;
+  enq_ns : int64;
+}
 
 (* A batch in flight inside the service: submitted, not yet awaited. The
    dispatch workers produce these; the completer consumes them in
@@ -72,12 +93,22 @@ type t = {
   mutable acceptor : Thread.t option;
   mutable workers : Thread.t list;
   mutable completer : Thread.t option;
+  (* observability *)
+  flight : Flight.t;
+  mutable admin : Admin.t option;
+  started_at : float;  (** wall clock, for /statusz uptime *)
+  dump_flag : bool Atomic.t;  (** SIGUSR1 / burst trigger → acceptor dumps *)
+  burst_window_ns : int64 Atomic.t;  (** start of the current miss window *)
+  burst_misses : int Atomic.t;  (** deadline misses inside the window *)
+  last_dump_ns : int64 Atomic.t;  (** burst-dump cooldown *)
 }
 
 let service t = t.srv
 let metrics t = Service.metrics t.srv
 let addresses t = List.map snd t.listeners
 let is_stopped t = Atomic.get t.stopped
+let flight t = t.flight
+let admin_address t = Option.map Admin.address t.admin
 let ctr t name = Metrics.counter (metrics t) ("server/" ^ name)
 let hist t name = Metrics.histogram (metrics t) ("server/" ^ name)
 
@@ -86,6 +117,33 @@ let connections t =
   let n = Hashtbl.length t.conns in
   Mutex.unlock t.conns_mutex;
   n
+
+let flight_dump_path () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "anyseq-flight-%d.json" (Unix.getpid ()))
+
+(* Deadline-miss burst trigger: [burst_threshold] Timeout outcomes inside
+   one second arm the dump flag — the flight ring then still holds the
+   requests leading up to the storm. A cooldown turns a sustained storm
+   into one snapshot, not a disk flood. *)
+let burst_threshold = 8
+let burst_window_span_ns = 1_000_000_000L
+let burst_cooldown_ns = 5_000_000_000L
+
+let note_deadline_miss t now =
+  if Int64.sub now (Atomic.get t.burst_window_ns) > burst_window_span_ns then begin
+    Atomic.set t.burst_window_ns now;
+    Atomic.set t.burst_misses 1
+  end
+  else if
+    Atomic.fetch_and_add t.burst_misses 1 + 1 >= burst_threshold
+    && Int64.sub now (Atomic.get t.last_dump_ns) > burst_cooldown_ns
+  then begin
+    Atomic.set t.last_dump_ns now;
+    Metrics.incr (ctr t "flight_burst_triggers");
+    Atomic.set t.dump_flag true
+  end
 
 let ignore_sigpipe () =
   match Sys.signal Sys.sigpipe Sys.Signal_ignore with
@@ -226,10 +284,29 @@ let submit_batch t batch =
       | Error _ -> ())
     parsed;
   let jobs = Array.init !live_n (fun i -> Option.get live.(i)) in
+  (* Thread the client's trace id down through the service spans: a batch
+     mixes requests from many clients, so stamp the first traced request's
+     id plus how many rode along — enough to find the batch from a trace
+     id and vice versa. *)
+  let trace_attrs =
+    let traced =
+      Array.to_list items
+      |> List.filter_map (fun p -> p.pview.Wire.rv_trace)
+    in
+    match traced with
+    | [] -> []
+    | tc :: _ ->
+        [
+          ("trace_id", Trace.Str (Wire.trace_id_to_string tc.Wire.trace_id));
+          ("traced", Trace.Int (List.length traced));
+        ]
+  in
   let ticket =
     Trace.with_span "server.dispatch"
-      ~attrs:[ ("jobs", Trace.Int n); ("queued", Trace.Int (Batcher.depth t.batcher)) ]
-      (fun () -> Service.submit_seqs t.srv jobs)
+      ~attrs:
+        ([ ("jobs", Trace.Int n); ("queued", Trace.Int (Batcher.depth t.batcher)) ]
+        @ trace_attrs)
+      (fun () -> Service.submit_seqs t.srv ~attrs:trace_attrs jobs)
   in
   { if_items = items; if_parsed = parsed; if_ticket = ticket; if_t0 = t0 }
 
@@ -254,35 +331,83 @@ let reply_batch t inf =
           incr k
       | Error e -> results.(i) <- Error e)
     parsed;
-  let service_ns = Int64.sub (Timer.now_ns ()) t0 in
+  let done_ns = Timer.now_ns () in
+  let service_ns = Int64.sub done_ns t0 in
   Metrics.observe (hist t "batch_jobs") n;
   Metrics.observe (hist t "service_us") (Int64.to_int service_ns / 1000);
   Trace.with_span "server.reply" ~attrs:[ ("jobs", Trace.Int n) ] @@ fun () ->
   Array.iteri
     (fun i p ->
-      let payload =
+      let payload, outcome =
         match results.(i) with
         | Ok (o : Service.outcome) ->
             let cigar =
               Option.map (fun a -> Cigar.to_string a.Alignment.cigar) o.Service.alignment
             in
-            Wire.Result
-              {
-                score = o.Service.score;
-                query_end = o.Service.query_end;
-                subject_end = o.Service.subject_end;
-                cigar;
-              }
+            ( Wire.Result
+                {
+                  score = o.Service.score;
+                  query_end = o.Service.query_end;
+                  subject_end = o.Service.subject_end;
+                  cigar;
+                },
+              "ok" )
         | Error e ->
-            Wire.Failure
-              { code = Wire.error_code_of_runtime e; message = Rerror.to_string e }
+            let code = Wire.error_code_of_runtime e in
+            if code = Wire.Timeout then note_deadline_miss t done_ns;
+            ( Wire.Failure { code; message = Rerror.to_string e },
+              Wire.code_to_string code )
       in
       let queue_ns = Int64.sub t0 p.enq_ns in
       Metrics.observe (hist t "queue_us") (Int64.to_int queue_ns / 1000);
       let reply =
         { Wire.rid = p.pview.Wire.rv_id; payload; queue_ns; service_ns; batch_jobs = n }
       in
-      enqueue_reply t p.pconn (Wire.encode_reply reply))
+      enqueue_reply t p.pconn (Wire.encode_reply reply);
+      (* Stage decomposition: one observation per stage per request, so
+         every stage histogram's count matches requests replied through
+         the batch path and the stages sum to the request's wall time. *)
+      let reply_ns = Timer.now_ns () in
+      let stage name a b =
+        Metrics.observe (hist t name) (Int64.to_int (Int64.sub b a) / 1000)
+      in
+      stage "stage_decode_us" p.p_accept_ns p.p_decode_ns;
+      stage "stage_admit_us" p.p_decode_ns p.enq_ns;
+      stage "stage_queue_us" p.enq_ns t0;
+      stage "stage_execute_us" t0 done_ns;
+      stage "stage_reply_us" done_ns reply_ns;
+      Flight.record t.flight
+        {
+          Flight.fr_rid = p.pview.Wire.rv_id;
+          fr_cid = p.pconn.cid;
+          fr_config = Rconfig.to_string p.pcfg;
+          fr_trace = Option.map (fun tc -> tc.Wire.trace_id) p.pview.Wire.rv_trace;
+          fr_accept_ns = p.p_accept_ns;
+          fr_decode_ns = p.p_decode_ns;
+          fr_enqueue_ns = p.enq_ns;
+          fr_submit_ns = t0;
+          fr_done_ns = done_ns;
+          fr_reply_ns = reply_ns;
+          fr_batch_jobs = n;
+          fr_outcome = outcome;
+        };
+      (* The server half of the stitched cross-process trace: a completed
+         [server.request] span covering accept → reply, parented under the
+         client's span and tagged with its trace id. *)
+      match p.pview.Wire.rv_trace with
+      | Some tc when Trace.enabled () ->
+          ignore
+            (Trace.emit "server.request"
+               ~parent:(Int64.to_int tc.Wire.parent_span)
+               ~attrs:
+                 [
+                   ("trace_id", Trace.Str (Wire.trace_id_to_string tc.Wire.trace_id));
+                   ("rid", Trace.Int (Int64.to_int p.pview.Wire.rv_id));
+                   ("outcome", Trace.Str outcome);
+                   ("batch_jobs", Trace.Int n);
+                 ]
+               ~start_ns:p.p_accept_ns ~end_ns:reply_ns)
+      | _ -> ())
     items
 
 let worker_loop t =
@@ -311,38 +436,77 @@ let completer_loop t =
 
 (* ---- connection readers ---- *)
 
+(* Requests answered before dispatch (draining, bad config, full queue)
+   still leave a flight record: the stages they never reached keep the
+   last stamp they did reach, so stage deltas stay non-negative. *)
+let record_early t conn ~rid ~trace ~config ~accept_ns ~decode_ns code =
+  Flight.record t.flight
+    {
+      Flight.fr_rid = rid;
+      fr_cid = conn.cid;
+      fr_config = config;
+      fr_trace = trace;
+      fr_accept_ns = accept_ns;
+      fr_decode_ns = decode_ns;
+      fr_enqueue_ns = decode_ns;
+      fr_submit_ns = decode_ns;
+      fr_done_ns = decode_ns;
+      fr_reply_ns = Timer.now_ns ();
+      fr_batch_jobs = 0;
+      fr_outcome = Wire.code_to_string code;
+    }
+
 let reader_loop t conn =
   let rec loop () =
     match Wire.read_raw_frame conn.fd with
-    | Ok (kind, payload) when kind = Wire.kind_request -> (
-        match Wire.decode_request_view payload with
+    | Ok (version, kind, payload) when kind = Wire.kind_request -> (
+        let accept_ns = Timer.now_ns () in
+        match Wire.decode_request_view ~version payload with
         | Error _ ->
             (* The stream cannot be resynced after a corrupt frame: this
                connection dies; the server keeps serving everyone else. *)
             Metrics.incr (ctr t "bad_frames")
         | Ok req ->
             Metrics.incr (ctr t "requests_received");
+            let rid = req.Wire.rv_id in
+            let trace = Option.map (fun tc -> tc.Wire.trace_id) req.Wire.rv_trace in
             (if Atomic.get t.draining then begin
                Metrics.incr (ctr t "draining_rejected");
-               error_reply t conn ~rid:req.Wire.rv_id Wire.Draining "server is draining"
+               error_reply t conn ~rid Wire.Draining "server is draining";
+               record_early t conn ~rid ~trace ~config:"" ~accept_ns
+                 ~decode_ns:accept_ns Wire.Draining
              end
              else
                match intern_config t req.Wire.rv_config with
                | Error msg ->
                    Metrics.incr (ctr t "bad_requests");
-                   error_reply t conn ~rid:req.Wire.rv_id Wire.Bad_request msg
+                   error_reply t conn ~rid Wire.Bad_request msg;
+                   record_early t conn ~rid ~trace ~config:"" ~accept_ns
+                     ~decode_ns:accept_ns Wire.Bad_request
                | Ok pcfg ->
-                   let p = { pview = req; pcfg; pconn = conn; enq_ns = Timer.now_ns () } in
+                   let decode_ns = Timer.now_ns () in
+                   let p =
+                     {
+                       pview = req;
+                       pcfg;
+                       pconn = conn;
+                       p_accept_ns = accept_ns;
+                       p_decode_ns = decode_ns;
+                       enq_ns = Timer.now_ns ();
+                     }
+                   in
                    if Batcher.push t.batcher p then
                      Metrics.gauge_set (metrics t) "server/queue_depth"
                        (Batcher.depth t.batcher)
                    else begin
                      Metrics.incr (ctr t "queue_rejected");
-                     error_reply t conn ~rid:req.Wire.rv_id Wire.Rejected
-                       "server request queue full"
+                     error_reply t conn ~rid Wire.Rejected "server request queue full";
+                     record_early t conn ~rid ~trace
+                       ~config:(Rconfig.to_string pcfg) ~accept_ns ~decode_ns
+                       Wire.Rejected
                    end);
             loop ())
-    | Ok (_, _) ->
+    | Ok (_, _, _) ->
         (* A peer speaking the protocol backwards (or garbage we cannot
            resync past) gets disconnected. *)
         Metrics.incr (ctr t "bad_frames")
@@ -400,6 +564,15 @@ let acceptor_loop t =
   let rec go () =
     if Atomic.get t.stop_requested then ()
     else begin
+      (* Flight dumps happen here, not in the signal handler: SIGUSR1 (and
+         the burst trigger) only flip an atomic; the 0.1 s select cadence
+         bounds how stale the dump can be. *)
+      if Atomic.get t.dump_flag then begin
+        Atomic.set t.dump_flag false;
+        match Flight.dump t.flight ~path:(flight_dump_path ()) with
+        | Ok () -> Metrics.incr (ctr t "flight_dumps")
+        | Error _ -> Metrics.incr (ctr t "flight_dump_failures")
+      end;
       (match Unix.select fds [] [] 0.1 with
       | readable, _, _ ->
           List.iter
@@ -414,6 +587,96 @@ let acceptor_loop t =
   in
   go ()
 
+(* ---- admin endpoint ---- *)
+
+let draining_now t = Atomic.get t.draining || Service.is_draining t.srv
+
+(* /statusz: the dashboard snapshot [anyseq top] polls — one JSON object
+   built straight off the registry and the service's stat snapshots. *)
+let statusz_json t =
+  let m = metrics t in
+  let b = Buffer.create 4096 in
+  let c name = match Metrics.find m name with Some v -> v | None -> 0 in
+  Printf.bprintf b
+    "{\"server\":{\"protocol_version\":%d,\"min_protocol_version\":%d,\"uptime_s\":%.1f,\"draining\":%b,\"connections\":%d,\"dispatch_queue\":%d,\"shards\":%d},"
+    Wire.protocol_version Wire.min_protocol_version
+    (Unix.gettimeofday () -. t.started_at)
+    (draining_now t) (connections t) (Batcher.depth t.batcher)
+    (Service.shards t.srv);
+  Printf.bprintf b
+    "\"requests\":{\"received\":%d,\"replied\":%d,\"bad\":%d,\"queue_rejected\":%d,\"draining_rejected\":%d,\"replies_dropped\":%d},"
+    (c "server/requests_received") (c "server/requests_replied")
+    (c "server/bad_requests") (c "server/queue_rejected")
+    (c "server/draining_rejected") (c "server/replies_dropped");
+  Buffer.add_string b "\"shards\":[";
+  Array.iteri
+    (fun i (s : Service.shard_stat) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "{\"shard\":%d,\"jobs\":%d,\"queued\":%d,\"in_flight\":%d,\"enqueued\":%d,\"run_local\":%d,\"steals\":%d,\"stolen_from\":%d,\"minor_words\":%.0f}"
+        s.Service.ss_shard s.Service.ss_jobs s.Service.ss_queued
+        s.Service.ss_in_flight s.Service.ss_enqueued s.Service.ss_run_local
+        s.Service.ss_steals s.Service.ss_stolen_from s.Service.ss_worker_minor_words)
+    (Service.shard_stats t.srv);
+  Buffer.add_string b "],";
+  let cs = Service.cache_stats t.srv in
+  Printf.bprintf b
+    "\"cache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"size\":%d,\"capacity\":%d},"
+    cs.Anyseq_runtime.Spec_cache.hits cs.Anyseq_runtime.Spec_cache.misses
+    cs.Anyseq_runtime.Spec_cache.evictions cs.Anyseq_runtime.Spec_cache.size
+    cs.Anyseq_runtime.Spec_cache.capacity;
+  Buffer.add_string b "\"tiers\":{";
+  List.iteri
+    (fun i tier ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\":%d" tier (c ("runtime/tier_" ^ tier)))
+    [ "bitparallel"; "native"; "staged"; "simd"; "wavefront" ];
+  Buffer.add_string b "},";
+  Buffer.add_string b "\"stages\":{";
+  List.iteri
+    (fun i stage ->
+      if i > 0 then Buffer.add_char b ',';
+      match Metrics.find_hist m ("server/stage_" ^ stage ^ "_us") with
+      | Some h ->
+          Printf.bprintf b
+            "\"%s\":{\"count\":%d,\"p50_us\":%.0f,\"p90_us\":%.0f,\"p99_us\":%.0f,\"max_us\":%d}"
+            stage (Metrics.hist_count h)
+            (Metrics.hist_quantile h 0.50)
+            (Metrics.hist_quantile h 0.90)
+            (Metrics.hist_quantile h 0.99)
+            (Metrics.hist_max h)
+      | None -> Printf.bprintf b "\"%s\":{\"count\":0}" stage)
+    [ "decode"; "admit"; "queue"; "execute"; "reply" ];
+  Buffer.add_string b "},";
+  Printf.bprintf b
+    "\"flight\":{\"capacity\":%d,\"recorded\":%d,\"dumps\":%d,\"burst_triggers\":%d},"
+    (Flight.capacity t.flight) (Flight.recorded t.flight) (c "server/flight_dumps")
+    (c "server/flight_burst_triggers");
+  Printf.bprintf b "\"build\":{\"ocaml\":\"%s\",\"word_size\":%d}}"
+    Sys.ocaml_version Sys.word_size;
+  Buffer.contents b
+
+let admin_handler t path =
+  match path with
+  | "/metrics" ->
+      (* Refresh scrape-time state so the exposition is a consistent
+         snapshot: per-shard gauges match a concurrent [shard_stats], GC
+         gauges match the live heap. *)
+      Service.publish_shard_stats t.srv;
+      Metrics.record_gc (metrics t);
+      Admin.ok
+        ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (Metrics.dump_prometheus (metrics t))
+  | "/healthz" ->
+      if draining_now t then
+        Some { Admin.status = 503; content_type = "text/plain"; body = "draining\n" }
+      else Admin.ok "ok\n"
+  | "/statusz" -> Admin.ok ~content_type:"application/json" (statusz_json t)
+  | "/debug/flight" ->
+      Admin.ok ~content_type:"application/json"
+        (Flight.to_json (Flight.snapshot t.flight))
+  | _ -> None
+
 (* ---- lifecycle ---- *)
 
 let request_stop t = Atomic.set t.stop_requested true
@@ -421,7 +684,12 @@ let request_stop t = Atomic.set t.stop_requested true
 let install_signal_handlers t =
   let handle = Sys.Signal_handle (fun _ -> request_stop t) in
   (try Sys.set_signal Sys.sigterm handle with Invalid_argument _ -> ());
-  try Sys.set_signal Sys.sigint handle with Invalid_argument _ -> ()
+  (try Sys.set_signal Sys.sigint handle with Invalid_argument _ -> ());
+  (* SIGUSR1 → flight-recorder dump. Only an atomic store happens in the
+     handler; the acceptor loop writes the file. *)
+  try
+    Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> Atomic.set t.dump_flag true))
+  with Invalid_argument _ -> ()
 
 (* The drain sequence. Order matters:
    1. flag draining — readers answer new requests with [Draining];
@@ -462,6 +730,9 @@ let do_stop t =
         (try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
         Thread.join reader)
       snapshot;
+    (* The admin endpoint outlives the data plane so /healthz reports the
+       drain in progress; it goes down last. *)
+    (match t.admin with Some a -> Admin.stop a | None -> ());
     Atomic.set t.stopped true
   end;
   Mutex.unlock t.stop_mutex
@@ -481,8 +752,8 @@ let stop t =
 let start ?service cfg =
   if cfg.addrs = [] then Error "Server.start: no listen addresses"
   else if cfg.max_batch <= 0 || cfg.max_pending <= 0 || cfg.dispatch_workers <= 0
-          || cfg.max_wait_us < 0 || cfg.shards <= 0
-  then Error "Server.start: batch/pending/workers/shards must be positive"
+          || cfg.max_wait_us < 0 || cfg.shards <= 0 || cfg.flight_capacity <= 0
+  then Error "Server.start: batch/pending/workers/shards/flight must be positive"
   else begin
     ignore_sigpipe ();
     let rec bind acc = function
@@ -531,10 +802,38 @@ let start ?service cfg =
             acceptor = None;
             workers = [];
             completer = None;
+            flight = Flight.create ~capacity:cfg.flight_capacity ();
+            admin = None;
+            started_at = Unix.gettimeofday ();
+            dump_flag = Atomic.make false;
+            burst_window_ns = Atomic.make 0L;
+            burst_misses = Atomic.make 0;
+            last_dump_ns = Atomic.make 0L;
           }
         in
-        t.workers <- List.init cfg.dispatch_workers (fun _ -> Thread.create worker_loop t);
-        t.completer <- Some (Thread.create completer_loop t);
-        t.acceptor <- Some (Thread.create acceptor_loop t);
-        Ok t
+        let admin_ok =
+          match cfg.admin with
+          | None -> Ok ()
+          | Some a -> (
+              match Admin.start ~addr:a ~handler:(fun path -> admin_handler t path) with
+              | Ok adm ->
+                  t.admin <- Some adm;
+                  Ok ()
+              | Error msg -> Error ("Server.start: admin listener: " ^ msg))
+        in
+        (match admin_ok with
+        | Error msg ->
+            List.iter
+              (fun (fd, b) ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                Addr.unlink_if_socket b)
+              listeners;
+            if owns_srv then Service.shutdown srv;
+            Error msg
+        | Ok () ->
+            t.workers <-
+              List.init cfg.dispatch_workers (fun _ -> Thread.create worker_loop t);
+            t.completer <- Some (Thread.create completer_loop t);
+            t.acceptor <- Some (Thread.create acceptor_loop t);
+            Ok t)
   end

@@ -39,7 +39,26 @@
     {!stop}): stop accepting connections, answer new requests with
     [Draining], flush every already-accepted request through the service,
     deliver all replies, then close. Accepted requests are never
-    dropped. *)
+    dropped.
+
+    {b Observability.} Every request is stamped at accept, decode,
+    enqueue, submit, done and reply; the deltas feed the five
+    [server/stage_*_us] histograms (decode/admit/queue/execute/reply),
+    whose per-stage counts match requests replied through the batch path
+    and whose stages sum to the request's wall time. The same stamps,
+    plus config and outcome, land in a bounded {!Flight} ring — dumped
+    to [$TMPDIR/anyseq-flight-<pid>.json] on SIGUSR1 (via
+    {!install_signal_handlers}) or on a deadline-miss burst (≥ 8
+    timeouts within a second, 5 s cooldown). An optional {!Admin}
+    listener ([config.admin]) serves [/metrics] (Prometheus, per-shard
+    gauges refreshed at scrape time), [/healthz] (503 while draining —
+    the admin endpoint outlives the data plane during a drain),
+    [/statusz] (the JSON snapshot [anyseq top] renders) and
+    [/debug/flight]. Requests carrying a {!Anyseq_client.Wire}
+    trace context get a completed [server.request] span (accept → reply,
+    parented under the client's span, tagged [trace_id]) when tracing is
+    enabled, and the id is stamped down through [service.batch] and
+    [service.exec] spans. *)
 
 module Addr = Anyseq_client.Addr
 
@@ -53,9 +72,13 @@ type config = {
       (** service lanes when [start] creates the service itself (default
           1; ≥ 2 spawns one worker domain per shard). Ignored when an
           explicit [?service] is passed — its own shard count wins. *)
+  admin : Addr.t option;  (** admin/metrics listener (default none) *)
+  flight_capacity : int;
+      (** flight-recorder ring size (default {!Flight.default_capacity}) *)
 }
 
-val default_config : ?addrs:Addr.t list -> ?shards:int -> unit -> config
+val default_config :
+  ?addrs:Addr.t list -> ?shards:int -> ?admin:Addr.t -> unit -> config
 
 type t
 
@@ -75,6 +98,12 @@ val metrics : t -> Anyseq_runtime.Metrics.t
 
 val connections : t -> int
 (** Currently open connections. *)
+
+val flight : t -> Flight.t
+(** The flight recorder (always on; the ring is cheap). *)
+
+val admin_address : t -> Addr.t option
+(** The admin listener's bound address, when one was configured. *)
 
 val request_stop : t -> unit
 (** Flag the server to drain. Async-signal-safe (one atomic store); the

@@ -14,7 +14,7 @@ let escape s =
 
 let us_of ~origin ns = Int64.to_float (Int64.sub ns origin) /. 1e3
 
-let chrome_json spans =
+let chrome_json ?(pid = 1) spans =
   let origin =
     List.fold_left
       (fun acc (s : Trace.span) -> min acc s.Trace.start_ns)
@@ -27,11 +27,11 @@ let chrome_json spans =
     (fun i (s : Trace.span) ->
       if i > 0 then Buffer.add_char b ',';
       Printf.bprintf b
-        "\n{\"name\":\"%s\",\"cat\":\"anyseq\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{"
+        "\n{\"name\":\"%s\",\"cat\":\"anyseq\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{"
         (escape s.Trace.name)
         (us_of ~origin s.Trace.start_ns)
         (Int64.to_float (Int64.sub s.Trace.end_ns s.Trace.start_ns) /. 1e3)
-        s.Trace.domain;
+        pid s.Trace.domain;
       List.iteri
         (fun j (k, v) ->
           if j > 0 then Buffer.add_char b ',';
@@ -44,8 +44,8 @@ let chrome_json spans =
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 
-let write_chrome path spans =
-  Out_channel.with_open_text path (fun oc -> output_string oc (chrome_json spans))
+let write_chrome ?pid path spans =
+  Out_channel.with_open_text path (fun oc -> output_string oc (chrome_json ?pid spans))
 
 (* ------------------------------------------------------------------ *)
 (* Aggregated span tree                                                *)

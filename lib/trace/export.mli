@@ -10,12 +10,17 @@
       call counts and total/self wall time, for terminal use;
     - {!write_chrome} is {!chrome_json} straight to a file. *)
 
-val chrome_json : Trace.span list -> string
+val chrome_json : ?pid:int -> Trace.span list -> string
 (** Render spans as [{"traceEvents":[...]}]. Timestamps are microseconds
     relative to the earliest span; one track (tid) per domain; span
-    attributes appear under ["args"]. *)
+    attributes appear under ["args"]. [pid] (default 1) labels the
+    process track — export each process of a distributed trace under a
+    distinct pid (e.g. its OS pid) and concatenate the [traceEvents]
+    arrays to stitch a cross-process view; spans carrying the same
+    [trace_id] attribute (see {!Anyseq_client.Wire.trace_context}) are
+    one request's client and server halves. *)
 
-val write_chrome : string -> Trace.span list -> unit
+val write_chrome : ?pid:int -> string -> Trace.span list -> unit
 (** [write_chrome path spans] writes {!chrome_json} to [path]. *)
 
 val span_tree : Trace.span list -> string

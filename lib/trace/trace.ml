@@ -117,6 +117,32 @@ let finish_frame ?(attrs = []) frame =
     commit frame (Timer.now_ns ())
   end
 
+(* Record a span whose interval was measured externally (request stamps
+   taken on other threads): no stack involvement, straight into this
+   domain's ring. This is how cross-thread request spans are traced — a
+   request passes through reader, dispatch and completer threads, so no
+   single frame can cover it; the completer emits the whole interval
+   once the reply is on the wire. *)
+let emit ?(attrs = []) ?(parent = 0) name ~start_ns ~end_ns =
+  if not (Atomic.get enabled_flag) then 0
+  else begin
+    let st = Domain.DLS.get dls_state in
+    let ring = st.ring in
+    let id = Atomic.fetch_and_add next_id 1 in
+    let span = { id; parent; name; start_ns; end_ns; domain = ring.r_domain; attrs } in
+    let cap = Array.length ring.r_slots in
+    let n = Atomic.get ring.r_next in
+    ring.r_slots.(n mod cap) <- span;
+    Atomic.set ring.r_next (n + 1);
+    id
+  end
+
+let current_span_id () =
+  if not (Atomic.get enabled_flag) then 0
+  else
+    let st = Domain.DLS.get dls_state in
+    match st.stack with [] -> 0 | f :: _ -> f.fr_id
+
 let with_span ?attrs name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin

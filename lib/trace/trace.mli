@@ -70,6 +70,25 @@ val finish : ?attrs:(string * attr) list -> frame option -> unit
 (** Close the span and commit it to the ring buffer. Open spans that are
     never finished are not recorded. *)
 
+val emit :
+  ?attrs:(string * attr) list ->
+  ?parent:int ->
+  string ->
+  start_ns:int64 ->
+  end_ns:int64 ->
+  int
+(** Record an already-measured interval as a completed span on the calling
+    domain's ring, bypassing the span stack — for intervals stamped across
+    threads (a served request passes reader → dispatch → completer; the
+    completer emits the whole request span from the stamps). Returns the
+    new span id, or 0 when tracing is disabled. [parent] defaults to 0
+    (root) — cross-process parentage travels in attributes, not ids. *)
+
+val current_span_id : unit -> int
+(** Id of the innermost open span on this domain (0 if none or tracing is
+    disabled) — what a client stamps into an outgoing
+    {!Anyseq_client.Wire.trace_context} as the remote parent. *)
+
 val spans : unit -> span list
 (** Snapshot of all completed spans across all domains, sorted by start
     time. Call after concurrent work has joined; a snapshot taken while

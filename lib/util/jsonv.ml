@@ -1,0 +1,211 @@
+(* A minimal JSON reader for the observability tooling: [anyseq top]
+   polls the admin endpoint's /statusz document, and the tests validate
+   /debug/flight dumps. Only what those need — full parse into a value
+   tree, object/array accessors — with no external dependency. Encoding
+   is done by hand at the producing sites (Buffer + escape). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> raise (Bad (Printf.sprintf "expected '%c', got '%c' at %d" ch x c.pos))
+  | None -> raise (Bad (Printf.sprintf "expected '%c', got end of input" ch))
+
+let expect_lit c lit v =
+  let n = String.length lit in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = lit then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else raise (Bad (Printf.sprintf "bad literal at %d" c.pos))
+
+let hex_digit ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> raise (Bad "bad \\u escape")
+
+let r_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> raise (Bad "unterminated string")
+    | Some '"' -> advance c
+    | Some '\\' ->
+        advance c;
+        (match peek c with
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 'b' -> Buffer.add_char b '\b'
+        | Some 'f' -> Buffer.add_char b '\012'
+        | Some '"' -> Buffer.add_char b '"'
+        | Some '\\' -> Buffer.add_char b '\\'
+        | Some '/' -> Buffer.add_char b '/'
+        | Some 'u' ->
+            if c.pos + 4 >= String.length c.s then raise (Bad "truncated \\u escape");
+            let v =
+              (hex_digit c.s.[c.pos + 1] lsl 12)
+              lor (hex_digit c.s.[c.pos + 2] lsl 8)
+              lor (hex_digit c.s.[c.pos + 3] lsl 4)
+              lor hex_digit c.s.[c.pos + 4]
+            in
+            c.pos <- c.pos + 4;
+            (* Status documents are ASCII; anything wider degrades to '?'. *)
+            Buffer.add_char b (if v < 0x80 then Char.chr v else '?')
+        | _ -> raise (Bad "bad escape"));
+        advance c;
+        go ()
+    | Some ch ->
+        Buffer.add_char b ch;
+        advance c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let r_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  if c.pos = start then raise (Bad (Printf.sprintf "expected a number at %d" start));
+  match float_of_string_opt (String.sub c.s start (c.pos - start)) with
+  | Some f -> f
+  | None -> raise (Bad (Printf.sprintf "bad number at %d" start))
+
+let rec r_value c =
+  skip_ws c;
+  match peek c with
+  | None -> raise (Bad "unexpected end of input")
+  | Some '"' -> Str (r_string c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let k = r_string c in
+          skip_ws c;
+          expect c ':';
+          let v = r_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((k, v) :: acc)
+          | _ -> raise (Bad "expected ',' or '}' in object")
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = r_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elems (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> raise (Bad "expected ',' or ']' in array")
+        in
+        List (elems [])
+      end
+  | Some 't' -> expect_lit c "true" (Bool true)
+  | Some 'f' -> expect_lit c "false" (Bool false)
+  | Some 'n' -> expect_lit c "null" Null
+  | Some _ -> Num (r_number c)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  match r_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then Error "trailing bytes after JSON value" else Ok v
+  | exception Bad msg -> Error msg
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_num = function
+  | Num f -> Some f
+  | _ -> None
+
+let to_str = function
+  | Str s -> Some s
+  | _ -> None
+
+let to_list = function
+  | List l -> Some l
+  | _ -> None
+
+let to_bool = function
+  | Bool b -> Some b
+  | _ -> None
+
+let num ?(default = 0.0) key v =
+  match Option.bind (member key v) to_num with Some f -> f | None -> default
+
+let str ?(default = "") key v =
+  match Option.bind (member key v) to_str with Some s -> s | None -> default
+
+(* The one escape every producer needs. *)
+let escape_string s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | ch when Char.code ch < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b

@@ -1,0 +1,36 @@
+(** A minimal JSON value reader for the observability tooling.
+
+    [anyseq top] polls the admin endpoint's [/statusz] document and the
+    tests validate [/debug/flight] dumps with this — a full parse into a
+    value tree plus the few accessors a status consumer needs, with no
+    external dependency. Producers encode by hand (it's all flat
+    records); {!escape_string} is the one shared piece. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-input parse; trailing bytes are an error. Strings decode the
+    standard escapes ([\uXXXX] beyond ASCII degrades to ['?'] — status
+    documents are ASCII). *)
+
+val member : string -> t -> t option
+(** Object field by key ([None] on non-objects and missing keys). *)
+
+val to_num : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option
+
+val num : ?default:float -> string -> t -> float
+(** [num key obj]: numeric field with a default — [member] + [to_num]. *)
+
+val str : ?default:string -> string -> t -> string
+
+val escape_string : string -> string
+(** JSON string-body escaping (quotes not included). *)

@@ -551,7 +551,14 @@ let test_wire_unit_cost_round_trip () =
     { Wire.default_config with Wire.scheme = Wire.Named "unit-cost"; mode = T.Global }
   in
   let request =
-    { Wire.id = 42L; config = wire_config; timeout_s = None; query = "ACGT"; subject = "AGT" }
+    {
+      Wire.id = 42L;
+      config = wire_config;
+      timeout_s = None;
+      query = "ACGT";
+      subject = "AGT";
+      trace = None;
+    }
   in
   let bytes = Wire.encode_request request in
   (match Wire.decode_frame bytes with

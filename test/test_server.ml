@@ -47,6 +47,10 @@ let requests_under_test =
         timeout_s = (if i mod 2 = 0 then Some (0.5 +. float_of_int i) else None);
         query = String.concat "" (List.init (i + 1) (fun _ -> "ACGT"));
         subject = "TTACGTTT";
+        trace =
+          (if i mod 2 = 0 then
+             Some { Wire.trace_id = Int64.of_int (77 + i); parent_span = 3L }
+           else None);
       })
     configs_under_test
 
@@ -516,6 +520,272 @@ let test_loopback_drain_under_load_sharded () =
   Alcotest.(check int) "accepted = replied" (get "server/requests_received")
     (get "server/requests_replied")
 
+(* ------------------------------------------------------------------ *)
+(* Observability: trace context, flight recorder, admin endpoint       *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = Anyseq.Flight
+module Admin = Anyseq.Admin
+module Jsonv = Anyseq.Jsonv
+module Trace = Anyseq.Trace
+module Service = Anyseq.Service
+
+(* v2 frames carry the trace context through encode/decode intact. *)
+let test_wire_trace_roundtrip () =
+  List.iter
+    (fun (req : Wire.request) ->
+      match decode_ok "trace roundtrip" (Wire.encode_request req) with
+      | Wire.Request r ->
+          Alcotest.(check bool)
+            "trace survives" true
+            (req.Wire.trace = r.Wire.trace)
+      | Wire.Reply _ -> Alcotest.fail "request decoded as reply")
+    requests_under_test
+
+(* Version negotiation: a v1 encoder (old client) produces frames a v2
+   decoder still parses — minus the trace context it cannot carry; a
+   version beyond [protocol_version] is rejected at the header. *)
+let test_wire_mixed_version () =
+  let traced =
+    List.find (fun (r : Wire.request) -> r.Wire.trace <> None) requests_under_test
+  in
+  let v1_frame = Wire.encode_request ~version:1 traced in
+  (match decode_ok "v1 frame" v1_frame with
+  | Wire.Request r ->
+      Alcotest.(check int64) "id survives v1" traced.Wire.id r.Wire.id;
+      Alcotest.(check string) "query survives v1" traced.Wire.query r.Wire.query;
+      Alcotest.(check bool) "v1 drops trace" true (r.Wire.trace = None)
+  | Wire.Reply _ -> Alcotest.fail "request decoded as reply");
+  (match Wire.decode_header (String.sub v1_frame 0 8) with
+  | Ok (version, kind, _) ->
+      Alcotest.(check int) "v1 header version" 1 version;
+      Alcotest.(check int) "v1 header kind" Wire.kind_request kind
+  | Error msg -> Alcotest.failf "v1 header rejected: %s" msg);
+  (* encoder refuses versions outside the negotiated range *)
+  (match Wire.encode_request ~version:(Wire.protocol_version + 1) traced with
+  | _ -> Alcotest.fail "future version encoded"
+  | exception Invalid_argument _ -> ());
+  (* decoder refuses a frame stamped beyond protocol_version *)
+  let future = Bytes.of_string (Wire.encode_request traced) in
+  Bytes.set future 2 (Char.chr (Wire.protocol_version + 1));
+  match Wire.decode_frame (Bytes.to_string future) with
+  | Error (`Malformed _) -> ()
+  | Ok _ -> Alcotest.fail "future-version frame decoded"
+  | Error `Incomplete -> Alcotest.fail "future-version frame: Incomplete"
+
+(* The flight ring overwrites the oldest record and keeps a faithful
+   total; its JSON dump is parsable and complete. *)
+let test_flight_wraparound () =
+  let ring = Flight.create ~capacity:8 () in
+  let mk i =
+    {
+      Flight.fr_rid = Int64.of_int i;
+      fr_cid = 1;
+      fr_config = Printf.sprintf "cfg-%d" i;
+      fr_trace = (if i mod 2 = 0 then Some (Int64.of_int (1000 + i)) else None);
+      fr_accept_ns = Int64.of_int (10 * i);
+      fr_decode_ns = Int64.of_int ((10 * i) + 1);
+      fr_enqueue_ns = Int64.of_int ((10 * i) + 2);
+      fr_submit_ns = Int64.of_int ((10 * i) + 3);
+      fr_done_ns = Int64.of_int ((10 * i) + 4);
+      fr_reply_ns = Int64.of_int ((10 * i) + 5);
+      fr_batch_jobs = 4;
+      fr_outcome = "ok";
+    }
+  in
+  for i = 0 to 19 do
+    Flight.record ring (mk i)
+  done;
+  Alcotest.(check int) "recorded counts everything" 20 (Flight.recorded ring);
+  let snap = Flight.snapshot ring in
+  Alcotest.(check int) "ring keeps capacity records" 8 (List.length snap);
+  Alcotest.(check int64) "oldest kept is #12" 12L (List.hd snap).Flight.fr_rid;
+  Alcotest.(check int64) "newest kept is #19" 19L
+    (List.nth snap 7).Flight.fr_rid;
+  (match Jsonv.parse (Flight.to_json snap) with
+  | Error msg -> Alcotest.failf "flight JSON unparsable: %s" msg
+  | Ok doc -> (
+      match Option.bind (Jsonv.member "records" doc) Jsonv.to_list with
+      | Some records ->
+          Alcotest.(check int) "JSON records" 8 (List.length records);
+          let first = List.hd records in
+          Alcotest.(check (float 0.0)) "JSON rid" 12.0 (Jsonv.num "rid" first);
+          Alcotest.(check string) "JSON trace id (16 hex)" "00000000000003f4"
+            (Jsonv.str "trace_id" first)
+      | None -> Alcotest.fail "flight JSON has no records array"));
+  match Flight.create ~capacity:0 () with
+  | _ -> Alcotest.fail "zero-capacity ring created"
+  | exception Invalid_argument _ -> ()
+
+(* Tracing across the wire: a traced client aligning against an in-process
+   server yields client.request and server.request spans sharing one
+   trace-id attribute — the stitched cross-process view. *)
+let test_trace_propagation_loopback () =
+  Trace.enable ();
+  Fun.protect ~finally:(fun () -> Trace.disable ())
+  @@ fun () ->
+  with_server @@ fun _srv addr ->
+  let conn = match Client.connect addr with Ok c -> c | Error m -> Alcotest.failf "%s" m in
+  (match Client.align conn ~query:"ACGTACGT" ~subject:"ACGT" () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "align: %s" (Client.error_to_string e));
+  Client.close conn;
+  let spans = Trace.spans () in
+  let attr_str name (s : Trace.span) =
+    List.find_map
+      (function n, Trace.Str v when n = name -> Some v | _ -> None)
+      s.Trace.attrs
+  in
+  let ids_of span_name =
+    List.filter_map
+      (fun (s : Trace.span) ->
+        if s.Trace.name = span_name then attr_str "trace_id" s else None)
+      spans
+  in
+  let client_ids = ids_of "client.request" in
+  let server_ids = ids_of "server.request" in
+  Alcotest.(check bool) "client span recorded" true (client_ids <> []);
+  Alcotest.(check bool) "server span recorded" true (server_ids <> []);
+  List.iter
+    (fun cid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "server span carries client trace id %s" cid)
+        true (List.mem cid server_ids))
+    client_ids;
+  (* the id also reached the execution spans inside the service *)
+  let exec_ids = ids_of "service.exec" in
+  List.iter
+    (fun cid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "service.exec carries trace id %s" cid)
+        true (List.mem cid exec_ids))
+    client_ids
+
+let contains ~affix s =
+  let la = String.length affix and ls = String.length s in
+  let rec at i = i + la <= ls && (String.sub s i la = affix || at (i + 1)) in
+  at 0
+
+let with_admin_server f =
+  let admin =
+    match Addr.parse "tcp:127.0.0.1:0" with
+    | Ok a -> a
+    | Error msg -> Alcotest.failf "admin addr: %s" msg
+  in
+  with_server
+    ~cfg_update:(fun c -> { c with Server.admin = Some admin })
+    (fun srv addr ->
+      match Server.admin_address srv with
+      | None -> Alcotest.fail "admin listener did not come up"
+      | Some admin_addr -> f srv addr admin_addr)
+
+let get_ok what admin path =
+  match Admin.http_get admin path with
+  | Ok (200, body) -> body
+  | Ok (status, _) -> Alcotest.failf "%s: HTTP %d" what status
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+(* /metrics is scrapable during active load, exposes the stage histograms
+   with quantile-ready buckets and the per-shard gauge series. *)
+let test_admin_metrics_under_load () =
+  with_admin_server @@ fun srv addr admin ->
+  let pairs = random_dna_pairs ~seed:21 ~count:96 ~max_len:64 in
+  let loader =
+    Thread.create
+      (fun () ->
+        let conn =
+          match Client.connect addr with Ok c -> c | Error m -> failwith m
+        in
+        let r = Client.align_many conn ~window:16 pairs in
+        Client.close conn;
+        match r with Ok _ -> () | Error m -> failwith m)
+      ()
+  in
+  (* scrape repeatedly while the load runs — the exposition must always be
+     well-formed, whatever instant it samples *)
+  for _ = 1 to 5 do
+    let body = get_ok "/metrics" admin "/metrics" in
+    Alcotest.(check bool) "has TYPE lines" true (contains ~affix:"# TYPE" body)
+  done;
+  Thread.join loader;
+  let body = get_ok "/metrics" admin "/metrics" in
+  let has affix = contains ~affix body in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stage histogram %s exported" stage)
+        true
+        (has (Printf.sprintf "anyseq_server_stage_%s_us_bucket" stage)))
+    [ "decode"; "admit"; "queue"; "execute"; "reply" ];
+  Alcotest.(check bool) "stage count series" true (has "anyseq_server_stage_execute_us_count");
+  Alcotest.(check bool) "per-shard jobs gauge" true (has "anyseq_runtime_shard_jobs{shard=\"0\"}");
+  Alcotest.(check bool) "per-shard queued gauge" true
+    (has "anyseq_runtime_shard_queued{shard=\"0\"}");
+  (* scrape-time refresh: the labeled series must sum to what shard_stats
+     reports — the acceptance check the obs gate also enforces *)
+  let stats = Service.shard_stats (Server.service srv) in
+  let expected = Array.fold_left (fun a s -> a + s.Service.ss_jobs) 0 stats in
+  let m = Server.metrics srv in
+  let exported =
+    Anyseq.Metrics.fold_labeled m "runtime/shard_jobs" (fun acc _ v -> acc + v) 0
+  in
+  Alcotest.(check int) "shard gauge total = shard_stats total" expected exported
+
+(* /healthz flips to 503 while the service drains and recovers on reopen;
+   /statusz and /debug/flight serve well-formed JSON; unknown paths 404. *)
+let test_admin_health_status_flight () =
+  with_admin_server @@ fun srv addr admin ->
+  let conn = match Client.connect addr with Ok c -> c | Error m -> Alcotest.failf "%s" m in
+  (match Client.align conn ~query:"ACGTACGTAA" ~subject:"ACGTAA" () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "align: %s" (Client.error_to_string e));
+  Client.close conn;
+  ignore (get_ok "/healthz up" admin "/healthz");
+  Service.drain (Server.service srv);
+  (match Admin.http_get admin "/healthz" with
+  | Ok (503, body) ->
+      Alcotest.(check string) "drain body" "draining\n" body
+  | Ok (status, _) -> Alcotest.failf "/healthz while draining: HTTP %d" status
+  | Error msg -> Alcotest.failf "/healthz while draining: %s" msg);
+  Service.reopen (Server.service srv);
+  ignore (get_ok "/healthz after reopen" admin "/healthz");
+  (* /statusz: parsable, consistent shape *)
+  let statusz = get_ok "/statusz" admin "/statusz" in
+  (match Jsonv.parse statusz with
+  | Error msg -> Alcotest.failf "/statusz unparsable: %s" msg
+  | Ok doc ->
+      let srv_obj = Option.value ~default:Jsonv.Null (Jsonv.member "server" doc) in
+      Alcotest.(check (float 0.0)) "statusz protocol version"
+        (float_of_int Wire.protocol_version)
+        (Jsonv.num "protocol_version" srv_obj);
+      let req = Option.value ~default:Jsonv.Null (Jsonv.member "requests" doc) in
+      Alcotest.(check bool) "statusz counts the request" true (Jsonv.num "replied" req >= 1.0);
+      (match Option.bind (Jsonv.member "shards" doc) Jsonv.to_list with
+      | Some l ->
+          Alcotest.(check int) "statusz shard entries"
+            (Service.shards (Server.service srv))
+            (List.length l)
+      | None -> Alcotest.fail "statusz has no shards array");
+      match Jsonv.member "stages" doc with
+      | Some stages ->
+          let ex = Option.value ~default:Jsonv.Null (Jsonv.member "execute" stages) in
+          Alcotest.(check bool) "statusz execute stage counted" true
+            (Jsonv.num "count" ex >= 1.0)
+      | None -> Alcotest.fail "statusz has no stages object");
+  (* /debug/flight: the served request left a record *)
+  let flight = get_ok "/debug/flight" admin "/debug/flight" in
+  (match Jsonv.parse flight with
+  | Error msg -> Alcotest.failf "/debug/flight unparsable: %s" msg
+  | Ok doc -> (
+      match Option.bind (Jsonv.member "records" doc) Jsonv.to_list with
+      | Some (r :: _) -> Alcotest.(check string) "flight outcome" "ok" (Jsonv.str "outcome" r)
+      | Some [] -> Alcotest.fail "flight ring empty after a served request"
+      | None -> Alcotest.fail "/debug/flight has no records array"));
+  match Admin.http_get admin "/nonsense" with
+  | Ok (404, _) -> ()
+  | Ok (status, _) -> Alcotest.failf "unknown path: HTTP %d" status
+  | Error msg -> Alcotest.failf "unknown path: %s" msg
+
 let () =
   Alcotest.run "server"
     [
@@ -547,5 +817,16 @@ let () =
           Alcotest.test_case "drain under load" `Slow test_loopback_drain_under_load;
           Alcotest.test_case "drain under load, sharded" `Slow
             test_loopback_drain_under_load_sharded;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "wire trace roundtrip" `Quick test_wire_trace_roundtrip;
+          Alcotest.test_case "mixed protocol versions" `Quick test_wire_mixed_version;
+          Alcotest.test_case "flight ring wraparound" `Quick test_flight_wraparound;
+          Alcotest.test_case "trace propagation over loopback" `Quick
+            test_trace_propagation_loopback;
+          Alcotest.test_case "metrics scrape under load" `Slow test_admin_metrics_under_load;
+          Alcotest.test_case "healthz, statusz, flight routes" `Quick
+            test_admin_health_status_flight;
         ] );
     ]

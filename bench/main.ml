@@ -22,6 +22,7 @@ let experiments =
     ("runtime", "Runtime service: batch executor vs one-at-a-time facade");
     ("trace", "Tracing overhead: span collection off vs on");
     ("server", "Network server: loopback load, continuous batching, latency percentiles");
+    ("network", "Similarity network: minimizer prefilter, streaming alignment, clustering");
   ]
 
 let run only scale reads seed bechamel json =
@@ -53,6 +54,7 @@ let run only scale reads seed bechamel json =
   section "runtime" "Runtime service" (fun () -> Experiments.run_runtime cfg);
   section "trace" "Tracing overhead" (fun () -> Experiments.run_trace cfg);
   section "server" "Network server" (fun () -> Experiments.run_server cfg);
+  section "network" "Similarity network" (fun () -> Experiments.run_network cfg);
   if bechamel then begin
     Printf.printf "\n================================================================\n";
     Bechamel_suite.run cfg

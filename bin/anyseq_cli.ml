@@ -149,15 +149,26 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Streaming load via Fasta.fold: stop at the first record instead of
+   materializing the file. *)
+exception First_record of Anyseq.Fasta.record
+
 let read_first_record path =
-  match Anyseq.Fasta.read_file Anyseq.Alphabet.dna5 path with
+  match
+    try
+      Result.map
+        (fun () -> None)
+        (Anyseq.Fasta.fold Anyseq.Alphabet.dna5 path ~init:() ~f:(fun () r ->
+             raise (First_record r)))
+    with First_record r -> Ok (Some r)
+  with
   | Error msg ->
       Printf.eprintf "error reading %s: %s\n" path msg;
       exit 1
-  | Ok [] ->
+  | Ok None ->
       Printf.eprintf "error: %s contains no records\n" path;
       exit 1
-  | Ok (r :: _) -> r
+  | Ok (Some r) -> r
 
 let align_cmd =
   let query_t = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.fa") in
@@ -295,9 +306,10 @@ let read_seqs path =
         (List.map (fun r -> r.Anyseq.Fastq.sequence))
         (Anyseq.Fastq.read_file Anyseq.Alphabet.dna5 path)
     else
-      Result.map
-        (List.map (fun r -> r.Anyseq.Fasta.sequence))
-        (Anyseq.Fasta.read_file Anyseq.Alphabet.dna5 path)
+      (* stream: accumulate sequences only, never the record list *)
+      Result.map List.rev
+        (Anyseq.Fasta.fold Anyseq.Alphabet.dna5 path ~init:[] ~f:(fun acc r ->
+             r.Anyseq.Fasta.sequence :: acc))
   in
   match result with
   | Error msg ->
@@ -901,6 +913,21 @@ let top_cmd =
                 (J.num ~default:0.0 "minor_words" s))
             shards
       | _ -> ());
+      (match J.member "network" doc with
+      | Some net ->
+          let pruned = J.num ~default:0.0 "pairs_pruned" net in
+          let total = J.num ~default:0.0 "pairs_total" net in
+          Printf.printf
+            "\nnetwork [%s]: %.0f seqs indexed, %.0f/%.0f pairs aligned (%.1f%% pruned), \
+             %.0f edges, %.0f components\n"
+            (J.str ~default:"?" "phase" net)
+            (J.num ~default:0.0 "seqs_indexed" net)
+            (J.num ~default:0.0 "pairs_aligned" net)
+            total
+            (if total > 0.0 then 100.0 *. pruned /. total else 0.0)
+            (J.num ~default:0.0 "edges_written" net)
+            (J.num ~default:0.0 "components" net)
+      | None -> ());
       (match J.member "tiers" doc with
       | Some (J.Obj fields) ->
           print_string "\ntiers:";
@@ -927,7 +954,7 @@ let top_cmd =
             (J.num ~default:0.0 "recorded" f)
             (J.num ~default:0.0 "capacity" f)
             (J.num ~default:0.0 "dumps" f)
-      | None -> print_string "%!")
+      | None -> flush stdout)
     in
     let rec poll i =
       if count = 0 || i < count then begin
@@ -957,6 +984,244 @@ let top_cmd =
           $(b,/statusz) (see $(b,anyseq serve --admin)) and renders per-shard activity, \
           kernel-tier counters, per-stage latency quantiles and the request rate.")
     Term.(const run $ connect_t $ interval_t $ count_t)
+
+(* network: the all-vs-all similarity-network pipeline — minimizer
+   prefilter, streaming batch alignment, top-k edge list, clusters. *)
+let network_cmd =
+  let input_t = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.fa") in
+  let out_t =
+    Arg.(
+      value & opt string "edges.tsv"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Edge-list TSV output path.")
+  in
+  let k_t =
+    Arg.(
+      value
+      & opt int Anyseq.Minimizer.default_k
+      & info [ "k" ] ~doc:"Minimizer k-mer length (2-21).")
+  in
+  let window_t =
+    Arg.(
+      value
+      & opt int Anyseq.Minimizer.default_w
+      & info [ "window" ] ~doc:"Minimizer window (k-mer positions per minimizer).")
+  in
+  let min_shared_t =
+    Arg.(
+      value & opt int 4
+      & info [ "min-shared" ]
+          ~doc:
+            "Shared minimizers required before a pair is aligned; 0 disables the prefilter \
+             (true all-vs-all).")
+  in
+  let min_score_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "min-score" ] ~doc:"Drop hits below this raw alignment score.")
+  in
+  let min_ident_t =
+    Arg.(
+      value & opt float 0.5
+      & info [ "min-identity" ]
+          ~doc:"Drop hits below this normalized identity (0-1, against the shorter sequence).")
+  in
+  let top_k_t =
+    Arg.(value & opt int 50 & info [ "top-k" ] ~doc:"Best hits kept per sequence.")
+  in
+  let batch_size_t =
+    Arg.(value & opt int 512 & info [ "pair-batch" ] ~doc:"Candidate pairs per service batch.")
+  in
+  let shards_t =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~doc:"Service shards (worker domains) aligning the pair stream.")
+  in
+  let timeout_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-pair alignment deadline.")
+  in
+  let edit_distance_t =
+    Arg.(
+      value & flag
+      & info [ "edit-distance" ]
+          ~doc:
+            "Score pairs by unit-cost edit distance (rides the certified Myers bit-parallel \
+             tier; scores are negated distances) instead of the --match/--mismatch scheme.")
+  in
+  let tmp_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tmp-dir" ] ~doc:"Directory for edge spill runs (default: system temp).")
+  in
+  let admin_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "admin" ] ~docv:"ADDR"
+          ~doc:
+            "Serve a live observability endpoint ($(b,/metrics), $(b,/healthz), \
+             $(b,/statusz)) while the pipeline runs; $(b,anyseq top --connect) $(docv) \
+             renders the progress.")
+  in
+  let run input out k window min_shared min_score min_ident top_k batch_size shards timeout
+      edit_distance tmp_dir admin mode json trace metrics_flag metrics_format match_ mismatch
+      gap_open gap_extend =
+    let scheme =
+      if edit_distance then Anyseq.Scheme.unit_cost
+      else scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5
+    in
+    let params =
+      {
+        Anyseq.Pipeline.default_params with
+        k;
+        w = window;
+        min_shared;
+        min_score = Option.value ~default:min_int min_score;
+        min_ident;
+        top_k;
+        scheme;
+        mode;
+        timeout_s = timeout;
+        batch_size;
+      }
+    in
+    let service = Anyseq.Service.create ~shards () in
+    let metrics = Anyseq.Service.metrics service in
+    let started = Unix.gettimeofday () in
+    let admin_ep =
+      match admin with
+      | None -> None
+      | Some addr_s -> (
+          match Anyseq.Addr.parse addr_s with
+          | Error msg ->
+              Printf.eprintf "error: bad --admin address %s: %s\n" addr_s msg;
+              exit exit_invalid_config
+          | Ok addr -> (
+              let statusz () =
+                let b = Buffer.create 512 in
+                Printf.bprintf b
+                  "{\"server\":{\"uptime_s\":%.1f,\"draining\":false,\"shards\":%d},"
+                  (Unix.gettimeofday () -. started)
+                  (Anyseq.Service.shards service);
+                (match Anyseq.Pipeline.status_json metrics with
+                | Some net -> Printf.bprintf b "\"network\":%s," net
+                | None -> ());
+                Printf.bprintf b "\"build\":{\"ocaml\":\"%s\",\"word_size\":%d}}"
+                  Sys.ocaml_version Sys.word_size;
+                Buffer.contents b
+              in
+              let handler path =
+                match path with
+                | "/metrics" ->
+                    Anyseq.Service.publish_shard_stats service;
+                    Anyseq.Metrics.record_gc metrics;
+                    Anyseq.Admin.ok
+                      ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+                      (Anyseq.Metrics.dump_prometheus metrics)
+                | "/healthz" -> Anyseq.Admin.ok "ok\n"
+                | "/statusz" ->
+                    Anyseq.Admin.ok ~content_type:"application/json" (statusz ())
+                | _ -> None
+              in
+              match Anyseq.Admin.start ~addr ~handler with
+              | Error msg ->
+                  Printf.eprintf "error: admin endpoint: %s\n" msg;
+                  exit exit_invalid_config
+              | Ok ep ->
+                  Printf.printf "admin endpoint on %s (/metrics /healthz /statusz)\n%!"
+                    (Anyseq.Addr.to_string (Anyseq.Admin.address ep));
+                  Some ep))
+    in
+    let finally () =
+      (match admin_ep with Some ep -> Anyseq.Admin.stop ep | None -> ());
+      Anyseq.Service.shutdown service
+    in
+    Fun.protect ~finally @@ fun () ->
+    with_trace trace @@ fun () ->
+    match
+      Anyseq.Pipeline.run ~service ~metrics ?tmp_dir ~out params
+        (Anyseq.Pipeline.File input)
+    with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Ok (r : Anyseq.Pipeline.report) ->
+        let cs = r.Anyseq.Pipeline.components in
+        if json then begin
+          let b = Buffer.create 512 in
+          Printf.bprintf b
+            "{\"sequences\":%d,\"too_short\":%d,\"pairs_total\":%d,\"pairs_pruned\":%d,\"pairs_aligned\":%d,\"pairs_timeout\":%d,\"pairs_failed\":%d,\"resubmits\":%d,\"topk_evictions\":%d,\"edges\":%d,\"edge_duplicates\":%d,\"spilled_runs\":%d,\"components\":%d,\"clusters\":%d,\"singletons\":%d,\"largest_component\":%d,\"elapsed_s\":%.3f,\"pairs_per_s\":%.1f,\"out\":\"%s\"}"
+            r.Anyseq.Pipeline.sequences r.Anyseq.Pipeline.too_short
+            r.Anyseq.Pipeline.pairs_total r.Anyseq.Pipeline.pairs_pruned
+            r.Anyseq.Pipeline.pairs_aligned r.Anyseq.Pipeline.pairs_timeout
+            r.Anyseq.Pipeline.pairs_failed r.Anyseq.Pipeline.resubmits
+            r.Anyseq.Pipeline.evictions r.Anyseq.Pipeline.edges
+            r.Anyseq.Pipeline.edge_duplicates r.Anyseq.Pipeline.spilled_runs
+            cs.Anyseq.Components.components cs.Anyseq.Components.clusters
+            cs.Anyseq.Components.singletons cs.Anyseq.Components.largest
+            r.Anyseq.Pipeline.elapsed_s r.Anyseq.Pipeline.pairs_per_s (json_escape out);
+          print_endline (Buffer.contents b)
+        end
+        else begin
+          let total = r.Anyseq.Pipeline.pairs_total in
+          Printf.printf "sequences     %d (%d too short for k=%d)\n"
+            r.Anyseq.Pipeline.sequences r.Anyseq.Pipeline.too_short k;
+          Printf.printf "pairs         %d total, %d pruned (%.1f%%), %d aligned\n" total
+            r.Anyseq.Pipeline.pairs_pruned
+            (if total > 0 then
+               100.0 *. float_of_int r.Anyseq.Pipeline.pairs_pruned /. float_of_int total
+             else 0.0)
+            r.Anyseq.Pipeline.pairs_aligned;
+          if
+            r.Anyseq.Pipeline.pairs_timeout > 0
+            || r.Anyseq.Pipeline.pairs_failed > 0
+            || r.Anyseq.Pipeline.resubmits > 0
+          then
+            Printf.printf "backpressure  %d resubmitted, %d deadline-expired, %d failed\n"
+              r.Anyseq.Pipeline.resubmits r.Anyseq.Pipeline.pairs_timeout
+              r.Anyseq.Pipeline.pairs_failed;
+          Printf.printf "edges         %d -> %s (%d duplicates merged, %d spill runs, %d \
+                         top-k evictions)\n"
+            r.Anyseq.Pipeline.edges out r.Anyseq.Pipeline.edge_duplicates
+            r.Anyseq.Pipeline.spilled_runs r.Anyseq.Pipeline.evictions;
+          Printf.printf "clusters      %d (%d singletons), largest %d\n"
+            cs.Anyseq.Components.clusters cs.Anyseq.Components.singletons
+            cs.Anyseq.Components.largest;
+          let sizes = Anyseq.Components.size_histogram cs in
+          let shown = ref 0 in
+          List.iter
+            (fun (size, count) ->
+              if size > 1 && !shown < 8 then begin
+                Printf.printf "  %d cluster%s of size %d\n" count
+                  (if count = 1 then "" else "s")
+                  size;
+                incr shown
+              end)
+            sizes;
+          Printf.printf "throughput    %.0f aligned pairs/s (%.2fs elapsed)\n"
+            r.Anyseq.Pipeline.pairs_per_s r.Anyseq.Pipeline.elapsed_s
+        end;
+        if metrics_flag then begin
+          print_endline "--- metrics ---";
+          print_endline (dump_metrics metrics_format metrics)
+        end
+  in
+  Cmd.v
+    (Cmd.info "network"
+       ~doc:
+         "Build a sequence-similarity network from one FASTA file: prune the all-vs-all \
+          pair space with a shared-minimizer prefilter, stream the surviving candidate \
+          pairs through the batch alignment service, keep the best hits per sequence, \
+          spill the edge list to a TSV and summarize its connected components.")
+    Term.(
+      const run $ input_t $ out_t $ k_t $ window_t $ min_shared_t $ min_score_t
+      $ min_ident_t $ top_k_t $ batch_size_t $ shards_t $ timeout_t $ edit_distance_t
+      $ tmp_dir_t $ admin_t $ mode_t $ json_t $ trace_t $ metrics_t $ metrics_format_t
+      $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
 
 let trace_cmd =
   let count_t =
@@ -1304,4 +1569,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ align_cmd; generate_cmd; simulate_reads_cmd; batch_cmd; serve_cmd; client_cmd;
-            top_cmd; trace_cmd; search_cmd; overlap_cmd; analyze_cmd ]))
+            network_cmd; top_cmd; trace_cmd; search_cmd; overlap_cmd; analyze_cmd ]))

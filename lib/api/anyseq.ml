@@ -29,6 +29,12 @@ module Fastq = Anyseq_seqio.Fastq
 module Genome_gen = Anyseq_seqio.Genome_gen
 module Read_sim = Anyseq_seqio.Read_sim
 module Sam = Anyseq_seqio.Sam
+module Minimizer = Anyseq_network.Minimizer
+module Net_index = Anyseq_network.Index
+module Topk = Anyseq_network.Topk
+module Edges = Anyseq_network.Edges
+module Components = Anyseq_network.Components
+module Pipeline = Anyseq_network.Pipeline
 module Config = Anyseq_runtime.Config
 module Error = Anyseq_runtime.Error
 module Service = Anyseq_runtime.Service

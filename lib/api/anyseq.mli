@@ -52,6 +52,22 @@ module Genome_gen = Anyseq_seqio.Genome_gen
 module Read_sim = Anyseq_seqio.Read_sim
 module Sam = Anyseq_seqio.Sam
 
+(** {1 Similarity networks}
+
+    The all-vs-all network pipeline ([anyseq network]): {!Minimizer}
+    sketches prune the O(n²) pair space through the inverted
+    {!Net_index}, {!Pipeline} streams the surviving candidate pairs
+    through the batch service into per-sequence {!Topk} hit heaps, the
+    {!Edges} spill writer externalizes the edge list as sorted TSV runs,
+    and {!Components} reduces it to a cluster summary. *)
+
+module Minimizer = Anyseq_network.Minimizer
+module Net_index = Anyseq_network.Index
+module Topk = Anyseq_network.Topk
+module Edges = Anyseq_network.Edges
+module Components = Anyseq_network.Components
+module Pipeline = Anyseq_network.Pipeline
+
 (** {1 Runtime namespaces} *)
 
 module Config = Anyseq_runtime.Config

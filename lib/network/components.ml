@@ -1,0 +1,76 @@
+type t = {
+  parent : int array;
+  size : int array;
+  mutable components : int;
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Components.create: negative node count";
+  { parent = Array.init n (fun i -> i); size = Array.make n 1; components = n; edges = 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    (* path halving *)
+    t.parent.(i) <- t.parent.(p);
+    find t t.parent.(i)
+  end
+
+let union t a b =
+  t.edges <- t.edges + 1;
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    let ra, rb = if t.size.(ra) >= t.size.(rb) then (ra, rb) else (rb, ra) in
+    t.parent.(rb) <- ra;
+    t.size.(ra) <- t.size.(ra) + t.size.(rb);
+    t.components <- t.components - 1
+  end
+
+let count t = t.components
+
+type summary = {
+  nodes : int;
+  edges : int;
+  components : int;
+  clusters : int;
+  singletons : int;
+  largest : int;
+  sizes : (int * int) array;
+}
+
+let summarize t =
+  let n = Array.length t.parent in
+  (* smallest member per root, then (rep, size) rows *)
+  let rep = Hashtbl.create 64 in
+  for i = n - 1 downto 0 do
+    Hashtbl.replace rep (find t i) i
+  done;
+  let rows =
+    Hashtbl.fold (fun root smallest acc -> (smallest, t.size.(root)) :: acc) rep []
+  in
+  let sizes = Array.of_list rows in
+  Array.sort
+    (fun (ra, sa) (rb, sb) -> if sa <> sb then compare sb sa else compare ra rb)
+    sizes;
+  let singletons = Array.fold_left (fun acc (_, s) -> if s = 1 then acc + 1 else acc) 0 sizes in
+  {
+    nodes = n;
+    edges = t.edges;
+    components = Array.length sizes;
+    clusters = Array.length sizes - singletons;
+    singletons;
+    largest = (if n = 0 then 0 else snd sizes.(0));
+    sizes;
+  }
+
+let size_histogram s =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (_, size) ->
+      Hashtbl.replace tbl size (1 + Option.value ~default:0 (Hashtbl.find_opt tbl size)))
+    s.sizes;
+  List.sort
+    (fun (a, _) (b, _) -> compare b a)
+    (Hashtbl.fold (fun size count acc -> (size, count) :: acc) tbl [])

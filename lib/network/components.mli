@@ -1,0 +1,36 @@
+(** Union-find connected components over the edge list — the cluster
+    summary at the end of the network pipeline (EFI's [cluster_gnn]
+    step, minus the GNN plots).
+
+    Nodes are the sequence indices [0..n-1]; every sequence that gained
+    no edge is its own singleton cluster. Union by size with path
+    halving; the reported component representative is the smallest
+    member index, so summaries are independent of edge order. *)
+
+type t
+
+val create : int -> t
+(** [n] nodes, each its own component. *)
+
+val union : t -> int -> int -> unit
+val find : t -> int -> int
+
+val count : t -> int
+(** Current number of components (singletons included). *)
+
+type summary = {
+  nodes : int;
+  edges : int;  (** unions attempted (surviving edge count) *)
+  components : int;  (** including singletons *)
+  clusters : int;  (** components with at least 2 members *)
+  singletons : int;
+  largest : int;  (** size of the biggest component *)
+  sizes : (int * int) array;
+      (** (representative = smallest member, size), size descending then
+          representative ascending — the cluster-size table *)
+}
+
+val summarize : t -> summary
+
+val size_histogram : summary -> (int * int) list
+(** (size, how many components of that size), size descending. *)

@@ -1,0 +1,143 @@
+type edge = { a : int; b : int; score : int; ident : float; span : int }
+
+let compare_edge x y = if x.a <> y.a then compare x.a y.a else compare x.b y.b
+
+type t = {
+  tmp_dir : string;
+  buffer : edge array;  (** fixed capacity; [len] is the fill level *)
+  mutable len : int;
+  mutable run_files : string list;  (** newest first *)
+  mutable spent : bool;
+}
+
+let default_buffer = 65536
+
+(* Run-file line format mirrors the final TSV but with raw indices and
+   the identity carried in full precision, so a spill-and-merge pipeline
+   is bit-identical to an in-memory one. *)
+let write_run_line oc e =
+  Printf.fprintf oc "%d\t%d\t%d\t%h\t%d\n" e.a e.b e.score e.ident e.span
+
+let parse_run_line line =
+  match String.split_on_char '\t' line with
+  | [ a; b; score; ident; span ] ->
+      {
+        a = int_of_string a;
+        b = int_of_string b;
+        score = int_of_string score;
+        ident = float_of_string ident;
+        span = int_of_string span;
+      }
+  | _ -> failwith ("Edges: corrupt run line: " ^ line)
+
+let create ?(buffer = default_buffer) ~tmp_dir () =
+  if buffer < 1 then invalid_arg "Edges.create: buffer must be positive";
+  {
+    tmp_dir;
+    buffer = Array.make buffer { a = 0; b = 0; score = 0; ident = 0.0; span = 0 };
+    len = 0;
+    run_files = [];
+    spent = false;
+  }
+
+let buffered t = t.len
+let runs t = List.length t.run_files
+
+let spill t =
+  if t.len > 0 then begin
+    let slice = Array.sub t.buffer 0 t.len in
+    Array.sort compare_edge slice;
+    let path =
+      Filename.concat t.tmp_dir
+        (Printf.sprintf "anyseq-net-run-%d-%d.tsv" (Unix.getpid ()) (List.length t.run_files))
+    in
+    Out_channel.with_open_text path (fun oc -> Array.iter (write_run_line oc) slice);
+    t.run_files <- path :: t.run_files;
+    t.len <- 0
+  end
+
+let add t e =
+  if t.spent then invalid_arg "Edges.add: writer already finished";
+  if e.a >= e.b then invalid_arg "Edges.add: edge must satisfy a < b";
+  if t.len = Array.length t.buffer then spill t;
+  t.buffer.(t.len) <- e;
+  t.len <- t.len + 1
+
+type stats = { written : int; duplicates : int; spilled_runs : int }
+
+(* K-way merge: one cursor per source (each run file plus the sorted
+   residual buffer), repeatedly emitting the smallest head. Source count
+   is edges/buffer — small — so a linear scan per pop is fine. *)
+type source = { mutable head : edge option; next : unit -> edge option }
+
+let finish t ~out ~name ~f =
+  if t.spent then invalid_arg "Edges.finish: writer already finished";
+  t.spent <- true;
+  let spilled_runs = List.length t.run_files in
+  let residual = Array.sub t.buffer 0 t.len in
+  Array.sort compare_edge residual;
+  let channels = ref [] in
+  let sources =
+    let of_channel ic () =
+      match In_channel.input_line ic with
+      | None -> None
+      | Some line -> Some (parse_run_line line)
+    in
+    let buf_pos = ref 0 in
+    let of_buffer () =
+      if !buf_pos < Array.length residual then begin
+        let e = residual.(!buf_pos) in
+        incr buf_pos;
+        Some e
+      end
+      else None
+    in
+    List.map
+      (fun path ->
+        let ic = In_channel.open_text path in
+        channels := ic :: !channels;
+        of_channel ic)
+      (List.rev t.run_files)
+    @ [ of_buffer ]
+  in
+  let sources =
+    List.filter_map
+      (fun next -> match next () with None -> None | Some e -> Some { head = Some e; next })
+      sources
+  in
+  let written = ref 0 and duplicates = ref 0 in
+  let last = ref None in
+  Out_channel.with_open_text out (fun oc ->
+      let emit e =
+        match !last with
+        | Some prev when compare_edge prev e = 0 -> incr duplicates
+        | _ ->
+            last := Some e;
+            incr written;
+            Printf.fprintf oc "%s\t%s\t%.2f\t%d\t%d\n" (name e.a) (name e.b)
+              (100.0 *. e.ident) e.span e.score;
+            f e
+      in
+      let rec loop sources =
+        match sources with
+        | [] -> ()
+        | _ ->
+            let best =
+              List.fold_left
+                (fun acc s ->
+                  match (acc, s.head) with
+                  | None, Some _ -> Some s
+                  | Some b, Some e when compare_edge e (Option.get b.head) < 0 -> Some s
+                  | _ -> acc)
+                None sources
+            in
+            let s = Option.get best in
+            emit (Option.get s.head);
+            s.head <- s.next ();
+            loop (List.filter (fun s -> s.head <> None) sources)
+      in
+      loop sources);
+  List.iter In_channel.close !channels;
+  List.iter (fun path -> try Sys.remove path with Sys_error _ -> ()) t.run_files;
+  t.run_files <- [];
+  { written = !written; duplicates = !duplicates; spilled_runs }

@@ -1,0 +1,86 @@
+(* Posting lists are growable int arrays keyed by minimizer hash; the
+   shared-count pass uses a scratch table indexed by sequence id, with a
+   touched-list so clearing costs O(partners), not O(n). *)
+
+type posting = { mutable ids : int array; mutable len : int }
+
+type t = {
+  table : (int, posting) Hashtbl.t;
+  mutable n : int;
+  mutable entries : int;
+  mutable counts : int array;  (** scratch: shared count per earlier id *)
+  mutable touched : int array;  (** scratch: ids with nonzero count *)
+}
+
+let create () =
+  { table = Hashtbl.create 1024; n = 0; entries = 0; counts = [||]; touched = [||] }
+
+let seqs t = t.n
+let postings t = t.entries
+
+let push p id =
+  if p.len = Array.length p.ids then begin
+    let bigger = Array.make (max 4 (2 * p.len)) 0 in
+    Array.blit p.ids 0 bigger 0 p.len;
+    p.ids <- bigger
+  end;
+  p.ids.(p.len) <- id;
+  p.len <- p.len + 1
+
+let add t sketch ~min_shared ~f =
+  let id = t.n in
+  if Array.length t.counts < id then begin
+    let bigger = Array.make (max 64 (2 * id)) 0 in
+    Array.blit t.counts 0 bigger 0 (Array.length t.counts);
+    t.counts <- bigger;
+    t.touched <- Array.make (Array.length bigger) 0
+  end;
+  let ntouched = ref 0 in
+  Array.iter
+    (fun h ->
+      match Hashtbl.find_opt t.table h with
+      | None -> ()
+      | Some p ->
+          for i = 0 to p.len - 1 do
+            let j = p.ids.(i) in
+            if t.counts.(j) = 0 then begin
+              t.touched.(!ntouched) <- j;
+              incr ntouched
+            end;
+            t.counts.(j) <- t.counts.(j) + 1
+          done)
+    sketch;
+  if min_shared <= 0 then
+    (* brute force: every earlier sequence is a candidate *)
+    for j = 0 to id - 1 do
+      let c = t.counts.(j) in
+      t.counts.(j) <- 0;
+      f j c
+    done
+  else begin
+    (* ids were touched in posting order; sort for a deterministic,
+       ascending candidate stream *)
+    let hits = Array.sub t.touched 0 !ntouched in
+    Array.sort compare hits;
+    Array.iter
+      (fun j ->
+        let c = t.counts.(j) in
+        t.counts.(j) <- 0;
+        if c >= min_shared then f j c)
+      hits
+  end;
+  Array.iter
+    (fun h ->
+      let p =
+        match Hashtbl.find_opt t.table h with
+        | Some p -> p
+        | None ->
+            let p = { ids = [||]; len = 0 } in
+            Hashtbl.add t.table h p;
+            p
+      in
+      push p id;
+      t.entries <- t.entries + 1)
+    sketch;
+  t.n <- id + 1;
+  id

@@ -1,0 +1,33 @@
+(** Inverted minimizer index: the prefilter that prunes the O(n²) pair
+    space.
+
+    Sequences are added one at a time (streaming — the pipeline indexes a
+    record the moment the FASTA reader yields it). {!add} first counts,
+    for the incoming sketch, how many minimizers it shares with every
+    {e previously added} sequence by walking the posting lists, reports
+    every partner whose shared count reaches the threshold, and only then
+    appends the new sequence to the postings. Every unordered pair is
+    therefore considered exactly once, as [(earlier, later)], and the
+    candidate stream is deterministic in input order.
+
+    Memory is one posting entry per (sequence, minimizer) — O(total
+    sketch size), independent of the pair count. The per-call scratch
+    counter table is reused across calls. *)
+
+type t
+
+val create : unit -> t
+
+val seqs : t -> int
+(** Sequences added so far; the next {!add} assigns this id. *)
+
+val postings : t -> int
+(** Total posting entries (memory proxy, exported as a gauge). *)
+
+val add : t -> int array -> min_shared:int -> f:(int -> int -> unit) -> int
+(** [add t sketch ~min_shared ~f] assigns the next sequence id, calls
+    [f earlier_id shared_count] for every previously added sequence
+    sharing at least [min_shared] sketch entries (ascending id order),
+    inserts the sketch, and returns the assigned id. [min_shared <= 0]
+    reports {e every} earlier sequence (shared count 0 included) — the
+    brute-force reference mode the network gate compares against. *)

@@ -1,0 +1,91 @@
+let default_k = 11
+let default_w = 8
+let max_k = 21
+
+(* Finalizer of splitmix64, restricted to the 62 bits that fit a tagged
+   OCaml int on 64-bit: a strong invertible mix, so the minimum over a
+   window behaves like a uniform random choice among its k-mers. *)
+let mix x =
+  let x = Int64.of_int x in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let x = Int64.mul (Int64.logxor x (Int64.shift_right_logical x 27)) 0x94d049bb133111ebL in
+  let x = Int64.logxor x (Int64.shift_right_logical x 31) in
+  Int64.to_int (Int64.logand x 0x3fffffffffffffffL)
+
+let sketch ?(k = default_k) ?(w = default_w) seq =
+  if k < 2 || k > max_k then invalid_arg "Minimizer.sketch: k must be in 2..21";
+  if w < 1 then invalid_arg "Minimizer.sketch: w must be positive";
+  if Anyseq_bio.Alphabet.size (Anyseq_bio.Sequence.alphabet seq) > 8 then
+    invalid_arg "Minimizer.sketch: alphabet wider than 8 letters";
+  let n = Anyseq_bio.Sequence.length seq in
+  if n < k then [||]
+  else begin
+    let codes = Anyseq_bio.Sequence.unsafe_codes seq in
+    let nk = n - k + 1 in
+    (* Hash of the k-mer starting at each position: pack 3 bits per code
+       (rolling — shift one code out, one in), then mix. *)
+    let hashes = Array.make nk 0 in
+    let mask = (1 lsl (3 * k)) - 1 in
+    let packed = ref 0 in
+    for i = 0 to k - 1 do
+      packed := ((!packed lsl 3) lor Char.code (Bytes.unsafe_get codes i)) land mask
+    done;
+    hashes.(0) <- mix !packed;
+    for i = 1 to nk - 1 do
+      packed :=
+        ((!packed lsl 3) lor Char.code (Bytes.unsafe_get codes (i + k - 1))) land mask;
+      hashes.(i) <- mix !packed
+    done;
+    (* Sliding-window minimum over [w] k-mer positions via a monotone
+       deque of indices (front = current minimum). *)
+    let deque = Array.make nk 0 in
+    let head = ref 0 and tail = ref 0 in
+    let out = ref [] and nout = ref 0 in
+    let push_min v =
+      out := v :: !out;
+      incr nout
+    in
+    for i = 0 to nk - 1 do
+      while !tail > !head && hashes.(deque.(!tail - 1)) >= hashes.(i) do
+        decr tail
+      done;
+      deque.(!tail) <- i;
+      incr tail;
+      if deque.(!head) <= i - w then incr head;
+      if i >= w - 1 || i = nk - 1 then begin
+        (* Windows end at every position from w-1 on; a sequence with
+           fewer than w k-mers still yields its global minimum. *)
+        let m = hashes.(deque.(!head)) in
+        match !out with cur :: _ when cur = m -> () | _ -> push_min m
+      end
+    done;
+    let arr = Array.make !nout 0 in
+    List.iteri (fun i v -> arr.(!nout - 1 - i) <- v) !out;
+    Array.sort compare arr;
+    (* dedupe in place (adjacent-run suppression above only catches
+       consecutive repeats; a minimizer can recur later) *)
+    let m = ref 0 in
+    Array.iteri
+      (fun i v ->
+        if i = 0 || v <> arr.(!m - 1) then begin
+          arr.(!m) <- v;
+          incr m
+        end)
+      arr;
+    if !m = Array.length arr then arr else Array.sub arr 0 !m
+  end
+
+let shared a b =
+  let la = Array.length a and lb = Array.length b in
+  let i = ref 0 and j = ref 0 and n = ref 0 in
+  while !i < la && !j < lb do
+    let c = compare a.(!i) b.(!j) in
+    if c = 0 then begin
+      incr n;
+      incr i;
+      incr j
+    end
+    else if c < 0 then incr i
+    else incr j
+  done;
+  !n

@@ -1,0 +1,38 @@
+(** Minimizer sketches for the similarity-network prefilter.
+
+    A sequence's sketch is the sorted set of distinct window minimizers of
+    its k-mer hash stream: hash every k-mer (an invertible 64-bit mix over
+    the packed alphabet codes, so adjacent k-mers land far apart), then
+    keep the minimum hash of every [w] consecutive k-mer positions. Two
+    sequences that share a long-enough exact stretch share the minimizers
+    inside it, so the number of shared sketch entries is a cheap lower
+    bound screen for alignment-level similarity — the classic
+    minimizer-filter argument (Roberts et al. 2004, and every modern
+    overlap prefilter since).
+
+    Sketches are plain sorted [int array]s; {!shared} is a linear merge.
+    A sequence shorter than [k] has an empty sketch and can never be a
+    candidate — callers that must not drop such sequences handle them
+    explicitly (the pipeline still counts and clusters them as
+    singletons). *)
+
+val default_k : int
+(** 11 — long enough that random 4-letter k-mers rarely collide at
+    network scales, short enough to survive a few percent divergence. *)
+
+val default_w : int
+(** 8 — one minimizer per ~4.5 positions in expectation (2/(w+1) density),
+    so an n-bp sequence sketches to roughly [2n/w] entries. *)
+
+val max_k : int
+(** 21 — the packing bound: codes use 3 bits each (alphabets up to 8
+    letters), and 21 codes fill the 63 usable bits of an OCaml [int]. *)
+
+val sketch : ?k:int -> ?w:int -> Anyseq_bio.Sequence.t -> int array
+(** Sorted distinct minimizer hashes of the sequence. Empty when the
+    sequence is shorter than [k]. Raises [Invalid_argument] when [k] is
+    outside [2..max_k], [w < 1], or the alphabet has more than 8
+    letters. *)
+
+val shared : int array -> int array -> int
+(** Size of the intersection of two sorted distinct sketches. *)

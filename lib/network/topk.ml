@@ -1,0 +1,65 @@
+type hit = { partner : int; score : int; ident : float }
+
+(* [worse a b]: a strictly loses to b under (score desc, partner asc). *)
+let worse a b = a.score < b.score || (a.score = b.score && a.partner > b.partner)
+
+type t = { k : int; mutable heap : hit array; mutable len : int }
+
+let create ~k =
+  if k < 1 then invalid_arg "Topk.create: k must be >= 1";
+  { k; heap = [||]; len = 0 }
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if worse t.heap.(i) t.heap.(p) then begin
+      swap t i p;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < t.len && worse t.heap.(l) t.heap.(i) then l else i in
+  let m = if r < t.len && worse t.heap.(r) t.heap.(m) then r else m in
+  if m <> i then begin
+    swap t i m;
+    sift_down t m
+  end
+
+let add t hit =
+  if t.len < t.k then begin
+    if t.len = Array.length t.heap then begin
+      let bigger = Array.make (min t.k (max 4 (2 * t.len))) hit in
+      Array.blit t.heap 0 bigger 0 t.len;
+      t.heap <- bigger
+    end;
+    t.heap.(t.len) <- hit;
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1);
+    false
+  end
+  else if worse hit t.heap.(0) then
+    (* new hit loses to the current worst under the strict total order
+       (distinct partners, so ties cannot arise) — reject it *)
+    true
+  else begin
+    t.heap.(0) <- hit;
+    sift_down t 0;
+    true
+  end
+
+let size t = t.len
+
+let to_sorted t =
+  let out = Array.sub t.heap 0 t.len in
+  Array.sort
+    (fun a b ->
+      if a.score <> b.score then compare b.score a.score else compare a.partner b.partner)
+    out;
+  out

@@ -1,0 +1,29 @@
+(** Bounded best-k hit set per query, with a deterministic order.
+
+    A min-heap of at most [k] hits keyed worst-first, so the eviction
+    candidate is always at the root. Ordering is total and explicit —
+    higher score wins, a score tie goes to the {e smaller} partner id —
+    which is what makes the pipeline's edge list reproducible across
+    shard counts and against the brute-force reference: heap contents
+    depend only on the hit multiset, never on arrival order. *)
+
+type hit = {
+  partner : int;  (** index of the other sequence *)
+  score : int;
+  ident : float;  (** normalized identity, in [0,1] *)
+}
+
+type t
+
+val create : k:int -> t
+(** [k >= 1]. *)
+
+val add : t -> hit -> bool
+(** Insert; when full, replaces the worst hit iff the new one beats it.
+    Returns [true] when an existing hit was evicted (or the new hit was
+    itself rejected) — the pipeline's eviction counter. *)
+
+val size : t -> int
+
+val to_sorted : t -> hit array
+(** Contents, best first (descending score, ascending partner). *)

@@ -52,6 +52,9 @@ type t = {
   jobs_by_shard : int Atomic.t array;  (** jobs executed per executing shard *)
   metrics : Metrics.t;
   submit_rr : int Atomic.t;  (** rotating admission home, spreads budget pressure *)
+  chunk_hook : (int -> unit) option Atomic.t;
+      (** progress callback fired with the job count of every executed
+          chunk, on the executing domain (see {!set_chunk_hook}) *)
 }
 
 (* A unit of dispatch: up to [batch_size] jobs sharing one configuration,
@@ -472,7 +475,12 @@ let exec_chunk t ~executor ~home ck =
      Mutex.unlock tk.tk_mutex;
      Metrics.incr (ctr t "chunk_exceptions"));
   ignore (Atomic.fetch_and_add t.jobs_by_shard.(executor) ck.ck_njobs);
+  (match Atomic.get t.chunk_hook with
+  | None -> ()
+  | Some f -> ( try f ck.ck_njobs with _ -> ()));
   finish_chunk t tk
+
+let set_chunk_hook t hook = Atomic.set t.chunk_hook hook
 
 let create ?(capacity = 1024) ?(batch_size = 256) ?(shards = 1)
     ?(domains = Domain.recommended_domain_count ())
@@ -489,6 +497,7 @@ let create ?(capacity = 1024) ?(batch_size = 256) ?(shards = 1)
       jobs_by_shard = Array.init shards (fun _ -> Atomic.make 0);
       metrics = (match metrics with Some m -> m | None -> Metrics.create ());
       submit_rr = Atomic.make 0;
+      chunk_hook = Atomic.make None;
     }
   in
   Metrics.gauge_set t.metrics "runtime/shards" shards;

@@ -198,6 +198,16 @@ val cache_stats : t -> Spec_cache.stats
 
 val metrics : t -> Metrics.t
 
+val set_chunk_hook : t -> (int -> unit) option -> unit
+(** Install (or clear, with [None]) a progress callback invoked with the
+    job count of every chunk the moment it finishes executing — on the
+    {e executing} domain, possibly a worker, so the callback must be
+    domain-safe and cheap (an [Atomic]/{!Metrics} bump). Long-running
+    batch drivers use it to publish live progress while blocked in
+    {!await}: the network pipeline counts pairs dispatched here so an
+    admin scrape mid-run sees movement. One hook per service; exceptions
+    it raises are swallowed. *)
+
 val long_pair_cells : int
 (** Auto-escalation threshold to the wavefront tier (4 M cells). *)
 

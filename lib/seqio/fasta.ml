@@ -7,56 +7,93 @@ let split_header line =
   | Some i ->
       (String.sub line 0 i, String.trim (String.sub line (i + 1) (String.length line - i - 1)))
 
+(* Incremental line-driven core, shared by the whole-document parser and
+   the streaming fold: one mutable state, one line at a time, completed
+   records handed to [emit] the moment their terminator (next header or
+   end of input) arrives. Errors abort via a private exception so both
+   fronts surface the same messages as [result]s. *)
+
+exception Parse_error of string
+
+type state = {
+  mutable lineno : int;
+  mutable current : (string * string * string list) option;
+      (** open record: id, description, reversed sequence chunks *)
+}
+
+let fresh_state () = { lineno = 1; current = None }
+
+let finish alphabet ~lineno (id, description, chunks) =
+  if id = "" then raise (Parse_error (Printf.sprintf "line %d: record with empty id" lineno));
+  let seq_text = String.concat "" (List.rev chunks) in
+  if seq_text = "" then
+    raise (Parse_error (Printf.sprintf "line %d: record %s has no sequence" lineno id));
+  match Anyseq_bio.Sequence.of_string alphabet seq_text with
+  | sequence -> { id; description; sequence }
+  | exception Invalid_argument msg ->
+      raise (Parse_error (Printf.sprintf "record %s: %s" id msg))
+
+let feed alphabet st line emit =
+  (* trim also chomps the '\r' a CRLF file leaves after splitting on
+     '\n' — CRLF input parses identically to LF input. *)
+  let line = String.trim line in
+  (if line = "" || line.[0] = ';' then ()
+   else if line.[0] = '>' then begin
+     let header = String.sub line 1 (String.length line - 1) in
+     let id, description = split_header header in
+     (match st.current with
+     | None -> ()
+     | Some cur -> emit (finish alphabet ~lineno:st.lineno cur));
+     st.current <- Some (id, description, [])
+   end
+   else
+     match st.current with
+     | None ->
+         raise
+           (Parse_error
+              (Printf.sprintf "line %d: sequence data before any '>' header" st.lineno))
+     | Some (id, description, chunks) -> st.current <- Some (id, description, line :: chunks));
+  st.lineno <- st.lineno + 1
+
+let flush alphabet st emit =
+  match st.current with
+  | None -> ()
+  | Some cur ->
+      st.current <- None;
+      emit (finish alphabet ~lineno:st.lineno cur)
+
 let parse_string alphabet text =
-  let lines = String.split_on_char '\n' text in
-  let finish ~lineno id description chunks acc =
-    if id = "" then Error (Printf.sprintf "line %d: record with empty id" lineno)
-    else
-      let seq_text = String.concat "" (List.rev chunks) in
-      if seq_text = "" then Error (Printf.sprintf "line %d: record %s has no sequence" lineno id)
-      else
-        match Anyseq_bio.Sequence.of_string alphabet seq_text with
-        | sequence -> Ok ({ id; description; sequence } :: acc)
-        | exception Invalid_argument msg ->
-            Error (Printf.sprintf "record %s: %s" id msg)
-  in
-  let rec go lineno lines current acc =
-    match lines with
-    | [] -> (
-        match current with
-        | None -> Ok (List.rev acc)
-        | Some (id, description, chunks) -> (
-            match finish ~lineno id description chunks acc with
-            | Ok acc -> Ok (List.rev acc)
-            | Error _ as e -> e))
-    | line :: rest ->
-        (* trim also chomps the '\r' a CRLF file leaves after splitting on
-           '\n' — CRLF input parses identically to LF input. *)
-        let line = String.trim line in
-        if line = "" || (String.length line > 0 && line.[0] = ';') then
-          go (lineno + 1) rest current acc
-        else if line.[0] = '>' then
-          let header = String.sub line 1 (String.length line - 1) in
-          let id, description = split_header header in
-          match current with
-          | None -> go (lineno + 1) rest (Some (id, description, [])) acc
-          | Some (pid, pdesc, chunks) -> (
-              match finish ~lineno pid pdesc chunks acc with
-              | Ok acc -> go (lineno + 1) rest (Some (id, description, [])) acc
-              | Error _ as e -> e)
-        else begin
-          match current with
-          | None -> Error (Printf.sprintf "line %d: sequence data before any '>' header" lineno)
-          | Some (id, description, chunks) ->
-              go (lineno + 1) rest (Some (id, description, line :: chunks)) acc
-        end
-  in
-  go 1 lines None []
+  let st = fresh_state () in
+  let acc = ref [] in
+  let emit r = acc := r :: !acc in
+  match
+    List.iter (fun line -> feed alphabet st line emit) (String.split_on_char '\n' text);
+    flush alphabet st emit
+  with
+  | () -> Ok (List.rev !acc)
+  | exception Parse_error msg -> Error msg
+
+let fold alphabet path ~init ~f =
+  let st = fresh_state () in
+  let acc = ref init in
+  let emit r = acc := f !acc r in
+  match
+    In_channel.with_open_text path (fun ic ->
+        let rec loop () =
+          match In_channel.input_line ic with
+          | None -> flush alphabet st emit
+          | Some line ->
+              feed alphabet st line emit;
+              loop ()
+        in
+        loop ())
+  with
+  | () -> Ok !acc
+  | exception Parse_error msg -> Error msg
+  | exception Sys_error msg -> Error msg
 
 let read_file alphabet path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse_string alphabet text
-  | exception Sys_error msg -> Error msg
+  Result.map List.rev (fold alphabet path ~init:[] ~f:(fun acc r -> r :: acc))
 
 let to_string ?(width = 70) records =
   if width <= 0 then invalid_arg "Fasta.to_string: width must be positive";

@@ -16,6 +16,16 @@ val parse_string : Anyseq_bio.Alphabet.t -> string -> (record list, string) resu
 
 val read_file : Anyseq_bio.Alphabet.t -> string -> (record list, string) result
 
+val fold :
+  Anyseq_bio.Alphabet.t -> string -> init:'a -> f:('a -> record -> 'a) -> ('a, string) result
+(** Streaming reader: fold [f] over the records of a FASTA file as they
+    complete, reading line by line — at no point is the whole file (or
+    the record list) in memory, so an arbitrarily large input costs one
+    record of working set. This is what the network pipeline and the CLI
+    loaders consume. On a parse or I/O error the fold stops and returns
+    [Error] with the same message {!parse_string} would produce; records
+    yielded before the error have already been folded. *)
+
 val to_string : ?width:int -> record list -> string
 (** Render with sequence lines wrapped at [width] (default 70) columns. *)
 

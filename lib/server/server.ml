@@ -652,6 +652,12 @@ let statusz_json t =
     "\"flight\":{\"capacity\":%d,\"recorded\":%d,\"dumps\":%d,\"burst_triggers\":%d},"
     (Flight.capacity t.flight) (Flight.recorded t.flight) (c "server/flight_dumps")
     (c "server/flight_burst_triggers");
+  (* A network pipeline sharing this registry (an embedded run, or the
+     CLI's own --admin endpoint reusing this renderer) exposes its phase
+     progress; absent counters render nothing. *)
+  (match Anyseq_network.Pipeline.status_json m with
+  | Some net -> Printf.bprintf b "\"network\":%s," net
+  | None -> ());
   Printf.bprintf b "\"build\":{\"ocaml\":\"%s\",\"word_size\":%d}}"
     Sys.ocaml_version Sys.word_size;
   Buffer.contents b

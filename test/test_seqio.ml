@@ -105,6 +105,65 @@ let test_fasta_file_io () =
   | Ok _ -> Alcotest.fail "expected file error"
   | Error _ -> ()
 
+(* The streaming fold must see exactly the records read_file returns, in
+   file order, without holding the file in memory. *)
+let test_fasta_fold () =
+  let path = Filename.temp_file "anyseq_test" ".fa" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let records =
+        List.init 32 (fun i ->
+            {
+              Fasta.id = Printf.sprintf "s%02d" i;
+              description = (if i mod 3 = 0 then "desc" else "");
+              sequence =
+                Sequence.of_string Alphabet.dna4
+                  (String.init (5 + (i mod 11)) (fun j -> "ACGT".[(i + j) mod 4]));
+            })
+      in
+      Fasta.write_file path records;
+      let folded =
+        match
+          Fasta.fold Alphabet.dna4 path ~init:[] ~f:(fun acc r -> r :: acc)
+        with
+        | Ok acc -> List.rev acc
+        | Error msg -> Alcotest.failf "fold failed: %s" msg
+      in
+      let direct = ok (Fasta.read_file Alphabet.dna4 path) in
+      Alcotest.(check int) "same count" (List.length direct) (List.length folded);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "id" a.Fasta.id b.Fasta.id;
+          Alcotest.(check string) "description" a.Fasta.description b.Fasta.description;
+          Alcotest.(check bool) "sequence" true
+            (Sequence.equal a.Fasta.sequence b.Fasta.sequence))
+        direct folded;
+      (* fold over the count only: the accumulator is caller-defined *)
+      match Fasta.fold Alphabet.dna4 path ~init:0 ~f:(fun n _ -> n + 1) with
+      | Ok n -> Alcotest.(check int) "counting fold" (List.length direct) n
+      | Error msg -> Alcotest.failf "counting fold failed: %s" msg)
+
+let test_fasta_fold_errors () =
+  (match Fasta.fold Alphabet.dna4 "/nonexistent/path.fa" ~init:() ~f:(fun () _ -> ()) with
+  | Ok () -> Alcotest.fail "expected file error"
+  | Error _ -> ());
+  let path = Filename.temp_file "anyseq_test" ".fa" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc ">good\nACGT\n>bad\nACXT\n";
+      close_out oc;
+      (* the error surfaces as a Result, after earlier records were seen *)
+      let seen = ref [] in
+      match Fasta.fold Alphabet.dna4 path ~init:() ~f:(fun () r -> seen := r.Fasta.id :: !seen) with
+      | Ok () -> Alcotest.fail "expected parse error"
+      | Error msg ->
+          Alcotest.(check bool) "mentions alphabet" true
+            (Helpers.contains_sub msg "not in alphabet");
+          Alcotest.(check (list string)) "good record was streamed first" [ "good" ] !seen)
+
 (* ------------------------------------------------------------------ *)
 (* FASTQ                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -421,6 +480,8 @@ let () =
           Alcotest.test_case "no final newline" `Quick test_fasta_no_final_newline;
           Alcotest.test_case "roundtrip" `Quick test_fasta_roundtrip;
           Alcotest.test_case "file io" `Quick test_fasta_file_io;
+          Alcotest.test_case "fold" `Quick test_fasta_fold;
+          Alcotest.test_case "fold errors" `Quick test_fasta_fold_errors;
         ] );
       ( "fastq",
         [

@@ -39,10 +39,13 @@ let exit_code_of_error = function
   | Anyseq.Error.Overflow_bound _ -> exit_overflow
   | Anyseq.Error.Rejected -> exit_rejected
   | Anyseq.Error.Timeout -> exit_timeout
+  (* the CLI never sets a distance cap on its own jobs, but the mapping
+     must be total: a capped-out pair is a bound violation, not a crash *)
+  | Anyseq.Error.Cutoff -> exit_overflow
 
 let exit_code_of_wire = function
   | Anyseq.Wire.Bad_sequence -> exit_bad_sequence
-  | Anyseq.Wire.Overflow_bound -> exit_overflow
+  | Anyseq.Wire.Overflow_bound | Anyseq.Wire.Cutoff -> exit_overflow
   | Anyseq.Wire.Rejected | Anyseq.Wire.Draining -> exit_rejected
   | Anyseq.Wire.Timeout -> exit_timeout
   | Anyseq.Wire.Bad_request -> exit_invalid_config
@@ -918,13 +921,14 @@ let top_cmd =
           let pruned = J.num ~default:0.0 "pairs_pruned" net in
           let total = J.num ~default:0.0 "pairs_total" net in
           Printf.printf
-            "\nnetwork [%s]: %.0f seqs indexed, %.0f/%.0f pairs aligned (%.1f%% pruned), \
-             %.0f edges, %.0f components\n"
+            "\nnetwork [%s]: %.0f seqs indexed, %.0f/%.0f pairs aligned (%.1f%% pruned, \
+             %.0f cut off), %.0f edges, %.0f components\n"
             (J.str ~default:"?" "phase" net)
             (J.num ~default:0.0 "seqs_indexed" net)
             (J.num ~default:0.0 "pairs_aligned" net)
             total
             (if total > 0.0 then 100.0 *. pruned /. total else 0.0)
+            (J.num ~default:0.0 "pairs_cutoff" net)
             (J.num ~default:0.0 "edges_written" net)
             (J.num ~default:0.0 "components" net)
       | None -> ());
@@ -1043,6 +1047,16 @@ let network_cmd =
       & opt (some float) None
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-pair alignment deadline.")
   in
+  let no_cutoff_t =
+    Arg.(
+      value & flag
+      & info [ "no-cutoff" ]
+          ~doc:
+            "Disable the banded-alignment distance cutoffs (score/identity thresholds and \
+             top-k floors converted to per-pair edit-distance caps under a unit-cost \
+             certificate). The edge list is identical either way; cutoffs only change how \
+             fast hopeless pairs are abandoned.")
+  in
   let edit_distance_t =
     Arg.(
       value & flag
@@ -1068,8 +1082,8 @@ let network_cmd =
              renders the progress.")
   in
   let run input out k window min_shared min_score min_ident top_k batch_size shards timeout
-      edit_distance tmp_dir admin mode json trace metrics_flag metrics_format match_ mismatch
-      gap_open gap_extend =
+      no_cutoff edit_distance tmp_dir admin mode json trace metrics_flag metrics_format
+      match_ mismatch gap_open gap_extend =
     let scheme =
       if edit_distance then Anyseq.Scheme.unit_cost
       else scheme_of ~match_ ~mismatch ~gap_open ~gap_extend ~alphabet:`Dna5
@@ -1087,6 +1101,7 @@ let network_cmd =
         mode;
         timeout_s = timeout;
         batch_size;
+        cutoff = not no_cutoff;
       }
     in
     let service = Anyseq.Service.create ~shards () in
@@ -1154,10 +1169,11 @@ let network_cmd =
         if json then begin
           let b = Buffer.create 512 in
           Printf.bprintf b
-            "{\"sequences\":%d,\"too_short\":%d,\"pairs_total\":%d,\"pairs_pruned\":%d,\"pairs_aligned\":%d,\"pairs_timeout\":%d,\"pairs_failed\":%d,\"resubmits\":%d,\"topk_evictions\":%d,\"edges\":%d,\"edge_duplicates\":%d,\"spilled_runs\":%d,\"components\":%d,\"clusters\":%d,\"singletons\":%d,\"largest_component\":%d,\"elapsed_s\":%.3f,\"pairs_per_s\":%.1f,\"out\":\"%s\"}"
+            "{\"sequences\":%d,\"too_short\":%d,\"pairs_total\":%d,\"pairs_pruned\":%d,\"pairs_aligned\":%d,\"pairs_cutoff\":%d,\"pairs_timeout\":%d,\"pairs_failed\":%d,\"resubmits\":%d,\"topk_evictions\":%d,\"edges\":%d,\"edge_duplicates\":%d,\"spilled_runs\":%d,\"components\":%d,\"clusters\":%d,\"singletons\":%d,\"largest_component\":%d,\"elapsed_s\":%.3f,\"pairs_per_s\":%.1f,\"out\":\"%s\"}"
             r.Anyseq.Pipeline.sequences r.Anyseq.Pipeline.too_short
             r.Anyseq.Pipeline.pairs_total r.Anyseq.Pipeline.pairs_pruned
-            r.Anyseq.Pipeline.pairs_aligned r.Anyseq.Pipeline.pairs_timeout
+            r.Anyseq.Pipeline.pairs_aligned r.Anyseq.Pipeline.pairs_cutoff
+            r.Anyseq.Pipeline.pairs_timeout
             r.Anyseq.Pipeline.pairs_failed r.Anyseq.Pipeline.resubmits
             r.Anyseq.Pipeline.evictions r.Anyseq.Pipeline.edges
             r.Anyseq.Pipeline.edge_duplicates r.Anyseq.Pipeline.spilled_runs
@@ -1170,12 +1186,13 @@ let network_cmd =
           let total = r.Anyseq.Pipeline.pairs_total in
           Printf.printf "sequences     %d (%d too short for k=%d)\n"
             r.Anyseq.Pipeline.sequences r.Anyseq.Pipeline.too_short k;
-          Printf.printf "pairs         %d total, %d pruned (%.1f%%), %d aligned\n" total
+          Printf.printf
+            "pairs         %d total, %d pruned (%.1f%%), %d aligned, %d cut off\n" total
             r.Anyseq.Pipeline.pairs_pruned
             (if total > 0 then
                100.0 *. float_of_int r.Anyseq.Pipeline.pairs_pruned /. float_of_int total
              else 0.0)
-            r.Anyseq.Pipeline.pairs_aligned;
+            r.Anyseq.Pipeline.pairs_aligned r.Anyseq.Pipeline.pairs_cutoff;
           if
             r.Anyseq.Pipeline.pairs_timeout > 0
             || r.Anyseq.Pipeline.pairs_failed > 0
@@ -1202,7 +1219,7 @@ let network_cmd =
                 incr shown
               end)
             sizes;
-          Printf.printf "throughput    %.0f aligned pairs/s (%.2fs elapsed)\n"
+          Printf.printf "throughput    %.0f resolved pairs/s (%.2fs elapsed)\n"
             r.Anyseq.Pipeline.pairs_per_s r.Anyseq.Pipeline.elapsed_s
         end;
         if metrics_flag then begin
@@ -1219,9 +1236,9 @@ let network_cmd =
           spill the edge list to a TSV and summarize its connected components.")
     Term.(
       const run $ input_t $ out_t $ k_t $ window_t $ min_shared_t $ min_score_t
-      $ min_ident_t $ top_k_t $ batch_size_t $ shards_t $ timeout_t $ edit_distance_t
-      $ tmp_dir_t $ admin_t $ mode_t $ json_t $ trace_t $ metrics_t $ metrics_format_t
-      $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
+      $ min_ident_t $ top_k_t $ batch_size_t $ shards_t $ timeout_t $ no_cutoff_t
+      $ edit_distance_t $ tmp_dir_t $ admin_t $ mode_t $ json_t $ trace_t $ metrics_t
+      $ metrics_format_t $ match_t $ mismatch_t $ gap_open_t $ gap_extend_t)
 
 let trace_cmd =
   let count_t =

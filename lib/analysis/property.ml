@@ -125,6 +125,17 @@ let admissible_modes r =
 
 let convert c ~n ~m ~distance = (c.uc_drift * (n + m)) - (c.uc_scale * distance)
 
+(* Inverse of [convert] in the distance direction: the largest d with
+   score(d) ≥ min_score. scale > 0 is part of the certificate, so the
+   map d ↦ score is strictly decreasing and the cap is the floor of
+   (drift·(n+m) − min_score) / scale — floor, not truncation, so a
+   negative numerator (no distance qualifies) yields a negative cap
+   rather than rounding toward a spurious 0. *)
+let distance_cap c ~n ~m ~min_score =
+  let num = (c.uc_drift * (n + m)) - min_score in
+  let s = c.uc_scale in
+  if num >= 0 then num / s else -((-num + s - 1) / s)
+
 (* ------------------------------------------------------------------ *)
 (* Independent re-validation of a claimed certificate.                  *)
 (* ------------------------------------------------------------------ *)

@@ -80,6 +80,15 @@ val convert : unit_cost_cert -> n:int -> m:int -> distance:int -> int
 (** [drift·(n+m) − scale·distance] — the certified global score of an
     optimal-distance alignment of lengths n, m. *)
 
+val distance_cap : unit_cost_cert -> n:int -> m:int -> min_score:int -> int
+(** The largest edit distance whose converted score still reaches
+    [min_score]: [⌊(drift·(n+m) − min_score) / scale⌋] (true floor; may
+    be negative when no distance qualifies). Because [scale > 0] makes
+    {!convert} strictly decreasing in distance, a score-threshold query
+    is {e equivalent} to a distance-bound query — the fact that legalizes
+    the banded Myers tier: [Myers.distance_upto ~k:(distance_cap …)]
+    returning [None] proves the score is below [min_score]. *)
+
 val check : Anyseq_scoring.Scheme.t -> cert -> Findings.t list
 (** Independently re-validate a claimed certificate against the scheme
     (pass ["property"]). Empty for every certificate {!analyze} emits;

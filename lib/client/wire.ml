@@ -82,12 +82,14 @@ type error_code =
   | Bad_request
   | Draining
   | Internal
+  | Cutoff
 
 let error_code_of_runtime = function
   | Rerror.Bad_sequence _ -> Bad_sequence
   | Rerror.Overflow_bound _ -> Overflow_bound
   | Rerror.Rejected -> Rejected
   | Rerror.Timeout -> Timeout
+  | Rerror.Cutoff -> Cutoff
 
 let code_to_string = function
   | Bad_sequence -> "bad-sequence"
@@ -97,6 +99,7 @@ let code_to_string = function
   | Bad_request -> "bad-request"
   | Draining -> "draining"
   | Internal -> "internal"
+  | Cutoff -> "cutoff"
 
 let code_to_byte = function
   | Bad_sequence -> 1
@@ -106,6 +109,7 @@ let code_to_byte = function
   | Bad_request -> 5
   | Draining -> 6
   | Internal -> 7
+  | Cutoff -> 8
 
 let code_of_byte = function
   | 1 -> Some Bad_sequence
@@ -115,6 +119,7 @@ let code_of_byte = function
   | 5 -> Some Bad_request
   | 6 -> Some Draining
   | 7 -> Some Internal
+  | 8 -> Some Cutoff
   | _ -> None
 
 (* A client-generated trace identity carried alongside the request, so

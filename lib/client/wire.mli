@@ -92,6 +92,10 @@ type error_code =
   | Bad_request  (** undecodable configuration / invalid parameters *)
   | Draining  (** server is shutting down; connect elsewhere *)
   | Internal
+  | Cutoff
+      (** the job's distance cap was exceeded — score provably below the
+          bound, exact value never computed (direct/runtime use only;
+          wire requests carry no cap today, so a server never emits it) *)
 
 val error_code_of_runtime : Anyseq_runtime.Error.t -> error_code
 val code_to_string : error_code -> string

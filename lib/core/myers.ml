@@ -14,10 +14,21 @@ let word_bits = 62
 let all_ones = (1 lsl word_bits) - 1
 let high_bit = 1 lsl (word_bits - 1)
 let nblocks_of n = max 1 ((n + word_bits - 1) / word_bits)
+let ceil_div a b = (a + b - 1) / b
 
 (* Peq is flat — [peq.(code * nblocks + block)] — so one arena acquisition
    covers the whole table. Buffers come back dirty: zero exactly the
-   prefix in use. *)
+   prefix in use.
+
+   Padding rows (pattern rows ≥ n in the last block) are {e wildcards}:
+   they match every subject symbol, so the padded tail behaves as w_pad
+   free matches and the banded bound arithmetic below can treat the
+   block's bottom row as "true last row + w_pad". Rows < n are
+   unaffected — the Xh carry chain only propagates upward (low bits to
+   high bits), so any value or delta sampled at a row ≤ n-1 is identical
+   to the unpadded computation. That keeps [search]/[occurrences]/
+   [distance_full], which sample at the pattern's last-row bit,
+   bit-exact. *)
 let fill_peq peq q ~n ~nblocks =
   let asize = Alphabet.size (Sequence.alphabet q) in
   for k = 0 to (asize * nblocks) - 1 do
@@ -27,7 +38,15 @@ let fill_peq peq q ~n ~nblocks =
     let c = Sequence.unsafe_get q i in
     let k = (c * nblocks) + (i / word_bits) in
     Array.unsafe_set peq k (Array.unsafe_get peq k lor (1 lsl (i mod word_bits)))
-  done
+  done;
+  let pad_lo = n mod word_bits in
+  if pad_lo <> 0 then begin
+    let pad_mask = all_ones lxor ((1 lsl pad_lo) - 1) in
+    for c = 0 to asize - 1 do
+      let k = (c * nblocks) + nblocks - 1 in
+      Array.unsafe_set peq k (Array.unsafe_get peq k lor pad_mask)
+    done
+  end
 
 (* One column step for one block (Myers' Advance_Block, as in edlib).
    [hin] is the horizontal delta entering the block's top row (-1/0/+1);
@@ -71,7 +90,8 @@ let one_column pv mv peq scodes ~nblocks ~last_mask ~hin0 ~j =
 
 (* Straight distance loop (no per-column callback): tail-recursive with
    the running score in an argument, so the steady state allocates
-   nothing — the form the runtime's bit-parallel tier dispatches on. *)
+   nothing — the full-sweep form kept as [distance_full] for the banded
+   bit-identity gate and as the bench baseline. *)
 let rec distance_columns pv mv peq scodes ~nblocks ~last_mask ~j ~m ~score =
   if j = m then score
   else
@@ -117,7 +137,7 @@ let with_state ?ws q f =
           Scratch.release ws peq)
         (fun () -> init peq pv mv)
 
-let distance ?ws q s =
+let distance_full ?ws q s =
   let n = Sequence.length q and m = Sequence.length s in
   if n = 0 then m
   else if m = 0 then n
@@ -125,6 +145,190 @@ let distance ?ws q s =
     with_state ?ws q (fun peq pv mv ~nblocks ~last_mask ->
         distance_columns pv mv peq (Sequence.unsafe_codes s) ~nblocks ~last_mask ~j:0 ~m
           ~score:n)
+
+(* ------------------------------------------------------------------ *)
+(* Ukkonen block band (edlib's myersCalcEditDistanceNW arithmetic).    *)
+(*                                                                     *)
+(* Only blocks [first..last] of each column are advanced. A block is   *)
+(* retired when every cell it could contribute is provably > the       *)
+(* running bound k; the band extends downward by one block when the    *)
+(* carry out of the current last block leaves its top cell within      *)
+(* reach of k. Cells outside the band are never read back — a         *)
+(* re-entered block is re-seeded pv=all-ones/mv=0, which makes its     *)
+(* values upper bounds of the true DP values, so any value ≤ k the     *)
+(* band does produce is exact (Ukkonen's invariant).                   *)
+(*                                                                     *)
+(* bscore.(b) tracks the value of block b's bottom row; the running    *)
+(* bound k starts at the caller's cap and self-tightens each column    *)
+(* from the cheapest completion of the band's bottom cell.             *)
+(* ------------------------------------------------------------------ *)
+
+exception Band_empty
+
+let banded_columns peq pv mv bscore scodes ~nblocks ~n ~m ~k0 =
+  let w_pad = (nblocks * word_bits) - n in
+  let k = ref (min k0 (max n m)) in
+  let first = ref 0 in
+  (* d ≥ max(|n-m|, cells-off-diagonal), so a band of
+     ceil((min k ((k+n-m)/2) + 1) / 62) blocks already covers every cell
+     that could stay ≤ k in column 0 *)
+  let last =
+    ref (min (nblocks - 1) (ceil_div (min !k ((!k + n - m) / 2) + 1) word_bits - 1))
+  in
+  for b = 0 to !last do
+    Array.unsafe_set pv b all_ones;
+    Array.unsafe_set mv b 0;
+    Array.unsafe_set bscore b ((b + 1) * word_bits)
+  done;
+  let hout = ref 1 in
+  (* a trailing block is out of band when even its best cell plus the
+     cheapest path to the bottom-right corner exceeds k (the +1 mirrors
+     edlib's empirically required slack on the simplified bound) *)
+  let last_out_of_band j =
+    let bs = Array.unsafe_get bscore !last in
+    bs >= !k + word_bits
+    || ((!last + 1) * word_bits) - 1
+       > !k - bs + (2 * word_bits) - 2 - m + j + n + 1
+  in
+  (* a leading block is out of band when its bottom cell minus the rows
+     still below it already exceeds k on every remaining path *)
+  let first_out_of_band j =
+    let bs = Array.unsafe_get bscore !first in
+    bs >= !k + word_bits
+    || ((!first + 1) * word_bits) - 1 < bs - !k - m + n + j
+  in
+  match
+    for j = 0 to m - 1 do
+      let base = Char.code (Bytes.unsafe_get scodes j) * nblocks in
+      hout := 1;
+      for b = !first to !last do
+        let h =
+          advance pv mv ~b ~eq:(Array.unsafe_get peq (base + b)) ~hin:!hout
+            ~sample:high_bit
+        in
+        Array.unsafe_set bscore b (Array.unsafe_get bscore b + h);
+        hout := h
+      done;
+      (* tighten k: the band's bottom cell plus the cheapest completion
+         (remaining columns, or remaining rows, or the w_pad free
+         matches when this is the final block) bounds d from above *)
+      let bs = Array.unsafe_get bscore !last in
+      let cand =
+        bs
+        + max (m - j - 1) (n - ((!last + 1) * word_bits))
+        + (if !last = nblocks - 1 then w_pad else 0)
+      in
+      if cand < !k then k := cand;
+      (* extend the band one block down while its top cell can reach ≤ k *)
+      if
+        !last + 1 < nblocks
+        && not
+             (((!last + 1) * word_bits) - 1
+              > !k - bs + (2 * word_bits) - 2 - m + j + n)
+      then begin
+        let nl = !last + 1 in
+        Array.unsafe_set pv nl all_ones;
+        Array.unsafe_set mv nl 0;
+        let h =
+          advance pv mv ~b:nl ~eq:(Array.unsafe_get peq (base + nl)) ~hin:!hout
+            ~sample:high_bit
+        in
+        Array.unsafe_set bscore nl
+          (Array.unsafe_get bscore !last - !hout + word_bits + h);
+        last := nl;
+        hout := h
+      end;
+      while !last >= !first && last_out_of_band j do
+        decr last
+      done;
+      while !first <= !last && first_out_of_band j do
+        incr first
+      done;
+      if !last < !first then raise_notrace Band_empty
+    done
+  with
+  | () ->
+      if !last <> nblocks - 1 then None
+      else begin
+        (* the band reached the final block: walk the vertical deltas up
+           from the block's bottom row through the w_pad wildcard rows to
+           read the value at the pattern's true last row *)
+        let v = ref (Array.unsafe_get bscore (nblocks - 1)) in
+        let pvb = Array.unsafe_get pv (nblocks - 1)
+        and mvb = Array.unsafe_get mv (nblocks - 1) in
+        for r = word_bits - 1 downto ((n - 1) mod word_bits) + 1 do
+          if pvb land (1 lsl r) <> 0 then decr v
+          else if mvb land (1 lsl r) <> 0 then incr v
+        done;
+        if !v <= !k then Some !v else None
+      end
+  | exception Band_empty -> None
+
+let with_band_state ?ws q f =
+  let n = Sequence.length q in
+  let nblocks = nblocks_of n in
+  let asize = Alphabet.size (Sequence.alphabet q) in
+  let init peq pv mv bscore =
+    fill_peq peq q ~n ~nblocks;
+    f peq pv mv bscore ~nblocks
+  in
+  match ws with
+  | None ->
+      init
+        (Array.make (asize * nblocks) 0)
+        (Array.make nblocks 0) (Array.make nblocks 0) (Array.make nblocks 0)
+  | Some ws ->
+      let peq = Scratch.acquire ws (asize * nblocks) in
+      let pv = Scratch.acquire ws nblocks in
+      let mv = Scratch.acquire ws nblocks in
+      let bscore = Scratch.acquire ws nblocks in
+      Fun.protect
+        ~finally:(fun () ->
+          Scratch.release ws bscore;
+          Scratch.release ws mv;
+          Scratch.release ws pv;
+          Scratch.release ws peq)
+        (fun () -> init peq pv mv bscore)
+
+(* Iterative deepening over the banded core (edlib's outer loop): try a
+   one-word band first, double until the band survives or the cap is
+   reached. Each failed attempt costs O(m·k/62) block steps, so the
+   total is within 2× of the last attempt — O(m·d/62) instead of the
+   full sweep's O(m·n/62) whenever d << n, and crucially {e independent
+   of how loose the cap is}: a caller cap of n/2 on a near-identical
+   pair still resolves in the one-word band. peq is filled once; each
+   attempt re-seeds only its initial band. *)
+let deepen peq pv mv bscore scodes ~nblocks ~n ~m ~cap =
+  let rec go k =
+    match banded_columns peq pv mv bscore scodes ~nblocks ~n ~m ~k0:k with
+    | Some _ as r -> r
+    | None -> if k >= cap then None else go (min cap (2 * k))
+  in
+  go (min cap (max word_bits (if n > m then n - m else m - n)))
+
+let distance_upto ?ws ~k q s =
+  if k < 0 then None
+  else
+    let n = Sequence.length q and m = Sequence.length s in
+    if n = 0 then if m <= k then Some m else None
+    else if m = 0 then if n <= k then Some n else None
+    else if (if n > m then n - m else m - n) > k then None
+    else
+      with_band_state ?ws q (fun peq pv mv bscore ~nblocks ->
+          deepen peq pv mv bscore (Sequence.unsafe_codes s) ~nblocks ~n ~m ~cap:k)
+
+let distance ?ws q s =
+  let n = Sequence.length q and m = Sequence.length s in
+  if n = 0 then m
+  else if m = 0 then n
+  else
+    with_band_state ?ws q (fun peq pv mv bscore ~nblocks ->
+        (* d ≤ max n m always, so deepening at this cap cannot fail *)
+        match
+          deepen peq pv mv bscore (Sequence.unsafe_codes s) ~nblocks ~n ~m ~cap:(max n m)
+        with
+        | Some d -> d
+        | None -> invalid_arg "Myers.distance: band failed at cap")
 
 let search ~pattern ~text =
   let n = Sequence.length pattern in

@@ -27,9 +27,32 @@ val word_bits : int
 (** Cells advanced per word operation (62: native-int limbs). *)
 
 val distance : ?ws:Scratch.t -> Anyseq_bio.Sequence.t -> Anyseq_bio.Sequence.t -> int
-(** Global (Levenshtein) edit distance. With [ws], the pattern masks and
-    column vectors come from the arena and the call is allocation-free in
+(** Global (Levenshtein) edit distance. Runs the banded core (Ukkonen
+    block cut-off) under iterative deepening — k starts at {!word_bits}
+    and doubles until the band survives — so the cost is O(m·d/62) block
+    steps for true distance d instead of the full sweep's O(m·n/62):
+    long low-divergence pairs skip almost every block. Bit-identical to
+    {!distance_full}. With [ws], the pattern masks, column vectors and
+    band scores come from the arena and the call is allocation-free in
     steady state — the form the runtime's bit-parallel tier uses. *)
+
+val distance_full : ?ws:Scratch.t -> Anyseq_bio.Sequence.t -> Anyseq_bio.Sequence.t -> int
+(** The pre-band full sweep: every block of every column, no cut-off.
+    Kept as the differential baseline for the banded core (tier-1
+    [@band-gate] checks [distance] ≡ [distance_full] ≡ the general DP)
+    and as the bench comparison point for the banded speedup. *)
+
+val distance_upto :
+  ?ws:Scratch.t -> k:int -> Anyseq_bio.Sequence.t -> Anyseq_bio.Sequence.t -> int option
+(** Bounded-distance form: [Some d] iff the edit distance d is ≤ [k] —
+    bit-identical to [distance] whenever it returns [Some] — and [None]
+    as soon as the bound is provably exceeded, which for hopeless pairs
+    happens after a few columns (the band collapses) rather than after
+    the full O(nm/62) sweep. Runs the same iterative deepening as
+    [distance] with [k] as the ceiling, so the cost is O(m·min(k,d)/62)
+    block steps regardless of how loose the cap is: a near-identical
+    pair under a generous cap still resolves in the one-word band.
+    [k < 0] is always [None]. *)
 
 val search :
   pattern:Anyseq_bio.Sequence.t -> text:Anyseq_bio.Sequence.t -> int * int

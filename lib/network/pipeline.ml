@@ -5,6 +5,7 @@ module Service = Anyseq_runtime.Service
 module Metrics = Anyseq_runtime.Metrics
 module Config = Anyseq_runtime.Config
 module Error = Anyseq_runtime.Error
+module Property = Anyseq_analysis.Property
 module Trace = Anyseq_trace.Trace
 
 type params = {
@@ -19,6 +20,7 @@ type params = {
   timeout_s : float option;
   batch_size : int;
   edge_buffer : int;
+  cutoff : bool;
 }
 
 let default_params =
@@ -34,6 +36,7 @@ let default_params =
     timeout_s = None;
     batch_size = 512;
     edge_buffer = Edges.default_buffer;
+    cutoff = true;
   }
 
 type source = File of string | Seqs of (string * Seq.t) array
@@ -44,6 +47,7 @@ type report = {
   pairs_total : int;
   pairs_pruned : int;
   pairs_aligned : int;
+  pairs_cutoff : int;
   pairs_timeout : int;
   pairs_failed : int;
   resubmits : int;
@@ -126,6 +130,7 @@ let run ?service ?metrics ?tmp_dir ~out params source =
   and c_total = ctr "pairs_total"
   and c_pruned = ctr "pairs_pruned"
   and c_aligned = ctr "pairs_aligned"
+  and c_cutoff = ctr "pairs_cutoff"
   and c_timeout = ctr "pairs_timeout"
   and c_failed = ctr "pairs_failed"
   and c_resubmit = ctr "pair_resubmits"
@@ -153,6 +158,7 @@ let run ?service ?metrics ?tmp_dir ~out params source =
   and b_total = base c_total
   and b_pruned = base c_pruned
   and b_aligned = base c_aligned
+  and b_cutoff = base c_cutoff
   and b_timeout = base c_timeout
   and b_failed = base c_failed
   and b_resubmit = base c_resubmit
@@ -168,6 +174,61 @@ let run ?service ?metrics ?tmp_dir ~out params source =
   in
   let record_hit i partner score ident =
     if Topk.add (heap_of i) { Topk.partner; score; ident } then Metrics.incr c_evict
+  in
+  (* ---- cutoff-driven distance caps ----
+
+     Under a Unit_cost certificate the score of a pair is a strictly
+     decreasing function of its edit distance, so every score threshold
+     the pipeline will later apply converts (via the certificate's
+     {!Property.distance_cap}) into an edit-distance cap the banded
+     Myers kernel enforces mid-scan. The cap must be {e conservative}:
+     the edge list with cutoffs on is byte-identical to the one with
+     cutoffs off (the band gate checks this), because a pair is capped
+     out only when it provably fails every path into a heap:
+
+     - [min_score], when set;
+     - the identity threshold, only when [min_ident > 0] — at ≤ 0 the
+       [0,1] clamp in {!normalized_identity} passes any score — with the
+       required score rounded {e down};
+     - the top-k floors of {e both} endpoints, only when both heaps are
+       already full (floors are monotone non-decreasing, so a
+       submission-time floor is still a valid lower bound when the
+       result lands), with ties kept (a hit at the floor can still enter
+       on the partner tie-break). *)
+  let cert =
+    if not params.cutoff then None
+    else
+      let report = Property.analyze params.scheme in
+      if List.mem params.mode (Property.admissible_modes report) then
+        Property.unit_cost report
+      else None
+  in
+  let heap_floor i = match vec_get heaps i with None -> None | Some h -> Topk.floor h in
+  let max_dist_of j i =
+    match cert with
+    | None -> None
+    | Some c ->
+        let lj = Seq.length (vec_get seqs j) and li = Seq.length (vec_get seqs i) in
+        let min_len = min lj li in
+        let req = ref min_int in
+        if params.min_score > min_int then req := params.min_score;
+        if params.min_ident > 0.0 && min_len > 0 then begin
+          let s_id =
+            if best > 0 then
+              int_of_float
+                (Float.floor (params.min_ident *. float_of_int (best * min_len)))
+            else
+              int_of_float (Float.floor ((params.min_ident -. 1.0) *. float_of_int min_len))
+          in
+          if s_id > !req then req := s_id
+        end;
+        (match (heap_floor j, heap_floor i) with
+        | Some fj, Some fi ->
+            let f = min fj fi in
+            if f > !req then req := f
+        | _ -> ());
+        if !req = min_int then None
+        else Some (max (-1) (Property.distance_cap c ~n:lj ~m:li ~min_score:!req))
   in
   (* Process one settled ticket: filter results into the top-k heaps,
      requeue Rejected slots. *)
@@ -192,6 +253,10 @@ let run ?service ?metrics ?tmp_dir ~out params source =
             | Error Error.Rejected ->
                 Metrics.incr c_resubmit;
                 Queue.add (j, i) pending
+            | Error Error.Cutoff ->
+                (* the banded kernel proved the pair cannot reach any of
+                   its thresholds — resolved, just not with a score *)
+                Metrics.incr c_cutoff
             | Error (Error.Timeout) -> Metrics.incr c_timeout
             | Error _ -> Metrics.incr c_failed)
           results)
@@ -202,7 +267,8 @@ let run ?service ?metrics ?tmp_dir ~out params source =
     let jobs =
       Array.map
         (fun (j, i) ->
-          Service.seq_job ~config ?timeout_s:params.timeout_s ~query:(vec_get seqs j)
+          Service.seq_job ~config ?timeout_s:params.timeout_s
+            ?max_dist:(max_dist_of j i) ~query:(vec_get seqs j)
             ~subject:(vec_get seqs i) ())
         pairs
     in
@@ -312,6 +378,7 @@ let run ?service ?metrics ?tmp_dir ~out params source =
                   else !t_last_await -. !t_first_submit
                 in
                 let aligned = Metrics.value c_aligned - b_aligned in
+                let cutoff = Metrics.value c_cutoff - b_cutoff in
                 Ok
                   {
                     sequences = n;
@@ -319,6 +386,7 @@ let run ?service ?metrics ?tmp_dir ~out params source =
                     pairs_total = Metrics.value c_total - b_total;
                     pairs_pruned = Metrics.value c_pruned - b_pruned;
                     pairs_aligned = aligned;
+                    pairs_cutoff = cutoff;
                     pairs_timeout = Metrics.value c_timeout - b_timeout;
                     pairs_failed = Metrics.value c_failed - b_failed;
                     resubmits = Metrics.value c_resubmit - b_resubmit;
@@ -330,7 +398,11 @@ let run ?service ?metrics ?tmp_dir ~out params source =
                     index_postings = Index.postings index;
                     elapsed_s = elapsed;
                     pairs_per_s =
-                      (if align_s > 0.0 then float_of_int aligned /. align_s else 0.0);
+                      (* throughput over every pair the align stage
+                         resolved — scored or proven hopeless by the
+                         banded cutoff *)
+                      (if align_s > 0.0 then float_of_int (aligned + cutoff) /. align_s
+                       else 0.0);
                   }))
   with
   | result -> result
@@ -345,7 +417,7 @@ let status_json m =
       let v name = Option.value ~default:0 (Metrics.find m ("network/" ^ name)) in
       Some
         (Printf.sprintf
-           "{\"phase\":\"%s\",\"seqs_indexed\":%d,\"pairs_total\":%d,\"pairs_pruned\":%d,\"pairs_aligned\":%d,\"pairs_dispatched\":%d,\"edges_written\":%d,\"topk_evictions\":%d,\"components\":%d}"
+           "{\"phase\":\"%s\",\"seqs_indexed\":%d,\"pairs_total\":%d,\"pairs_pruned\":%d,\"pairs_aligned\":%d,\"pairs_cutoff\":%d,\"pairs_dispatched\":%d,\"edges_written\":%d,\"topk_evictions\":%d,\"components\":%d}"
            (phase_name (v "phase")) seqs (v "pairs_total") (v "pairs_pruned")
-           (v "pairs_aligned") (v "pairs_dispatched") (v "edges_written")
+           (v "pairs_aligned") (v "pairs_cutoff") (v "pairs_dispatched") (v "edges_written")
            (v "topk_evictions") (v "components"))

@@ -48,13 +48,22 @@ type params = {
   timeout_s : float option;  (** per-pair alignment deadline *)
   batch_size : int;  (** pairs per service submission *)
   edge_buffer : int;  (** edges buffered before a sorted spill run *)
+  cutoff : bool;
+      (** convert each pair's score thresholds — [min_score], the
+          identity floor, and the current top-k floors of both endpoints
+          — into a banded-Myers edit-distance cap via the scheme's
+          [Unit_cost] certificate ({!Anyseq_analysis.Property.distance_cap}),
+          so hopeless pairs abandon after a few columns. Conservative by
+          construction: the edge list is byte-identical with the flag on
+          or off (the band gate proves it). No effect on schemes without
+          the certificate. *)
 }
 
 val default_params : params
 (** [k]/[w] from {!Minimizer}, [min_shared] 4, [min_score] [min_int]
     (identity cutoff governs), [min_ident] 0.5, [top_k] 50, unit-cost
     global scoring (rides the certified Myers bit-parallel tier),
-    no deadline, batches of 512, 65536-edge spill buffer. *)
+    no deadline, batches of 512, 65536-edge spill buffer, [cutoff] on. *)
 
 type source =
   | File of string  (** FASTA path, streamed via {!Anyseq_seqio.Fasta.fold} *)
@@ -67,6 +76,9 @@ type report = {
   pairs_total : int;  (** n·(n−1)/2 *)
   pairs_pruned : int;  (** pairs the prefilter never aligned *)
   pairs_aligned : int;  (** pairs answered [Ok] by the service *)
+  pairs_cutoff : int;
+      (** pairs the banded kernel resolved by proving their distance cap
+          — hence every edge threshold — unreachable (no exact score) *)
   pairs_timeout : int;
   pairs_failed : int;  (** non-timeout alignment errors (should be 0) *)
   resubmits : int;  (** slots re-queued after [Rejected] backpressure *)
@@ -77,7 +89,9 @@ type report = {
   components : Components.summary;
   index_postings : int;
   elapsed_s : float;
-  pairs_per_s : float;  (** aligned pairs per second of alignment-phase time *)
+  pairs_per_s : float;
+      (** pairs resolved (aligned + cutoff) per second of alignment-phase
+          time *)
 }
 
 val run :
@@ -96,7 +110,8 @@ val run :
 
 val status_json : Anyseq_runtime.Metrics.t -> string option
 (** Progress snapshot as one JSON object ([phase], [seqs_indexed],
-    [pairs_total], [pairs_pruned], [pairs_aligned], [pairs_dispatched],
+    [pairs_total], [pairs_pruned], [pairs_aligned], [pairs_cutoff],
+    [pairs_dispatched],
     [edges_written], [topk_evictions], [components]) — [None] until a
     pipeline has registered its counters in this registry. Mounted under
     the [network] member of [/statusz] and rendered by [anyseq top]. *)

@@ -56,6 +56,8 @@ let add t hit =
 
 let size t = t.len
 
+let floor t = if t.len < t.k then None else Some t.heap.(0).score
+
 let to_sorted t =
   let out = Array.sub t.heap 0 t.len in
   Array.sort

@@ -25,5 +25,14 @@ val add : t -> hit -> bool
 
 val size : t -> int
 
+val floor : t -> int option
+(** The current worst retained score, [Some] only once the heap is full.
+    A candidate scoring strictly below it can never enter; one at the
+    floor still can (the partner tie-break may evict). Floors are
+    monotone non-decreasing over a run, so a floor read at submission
+    time is a valid lower bound at processing time — what lets the
+    pipeline turn it into a banded-alignment distance cap without
+    changing the final heap contents. *)
+
 val to_sorted : t -> hit array
 (** Contents, best first (descending score, ascending partner). *)

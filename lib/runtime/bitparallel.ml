@@ -6,6 +6,8 @@ open Anyseq_core.Types
 type t = {
   bp_cert : Property.unit_cost_cert;
   bp_score : ws:Anyseq_core.Scratch.t -> query:Seq.t -> subject:Seq.t -> ends;
+  bp_score_upto :
+    ws:Anyseq_core.Scratch.t -> max_dist:int -> query:Seq.t -> subject:Seq.t -> ends option;
 }
 
 let build _scheme mode report =
@@ -16,5 +18,15 @@ let build _scheme mode report =
         let d = Myers.distance ~ws query subject in
         { score = Property.convert cert ~n ~m ~distance:d; query_end = n; subject_end = m }
       in
-      Some { bp_cert = cert; bp_score = score }
+      let score_upto ~ws ~max_dist ~query ~subject =
+        let n = Seq.length query and m = Seq.length subject in
+        match Myers.distance_upto ~ws ~k:max_dist query subject with
+        | Some d ->
+            Some
+              { score = Property.convert cert ~n ~m ~distance:d;
+                query_end = n;
+                subject_end = m }
+        | None -> None
+      in
+      Some { bp_cert = cert; bp_score = score; bp_score_upto = score_upto }
   | _ -> None

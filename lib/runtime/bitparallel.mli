@@ -18,6 +18,18 @@ type t = {
     query:Anyseq_bio.Sequence.t ->
     subject:Anyseq_bio.Sequence.t ->
     Anyseq_core.Types.ends;
+  bp_score_upto :
+    ws:Anyseq_core.Scratch.t ->
+    max_dist:int ->
+    query:Anyseq_bio.Sequence.t ->
+    subject:Anyseq_bio.Sequence.t ->
+    Anyseq_core.Types.ends option;
+      (** Banded form: [Some ends] — bit-identical to [bp_score] — iff the
+          pair's edit distance is ≤ [max_dist]; [None] as soon as the
+          banded kernel proves the cap (equivalently, the score bound it
+          encodes via {!Anyseq_analysis.Property.distance_cap}) cannot be
+          met. Hopeless pairs abandon after a few columns instead of the
+          full O(nm/62) sweep. *)
 }
 
 val build :

@@ -3,6 +3,7 @@ type t =
   | Overflow_bound of string
   | Rejected
   | Timeout
+  | Cutoff
 
 exception Error of t
 
@@ -11,6 +12,7 @@ let to_string = function
   | Overflow_bound msg -> Printf.sprintf "overflow bound: %s" msg
   | Rejected -> "rejected: submission queue full"
   | Timeout -> "timeout"
+  | Cutoff -> "cutoff: distance cap exceeded"
 
 let raise_ t = raise (Error t)
 

@@ -13,6 +13,11 @@ type t =
           its narrow-integer score representation (§IV-A feasibility) *)
   | Rejected  (** runtime submission queue full — back off and retry *)
   | Timeout  (** the job's deadline passed before it was executed *)
+  | Cutoff
+      (** the job carried a distance cap ([max_dist]) and the banded
+          kernel proved the pair's edit distance exceeds it — the score
+          is provably below the bound the cap encodes, and the exact
+          value was (deliberately) never computed *)
 
 exception Error of t
 

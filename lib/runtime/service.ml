@@ -11,20 +11,28 @@ module Timer = Anyseq_util.Timer
 module Trace = Anyseq_trace.Trace
 open Anyseq_core.Types
 
-type job = { config : Config.t; query : string; subject : string; timeout_s : float option }
+type job = {
+  config : Config.t;
+  query : string;
+  subject : string;
+  timeout_s : float option;
+  max_dist : int option;
+}
 
-let job ?(config = Config.default) ?timeout_s ~query ~subject () =
-  { config; query; subject; timeout_s }
+let job ?(config = Config.default) ?timeout_s ?max_dist ~query ~subject () =
+  { config; query; subject; timeout_s; max_dist }
 
 type seq_job = {
   sj_config : Config.t;
   sj_query : Seq.t;
   sj_subject : Seq.t;
   sj_timeout_s : float option;
+  sj_max_dist : int option;
 }
 
-let seq_job ?(config = Config.default) ?timeout_s ~query ~subject () =
-  { sj_config = config; sj_query = query; sj_subject = subject; sj_timeout_s = timeout_s }
+let seq_job ?(config = Config.default) ?timeout_s ?max_dist ~query ~subject () =
+  { sj_config = config; sj_query = query; sj_subject = subject; sj_timeout_s = timeout_s;
+    sj_max_dist = max_dist }
 
 type outcome = {
   score : int;
@@ -42,6 +50,9 @@ type prepared = {
   p_q : Seq.t;
   p_s : Seq.t;
   p_deadline : int64;  (** ns timestamp; [Int64.max_int] = no deadline *)
+  p_max_dist : int option;
+      (** per-job edit-distance cap: banded dispatch when the tier is
+          certified unit-cost, [Error Cutoff] when provably exceeded *)
 }
 
 type t = {
@@ -235,19 +246,47 @@ let run_scalar t cache results (cfg : Config.t) group =
       let kernels = Spec_cache.get cache cfg.scheme cfg.mode in
       match kernels.Spec_cache.bitparallel with
       | Some bp ->
-          Metrics.add (ctr t "tier_bitparallel") (List.length live);
-          Trace.with_span "backend.myers"
-            ~attrs:
-              [
-                ("jobs", Trace.Int (List.length live));
-                ("scale", Trace.Int bp.Bitparallel.bp_cert.Anyseq_analysis.Property.uc_scale);
-              ]
-            (fun () ->
-              List.iter
-                (fun p ->
-                  score_outcome results p
-                    (bp.Bitparallel.bp_score ~ws ~query:p.p_q ~subject:p.p_s))
-                live)
+          let scale = bp.Bitparallel.bp_cert.Anyseq_analysis.Property.uc_scale in
+          let full live =
+            Metrics.add (ctr t "tier_bitparallel") (List.length live);
+            Trace.with_span "backend.myers"
+              ~attrs:[ ("jobs", Trace.Int (List.length live)); ("scale", Trace.Int scale) ]
+              (fun () ->
+                List.iter
+                  (fun p ->
+                    score_outcome results p
+                      (bp.Bitparallel.bp_score ~ws ~query:p.p_q ~subject:p.p_s))
+                  live)
+          in
+          let banded capped =
+            Metrics.add (ctr t "tier_banded") (List.length capped);
+            Trace.with_span "backend.myers_banded"
+              ~attrs:[ ("jobs", Trace.Int (List.length capped)); ("scale", Trace.Int scale) ]
+              (fun () ->
+                List.iter
+                  (fun p ->
+                    match p.p_max_dist with
+                    | None -> assert false
+                    | Some k -> (
+                        match
+                          bp.Bitparallel.bp_score_upto ~ws ~max_dist:k ~query:p.p_q
+                            ~subject:p.p_s
+                        with
+                        | Some e -> score_outcome results p e
+                        | None ->
+                            results.(p.p_idx) <- Error Error.Cutoff;
+                            Metrics.incr (ctr t "tier_banded_cutoff")))
+                  capped)
+          in
+          (* the uncapped-only check first: the common batch shapes (all
+             capped, or none) never pay the partition's list rebuild *)
+          if not (List.exists (fun p -> p.p_max_dist <> None) live) then full live
+          else if List.for_all (fun p -> p.p_max_dist <> None) live then banded live
+          else begin
+            let capped, uncapped = List.partition (fun p -> p.p_max_dist <> None) live in
+            full uncapped;
+            banded capped
+          end
       | None ->
           let native, score =
             match kernels.Spec_cache.native with
@@ -678,7 +717,7 @@ let submit t ?attrs jobs =
       | q, s ->
           Some
             { p_idx = i; p_cfg = j.config; p_q = q; p_s = s;
-              p_deadline = deadline_of j.timeout_s now0 }
+              p_deadline = deadline_of j.timeout_s now0; p_max_dist = j.max_dist }
       | exception Invalid_argument msg ->
           results.(i) <- Error (Error.Bad_sequence msg);
           None)
@@ -695,7 +734,7 @@ let submit_seqs t ?attrs jobs =
       then
         Some
           { p_idx = i; p_cfg = j.sj_config; p_q = j.sj_query; p_s = j.sj_subject;
-            p_deadline = deadline_of j.sj_timeout_s now0 }
+            p_deadline = deadline_of j.sj_timeout_s now0; p_max_dist = j.sj_max_dist }
       else begin
         results.(i) <-
           Error

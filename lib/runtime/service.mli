@@ -33,8 +33,9 @@
     through {!Anyseq_simd.Inter_seq.batch_score}; [Wavefront] score jobs
     run through {!Anyseq_wavefront.Scheduler.score_many}; [Scalar] and
     [Auto] score jobs use the executing shard's cached residual kernels
-    ({!Spec_cache.get}) — bit-parallel under a unit-cost certificate,
-    native otherwise. [Auto] escalates a pair to the wavefront tier only
+    ({!Spec_cache.get}) — bit-parallel under a unit-cost certificate
+    (the {e banded} bit-parallel kernel when the job carries a
+    [max_dist] cap), native otherwise. [Auto] escalates a pair to the wavefront tier only
     when it is at least {!long_pair_cells} cells {e and} more than one
     domain is configured.
 
@@ -51,16 +52,32 @@ type job = {
   query : string;
   subject : string;
   timeout_s : float option;  (** [None]: no deadline *)
+  max_dist : int option;
+      (** [Some k]: score-only jobs on a unit-cost-certified configuration
+          run the {e banded} Myers kernel with edit-distance cap [k] —
+          bit-identical outcome when the pair's distance is ≤ [k], and
+          [Error Cutoff] (after only O(m·k/62) block steps) when the cap
+          is provably exceeded. Derive [k] from a score threshold with
+          {!Anyseq_analysis.Property.distance_cap}. Ignored (exact full
+          result) on configurations without a [Unit_cost] certificate, on
+          traceback jobs, and on the Simd/Wavefront backends. *)
 }
 
 val job :
-  ?config:Config.t -> ?timeout_s:float -> query:string -> subject:string -> unit -> job
+  ?config:Config.t ->
+  ?timeout_s:float ->
+  ?max_dist:int ->
+  query:string ->
+  subject:string ->
+  unit ->
+  job
 
 type seq_job = {
   sj_config : Config.t;
   sj_query : Anyseq_bio.Sequence.t;
   sj_subject : Anyseq_bio.Sequence.t;
   sj_timeout_s : float option;
+  sj_max_dist : int option;  (** see {!type-job.max_dist} *)
 }
 (** A job whose sequences are already parsed (e.g. decoded straight from a
     wire frame into packed buffers). A sequence whose alphabet differs
@@ -70,6 +87,7 @@ type seq_job = {
 val seq_job :
   ?config:Config.t ->
   ?timeout_s:float ->
+  ?max_dist:int ->
   query:Anyseq_bio.Sequence.t ->
   subject:Anyseq_bio.Sequence.t ->
   unit ->

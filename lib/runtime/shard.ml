@@ -151,6 +151,43 @@ let pop_queue s =
   Mutex.unlock s.q_mutex;
   r
 
+(* Steal-half: pop the victim's oldest chunk for immediate execution and
+   migrate the older half of what remains (rounded up, bounded by the
+   thief's queue room) into the thief's own queue, so one trip through a
+   hot sibling rebalances the backlog instead of paying a lock round-trip
+   per chunk. Both queue locks are held for the move and always acquired
+   in shard-id order, which rules out deadlock against a concurrent
+   opposite-direction steal. A chunk is never invisible mid-move: it
+   leaves the victim and enters the thief under the same critical
+   section, so scanners see it in exactly one queue. *)
+let steal_batch p ~thief v =
+  let vict = p.members.(v) and own = p.members.(thief) in
+  let first, second = if v < thief then (vict, own) else (own, vict) in
+  Mutex.lock first.q_mutex;
+  Mutex.lock second.q_mutex;
+  let r = Queue.take_opt vict.queue in
+  let moved =
+    match r with
+    | None -> 0
+    | Some _ ->
+        let want = (Queue.length vict.queue + 1) / 2 in
+        let room = p.queue_bound - Queue.length own.queue in
+        let m = min want (max 0 room) in
+        for _ = 1 to m do
+          Queue.add (Queue.take vict.queue) own.queue
+        done;
+        m
+  in
+  Mutex.unlock second.q_mutex;
+  Mutex.unlock first.q_mutex;
+  (match r with
+  | None -> ()
+  | Some _ ->
+      (* counters track transferred chunks, migrated ones included *)
+      ignore (Atomic.fetch_and_add vict.stolen_from (1 + moved));
+      ignore (Atomic.fetch_and_add own.steals (1 + moved)));
+  r
+
 let try_take ?self p =
   let n = shards p in
   let own =
@@ -175,14 +212,20 @@ let try_take ?self p =
           let v = ((start + k) mod n + n) mod n in
           if self = Some v then go (k + 1)
           else
-            match pop_queue p.members.(v) with
-            | Some x ->
-                Atomic.incr p.members.(v).stolen_from;
-                (match self with
-                | Some i -> Atomic.incr p.members.(i).steals
-                | None -> Atomic.incr p.helped_c);
-                Some (x, v)
-            | None -> go (k + 1)
+            match self with
+            | Some i -> (
+                match steal_batch p ~thief:i v with
+                | Some x -> Some (x, v)
+                | None -> go (k + 1))
+            | None -> (
+                (* caller help has no queue of its own to rebalance into:
+                   take exactly one chunk *)
+                match pop_queue p.members.(v) with
+                | Some x ->
+                    Atomic.incr p.members.(v).stolen_from;
+                    Atomic.incr p.helped_c;
+                    Some (x, v)
+                | None -> go (k + 1))
       in
       go 0
 

@@ -12,8 +12,9 @@
       the shard's worker domain;
     - a {b worker domain} (pools of two or more shards only): a domain
       spawned by {!start_workers} that loops on {!take} — own queue
-      first, then stealing the {e oldest} chunk from a sibling, oldest
-      first because older chunks carry the nearest deadlines.
+      first, then stealing from a sibling: the {e oldest} chunk to run
+      (older chunks carry the nearest deadlines) plus half the sibling's
+      remaining backlog migrated into its own queue in one theft.
 
     The pool is generic in the chunk type so the scheduling machinery can
     be unit-tested with plain values; {!Anyseq_runtime.Service} instantiates
@@ -80,9 +81,17 @@ val place : 'a pool -> 'a -> int option
 val try_take : ?self:int -> 'a pool -> ('a * int) option
 (** Pop one chunk, own queue first ([self], when given), then siblings in
     ring order — FIFO within each queue. Returns the chunk and the shard
-    whose queue held it. A cross-shard pop increments the victim's
-    [stolen_from] (and the thief's [steals] when [self] names a shard);
-    a pop without [self] counts as caller {e help}. *)
+    whose queue held it.
+
+    A cross-shard pop with [self] is a {e steal-half}: the thief takes
+    the victim's oldest chunk to execute and migrates the older half of
+    the remainder (rounded up, limited by its own queue room) into its
+    own queue under both queue locks — one theft rebalances a hot
+    shard's backlog instead of paying a lock round-trip per chunk. The
+    victim's [stolen_from] and the thief's [steals] both count every
+    transferred chunk, migrated ones included. A pop without [self] has
+    no queue to rebalance into; it takes exactly one chunk and counts as
+    caller {e help}. *)
 
 val queue_depth : 'a pool -> int
 (** Chunks currently queued across all shards. *)
@@ -109,8 +118,10 @@ type shard_stats = {
   s_queued : int;  (** chunks waiting in this shard's queue *)
   s_enqueued : int;  (** chunks ever pushed to this shard's queue *)
   s_run_local : int;  (** chunks popped from its own queue by worker [i] *)
-  s_steals : int;  (** chunks worker [i] took from sibling queues *)
-  s_stolen_from : int;  (** chunks other executors took from this queue *)
+  s_steals : int;
+      (** chunks worker [i] transferred out of sibling queues — both the
+          one it executes per theft and the batch migrated to its queue *)
+  s_stolen_from : int;  (** chunks other executors transferred out of this queue *)
   s_worker_words : float;
       (** minor words the worker domain has allocated (0 until a worker
           runs; the shard-gate divides this by jobs executed) *)

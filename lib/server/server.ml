@@ -630,7 +630,7 @@ let statusz_json t =
     (fun i tier ->
       if i > 0 then Buffer.add_char b ',';
       Printf.bprintf b "\"%s\":%d" tier (c ("runtime/tier_" ^ tier)))
-    [ "bitparallel"; "native"; "staged"; "simd"; "wavefront" ];
+    [ "bitparallel"; "banded"; "banded_cutoff"; "native"; "staged"; "simd"; "wavefront" ];
   Buffer.add_string b "},";
   Buffer.add_string b "\"stages\":{";
   List.iteri

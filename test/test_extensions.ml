@@ -201,6 +201,72 @@ let myers_long_pattern_words =
       Myers.distance q s
       = -Helpers.reference_score Myers.unit_scheme T.Global ~query:q ~subject:s)
 
+(* exact unit-cost distance from the general DP — the oracle for the
+   banded suite *)
+let exact_distance q s =
+  -Helpers.reference_score Myers.unit_scheme T.Global ~query:q ~subject:s
+
+(* banded/full/upto agreement on one pair: full sweep = banded = DP, and
+   distance_upto behaves as a characteristic function of d ≤ k across
+   the interesting bounds (0, d-1, d, d+1, ∞) *)
+let upto_consistent q s =
+  let d = exact_distance q s in
+  let n = Sequence.length q and m = Sequence.length s in
+  let upto k = Myers.distance_upto ~k q s in
+  Myers.distance q s = d
+  && Myers.distance_full q s = d
+  && upto (n + m) = Some d
+  && upto d = Some d
+  && upto (d + 1) = Some d
+  && (d = 0 || upto (d - 1) = None)
+  && upto 0 = (if d = 0 then Some 0 else None)
+  && upto (-1) = None
+
+let myers_upto_matches_dp =
+  Helpers.qtest ~count:250 "distance_upto = characteristic fn of DP distance"
+    QCheck2.Gen.(map (fun seed ->
+        let rng = Rng.create ~seed in
+        (* mix multi-word patterns and very unequal lengths *)
+        let n = if Rng.int rng 4 = 0 then 64 + Rng.int rng 140 else Rng.int rng 64 in
+        let q = Helpers.random_dna rng ~len:n in
+        let s =
+          if Rng.int rng 2 = 0 then Anyseq_seqio.Genome_gen.mutate rng q
+          else Helpers.random_dna rng ~len:(Rng.int rng 100)
+        in
+        (q, s)) nat)
+    (fun (q, s) -> upto_consistent q s)
+
+let myers_upto_band_edges =
+  (* lengths that straddle the 62-bit block boundary, against both a
+     light mutation (band stays narrow) and an unrelated sequence (band
+     collapses) *)
+  Helpers.qtest ~count:60 "distance_upto at block-boundary lengths (61,62,63,124)"
+    QCheck2.Gen.(map (fun seed ->
+        let rng = Rng.create ~seed in
+        let n = List.nth [ 61; 62; 63; 124 ] (Rng.int rng 4) in
+        let q = Helpers.random_dna rng ~len:n in
+        let near = Anyseq_seqio.Genome_gen.mutate rng q in
+        let far = Helpers.random_dna rng ~len:n in
+        (q, near, far)) nat)
+    (fun (q, near, far) -> upto_consistent q near && upto_consistent q far)
+
+let test_myers_upto_degenerate () =
+  let e = dna "" and x = dna "ACGT" in
+  Alcotest.(check (option int)) "empty/empty" (Some 0) (Myers.distance_upto ~k:0 e e);
+  Alcotest.(check (option int)) "empty query, k >= m" (Some 4)
+    (Myers.distance_upto ~k:4 e x);
+  Alcotest.(check (option int)) "empty query, k < m" None
+    (Myers.distance_upto ~k:3 e x);
+  Alcotest.(check (option int)) "empty subject, k >= n" (Some 4)
+    (Myers.distance_upto ~k:9 x e);
+  Alcotest.(check (option int)) "empty subject, k < n" None
+    (Myers.distance_upto ~k:3 x e);
+  Alcotest.(check (option int)) "negative k" None (Myers.distance_upto ~k:(-1) x x);
+  Alcotest.(check (option int)) "identical at k=0" (Some 0)
+    (Myers.distance_upto ~k:0 x x);
+  Alcotest.(check (option int)) "length gap alone exceeds k" None
+    (Myers.distance_upto ~k:2 (dna "ACGTACG") x)
+
 (* ------------------------------------------------------------------ *)
 (* Db_search                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -264,6 +330,9 @@ let () =
           Alcotest.test_case "search positions" `Quick test_myers_search_positions;
           Alcotest.test_case "empty pattern" `Quick test_myers_empty_pattern;
           myers_long_pattern_words;
+          myers_upto_matches_dp;
+          myers_upto_band_edges;
+          Alcotest.test_case "upto degenerate" `Quick test_myers_upto_degenerate;
         ] );
       ( "db_search",
         [

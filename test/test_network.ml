@@ -262,8 +262,8 @@ let test_pipeline_end_to_end () =
       in
       Alcotest.(check int) "sequences" (Array.length seqs) r.Pipeline.sequences;
       Alcotest.(check int) "pair accounting adds up" r.Pipeline.pairs_total
-        (r.Pipeline.pairs_pruned + r.Pipeline.pairs_aligned + r.Pipeline.pairs_timeout
-        + r.Pipeline.pairs_failed);
+        (r.Pipeline.pairs_pruned + r.Pipeline.pairs_aligned + r.Pipeline.pairs_cutoff
+        + r.Pipeline.pairs_timeout + r.Pipeline.pairs_failed);
       Alcotest.(check int) "no failures" 0 r.Pipeline.pairs_failed;
       Alcotest.(check bool) "prefilter pruned something" true (r.Pipeline.pairs_pruned > 0);
       Alcotest.(check bool) "edges found" true (r.Pipeline.edges > 0);

@@ -512,6 +512,113 @@ let test_myers_tier_gating () =
   Alcotest.(check (option int)) "unit-cost global score-only routes" (Some (Array.length pairs))
     (run_config (Anyseq.Config.make ~scheme:Scheme.unit_cost ~mode:T.Global ~traceback:false ()))
 
+(* The banded tier: score-only unit-cost global jobs carrying a
+   [max_dist] cap route through the Ukkonen-banded Myers engine — visible
+   as the [tier_banded] counter and the [backend.myers_banded] span — and
+   must be bit-identical to the uncapped tier whenever the cap is not
+   exceeded. A cap below the true distance answers [Error Cutoff] and
+   bumps [tier_banded_cutoff]; a mixed batch splits across both
+   counters. *)
+let test_banded_tier_differential () =
+  let rng = Rng.create ~seed:9191 in
+  let config =
+    Anyseq.Config.make ~scheme:Scheme.unit_cost ~mode:T.Global ~traceback:false ()
+  in
+  let lens = [| 0; 1; 61; 62; 63; 124; 130; 200 |] in
+  let pairs =
+    Array.init 32 (fun i ->
+        let pick () =
+          if i < Array.length lens then lens.(i mod Array.length lens)
+          else Rng.int rng 201
+        in
+        ( Sequence.to_string (Helpers.random_dna rng ~len:(pick ())),
+          Sequence.to_string (Helpers.random_dna rng ~len:(pick ())) ))
+  in
+  (* generous cap: never exceeded, so every job must succeed with the
+     exact uncapped score *)
+  let svc = Service.create () in
+  let capped =
+    Array.map
+      (fun (q, s) ->
+        Service.job ~config ~max_dist:(String.length q + String.length s) ~query:q
+          ~subject:s ())
+      pairs
+  in
+  Anyseq_trace.Trace.enable ();
+  let results =
+    Fun.protect ~finally:Anyseq_trace.Trace.disable (fun () -> Service.run svc capped)
+  in
+  Alcotest.(check bool) "dispatch visible as backend.myers_banded span" true
+    (List.exists
+       (fun (s : Anyseq_trace.Trace.span) ->
+         s.Anyseq_trace.Trace.name = "backend.myers_banded")
+       (Anyseq_trace.Trace.spans ()));
+  Anyseq_trace.Trace.clear ();
+  Array.iteri
+    (fun i r ->
+      let query, subject = pairs.(i) in
+      match r with
+      | Error e -> Alcotest.failf "capped job %d failed: %s" i (Error.to_string e)
+      | Ok o ->
+          let qv = Sequence.view (Sequence.of_string Alphabet.dna4 query)
+          and sv = Sequence.view (Sequence.of_string Alphabet.dna4 subject) in
+          let reference =
+            Dp_linear.score_only Scheme.unit_cost T.Global ~query:qv ~subject:sv
+          in
+          Alcotest.(check int) (Printf.sprintf "job %d score" i) reference.T.score
+            o.Service.score;
+          Alcotest.(check int) (Printf.sprintf "job %d qend" i) reference.T.query_end
+            o.Service.query_end;
+          Alcotest.(check int) (Printf.sprintf "job %d send" i) reference.T.subject_end
+            o.Service.subject_end)
+    results;
+  Alcotest.(check (option int)) "all capped jobs on the banded tier"
+    (Some (Array.length capped)) (tier_count svc "banded");
+  Alcotest.(check bool) "no cutoffs under the generous cap" true
+    (match tier_count svc "banded_cutoff" with None | Some 0 -> true | Some _ -> false);
+  Alcotest.(check bool) "uncapped tier untouched" true
+    (match tier_count svc "bitparallel" with None | Some 0 -> true | Some _ -> false)
+
+let test_banded_tier_cutoff_and_mix () =
+  let config =
+    Anyseq.Config.make ~scheme:Scheme.unit_cost ~mode:T.Global ~traceback:false ()
+  in
+  (* distance exactly 4: ACGTACGT vs TGCATGCA style divergent pair *)
+  let q = "ACGTACGTACGT" and s = "ACGAACGAACGA" in
+  let qv = Sequence.view (Sequence.of_string Alphabet.dna4 q)
+  and sv = Sequence.view (Sequence.of_string Alphabet.dna4 s) in
+  let exact =
+    -(Dp_linear.score_only Scheme.unit_cost T.Global ~query:qv ~subject:sv).T.score
+  in
+  Alcotest.(check bool) "pair is genuinely divergent" true (exact > 0);
+  let svc = Service.create () in
+  let jobs =
+    [|
+      Service.job ~config ~max_dist:exact ~query:q ~subject:s ();
+      Service.job ~config ~max_dist:(exact - 1) ~query:q ~subject:s ();
+      Service.job ~config ~query:q ~subject:s ();
+      Service.job ~config ~max_dist:0 ~query:q ~subject:s ();
+    |]
+  in
+  let results = Service.run svc jobs in
+  (match results.(0) with
+  | Ok o -> Alcotest.(check int) "cap = distance succeeds exactly" (-exact) o.Service.score
+  | Error e -> Alcotest.failf "cap-at-distance failed: %s" (Error.to_string e));
+  (match results.(1) with
+  | Error Error.Cutoff -> ()
+  | _ -> Alcotest.fail "cap below distance must answer Cutoff");
+  (match results.(2) with
+  | Ok o -> Alcotest.(check int) "uncapped job rides the full tier" (-exact) o.Service.score
+  | Error e -> Alcotest.failf "uncapped job failed: %s" (Error.to_string e));
+  (match results.(3) with
+  | Error Error.Cutoff -> ()
+  | _ -> Alcotest.fail "zero cap on a divergent pair must answer Cutoff");
+  Alcotest.(check (option int)) "three jobs banded" (Some 3) (tier_count svc "banded");
+  Alcotest.(check (option int)) "two of them cut off" (Some 2)
+    (tier_count svc "banded_cutoff");
+  Alcotest.(check (option int)) "one job on the full tier" (Some 1)
+    (tier_count svc "bitparallel")
+
 let test_tier_counters_prometheus () =
   let rng = Rng.create ~seed:5150 in
   let svc = Service.create () in
@@ -810,9 +917,12 @@ let test_shard_pool_units () =
   Shard.release p 1 3;
   Shard.release p 2 2;
   Alcotest.(check int) "released" 0 (Shard.in_flight p);
-  (* queues: own pop first, then ring-order steal, FIFO within a queue *)
+  (* queues: own pop first, then ring-order steal-half, FIFO within a
+     queue. Shard 0 holds three chunks; the thief takes the oldest and
+     migrates half the remainder (ceil(2/2) = 1 chunk) to its own queue. *)
   Alcotest.(check bool) "push 0" true (Shard.push p 0 100);
   Alcotest.(check bool) "push 0 again" true (Shard.push p 0 101);
+  Alcotest.(check bool) "push 0 third" true (Shard.push p 0 102);
   Alcotest.(check bool) "push 1" true (Shard.push p 1 200);
   (match Shard.try_take ~self:1 p with
   | Some (200, 1) -> ()
@@ -820,14 +930,18 @@ let test_shard_pool_units () =
   (match Shard.try_take ~self:1 p with
   | Some (100, 0) -> () (* oldest chunk of the victim *)
   | _ -> Alcotest.fail "steals the oldest sibling chunk");
+  (match Shard.try_take ~self:1 p with
+  | Some (101, 1) -> () (* migrated by the steal, FIFO order preserved *)
+  | _ -> Alcotest.fail "batch-stolen chunk sits in the thief's own queue");
   (match Shard.try_take p with
-  | Some (101, 0) -> ()
-  | _ -> Alcotest.fail "caller help finds the last chunk");
+  | Some (102, 0) -> () (* the un-migrated half stayed behind *)
+  | _ -> Alcotest.fail "caller help finds the chunk left on the victim");
   Alcotest.(check (option (pair int int))) "empty" None (Shard.try_take p);
   let st = Shard.stats p in
-  Alcotest.(check int) "victim counts both pops" 2 st.(0).Shard.s_stolen_from;
-  Alcotest.(check int) "thief counted" 1 st.(1).Shard.s_steals;
-  Alcotest.(check int) "local pop counted" 1 st.(1).Shard.s_run_local;
+  Alcotest.(check int) "victim counts taken + migrated + helped" 3
+    st.(0).Shard.s_stolen_from;
+  Alcotest.(check int) "thief counts taken + migrated" 2 st.(1).Shard.s_steals;
+  Alcotest.(check int) "local pops counted" 2 st.(1).Shard.s_run_local;
   Alcotest.(check int) "caller help counted" 1 (Shard.helped p);
   (* queue bound: a full queue refuses, place overflows to a sibling *)
   let q : int Shard.pool = Shard.create ~shards:2 ~capacity:64 ~queue_bound:1 () in
@@ -879,40 +993,70 @@ let test_shard_backpressure_isolation () =
         results;
       Alcotest.(check int) "slots released" 0 (Service.queue_depth svc))
 
-(* Force a deterministic cross-shard steal: two workers, both chunks on
-   shard 0's queue, and whichever worker executes the first chunk blocks
-   until the other has taken the second — so exactly one of the two pops
-   must be a steal, whatever the interleaving. *)
+(* Force a deterministic batch theft with real worker domains: one
+   blocking chunk per shard pins both workers, a three-chunk backlog
+   lands on shard 0 while they are pinned, then only worker 1 is
+   released. Its own queue is empty, so its first take MUST be a
+   steal-half from shard 0 — chunk 2 to run plus chunk 3 migrated into
+   its own queue — followed by a local pop of chunk 3 and a lone steal
+   of chunk 4. Stats are asserted as deltas against a snapshot taken
+   while both workers were pinned, so the start-up race over the
+   blockers cannot leak into the counts. *)
 let test_shard_workers_steal () =
   let p : int Shard.pool = Shard.create ~shards:2 ~capacity:8 () in
-  let gate = Atomic.make false in
+  let gates = [| Atomic.make false; Atomic.make false |] in
+  let started = Atomic.make 0 in
   let ran = Atomic.make 0 in
-  let log = Array.make 2 (-1, -1) in
+  let log = Array.make 5 (-1, -1) in
   Shard.start_workers p ~exec:(fun ~executor ~home x ->
       log.(x) <- (executor, home);
-      if x = 0 then
-        while not (Atomic.get gate) do
+      if x < 2 then begin
+        Atomic.incr started;
+        while not (Atomic.get gates.(x)) do
           Domain.cpu_relax ()
-        done;
-      Atomic.incr ran);
-  Alcotest.(check bool) "chunk 0 queued" true (Shard.push p 0 0);
-  Alcotest.(check bool) "chunk 1 queued" true (Shard.push p 0 1);
-  (* chunk 1 can only run on the worker NOT blocked inside chunk 0 *)
-  while Atomic.get ran < 1 do
+        done
+      end
+      else Atomic.incr ran);
+  Alcotest.(check bool) "blocker 0 queued" true (Shard.push p 0 0);
+  Alcotest.(check bool) "blocker 1 queued" true (Shard.push p 1 1);
+  while Atomic.get started < 2 do
     Domain.cpu_relax ()
   done;
-  Atomic.set gate true;
-  while Atomic.get ran < 2 do
+  (* whichever way the start-up race assigned the blockers, each worker
+     is pinned inside exactly one of them *)
+  let blocker_of w = if fst log.(0) = w then 0 else 1 in
+  Alcotest.(check bool) "each worker pinned on one blocker" true
+    (List.sort compare [ fst log.(0); fst log.(1) ] = [ 0; 1 ]);
+  let base = Shard.stats p in
+  Alcotest.(check bool) "chunk 2 queued" true (Shard.push p 0 2);
+  Alcotest.(check bool) "chunk 3 queued" true (Shard.push p 0 3);
+  Alcotest.(check bool) "chunk 4 queued" true (Shard.push p 0 4);
+  Atomic.set gates.(blocker_of 1) true;
+  while Atomic.get ran < 3 do
     Domain.cpu_relax ()
   done;
-  Shard.shutdown p;
-  let executors = [ fst log.(0); fst log.(1) ] in
-  Alcotest.(check bool) "both workers executed" true
-    (List.sort compare executors = [ 0; 1 ]);
-  Array.iter (fun (_, home) -> Alcotest.(check int) "home is shard 0" 0 home) log;
   let st = Shard.stats p in
-  Alcotest.(check int) "exactly one pop was cross-shard" 1 st.(0).Shard.s_stolen_from;
-  Alcotest.(check int) "worker 1's pop counted as its steal" 1 st.(1).Shard.s_steals
+  Atomic.set gates.(blocker_of 0) true;
+  Shard.shutdown p;
+  (* worker 1 executed the whole backlog *)
+  Array.iteri
+    (fun x (executor, _) ->
+      if x >= 2 then Alcotest.(check int) (Printf.sprintf "chunk %d on worker 1" x) 1 executor)
+    log;
+  (* chunk 3 was batch-migrated: it came out of the thief's own queue *)
+  Alcotest.(check int) "chunk 2 stolen from shard 0" 0 (snd log.(2));
+  Alcotest.(check int) "chunk 3 popped from thief's queue" 1 (snd log.(3));
+  Alcotest.(check int) "chunk 4 stolen from shard 0" 0 (snd log.(4));
+  let d field = field st.(0) - field base.(0) and d1 field = field st.(1) - field base.(1) in
+  Alcotest.(check int) "victim counts taken + migrated + lone steal" 3
+    (d (fun s -> s.Shard.s_stolen_from));
+  Alcotest.(check int) "thief counts taken + migrated + lone steal" 3
+    (d1 (fun s -> s.Shard.s_steals));
+  Alcotest.(check int) "migrated chunk ran as a local pop" 1
+    (d1 (fun s -> s.Shard.s_run_local));
+  Alcotest.(check int) "pinned worker 0 stole nothing" 0 (d (fun s -> s.Shard.s_steals));
+  Alcotest.(check int) "nothing left shard 1's queue" 0
+    (d1 (fun s -> s.Shard.s_stolen_from))
 
 (* ------------------------------------------------------------------ *)
 (* Facade                                                              *)
@@ -970,6 +1114,9 @@ let () =
           Alcotest.test_case "mixed configs" `Quick test_mixed_configs_one_batch;
           Alcotest.test_case "Myers tier bit-identical" `Quick test_myers_tier_differential;
           Alcotest.test_case "Myers tier certificate gating" `Quick test_myers_tier_gating;
+          Alcotest.test_case "banded tier bit-identical" `Quick test_banded_tier_differential;
+          Alcotest.test_case "banded tier cutoff + mixed batch" `Quick
+            test_banded_tier_cutoff_and_mix;
           Alcotest.test_case "tier counters in Prometheus" `Quick
             test_tier_counters_prometheus;
           Alcotest.test_case "wire round-trip hits fast tier" `Quick

@@ -83,7 +83,7 @@ let replies_under_test =
         })
       [
         Wire.Bad_sequence; Wire.Overflow_bound; Wire.Rejected; Wire.Timeout; Wire.Bad_request;
-        Wire.Draining; Wire.Internal;
+        Wire.Draining; Wire.Internal; Wire.Cutoff;
       ]
 
 let decode_ok what s =
